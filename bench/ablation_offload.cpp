@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Offloading ablation (paper §II footnote 2 / §V-F): the VIO
+ * component swapped for a remote implementation over four modeled
+ * links, on the platform where local VIO struggles most (Jetson-LP,
+ * Sponza). Reports the device-edge-cloud trade the paper's research
+ * agenda targets: offloading restores the VIO rate and removes its
+ * local CPU load, at the price of pose staleness that grows with
+ * link latency.
+ */
+
+#include "bench_common.hpp"
+
+#include "offload/offload_vio.hpp"
+
+using namespace illixr;
+using namespace illixr::bench;
+
+int
+main()
+{
+    banner("Offloading ablation: local vs remote VIO (Jetson-LP, Sponza)",
+           "§II fn.2, §V-F");
+
+    IntegratedConfig cfg =
+        standardConfig(PlatformId::JetsonLP, AppId::Sponza, 5 * kSecond);
+
+    TextTable table;
+    table.setHeader({"configuration", "VIO Hz", "VIO CPU share (%)",
+                     "pose RTT (ms)", "MTP (ms)", "app Hz"});
+
+    const IntegratedResult local = runIntegrated(cfg);
+    // Local "round trip": the VIO's own mean execution time.
+    const double local_rtt = local.tasks.at("vio").exec_ms.mean();
+    table.addRow({"local", TextTable::num(local.achievedHz("vio"), 1),
+                  TextTable::num(100.0 * local.cpu_share.at("vio"), 1),
+                  TextTable::num(local_rtt, 1),
+                  TextTable::meanStd(local.mtp.latency_ms.mean(),
+                                     local.mtp.latency_ms.stddev()),
+                  TextTable::num(local.achievedHz("application"), 1)});
+
+    for (const NetworkLink &link :
+         {NetworkLink::edgeEthernet(), NetworkLink::wifi6(),
+          NetworkLink::fiveG(), NetworkLink::lteCloud()}) {
+        OffloadConfig offload;
+        offload.link = link;
+        const IntegratedResult r = runIntegratedOffloaded(cfg, offload);
+        table.addRow(
+            {"offload/" + link.name,
+             TextTable::num(r.achievedHz("vio"), 1),
+             TextTable::num(100.0 * r.cpu_share.at("vio"), 1),
+             TextTable::num(r.extra.at("pose_round_trip_ms"), 1),
+             TextTable::meanStd(r.mtp.latency_ms.mean(),
+                                r.mtp.latency_ms.stddev()),
+             TextTable::num(r.achievedHz("application"), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf(
+        "Reading: local Jetson-LP VIO misses camera frames and burns\n"
+        "a third of the CPU; any edge link restores the full 15 Hz\n"
+        "and frees the CPU, while pose corrections arrive later as\n"
+        "the link gets slower — the freshness/energy trade-off that\n"
+        "motivates the paper's edge-offloading research direction.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses. Each bench binary
+ * regenerates one figure or table of the paper (see DESIGN.md §3 for
+ * the experiment index) and prints the same rows/series the paper
+ * reports.
+ */
+
+#pragma once
+
+#include "metrics/telemetry.hpp"
+#include "render/scenes.hpp"
+#include "xr/illixr_system.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace illixr::bench {
+
+/** All four applications in the paper's order. */
+inline const std::vector<AppId> kApps = {
+    AppId::Sponza, AppId::Materials, AppId::Platformer, AppId::ArDemo};
+
+/** All three platforms in the paper's order. */
+inline const std::vector<PlatformId> kPlatforms = {
+    PlatformId::Desktop, PlatformId::JetsonHP, PlatformId::JetsonLP};
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_ref)
+{
+    std::printf("==============================================\n");
+    std::printf("ILLIXR reproduction — %s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_ref);
+    std::printf("==============================================\n\n");
+}
+
+/** Integrated-run config used across the figure benches. */
+inline IntegratedConfig
+standardConfig(PlatformId platform, AppId app,
+               Duration duration = 6 * kSecond)
+{
+    IntegratedConfig cfg;
+    cfg.platform = platform;
+    cfg.app = app;
+    cfg.duration = duration;
+    return cfg;
+}
+
+} // namespace illixr::bench

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 4 reproduction: per-frame execution time of every component
+ * for Platformer on the desktop — the paper's demonstration that all
+ * components show significant per-frame variability (input dependence
+ * for VIO and the application; scheduling and contention elsewhere).
+ */
+
+#include "bench_common.hpp"
+
+#include <sys/stat.h>
+
+using namespace illixr;
+using namespace illixr::bench;
+
+int
+main()
+{
+    banner("Figure 4: per-frame execution times (Platformer, desktop)",
+           "Fig 4, §IV-A1");
+
+    const IntegratedResult r = runIntegrated(
+        standardConfig(PlatformId::Desktop, AppId::Platformer,
+                       10 * kSecond));
+
+    ::mkdir("results", 0755);
+    for (const auto &[name, stats] : r.tasks) {
+        const std::string csv =
+            "results/timeseries-platformer-desktop-" + name + ".csv";
+        writeSeriesCsv(stats.exec_ms, csv, "exec_ms");
+    }
+    std::printf("[wrote results/timeseries-platformer-desktop-*.csv]\n");
+
+    // Top plot: VIO and application (larger scale).
+    std::printf("Per-frame execution time series (ms), first 40 frames:\n\n");
+    for (const char *name : {"vio", "application"}) {
+        const TaskStats &stats = r.tasks.at(name);
+        std::printf("%-12s:", name);
+        const auto &samples = stats.exec_ms.samples();
+        for (std::size_t i = 0; i < std::min<std::size_t>(40, samples.size());
+             ++i)
+            std::printf(" %5.2f", samples[i]);
+        std::printf("\n");
+    }
+    std::printf("\n");
+    for (const char *name :
+         {"camera", "integrator", "timewarp", "audio_playback",
+          "audio_encoding"}) {
+        const TaskStats &stats = r.tasks.at(name);
+        std::printf("%-14s:", name);
+        const auto &samples = stats.exec_ms.samples();
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(20, samples.size()); ++i)
+            std::printf(" %5.3f", samples[i]);
+        std::printf("\n");
+    }
+
+    std::printf("\nVariability summary (coefficient of variation):\n");
+    TextTable table;
+    table.setHeader({"component", "mean(ms)", "std(ms)", "CV"});
+    for (const auto &[name, stats] : r.tasks) {
+        if (stats.exec_ms.count() == 0)
+            continue;
+        const double mean = stats.exec_ms.mean();
+        const double sd = stats.exec_ms.stddev();
+        table.addRow({name, TextTable::num(mean, 3),
+                      TextTable::num(sd, 3),
+                      TextTable::num(mean > 0 ? sd / mean : 0.0, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper observation reproduced: all components exhibit\n"
+                "per-frame variability, not only the input-dependent\n"
+                "VIO and application.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table I reproduction: the aspirational-device requirements versus
+ * what the modeled platforms deliver — the paper's headline
+ * "several orders of magnitude performance, power, and QoE gap"
+ * (§IV, §V-A), quantified from live runs of this testbed.
+ */
+
+#include "bench_common.hpp"
+
+#include "perfmodel/power.hpp"
+
+#include <cmath>
+
+using namespace illixr;
+using namespace illixr::bench;
+
+int
+main()
+{
+    banner("Table I: ideal-device requirements and the measured gap",
+           "Table I, §V-A");
+
+    // The aspirational targets (paper Table I).
+    std::printf("Ideal VR: 200 MPixels, 165x175 FoV, 90-144 Hz, "
+                "< 20 ms MTP, 1-2 W\n");
+    std::printf("Ideal AR: 200 MPixels, 165x175 FoV, 90-144 Hz, "
+                "< 5 ms MTP, 0.1-0.2 W\n\n");
+
+    TextTable table;
+    table.setHeader({"platform", "MTP (ms)", "vs VR 20ms", "vs AR 5ms",
+                     "power (W)", "vs VR 1.5W", "vs AR 0.15W"});
+    for (PlatformId platform : kPlatforms) {
+        const IntegratedResult r = runIntegrated(
+            standardConfig(platform, AppId::Platformer, 5 * kSecond));
+        const double mtp = r.mtp.latency_ms.mean();
+        const double watts = r.power.total();
+        auto gap = [](double value, double target) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.1fx", value / target);
+            return std::string(value <= target ? "meets" : buf);
+        };
+        table.addRow({platformName(platform), TextTable::num(mtp, 1),
+                      gap(mtp, 20.0), gap(mtp, 5.0),
+                      TextTable::num(watts, 1), gap(watts, 1.5),
+                      gap(watts, 0.15)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Display-bandwidth side of the gap: our scaled display vs the
+    // 200 MPixel aspiration.
+    const double modeled_mpix = 2.0 * 80.0 * 80.0 / 1e6;
+    const double scaled_2k_mpix = 2.0 * 2048.0 * 1080.0 / 1e6;
+    std::printf("Display pixels: modeled %.3f MP/frame (stands in for a "
+                "2K display, %.1f MP);\n"
+                "ideal 200 MP -> a further %.0fx beyond today's 2K "
+                "panels, stressing every\n"
+                "visual-pipeline component (paper: the gap \"will be "
+                "further exacerbated\").\n",
+                modeled_mpix, scaled_2k_mpix, 200.0 / scaled_2k_mpix);
+    std::printf("\nShape check vs paper (§V-A): the power gap spans ~1\n"
+                "(Jetson-LP vs VR ideal) to ~2-3 (desktop) orders of\n"
+                "magnitude; AR power is ~50x away even for Jetson-LP.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table V reproduction: offline image-quality metrics (SSIM and
+ * 1-FLIP, mean±std) for Sponza on the three platforms.
+ *
+ * Methodology mirrors §III-E: the integrated system runs on a
+ * dataset with ground truth; application frames and poses are
+ * collected and reprojection is applied *offline* for both the
+ * actual system (VIO poses at the achieved rates) and an idealized
+ * system (ground-truth poses), and the reprojected image pairs are
+ * compared.
+ */
+
+#include "bench_common.hpp"
+
+#include "metrics/qoe.hpp"
+
+using namespace illixr;
+using namespace illixr::bench;
+
+int
+main()
+{
+    banner("Table V: image quality (SSIM, 1-FLIP) for Sponza",
+           "Table V, §IV-A3");
+
+    TextTable table;
+    table.setHeader({"metric", "Desktop", "Jetson-HP", "Jetson-LP"});
+    std::vector<std::string> ssim_row = {"SSIM"};
+    std::vector<std::string> flip_row = {"1-FLIP"};
+
+    for (PlatformId platform : kPlatforms) {
+        IntegratedConfig cfg =
+            standardConfig(platform, AppId::Sponza, 6 * kSecond);
+        const IntegratedResult r = runIntegrated(cfg);
+
+        // Rebuild the ground-truth dataset the run used.
+        DatasetConfig ds_cfg;
+        ds_cfg.duration_s = toSeconds(cfg.duration) + 0.5;
+        ds_cfg.image_width = cfg.camera_width;
+        ds_cfg.image_height = cfg.camera_height;
+        ds_cfg.preset = DatasetConfig::Preset::LabWalk;
+        ds_cfg.seed = cfg.seed;
+        const SyntheticDataset dataset(ds_cfg);
+
+        QoeInputs inputs;
+        inputs.estimated_poses = r.vio_trajectory;
+        const double app_hz = std::max(1.0, r.achievedHz("application"));
+        inputs.app_frame_interval = periodFromHz(app_hz);
+        inputs.display_pose_age =
+            fromSeconds(r.mtp.latency_ms.mean() / 1000.0);
+
+        const QoeResult q =
+            evaluateImageQoe(AppId::Sponza, dataset, inputs, 6, 96);
+        ssim_row.push_back(
+            TextTable::meanStd(q.ssim_mean, q.ssim_std, 2));
+        flip_row.push_back(TextTable::meanStd(q.one_minus_flip_mean,
+                                              q.one_minus_flip_std, 2));
+        std::printf("[%s] app=%.1f Hz, pose-age=%.1f ms, "
+                    "VIO frames=%zu\n",
+                    platformName(platform), app_hz,
+                    r.mtp.latency_ms.mean(), r.vio_trajectory.size());
+    }
+    table.addRow(ssim_row);
+    table.addRow(flip_row);
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf(
+        "Shape check vs paper (Table V): degradation appears when the\n"
+        "Jetson-LP VIO drifts (the paper's LP lost tracking outright).\n"
+        "In runs where the synthetic LP VIO stays healthy the metrics\n"
+        "remain near the desktop's — which itself reproduces the\n"
+        "paper's §IV-A3 caveat: SSIM/FLIP values \"seem deceptively\n"
+        "high\" and are weakly sensitive to the errors that dominate\n"
+        "the experience, motivating better XR quality metrics.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Table VI reproduction: task-level time breakdown of VIO and scene
+ * reconstruction, measured from the standalone components on their
+ * component datasets (§III-D: Vicon-Room-like for VIO, slow-scan
+ * dyson_lab-like for reconstruction).
+ */
+
+#include "bench_common.hpp"
+
+#include "recon/reconstructor.hpp"
+#include "sensors/dataset.hpp"
+#include "slam/msckf.hpp"
+
+using namespace illixr;
+using namespace illixr::bench;
+
+namespace {
+
+void
+printProfile(const char *component, const TaskProfile &profile,
+             const std::vector<std::pair<std::string, int>> &paper_rows)
+{
+    std::printf("--- %s ---\n", component);
+    TextTable table;
+    table.setHeader({"task", "measured (%)", "paper (%)"});
+    for (const auto &[task, paper_pct] : paper_rows) {
+        table.addRow({task,
+                      TextTable::num(100.0 * profile.taskShare(task), 1),
+                      std::to_string(paper_pct)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table VI: task breakdown of VIO and scene reconstruction",
+           "Table VI, §IV-B");
+
+    // --- VIO on a Vicon-Room-like dataset. ---
+    DatasetConfig vio_cfg;
+    vio_cfg.duration_s = 8.0;
+    vio_cfg.image_width = 192;
+    vio_cfg.image_height = 144;
+    vio_cfg.preset = DatasetConfig::Preset::ViconRoom;
+    vio_cfg.seed = 21;
+    const SyntheticDataset vio_ds(vio_cfg);
+
+    MsckfParams params;
+    params.imu_noise = vio_cfg.imu_noise;
+    params.max_clones = 11;       // OpenVINS-scale sliding window.
+    params.max_slam_features = 16;
+    params.min_obs_for_slam = 7;
+    VioSystem vio(params, TrackerParams{}, vio_ds.rig());
+    ImuState init;
+    init.orientation = vio_ds.trajectory().pose(0.0).orientation;
+    init.position = vio_ds.trajectory().pose(0.0).position;
+    init.velocity = vio_ds.trajectory().velocity(0.0);
+    vio.initialize(init);
+
+    std::size_t imu_idx = 0;
+    for (std::size_t f = 0; f < vio_ds.cameraFrameCount(); ++f) {
+        const CameraFrame frame = vio_ds.cameraFrame(f);
+        while (imu_idx < vio_ds.imuSamples().size() &&
+               vio_ds.imuSamples()[imu_idx].time <= frame.time)
+            vio.addImu(vio_ds.imuSamples()[imu_idx++]);
+        vio.processFrame(frame.time, frame.image);
+    }
+    printProfile("VIO (OpenVINS-style MSCKF)", vio.combinedProfile(),
+                 {{"feature_detection", 15},
+                  {"feature_matching", 13},
+                  {"feature_initialization", 14},
+                  {"msckf_update", 23},
+                  {"slam_update", 20},
+                  {"marginalization", 5},
+                  {"other", 10}});
+
+    // --- Scene reconstruction on a slow-scan depth sequence. ---
+    DatasetConfig recon_cfg;
+    recon_cfg.duration_s = 4.0;
+    recon_cfg.camera_rate_hz = 5.0;
+    recon_cfg.image_width = 128;
+    recon_cfg.image_height = 96;
+    recon_cfg.preset = DatasetConfig::Preset::SlowScan;
+    recon_cfg.seed = 22;
+    const SyntheticDataset recon_ds(recon_cfg);
+
+    ReconParams recon_params;
+    recon_params.icp.subsample = 1;  // Dense ICP, as KinectFusion.
+    recon_params.icp.max_iterations = 12;
+    recon_params.bilateral_spatial_sigma = 1.2;
+    recon_params.tsdf.resolution = 80;
+    recon_params.tsdf.side_meters = 12.0;
+    recon_params.tsdf.origin = Vec3(-6.0, -2.0, -6.0);
+    SceneReconstructor recon(recon_params, recon_ds.rig().intrinsics);
+    std::size_t grown = 0;
+    std::size_t prev_voxels = 0;
+    for (std::size_t f = 0; f < recon_ds.cameraFrameCount(); ++f) {
+        const DepthFrame frame = recon_ds.depthFrame(f, 0.01);
+        const CameraFrame gray = recon_ds.cameraFrame(f);
+        const Pose truth = recon_ds.rig()
+                               .worldToCamera(recon_ds.groundTruthPose(
+                                   frame.time))
+                               .inverse();
+        const ReconFrameResult res = recon.processFrame(
+            frame.depth, f == 0 ? &truth : nullptr, &gray.image);
+        if (res.observed_voxels > prev_voxels)
+            ++grown;
+        prev_voxels = res.observed_voxels;
+    }
+    printProfile("Scene reconstruction (KinectFusion-style)",
+                 recon.profile(),
+                 {{"camera_processing", 5},
+                  {"image_processing", 18},
+                  {"pose_estimation", 28},
+                  {"surfel_prediction", 34},
+                  {"map_fusion", 15}});
+
+    std::printf("Map growth: %zu of %zu frames grew the map "
+                "(paper: execution time keeps increasing with map "
+                "size).\n",
+                grown, recon_ds.cameraFrameCount());
+    std::printf("\nShape check vs paper (Table VI): no single task\n"
+                "dominates either component; the update/prediction\n"
+                "tasks carry the largest shares.\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Table VII reproduction: task-level time breakdown of the visual and
+ * audio pipeline components, measured standalone with §III-D-style
+ * inputs (museum-scene frames for reprojection and hologram, 48 kHz
+ * clips for audio).
+ */
+
+#include "bench_common.hpp"
+
+#include "audio/audio_pipeline.hpp"
+#include "audio/clips.hpp"
+#include "render/app.hpp"
+#include "visual/hologram.hpp"
+#include "visual/timewarp.hpp"
+
+using namespace illixr;
+using namespace illixr::bench;
+
+namespace {
+
+void
+printProfile(const char *component, const TaskProfile &profile,
+             const std::vector<std::pair<std::string, int>> &paper_rows)
+{
+    std::printf("--- %s ---\n", component);
+    TextTable table;
+    table.setHeader({"task", "measured (%)", "paper (%)"});
+    for (const auto &[task, paper_pct] : paper_rows) {
+        table.addRow({task,
+                      TextTable::num(100.0 * profile.taskShare(task), 1),
+                      std::to_string(paper_pct)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table VII: task breakdown of visual and audio components",
+           "Table VII, §IV-B");
+
+    // Museum-like frames: the Materials scene at a high-detail pose
+    // stands in for VR Museum of Fine Art captures.
+    AppConfig app_cfg;
+    app_cfg.eye_width = 160;
+    app_cfg.eye_height = 160;
+    XrApplication museum(AppId::Materials, app_cfg);
+    const Pose pose(Quat::identity(), Vec3(0, 1.4, 4.5));
+    const StereoFrame frame = museum.renderFrame(pose, 0.3);
+
+    // --- Reprojection. ---
+    Timewarp warp;
+    const Pose fresh(Quat::fromAxisAngle(Vec3(0, 1, 0), 0.02),
+                     pose.position);
+    for (int i = 0; i < 12; ++i)
+        warp.reproject(frame.left, pose, fresh);
+    printProfile("Reprojection (TimeWarp + distortion + chromatic)",
+                 warp.profile(),
+                 {{"fbo", 24}, {"state_update", 54}, {"reprojection", 22}});
+
+    // --- Hologram. ---
+    HologramParams holo_params;
+    holo_params.resolution = 128;
+    holo_params.iterations = 4;
+    holo_params.depth_planes = 3;
+    HologramGenerator hologram(holo_params);
+    hologram.compute(frame.left);
+    printProfile("Hologram (weighted Gerchberg-Saxton)",
+                 hologram.profile(),
+                 {{"hologram_to_depth", 57},
+                  {"sum", 0},
+                  {"depth_to_hologram", 43}});
+
+    // --- Audio encoding. ---
+    const std::size_t block = 1024;
+    AudioEncoder encoder(block);
+    AudioSource src1, src2;
+    src1.pcm = toPcm16(
+        synthesizeClip(ClipKind::SpeechLike, 48000 * 2, 48000.0, 7));
+    src1.direction = Vec3(1, 0, 0);
+    src2.pcm =
+        toPcm16(synthesizeClip(ClipKind::Music, 48000 * 2, 48000.0, 8));
+    src2.direction = Vec3(0, 1, 0);
+    encoder.addSource(std::move(src1));
+    encoder.addSource(std::move(src2));
+    Soundfield field(block);
+    for (std::size_t b = 0; b < 48; ++b)
+        field = encoder.encodeBlock(b);
+    printProfile("Audio encoding", encoder.profile(),
+                 {{"normalization", 7}, {"encoding", 81},
+                  {"summation", 12}});
+
+    // --- Audio playback. ---
+    AudioPlayback playback(block);
+    const Quat head = Quat::fromAxisAngle(Vec3(0, 0, 1), 0.4);
+    for (int b = 0; b < 48; ++b)
+        playback.processBlock(field, head, 0.2);
+    printProfile("Audio playback", playback.profile(),
+                 {{"psychoacoustic_filter", 29},
+                  {"rotation", 6},
+                  {"zoom", 5},
+                  {"binauralization", 60}});
+
+    std::printf("Shape check vs paper (Table VII): encoding dominates\n"
+                "audio encoding; binauralization dominates playback;\n"
+                "hologram splits between the two propagation tasks.\n"
+                "(Reprojection deviates by construction: our software\n"
+                "warp has no GPU driver, so the \"state update\" share\n"
+                "that dominated the paper's CPU profile is small here —\n"
+                "see EXPERIMENTS.md.)\n");
+    return 0;
+}

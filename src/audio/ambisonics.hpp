@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Higher-order ambisonics (HOA) — the soundfield representation of
+ * the audio pipeline (paper Table II: "Ambisonic encoding",
+ * "Ambisonic manipulation" per libspatialaudio).
+ *
+ * Second-order ambisonics (9 channels), ACN channel ordering, SN3D
+ * normalization. Soundfield rotation matrices are constructed
+ * numerically by solving the exact linear system Y(R d) = M_l Y(d)
+ * per degree l — SH rotation is linear, so a least-squares fit over
+ * sample directions recovers the exact block matrices.
+ */
+
+#pragma once
+
+#include "foundation/quat.hpp"
+#include "foundation/vec.hpp"
+#include "linalg/matrix.hpp"
+
+#include <array>
+#include <vector>
+
+namespace illixr {
+
+/** Ambisonic order used throughout the audio pipeline. */
+constexpr int kAmbisonicOrder = 2;
+/** Channel count: (order + 1)^2. */
+constexpr int kAmbisonicChannels =
+    (kAmbisonicOrder + 1) * (kAmbisonicOrder + 1);
+
+/**
+ * Real spherical harmonics up to order 2 at a unit direction, ACN
+ * ordering with SN3D normalization.
+ */
+std::array<double, kAmbisonicChannels> shEvaluate(const Vec3 &direction);
+
+/**
+ * A block of multi-channel ambisonic audio.
+ */
+struct Soundfield
+{
+    std::size_t block_size = 0;
+    /** channels[acn][sample]. */
+    std::array<std::vector<double>, kAmbisonicChannels> channels;
+
+    explicit Soundfield(std::size_t block = 0);
+
+    void clear();
+    void resize(std::size_t block);
+
+    /** Accumulate another soundfield (equal block sizes). */
+    void add(const Soundfield &other);
+
+    /** Total energy across channels. */
+    double energy() const;
+};
+
+/**
+ * Encode a mono source block at a given direction into HOA
+ * coefficients (plane-wave encoding).
+ *
+ * Gains are ramped per sample from @p direction_start to
+ * @p direction_end (libspatialaudio-style interpolation, avoiding
+ * zipper artifacts when the source or listener moves); passing the
+ * same direction twice still performs the per-sample ramp, which is
+ * the component's dominant cost (paper Table VII: encoding 81%).
+ */
+void encodeSource(const std::vector<double> &mono,
+                  const Vec3 &direction_start, const Vec3 &direction_end,
+                  Soundfield &out);
+
+/** Convenience overload: static source. */
+inline void
+encodeSource(const std::vector<double> &mono, const Vec3 &direction,
+             Soundfield &out)
+{
+    encodeSource(mono, direction, direction, out);
+}
+
+/**
+ * Soundfield rotation operator for a given head orientation.
+ */
+class SoundfieldRotator
+{
+  public:
+    /** Build the (block-diagonal) SH rotation for @p rotation. */
+    explicit SoundfieldRotator(const Quat &rotation);
+
+    /** Rotate a soundfield in place. */
+    void apply(Soundfield &field) const;
+
+    /** The 9x9 rotation matrix (block diagonal by degree). */
+    const MatX &matrix() const { return matrix_; }
+
+  private:
+    MatX matrix_;
+};
+
+/**
+ * Soundfield zoom (forward emphasis), the libspatialaudio
+ * "zoom" manipulation: mixes the omni (W) and forward (Y_1^{0...})
+ * components to emphasize sources ahead of the listener.
+ *
+ * @param amount in [-1, 1]; 0 is identity.
+ */
+void zoomSoundfield(Soundfield &field, double amount);
+
+} // namespace illixr

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Binauralization: HOA soundfield to stereo headphone feed via
+ * ambisonic-domain binaural filters and synthetic HRTFs (paper
+ * Table II: "Ambisonic manipulation, binauralization"; Table VII rows
+ * psychoacoustic filter / binauralization).
+ *
+ * The binaural filters are precomputed in the ambisonic domain, as
+ * libspatialaudio does: a virtual-loudspeaker decode to 8 cube-corner
+ * speakers, each with a left/right head-related impulse response
+ * (interaural-time-delay + head-shadow model), is folded into one
+ * filter per (ambisonic channel, ear). At run time each soundfield
+ * channel is transformed once (shared forward FFT), multiplied into
+ * both ears' accumulated spectra, and two inverse FFTs produce the
+ * stereo block (overlap-add).
+ */
+
+#pragma once
+
+#include "audio/ambisonics.hpp"
+#include "signal/convolution.hpp"
+
+#include <array>
+#include <memory>
+#include <vector>
+
+namespace illixr {
+
+/** Stereo block. */
+struct StereoBlock
+{
+    std::vector<double> left;
+    std::vector<double> right;
+};
+
+/** Synthesize an HRIR pair for a source direction.
+ *  @param sample_rate_hz e.g. 48000.
+ *  @param length         Taps (power-of-two friendly, e.g. 64). */
+void synthesizeHrir(const Vec3 &direction, double sample_rate_hz,
+                    std::size_t length, std::vector<double> &left,
+                    std::vector<double> &right);
+
+/**
+ * Streaming HOA binauralizer (ambisonic-domain filters).
+ */
+class Binauralizer
+{
+  public:
+    /**
+     * @param block_size     Samples per block (Table III: 1024).
+     * @param sample_rate_hz Audio rate (Table III: 48 kHz).
+     */
+    Binauralizer(std::size_t block_size, double sample_rate_hz = 48000.0);
+
+    /** Convolve one soundfield block to stereo. */
+    StereoBlock process(const Soundfield &field);
+
+    std::size_t blockSize() const { return blockSize_; }
+    std::size_t fftSize() const { return fftSize_; }
+    static constexpr int kSpeakers = 8;
+
+    /** Virtual speaker directions (unit vectors). */
+    static std::array<Vec3, kSpeakers> speakerDirections();
+
+  private:
+    std::size_t blockSize_;
+    std::size_t fftSize_;
+    /** Ambisonic-domain filter spectra [channel][bin], per ear. */
+    std::array<std::vector<Complex>, kAmbisonicChannels> filterLeft_;
+    std::array<std::vector<Complex>, kAmbisonicChannels> filterRight_;
+    /** Overlap-add tails per ear. */
+    std::vector<double> overlapLeft_;
+    std::vector<double> overlapRight_;
+};
+
+/**
+ * Psychoacoustic optimization filter: a fixed loudness-equalization
+ * FIR applied in the frequency domain to every soundfield channel
+ * before binauralization (the libspatialaudio psychoacoustic
+ * optimizer analog).
+ */
+class PsychoacousticFilter
+{
+  public:
+    PsychoacousticFilter(std::size_t block_size,
+                         double sample_rate_hz = 48000.0);
+
+    /** Filter a soundfield block in place. */
+    void process(Soundfield &field);
+
+    std::size_t blockSize() const { return blockSize_; }
+
+  private:
+    std::size_t blockSize_;
+    std::vector<std::unique_ptr<FrequencyDomainFilter>> filters_;
+};
+
+} // namespace illixr

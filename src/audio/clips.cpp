@@ -1,0 +1,67 @@
+#include "audio/clips.hpp"
+
+#include "foundation/rng.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+std::vector<double>
+synthesizeClip(ClipKind kind, std::size_t samples, double sample_rate_hz,
+               unsigned seed)
+{
+    std::vector<double> out(samples, 0.0);
+    Rng rng(seed);
+    const double dt = 1.0 / sample_rate_hz;
+
+    switch (kind) {
+      case ClipKind::SpeechLike: {
+        // Band-limited noise with syllable-rate amplitude modulation
+        // and a wandering formant-like resonance.
+        double lp1 = 0.0, lp2 = 0.0;
+        for (std::size_t i = 0; i < samples; ++i) {
+            const double t = i * dt;
+            const double syllable =
+                0.5 + 0.5 * std::sin(2.0 * M_PI * 3.3 * t) *
+                          std::sin(2.0 * M_PI * 0.7 * t);
+            const double formant =
+                std::sin(2.0 * M_PI *
+                         (180.0 + 80.0 * std::sin(2.0 * M_PI * 1.1 * t)) *
+                         t);
+            const double noise = rng.uniform(-1.0, 1.0);
+            lp1 += 0.22 * (noise - lp1);
+            lp2 += 0.22 * (lp1 - lp2);
+            out[i] = 0.6 * syllable * (0.7 * lp2 * 3.0 + 0.3 * formant);
+        }
+        break;
+      }
+      case ClipKind::Music: {
+        // Slow chord progression of detuned harmonics.
+        const double roots[4] = {220.0, 174.6, 196.0, 146.8};
+        for (std::size_t i = 0; i < samples; ++i) {
+            const double t = i * dt;
+            const int chord = static_cast<int>(t / 2.0) % 4;
+            const double f0 = roots[chord];
+            double v = 0.0;
+            for (int h = 1; h <= 4; ++h)
+                v += std::sin(2.0 * M_PI * f0 * h * t) / (h * h);
+            v += 0.5 * std::sin(2.0 * M_PI * f0 * 1.5 * t);
+            out[i] = 0.4 * v;
+        }
+        break;
+      }
+      case ClipKind::Tone: {
+        for (std::size_t i = 0; i < samples; ++i)
+            out[i] = 0.8 * std::sin(2.0 * M_PI * 440.0 * i * dt);
+        break;
+      }
+      case ClipKind::Noise: {
+        for (std::size_t i = 0; i < samples; ++i)
+            out[i] = rng.uniform(-0.8, 0.8);
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace illixr

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Synthetic audio clips — the Freesound-dataset substitute
+ * (paper §III-D: 48 kHz clips for audio encoding and playback).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace illixr {
+
+/** Kinds of synthesized test material. */
+enum class ClipKind
+{
+    SpeechLike, ///< Amplitude-modulated band noise ("lecture" stand-in).
+    Music,      ///< Harmonic chord progression ("radio" stand-in).
+    Tone,       ///< Pure reference tone.
+    Noise,      ///< White noise.
+};
+
+/**
+ * Synthesize @p samples of mono audio at @p sample_rate_hz in
+ * [-1, 1]. Deterministic for a given (kind, seed).
+ */
+std::vector<double> synthesizeClip(ClipKind kind, std::size_t samples,
+                                   double sample_rate_hz,
+                                   unsigned seed = 77);
+
+} // namespace illixr

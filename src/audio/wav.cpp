@@ -1,0 +1,73 @@
+#include "audio/wav.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace illixr {
+
+namespace {
+
+void
+writeU32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char b[4] = {static_cast<unsigned char>(v & 0xff),
+                          static_cast<unsigned char>((v >> 8) & 0xff),
+                          static_cast<unsigned char>((v >> 16) & 0xff),
+                          static_cast<unsigned char>((v >> 24) & 0xff)};
+    std::fwrite(b, 1, 4, f);
+}
+
+void
+writeU16(std::FILE *f, std::uint16_t v)
+{
+    unsigned char b[2] = {static_cast<unsigned char>(v & 0xff),
+                          static_cast<unsigned char>((v >> 8) & 0xff)};
+    std::fwrite(b, 1, 2, f);
+}
+
+} // namespace
+
+bool
+writeWavStereo(const std::vector<double> &left,
+               const std::vector<double> &right, double sample_rate_hz,
+               const std::string &path)
+{
+    if (left.size() != right.size())
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+
+    const auto rate = static_cast<std::uint32_t>(sample_rate_hz);
+    const std::uint32_t data_bytes =
+        static_cast<std::uint32_t>(left.size()) * 2 * 2;
+
+    std::fwrite("RIFF", 1, 4, f);
+    writeU32(f, 36 + data_bytes);
+    std::fwrite("WAVE", 1, 4, f);
+    std::fwrite("fmt ", 1, 4, f);
+    writeU32(f, 16);       // PCM chunk size.
+    writeU16(f, 1);        // PCM format.
+    writeU16(f, 2);        // Stereo.
+    writeU32(f, rate);
+    writeU32(f, rate * 4); // Byte rate.
+    writeU16(f, 4);        // Block align.
+    writeU16(f, 16);       // Bits per sample.
+    std::fwrite("data", 1, 4, f);
+    writeU32(f, data_bytes);
+
+    for (std::size_t i = 0; i < left.size(); ++i) {
+        const auto l = static_cast<std::int16_t>(
+            std::clamp(left[i], -1.0, 1.0) * 32767.0);
+        const auto r = static_cast<std::int16_t>(
+            std::clamp(right[i], -1.0, 1.0) * 32767.0);
+        writeU16(f, static_cast<std::uint16_t>(l));
+        writeU16(f, static_cast<std::uint16_t>(r));
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace illixr

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Minimal 16-bit PCM WAV output, so the audio-pipeline examples can
+ * produce listenable artifacts without external dependencies.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/**
+ * Write a stereo 16-bit WAV file.
+ *
+ * @param left / right Samples in [-1, 1] (clipped), equal length.
+ * @param sample_rate_hz e.g. 48000.
+ * @return success.
+ */
+bool writeWavStereo(const std::vector<double> &left,
+                    const std::vector<double> &right,
+                    double sample_rate_hz, const std::string &path);
+
+} // namespace illixr

@@ -1,0 +1,77 @@
+#include "eyetrack/eye_image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace illixr {
+
+EyeImageGenerator::EyeImageGenerator(const EyeImageParams &params,
+                                     unsigned seed)
+    : params_(params), seed_(seed)
+{
+}
+
+ImageF
+EyeImageGenerator::generate(std::size_t index, EyeGroundTruth *truth)
+{
+    Rng rng(seed_ + 7919 * index);
+    const int w = params_.width;
+    const int h = params_.height;
+
+    // Gaze follows a smooth wander over the sequence (saccade-free).
+    const double t = static_cast<double>(index) * 0.12;
+    const double gaze_yaw =
+        params_.max_gaze_rad * std::sin(0.7 * t + 0.3);
+    const double gaze_pitch =
+        0.6 * params_.max_gaze_rad * std::sin(1.1 * t + 1.2);
+
+    // Eye geometry: gaze shifts the pupil within the visible eye.
+    const double cx = w / 2.0 + gaze_yaw * w * 0.5;
+    const double cy = h / 2.0 + gaze_pitch * h * 0.5;
+    const double iris_r = 0.28 * h + rng.uniform(-1.0, 1.0);
+    const double pupil_r = 0.12 * h + rng.uniform(-0.5, 0.5);
+    const double sclera_r = 0.75 * h;
+
+    ImageF img(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const double dx = x - cx;
+            const double dy = y - cy;
+            const double r = std::sqrt(dx * dx + dy * dy);
+            // Distance from the (fixed) eyeball center for the sclera.
+            const double ex = x - w / 2.0;
+            const double ey = (y - h / 2.0) * 1.6; // Squashed ellipse.
+            const double re = std::sqrt(ex * ex + ey * ey);
+
+            double v;
+            if (r < pupil_r) {
+                v = 0.08; // Pupil: darkest.
+            } else if (r < iris_r) {
+                // Iris with subtle radial texture.
+                v = 0.42 + 0.06 * std::sin(14.0 * std::atan2(dy, dx)) *
+                               (r - pupil_r) / (iris_r - pupil_r);
+            } else if (re < sclera_r) {
+                v = 0.88; // Sclera.
+            } else {
+                v = 0.62; // Skin / eyelid.
+            }
+            // Eyelid occlusion from the top.
+            const double lid = 0.12 * h +
+                               0.04 * h * std::sin(0.05 * x + t);
+            if (y < lid)
+                v = 0.58;
+            v += rng.gaussian(0.0, params_.noise_sigma);
+            img.at(x, y) = static_cast<float>(std::clamp(v, 0.0, 1.0));
+        }
+    }
+
+    if (truth) {
+        truth->pupil_center = Vec2(cx, cy);
+        truth->pupil_radius = pupil_r;
+        truth->iris_radius = iris_r;
+        truth->gaze_rad = Vec2(gaze_yaw, gaze_pitch);
+    }
+    return img;
+}
+
+} // namespace illixr

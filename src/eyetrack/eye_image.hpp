@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Synthetic eye-image generator — the OpenEDS-dataset substitute for
+ * the eye-tracking component (paper §III-D).
+ *
+ * Produces grayscale near-eye images with skin, sclera, iris, and
+ * pupil regions (the four RITnet classes) plus noise and eyelid
+ * occlusion, together with ground-truth pupil center and gaze.
+ */
+
+#pragma once
+
+#include "foundation/rng.hpp"
+#include "foundation/vec.hpp"
+#include "image/image.hpp"
+
+namespace illixr {
+
+/** Ground truth for one synthetic eye image. */
+struct EyeGroundTruth
+{
+    Vec2 pupil_center;   ///< Pixels.
+    double pupil_radius = 0.0;
+    double iris_radius = 0.0;
+    Vec2 gaze_rad;       ///< (yaw, pitch) of gaze direction.
+};
+
+/** Generator parameters. */
+struct EyeImageParams
+{
+    int width = 64;   ///< OpenEDS-like aspect, scaled down.
+    int height = 48;
+    double noise_sigma = 0.02;
+    double max_gaze_rad = 0.4; ///< Pupil wander amplitude.
+};
+
+/**
+ * Deterministic synthetic eye-image stream.
+ */
+class EyeImageGenerator
+{
+  public:
+    explicit EyeImageGenerator(const EyeImageParams &params = {},
+                               unsigned seed = 33);
+
+    /** Generate image @p index (deterministic per index). */
+    ImageF generate(std::size_t index, EyeGroundTruth *truth = nullptr);
+
+    const EyeImageParams &params() const { return params_; }
+
+  private:
+    EyeImageParams params_;
+    unsigned seed_;
+};
+
+} // namespace illixr

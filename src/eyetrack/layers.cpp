@@ -1,0 +1,193 @@
+#include "eyetrack/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace illixr {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel_size)
+    : inChannels_(in_channels), outChannels_(out_channels),
+      kernelSize_(kernel_size),
+      weights_(static_cast<std::size_t>(out_channels) * in_channels *
+                   kernel_size * kernel_size,
+               0.0f),
+      bias_(out_channels, 0.0f)
+{
+    assert(kernel_size == 1 || kernel_size == 3);
+}
+
+void
+Conv2d::initializeHe(Rng &rng)
+{
+    const double fan_in =
+        static_cast<double>(inChannels_) * kernelSize_ * kernelSize_;
+    const double stddev = std::sqrt(2.0 / fan_in);
+    for (float &w : weights_)
+        w = static_cast<float>(rng.gaussian(0.0, stddev));
+    for (float &b : bias_)
+        b = 0.0f;
+}
+
+float &
+Conv2d::weight(int oc, int ic, int ky, int kx)
+{
+    return weights_[((static_cast<std::size_t>(oc) * inChannels_ + ic) *
+                         kernelSize_ +
+                     ky) *
+                        kernelSize_ +
+                    kx];
+}
+
+float
+Conv2d::weight(int oc, int ic, int ky, int kx) const
+{
+    return weights_[((static_cast<std::size_t>(oc) * inChannels_ + ic) *
+                         kernelSize_ +
+                     ky) *
+                        kernelSize_ +
+                    kx];
+}
+
+Tensor
+Conv2d::forward(const Tensor &input) const
+{
+    assert(input.channels() == inChannels_);
+    const int h = input.height();
+    const int w = input.width();
+    const int pad = kernelSize_ / 2;
+    Tensor out(outChannels_, h, w);
+
+    for (int oc = 0; oc < outChannels_; ++oc) {
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                float acc = bias_[oc];
+                for (int ic = 0; ic < inChannels_; ++ic) {
+                    for (int ky = 0; ky < kernelSize_; ++ky) {
+                        for (int kx = 0; kx < kernelSize_; ++kx) {
+                            acc += weight(oc, ic, ky, kx) *
+                                   input.atPadded(ic, y + ky - pad,
+                                                  x + kx - pad);
+                        }
+                    }
+                }
+                out.at(oc, y, x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+Conv2d::macCount(int height, int width) const
+{
+    return static_cast<std::size_t>(height) * width * outChannels_ *
+           inChannels_ * kernelSize_ * kernelSize_;
+}
+
+BatchNorm::BatchNorm(int channels)
+    : scale_(channels, 1.0f), shift_(channels, 0.0f)
+{
+}
+
+void
+BatchNorm::initialize(Rng &rng)
+{
+    for (float &s : scale_)
+        s = static_cast<float>(rng.uniform(0.8, 1.2));
+    for (float &s : shift_)
+        s = static_cast<float>(rng.uniform(-0.05, 0.05));
+}
+
+Tensor
+BatchNorm::forward(const Tensor &input) const
+{
+    assert(static_cast<std::size_t>(input.channels()) == scale_.size());
+    Tensor out(input.channels(), input.height(), input.width());
+    for (int c = 0; c < input.channels(); ++c) {
+        for (int y = 0; y < input.height(); ++y)
+            for (int x = 0; x < input.width(); ++x)
+                out.at(c, y, x) =
+                    scale_[c] * input.at(c, y, x) + shift_[c];
+    }
+    return out;
+}
+
+void
+relu(Tensor &t)
+{
+    float *d = t.data();
+    for (std::size_t i = 0; i < t.size(); ++i)
+        d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+}
+
+Tensor
+maxPool2(const Tensor &input)
+{
+    const int h = input.height() / 2;
+    const int w = input.width() / 2;
+    Tensor out(input.channels(), h, w);
+    for (int c = 0; c < input.channels(); ++c) {
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                const float a = input.at(c, 2 * y, 2 * x);
+                const float b = input.at(c, 2 * y, 2 * x + 1);
+                const float d = input.at(c, 2 * y + 1, 2 * x);
+                const float e = input.at(c, 2 * y + 1, 2 * x + 1);
+                out.at(c, y, x) = std::max(std::max(a, b), std::max(d, e));
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+upsample2(const Tensor &input)
+{
+    Tensor out(input.channels(), input.height() * 2, input.width() * 2);
+    for (int c = 0; c < input.channels(); ++c) {
+        for (int y = 0; y < out.height(); ++y)
+            for (int x = 0; x < out.width(); ++x)
+                out.at(c, y, x) = input.at(c, y / 2, x / 2);
+    }
+    return out;
+}
+
+Tensor
+concatChannels(const Tensor &a, const Tensor &b)
+{
+    assert(a.height() == b.height() && a.width() == b.width());
+    Tensor out(a.channels() + b.channels(), a.height(), a.width());
+    for (int c = 0; c < a.channels(); ++c)
+        for (int y = 0; y < a.height(); ++y)
+            for (int x = 0; x < a.width(); ++x)
+                out.at(c, y, x) = a.at(c, y, x);
+    for (int c = 0; c < b.channels(); ++c)
+        for (int y = 0; y < a.height(); ++y)
+            for (int x = 0; x < a.width(); ++x)
+                out.at(a.channels() + c, y, x) = b.at(c, y, x);
+    return out;
+}
+
+Tensor
+softmaxChannels(const Tensor &logits)
+{
+    Tensor out(logits.channels(), logits.height(), logits.width());
+    for (int y = 0; y < logits.height(); ++y) {
+        for (int x = 0; x < logits.width(); ++x) {
+            float max_logit = logits.at(0, y, x);
+            for (int c = 1; c < logits.channels(); ++c)
+                max_logit = std::max(max_logit, logits.at(c, y, x));
+            float sum = 0.0f;
+            for (int c = 0; c < logits.channels(); ++c) {
+                const float e = std::exp(logits.at(c, y, x) - max_logit);
+                out.at(c, y, x) = e;
+                sum += e;
+            }
+            for (int c = 0; c < logits.channels(); ++c)
+                out.at(c, y, x) /= sum;
+        }
+    }
+    return out;
+}
+
+} // namespace illixr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * CNN inference layers for the eye-tracking network: 2-D convolution,
+ * batch normalization (folded scale/shift), ReLU, max pooling,
+ * nearest-neighbor upsampling, and channel concatenation.
+ *
+ * Only the forward pass is implemented — the testbed characterizes
+ * inference, matching the paper's use of a pre-trained RITnet.
+ */
+
+#pragma once
+
+#include "eyetrack/tensor.hpp"
+#include "foundation/rng.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/**
+ * 2-D convolution with 3x3 or 1x1 kernels, stride 1, zero padding
+ * that preserves spatial size.
+ */
+class Conv2d
+{
+  public:
+    /**
+     * @param in_channels  Input channel count.
+     * @param out_channels Output channel count.
+     * @param kernel_size  3 or 1.
+     */
+    Conv2d(int in_channels, int out_channels, int kernel_size);
+
+    /** He-normal random initialization (deterministic from @p rng). */
+    void initializeHe(Rng &rng);
+
+    Tensor forward(const Tensor &input) const;
+
+    /** Weight accessor: (out, in, ky, kx). */
+    float &weight(int oc, int ic, int ky, int kx);
+    float weight(int oc, int ic, int ky, int kx) const;
+
+    float &bias(int oc) { return bias_[oc]; }
+    float bias(int oc) const { return bias_[oc]; }
+
+    int inChannels() const { return inChannels_; }
+    int outChannels() const { return outChannels_; }
+    int kernelSize() const { return kernelSize_; }
+
+    /** Number of learnable parameters. */
+    std::size_t parameterCount() const
+    {
+        return weights_.size() + bias_.size();
+    }
+
+    /** Multiply-accumulate operations for an HxW input. */
+    std::size_t macCount(int height, int width) const;
+
+  private:
+    int inChannels_;
+    int outChannels_;
+    int kernelSize_;
+    std::vector<float> weights_;
+    std::vector<float> bias_;
+};
+
+/** Folded batch normalization: y = scale * x + shift per channel. */
+class BatchNorm
+{
+  public:
+    explicit BatchNorm(int channels);
+
+    /** Randomized (but benign) parameters for untrained stages. */
+    void initialize(Rng &rng);
+
+    Tensor forward(const Tensor &input) const;
+
+    float &scale(int c) { return scale_[c]; }
+    float &shift(int c) { return shift_[c]; }
+
+  private:
+    std::vector<float> scale_;
+    std::vector<float> shift_;
+};
+
+/** In-place ReLU. */
+void relu(Tensor &t);
+
+/** 2x2 max pooling, stride 2. */
+Tensor maxPool2(const Tensor &input);
+
+/** 2x nearest-neighbor upsampling. */
+Tensor upsample2(const Tensor &input);
+
+/** Concatenate along the channel dimension (equal H, W). */
+Tensor concatChannels(const Tensor &a, const Tensor &b);
+
+/** Per-pixel softmax across channels. */
+Tensor softmaxChannels(const Tensor &logits);
+
+} // namespace illixr

@@ -1,0 +1,176 @@
+#include "eyetrack/ritnet.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+namespace {
+
+/** Class intensity prototypes for the analytic head (see header). */
+constexpr double kPrototype[4] = {
+    0.62, // Background / skin & eyelid.
+    0.88, // Sclera.
+    0.45, // Iris.
+    0.08, // Pupil.
+};
+constexpr double kHeadGain = 40.0;
+
+} // namespace
+
+RitNet::RitNet(int width, int height, unsigned seed)
+    : width_(width), height_(height),
+      enc1a_(1, 8, 3), enc1b_(8, 8, 3),
+      enc2a_(8, 16, 3), enc2b_(16, 16, 3),
+      mid_(16, 16, 3),
+      dec2_(32, 8, 3), dec1_(16, 8, 3),
+      head_(9, 4, 1),
+      bn1_(8), bn2_(16)
+{
+    Rng rng(seed);
+    enc1a_.initializeHe(rng);
+    enc1b_.initializeHe(rng);
+    enc2a_.initializeHe(rng);
+    enc2b_.initializeHe(rng);
+    mid_.initializeHe(rng);
+    dec2_.initializeHe(rng);
+    dec1_.initializeHe(rng);
+    bn1_.initialize(rng);
+    bn2_.initialize(rng);
+
+    // Analytic nearest-prototype head on the input-skip channel (8):
+    // logit_k = gain * (I * m_k - m_k^2 / 2)  ==> argmax_k is the
+    // class whose prototype intensity is nearest to I.
+    for (int oc = 0; oc < 4; ++oc) {
+        for (int ic = 0; ic < 9; ++ic)
+            head_.weight(oc, ic, 0, 0) = 0.0f;
+        head_.weight(oc, 8, 0, 0) =
+            static_cast<float>(kHeadGain * kPrototype[oc]);
+        head_.bias(oc) = static_cast<float>(
+            -kHeadGain * kPrototype[oc] * kPrototype[oc] / 2.0);
+    }
+}
+
+Tensor
+RitNet::segment(const ImageF &eye_image)
+{
+    Tensor input = Tensor::fromImage(eye_image);
+
+    Tensor skip1, skip2, x;
+    {
+        ScopedTask timer(profile_, "convolution");
+        x = enc1a_.forward(input);
+        x = bn1_.forward(x);
+        relu(x);
+        x = enc1b_.forward(x);
+        relu(x);
+        skip1 = x;
+    }
+    {
+        ScopedTask timer(profile_, "batch_copy");
+        x = maxPool2(x);
+    }
+    {
+        ScopedTask timer(profile_, "convolution");
+        x = enc2a_.forward(x);
+        x = bn2_.forward(x);
+        relu(x);
+        x = enc2b_.forward(x);
+        relu(x);
+        skip2 = x;
+    }
+    {
+        ScopedTask timer(profile_, "batch_copy");
+        x = maxPool2(x);
+    }
+    {
+        ScopedTask timer(profile_, "convolution");
+        x = mid_.forward(x);
+        relu(x);
+    }
+    {
+        ScopedTask timer(profile_, "batch_copy");
+        x = upsample2(x);
+        x = concatChannels(x, skip2);
+    }
+    {
+        ScopedTask timer(profile_, "convolution");
+        x = dec2_.forward(x);
+        relu(x);
+    }
+    {
+        ScopedTask timer(profile_, "batch_copy");
+        x = upsample2(x);
+        x = concatChannels(x, skip1);
+    }
+    {
+        ScopedTask timer(profile_, "convolution");
+        x = dec1_.forward(x);
+        relu(x);
+    }
+    {
+        ScopedTask timer(profile_, "batch_copy");
+        x = concatChannels(x, input);
+    }
+    Tensor probs;
+    {
+        ScopedTask timer(profile_, "convolution");
+        x = head_.forward(x);
+    }
+    {
+        ScopedTask timer(profile_, "misc");
+        probs = softmaxChannels(x);
+    }
+    return probs;
+}
+
+GazeEstimate
+RitNet::estimate(const ImageF &eye_image)
+{
+    const Tensor probs = segment(eye_image);
+    GazeEstimate est;
+    ScopedTask timer(profile_, "misc");
+
+    // Soft centroid of the pupil-class probability.
+    const int pupil = static_cast<int>(EyeClass::Pupil);
+    double mass = 0.0, mx = 0.0, my = 0.0;
+    for (int y = 0; y < probs.height(); ++y) {
+        for (int x = 0; x < probs.width(); ++x) {
+            const double p = probs.at(pupil, y, x);
+            mass += p;
+            mx += p * x;
+            my += p * y;
+        }
+    }
+    if (mass > 1.0) {
+        est.pupil_center = Vec2(mx / mass, my / mass);
+        // Inverse of the generator's gaze-to-center mapping.
+        est.gaze_rad =
+            Vec2((est.pupil_center.x - width_ / 2.0) / (width_ * 0.5),
+                 (est.pupil_center.y - height_ / 2.0) / (height_ * 0.5));
+    }
+    est.confidence = mass;
+    return est;
+}
+
+std::size_t
+RitNet::parameterCount() const
+{
+    return enc1a_.parameterCount() + enc1b_.parameterCount() +
+           enc2a_.parameterCount() + enc2b_.parameterCount() +
+           mid_.parameterCount() + dec2_.parameterCount() +
+           dec1_.parameterCount() + head_.parameterCount();
+}
+
+std::size_t
+RitNet::macCount() const
+{
+    const int h = height_, w = width_;
+    const int h2 = h / 2, w2 = w / 2;
+    const int h4 = h / 4, w4 = w / 4;
+    return enc1a_.macCount(h, w) + enc1b_.macCount(h, w) +
+           enc2a_.macCount(h2, w2) + enc2b_.macCount(h2, w2) +
+           mid_.macCount(h4, w4) + dec2_.macCount(h2, w2) +
+           dec1_.macCount(h, w) + head_.macCount(h, w);
+}
+
+} // namespace illixr

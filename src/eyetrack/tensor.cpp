@@ -1,0 +1,39 @@
+#include "eyetrack/tensor.hpp"
+
+namespace illixr {
+
+Tensor::Tensor(int channels, int height, int width, float fill)
+    : channels_(channels), height_(height), width_(width),
+      data_(static_cast<std::size_t>(channels) * height * width, fill)
+{
+}
+
+float
+Tensor::atPadded(int c, int y, int x) const
+{
+    if (x < 0 || y < 0 || x >= width_ || y >= height_)
+        return 0.0f;
+    return at(c, y, x);
+}
+
+Tensor
+Tensor::fromImage(const ImageF &img)
+{
+    Tensor t(1, img.height(), img.width());
+    for (int y = 0; y < img.height(); ++y)
+        for (int x = 0; x < img.width(); ++x)
+            t.at(0, y, x) = img.at(x, y);
+    return t;
+}
+
+ImageF
+Tensor::toImage(int c) const
+{
+    ImageF img(width_, height_);
+    for (int y = 0; y < height_; ++y)
+        for (int x = 0; x < width_; ++x)
+            img.at(x, y) = at(c, y, x);
+    return img;
+}
+
+} // namespace illixr

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal CHW float tensor for the eye-tracking CNN.
+ */
+
+#pragma once
+
+#include "image/image.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace illixr {
+
+/** Dense 3-D tensor, channel-major (C, H, W). */
+class Tensor
+{
+  public:
+    Tensor() = default;
+    Tensor(int channels, int height, int width, float fill = 0.0f);
+
+    int channels() const { return channels_; }
+    int height() const { return height_; }
+    int width() const { return width_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &at(int c, int y, int x) { return data_[idx(c, y, x)]; }
+    float at(int c, int y, int x) const { return data_[idx(c, y, x)]; }
+
+    /** Zero-padded read (used by convolutions). */
+    float atPadded(int c, int y, int x) const;
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Wrap a single-channel image as a 1xHxW tensor. */
+    static Tensor fromImage(const ImageF &img);
+
+    /** Extract channel @p c as an image. */
+    ImageF toImage(int c) const;
+
+  private:
+    std::size_t idx(int c, int y, int x) const
+    {
+        return (static_cast<std::size_t>(c) * height_ + y) * width_ + x;
+    }
+
+    int channels_ = 0;
+    int height_ = 0;
+    int width_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace illixr

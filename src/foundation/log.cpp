@@ -1,0 +1,51 @@
+#include "foundation/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace illixr {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+void
+Log::setLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+Log::level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+Log::write(LogLevel level, const std::string &tag,
+           const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(Log::level()))
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), tag.c_str(),
+                 message.c_str());
+}
+
+} // namespace illixr

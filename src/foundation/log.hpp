@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal leveled logger.
+ *
+ * The testbed logs sparingly: components report lifecycle events and
+ * benchmark harnesses print their own tables. The logger exists so
+ * that library code never writes directly to stdio and so tests can
+ * silence it.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace illixr {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/**
+ * Process-wide logger. Thread safe; writes to stderr.
+ */
+class Log
+{
+  public:
+    /** Set the minimum level that will be emitted. */
+    static void setLevel(LogLevel level);
+
+    /** Current minimum level. */
+    static LogLevel level();
+
+    /** Emit a message at @p level tagged with @p tag. */
+    static void write(LogLevel level, const std::string &tag,
+                      const std::string &message);
+};
+
+/** Stream-style helper: logMessage(LogLevel::Info, "vio") << "text"; */
+class LogStream
+{
+  public:
+    LogStream(LogLevel level, std::string tag)
+        : level_(level), tag_(std::move(tag))
+    {
+    }
+
+    ~LogStream() { Log::write(level_, tag_, buffer_.str()); }
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        buffer_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::string tag_;
+    std::ostringstream buffer_;
+};
+
+inline LogStream
+logDebug(const std::string &tag)
+{
+    return LogStream(LogLevel::Debug, tag);
+}
+
+inline LogStream
+logInfo(const std::string &tag)
+{
+    return LogStream(LogLevel::Info, tag);
+}
+
+inline LogStream
+logWarn(const std::string &tag)
+{
+    return LogStream(LogLevel::Warn, tag);
+}
+
+inline LogStream
+logError(const std::string &tag)
+{
+    return LogStream(LogLevel::Error, tag);
+}
+
+} // namespace illixr

@@ -1,0 +1,48 @@
+#include "foundation/pose.hpp"
+
+namespace illixr {
+
+Pose
+Pose::operator*(const Pose &o) const
+{
+    return Pose((orientation * o.orientation).normalized(),
+                orientation.rotate(o.position) + position);
+}
+
+Pose
+Pose::inverse() const
+{
+    const Quat qi = orientation.conjugate();
+    return Pose(qi, qi.rotate(-position));
+}
+
+Mat4
+Pose::toMatrix() const
+{
+    Mat4 r = Mat4::fromRotation(orientation.toMatrix());
+    r(0, 3) = position.x;
+    r(1, 3) = position.y;
+    r(2, 3) = position.z;
+    return r;
+}
+
+Pose
+Pose::interpolate(const Pose &o, double t) const
+{
+    return Pose(orientation.slerp(o.orientation, t),
+                position + (o.position - position) * t);
+}
+
+double
+Pose::translationErrorTo(const Pose &o) const
+{
+    return (position - o.position).norm();
+}
+
+double
+Pose::rotationErrorTo(const Pose &o) const
+{
+    return orientation.angleTo(o.orientation);
+}
+
+} // namespace illixr

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SE(3) rigid-body pose: the fundamental currency of the perception
+ * and visual pipelines (user head pose, camera pose, ...).
+ */
+
+#pragma once
+
+#include "foundation/mat.hpp"
+#include "foundation/quat.hpp"
+#include "foundation/time.hpp"
+#include "foundation/vec.hpp"
+
+namespace illixr {
+
+/**
+ * Rigid-body transform: orientation (unit quaternion) + position.
+ *
+ * By convention a Pose maps body-frame coordinates into world-frame
+ * coordinates: p_world = orientation.rotate(p_body) + position.
+ */
+struct Pose
+{
+    Quat orientation;
+    Vec3 position;
+
+    Pose() = default;
+    Pose(const Quat &q, const Vec3 &p) : orientation(q), position(p) {}
+
+    static Pose identity() { return Pose(); }
+
+    /** Transform a body-frame point into the world frame. */
+    Vec3 transform(const Vec3 &p_body) const
+    {
+        return orientation.rotate(p_body) + position;
+    }
+
+    /** Compose: (this * o) applies o first, then this. */
+    Pose operator*(const Pose &o) const;
+
+    /** Inverse transform. */
+    Pose inverse() const;
+
+    /** 4x4 homogeneous matrix form. */
+    Mat4 toMatrix() const;
+
+    /**
+     * Interpolate between two poses (slerp orientation, lerp
+     * position). @param t in [0, 1].
+     */
+    Pose interpolate(const Pose &o, double t) const;
+
+    /** Translational distance to @p o in meters. */
+    double translationErrorTo(const Pose &o) const;
+
+    /** Rotational distance to @p o in radians. */
+    double rotationErrorTo(const Pose &o) const;
+};
+
+/** A pose stamped with the time it refers to. */
+struct StampedPose
+{
+    TimePoint time = 0;
+    Pose pose;
+};
+
+} // namespace illixr

@@ -1,0 +1,159 @@
+#include "foundation/quat.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+Quat
+Quat::fromAxisAngle(const Vec3 &axis, double angle_rad)
+{
+    const double half = angle_rad / 2.0;
+    const double s = std::sin(half);
+    const Vec3 a = axis.normalized();
+    return Quat(std::cos(half), a.x * s, a.y * s, a.z * s);
+}
+
+Quat
+Quat::exp(const Vec3 &rotation_vector)
+{
+    const double angle = rotation_vector.norm();
+    if (angle < 1e-12) {
+        // Small-angle first-order expansion keeps exp/log consistent.
+        return Quat(1.0, rotation_vector.x / 2.0, rotation_vector.y / 2.0,
+                    rotation_vector.z / 2.0)
+            .normalized();
+    }
+    return fromAxisAngle(rotation_vector / angle, angle);
+}
+
+Quat
+Quat::fromMatrix(const Mat3 &r)
+{
+    // Shepperd's method: pick the numerically largest diagonal path.
+    const double tr = r.trace();
+    Quat q;
+    if (tr > 0.0) {
+        const double s = std::sqrt(tr + 1.0) * 2.0;
+        q.w = 0.25 * s;
+        q.x = (r(2, 1) - r(1, 2)) / s;
+        q.y = (r(0, 2) - r(2, 0)) / s;
+        q.z = (r(1, 0) - r(0, 1)) / s;
+    } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+        const double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+        q.w = (r(2, 1) - r(1, 2)) / s;
+        q.x = 0.25 * s;
+        q.y = (r(0, 1) + r(1, 0)) / s;
+        q.z = (r(0, 2) + r(2, 0)) / s;
+    } else if (r(1, 1) > r(2, 2)) {
+        const double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+        q.w = (r(0, 2) - r(2, 0)) / s;
+        q.x = (r(0, 1) + r(1, 0)) / s;
+        q.y = 0.25 * s;
+        q.z = (r(1, 2) + r(2, 1)) / s;
+    } else {
+        const double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+        q.w = (r(1, 0) - r(0, 1)) / s;
+        q.x = (r(0, 2) + r(2, 0)) / s;
+        q.y = (r(1, 2) + r(2, 1)) / s;
+        q.z = 0.25 * s;
+    }
+    return q.normalized();
+}
+
+Quat
+Quat::operator*(const Quat &o) const
+{
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+}
+
+double
+Quat::norm() const
+{
+    return std::sqrt(w * w + x * x + y * y + z * z);
+}
+
+Quat
+Quat::normalized() const
+{
+    const double n = norm();
+    if (n == 0.0)
+        return Quat();
+    return {w / n, x / n, y / n, z / n};
+}
+
+Vec3
+Quat::rotate(const Vec3 &v) const
+{
+    // v' = v + 2 * q_v x (q_v x v + w * v)
+    const Vec3 qv(x, y, z);
+    const Vec3 t = qv.cross(v) * 2.0;
+    return v + t * w + qv.cross(t);
+}
+
+Mat3
+Quat::toMatrix() const
+{
+    Mat3 r;
+    const double xx = x * x, yy = y * y, zz = z * z;
+    const double xy = x * y, xz = x * z, yz = y * z;
+    const double wx = w * x, wy = w * y, wz = w * z;
+    r(0, 0) = 1.0 - 2.0 * (yy + zz);
+    r(0, 1) = 2.0 * (xy - wz);
+    r(0, 2) = 2.0 * (xz + wy);
+    r(1, 0) = 2.0 * (xy + wz);
+    r(1, 1) = 1.0 - 2.0 * (xx + zz);
+    r(1, 2) = 2.0 * (yz - wx);
+    r(2, 0) = 2.0 * (xz - wy);
+    r(2, 1) = 2.0 * (yz + wx);
+    r(2, 2) = 1.0 - 2.0 * (xx + yy);
+    return r;
+}
+
+Vec3
+Quat::log() const
+{
+    const Quat q = (w < 0.0) ? Quat(-w, -x, -y, -z) : *this;
+    const Vec3 qv(q.x, q.y, q.z);
+    const double vnorm = qv.norm();
+    if (vnorm < 1e-12)
+        return qv * 2.0;
+    const double angle = 2.0 * std::atan2(vnorm, q.w);
+    return qv * (angle / vnorm);
+}
+
+Quat
+Quat::slerp(const Quat &o, double t) const
+{
+    Quat b = o;
+    double cos_theta = dot(o);
+    if (cos_theta < 0.0) {
+        // Take the short arc.
+        b = Quat(-o.w, -o.x, -o.y, -o.z);
+        cos_theta = -cos_theta;
+    }
+    if (cos_theta > 0.9995) {
+        // Nearly parallel: nlerp to avoid division by ~0.
+        Quat r(w + t * (b.w - w), x + t * (b.x - x), y + t * (b.y - y),
+               z + t * (b.z - z));
+        return r.normalized();
+    }
+    const double theta = std::acos(cos_theta);
+    const double sin_theta = std::sin(theta);
+    const double wa = std::sin((1.0 - t) * theta) / sin_theta;
+    const double wb = std::sin(t * theta) / sin_theta;
+    return Quat(wa * w + wb * b.w, wa * x + wb * b.x, wa * y + wb * b.y,
+                wa * z + wb * b.z)
+        .normalized();
+}
+
+double
+Quat::angleTo(const Quat &o) const
+{
+    const Quat diff = conjugate() * o;
+    return diff.log().norm();
+}
+
+} // namespace illixr

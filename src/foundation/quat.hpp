@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit quaternion for orientation representation.
+ *
+ * Convention: Hamilton quaternions, (w, x, y, z) storage, active
+ * rotation — q.rotate(v) rotates vector v from the body frame into
+ * the world frame when q is the body-to-world orientation.
+ */
+
+#pragma once
+
+#include "foundation/mat.hpp"
+#include "foundation/vec.hpp"
+
+namespace illixr {
+
+struct Quat
+{
+    double w = 1.0;
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Quat() = default;
+    constexpr Quat(double w_, double x_, double y_, double z_)
+        : w(w_), x(x_), y(y_), z(z_)
+    {
+    }
+
+    static Quat identity() { return Quat(); }
+
+    /** Rotation of @p angle_rad about (unit) @p axis. */
+    static Quat fromAxisAngle(const Vec3 &axis, double angle_rad);
+
+    /** Exponential map: rotation vector (axis * angle) to quaternion. */
+    static Quat exp(const Vec3 &rotation_vector);
+
+    /** Construct from a (proper) rotation matrix. */
+    static Quat fromMatrix(const Mat3 &r);
+
+    /** Hamilton product. */
+    Quat operator*(const Quat &o) const;
+
+    Quat conjugate() const { return {w, -x, -y, -z}; }
+
+    double norm() const;
+
+    /** Normalized copy; identity if the norm is 0. */
+    Quat normalized() const;
+
+    /** Rotate a vector by this (unit) quaternion. */
+    Vec3 rotate(const Vec3 &v) const;
+
+    /** Equivalent rotation matrix. */
+    Mat3 toMatrix() const;
+
+    /** Logarithmic map: rotation vector (axis * angle). */
+    Vec3 log() const;
+
+    /**
+     * Spherical linear interpolation from this to @p o.
+     * @param t Interpolation parameter in [0, 1].
+     */
+    Quat slerp(const Quat &o, double t) const;
+
+    /** Angular distance to @p o in radians. */
+    double angleTo(const Quat &o) const;
+
+    double dot(const Quat &o) const
+    {
+        return w * o.w + x * o.x + y * o.y + z * o.z;
+    }
+};
+
+} // namespace illixr

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Streaming statistics used by the metrics layer and benchmarks.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace illixr {
+
+/**
+ * Single-pass running mean / variance / extrema (Welford).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** Mean of the samples (0 if empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (0 if empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample seen (0 if empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Coefficient of variation (stddev / mean; 0 if mean is 0). */
+    double coefficientOfVariation() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Sample store with percentile queries, for per-frame series
+ * (e.g., MTP per frame, execution time per frame).
+ */
+class SampleSeries
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return samples_.size(); }
+    const std::vector<double> &samples() const { return samples_; }
+
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Percentile in [0, 100] by linear interpolation of the sorted
+     * samples. Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Fraction of samples strictly greater than @p threshold. */
+    double fractionAbove(double threshold) const;
+
+    void reset() { samples_.clear(); }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace illixr

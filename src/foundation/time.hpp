@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Time representation used across the testbed.
+ *
+ * All timestamps are signed 64-bit nanosecond counts relative to an
+ * epoch owned by the runtime clock (virtual time in discrete-event
+ * mode, steady-clock start in real-threaded mode). Matching ILLIXR,
+ * every event carries such a timestamp so that consumers can reason
+ * about data age (e.g., the IMU-age term of motion-to-photon latency).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace illixr {
+
+/** Nanoseconds since the runtime epoch. */
+using TimePoint = std::int64_t;
+
+/** Signed nanosecond duration. */
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/** Convert a duration in (fractional) seconds to nanoseconds. */
+constexpr Duration
+fromSeconds(double seconds)
+{
+    return static_cast<Duration>(seconds * static_cast<double>(kSecond));
+}
+
+/** Convert a nanosecond duration to fractional seconds. */
+constexpr double
+toSeconds(Duration d)
+{
+    return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/** Convert a nanosecond duration to fractional milliseconds. */
+constexpr double
+toMilliseconds(Duration d)
+{
+    return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/** Period (ns) of a periodic task given its rate in Hz. */
+constexpr Duration
+periodFromHz(double hz)
+{
+    return static_cast<Duration>(static_cast<double>(kSecond) / hz);
+}
+
+} // namespace illixr

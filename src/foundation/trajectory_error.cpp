@@ -1,0 +1,97 @@
+#include "foundation/trajectory_error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace illixr {
+
+namespace {
+
+/**
+ * Find the ground-truth pose nearest in time to @p t.
+ * @return index into @p gt, or npos when outside @p max_dt.
+ */
+std::size_t
+nearestPose(const std::vector<StampedPose> &gt, TimePoint t,
+            Duration max_dt)
+{
+    if (gt.empty())
+        return static_cast<std::size_t>(-1);
+    auto cmp = [](const StampedPose &p, TimePoint value) {
+        return p.time < value;
+    };
+    auto it = std::lower_bound(gt.begin(), gt.end(), t, cmp);
+    std::size_t best = static_cast<std::size_t>(-1);
+    Duration best_dt = max_dt + 1;
+    if (it != gt.end()) {
+        const Duration dt = std::llabs(it->time - t);
+        if (dt < best_dt) {
+            best = static_cast<std::size_t>(it - gt.begin());
+            best_dt = dt;
+        }
+    }
+    if (it != gt.begin()) {
+        const auto prev = it - 1;
+        const Duration dt = std::llabs(prev->time - t);
+        if (dt < best_dt) {
+            best = static_cast<std::size_t>(prev - gt.begin());
+            best_dt = dt;
+        }
+    }
+    if (best_dt > max_dt)
+        return static_cast<std::size_t>(-1);
+    return best;
+}
+
+} // namespace
+
+TrajectoryError
+computeTrajectoryError(const std::vector<StampedPose> &estimate,
+                       const std::vector<StampedPose> &ground_truth,
+                       Duration max_dt)
+{
+    TrajectoryError err;
+    if (estimate.empty() || ground_truth.empty())
+        return err;
+
+    // Align the estimate so its first matched pose coincides with the
+    // corresponding ground-truth pose.
+    Pose align = Pose::identity();
+    bool aligned = false;
+
+    double sum_sq = 0.0;
+    double sum = 0.0;
+    double sum_rot = 0.0;
+    double max_err = 0.0;
+    std::size_t n = 0;
+
+    for (const StampedPose &est : estimate) {
+        const std::size_t gi = nearestPose(ground_truth, est.time, max_dt);
+        if (gi == static_cast<std::size_t>(-1))
+            continue;
+        const Pose &gt = ground_truth[gi].pose;
+        if (!aligned) {
+            align = gt * est.pose.inverse();
+            aligned = true;
+        }
+        const Pose corrected = align * est.pose;
+        const double te = corrected.translationErrorTo(gt);
+        const double re = corrected.rotationErrorTo(gt);
+        sum_sq += te * te;
+        sum += te;
+        sum_rot += re;
+        max_err = std::max(max_err, te);
+        ++n;
+    }
+
+    if (n == 0)
+        return err;
+    err.matched = n;
+    err.ate_rmse_m = std::sqrt(sum_sq / static_cast<double>(n));
+    err.ate_mean_m = sum / static_cast<double>(n);
+    err.ate_max_m = max_err;
+    err.rot_mean_rad = sum_rot / static_cast<double>(n);
+    return err;
+}
+
+} // namespace illixr

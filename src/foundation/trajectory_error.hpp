@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Trajectory error metrics for evaluating pose estimators against
+ * ground truth (the paper's §V-E VIO accuracy ablation reports
+ * average trajectory error, ATE).
+ */
+
+#pragma once
+
+#include "foundation/pose.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** Summary of a trajectory comparison. */
+struct TrajectoryError
+{
+    double ate_rmse_m = 0.0;      ///< RMSE of translational error.
+    double ate_mean_m = 0.0;      ///< Mean translational error.
+    double ate_max_m = 0.0;       ///< Maximum translational error.
+    double rot_mean_rad = 0.0;    ///< Mean rotational error.
+    std::size_t matched = 0;      ///< Number of matched pose pairs.
+};
+
+/**
+ * Compute absolute trajectory error between an estimated and a
+ * ground-truth trajectory. Poses are matched by nearest timestamp
+ * within @p max_dt; the estimate is first aligned to ground truth by
+ * the rigid transform between the first matched pair (a simplified
+ * version of the usual SE(3) Umeyama alignment that suffices when
+ * both trajectories start from a known common origin).
+ */
+TrajectoryError computeTrajectoryError(
+    const std::vector<StampedPose> &estimate,
+    const std::vector<StampedPose> &ground_truth,
+    Duration max_dt = 10 * kMillisecond);
+
+} // namespace illixr

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Small fixed-size vectors used throughout the testbed.
+ *
+ * Double precision is used for all geometry (poses, IMU integration)
+ * because the VIO filter is sensitive to rounding; image pixels use
+ * their own types in the image module.
+ */
+
+#pragma once
+
+#include <cmath>
+
+namespace illixr {
+
+/** 2-D double vector. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    Vec2 &operator+=(const Vec2 &o) { x += o.x; y += o.y; return *this; }
+    Vec2 &operator-=(const Vec2 &o) { x -= o.x; y -= o.y; return *this; }
+
+    constexpr double dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double squaredNorm() const { return dot(*this); }
+};
+
+/** 3-D double vector. */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    Vec3 &operator+=(const Vec3 &o) { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr double
+    dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double squaredNorm() const { return dot(*this); }
+
+    Vec3
+    normalized() const
+    {
+        const double n = norm();
+        if (n == 0.0)
+            return {0.0, 0.0, 0.0};
+        return *this / n;
+    }
+
+    /** Component-wise product. */
+    constexpr Vec3
+    cwiseProduct(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+};
+
+inline constexpr Vec3
+operator*(double s, const Vec3 &v)
+{
+    return v * s;
+}
+
+/** 4-D double vector (homogeneous coordinates, colors). */
+struct Vec4
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+    double w = 0.0;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(double x_, double y_, double z_, double w_)
+        : x(x_), y(y_), z(z_), w(w_)
+    {
+    }
+    constexpr Vec4(const Vec3 &v, double w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+    constexpr Vec4 operator+(const Vec4 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    constexpr Vec4 operator-(const Vec4 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    constexpr Vec4 operator*(double s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+
+    constexpr double
+    dot(const Vec4 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+} // namespace illixr

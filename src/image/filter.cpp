@@ -1,0 +1,169 @@
+#include "image/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace illixr {
+
+namespace {
+
+/** Normalized 1-D Gaussian kernel with radius 3 sigma. */
+std::vector<double>
+gaussianKernel(double sigma)
+{
+    const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+    std::vector<double> k(2 * radius + 1);
+    double sum = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        const double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+        k[i + radius] = v;
+        sum += v;
+    }
+    for (double &v : k)
+        v /= sum;
+    return k;
+}
+
+} // namespace
+
+ImageF
+gaussianBlur(const ImageF &src, double sigma)
+{
+    if (src.empty() || sigma <= 0.0)
+        return src;
+    const auto kernel = gaussianKernel(sigma);
+    const int radius = static_cast<int>(kernel.size() / 2);
+    const int w = src.width();
+    const int h = src.height();
+
+    // Horizontal pass.
+    ImageF tmp(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double acc = 0.0;
+            for (int k = -radius; k <= radius; ++k)
+                acc += kernel[k + radius] * src.atClamped(x + k, y);
+            tmp.at(x, y) = static_cast<float>(acc);
+        }
+    }
+    // Vertical pass.
+    ImageF out(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double acc = 0.0;
+            for (int k = -radius; k <= radius; ++k)
+                acc += kernel[k + radius] * tmp.atClamped(x, y + k);
+            out.at(x, y) = static_cast<float>(acc);
+        }
+    }
+    return out;
+}
+
+ImageF
+sobelX(const ImageF &src)
+{
+    ImageF out(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            const double v =
+                -src.atClamped(x - 1, y - 1) + src.atClamped(x + 1, y - 1) -
+                2.0 * src.atClamped(x - 1, y) + 2.0 * src.atClamped(x + 1, y) -
+                src.atClamped(x - 1, y + 1) + src.atClamped(x + 1, y + 1);
+            out.at(x, y) = static_cast<float>(v / 8.0);
+        }
+    }
+    return out;
+}
+
+ImageF
+sobelY(const ImageF &src)
+{
+    ImageF out(src.width(), src.height());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            const double v =
+                -src.atClamped(x - 1, y - 1) - 2.0 * src.atClamped(x, y - 1) -
+                src.atClamped(x + 1, y - 1) + src.atClamped(x - 1, y + 1) +
+                2.0 * src.atClamped(x, y + 1) + src.atClamped(x + 1, y + 1);
+            out.at(x, y) = static_cast<float>(v / 8.0);
+        }
+    }
+    return out;
+}
+
+ImageF
+bilateralFilter(const ImageF &src, double spatial_sigma, double range_sigma)
+{
+    const int radius =
+        std::max(1, static_cast<int>(std::ceil(2.0 * spatial_sigma)));
+    ImageF out(src.width(), src.height());
+    const double inv_2ss = 1.0 / (2.0 * spatial_sigma * spatial_sigma);
+    const double inv_2rs = 1.0 / (2.0 * range_sigma * range_sigma);
+
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            const double center = src.at(x, y);
+            if (center <= 0.0) {
+                out.at(x, y) = 0.0f; // Invalid stays invalid.
+                continue;
+            }
+            double acc = 0.0;
+            double weight_sum = 0.0;
+            for (int dy = -radius; dy <= radius; ++dy) {
+                for (int dx = -radius; dx <= radius; ++dx) {
+                    const double v = src.atClamped(x + dx, y + dy);
+                    if (v <= 0.0)
+                        continue; // Reject invalid neighbors.
+                    const double diff = v - center;
+                    const double w =
+                        std::exp(-(dx * dx + dy * dy) * inv_2ss) *
+                        std::exp(-diff * diff * inv_2rs);
+                    acc += w * v;
+                    weight_sum += w;
+                }
+            }
+            out.at(x, y) =
+                static_cast<float>(weight_sum > 0.0 ? acc / weight_sum : 0.0);
+        }
+    }
+    return out;
+}
+
+ImageF
+downsampleHalf(const ImageF &src)
+{
+    const int w = std::max(1, src.width() / 2);
+    const int h = std::max(1, src.height() / 2);
+    ImageF out(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const double v = (src.atClamped(2 * x, 2 * y) +
+                              src.atClamped(2 * x + 1, 2 * y) +
+                              src.atClamped(2 * x, 2 * y + 1) +
+                              src.atClamped(2 * x + 1, 2 * y + 1)) /
+                             4.0;
+            out.at(x, y) = static_cast<float>(v);
+        }
+    }
+    return out;
+}
+
+ImageF
+resizeBilinear(const ImageF &src, int new_width, int new_height)
+{
+    ImageF out(new_width, new_height);
+    const double sx =
+        static_cast<double>(src.width()) / static_cast<double>(new_width);
+    const double sy =
+        static_cast<double>(src.height()) / static_cast<double>(new_height);
+    for (int y = 0; y < new_height; ++y) {
+        for (int x = 0; x < new_width; ++x) {
+            out.at(x, y) = src.sampleBilinear((x + 0.5) * sx - 0.5,
+                                              (y + 0.5) * sy - 0.5);
+        }
+    }
+    return out;
+}
+
+} // namespace illixr

@@ -1,0 +1,182 @@
+#include "image/flip.hpp"
+
+#include "image/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace illixr {
+
+namespace {
+
+/** sRGB electro-optical transfer function (gamma decode). */
+double
+srgbToLinear(double c)
+{
+    if (c <= 0.04045)
+        return c / 12.92;
+    return std::pow((c + 0.055) / 1.055, 2.4);
+}
+
+/** Linear RGB -> CIE XYZ (D65). */
+Vec3
+linearRgbToXyz(const Vec3 &rgb)
+{
+    return {0.4124 * rgb.x + 0.3576 * rgb.y + 0.1805 * rgb.z,
+            0.2126 * rgb.x + 0.7152 * rgb.y + 0.0722 * rgb.z,
+            0.0193 * rgb.x + 0.1192 * rgb.y + 0.9505 * rgb.z};
+}
+
+double
+labF(double t)
+{
+    constexpr double delta = 6.0 / 29.0;
+    if (t > delta * delta * delta)
+        return std::cbrt(t);
+    return t / (3.0 * delta * delta) + 4.0 / 29.0;
+}
+
+/** XYZ -> CIE L*a*b* with D65 white. */
+Vec3
+xyzToLab(const Vec3 &xyz)
+{
+    constexpr double xn = 0.95047, yn = 1.0, zn = 1.08883;
+    const double fx = labF(xyz.x / xn);
+    const double fy = labF(xyz.y / yn);
+    const double fz = labF(xyz.z / zn);
+    return {116.0 * fy - 16.0, 500.0 * (fx - fy), 200.0 * (fy - fz)};
+}
+
+/**
+ * HyAB color distance (Euclidean in ab, city-block in L), the color
+ * error FLIP is built on.
+ */
+double
+hyab(const Vec3 &lab1, const Vec3 &lab2)
+{
+    const double dl = std::fabs(lab1.x - lab2.x);
+    const double da = lab1.y - lab2.y;
+    const double db = lab1.z - lab2.z;
+    return dl + std::sqrt(da * da + db * db);
+}
+
+/** Per-channel Gaussian CSF prefilter in the opponent (here: per
+ *  RGB plane as a stand-in) domain; sigma scales with ppd. */
+RgbImage
+csfFilter(const RgbImage &img, double pixels_per_degree)
+{
+    // Achromatic channel resolves ~0.04 deg, chromatic ~0.08 deg.
+    const double sigma_a =
+        std::max(0.35, 0.04 * pixels_per_degree * 0.5);
+    const double sigma_c =
+        std::max(0.5, 0.08 * pixels_per_degree * 0.5);
+    RgbImage out;
+    out.r = gaussianBlur(img.r, sigma_c);
+    out.g = gaussianBlur(img.g, sigma_a);
+    out.b = gaussianBlur(img.b, sigma_c);
+    return out;
+}
+
+/** Edge + point feature magnitude from first/second derivatives of
+ *  luminance at the feature-detection scale. */
+ImageF
+featureMagnitude(const ImageF &lum, double pixels_per_degree)
+{
+    const double sigma = std::max(0.5, 0.5 * pixels_per_degree / 15.0);
+    const ImageF smooth = gaussianBlur(lum, sigma);
+    const ImageF gx = sobelX(smooth);
+    const ImageF gy = sobelY(smooth);
+    // Second derivative (point detector) via gradient-of-gradient.
+    const ImageF gxx = sobelX(gx);
+    const ImageF gyy = sobelY(gy);
+
+    ImageF mag(lum.width(), lum.height());
+    for (int y = 0; y < lum.height(); ++y) {
+        for (int x = 0; x < lum.width(); ++x) {
+            const double edge = std::sqrt(
+                gx.at(x, y) * gx.at(x, y) + gy.at(x, y) * gy.at(x, y));
+            const double point = std::fabs(gxx.at(x, y) + gyy.at(x, y));
+            mag.at(x, y) = static_cast<float>(std::max(edge, point));
+        }
+    }
+    return mag;
+}
+
+} // namespace
+
+ImageF
+flipMap(const RgbImage &test, const RgbImage &reference,
+        const FlipOptions &options)
+{
+    const int w = test.width();
+    const int h = test.height();
+    if (w != reference.width() || h != reference.height() || test.empty()) {
+        ImageF err(std::max(w, 1), std::max(h, 1));
+        err.fill(1.0f);
+        return err;
+    }
+
+    // --- Color pipeline: CSF filter, then per-pixel HyAB in Lab. ---
+    const RgbImage test_f = csfFilter(test, options.pixels_per_degree);
+    const RgbImage ref_f = csfFilter(reference, options.pixels_per_degree);
+
+    // Normalization: HyAB distance between green and magenta (the
+    // most-distant LDR color pair used by FLIP for scaling).
+    const Vec3 green_lab =
+        xyzToLab(linearRgbToXyz(Vec3(0.0, 1.0, 0.0)));
+    const Vec3 magenta_lab =
+        xyzToLab(linearRgbToXyz(Vec3(1.0, 0.0, 1.0)));
+    const double hyab_max = hyab(green_lab, magenta_lab);
+    constexpr double kQc = 0.7; // Perceptual remap exponent.
+
+    ImageF color_err(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const Vec3 t = test_f.pixel(x, y);
+            const Vec3 r = ref_f.pixel(x, y);
+            const Vec3 t_lab = xyzToLab(linearRgbToXyz(
+                Vec3(srgbToLinear(t.x), srgbToLinear(t.y),
+                     srgbToLinear(t.z))));
+            const Vec3 r_lab = xyzToLab(linearRgbToXyz(
+                Vec3(srgbToLinear(r.x), srgbToLinear(r.y),
+                     srgbToLinear(r.z))));
+            const double d = hyab(t_lab, r_lab) / hyab_max;
+            color_err.at(x, y) = static_cast<float>(
+                std::clamp(std::pow(d, kQc), 0.0, 1.0));
+        }
+    }
+
+    // --- Feature pipeline: edge/point magnitude differences. ---
+    const ImageF test_feat =
+        featureMagnitude(test.luminance(), options.pixels_per_degree);
+    const ImageF ref_feat =
+        featureMagnitude(reference.luminance(), options.pixels_per_degree);
+    constexpr double kQf = 0.5;
+
+    ImageF err(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const double feat_err = std::clamp(
+                std::pow(std::fabs(test_feat.at(x, y) - ref_feat.at(x, y)) *
+                             4.0,
+                         kQf),
+                0.0, 1.0);
+            // FLIP combination: feature differences amplify color error.
+            // Guard c == 0 so pow(0, 0) cannot report maximal error on
+            // a pixel whose colors match exactly.
+            const double c = color_err.at(x, y);
+            err.at(x, y) = static_cast<float>(
+                c == 0.0 ? 0.0 : std::pow(c, 1.0 - feat_err));
+        }
+    }
+    return err;
+}
+
+double
+flip(const RgbImage &test, const RgbImage &reference,
+     const FlipOptions &options)
+{
+    return flipMap(test, reference, options).mean();
+}
+
+} // namespace illixr

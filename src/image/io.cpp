@@ -1,0 +1,152 @@
+#include "image/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace illixr {
+
+namespace {
+
+unsigned char
+toByte(float v)
+{
+    return static_cast<unsigned char>(
+        std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+}
+
+/** Skip PNM whitespace and comments, then parse one integer. */
+bool
+readPnmInt(std::FILE *f, int &value)
+{
+    int c = std::fgetc(f);
+    while (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#') {
+        if (c == '#') {
+            while (c != '\n' && c != EOF)
+                c = std::fgetc(f);
+        }
+        c = std::fgetc(f);
+    }
+    if (c == EOF)
+        return false;
+    value = 0;
+    bool any = false;
+    while (c >= '0' && c <= '9') {
+        value = value * 10 + (c - '0');
+        any = true;
+        c = std::fgetc(f);
+    }
+    return any;
+}
+
+} // namespace
+
+bool
+writePgm(const ImageF &img, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P5\n%d %d\n255\n", img.width(), img.height());
+    std::vector<unsigned char> row(img.width());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x)
+            row[x] = toByte(img.at(x, y));
+        std::fwrite(row.data(), 1, row.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+writePpm(const RgbImage &img, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%d %d\n255\n", img.width(), img.height());
+    std::vector<unsigned char> row(static_cast<std::size_t>(img.width()) * 3);
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            row[3 * x + 0] = toByte(img.r.at(x, y));
+            row[3 * x + 1] = toByte(img.g.at(x, y));
+            row[3 * x + 2] = toByte(img.b.at(x, y));
+        }
+        std::fwrite(row.data(), 1, row.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+ImageF
+readPgm(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    char magic[3] = {0, 0, 0};
+    if (std::fread(magic, 1, 2, f) != 2 || magic[0] != 'P' ||
+        magic[1] != '5') {
+        std::fclose(f);
+        return {};
+    }
+    int w = 0, h = 0, maxval = 0;
+    if (!readPnmInt(f, w) || !readPnmInt(f, h) || !readPnmInt(f, maxval) ||
+        w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
+        std::fclose(f);
+        return {};
+    }
+    ImageF img(w, h);
+    std::vector<unsigned char> row(w);
+    for (int y = 0; y < h; ++y) {
+        if (std::fread(row.data(), 1, row.size(), f) != row.size()) {
+            std::fclose(f);
+            return {};
+        }
+        for (int x = 0; x < w; ++x)
+            img.at(x, y) = static_cast<float>(row[x]) /
+                           static_cast<float>(maxval);
+    }
+    std::fclose(f);
+    return img;
+}
+
+RgbImage
+readPpm(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    char magic[3] = {0, 0, 0};
+    if (std::fread(magic, 1, 2, f) != 2 || magic[0] != 'P' ||
+        magic[1] != '6') {
+        std::fclose(f);
+        return {};
+    }
+    int w = 0, h = 0, maxval = 0;
+    if (!readPnmInt(f, w) || !readPnmInt(f, h) || !readPnmInt(f, maxval) ||
+        w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
+        std::fclose(f);
+        return {};
+    }
+    RgbImage img(w, h);
+    std::vector<unsigned char> row(static_cast<std::size_t>(w) * 3);
+    for (int y = 0; y < h; ++y) {
+        if (std::fread(row.data(), 1, row.size(), f) != row.size()) {
+            std::fclose(f);
+            return {};
+        }
+        for (int x = 0; x < w; ++x) {
+            img.r.at(x, y) = static_cast<float>(row[3 * x + 0]) /
+                             static_cast<float>(maxval);
+            img.g.at(x, y) = static_cast<float>(row[3 * x + 1]) /
+                             static_cast<float>(maxval);
+            img.b.at(x, y) = static_cast<float>(row[3 * x + 2]) /
+                             static_cast<float>(maxval);
+        }
+    }
+    std::fclose(f);
+    return img;
+}
+
+} // namespace illixr

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Minimal binary PPM/PGM image I/O, so examples can dump the frames
+ * the visual pipeline produces and experiments can be inspected
+ * without any external imaging dependency.
+ */
+
+#pragma once
+
+#include "image/image.hpp"
+
+#include <string>
+
+namespace illixr {
+
+/** Write a grayscale image as binary PGM (P5), clamping to [0, 1]. */
+bool writePgm(const ImageF &img, const std::string &path);
+
+/** Write an RGB image as binary PPM (P6), clamping to [0, 1]. */
+bool writePpm(const RgbImage &img, const std::string &path);
+
+/** Read a binary PGM (P5) file. Returns an empty image on failure. */
+ImageF readPgm(const std::string &path);
+
+/** Read a binary PPM (P6) file. Returns an empty image on failure. */
+RgbImage readPpm(const std::string &path);
+
+} // namespace illixr

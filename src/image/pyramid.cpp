@@ -1,0 +1,18 @@
+#include "image/pyramid.hpp"
+
+#include "image/filter.hpp"
+
+namespace illixr {
+
+ImagePyramid::ImagePyramid(const ImageF &base, int levels)
+{
+    levels_.push_back(base);
+    for (int i = 1; i < levels; ++i) {
+        const ImageF &prev = levels_.back();
+        if (prev.width() < 32 || prev.height() < 32)
+            break;
+        levels_.push_back(downsampleHalf(gaussianBlur(prev, 1.0)));
+    }
+}
+
+} // namespace illixr

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Image pyramid for the pyramidal Lucas–Kanade tracker.
+ */
+
+#pragma once
+
+#include "image/image.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/**
+ * Gaussian image pyramid: level 0 is the source image, each higher
+ * level is blurred and halved.
+ */
+class ImagePyramid
+{
+  public:
+    ImagePyramid() = default;
+
+    /**
+     * Build @p levels levels from @p base (levels >= 1). Stops early
+     * when a level would fall below 16 pixels on a side.
+     */
+    ImagePyramid(const ImageF &base, int levels);
+
+    int levels() const { return static_cast<int>(levels_.size()); }
+    const ImageF &level(int i) const { return levels_[i]; }
+
+  private:
+    std::vector<ImageF> levels_;
+};
+
+} // namespace illixr

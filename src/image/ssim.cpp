@@ -1,0 +1,70 @@
+#include "image/ssim.hpp"
+
+#include "image/filter.hpp"
+
+namespace illixr {
+
+namespace {
+
+constexpr double kK1 = 0.01;
+constexpr double kK2 = 0.03;
+constexpr double kDynamicRange = 1.0; // Images are in [0, 1].
+constexpr double kC1 = (kK1 * kDynamicRange) * (kK1 * kDynamicRange);
+constexpr double kC2 = (kK2 * kDynamicRange) * (kK2 * kDynamicRange);
+constexpr double kWindowSigma = 1.5;
+
+ImageF
+multiply(const ImageF &a, const ImageF &b)
+{
+    ImageF out(a.width(), a.height());
+    for (int y = 0; y < a.height(); ++y)
+        for (int x = 0; x < a.width(); ++x)
+            out.at(x, y) = a.at(x, y) * b.at(x, y);
+    return out;
+}
+
+} // namespace
+
+ImageF
+ssimMap(const ImageF &a, const ImageF &b)
+{
+    // Local statistics via Gaussian windows, the standard formulation.
+    const ImageF mu_a = gaussianBlur(a, kWindowSigma);
+    const ImageF mu_b = gaussianBlur(b, kWindowSigma);
+    const ImageF a_sq = gaussianBlur(multiply(a, a), kWindowSigma);
+    const ImageF b_sq = gaussianBlur(multiply(b, b), kWindowSigma);
+    const ImageF ab = gaussianBlur(multiply(a, b), kWindowSigma);
+
+    ImageF map(a.width(), a.height());
+    for (int y = 0; y < a.height(); ++y) {
+        for (int x = 0; x < a.width(); ++x) {
+            const double ma = mu_a.at(x, y);
+            const double mb = mu_b.at(x, y);
+            const double var_a = a_sq.at(x, y) - ma * ma;
+            const double var_b = b_sq.at(x, y) - mb * mb;
+            const double cov = ab.at(x, y) - ma * mb;
+            const double num =
+                (2.0 * ma * mb + kC1) * (2.0 * cov + kC2);
+            const double den =
+                (ma * ma + mb * mb + kC1) * (var_a + var_b + kC2);
+            map.at(x, y) = static_cast<float>(num / den);
+        }
+    }
+    return map;
+}
+
+double
+ssim(const ImageF &a, const ImageF &b)
+{
+    if (a.empty() || a.width() != b.width() || a.height() != b.height())
+        return 0.0;
+    return ssimMap(a, b).mean();
+}
+
+double
+ssim(const RgbImage &a, const RgbImage &b)
+{
+    return ssim(a.luminance(), b.luminance());
+}
+
+} // namespace illixr

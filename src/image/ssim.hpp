@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Structural Similarity Index (SSIM), Wang et al. 2004 — one of the
+ * two image-quality QoE metrics ILLIXR reports (paper §II-C,
+ * Table V). Computed on luminance with the standard 11x11 Gaussian
+ * window (sigma 1.5) and K1 = 0.01, K2 = 0.03.
+ */
+
+#pragma once
+
+#include "image/image.hpp"
+
+namespace illixr {
+
+/** Mean SSIM between two equally sized grayscale images, in [-1, 1]. */
+double ssim(const ImageF &a, const ImageF &b);
+
+/** Mean SSIM on the luminance of two RGB images. */
+double ssim(const RgbImage &a, const RgbImage &b);
+
+/** Per-pixel SSIM map (same size as the inputs). */
+ImageF ssimMap(const ImageF &a, const ImageF &b);
+
+} // namespace illixr

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Matrix decompositions and solvers: Cholesky, Householder QR, and
+ * LU with partial pivoting. These are the same numerical primitives
+ * the paper identifies as shared across VIO and scene reconstruction
+ * (Table VI), and are used here by the MSCKF update, ICP, feature
+ * triangulation, and the eye-tracking training-free initializers.
+ */
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace illixr {
+
+/**
+ * Cholesky factorization A = L * L^T of a symmetric positive-definite
+ * matrix.
+ */
+class Cholesky
+{
+  public:
+    /** Factor @p a. Check ok() before using the result. */
+    explicit Cholesky(const MatX &a);
+
+    /** True when the input was (numerically) positive definite. */
+    bool ok() const { return ok_; }
+
+    /** The lower-triangular factor L. */
+    const MatX &matrixL() const { return l_; }
+
+    /** Solve A x = b. @pre ok() */
+    VecX solve(const VecX &b) const;
+
+    /** Solve A X = B for a matrix right-hand side. @pre ok() */
+    MatX solve(const MatX &b) const;
+
+    /** log(det(A)) from the factorization. @pre ok() */
+    double logDeterminant() const;
+
+  private:
+    MatX l_;
+    bool ok_ = false;
+};
+
+/**
+ * Householder QR factorization A = Q * R (A is m x n, m >= n).
+ *
+ * Exposes thin-Q application and least-squares solving; the MSCKF
+ * measurement compression step uses R and Q^T * r directly.
+ */
+class HouseholderQR
+{
+  public:
+    explicit HouseholderQR(const MatX &a);
+
+    /** Upper-triangular factor R (n x n for m >= n, else m x n). */
+    MatX matrixR() const;
+
+    /** Apply Q^T to a vector. */
+    VecX applyQT(const VecX &v) const;
+
+    /** Apply Q^T to a matrix (column-wise). */
+    MatX applyQT(const MatX &b) const;
+
+    /** Least-squares solve min ||A x - b||. */
+    VecX solve(const VecX &b) const;
+
+    /** Numerical rank with tolerance relative to the largest diagonal. */
+    std::size_t rank(double rel_tol = 1e-12) const;
+
+  private:
+    MatX qr_;                ///< Packed factors (R above, reflectors below).
+    std::vector<double> tau_; ///< Householder scalars.
+    std::size_t m_ = 0;
+    std::size_t n_ = 0;
+};
+
+/** Solve the square system A x = b by LU with partial pivoting. */
+VecX luSolve(const MatX &a, const VecX &b);
+
+/** Invert a square matrix by LU. @pre invertible. */
+MatX luInverse(const MatX &a);
+
+/** Solve L y = b with L lower triangular (forward substitution). */
+VecX forwardSubstitute(const MatX &l, const VecX &b);
+
+/** Solve U x = y with U upper triangular (back substitution). */
+VecX backSubstitute(const MatX &u, const VecX &y);
+
+/**
+ * Left-nullspace projection used by the MSCKF: given the feature
+ * Jacobian Hf (m x 3, m > 3), compute an orthonormal basis N of its
+ * left nullspace (m x (m-3)) so that N^T Hf = 0, and return N^T.
+ */
+MatX leftNullspaceTranspose(const MatX &hf);
+
+} // namespace illixr

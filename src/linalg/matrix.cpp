@@ -1,0 +1,316 @@
+#include "linalg/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace illixr {
+
+MatX::MatX(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+MatX
+MatX::identity(std::size_t n)
+{
+    MatX r(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        r(i, i) = 1.0;
+    return r;
+}
+
+MatX
+MatX::zero(std::size_t rows, std::size_t cols)
+{
+    return MatX(rows, cols);
+}
+
+MatX
+MatX::fromRows(std::initializer_list<std::initializer_list<double>> rows)
+{
+    const std::size_t nr = rows.size();
+    const std::size_t nc = nr ? rows.begin()->size() : 0;
+    MatX r(nr, nc);
+    std::size_t i = 0;
+    for (const auto &row : rows) {
+        assert(row.size() == nc);
+        std::size_t j = 0;
+        for (double v : row)
+            r(i, j++) = v;
+        ++i;
+    }
+    return r;
+}
+
+MatX
+MatX::operator+(const MatX &o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    MatX r(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        r.data_[i] = data_[i] + o.data_[i];
+    return r;
+}
+
+MatX
+MatX::operator-(const MatX &o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    MatX r(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        r.data_[i] = data_[i] - o.data_[i];
+    return r;
+}
+
+MatX
+MatX::operator*(const MatX &o) const
+{
+    assert(cols_ == o.rows_);
+    MatX r(rows_, o.cols_);
+    // i-k-j loop order keeps the inner loop contiguous for row-major.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = data_[i * cols_ + k];
+            if (a == 0.0)
+                continue;
+            const double *orow = &o.data_[k * o.cols_];
+            double *rrow = &r.data_[i * o.cols_];
+            for (std::size_t j = 0; j < o.cols_; ++j)
+                rrow[j] += a * orow[j];
+        }
+    }
+    return r;
+}
+
+MatX
+MatX::operator*(double s) const
+{
+    MatX r(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        r.data_[i] = data_[i] * s;
+    return r;
+}
+
+VecX
+MatX::operator*(const VecX &v) const
+{
+    assert(cols_ == v.size());
+    VecX r(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        const double *row = &data_[i * cols_];
+        for (std::size_t j = 0; j < cols_; ++j)
+            acc += row[j] * v[j];
+        r[i] = acc;
+    }
+    return r;
+}
+
+MatX &
+MatX::operator+=(const MatX &o)
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += o.data_[i];
+    return *this;
+}
+
+MatX &
+MatX::operator-=(const MatX &o)
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= o.data_[i];
+    return *this;
+}
+
+MatX
+MatX::transpose() const
+{
+    MatX r(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r(j, i) = (*this)(i, j);
+    return r;
+}
+
+MatX
+MatX::transposeTimes(const MatX &o) const
+{
+    assert(rows_ == o.rows_);
+    MatX r(cols_, o.cols_);
+    for (std::size_t k = 0; k < rows_; ++k) {
+        const double *arow = &data_[k * cols_];
+        const double *brow = &o.data_[k * o.cols_];
+        for (std::size_t i = 0; i < cols_; ++i) {
+            const double a = arow[i];
+            if (a == 0.0)
+                continue;
+            double *rrow = &r.data_[i * o.cols_];
+            for (std::size_t j = 0; j < o.cols_; ++j)
+                rrow[j] += a * brow[j];
+        }
+    }
+    return r;
+}
+
+MatX
+MatX::timesTranspose(const MatX &o) const
+{
+    assert(cols_ == o.cols_);
+    MatX r(rows_, o.rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double *arow = &data_[i * cols_];
+        for (std::size_t j = 0; j < o.rows_; ++j) {
+            const double *brow = &o.data_[j * o.cols_];
+            double acc = 0.0;
+            for (std::size_t k = 0; k < cols_; ++k)
+                acc += arow[k] * brow[k];
+            r(i, j) = acc;
+        }
+    }
+    return r;
+}
+
+MatX
+MatX::block(std::size_t r0, std::size_t c0, std::size_t nrows,
+            std::size_t ncols) const
+{
+    assert(r0 + nrows <= rows_ && c0 + ncols <= cols_);
+    MatX r(nrows, ncols);
+    for (std::size_t i = 0; i < nrows; ++i)
+        for (std::size_t j = 0; j < ncols; ++j)
+            r(i, j) = (*this)(r0 + i, c0 + j);
+    return r;
+}
+
+void
+MatX::setBlock(std::size_t r0, std::size_t c0, const MatX &b)
+{
+    assert(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_);
+    for (std::size_t i = 0; i < b.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            (*this)(r0 + i, c0 + j) = b(i, j);
+}
+
+double
+MatX::norm() const
+{
+    double acc = 0.0;
+    for (double v : data_)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+double
+MatX::maxAbs() const
+{
+    double best = 0.0;
+    for (double v : data_)
+        best = std::max(best, std::fabs(v));
+    return best;
+}
+
+void
+MatX::symmetrize()
+{
+    assert(rows_ == cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = i + 1; j < cols_; ++j) {
+            const double avg = 0.5 * ((*this)(i, j) + (*this)(j, i));
+            (*this)(i, j) = avg;
+            (*this)(j, i) = avg;
+        }
+    }
+}
+
+void
+MatX::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+}
+
+VecX
+VecX::operator+(const VecX &o) const
+{
+    assert(size() == o.size());
+    VecX r(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        r[i] = data_[i] + o.data_[i];
+    return r;
+}
+
+VecX
+VecX::operator-(const VecX &o) const
+{
+    assert(size() == o.size());
+    VecX r(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        r[i] = data_[i] - o.data_[i];
+    return r;
+}
+
+VecX
+VecX::operator*(double s) const
+{
+    VecX r(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        r[i] = data_[i] * s;
+    return r;
+}
+
+VecX &
+VecX::operator+=(const VecX &o)
+{
+    assert(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i)
+        data_[i] += o.data_[i];
+    return *this;
+}
+
+VecX &
+VecX::operator-=(const VecX &o)
+{
+    assert(size() == o.size());
+    for (std::size_t i = 0; i < size(); ++i)
+        data_[i] -= o.data_[i];
+    return *this;
+}
+
+double
+VecX::dot(const VecX &o) const
+{
+    assert(size() == o.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < size(); ++i)
+        acc += data_[i] * o.data_[i];
+    return acc;
+}
+
+double
+VecX::norm() const
+{
+    return std::sqrt(dot(*this));
+}
+
+VecX
+VecX::segment(std::size_t start, std::size_t len) const
+{
+    assert(start + len <= size());
+    VecX r(len);
+    for (std::size_t i = 0; i < len; ++i)
+        r[i] = data_[start + i];
+    return r;
+}
+
+void
+VecX::setSegment(std::size_t start, const VecX &v)
+{
+    assert(start + v.size() <= size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        data_[start + i] = v[i];
+}
+
+} // namespace illixr

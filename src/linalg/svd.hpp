@@ -1,0 +1,35 @@
+/**
+ * @file
+ * One-sided Jacobi singular value decomposition for small dense
+ * matrices. The paper's VIO task breakdown lists SVD among feature
+ * initialization and MSCKF-update computations; here it backs linear
+ * triangulation, covariance conditioning checks, and tests.
+ */
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace illixr {
+
+/** Result of a thin SVD: A (m x n, m >= n) = U * diag(S) * V^T. */
+struct SvdResult
+{
+    MatX u;         ///< m x n, orthonormal columns.
+    VecX s;         ///< n singular values, descending.
+    MatX v;         ///< n x n orthogonal.
+    bool converged = false;
+};
+
+/**
+ * Compute the thin SVD of @p a by one-sided Jacobi rotations.
+ *
+ * @param a         Input matrix with rows() >= cols().
+ * @param max_sweeps Maximum Jacobi sweeps (30 is ample for n <= 64).
+ */
+SvdResult jacobiSvd(const MatX &a, int max_sweeps = 30);
+
+/** Condition number (sigma_max / sigma_min) from an SVD; inf if singular. */
+double conditionNumber(const SvdResult &svd);
+
+} // namespace illixr

@@ -1,0 +1,131 @@
+#include "metrics/audio_quality.hpp"
+
+#include "signal/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace illixr {
+
+namespace {
+
+/** Log-magnitude spectrum of one windowed block. */
+std::vector<double>
+logSpectrum(const std::vector<double> &signal, std::size_t offset,
+            std::size_t window, const std::vector<double> &hann)
+{
+    std::vector<Complex> buf(window);
+    for (std::size_t i = 0; i < window; ++i)
+        buf[i] = Complex(signal[offset + i] * hann[i], 0.0);
+    fft(buf, false);
+    std::vector<double> mag(window / 2);
+    for (std::size_t k = 0; k < window / 2; ++k)
+        mag[k] = std::log10(std::abs(buf[k]) + 1e-9);
+    return mag;
+}
+
+/** Similarity of two log-spectra via normalized correlation-style
+ *  distance, mapped to [0, 1]. */
+double
+spectralSimilarity(const std::vector<double> &a,
+                   const std::vector<double> &b)
+{
+    double diff = 0.0, scale = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        diff += (a[k] - b[k]) * (a[k] - b[k]);
+        scale += 1.0;
+    }
+    const double rms = std::sqrt(diff / std::max(1.0, scale));
+    // 1 at identity; ~0 once spectra differ by >= ~2 decades RMS.
+    return std::max(0.0, 1.0 - rms / 2.0);
+}
+
+/** Interaural cues of one block: level difference (dB) and a
+ *  cross-correlation-based time-difference estimate (samples). */
+void
+interauralCues(const std::vector<double> &left,
+               const std::vector<double> &right, std::size_t offset,
+               std::size_t window, double &ild_db, double &itd_samples)
+{
+    double el = 1e-12, er = 1e-12;
+    for (std::size_t i = 0; i < window; ++i) {
+        el += left[offset + i] * left[offset + i];
+        er += right[offset + i] * right[offset + i];
+    }
+    ild_db = 10.0 * std::log10(el / er);
+
+    // Cross-correlation over ±1 ms.
+    const int max_lag = 48;
+    double best = -1e300;
+    int best_lag = 0;
+    for (int lag = -max_lag; lag <= max_lag; ++lag) {
+        double acc = 0.0;
+        for (std::size_t i = max_lag;
+             i < window - static_cast<std::size_t>(max_lag); ++i)
+            acc += left[offset + i] * right[offset + i + lag];
+        if (acc > best) {
+            best = acc;
+            best_lag = lag;
+        }
+    }
+    itd_samples = static_cast<double>(best_lag);
+}
+
+} // namespace
+
+AudioQualityResult
+compareBinaural(const std::vector<double> &test_left,
+                const std::vector<double> &test_right,
+                const std::vector<double> &ref_left,
+                const std::vector<double> &ref_right,
+                const AudioQualityParams &params)
+{
+    AudioQualityResult result;
+    const std::size_t n = test_left.size();
+    if (n != test_right.size() || n != ref_left.size() ||
+        n != ref_right.size() || n < params.window)
+        return result;
+
+    const auto hann = hannWindow(params.window);
+    double lq_sum = 0.0, loc_sum = 0.0;
+    std::size_t blocks = 0;
+
+    for (std::size_t off = 0; off + params.window <= n;
+         off += params.window / 2) {
+        // Listening quality from the mid (L+R) signal.
+        std::vector<double> test_mid(params.window),
+            ref_mid(params.window);
+        for (std::size_t i = 0; i < params.window; ++i) {
+            test_mid[i] =
+                0.5 * (test_left[off + i] + test_right[off + i]);
+            ref_mid[i] = 0.5 * (ref_left[off + i] + ref_right[off + i]);
+        }
+        const auto st = logSpectrum(test_mid, 0, params.window, hann);
+        const auto sr = logSpectrum(ref_mid, 0, params.window, hann);
+        lq_sum += spectralSimilarity(st, sr);
+
+        // Localization accuracy from interaural cues.
+        double ild_t, itd_t, ild_r, itd_r;
+        interauralCues(test_left, test_right, off, params.window, ild_t,
+                       itd_t);
+        interauralCues(ref_left, ref_right, off, params.window, ild_r,
+                       itd_r);
+        const double ild_sim =
+            std::max(0.0, 1.0 - std::fabs(ild_t - ild_r) / 12.0);
+        const double itd_sim =
+            std::max(0.0, 1.0 - std::fabs(itd_t - itd_r) / 24.0);
+        loc_sum += 0.5 * (ild_sim + itd_sim);
+        ++blocks;
+    }
+
+    if (blocks == 0)
+        return result;
+    result.blocks = blocks;
+    result.listening_quality = lq_sum / static_cast<double>(blocks);
+    result.localization_accuracy = loc_sum / static_cast<double>(blocks);
+    result.overall = std::sqrt(result.listening_quality *
+                               result.localization_accuracy);
+    return result;
+}
+
+} // namespace illixr

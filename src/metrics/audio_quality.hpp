@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Spatial-audio quality metric.
+ *
+ * The paper notes (§II-C) "We do not yet compute a quality metric for
+ * audio beyond bitrate, but plan to add the recently developed
+ * AMBIQUAL". This module provides that planned capability: an
+ * AMBIQUAL-inspired full-reference metric for binaural renders,
+ * combining a *listening quality* term (log-spectral similarity of
+ * the mid signal) with a *localization accuracy* term (similarity of
+ * the interaural level/time cues), each in [0, 1].
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace illixr {
+
+/** Metric output. */
+struct AudioQualityResult
+{
+    double listening_quality = 0.0;    ///< Spectral fidelity, [0, 1].
+    double localization_accuracy = 0.0; ///< Interaural-cue fidelity.
+    double overall = 0.0;              ///< Geometric mean of the two.
+    std::size_t blocks = 0;            ///< Analysis windows compared.
+};
+
+/** Metric parameters. */
+struct AudioQualityParams
+{
+    std::size_t window = 1024;  ///< Analysis window (power of two).
+    double sample_rate_hz = 48000.0;
+};
+
+/**
+ * Compare a degraded binaural render against a reference.
+ * Sequences must be equal-length stereo; returns all-zero for
+ * mismatched or too-short input.
+ */
+AudioQualityResult compareBinaural(
+    const std::vector<double> &test_left,
+    const std::vector<double> &test_right,
+    const std::vector<double> &ref_left,
+    const std::vector<double> &ref_right,
+    const AudioQualityParams &params = AudioQualityParams());
+
+} // namespace illixr

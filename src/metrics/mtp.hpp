@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Motion-to-photon (MTP) latency, computed exactly as §III-E:
+ *
+ *     latency = t_imu_age + t_reprojection + t_swap
+ *
+ * where t_imu_age is the age of the IMU-derived pose the reprojection
+ * used, t_reprojection is the reprojection's own execution time, and
+ * t_swap is the wait until the frame buffer is accepted for display
+ * (the next vsync at or after completion). t_display is excluded,
+ * as in the paper.
+ */
+
+#pragma once
+
+#include "foundation/stats.hpp"
+#include "runtime/sim_scheduler.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** MTP series for a run. */
+struct MtpSeries
+{
+    SampleSeries latency_ms;
+    SampleSeries imu_age_ms;
+    SampleSeries reprojection_ms;
+    SampleSeries swap_ms;
+    std::size_t missed_vsync = 0; ///< Frames completing after target.
+};
+
+/**
+ * Combine the scheduler's reprojection invocation records with the
+ * per-invocation IMU-age samples published by the reprojection
+ * plugin (index-aligned).
+ *
+ * @param reproj       TaskStats of the vsync-aligned reprojection.
+ * @param imu_age_ms   IMU age logged by the plugin per invocation.
+ * @param vsync        Display refresh period.
+ */
+MtpSeries computeMtp(const TaskStats &reproj,
+                     const std::vector<double> &imu_age_ms,
+                     Duration vsync);
+
+} // namespace illixr

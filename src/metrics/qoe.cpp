@@ -1,0 +1,98 @@
+#include "metrics/qoe.hpp"
+
+#include "foundation/stats.hpp"
+#include "image/flip.hpp"
+#include "image/ssim.hpp"
+
+#include <algorithm>
+
+namespace illixr {
+
+Pose
+interpolatePoseSeries(const std::vector<StampedPose> &series, TimePoint t)
+{
+    if (series.empty())
+        return Pose::identity();
+    if (t <= series.front().time)
+        return series.front().pose;
+    if (t >= series.back().time)
+        return series.back().pose;
+    auto cmp = [](const StampedPose &p, TimePoint value) {
+        return p.time < value;
+    };
+    const auto hi = std::lower_bound(series.begin(), series.end(), t, cmp);
+    const auto lo = hi - 1;
+    const double span = static_cast<double>(hi->time - lo->time);
+    const double f =
+        span > 0.0 ? static_cast<double>(t - lo->time) / span : 0.0;
+    return lo->pose.interpolate(hi->pose, f);
+}
+
+QoeResult
+evaluateImageQoe(AppId app_id, const SyntheticDataset &dataset,
+                 const QoeInputs &inputs, int eval_count, int eye_size)
+{
+    QoeResult result;
+    if (inputs.estimated_poses.empty() || eval_count <= 0)
+        return result;
+
+    AppConfig app_cfg;
+    app_cfg.eye_width = eye_size;
+    app_cfg.eye_height = eye_size;
+    XrApplication actual_app(app_id, app_cfg);
+    XrApplication ideal_app(app_id, app_cfg);
+
+    TimewarpParams tw;
+    tw.fov_y_rad = app_cfg.fov_y_rad;
+    Timewarp warp_actual(tw), warp_ideal(tw);
+
+    const TimePoint t0 = inputs.estimated_poses.front().time;
+    const TimePoint t1 = inputs.estimated_poses.back().time;
+    const TimePoint span = std::max<TimePoint>(1, t1 - t0);
+
+    RunningStat ssim_stat, flip_stat;
+    for (int k = 0; k < eval_count; ++k) {
+        // Spread evaluation times over the middle of the run.
+        const TimePoint t =
+            t0 + span * (k + 1) / (eval_count + 1);
+
+        // --- Actual system ---
+        // The application rendered its last frame at the achieved
+        // rate, with the pose the system estimated back then.
+        const TimePoint app_time =
+            t - (t % inputs.app_frame_interval == 0
+                     ? 0
+                     : t % inputs.app_frame_interval);
+        const Pose render_pose =
+            interpolatePoseSeries(inputs.estimated_poses, app_time);
+        // The display pose is the system's estimate, aged by the
+        // measured pose latency.
+        const Pose display_pose = interpolatePoseSeries(
+            inputs.estimated_poses, t - inputs.display_pose_age);
+
+        const StereoFrame actual_frame =
+            actual_app.renderFrame(render_pose, toSeconds(app_time));
+        const RgbImage actual = warp_actual.reproject(
+            actual_frame.left, render_pose, display_pose);
+
+        // --- Idealized system: ground truth, full rate (fresh
+        //     scene-simulation time), fresh pose.
+        const Pose gt_pose = dataset.groundTruthPose(t);
+        const StereoFrame ideal_frame =
+            ideal_app.renderFrame(gt_pose, toSeconds(t));
+        const RgbImage ideal =
+            warp_ideal.reproject(ideal_frame.left, gt_pose, gt_pose);
+
+        ssim_stat.add(ssim(actual, ideal));
+        flip_stat.add(1.0 - flip(actual, ideal));
+    }
+
+    result.ssim_mean = ssim_stat.mean();
+    result.ssim_std = ssim_stat.stddev();
+    result.one_minus_flip_mean = flip_stat.mean();
+    result.one_minus_flip_std = flip_stat.stddev();
+    result.frames = ssim_stat.count();
+    return result;
+}
+
+} // namespace illixr

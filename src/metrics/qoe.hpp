@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Offline image-quality evaluation (paper §III-E, Table V).
+ *
+ * The actual system's displayed image is reconstructed offline: the
+ * application frame is re-rendered at the pose the system *believed*
+ * it had (its VIO estimate, sampled at the achieved application
+ * rate), then reprojected with the system's display-time pose
+ * estimate. The idealized reference renders from ground-truth poses
+ * at full rate and reprojects with the ground-truth display pose.
+ * SSIM and 1-FLIP between the two quantify end-to-end visual QoE,
+ * exactly mirroring the paper's methodology of collecting renderer
+ * images + poses and applying reprojection offline.
+ */
+
+#pragma once
+
+#include "foundation/pose.hpp"
+#include "render/app.hpp"
+#include "sensors/dataset.hpp"
+#include "visual/timewarp.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** Inputs describing how the system under test behaved. */
+struct QoeInputs
+{
+    /** VIO pose estimates (time-stamped), from the integrated run. */
+    std::vector<StampedPose> estimated_poses;
+    /** Achieved application frame interval (ns). */
+    Duration app_frame_interval = 8'333'333;
+    /** Pose age at reprojection time (ns), e.g. mean MTP. */
+    Duration display_pose_age = 2 * kMillisecond;
+};
+
+/** Table V outputs. */
+struct QoeResult
+{
+    double ssim_mean = 0.0;
+    double ssim_std = 0.0;
+    double one_minus_flip_mean = 0.0;
+    double one_minus_flip_std = 0.0;
+    std::size_t frames = 0;
+};
+
+/**
+ * Evaluate image QoE of a system run against the idealized system.
+ *
+ * @param app_id     Application to render (Table V uses Sponza).
+ * @param dataset    Ground-truth dataset the system ran on.
+ * @param inputs     Behaviour of the system under test.
+ * @param eval_count Number of evaluation timestamps.
+ * @param eye_size   Render resolution for the offline evaluation.
+ */
+QoeResult evaluateImageQoe(AppId app_id, const SyntheticDataset &dataset,
+                           const QoeInputs &inputs, int eval_count = 8,
+                           int eye_size = 96);
+
+/** Interpolate a stamped-pose series at time @p t (clamped). */
+Pose interpolatePoseSeries(const std::vector<StampedPose> &series,
+                           TimePoint t);
+
+} // namespace illixr

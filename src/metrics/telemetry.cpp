@@ -1,0 +1,88 @@
+#include "metrics/telemetry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace illixr {
+
+bool
+writeSeriesCsv(const SampleSeries &series, const std::string &path,
+               const std::string &value_name)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "index,%s\n", value_name.c_str());
+    const auto &samples = series.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        std::fprintf(f, "%zu,%.9g\n", i, samples[i]);
+    std::fclose(f);
+    return true;
+}
+
+void
+TextTable::setHeader(const std::vector<std::string> &header)
+{
+    header_ = header;
+}
+
+void
+TextTable::addRow(const std::vector<std::string> &row)
+{
+    rows_.push_back(row);
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths.
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&width](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i >= width.size())
+                width.resize(i + 1, 0);
+            width[i] = std::max(width[i], row[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            out << cell;
+            if (i + 1 < width.size())
+                out << std::string(width[i] - cell.size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::meanStd(double mean, double std, int precision)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, mean,
+                  precision, std);
+    return buf;
+}
+
+} // namespace illixr

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Telemetry: CSV logging of series and aligned-column table printing
+ * for the benchmark harnesses (the analog of the paper's logging
+ * framework + analysis scripts).
+ */
+
+#pragma once
+
+#include "foundation/stats.hpp"
+
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** Write one series as CSV (index,value). @return success. */
+bool writeSeriesCsv(const SampleSeries &series, const std::string &path,
+                    const std::string &value_name = "value");
+
+/**
+ * Fixed-width text table (printed by every bench binary).
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(const std::vector<std::string> &header);
+
+    /** Append a data row. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Helper: fixed-precision number formatting. */
+    static std::string num(double value, int precision = 2);
+
+    /** Helper: "mean±std" cell. */
+    static std::string meanStd(double mean, double std, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace illixr

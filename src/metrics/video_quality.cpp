@@ -1,0 +1,57 @@
+#include "metrics/video_quality.hpp"
+
+#include "foundation/stats.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+namespace {
+
+/** Mean absolute luminance difference between two frames. */
+double
+meanAbsDiff(const ImageF &a, const ImageF &b)
+{
+    double acc = 0.0;
+    for (int y = 0; y < a.height(); ++y)
+        for (int x = 0; x < a.width(); ++x)
+            acc += std::fabs(a.at(x, y) - b.at(x, y));
+    return acc / static_cast<double>(a.pixelCount());
+}
+
+} // namespace
+
+TemporalQualityResult
+analyzeTemporalQuality(const std::vector<ImageF> &frames,
+                       double repeat_threshold)
+{
+    TemporalQualityResult result;
+    if (frames.size() < 3)
+        return result;
+
+    RunningStat change;
+    std::size_t repeats = 0;
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+        const double d = meanAbsDiff(frames[i - 1], frames[i]);
+        change.add(d);
+        if (d < repeat_threshold)
+            ++repeats;
+    }
+
+    result.frames = frames.size();
+    result.mean_change = change.mean();
+    result.change_jitter = change.stddev();
+    result.repeat_fraction =
+        static_cast<double>(repeats) /
+        static_cast<double>(frames.size() - 1);
+    // Smoothness: penalize both relative jitter of the change series
+    // and outright frame repeats.
+    const double cv = change.mean() > 1e-12
+                          ? change.stddev() / change.mean()
+                          : 0.0;
+    result.smoothness = std::max(
+        0.0, 1.0 - 0.5 * cv - result.repeat_fraction);
+    return result;
+}
+
+} // namespace illixr

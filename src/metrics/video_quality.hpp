@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Temporal video-quality metrics.
+ *
+ * The paper (§II-C) notes that SSIM and FLIP are *image* metrics
+ * while the visual pipeline's output is a *video*, "requiring
+ * consideration of aspects such as temporal coherence and smoothness
+ * (jitter) as well", citing VMAF and Video ATLAS as directions. This
+ * module provides those planned measurements: frame-to-frame change
+ * statistics that expose judder (repeated frames followed by jumps)
+ * and flicker, which the per-image metrics cannot see.
+ */
+
+#pragma once
+
+#include "image/image.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** Temporal statistics of a displayed frame sequence. */
+struct TemporalQualityResult
+{
+    /** Mean frame-to-frame absolute luminance change. */
+    double mean_change = 0.0;
+    /** Std dev of the change series — the judder/jitter measure:
+     *  smooth motion has near-constant change; frame repeats followed
+     *  by catch-up jumps inflate it. */
+    double change_jitter = 0.0;
+    /** Fraction of consecutive pairs that are (near-)identical —
+     *  repeated frames, i.e. missed display updates. */
+    double repeat_fraction = 0.0;
+    /** Smoothness score in [0, 1]: 1 = perfectly even motion. */
+    double smoothness = 0.0;
+    std::size_t frames = 0;
+};
+
+/**
+ * Analyze a sequence of displayed frames (>= 3 required; fewer
+ * returns all-zero).
+ *
+ * @param repeat_threshold Mean-abs-difference below which two
+ *        consecutive frames count as a repeat.
+ */
+TemporalQualityResult analyzeTemporalQuality(
+    const std::vector<ImageF> &frames, double repeat_threshold = 1e-4);
+
+} // namespace illixr

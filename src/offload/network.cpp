@@ -1,0 +1,82 @@
+#include "offload/network.hpp"
+
+#include <algorithm>
+
+namespace illixr {
+
+NetworkLink
+NetworkLink::edgeEthernet()
+{
+    NetworkLink l;
+    l.name = "edge-ethernet";
+    l.uplink_mbps = 940.0;
+    l.downlink_mbps = 940.0;
+    l.base_latency_ms = 0.5;
+    l.jitter_ms = 0.1;
+    return l;
+}
+
+NetworkLink
+NetworkLink::wifi6()
+{
+    NetworkLink l;
+    l.name = "wifi6";
+    l.uplink_mbps = 250.0;
+    l.downlink_mbps = 400.0;
+    l.base_latency_ms = 2.5;
+    l.jitter_ms = 1.2;
+    l.loss_rate = 0.002;
+    return l;
+}
+
+NetworkLink
+NetworkLink::fiveG()
+{
+    NetworkLink l;
+    l.name = "5g-cloudlet";
+    l.uplink_mbps = 80.0;
+    l.downlink_mbps = 300.0;
+    l.base_latency_ms = 8.0;
+    l.jitter_ms = 3.0;
+    l.loss_rate = 0.005;
+    return l;
+}
+
+NetworkLink
+NetworkLink::lteCloud()
+{
+    NetworkLink l;
+    l.name = "lte-cloud";
+    l.uplink_mbps = 20.0;
+    l.downlink_mbps = 60.0;
+    l.base_latency_ms = 25.0;
+    l.jitter_ms = 8.0;
+    l.loss_rate = 0.01;
+    return l;
+}
+
+NetworkModel::NetworkModel(const NetworkLink &link, unsigned seed)
+    : link_(link), rng_(seed)
+{
+}
+
+Duration
+NetworkModel::transferDelay(std::size_t bytes, bool uplink)
+{
+    ++sent_;
+    if (link_.loss_rate > 0.0 && rng_.uniform() < link_.loss_rate) {
+        ++lost_;
+        return -1;
+    }
+    const double mbps =
+        uplink ? link_.uplink_mbps : link_.downlink_mbps;
+    const double serialization_ms =
+        static_cast<double>(bytes) * 8.0 / (mbps * 1000.0);
+    const double jitter_ms =
+        std::max(0.0, rng_.gaussian(0.0, link_.jitter_ms));
+    const double total_ms =
+        link_.base_latency_ms + serialization_ms + jitter_ms;
+    return fromSeconds(total_ms / 1000.0);
+}
+
+} // namespace illixr

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Network link model for component offloading.
+ *
+ * The paper's §II footnote 2 describes work toward "networking, edge
+ * and cloud work partitioning" with "a generalized offloading module
+ * that any component can use". This module provides the substrate: a
+ * stochastic link model (base latency + serialization delay + jitter)
+ * with presets for the device-edge-cloud tiers the paper's §V-F
+ * research direction targets.
+ */
+
+#pragma once
+
+#include "foundation/rng.hpp"
+#include "foundation/time.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace illixr {
+
+/** Link configuration. */
+struct NetworkLink
+{
+    std::string name;
+    double uplink_mbps = 100.0;
+    double downlink_mbps = 100.0;
+    double base_latency_ms = 2.0;   ///< One-way propagation + stack.
+    double jitter_ms = 0.5;         ///< Std-dev of per-message jitter.
+    double loss_rate = 0.0;         ///< Per-message loss probability.
+
+    /** Wired edge server on the same LAN segment. */
+    static NetworkLink edgeEthernet();
+    /** Wi-Fi 6 to an edge server. */
+    static NetworkLink wifi6();
+    /** 5G to a near cloudlet. */
+    static NetworkLink fiveG();
+    /** LTE to a regional cloud. */
+    static NetworkLink lteCloud();
+};
+
+/**
+ * Stateful link simulator: computes per-message one-way delays with
+ * deterministic (seeded) jitter and loss.
+ */
+class NetworkModel
+{
+  public:
+    explicit NetworkModel(const NetworkLink &link, unsigned seed = 71);
+
+    /**
+     * One-way delay for a message of @p bytes.
+     * @param uplink true for device->server, false for the return.
+     * @return delay, or a negative value when the message is lost.
+     */
+    Duration transferDelay(std::size_t bytes, bool uplink);
+
+    const NetworkLink &link() const { return link_; }
+
+    std::size_t messagesSent() const { return sent_; }
+    std::size_t messagesLost() const { return lost_; }
+
+  private:
+    NetworkLink link_;
+    Rng rng_;
+    std::size_t sent_ = 0;
+    std::size_t lost_ = 0;
+};
+
+} // namespace illixr

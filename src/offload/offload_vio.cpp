@@ -1,0 +1,179 @@
+#include "offload/offload_vio.hpp"
+
+#include "foundation/profile.hpp"
+#include "metrics/mtp.hpp"
+#include "xr/illixr_system.hpp"
+
+namespace illixr {
+
+OffloadedVioPlugin::OffloadedVioPlugin(const Phonebook &pb,
+                                       const SystemTuning &tuning,
+                                       const OffloadConfig &config)
+    : Plugin("vio"), tuning_(tuning), config_(config),
+      sb_(pb.lookup<Switchboard>()), data_(pb.lookup<PreloadedDataset>()),
+      cameraReader_(sb_->subscribe(topics::kCamera)),
+      imuReader_(sb_->subscribe(topics::kImu)), net_(config.link)
+{
+    MsckfParams params;
+    params.imu_noise = data_->dataset.config().imu_noise;
+    TrackerParams tracker;
+    tracker.max_features = 80;
+    vio_ = std::make_unique<VioSystem>(params, tracker,
+                                       data_->dataset.rig());
+}
+
+void
+OffloadedVioPlugin::iterate(TimePoint now)
+{
+    if (!initialized_) {
+        ImuState init;
+        init.time = 0;
+        const Pose p0 = data_->dataset.groundTruthPose(0);
+        init.orientation = p0.orientation;
+        init.position = p0.position;
+        init.velocity = data_->dataset.trajectory().velocity(0.0);
+        vio_->initialize(init);
+        initialized_ = true;
+    }
+
+    // Release matured remote results onto the switchboard.
+    while (!pending_.empty() && pending_.front().release <= now) {
+        sb_->publish(topics::kSlowPose, pending_.front().event);
+        pending_.pop_front();
+    }
+
+    // Stream sensors to the "server" (the IMU messages are small and
+    // folded into the frame's uplink accounting).
+    while (EventPtr e = imuReader_->pop()) {
+        if (auto imu = std::dynamic_pointer_cast<const ImuEvent>(e))
+            vio_->addImu(imu->sample);
+    }
+
+    while (EventPtr e = cameraReader_->pop()) {
+        auto cam = std::dynamic_pointer_cast<const CameraFrameEvent>(e);
+        if (!cam)
+            continue;
+
+        // The filter computation happens on the remote server: run it
+        // here for the real result, but exclude its host cost from
+        // the local platform and model it as remote latency instead.
+        const double t0 = hostTimeSeconds();
+        const ImuState &state = vio_->processFrame(cam->time, cam->image);
+        const double remote_host_s = hostTimeSeconds() - t0;
+        excludeHostSeconds(remote_host_s);
+
+        const std::size_t frame_bytes = static_cast<std::size_t>(
+            static_cast<double>(cam->image.pixelCount()) *
+            config_.compression_ratio);
+        const Duration up = net_.transferDelay(frame_bytes, true);
+        const Duration down = net_.transferDelay(256, false);
+        if (up < 0 || down < 0) {
+            ++framesLost_; // Message lost; no pose update this frame.
+            continue;
+        }
+        const Duration remote_compute =
+            fromSeconds(remote_host_s * config_.server_scale);
+        const Duration rtt = up + remote_compute + down;
+
+        auto out = makeEvent<PoseEvent>();
+        out->time = cam->time;
+        out->state = state;
+        pending_.push_back({now + rtt, out});
+        trajectory_.push_back({cam->time, state.pose()});
+        roundTrip_.add(toMilliseconds((now - cam->time) + rtt));
+    }
+}
+
+IntegratedResult
+runIntegratedOffloaded(const IntegratedConfig &config,
+                       const OffloadConfig &offload)
+{
+    const SystemTuning tuning;
+
+    Phonebook phonebook;
+    auto switchboard = std::make_shared<Switchboard>();
+    phonebook.registerService(switchboard);
+
+    DatasetConfig ds_cfg;
+    ds_cfg.duration_s = toSeconds(config.duration) + 0.5;
+    ds_cfg.image_width = config.camera_width;
+    ds_cfg.image_height = config.camera_height;
+    ds_cfg.camera_rate_hz = tuning.camera_hz;
+    ds_cfg.imu_rate_hz = tuning.imu_hz;
+    ds_cfg.preset = DatasetConfig::Preset::LabWalk;
+    ds_cfg.seed = config.seed;
+    auto data =
+        std::make_shared<PreloadedDataset>(ds_cfg, config.duration);
+    phonebook.registerService(data);
+
+    AppConfig app_cfg;
+    app_cfg.eye_width = config.eye_size;
+    app_cfg.eye_height = config.eye_size;
+    TimewarpParams tw_params;
+    tw_params.fov_y_rad = app_cfg.fov_y_rad;
+
+    CameraPlugin camera(phonebook, tuning);
+    ImuPlugin imu(phonebook, tuning);
+    OffloadedVioPlugin vio(phonebook, tuning, offload);
+    IntegratorPlugin integrator(phonebook, tuning);
+    ApplicationPlugin application(phonebook, tuning, config.app, app_cfg);
+    TimewarpPlugin timewarp(phonebook, tuning, tw_params);
+    AudioEncoderPlugin audio_enc(phonebook, tuning);
+    AudioPlaybackPlugin audio_play(phonebook, tuning);
+
+    const PlatformModel platform = PlatformModel::get(config.platform);
+    SimScheduler scheduler(platform);
+    scheduler.addPlugin(&camera);
+    scheduler.addPlugin(&imu);
+    scheduler.addPlugin(&vio);
+    scheduler.addPlugin(&integrator);
+    scheduler.addPlugin(&application);
+    const Duration vsync = periodFromHz(tuning.display_hz);
+    scheduler.addVsyncAlignedPlugin(&timewarp, vsync);
+    scheduler.addPlugin(&audio_enc);
+    scheduler.addPlugin(&audio_play);
+
+    scheduler.run(config.duration);
+
+    IntegratedResult result;
+    result.config = config;
+    result.vsync = vsync;
+    double total_host = 0.0;
+    for (const std::string &name : scheduler.taskNames()) {
+        const TaskStats &stats = scheduler.stats(name);
+        result.tasks.emplace(name, stats);
+        double host = 0.0;
+        for (const InvocationRecord &rec : stats.records)
+            host += rec.host_seconds;
+        result.cpu_share[name] = host;
+        total_host += host;
+    }
+    if (total_host > 0.0) {
+        for (auto &[name, host] : result.cpu_share)
+            host /= total_host;
+    }
+    result.target_hz["camera"] = tuning.camera_hz;
+    result.target_hz["vio"] = tuning.camera_hz;
+    result.target_hz["imu"] = tuning.imu_hz;
+    result.target_hz["integrator"] = tuning.imu_hz;
+    result.target_hz["application"] = tuning.display_hz;
+    result.target_hz["timewarp"] = tuning.display_hz;
+    result.target_hz["audio_encoding"] = tuning.audio_hz;
+    result.target_hz["audio_playback"] = tuning.audio_hz;
+
+    result.mtp = computeMtp(scheduler.stats("timewarp"),
+                            timewarp.imuAgesMs(), vsync);
+    result.utilization.cpu = scheduler.cpuUtilization();
+    result.utilization.gpu = scheduler.gpuUtilization();
+    result.utilization.memory = std::min(
+        1.0, 0.55 * result.utilization.gpu +
+                 0.35 * result.utilization.cpu + 0.10);
+    result.power = computePower(platform, result.utilization);
+    result.vio_trajectory = vio.trajectory();
+    result.extra["pose_round_trip_ms"] = vio.roundTripMs().mean();
+    result.extra["frames_lost"] =
+        static_cast<double>(vio.framesLost());
+    return result;
+}
+
+} // namespace illixr

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Offloaded head tracking: the VIO component executed on an edge /
+ * cloud server over a modeled network link — the paper's §II
+ * footnote 2 ("a local component can be easily swapped with a remote
+ * one without modifying the rest of the system") realized through
+ * the plugin interface.
+ *
+ * The plugin's *local* cost is only frame compression and bookkeeping
+ * (the filter computation is excluded from the local platform via
+ * Plugin::excludeHostSeconds and re-introduced as remote-server
+ * latency), and every pose estimate is released onto the switchboard
+ * only after uplink + remote-compute + downlink delays mature.
+ */
+
+#pragma once
+
+#include "foundation/stats.hpp"
+#include "offload/network.hpp"
+#include "slam/msckf.hpp"
+#include "xr/illixr_system.hpp"
+#include "xr/plugins.hpp"
+
+#include <deque>
+#include <memory>
+
+namespace illixr {
+
+/** Offload configuration. */
+struct OffloadConfig
+{
+    NetworkLink link = NetworkLink::wifi6();
+    /** Remote-server speed relative to the reference desktop
+     *  (virtual remote compute time = host seconds * this). */
+    double server_scale = 0.8;
+    /** Bytes per camera frame after on-device compression. */
+    double compression_ratio = 0.25;
+};
+
+/**
+ * Drop-in replacement for VioPlugin that runs the filter "remotely".
+ */
+class OffloadedVioPlugin : public Plugin
+{
+  public:
+    OffloadedVioPlugin(const Phonebook &pb, const SystemTuning &tuning,
+                       const OffloadConfig &config);
+
+    void iterate(TimePoint now) override;
+    Duration period() const override
+    {
+        return periodFromHz(tuning_.camera_hz);
+    }
+
+    const std::vector<StampedPose> &trajectory() const
+    {
+        return trajectory_;
+    }
+
+    /** Round-trip (capture to pose-available) latency series, ms. */
+    const SampleSeries &roundTripMs() const { return roundTrip_; }
+
+    std::size_t framesLost() const { return framesLost_; }
+    const NetworkModel &network() const { return net_; }
+
+  private:
+    struct PendingPose
+    {
+        TimePoint release = 0;
+        std::shared_ptr<PoseEvent> event;
+    };
+
+    SystemTuning tuning_;
+    OffloadConfig config_;
+    std::shared_ptr<Switchboard> sb_;
+    std::shared_ptr<PreloadedDataset> data_;
+    std::shared_ptr<SyncReader> cameraReader_;
+    std::shared_ptr<SyncReader> imuReader_;
+    std::unique_ptr<VioSystem> vio_;
+    NetworkModel net_;
+    std::deque<PendingPose> pending_;
+    std::vector<StampedPose> trajectory_;
+    SampleSeries roundTrip_;
+    std::size_t framesLost_ = 0;
+    bool initialized_ = false;
+};
+
+/**
+ * Run the integrated system with the VIO offloaded over @p config's
+ * link (same assembly as runIntegrated otherwise).
+ */
+IntegratedResult runIntegratedOffloaded(const IntegratedConfig &config,
+                                        const OffloadConfig &offload);
+
+} // namespace illixr

@@ -1,0 +1,115 @@
+#include "perfmodel/cache_sim.hpp"
+
+#include <cassert>
+
+namespace illixr {
+
+CacheLevel::CacheLevel(std::size_t size_bytes, std::size_t line_bytes,
+                       int ways)
+    : sizeBytes_(size_bytes), lineBytes_(line_bytes), ways_(ways),
+      sets_(size_bytes / line_bytes / ways)
+{
+    assert(sets_ > 0);
+    tags_.assign(sets_ * ways_, 0);
+    stamps_.assign(sets_ * ways_, 0);
+}
+
+bool
+CacheLevel::access(std::uint64_t address)
+{
+    const std::uint64_t line = address / lineBytes_;
+    const std::size_t set = line % sets_;
+    // Tag 0 marks invalid; offset by 1 so line 0 is representable.
+    const std::uint64_t tag = line + 1;
+    ++clock_;
+
+    std::size_t lru_way = 0;
+    std::uint64_t lru_stamp = UINT64_MAX;
+    for (int w = 0; w < ways_; ++w) {
+        const std::size_t idx = set * ways_ + w;
+        if (tags_[idx] == tag) {
+            stamps_[idx] = clock_;
+            ++hits_;
+            return true;
+        }
+        if (stamps_[idx] < lru_stamp) {
+            lru_stamp = stamps_[idx];
+            lru_way = w;
+        }
+    }
+    ++misses_;
+    const std::size_t victim = set * ways_ + lru_way;
+    tags_[victim] = tag;
+    stamps_[victim] = clock_;
+    return false;
+}
+
+double
+CacheLevel::missRate() const
+{
+    if (accesses() == 0)
+        return 0.0;
+    return static_cast<double>(misses_) /
+           static_cast<double>(accesses());
+}
+
+void
+CacheLevel::reset()
+{
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    clock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy()
+    : CacheHierarchy(32 * 1024, 256 * 1024, 12 * 1024 * 1024)
+{
+}
+
+CacheHierarchy::CacheHierarchy(std::size_t l1_bytes, std::size_t l2_bytes,
+                               std::size_t llc_bytes)
+    : l1_(l1_bytes, 64, 8), l2_(l2_bytes, 64, 8), llc_(llc_bytes, 64, 16)
+{
+}
+
+void
+CacheHierarchy::access(std::uint64_t address)
+{
+    ++accesses_;
+    if (l1_.access(address))
+        return;
+    if (l2_.access(address))
+        return;
+    llc_.access(address);
+}
+
+double
+CacheHierarchy::l2Mpka() const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(l2_.misses()) /
+           static_cast<double>(accesses_);
+}
+
+double
+CacheHierarchy::llcMpka() const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(llc_.misses()) /
+           static_cast<double>(accesses_);
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    llc_.reset();
+    accesses_ = 0;
+}
+
+} // namespace illixr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Set-associative cache simulator (L1/L2/LLC hierarchy) for memory
+ * pattern analysis of component address traces — the substrate behind
+ * the working-set observations of paper §IV-B (e.g., VIO working
+ * sets fitting the LLC but not L2, audio soundfields fitting L2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace illixr {
+
+/** One cache level, LRU replacement. */
+class CacheLevel
+{
+  public:
+    /**
+     * @param size_bytes  Total capacity.
+     * @param line_bytes  Line size (power of two).
+     * @param ways        Associativity.
+     */
+    CacheLevel(std::size_t size_bytes, std::size_t line_bytes, int ways);
+
+    /** Access an address. @return true on hit. */
+    bool access(std::uint64_t address);
+
+    std::size_t hits() const { return hits_; }
+    std::size_t misses() const { return misses_; }
+    std::size_t accesses() const { return hits_ + misses_; }
+    double missRate() const;
+
+    std::size_t sizeBytes() const { return sizeBytes_; }
+    void reset();
+
+  private:
+    std::size_t sizeBytes_;
+    std::size_t lineBytes_;
+    int ways_;
+    std::size_t sets_;
+    /** tags_[set * ways + way]; 0 = invalid. */
+    std::vector<std::uint64_t> tags_;
+    /** LRU stamps parallel to tags_. */
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t clock_ = 0;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+/** Three-level hierarchy with inclusive accounting. */
+class CacheHierarchy
+{
+  public:
+    /** Desktop-like defaults: 32 KB L1, 256 KB L2, 12 MB LLC. */
+    CacheHierarchy();
+    CacheHierarchy(std::size_t l1_bytes, std::size_t l2_bytes,
+                   std::size_t llc_bytes);
+
+    /** Access an address through the hierarchy. */
+    void access(std::uint64_t address);
+
+    const CacheLevel &l1() const { return l1_; }
+    const CacheLevel &l2() const { return l2_; }
+    const CacheLevel &llc() const { return llc_; }
+
+    /** Misses per kilo-access at each level. */
+    double l2Mpka() const;
+    double llcMpka() const;
+
+    void reset();
+
+  private:
+    CacheLevel l1_;
+    CacheLevel l2_;
+    CacheLevel llc_;
+    std::size_t accesses_ = 0;
+};
+
+} // namespace illixr

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hardware platform models: the three evaluation configurations of
+ * the paper (§III-A) — a high-end desktop (Xeon E-2236 + RTX 2080),
+ * Jetson AGX Xavier in high-performance mode (Jetson-HP), and in
+ * low-power half-clock mode (Jetson-LP).
+ *
+ * Components execute for real on the host; their *virtual* duration
+ * on a modeled platform is host time scaled by a per-execution-unit
+ * factor. The factors are calibrated constants (see DESIGN.md §5):
+ * they encode the relative CPU/GPU throughput of the three platforms
+ * (Jetson-LP runs at half the clocks of Jetson-HP per the paper), so
+ * cross-platform *shape* — which components miss their deadlines
+ * where — is reproduced even though absolute host speed differs from
+ * the authors' testbed.
+ */
+
+#pragma once
+
+#include "foundation/time.hpp"
+
+#include <string>
+
+namespace illixr {
+
+/** The three evaluated hardware configurations. */
+enum class PlatformId
+{
+    Desktop = 0,
+    JetsonHP = 1,
+    JetsonLP = 2,
+};
+
+const char *platformName(PlatformId id);
+
+/** Execution unit a task occupies (paper §IV-B: components are
+ *  diverse in their use of CPU, GPU compute, and GPU graphics). */
+enum class ExecUnit
+{
+    Cpu = 0,
+    GpuCompute = 1,
+    GpuGraphics = 2,
+};
+
+/**
+ * Performance + power descriptor of one platform.
+ */
+struct PlatformModel
+{
+    PlatformId id = PlatformId::Desktop;
+    std::string name;
+
+    int cpu_threads = 12;   ///< Schedulable hardware threads.
+    double cpu_scale = 1.0; ///< Virtual time = host time * scale.
+    double gpu_compute_scale = 1.0;
+    double gpu_graphics_scale = 1.0;
+
+    // --- Power model (Watts): P_rail = idle + peak * utilization ---
+    // (utilizations come from the scheduler's busy accounting).
+    double cpu_idle_w = 0.0, cpu_peak_w = 0.0;
+    double gpu_idle_w = 0.0, gpu_peak_w = 0.0;
+    double ddr_idle_w = 0.0, ddr_peak_w = 0.0;
+    double soc_w = 0.0; ///< On-chip microcontrollers etc. (constant).
+    double sys_w = 0.0; ///< Display, storage, I/O, sensors (constant).
+
+    static PlatformModel get(PlatformId id);
+
+    /** Convert a measured host duration to this platform's virtual
+     *  duration on the given execution unit. */
+    Duration scaleDuration(double host_seconds, ExecUnit unit) const;
+
+    double scaleFor(ExecUnit unit) const;
+};
+
+} // namespace illixr

@@ -1,0 +1,63 @@
+#include "perfmodel/power.hpp"
+
+#include <algorithm>
+
+namespace illixr {
+
+const char *
+railName(PowerRail rail)
+{
+    switch (rail) {
+      case PowerRail::Cpu: return "CPU";
+      case PowerRail::Gpu: return "GPU";
+      case PowerRail::Ddr: return "DDR";
+      case PowerRail::Soc: return "SoC";
+      case PowerRail::Sys: return "Sys";
+    }
+    return "?";
+}
+
+double
+PowerBreakdown::total() const
+{
+    double acc = 0.0;
+    for (double w : rail_watts)
+        acc += w;
+    return acc;
+}
+
+double
+PowerBreakdown::share(PowerRail rail) const
+{
+    const double t = total();
+    if (t <= 0.0)
+        return 0.0;
+    return rail_watts[static_cast<int>(rail)] / t;
+}
+
+PowerBreakdown
+computePower(const PlatformModel &p, const UtilizationSummary &u)
+{
+    PowerBreakdown out;
+    const double cpu_u = std::clamp(u.cpu, 0.0, 1.0);
+    const double gpu_u = std::clamp(u.gpu, 0.0, 1.0);
+    const double mem_u = std::clamp(u.memory, 0.0, 1.0);
+    out.rail_watts[static_cast<int>(PowerRail::Cpu)] =
+        p.cpu_idle_w + p.cpu_peak_w * cpu_u;
+    out.rail_watts[static_cast<int>(PowerRail::Gpu)] =
+        p.gpu_idle_w + p.gpu_peak_w * gpu_u;
+    out.rail_watts[static_cast<int>(PowerRail::Ddr)] =
+        p.ddr_idle_w + p.ddr_peak_w * mem_u;
+    out.rail_watts[static_cast<int>(PowerRail::Soc)] = p.soc_w;
+    out.rail_watts[static_cast<int>(PowerRail::Sys)] = p.sys_w;
+    return out;
+}
+
+double
+idealPowerTarget(bool ar)
+{
+    // Table I: Ideal VR 1-2 W; ideal AR 0.1-0.2 W (midpoints).
+    return ar ? 0.15 : 1.5;
+}
+
+} // namespace illixr

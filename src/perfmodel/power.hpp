@@ -1,0 +1,55 @@
+/**
+ * @file
+ * System power model reproducing paper Fig 6: total power per
+ * platform (log-scale gap to the ideal 1-2 W / 0.1-0.2 W of Table I)
+ * and per-rail breakdown (CPU, GPU, DDR, SoC, Sys — §III-E).
+ */
+
+#pragma once
+
+#include "perfmodel/platform.hpp"
+
+#include <array>
+#include <string>
+
+namespace illixr {
+
+/** Power rails measured on the Xavier (paper §III-E). */
+enum class PowerRail
+{
+    Cpu = 0,
+    Gpu = 1,
+    Ddr = 2,
+    Soc = 3,
+    Sys = 4,
+};
+constexpr int kPowerRailCount = 5;
+
+const char *railName(PowerRail rail);
+
+/** Utilization inputs from the scheduler (busy time / wall time). */
+struct UtilizationSummary
+{
+    double cpu = 0.0;  ///< Mean over hardware threads, in [0, 1].
+    double gpu = 0.0;  ///< GPU queue busy fraction, in [0, 1].
+    /** Memory-traffic proxy in [0, 1] (weighted component activity). */
+    double memory = 0.0;
+};
+
+/** Per-rail average power, Watts. */
+struct PowerBreakdown
+{
+    std::array<double, kPowerRailCount> rail_watts{};
+
+    double total() const;
+    double share(PowerRail rail) const;
+};
+
+/** Evaluate the rail model for a platform and a measured utilization. */
+PowerBreakdown computePower(const PlatformModel &platform,
+                            const UtilizationSummary &utilization);
+
+/** Ideal-device targets from paper Table I, Watts. */
+double idealPowerTarget(bool ar);
+
+} // namespace illixr

@@ -1,0 +1,161 @@
+#include "perfmodel/uarch.hpp"
+
+#include <algorithm>
+
+namespace illixr {
+
+namespace {
+
+// Calibrated model constants (see header).
+constexpr double kIssueWidthCpi = 0.25;     ///< 4-wide issue.
+constexpr double kScalarPenaltyCpi = 0.15;  ///< Non-vector code.
+constexpr double kDependencyCpi = 0.15;     ///< Scalar dependency stalls.
+constexpr double kL2MissCpi = 0.008;        ///< Cycles per L2 MPKI/1000.
+constexpr double kLlcMissCpi = 0.20;        ///< Cycles per LLC MPKI/1000.
+constexpr double kDivPenalty = 5.0;         ///< Amortized divider stall.
+constexpr double kMispredictPenalty = 20.0;
+constexpr double kIcacheKb = 32.0;
+constexpr double kFrontendDenomKb = 1024.0;
+constexpr double kFrontendCpi = 2.0;
+
+} // namespace
+
+UarchResult
+evaluateUarch(const OpMix &mix)
+{
+    // Top-down style accounting: CPI contributions per category.
+    const double cpi_retire =
+        kIssueWidthCpi + kScalarPenaltyCpi * (1.0 - mix.vector_fraction);
+
+    const double fe_pressure = std::clamp(
+        (mix.instruction_footprint_kb - kIcacheKb) / kFrontendDenomKb,
+        0.0, 1.0);
+    const double cpi_frontend = kFrontendCpi * fe_pressure;
+
+    const double cpi_badspec = mix.branch_fraction *
+                               mix.branch_mispredict_rate *
+                               kMispredictPenalty;
+
+    const double cpi_backend =
+        mix.l2_mpki * kL2MissCpi + mix.llc_mpki * kLlcMissCpi +
+        mix.div_fraction * kDivPenalty +
+        kDependencyCpi * (1.0 - mix.vector_fraction);
+
+    const double cpi =
+        cpi_retire + cpi_frontend + cpi_badspec + cpi_backend;
+
+    UarchResult r;
+    r.component = mix.component;
+    r.ipc = 1.0 / cpi;
+    r.retiring = cpi_retire / cpi;
+    r.frontend_bound = cpi_frontend / cpi;
+    r.bad_speculation = cpi_badspec / cpi;
+    r.backend_bound = cpi_backend / cpi;
+    return r;
+}
+
+std::vector<OpMix>
+illixrComponentMixes()
+{
+    std::vector<OpMix> mixes;
+
+    // VIO: well-vectorized KLT/GEMM phases (IPC 3.2+ there) mixed
+    // with pointer-chasing feature bookkeeping; working sets fit the
+    // LLC (paper: L2 7.9 MPKI, LLC 0.1 MPKI).
+    OpMix vio;
+    vio.component = "VIO";
+    vio.vector_fraction = 0.70;
+    vio.branch_fraction = 0.12;
+    vio.branch_mispredict_rate = 0.012;
+    vio.div_fraction = 0.001;
+    vio.load_fraction = 0.35;
+    vio.l2_mpki = 7.9;
+    vio.llc_mpki = 0.10;
+    vio.instruction_footprint_kb = 96.0;
+    mixes.push_back(vio);
+
+    // Eye tracking: convolution inner loops vectorize well but the
+    // 1922 MB of activations per forward pass make it bandwidth
+    // bound (paper §IV-B2).
+    OpMix eye;
+    eye.component = "Eye Tracking";
+    eye.vector_fraction = 0.85;
+    eye.branch_fraction = 0.06;
+    eye.branch_mispredict_rate = 0.004;
+    eye.load_fraction = 0.45;
+    eye.l2_mpki = 20.0;
+    eye.llc_mpki = 2.0;
+    eye.instruction_footprint_kb = 48.0;
+    mixes.push_back(eye);
+
+    // Scene reconstruction: streaming vertex/normal/TSDF traffic,
+    // 200-400 GB/s in the paper — heavily backend (memory) bound.
+    OpMix recon;
+    recon.component = "Scene Reconst.";
+    recon.vector_fraction = 0.60;
+    recon.branch_fraction = 0.10;
+    recon.branch_mispredict_rate = 0.010;
+    recon.load_fraction = 0.45;
+    recon.l2_mpki = 15.0;
+    recon.llc_mpki = 1.5;
+    recon.instruction_footprint_kb = 128.0;
+    mixes.push_back(recon);
+
+    // Reprojection: CPU side is dominated by the GPU driver's huge
+    // instruction footprint -> frontend bound, IPC ~0.3 (paper).
+    OpMix reproj;
+    reproj.component = "Reproj.";
+    reproj.vector_fraction = 0.20;
+    reproj.branch_fraction = 0.15;
+    reproj.branch_mispredict_rate = 0.010;
+    reproj.load_fraction = 0.40;
+    reproj.l2_mpki = 8.0;
+    reproj.llc_mpki = 0.5;
+    reproj.instruction_footprint_kb = 2048.0; // Driver code.
+    mixes.push_back(reproj);
+
+    // Hologram: FFMA/IMAD heavy with FP64 transcendentals (modeled
+    // as long-latency "divider-class" operations).
+    OpMix holo;
+    holo.component = "Hologram";
+    holo.vector_fraction = 0.75;
+    holo.branch_fraction = 0.05;
+    holo.branch_mispredict_rate = 0.004;
+    holo.div_fraction = 0.05;
+    holo.load_fraction = 0.30;
+    holo.l2_mpki = 4.0;
+    holo.llc_mpki = 0.3;
+    holo.instruction_footprint_kb = 32.0;
+    mixes.push_back(holo);
+
+    // Audio encoding: vectorized, dense, but bottlenecked on the
+    // lone hardware divider (paper: IPC 2.5, 69% retiring).
+    OpMix enc;
+    enc.component = "Audio Encoding";
+    enc.vector_fraction = 0.80;
+    enc.branch_fraction = 0.05;
+    enc.branch_mispredict_rate = 0.004;
+    enc.div_fraction = 0.020;
+    enc.load_fraction = 0.30;
+    enc.l2_mpki = 1.0;
+    enc.llc_mpki = 0.02;
+    enc.instruction_footprint_kb = 24.0;
+    mixes.push_back(enc);
+
+    // Audio playback: vectorized FFT/FMADD, 64 KB soundfield in L2,
+    // no divides -> IPC 3.5, 86% retiring (paper).
+    OpMix play;
+    play.component = "Audio Playback";
+    play.vector_fraction = 0.90;
+    play.branch_fraction = 0.05;
+    play.branch_mispredict_rate = 0.003;
+    play.load_fraction = 0.30;
+    play.l2_mpki = 0.5;
+    play.llc_mpki = 0.01;
+    play.instruction_footprint_kb = 24.0;
+    mixes.push_back(play);
+
+    return mixes;
+}
+
+} // namespace illixr

@@ -1,0 +1,237 @@
+#include "recon/icp.hpp"
+
+#include "linalg/decomp.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+std::vector<Vec3>
+computeVertexMap(const DepthImage &depth, const CameraIntrinsics &intr)
+{
+    const int w = depth.width();
+    const int h = depth.height();
+    std::vector<Vec3> vertices(static_cast<std::size_t>(w) * h,
+                               Vec3(0, 0, 0));
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const float d = depth.at(x, y);
+            if (d <= 0.0f)
+                continue;
+            // Back-project: the pixel ray scaled so that z == depth.
+            vertices[static_cast<std::size_t>(y) * w + x] =
+                Vec3((x + 0.5 - intr.cx) / intr.fx * d,
+                     (y + 0.5 - intr.cy) / intr.fy * d, d);
+        }
+    }
+    return vertices;
+}
+
+std::vector<Vec3>
+computeNormalMap(const std::vector<Vec3> &vertices, int width, int height)
+{
+    std::vector<Vec3> normals(vertices.size(), Vec3(0, 0, 0));
+    auto at = [&](int x, int y) -> const Vec3 & {
+        return vertices[static_cast<std::size_t>(y) * width + x];
+    };
+    for (int y = 0; y + 1 < height; ++y) {
+        for (int x = 0; x + 1 < width; ++x) {
+            const Vec3 &v = at(x, y);
+            const Vec3 &vx = at(x + 1, y);
+            const Vec3 &vy = at(x, y + 1);
+            if (v.z <= 0.0 || vx.z <= 0.0 || vy.z <= 0.0)
+                continue;
+            const Vec3 n = (vx - v).cross(vy - v);
+            const double nn = n.norm();
+            if (nn < 1e-12)
+                continue;
+            // Orient toward the camera (-z side in camera frame).
+            Vec3 unit = n / nn;
+            if (unit.dot(v) > 0.0)
+                unit = -unit;
+            normals[static_cast<std::size_t>(y) * width + x] = unit;
+        }
+    }
+    return normals;
+}
+
+IcpResult
+icpPointToPlane(const std::vector<Vec3> &cur_vertices,
+                const std::vector<Vec3> &cur_normals,
+                const std::vector<Vec3> &model_vertices,
+                const std::vector<Vec3> &model_normals,
+                const CameraIntrinsics &intr, const Pose &initial_guess,
+                const IcpParams &params, const PhotometricTerm *photometric)
+{
+    IcpResult result;
+    result.camera_to_world = initial_guess;
+    const int w = intr.width;
+    const int h = intr.height;
+    // The model maps were raycast from the initial-guess pose; use it
+    // for projective association throughout.
+    const Pose model_world_to_cam = initial_guess.inverse();
+
+    for (int iter = 0; iter < params.max_iterations; ++iter) {
+        MatX jtj(6, 6);
+        VecX jtr(6);
+        double err_sum = 0.0;
+        std::size_t count = 0;
+
+        for (int y = 0; y < h; y += params.subsample) {
+            for (int x = 0; x < w; x += params.subsample) {
+                const std::size_t i = static_cast<std::size_t>(y) * w + x;
+                const Vec3 &pc = cur_vertices[i];
+                const Vec3 &nc = cur_normals[i];
+                if (pc.z <= 0.0 || nc.squaredNorm() < 0.5)
+                    continue;
+                const Vec3 pw = result.camera_to_world.transform(pc);
+                // Project into the model's camera for association.
+                const Vec3 pm_cam = model_world_to_cam.transform(pw);
+                if (pm_cam.z <= 0.05)
+                    continue;
+                const Vec2 px = intr.project(pm_cam);
+                if (!intr.inImage(px, 1.0))
+                    continue;
+                const std::size_t mi =
+                    static_cast<std::size_t>(px.y) * w +
+                    static_cast<std::size_t>(px.x);
+                const Vec3 &vm = model_vertices[mi];
+                const Vec3 &nm = model_normals[mi];
+                if (nm.squaredNorm() < 0.5)
+                    continue;
+                const Vec3 diff = pw - vm;
+                if (diff.norm() > params.max_correspondence_dist)
+                    continue;
+                // Normal compatibility in world frame.
+                const Vec3 nc_world =
+                    result.camera_to_world.orientation.rotate(nc);
+                if (nc_world.dot(nm) < params.min_normal_dot)
+                    continue;
+
+                const double r = nm.dot(diff);
+                err_sum += std::fabs(r);
+                ++count;
+                // J = [ (pw x nm)^T  nm^T ].
+                const Vec3 c = pw.cross(nm);
+                const double jrow[6] = {c.x, c.y, c.z,
+                                        nm.x, nm.y, nm.z};
+                for (int a = 0; a < 6; ++a) {
+                    jtr[a] += jrow[a] * r;
+                    for (int b = 0; b < 6; ++b)
+                        jtj(a, b) += jrow[a] * jrow[b];
+                }
+            }
+        }
+
+        result.correspondences = count;
+        if (count < 30)
+            return result; // Not enough geometry to align.
+        result.final_error = err_sum / static_cast<double>(count);
+
+        // --- Photometric term (direct alignment vs the previous
+        //     frame): constrains translation along flat geometry. ---
+        if (photometric && photometric->cur_gray &&
+            photometric->prev_gray) {
+            const ImageF &cur = *photometric->cur_gray;
+            const ImageF &prev = *photometric->prev_gray;
+            const Pose prev_w2c =
+                photometric->prev_camera_to_world.inverse();
+            const Mat3 r_prev =
+                photometric->prev_camera_to_world.orientation.toMatrix();
+            const double lambda2 =
+                photometric->weight * photometric->weight;
+
+            for (int y = 0; y < h; y += params.subsample) {
+                for (int x = 0; x < w; x += params.subsample) {
+                    const std::size_t i =
+                        static_cast<std::size_t>(y) * w + x;
+                    const Vec3 &pc = cur_vertices[i];
+                    if (pc.z <= 0.0)
+                        continue;
+                    const Vec3 pw =
+                        result.camera_to_world.transform(pc);
+                    const Vec3 q = prev_w2c.transform(pw);
+                    if (q.z <= 0.05)
+                        continue;
+                    const Vec2 uv = intr.project(q);
+                    if (!intr.inImage(uv, 2.0))
+                        continue;
+                    const double r_photo =
+                        prev.sampleBilinear(uv.x - 0.5, uv.y - 0.5) -
+                        cur.at(x, y);
+                    // Skip occlusion-suspect large residuals.
+                    if (std::fabs(r_photo) > 0.25)
+                        continue;
+                    // Image gradient of the previous frame at uv.
+                    const double gx =
+                        0.5 * (prev.sampleBilinear(uv.x + 0.5, uv.y - 0.5) -
+                               prev.sampleBilinear(uv.x - 1.5, uv.y - 0.5));
+                    const double gy =
+                        0.5 * (prev.sampleBilinear(uv.x - 0.5, uv.y + 0.5) -
+                               prev.sampleBilinear(uv.x - 0.5, uv.y - 1.5));
+                    // u = dr/dW = R_prev * Jproj^T * g.
+                    const double iz = 1.0 / q.z;
+                    const Vec3 jproj_t_g(
+                        intr.fx * iz * gx, intr.fy * iz * gy,
+                        -(intr.fx * q.x * gx + intr.fy * q.y * gy) * iz *
+                            iz);
+                    const Vec3 u = r_prev * jproj_t_g;
+                    const Vec3 wxu = pw.cross(u);
+                    const double jrow[6] = {wxu.x, wxu.y, wxu.z,
+                                            u.x,   u.y,   u.z};
+                    for (int a = 0; a < 6; ++a) {
+                        jtr[a] += lambda2 * jrow[a] * r_photo;
+                        for (int b = 0; b < 6; ++b)
+                            jtj(a, b) +=
+                                lambda2 * jrow[a] * jrow[b];
+                    }
+                }
+            }
+        }
+
+        // Tikhonov damping relative to the problem scale: flat
+        // scenes leave translation directions unobservable (the
+        // classic two-plane ICP degeneracy); the damping pins the
+        // solution along those null directions instead of letting it
+        // wander.
+        double trace = 0.0;
+        for (int d = 0; d < 6; ++d)
+            trace += jtj(d, d);
+        const double damping = 1e-4 * trace / 6.0 + 1e-9;
+        for (int d = 0; d < 6; ++d)
+            jtj(d, d) += damping;
+        Cholesky chol(jtj);
+        if (!chol.ok())
+            return result;
+        VecX delta = chol.solve(jtr);
+        // Clamp runaway steps (degenerate geometry safety net).
+        const double rot_norm = std::sqrt(
+            delta[0] * delta[0] + delta[1] * delta[1] +
+            delta[2] * delta[2]);
+        const double trans_norm = std::sqrt(
+            delta[3] * delta[3] + delta[4] * delta[4] +
+            delta[5] * delta[5]);
+        const double scale = std::max(rot_norm / 0.2, trans_norm / 0.1);
+        if (scale > 1.0) {
+            for (std::size_t d = 0; d < 6; ++d)
+                delta[d] /= scale;
+        }
+        // Minimizing: update is the negative step.
+        const Vec3 omega(-delta[0], -delta[1], -delta[2]);
+        const Vec3 trans(-delta[3], -delta[4], -delta[5]);
+        const Pose increment(Quat::exp(omega), trans);
+        result.camera_to_world = increment * result.camera_to_world;
+        result.iterations = iter + 1;
+
+        if (delta.norm() < params.convergence_delta) {
+            result.converged = true;
+            break;
+        }
+    }
+    if (result.iterations == params.max_iterations)
+        result.converged = true; // Ran to budget, still usable.
+    return result;
+}
+
+} // namespace illixr

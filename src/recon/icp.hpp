@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Point-to-plane iterative closest point (ICP) — the pose-estimation
+ * task of the scene-reconstruction component (paper Table VI:
+ * "Iterative closest point; photometric error; geometric error").
+ *
+ * Projective data association against a predicted model (vertex +
+ * normal maps from TSDF raycasting), solving the linearized 6-DoF
+ * update with Cholesky each iteration, as in KinectFusion.
+ */
+
+#pragma once
+
+#include "foundation/pose.hpp"
+#include "image/image.hpp"
+#include "sensors/camera.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** ICP configuration. */
+struct IcpParams
+{
+    int max_iterations = 8;
+    double max_correspondence_dist = 0.25; ///< Meters.
+    double min_normal_dot = 0.6;           ///< Normal compatibility.
+    int subsample = 2;                      ///< Pixel stride.
+    double convergence_delta = 1e-5;        ///< Update norm threshold.
+};
+
+/** ICP result. */
+struct IcpResult
+{
+    Pose camera_to_world;   ///< Refined pose.
+    bool converged = false;
+    int iterations = 0;
+    double final_error = 0.0; ///< Mean abs point-to-plane residual.
+    std::size_t correspondences = 0;
+};
+
+/**
+ * Optional photometric (direct-alignment) term, as in ElasticFusion
+ * (paper Table VI: "photometric error; geometric error"): intensity
+ * residuals against the previous frame constrain the translation
+ * directions that flat geometry leaves unobservable.
+ */
+struct PhotometricTerm
+{
+    const ImageF *cur_gray = nullptr;  ///< Current intensity image.
+    const ImageF *prev_gray = nullptr; ///< Previous intensity image.
+    Pose prev_camera_to_world;         ///< Pose of prev_gray.
+    /** Relative weight of one intensity residual vs one meter of
+     *  geometric residual. */
+    double weight = 30.0;
+};
+
+/** Compute a camera-frame vertex map from a depth image. */
+std::vector<Vec3> computeVertexMap(const DepthImage &depth,
+                                   const CameraIntrinsics &intr);
+
+/** Normal map from a vertex map (cross products of neighbors). */
+std::vector<Vec3> computeNormalMap(const std::vector<Vec3> &vertices,
+                                   int width, int height);
+
+/**
+ * Align the current depth frame to the predicted model maps.
+ *
+ * @param cur_vertices   Camera-frame vertex map of the new frame.
+ * @param cur_normals    Camera-frame normal map of the new frame.
+ * @param model_vertices World-frame model vertices (raycast).
+ * @param model_normals  World-frame model normals (raycast).
+ * @param intr           Camera intrinsics (for projective association).
+ * @param initial_guess  Initial camera_to_world pose.
+ */
+IcpResult icpPointToPlane(const std::vector<Vec3> &cur_vertices,
+                          const std::vector<Vec3> &cur_normals,
+                          const std::vector<Vec3> &model_vertices,
+                          const std::vector<Vec3> &model_normals,
+                          const CameraIntrinsics &intr,
+                          const Pose &initial_guess,
+                          const IcpParams &params = IcpParams(),
+                          const PhotometricTerm *photometric = nullptr);
+
+} // namespace illixr

@@ -1,0 +1,202 @@
+#include "recon/mesh_extract.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace illixr {
+
+namespace {
+
+/** Key of a cell (its minimum-corner voxel indices). */
+std::uint64_t
+cellKey(int x, int y, int z)
+{
+    return (static_cast<std::uint64_t>(x) << 42) |
+           (static_cast<std::uint64_t>(y) << 21) |
+           static_cast<std::uint64_t>(z);
+}
+
+} // namespace
+
+SurfaceMesh
+extractSurfaceMesh(const TsdfVolume &volume)
+{
+    SurfaceMesh mesh;
+    const int res = volume.params().resolution;
+    const double vs = volume.voxelSize();
+    const Vec3 origin = volume.params().origin;
+
+    auto node_pos = [&](int x, int y, int z) {
+        return origin + Vec3((x + 0.5) * vs, (y + 0.5) * vs,
+                             (z + 0.5) * vs);
+    };
+    auto sdf = [&](int x, int y, int z) {
+        return volume.sdfAt(node_pos(x, y, z));
+    };
+    auto observed = [&](int x, int y, int z) {
+        return volume.weightAt(node_pos(x, y, z)) > 0.0f;
+    };
+
+    // Pass 1: one vertex per mixed-sign cell.
+    std::map<std::uint64_t, std::uint32_t> cell_vertex;
+    for (int z = 0; z + 1 < res; ++z) {
+        for (int y = 0; y + 1 < res; ++y) {
+            for (int x = 0; x + 1 < res; ++x) {
+                float values[8];
+                bool all_observed = true;
+                bool any_pos = false, any_neg = false;
+                int corner = 0;
+                for (int dz = 0; dz <= 1; ++dz) {
+                    for (int dy = 0; dy <= 1; ++dy) {
+                        for (int dx = 0; dx <= 1; ++dx, ++corner) {
+                            if (!observed(x + dx, y + dy, z + dz)) {
+                                all_observed = false;
+                            }
+                            const float v = sdf(x + dx, y + dy, z + dz);
+                            values[corner] = v;
+                            (v >= 0.0f ? any_pos : any_neg) = true;
+                        }
+                    }
+                }
+                if (!all_observed || !any_pos || !any_neg)
+                    continue;
+
+                // Centroid of the edge zero-crossings.
+                static const int edges[12][2] = {
+                    {0, 1}, {2, 3}, {4, 5}, {6, 7}, // x edges.
+                    {0, 2}, {1, 3}, {4, 6}, {5, 7}, // y edges.
+                    {0, 4}, {1, 5}, {2, 6}, {3, 7}, // z edges.
+                };
+                auto corner_pos = [&](int c) {
+                    return node_pos(x + (c & 1), y + ((c >> 1) & 1),
+                                    z + ((c >> 2) & 1));
+                };
+                Vec3 acc(0, 0, 0);
+                int crossings = 0;
+                for (const auto &e : edges) {
+                    const float a = values[e[0]];
+                    const float b = values[e[1]];
+                    if ((a >= 0.0f) == (b >= 0.0f))
+                        continue;
+                    const double t = a / (a - b);
+                    const Vec3 pa = corner_pos(e[0]);
+                    const Vec3 pb = corner_pos(e[1]);
+                    acc += pa + (pb - pa) * t;
+                    ++crossings;
+                }
+                if (crossings == 0)
+                    continue;
+                const Vec3 p = acc / static_cast<double>(crossings);
+                cell_vertex[cellKey(x, y, z)] =
+                    static_cast<std::uint32_t>(mesh.positions.size());
+                mesh.positions.push_back(p);
+                Vec3 n = volume.gradientAt(p);
+                const double nn = n.norm();
+                mesh.normals.push_back(nn > 1e-9 ? n / nn
+                                                 : Vec3(0, 1, 0));
+            }
+        }
+    }
+
+    // Pass 2: a quad across every sign-changing lattice edge; the
+    // four adjacent cells supply the corners. Axis 0/1/2 = x/y/z.
+    auto emit_quad = [&](std::uint32_t a, std::uint32_t b,
+                         std::uint32_t c, std::uint32_t d, bool flip) {
+        // Quad a-b-c-d (around the edge); split into two triangles.
+        if (flip) {
+            mesh.triangles.insert(mesh.triangles.end(),
+                                  {a, c, b, a, d, c});
+        } else {
+            mesh.triangles.insert(mesh.triangles.end(),
+                                  {a, b, c, a, c, d});
+        }
+    };
+
+    for (int z = 1; z + 1 < res; ++z) {
+        for (int y = 1; y + 1 < res; ++y) {
+            for (int x = 1; x + 1 < res; ++x) {
+                const float v0 = sdf(x, y, z);
+                // Edge along +x.
+                if (x + 1 < res) {
+                    const float v1 = sdf(x + 1, y, z);
+                    if ((v0 >= 0.0f) != (v1 >= 0.0f)) {
+                        auto c00 = cell_vertex.find(cellKey(x, y - 1, z - 1));
+                        auto c01 = cell_vertex.find(cellKey(x, y, z - 1));
+                        auto c11 = cell_vertex.find(cellKey(x, y, z));
+                        auto c10 = cell_vertex.find(cellKey(x, y - 1, z));
+                        if (c00 != cell_vertex.end() &&
+                            c01 != cell_vertex.end() &&
+                            c11 != cell_vertex.end() &&
+                            c10 != cell_vertex.end()) {
+                            emit_quad(c00->second, c01->second,
+                                      c11->second, c10->second,
+                                      v0 < 0.0f);
+                        }
+                    }
+                }
+                // Edge along +y.
+                if (y + 1 < res) {
+                    const float v1 = sdf(x, y + 1, z);
+                    if ((v0 >= 0.0f) != (v1 >= 0.0f)) {
+                        auto c00 = cell_vertex.find(cellKey(x - 1, y, z - 1));
+                        auto c01 = cell_vertex.find(cellKey(x - 1, y, z));
+                        auto c11 = cell_vertex.find(cellKey(x, y, z));
+                        auto c10 = cell_vertex.find(cellKey(x, y, z - 1));
+                        if (c00 != cell_vertex.end() &&
+                            c01 != cell_vertex.end() &&
+                            c11 != cell_vertex.end() &&
+                            c10 != cell_vertex.end()) {
+                            emit_quad(c00->second, c01->second,
+                                      c11->second, c10->second,
+                                      v0 < 0.0f);
+                        }
+                    }
+                }
+                // Edge along +z.
+                if (z + 1 < res) {
+                    const float v1 = sdf(x, y, z + 1);
+                    if ((v0 >= 0.0f) != (v1 >= 0.0f)) {
+                        auto c00 = cell_vertex.find(cellKey(x - 1, y - 1, z));
+                        auto c01 = cell_vertex.find(cellKey(x, y - 1, z));
+                        auto c11 = cell_vertex.find(cellKey(x, y, z));
+                        auto c10 = cell_vertex.find(cellKey(x - 1, y, z));
+                        if (c00 != cell_vertex.end() &&
+                            c01 != cell_vertex.end() &&
+                            c11 != cell_vertex.end() &&
+                            c10 != cell_vertex.end()) {
+                            emit_quad(c00->second, c01->second,
+                                      c11->second, c10->second,
+                                      v0 < 0.0f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return mesh;
+}
+
+bool
+writeObj(const SurfaceMesh &mesh, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "# ILLIXR-repro TSDF surface (%zu verts, %zu tris)\n",
+                 mesh.positions.size(), mesh.triangleCount());
+    for (const Vec3 &p : mesh.positions)
+        std::fprintf(f, "v %.6f %.6f %.6f\n", p.x, p.y, p.z);
+    for (const Vec3 &n : mesh.normals)
+        std::fprintf(f, "vn %.4f %.4f %.4f\n", n.x, n.y, n.z);
+    for (std::size_t t = 0; t + 2 < mesh.triangles.size(); t += 3) {
+        std::fprintf(f, "f %u//%u %u//%u %u//%u\n",
+                     mesh.triangles[t] + 1, mesh.triangles[t] + 1,
+                     mesh.triangles[t + 1] + 1, mesh.triangles[t + 1] + 1,
+                     mesh.triangles[t + 2] + 1,
+                     mesh.triangles[t + 2] + 1);
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace illixr

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Surface extraction from the TSDF volume.
+ *
+ * ElasticFusion/KinectFusion deliver an explicit surface (surfels /
+ * marching-cubes mesh) to consumers; this module provides the
+ * equivalent via the surface-nets method: one vertex per sign-change
+ * cell (at the centroid of its edge zero-crossings), quads across
+ * every sign-changing lattice edge, normals from the TSDF gradient.
+ * Includes Wavefront-OBJ export for inspection in any mesh viewer.
+ */
+
+#pragma once
+
+#include "recon/tsdf.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** Extracted triangle surface. */
+struct SurfaceMesh
+{
+    std::vector<Vec3> positions;
+    std::vector<Vec3> normals; ///< Unit, outward (toward +SDF).
+    std::vector<std::uint32_t> triangles; ///< 3 indices per triangle.
+
+    std::size_t triangleCount() const { return triangles.size() / 3; }
+};
+
+/**
+ * Extract the zero isosurface of @p volume with surface nets.
+ * Cells touching unobserved voxels are skipped.
+ */
+SurfaceMesh extractSurfaceMesh(const TsdfVolume &volume);
+
+/** Write a mesh as Wavefront OBJ (positions + normals + faces). */
+bool writeObj(const SurfaceMesh &mesh, const std::string &path);
+
+} // namespace illixr

@@ -1,0 +1,105 @@
+#include "recon/reconstructor.hpp"
+
+#include "image/filter.hpp"
+
+namespace illixr {
+
+SceneReconstructor::SceneReconstructor(const ReconParams &params,
+                                       const CameraIntrinsics &intr)
+    : params_(params), intr_(intr), volume_(params.tsdf)
+{
+}
+
+ReconFrameResult
+SceneReconstructor::processFrame(const DepthImage &depth,
+                                 const Pose *pose_hint,
+                                 const ImageF *gray)
+{
+    ReconFrameResult result;
+
+    // --- Camera processing: denoise + invalid-depth rejection. ---
+    DepthImage filtered;
+    {
+        ScopedTask timer(profile_, "camera_processing");
+        filtered = bilateralFilter(depth, params_.bilateral_spatial_sigma,
+                                   params_.bilateral_range_sigma);
+        for (int y = 0; y < filtered.height(); ++y) {
+            for (int x = 0; x < filtered.width(); ++x) {
+                if (filtered.at(x, y) > params_.max_depth_m)
+                    filtered.at(x, y) = 0.0f;
+            }
+        }
+    }
+
+    // --- Image processing: vertex + normal map generation. ---
+    std::vector<Vec3> cur_vertices, cur_normals;
+    {
+        ScopedTask timer(profile_, "image_processing");
+        cur_vertices = computeVertexMap(filtered, intr_);
+        cur_normals = computeNormalMap(cur_vertices, filtered.width(),
+                                       filtered.height());
+    }
+
+    if (frameCount_ == 0) {
+        // Bootstrap: adopt the hint (or identity) and fuse.
+        pose_ = pose_hint ? *pose_hint : Pose::identity();
+        result.tracking_ok = true;
+    } else {
+        Pose guess = pose_hint ? *pose_hint : pose_;
+
+        // Two predict/align rounds: the second raycast from the
+        // refined pose removes most of the projective-association
+        // bias of the first (KinectFusion-style outer iteration).
+        for (int round = 0; round < 2; ++round) {
+            // --- Surfel prediction: raycast the model. ---
+            std::vector<Vec3> model_vertices, model_normals;
+            {
+                ScopedTask timer(profile_, "surfel_prediction");
+                volume_.raycast(intr_, guess, model_vertices,
+                                model_normals);
+            }
+
+            // --- Pose estimation: point-to-plane ICP, with the
+            //     photometric term when intensity is available. ---
+            ScopedTask timer(profile_, "pose_estimation");
+            PhotometricTerm photo;
+            const bool have_photo = gray && !prevGray_.empty();
+            if (have_photo) {
+                photo.cur_gray = gray;
+                photo.prev_gray = &prevGray_;
+                photo.prev_camera_to_world = prevGrayPose_;
+            }
+            const IcpResult icp = icpPointToPlane(
+                cur_vertices, cur_normals, model_vertices, model_normals,
+                intr_, guess, params_.icp,
+                have_photo ? &photo : nullptr);
+            result.icp_error = icp.final_error;
+            if (icp.converged && icp.correspondences >= 30) {
+                guess = icp.camera_to_world;
+                result.tracking_ok = true;
+            } else {
+                // Tracking failure: keep the guess, skip fusion.
+                result.tracking_ok = false;
+                break;
+            }
+        }
+        pose_ = guess;
+    }
+
+    // --- Map fusion: integrate the frame into the TSDF. ---
+    if (result.tracking_ok) {
+        ScopedTask timer(profile_, "map_fusion");
+        volume_.integrate(filtered, intr_, pose_);
+    }
+
+    if (gray) {
+        prevGray_ = *gray;
+        prevGrayPose_ = pose_;
+    }
+    ++frameCount_;
+    result.camera_to_world = pose_;
+    result.observed_voxels = volume_.observedVoxelCount();
+    return result;
+}
+
+} // namespace illixr

@@ -1,0 +1,205 @@
+#include "recon/tsdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace illixr {
+
+TsdfVolume::TsdfVolume(const TsdfParams &params)
+    : params_(params),
+      voxelSize_(params.side_meters / params.resolution),
+      sdf_(static_cast<std::size_t>(params.resolution) *
+               params.resolution * params.resolution,
+           1.0f),
+      weight_(sdf_.size(), 0.0f)
+{
+}
+
+void
+TsdfVolume::integrate(const DepthImage &depth, const CameraIntrinsics &intr,
+                      const Pose &camera_to_world)
+{
+    const Pose world_to_camera = camera_to_world.inverse();
+    const int res = params_.resolution;
+    const float trunc = static_cast<float>(params_.truncation);
+
+    for (int z = 0; z < res; ++z) {
+        for (int y = 0; y < res; ++y) {
+            for (int x = 0; x < res; ++x) {
+                const Vec3 world =
+                    params_.origin +
+                    Vec3((x + 0.5) * voxelSize_, (y + 0.5) * voxelSize_,
+                         (z + 0.5) * voxelSize_);
+                const Vec3 cam = world_to_camera.transform(world);
+                if (cam.z <= 0.05)
+                    continue; // Behind the camera.
+                const Vec2 px = intr.project(cam);
+                if (!intr.inImage(px, 1.0))
+                    continue;
+                const float measured = depth.at(
+                    static_cast<int>(px.x), static_cast<int>(px.y));
+                if (measured <= 0.0f)
+                    continue; // Invalid depth.
+                const float sdf_val =
+                    measured - static_cast<float>(cam.z);
+                if (sdf_val < -trunc)
+                    continue; // Occluded beyond the band.
+                const float tsdf =
+                    std::min(1.0f, sdf_val / trunc);
+                const std::size_t i = index(x, y, z);
+                const float w_old = weight_[i];
+                const float w_new = 1.0f;
+                sdf_[i] = (sdf_[i] * w_old + tsdf * w_new) /
+                          (w_old + w_new);
+                weight_[i] =
+                    std::min(params_.max_weight, w_old + w_new);
+            }
+        }
+    }
+}
+
+float
+TsdfVolume::sdfAt(const Vec3 &world) const
+{
+    const Vec3 g = (world - params_.origin) / voxelSize_ -
+                   Vec3(0.5, 0.5, 0.5);
+    const int x0 = static_cast<int>(std::floor(g.x));
+    const int y0 = static_cast<int>(std::floor(g.y));
+    const int z0 = static_cast<int>(std::floor(g.z));
+    if (!inGrid(x0, y0, z0) || !inGrid(x0 + 1, y0 + 1, z0 + 1))
+        return 1.0f;
+    const double fx = g.x - x0, fy = g.y - y0, fz = g.z - z0;
+    double acc = 0.0;
+    for (int dz = 0; dz <= 1; ++dz) {
+        for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+                const double w = (dx ? fx : 1.0 - fx) *
+                                 (dy ? fy : 1.0 - fy) *
+                                 (dz ? fz : 1.0 - fz);
+                acc += w * sdf_[index(x0 + dx, y0 + dy, z0 + dz)];
+            }
+        }
+    }
+    return static_cast<float>(acc);
+}
+
+float
+TsdfVolume::weightAt(const Vec3 &world) const
+{
+    const Vec3 g = (world - params_.origin) / voxelSize_ -
+                   Vec3(0.5, 0.5, 0.5);
+    const int x0 = static_cast<int>(std::lround(g.x));
+    const int y0 = static_cast<int>(std::lround(g.y));
+    const int z0 = static_cast<int>(std::lround(g.z));
+    if (!inGrid(x0, y0, z0))
+        return 0.0f;
+    return weight_[index(x0, y0, z0)];
+}
+
+Vec3
+TsdfVolume::gradientAt(const Vec3 &world) const
+{
+    const double h = voxelSize_;
+    const double gx = sdfAt(world + Vec3(h, 0, 0)) -
+                      sdfAt(world - Vec3(h, 0, 0));
+    const double gy = sdfAt(world + Vec3(0, h, 0)) -
+                      sdfAt(world - Vec3(0, h, 0));
+    const double gz = sdfAt(world + Vec3(0, 0, h)) -
+                      sdfAt(world - Vec3(0, 0, h));
+    return Vec3(gx, gy, gz) / (2.0 * h);
+}
+
+void
+TsdfVolume::raycast(const CameraIntrinsics &intr,
+                    const Pose &camera_to_world, std::vector<Vec3> &vertices,
+                    std::vector<Vec3> &normals, int step_divisor) const
+{
+    const int w = intr.width;
+    const int h = intr.height;
+    vertices.assign(static_cast<std::size_t>(w) * h, Vec3(0, 0, 0));
+    normals.assign(static_cast<std::size_t>(w) * h, Vec3(0, 0, 0));
+
+    const Vec3 origin = camera_to_world.position;
+    const double step =
+        params_.truncation / std::max(1, step_divisor);
+    const double max_range = params_.side_meters * 1.8;
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const Vec3 dir = camera_to_world.orientation.rotate(
+                intr.unproject(Vec2(x + 0.5, y + 0.5)));
+            double t = 0.3;
+            float prev_sdf = 1.0f;
+            bool prev_valid = false;
+            while (t < max_range) {
+                const Vec3 p = origin + dir * t;
+                const float wgt = weightAt(p);
+                const float s = sdfAt(p);
+                if (wgt > 0.0f) {
+                    if (prev_valid && prev_sdf > 0.0f && s <= 0.0f) {
+                        // Linear zero-crossing interpolation.
+                        const double t_hit =
+                            t - step * s / (s - prev_sdf);
+                        const Vec3 hit = origin + dir * t_hit;
+                        const std::size_t i =
+                            static_cast<std::size_t>(y) * w + x;
+                        vertices[i] = hit;
+                        const Vec3 n = gradientAt(hit);
+                        const double nn = n.norm();
+                        if (nn > 1e-9)
+                            normals[i] = n / nn;
+                        break;
+                    }
+                    prev_sdf = s;
+                    prev_valid = true;
+                } else {
+                    prev_valid = false;
+                }
+                t += step;
+            }
+        }
+    }
+}
+
+std::size_t
+TsdfVolume::observedVoxelCount() const
+{
+    std::size_t n = 0;
+    for (float w : weight_)
+        if (w > 0.0f)
+            ++n;
+    return n;
+}
+
+std::vector<Vec3>
+TsdfVolume::extractSurfacePoints() const
+{
+    std::vector<Vec3> points;
+    const int res = params_.resolution;
+    for (int z = 0; z + 1 < res; ++z) {
+        for (int y = 0; y + 1 < res; ++y) {
+            for (int x = 0; x + 1 < res; ++x) {
+                const std::size_t i = index(x, y, z);
+                if (weight_[i] <= 0.0f)
+                    continue;
+                const float s = sdf_[i];
+                const bool crosses =
+                    (weight_[index(x + 1, y, z)] > 0.0f &&
+                     s * sdf_[index(x + 1, y, z)] < 0.0f) ||
+                    (weight_[index(x, y + 1, z)] > 0.0f &&
+                     s * sdf_[index(x, y + 1, z)] < 0.0f) ||
+                    (weight_[index(x, y, z + 1)] > 0.0f &&
+                     s * sdf_[index(x, y, z + 1)] < 0.0f);
+                if (crosses) {
+                    points.push_back(params_.origin +
+                                     Vec3((x + 0.5) * voxelSize_,
+                                          (y + 0.5) * voxelSize_,
+                                          (z + 0.5) * voxelSize_));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace illixr

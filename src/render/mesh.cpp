@@ -1,0 +1,210 @@
+#include "render/mesh.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+void
+Mesh::append(const Mesh &other)
+{
+    const auto base = static_cast<std::uint32_t>(vertices.size());
+    vertices.insert(vertices.end(), other.vertices.begin(),
+                    other.vertices.end());
+    indices.reserve(indices.size() + other.indices.size());
+    for (std::uint32_t i : other.indices)
+        indices.push_back(base + i);
+}
+
+void
+Mesh::transform(const Mat4 &m)
+{
+    for (Vertex &v : vertices) {
+        v.position = m.transformPoint(v.position);
+        v.normal = m.transformDirection(v.normal).normalized();
+    }
+}
+
+void
+Mesh::setColor(const Vec3 &color)
+{
+    for (Vertex &v : vertices)
+        v.color = color;
+}
+
+void
+Mesh::bounds(Vec3 &lo, Vec3 &hi) const
+{
+    lo = Vec3(1e30, 1e30, 1e30);
+    hi = Vec3(-1e30, -1e30, -1e30);
+    for (const Vertex &v : vertices) {
+        lo.x = std::min(lo.x, v.position.x);
+        lo.y = std::min(lo.y, v.position.y);
+        lo.z = std::min(lo.z, v.position.z);
+        hi.x = std::max(hi.x, v.position.x);
+        hi.y = std::max(hi.y, v.position.y);
+        hi.z = std::max(hi.z, v.position.z);
+    }
+}
+
+Mesh
+makeBox(const Vec3 &he, const Vec3 &color)
+{
+    Mesh m;
+    const Vec3 normals[6] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                             {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+    for (int f = 0; f < 6; ++f) {
+        const Vec3 n = normals[f];
+        // Build a tangent basis for the face.
+        const Vec3 u = (std::fabs(n.x) > 0.5) ? Vec3(0, 1, 0)
+                                              : Vec3(1, 0, 0);
+        const Vec3 t = n.cross(u).normalized();
+        const Vec3 b = n.cross(t);
+        const Vec3 center = n.cwiseProduct(he);
+        const Vec3 te = t.cwiseProduct(he);
+        const Vec3 be = b.cwiseProduct(he);
+        const auto base = static_cast<std::uint32_t>(m.vertices.size());
+        m.vertices.push_back({center - te - be, n, color});
+        m.vertices.push_back({center + te - be, n, color});
+        m.vertices.push_back({center + te + be, n, color});
+        m.vertices.push_back({center - te + be, n, color});
+        // Winding: counter-clockwise seen from outside.
+        m.indices.insert(m.indices.end(),
+                         {base, base + 1, base + 2, base, base + 2,
+                          base + 3});
+    }
+    return m;
+}
+
+Mesh
+makeSphere(double radius, int rings, int sectors, const Vec3 &color)
+{
+    Mesh m;
+    for (int r = 0; r <= rings; ++r) {
+        const double phi = M_PI * static_cast<double>(r) / rings;
+        for (int s = 0; s <= sectors; ++s) {
+            const double theta = 2.0 * M_PI * static_cast<double>(s) /
+                                 sectors;
+            const Vec3 n(std::sin(phi) * std::cos(theta), std::cos(phi),
+                         std::sin(phi) * std::sin(theta));
+            m.vertices.push_back({n * radius, n, color});
+        }
+    }
+    const int stride = sectors + 1;
+    for (int r = 0; r < rings; ++r) {
+        for (int s = 0; s < sectors; ++s) {
+            const auto i0 = static_cast<std::uint32_t>(r * stride + s);
+            const auto i1 = i0 + 1;
+            const auto i2 = i0 + stride;
+            const auto i3 = i2 + 1;
+            m.indices.insert(m.indices.end(), {i0, i2, i1, i1, i2, i3});
+        }
+    }
+    return m;
+}
+
+Mesh
+makePlane(double size_x, double size_z, int cells, const Vec3 &color_a,
+          const Vec3 &color_b)
+{
+    Mesh m;
+    const double dx = size_x / cells;
+    const double dz = size_z / cells;
+    for (int cz = 0; cz < cells; ++cz) {
+        for (int cx = 0; cx < cells; ++cx) {
+            const Vec3 color = ((cx + cz) & 1) ? color_a : color_b;
+            const double x0 = -size_x / 2.0 + cx * dx;
+            const double z0 = -size_z / 2.0 + cz * dz;
+            const Vec3 n(0, 1, 0);
+            const auto base =
+                static_cast<std::uint32_t>(m.vertices.size());
+            m.vertices.push_back({Vec3(x0, 0, z0), n, color});
+            m.vertices.push_back({Vec3(x0 + dx, 0, z0), n, color});
+            m.vertices.push_back({Vec3(x0 + dx, 0, z0 + dz), n, color});
+            m.vertices.push_back({Vec3(x0, 0, z0 + dz), n, color});
+            m.indices.insert(m.indices.end(), {base, base + 2, base + 1,
+                                               base, base + 3, base + 2});
+        }
+    }
+    return m;
+}
+
+Mesh
+makeCylinder(double radius, double height, int sectors, const Vec3 &color)
+{
+    Mesh m;
+    const double h2 = height / 2.0;
+    // Side wall.
+    for (int s = 0; s <= sectors; ++s) {
+        const double theta = 2.0 * M_PI * static_cast<double>(s) / sectors;
+        const Vec3 n(std::cos(theta), 0.0, std::sin(theta));
+        m.vertices.push_back({Vec3(n.x * radius, -h2, n.z * radius), n,
+                              color});
+        m.vertices.push_back({Vec3(n.x * radius, h2, n.z * radius), n,
+                              color});
+    }
+    for (int s = 0; s < sectors; ++s) {
+        const auto i0 = static_cast<std::uint32_t>(2 * s);
+        m.indices.insert(m.indices.end(), {i0, i0 + 1, i0 + 2, i0 + 2,
+                                           i0 + 1, i0 + 3});
+    }
+    // Caps.
+    for (int cap = 0; cap < 2; ++cap) {
+        const double y = cap ? h2 : -h2;
+        const Vec3 n(0.0, cap ? 1.0 : -1.0, 0.0);
+        const auto center = static_cast<std::uint32_t>(m.vertices.size());
+        m.vertices.push_back({Vec3(0, y, 0), n, color});
+        for (int s = 0; s <= sectors; ++s) {
+            const double theta =
+                2.0 * M_PI * static_cast<double>(s) / sectors;
+            m.vertices.push_back(
+                {Vec3(std::cos(theta) * radius, y,
+                      std::sin(theta) * radius),
+                 n, color});
+        }
+        for (int s = 0; s < sectors; ++s) {
+            const auto a = center + 1 + s;
+            const auto b = center + 2 + s;
+            if (cap)
+                m.indices.insert(m.indices.end(), {center, b, a});
+            else
+                m.indices.insert(m.indices.end(), {center, a, b});
+        }
+    }
+    return m;
+}
+
+Mesh
+makeTorus(double major_radius, double minor_radius, int major_segments,
+          int minor_segments, const Vec3 &color)
+{
+    Mesh m;
+    for (int i = 0; i <= major_segments; ++i) {
+        const double u = 2.0 * M_PI * static_cast<double>(i) /
+                         major_segments;
+        const Vec3 ring_center(major_radius * std::cos(u), 0.0,
+                               major_radius * std::sin(u));
+        const Vec3 ring_dir = ring_center.normalized();
+        for (int j = 0; j <= minor_segments; ++j) {
+            const double v = 2.0 * M_PI * static_cast<double>(j) /
+                             minor_segments;
+            const Vec3 n =
+                ring_dir * std::cos(v) + Vec3(0, 1, 0) * std::sin(v);
+            m.vertices.push_back(
+                {ring_center + n * minor_radius, n, color});
+        }
+    }
+    const int stride = minor_segments + 1;
+    for (int i = 0; i < major_segments; ++i) {
+        for (int j = 0; j < minor_segments; ++j) {
+            const auto i0 =
+                static_cast<std::uint32_t>(i * stride + j);
+            const auto i1 = i0 + 1;
+            const auto i2 = i0 + stride;
+            const auto i3 = i2 + 1;
+            m.indices.insert(m.indices.end(), {i0, i1, i2, i1, i3, i2});
+        }
+    }
+    return m;
+}
+
+} // namespace illixr

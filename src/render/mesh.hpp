@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Triangle meshes and procedural generators for the application
+ * scenes (the Godot-app substitute; see DESIGN.md).
+ */
+
+#pragma once
+
+#include "foundation/mat.hpp"
+#include "foundation/vec.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace illixr {
+
+/** One mesh vertex. */
+struct Vertex
+{
+    Vec3 position;
+    Vec3 normal;
+    Vec3 color{0.8, 0.8, 0.8};
+};
+
+/** Indexed triangle mesh. */
+struct Mesh
+{
+    std::vector<Vertex> vertices;
+    std::vector<std::uint32_t> indices; ///< Triangle list (3 per tri).
+
+    std::size_t triangleCount() const { return indices.size() / 3; }
+
+    /** Append another mesh (indices are re-based). */
+    void append(const Mesh &other);
+
+    /** Transform all vertices (positions by @p m, normals by its
+     *  rotation part; assumes rigid + uniform scale). */
+    void transform(const Mat4 &m);
+
+    /** Set every vertex color. */
+    void setColor(const Vec3 &color);
+
+    /** Axis-aligned bounds (min, max). */
+    void bounds(Vec3 &lo, Vec3 &hi) const;
+};
+
+/** Axis-aligned box centered at the origin. */
+Mesh makeBox(const Vec3 &half_extents, const Vec3 &color);
+
+/** Lat-long sphere. */
+Mesh makeSphere(double radius, int rings, int sectors, const Vec3 &color);
+
+/** Flat grid in the XZ plane (y = 0), size x by z, n x n cells,
+ *  alternating checker colors. */
+Mesh makePlane(double size_x, double size_z, int cells, const Vec3 &color_a,
+               const Vec3 &color_b);
+
+/** Closed cylinder along +Y. */
+Mesh makeCylinder(double radius, double height, int sectors,
+                  const Vec3 &color);
+
+/** Torus in the XZ plane. */
+Mesh makeTorus(double major_radius, double minor_radius, int major_segments,
+               int minor_segments, const Vec3 &color);
+
+} // namespace illixr

@@ -1,0 +1,187 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace illixr {
+
+namespace {
+
+/** Post-transform vertex. */
+struct ShadedVertex
+{
+    Vec3 ndc;        ///< Normalized device coordinates.
+    double inv_w = 0.0;
+    Vec3 color;      ///< Gouraud-lit color (pre-divided by w).
+    Vec3 normal;     ///< World normal / w (for per-pixel shading).
+    Vec3 world;      ///< World position / w.
+};
+
+double
+edgeFunction(double ax, double ay, double bx, double by, double cx,
+             double cy)
+{
+    return (cx - ax) * (by - ay) - (cy - ay) * (bx - ax);
+}
+
+} // namespace
+
+Rasterizer::Rasterizer(int width, int height)
+    : color_(width, height), depth_(width, height, 1e30f)
+{
+}
+
+void
+Rasterizer::clear(const Vec3 &color)
+{
+    for (int y = 0; y < height(); ++y)
+        for (int x = 0; x < width(); ++x)
+            color_.setPixel(x, y, color);
+    depth_.fill(1e30f);
+}
+
+void
+Rasterizer::draw(const Mesh &mesh, const Mat4 &model, const Mat4 &view,
+                 const Mat4 &proj, const DirectionalLight &light,
+                 ShadingModel shading)
+{
+    ++stats_.draw_calls;
+    stats_.triangles_submitted += mesh.triangleCount();
+
+    const Mat4 mv = view * model;
+    const Mat4 mvp = proj * mv;
+    const Vec3 light_dir = light.direction.normalized();
+    // Camera position in world space (for specular).
+    const Mat4 view_inv = view.inverse();
+    const Vec3 eye(view_inv(0, 3), view_inv(1, 3), view_inv(2, 3));
+
+    // Transform all vertices once.
+    std::vector<ShadedVertex> tv(mesh.vertices.size());
+    std::vector<bool> valid(mesh.vertices.size(), true);
+    for (std::size_t i = 0; i < mesh.vertices.size(); ++i) {
+        const Vertex &v = mesh.vertices[i];
+        const Vec3 world = model.transformPoint(v.position);
+        const Vec4 clip = mvp * Vec4(v.position, 1.0);
+        if (clip.w <= 1e-6) {
+            valid[i] = false; // Behind the near plane.
+            continue;
+        }
+        ShadedVertex &out = tv[i];
+        out.inv_w = 1.0 / clip.w;
+        out.ndc = Vec3(clip.x, clip.y, clip.z) * out.inv_w;
+        const Vec3 n = model.transformDirection(v.normal).normalized();
+        if (shading == ShadingModel::Gouraud) {
+            const double diffuse =
+                std::max(0.0, n.dot(light_dir)) * light.intensity;
+            out.color = v.color * (light.ambient + diffuse);
+        } else {
+            out.color = v.color;
+        }
+        out.normal = n;
+        out.world = world;
+    }
+
+    const int w = width();
+    const int h = height();
+    const double half_w = w / 2.0;
+    const double half_h = h / 2.0;
+
+    for (std::size_t t = 0; t + 2 < mesh.indices.size(); t += 3) {
+        const std::uint32_t ia = mesh.indices[t];
+        const std::uint32_t ib = mesh.indices[t + 1];
+        const std::uint32_t ic = mesh.indices[t + 2];
+        if (!valid[ia] || !valid[ib] || !valid[ic])
+            continue;
+        const ShadedVertex &a = tv[ia];
+        const ShadedVertex &b = tv[ib];
+        const ShadedVertex &c = tv[ic];
+
+        // Screen-space coordinates (y down).
+        const double ax = (a.ndc.x + 1.0) * half_w;
+        const double ay = (1.0 - a.ndc.y) * half_h;
+        const double bx = (b.ndc.x + 1.0) * half_w;
+        const double by = (1.0 - b.ndc.y) * half_h;
+        const double cx = (c.ndc.x + 1.0) * half_w;
+        const double cy = (1.0 - c.ndc.y) * half_h;
+
+        const double area = edgeFunction(ax, ay, bx, by, cx, cy);
+        if (area <= 0.0)
+            continue; // Backface (front faces are CCW, positive area).
+
+        // Bounding box clamp.
+        const int x0 = std::max(
+            0, static_cast<int>(std::floor(std::min({ax, bx, cx}))));
+        const int x1 = std::min(
+            w - 1, static_cast<int>(std::ceil(std::max({ax, bx, cx}))));
+        const int y0 = std::max(
+            0, static_cast<int>(std::floor(std::min({ay, by, cy}))));
+        const int y1 = std::min(
+            h - 1, static_cast<int>(std::ceil(std::max({ay, by, cy}))));
+        if (x0 > x1 || y0 > y1)
+            continue;
+        ++stats_.triangles_rasterized;
+
+        const double inv_area = 1.0 / area;
+        for (int py = y0; py <= y1; ++py) {
+            for (int px = x0; px <= x1; ++px) {
+                const double sx = px + 0.5;
+                const double sy = py + 0.5;
+                double w0 = edgeFunction(bx, by, cx, cy, sx, sy);
+                double w1 = edgeFunction(cx, cy, ax, ay, sx, sy);
+                double w2 = edgeFunction(ax, ay, bx, by, sx, sy);
+                if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0)
+                    continue; // Outside (all-positive inside).
+                w0 *= inv_area;
+                w1 *= inv_area;
+                w2 *= inv_area;
+
+                const double z =
+                    w0 * a.ndc.z + w1 * b.ndc.z + w2 * c.ndc.z;
+                if (z < -1.0 || z > 1.0)
+                    continue;
+                if (z >= depth_.at(px, py))
+                    continue;
+
+                // Perspective-correct interpolation weights.
+                const double iw =
+                    w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w;
+                const double pa = w0 * a.inv_w / iw;
+                const double pb = w1 * b.inv_w / iw;
+                const double pc = w2 * c.inv_w / iw;
+
+                Vec3 rgb;
+                if (shading == ShadingModel::Gouraud) {
+                    rgb = a.color * pa + b.color * pb + c.color * pc;
+                } else {
+                    const Vec3 base =
+                        a.color * pa + b.color * pb + c.color * pc;
+                    const Vec3 n = (a.normal * pa + b.normal * pb +
+                                    c.normal * pc)
+                                       .normalized();
+                    const Vec3 world = a.world * pa + b.world * pb +
+                                       c.world * pc;
+                    const double diffuse =
+                        std::max(0.0, n.dot(light_dir)) *
+                        light.intensity;
+                    const Vec3 view_dir = (eye - world).normalized();
+                    const Vec3 half_vec =
+                        (view_dir + light_dir).normalized();
+                    const double spec =
+                        0.6 * std::pow(std::max(0.0, n.dot(half_vec)),
+                                       24.0);
+                    rgb = base * (light.ambient + diffuse) +
+                          Vec3(spec, spec, spec);
+                }
+                depth_.at(px, py) = static_cast<float>(z);
+                color_.setPixel(
+                    px, py,
+                    Vec3(std::clamp(rgb.x, 0.0, 1.0),
+                         std::clamp(rgb.y, 0.0, 1.0),
+                         std::clamp(rgb.z, 0.0, 1.0)));
+                ++stats_.fragments_shaded;
+            }
+        }
+    }
+}
+
+} // namespace illixr

@@ -1,0 +1,296 @@
+#include "render/scenes.hpp"
+
+#include "foundation/quat.hpp"
+#include "foundation/rng.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+const char *
+appName(AppId app)
+{
+    switch (app) {
+      case AppId::Sponza: return "Sponza";
+      case AppId::Materials: return "Materials";
+      case AppId::Platformer: return "Platformer";
+      case AppId::ArDemo: return "AR Demo";
+    }
+    return "?";
+}
+
+const char *
+appShortName(AppId app)
+{
+    switch (app) {
+      case AppId::Sponza: return "S";
+      case AppId::Materials: return "M";
+      case AppId::Platformer: return "P";
+      case AppId::ArDemo: return "AR";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Sponza-like atrium: colonnade, arches, floor — high poly count. */
+std::vector<SceneObject>
+buildSponza()
+{
+    std::vector<SceneObject> objects;
+    Rng rng(101);
+
+    // Floor and walls.
+    SceneObject floor;
+    floor.mesh = makePlane(16.0, 10.0, 24, Vec3(0.55, 0.45, 0.35),
+                           Vec3(0.4, 0.33, 0.27));
+    objects.push_back(std::move(floor));
+
+    // Two colonnades of fluted columns (high tessellation).
+    for (int side = -1; side <= 1; side += 2) {
+        for (int i = 0; i < 8; ++i) {
+            SceneObject column;
+            column.mesh =
+                makeCylinder(0.35, 3.2, 48, Vec3(0.75, 0.7, 0.6));
+            column.base_transform = Mat4::translation(
+                Vec3(-6.0 + 1.7 * i, 1.6, side * 3.2));
+            objects.push_back(std::move(column));
+
+            // Capital on top of each column.
+            SceneObject capital;
+            capital.mesh =
+                makeBox(Vec3(0.45, 0.12, 0.45), Vec3(0.8, 0.75, 0.62));
+            capital.base_transform = Mat4::translation(
+                Vec3(-6.0 + 1.7 * i, 3.3, side * 3.2));
+            objects.push_back(std::move(capital));
+        }
+    }
+
+    // Arches along the colonnades (torus segments as full tori,
+    // mostly hidden but contributing realistic overdraw).
+    for (int i = 0; i < 7; ++i) {
+        SceneObject arch;
+        arch.mesh = makeTorus(0.85, 0.14, 48, 16, Vec3(0.7, 0.64, 0.5));
+        arch.base_transform =
+            Mat4::translation(Vec3(-5.15 + 1.7 * i, 3.4, 3.2)) *
+            Mat4::fromRotation(
+                Quat::fromAxisAngle(Vec3(0, 0, 1), M_PI / 2).toMatrix());
+        objects.push_back(std::move(arch));
+    }
+
+    // Draped banners (dense planes) for global-illumination-esque
+    // variety of colors.
+    for (int i = 0; i < 4; ++i) {
+        SceneObject banner;
+        banner.mesh =
+            makePlane(1.2, 2.2, 12,
+                      Vec3(0.7, 0.15 + 0.1 * i, 0.15),
+                      Vec3(0.55, 0.1 + 0.08 * i, 0.1));
+        banner.base_transform =
+            Mat4::translation(Vec3(-4.0 + 2.6 * i, 2.4, 0.0)) *
+            Mat4::fromRotation(
+                Quat::fromAxisAngle(Vec3(1, 0, 0), M_PI / 2).toMatrix());
+        objects.push_back(std::move(banner));
+    }
+
+    // High-poly centerpiece.
+    SceneObject statue;
+    statue.mesh = makeSphere(0.6, 64, 96, Vec3(0.85, 0.82, 0.75));
+    statue.base_transform = Mat4::translation(Vec3(0.0, 1.0, 0.0));
+    objects.push_back(std::move(statue));
+
+    return objects;
+}
+
+/** Materials testers: spheres with per-pixel shading. */
+std::vector<SceneObject>
+buildMaterials()
+{
+    std::vector<SceneObject> objects;
+
+    SceneObject floor;
+    floor.mesh = makePlane(10.0, 10.0, 10, Vec3(0.35, 0.35, 0.38),
+                           Vec3(0.28, 0.28, 0.3));
+    objects.push_back(std::move(floor));
+
+    const Vec3 colors[8] = {
+        {0.8, 0.2, 0.2}, {0.2, 0.7, 0.3}, {0.2, 0.3, 0.8},
+        {0.8, 0.7, 0.2}, {0.7, 0.3, 0.7}, {0.3, 0.7, 0.7},
+        {0.85, 0.5, 0.2}, {0.6, 0.6, 0.65}};
+    for (int i = 0; i < 8; ++i) {
+        SceneObject sphere;
+        sphere.mesh = makeSphere(0.5, 28, 36, colors[i]);
+        sphere.shading = ShadingModel::PerPixel; // "PBR" showcase.
+        sphere.base_transform = Mat4::translation(
+            Vec3(-2.4 + 1.6 * (i % 4), 0.8 + 1.6 * (i / 4),
+                 -2.0 + 0.5 * (i % 3)));
+        sphere.motion = SceneObject::Motion::Orbit;
+        sphere.motion_rate = 0.2 + 0.07 * i;
+        sphere.motion_amplitude = 0.15;
+        objects.push_back(std::move(sphere));
+    }
+    return objects;
+}
+
+/** Platformer: maze of boxes, patrol "enemies", a bouncing ball. */
+std::vector<SceneObject>
+buildPlatformer()
+{
+    std::vector<SceneObject> objects;
+    Rng rng(103);
+
+    SceneObject floor;
+    floor.mesh = makePlane(14.0, 14.0, 14, Vec3(0.3, 0.5, 0.3),
+                           Vec3(0.25, 0.42, 0.25));
+    objects.push_back(std::move(floor));
+
+    // Maze walls.
+    for (int i = 0; i < 18; ++i) {
+        SceneObject wall;
+        const double len = rng.uniform(0.8, 2.4);
+        wall.mesh =
+            makeBox(Vec3(len, 0.5, 0.25), Vec3(0.5, 0.42, 0.3));
+        wall.base_transform =
+            Mat4::translation(Vec3(rng.uniform(-5.5, 5.5), 0.5,
+                                   rng.uniform(-5.5, 5.5))) *
+            Mat4::fromRotation(
+                Quat::fromAxisAngle(Vec3(0, 1, 0),
+                                    rng.uniform(0.0, M_PI))
+                    .toMatrix());
+        objects.push_back(std::move(wall));
+    }
+
+    // Crab-like patrol enemies.
+    for (int i = 0; i < 6; ++i) {
+        SceneObject crab;
+        crab.mesh = makeSphere(0.3, 12, 16, Vec3(0.8, 0.25, 0.15));
+        Mesh claws = makeBox(Vec3(0.12, 0.08, 0.25),
+                             Vec3(0.7, 0.2, 0.1));
+        claws.transform(Mat4::translation(Vec3(0.35, 0.0, 0.0)));
+        crab.mesh.append(claws);
+        crab.base_transform = Mat4::translation(
+            Vec3(rng.uniform(-4.0, 4.0), 0.3, rng.uniform(-4.0, 4.0)));
+        crab.motion = SceneObject::Motion::Patrol;
+        crab.motion_rate = 0.4 + 0.1 * i;
+        crab.motion_amplitude = 1.5;
+        objects.push_back(std::move(crab));
+    }
+
+    // Bouncing ball (the physics showcase).
+    SceneObject ball;
+    ball.mesh = makeSphere(0.25, 16, 20, Vec3(0.95, 0.85, 0.2));
+    ball.base_transform = Mat4::translation(Vec3(1.0, 0.0, 1.0));
+    ball.motion = SceneObject::Motion::Bounce;
+    ball.motion_rate = 1.3;
+    ball.motion_amplitude = 1.2;
+    objects.push_back(std::move(ball));
+
+    return objects;
+}
+
+/** Sparse AR demo: a few virtual objects + animated ball. */
+std::vector<SceneObject>
+buildArDemo()
+{
+    std::vector<SceneObject> objects;
+
+    SceneObject table;
+    table.mesh = makeBox(Vec3(0.6, 0.04, 0.4), Vec3(0.6, 0.5, 0.35));
+    table.base_transform = Mat4::translation(Vec3(0.0, 0.9, -1.5));
+    objects.push_back(std::move(table));
+
+    SceneObject marker;
+    marker.mesh = makeBox(Vec3(0.1, 0.1, 0.1), Vec3(0.2, 0.5, 0.9));
+    marker.base_transform = Mat4::translation(Vec3(-0.3, 1.05, -1.5));
+    objects.push_back(std::move(marker));
+
+    SceneObject ball;
+    ball.mesh = makeSphere(0.08, 10, 14, Vec3(0.95, 0.4, 0.2));
+    ball.base_transform = Mat4::translation(Vec3(0.25, 1.0, -1.5));
+    ball.motion = SceneObject::Motion::Bounce;
+    ball.motion_rate = 1.8;
+    ball.motion_amplitude = 0.35;
+    objects.push_back(std::move(ball));
+
+    return objects;
+}
+
+} // namespace
+
+Scene::Scene(AppId app) : app_(app)
+{
+    switch (app) {
+      case AppId::Sponza:
+        objects_ = buildSponza();
+        simIterations_ = 2;
+        background_ = Vec3(0.18, 0.2, 0.28);
+        break;
+      case AppId::Materials:
+        objects_ = buildMaterials();
+        simIterations_ = 1;
+        background_ = Vec3(0.1, 0.1, 0.14);
+        break;
+      case AppId::Platformer:
+        objects_ = buildPlatformer();
+        simIterations_ = 8; // Physics/collision heavy.
+        background_ = Vec3(0.4, 0.6, 0.85);
+        break;
+      case AppId::ArDemo:
+        objects_ = buildArDemo();
+        simIterations_ = 1;
+        background_ = Vec3(0.0, 0.0, 0.0); // Passthrough black.
+        break;
+    }
+}
+
+void
+Scene::update(double t)
+{
+    time_ = t;
+}
+
+Mat4
+Scene::objectTransform(std::size_t i) const
+{
+    const SceneObject &obj = objects_[i];
+    switch (obj.motion) {
+      case SceneObject::Motion::Static:
+        return obj.base_transform;
+      case SceneObject::Motion::Orbit: {
+        const double a = obj.motion_rate * time_ * 2.0 * M_PI;
+        return obj.base_transform *
+               Mat4::translation(
+                   Vec3(obj.motion_amplitude * std::cos(a), 0.0,
+                        obj.motion_amplitude * std::sin(a)));
+      }
+      case SceneObject::Motion::Bounce: {
+        const double phase =
+            std::fabs(std::sin(obj.motion_rate * time_ * M_PI));
+        return obj.base_transform *
+               Mat4::translation(
+                   Vec3(0.0, obj.motion_amplitude * phase, 0.0));
+      }
+      case SceneObject::Motion::Patrol: {
+        const double a = obj.motion_rate * time_ * 2.0 * M_PI;
+        return obj.base_transform *
+               Mat4::translation(
+                   Vec3(obj.motion_amplitude * std::sin(a), 0.0, 0.0)) *
+               Mat4::fromRotation(
+                   Quat::fromAxisAngle(Vec3(0, 1, 0),
+                                       std::cos(a) > 0 ? 0.0 : M_PI)
+                       .toMatrix());
+      }
+    }
+    return obj.base_transform;
+}
+
+std::size_t
+Scene::triangleCount() const
+{
+    std::size_t n = 0;
+    for (const SceneObject &obj : objects_)
+        n += obj.mesh.triangleCount();
+    return n;
+}
+
+} // namespace illixr

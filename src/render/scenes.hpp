@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The four benchmark applications of the paper (§III-C): Sponza,
+ * Materials, Platformer, and the sparse AR demo — rebuilt as
+ * procedural scenes of matching *relative* rendering complexity
+ * (Sponza most graphics-intensive, AR demo least; see DESIGN.md).
+ */
+
+#pragma once
+
+#include "render/mesh.hpp"
+#include "render/rasterizer.hpp"
+
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** Application id (paper §III-C order). */
+enum class AppId
+{
+    Sponza = 0,
+    Materials = 1,
+    Platformer = 2,
+    ArDemo = 3,
+};
+
+/** Human-readable short name (S, M, P, AR in the paper's figures). */
+const char *appName(AppId app);
+const char *appShortName(AppId app);
+
+/** One object in a scene. */
+struct SceneObject
+{
+    Mesh mesh;
+    Mat4 base_transform = Mat4::identity();
+    ShadingModel shading = ShadingModel::Gouraud;
+
+    /** Animation: none, orbiting, or bouncing. */
+    enum class Motion { Static, Orbit, Bounce, Patrol } motion =
+        Motion::Static;
+    double motion_rate = 1.0;
+    double motion_amplitude = 1.0;
+};
+
+/**
+ * A renderable scene: objects plus simulation (the application-side
+ * "scene simulation / physics" work the paper folds into the
+ * application component).
+ */
+class Scene
+{
+  public:
+    explicit Scene(AppId app);
+
+    AppId app() const { return app_; }
+
+    /** Advance the simulation to @p t_seconds (cheap, analytic). */
+    void update(double t_seconds);
+
+    /** Current object transform (base * animation). */
+    Mat4 objectTransform(std::size_t i) const;
+
+    const std::vector<SceneObject> &objects() const { return objects_; }
+
+    /** Total triangles across all objects. */
+    std::size_t triangleCount() const;
+
+    /** Extra per-frame CPU simulation iterations (physics cost knob;
+     *  Platformer runs collision-heavy simulation). */
+    int simulationIterations() const { return simIterations_; }
+
+    /** Background (sky) color; AR uses black = passthrough. */
+    Vec3 backgroundColor() const { return background_; }
+
+  private:
+    AppId app_;
+    std::vector<SceneObject> objects_;
+    double time_ = 0.0;
+    int simIterations_ = 1;
+    Vec3 background_{0.25, 0.35, 0.5};
+};
+
+} // namespace illixr

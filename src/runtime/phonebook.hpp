@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Phonebook: the type-indexed service registry through which plugins
+ * discover runtime services (switchboard, clock, platform model, ...)
+ * — mirroring ILLIXR's phonebook.
+ */
+
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <typeindex>
+#include <unordered_map>
+
+namespace illixr {
+
+class Phonebook
+{
+  public:
+    /** Register a service instance under its type. */
+    template <typename Service>
+    void
+    registerService(std::shared_ptr<Service> service)
+    {
+        services_[std::type_index(typeid(Service))] = std::move(service);
+    }
+
+    /** Look up a service. @throws std::out_of_range if absent. */
+    template <typename Service>
+    std::shared_ptr<Service>
+    lookup() const
+    {
+        auto it = services_.find(std::type_index(typeid(Service)));
+        if (it == services_.end()) {
+            throw std::out_of_range(std::string("phonebook: no service ") +
+                                    typeid(Service).name());
+        }
+        return std::static_pointer_cast<Service>(it->second);
+    }
+
+    /** True when a service of the given type is registered. */
+    template <typename Service>
+    bool
+    has() const
+    {
+        return services_.count(std::type_index(typeid(Service))) > 0;
+    }
+
+  private:
+    std::unordered_map<std::type_index, std::shared_ptr<void>> services_;
+};
+
+} // namespace illixr

@@ -1,0 +1,47 @@
+#include "runtime/plugin.hpp"
+
+#include <stdexcept>
+
+namespace illixr {
+
+PluginRegistry &
+PluginRegistry::instance()
+{
+    static PluginRegistry registry;
+    return registry;
+}
+
+void
+PluginRegistry::registerFactory(const std::string &name,
+                                PluginFactory factory)
+{
+    factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Plugin>
+PluginRegistry::create(const std::string &name,
+                       const Phonebook &phonebook) const
+{
+    auto it = factories_.find(name);
+    if (it == factories_.end())
+        throw std::out_of_range("unknown plugin: " + name);
+    return it->second(phonebook);
+}
+
+bool
+PluginRegistry::has(const std::string &name) const
+{
+    return factories_.count(name) > 0;
+}
+
+std::vector<std::string>
+PluginRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace illixr

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Plugin architecture (§II-B): components are plugins that interact
+ * only through switchboard event streams. A name-based factory
+ * registry preserves the modularity property of ILLIXR's shared-
+ * object plugin loader in a self-contained build: alternative
+ * implementations of a component register under different names and
+ * are swappable without touching the rest of the system.
+ */
+
+#pragma once
+
+#include "foundation/time.hpp"
+#include "perfmodel/platform.hpp"
+#include "runtime/phonebook.hpp"
+#include "runtime/switchboard.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/**
+ * Base class of all plugins.
+ */
+class Plugin
+{
+  public:
+    explicit Plugin(std::string name) : name_(std::move(name)) {}
+    virtual ~Plugin() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Called once before scheduling begins. */
+    virtual void start(const Phonebook &phonebook) { (void)phonebook; }
+
+    /** Called once after the run ends. */
+    virtual void stop() {}
+
+    /**
+     * One periodic invocation at (virtual) time @p now.
+     * The scheduler measures the host cost of this call and converts
+     * it to platform-virtual time.
+     */
+    virtual void iterate(TimePoint now) = 0;
+
+    /** The nominal period; <= 0 means event-driven (not periodic). */
+    virtual Duration period() const = 0;
+
+    /** Which execution unit this plugin's work occupies. */
+    virtual ExecUnit execUnit() const { return ExecUnit::Cpu; }
+
+    /**
+     * Deadline semantics: when true, an invocation whose previous
+     * instance is still running is skipped (frame drop); when false
+     * invocations queue up.
+     */
+    virtual bool skipOnOverrun() const { return true; }
+
+    /**
+     * Host seconds spent inside the last iterate() on work that does
+     * NOT occupy this platform's resources — e.g., computation an
+     * offloaded component performs on a remote server. The scheduler
+     * subtracts it from the measured invocation cost (and models the
+     * remote round-trip separately). Cleared on read.
+     */
+    double
+    consumeExcludedHostSeconds()
+    {
+        const double v = excludedHostSeconds_;
+        excludedHostSeconds_ = 0.0;
+        return v;
+    }
+
+  protected:
+    /** Mark @p seconds of the current iterate() as remote work. */
+    void excludeHostSeconds(double seconds)
+    {
+        excludedHostSeconds_ += seconds;
+    }
+
+  private:
+    std::string name_;
+    double excludedHostSeconds_ = 0.0;
+};
+
+/** Factory signature used by the registry. */
+using PluginFactory =
+    std::function<std::unique_ptr<Plugin>(const Phonebook &)>;
+
+/**
+ * Name-based plugin registry (the plugin-loader substitute).
+ */
+class PluginRegistry
+{
+  public:
+    /** Process-wide registry instance. */
+    static PluginRegistry &instance();
+
+    /** Register a factory; overwrites an existing name. */
+    void registerFactory(const std::string &name, PluginFactory factory);
+
+    /** Instantiate by name. @throws std::out_of_range when unknown. */
+    std::unique_ptr<Plugin> create(const std::string &name,
+                                   const Phonebook &phonebook) const;
+
+    bool has(const std::string &name) const;
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, PluginFactory> factories_;
+};
+
+} // namespace illixr

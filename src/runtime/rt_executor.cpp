@@ -1,0 +1,77 @@
+#include "runtime/rt_executor.hpp"
+
+#include <chrono>
+
+namespace illixr {
+
+RtExecutor::~RtExecutor()
+{
+    stop();
+}
+
+void
+RtExecutor::addPlugin(Plugin *plugin)
+{
+    auto entry = std::make_unique<Entry>();
+    entry->plugin = plugin;
+    entries_.push_back(std::move(entry));
+}
+
+void
+RtExecutor::start()
+{
+    if (running_.exchange(true))
+        return;
+    for (auto &entry : entries_)
+        threads_.emplace_back([this, &entry] { threadMain(*entry); });
+}
+
+void
+RtExecutor::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    threads_.clear();
+}
+
+std::size_t
+RtExecutor::iterations(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry->plugin->name() == name)
+            return entry->iterations.load();
+    }
+    return 0;
+}
+
+void
+RtExecutor::threadMain(Entry &entry)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto epoch = Clock::now();
+    const auto period =
+        std::chrono::nanoseconds(entry.plugin->period());
+    auto next = epoch;
+
+    while (running_.load()) {
+        const auto now = Clock::now();
+        const TimePoint vnow =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                 epoch)
+                .count();
+        entry.plugin->iterate(vnow);
+        entry.iterations.fetch_add(1);
+        next += period;
+        if (next < Clock::now()) {
+            // Overran: realign instead of bursting (skip semantics).
+            next = Clock::now() + period;
+        }
+        std::this_thread::sleep_until(next);
+    }
+}
+
+} // namespace illixr

@@ -1,0 +1,89 @@
+#include "runtime/switchboard.hpp"
+
+#include <algorithm>
+
+namespace illixr {
+
+EventPtr
+SyncReader::pop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return nullptr;
+    EventPtr e = queue_.front();
+    queue_.pop_front();
+    return e;
+}
+
+std::size_t
+SyncReader::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+Switchboard::publish(const std::string &topic, EventPtr event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Topic &t = topics_[topic];
+    t.latest = event;
+    ++t.publish_count;
+    // Fan out to live synchronous readers; prune dead ones.
+    auto it = t.readers.begin();
+    while (it != t.readers.end()) {
+        if (auto reader = it->lock()) {
+            std::lock_guard<std::mutex> rlock(reader->mutex_);
+            if (reader->queue_.size() >= reader->capacity_) {
+                reader->queue_.pop_front();
+                ++reader->dropped_;
+            }
+            reader->queue_.push_back(event);
+            ++it;
+        } else {
+            it = t.readers.erase(it);
+        }
+    }
+}
+
+EventPtr
+Switchboard::latest(const std::string &topic) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end())
+        return nullptr;
+    return it->second.latest;
+}
+
+std::shared_ptr<SyncReader>
+Switchboard::subscribe(const std::string &topic)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto reader = std::make_shared<SyncReader>();
+    topics_[topic].readers.push_back(reader);
+    return reader;
+}
+
+std::size_t
+Switchboard::publishCount(const std::string &topic) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end())
+        return 0;
+    return it->second.publish_count;
+}
+
+std::vector<std::string>
+Switchboard::topicNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(topics_.size());
+    for (const auto &[name, topic] : topics_)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace illixr

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Switchboard: the event-stream communication framework of §II-B.
+ *
+ * Topics are named channels carrying immutable events. Writers
+ * publish; *asynchronous* readers get the latest value ("ask for the
+ * latest"); *synchronous* readers see every value through a bounded
+ * per-reader queue. Plugins may only interact through these streams,
+ * which is what makes every component independently swappable.
+ */
+
+#pragma once
+
+#include "foundation/time.hpp"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** Base class of everything published on a topic. */
+struct Event
+{
+    TimePoint time = 0; ///< When the payload was produced/captured.
+    virtual ~Event() = default;
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+/**
+ * A synchronous reader: sees every event published after its
+ * creation, in order.
+ */
+class SyncReader
+{
+  public:
+    /** Pop the oldest unread event; nullptr when drained. */
+    EventPtr pop();
+
+    /** Events currently queued. */
+    std::size_t pending() const;
+
+    /** Number of events dropped due to queue overflow. */
+    std::size_t dropped() const { return dropped_; }
+
+  private:
+    friend class Switchboard;
+    mutable std::mutex mutex_;
+    std::deque<EventPtr> queue_;
+    std::size_t capacity_ = 1024;
+    std::size_t dropped_ = 0;
+};
+
+/**
+ * The switchboard.
+ */
+class Switchboard
+{
+  public:
+    /** Publish an event on a topic (creates the topic on first use). */
+    void publish(const std::string &topic, EventPtr event);
+
+    /** Asynchronous read: latest value, or nullptr if none yet. */
+    EventPtr latest(const std::string &topic) const;
+
+    /** Typed asynchronous read (nullptr if absent or wrong type). */
+    template <typename T>
+    std::shared_ptr<const T>
+    latest(const std::string &topic) const
+    {
+        return std::dynamic_pointer_cast<const T>(latest(topic));
+    }
+
+    /** Create a synchronous reader on a topic. */
+    std::shared_ptr<SyncReader> subscribe(const std::string &topic);
+
+    /** Number of events ever published on a topic. */
+    std::size_t publishCount(const std::string &topic) const;
+
+    /** Names of all topics that have been touched. */
+    std::vector<std::string> topicNames() const;
+
+  private:
+    struct Topic
+    {
+        EventPtr latest;
+        std::size_t publish_count = 0;
+        std::vector<std::weak_ptr<SyncReader>> readers;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Topic> topics_;
+};
+
+/** Convenience: make a shared event of type T. */
+template <typename T, typename... Args>
+std::shared_ptr<T>
+makeEvent(Args &&...args)
+{
+    return std::make_shared<T>(std::forward<Args>(args)...);
+}
+
+} // namespace illixr

@@ -1,0 +1,48 @@
+#include "sensors/camera.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+CameraIntrinsics
+CameraIntrinsics::fromFov(int width, int height, double horizontal_fov_rad)
+{
+    CameraIntrinsics intr;
+    intr.width = width;
+    intr.height = height;
+    intr.fx = (width / 2.0) / std::tan(horizontal_fov_rad / 2.0);
+    intr.fy = intr.fx; // Square pixels.
+    intr.cx = width / 2.0;
+    intr.cy = height / 2.0;
+    return intr;
+}
+
+Vec2
+CameraIntrinsics::project(const Vec3 &p) const
+{
+    return {fx * p.x / p.z + cx, fy * p.y / p.z + cy};
+}
+
+Vec3
+CameraIntrinsics::unproject(const Vec2 &px) const
+{
+    return Vec3((px.x - cx) / fx, (px.y - cy) / fy, 1.0).normalized();
+}
+
+CameraRig
+CameraRig::standard(const CameraIntrinsics &intr)
+{
+    CameraRig rig;
+    rig.intrinsics = intr;
+    // Body: X right, Y up, Z backward (graphics). Camera: X right,
+    // Y down, Z forward. The mapping is a 180-degree rotation about
+    // the body X axis: (x, y, z)_body -> (x, -y, -z)_camera.
+    Mat3 r = Mat3::zero();
+    r(0, 0) = 1.0;
+    r(1, 1) = -1.0;
+    r(2, 2) = -1.0;
+    rig.body_to_camera = Pose(Quat::fromMatrix(r), Vec3(0, 0, 0));
+    return rig;
+}
+
+} // namespace illixr

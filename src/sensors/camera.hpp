@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pinhole camera model: intrinsics, projection, and unprojection.
+ */
+
+#pragma once
+
+#include "foundation/pose.hpp"
+#include "foundation/vec.hpp"
+
+namespace illixr {
+
+/**
+ * Pinhole intrinsics. The camera frame is right-handed with +Z
+ * forward (optical axis), +X right, +Y down — the standard computer
+ * vision convention. (The renderer and head poses use -Z forward
+ * graphics convention; CameraRig handles the fixed rotation between
+ * them.)
+ */
+struct CameraIntrinsics
+{
+    double fx = 0.0;
+    double fy = 0.0;
+    double cx = 0.0;
+    double cy = 0.0;
+    int width = 0;
+    int height = 0;
+
+    /** Build intrinsics from a horizontal FoV. */
+    static CameraIntrinsics fromFov(int width, int height,
+                                    double horizontal_fov_rad);
+
+    /** Project a camera-frame point (z > 0) to pixel coordinates. */
+    Vec2 project(const Vec3 &p_camera) const;
+
+    /** Unit ray through a pixel, in the camera frame. */
+    Vec3 unproject(const Vec2 &pixel) const;
+
+    bool inImage(const Vec2 &px, double margin = 0.0) const
+    {
+        return px.x >= margin && px.y >= margin &&
+               px.x < width - margin && px.y < height - margin;
+    }
+};
+
+/**
+ * Camera mounting: the fixed transform from the body (IMU) frame to
+ * the camera frame, plus intrinsics.
+ */
+struct CameraRig
+{
+    CameraIntrinsics intrinsics;
+    Pose body_to_camera; ///< T_cb: maps body-frame points to camera frame.
+
+    /**
+     * Default rig: camera at the body origin looking along the body's
+     * -Z (forward) axis. The rotation maps body axes (X right, Y up,
+     * Z backward) to camera axes (X right, Y down, Z forward).
+     */
+    static CameraRig standard(const CameraIntrinsics &intr);
+
+    /** Compose a world-to-camera pose from a body-to-world pose. */
+    Pose worldToCamera(const Pose &body_to_world) const
+    {
+        return body_to_camera * body_to_world.inverse();
+    }
+};
+
+} // namespace illixr

@@ -1,0 +1,84 @@
+#include "sensors/dataset.hpp"
+
+namespace illixr {
+
+namespace {
+
+Trajectory
+makeTrajectory(const DatasetConfig &cfg)
+{
+    switch (cfg.preset) {
+      case DatasetConfig::Preset::LabWalk:
+        return Trajectory::labWalk(cfg.seed);
+      case DatasetConfig::Preset::ViconRoom:
+        return Trajectory::viconRoom(cfg.seed);
+      case DatasetConfig::Preset::SlowScan:
+        return Trajectory::slowScan(cfg.seed);
+    }
+    return Trajectory::labWalk(cfg.seed);
+}
+
+} // namespace
+
+SyntheticDataset::SyntheticDataset(const DatasetConfig &config)
+    : config_(config), trajectory_(makeTrajectory(config)),
+      world_(SyntheticWorld::labRoom(config.seed + 100)),
+      rig_(CameraRig::standard(CameraIntrinsics::fromFov(
+          config.image_width, config.image_height, config.camera_fov_rad)))
+{
+    ImuSensor imu_sensor(trajectory_, config.imu_noise, config.imu_rate_hz,
+                         config.seed + 7);
+    imu_ = imu_sensor.generate(config.duration_s);
+
+    const double cam_dt = 1.0 / config.camera_rate_hz;
+    for (double t = 0.0; t <= config.duration_s; t += cam_dt)
+        cameraTimes_.push_back(fromSeconds(t));
+}
+
+CameraFrame
+SyntheticDataset::cameraFrame(std::size_t index) const
+{
+    CameraFrame frame;
+    frame.time = cameraTimes_[index];
+    frame.sequence = index;
+    const Pose body = trajectory_.pose(toSeconds(frame.time));
+    frame.image =
+        world_.renderGray(rig_.intrinsics, rig_.worldToCamera(body));
+    return frame;
+}
+
+DepthFrame
+SyntheticDataset::depthFrame(std::size_t index,
+                             double dropout_fraction) const
+{
+    DepthFrame frame;
+    frame.time = cameraTimes_[index];
+    frame.sequence = index;
+    const Pose body = trajectory_.pose(toSeconds(frame.time));
+    frame.depth = world_.renderDepth(
+        rig_.intrinsics, rig_.worldToCamera(body), dropout_fraction,
+        static_cast<unsigned>(config_.seed + index));
+    return frame;
+}
+
+Pose
+SyntheticDataset::groundTruthPose(TimePoint t) const
+{
+    return trajectory_.pose(toSeconds(t));
+}
+
+std::vector<StampedPose>
+SyntheticDataset::groundTruthTrajectory() const
+{
+    std::vector<StampedPose> out;
+    out.reserve(cameraTimes_.size());
+    for (TimePoint t : cameraTimes_) {
+        StampedPose sp;
+        sp.time = t;
+        sp.pose = groundTruthPose(t);
+        out.push_back(sp);
+    }
+    return out;
+}
+
+} // namespace illixr

@@ -1,0 +1,68 @@
+#include "sensors/imu.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+ImuSensor::ImuSensor(const Trajectory &trajectory,
+                     const ImuNoiseModel &noise, double rate_hz,
+                     unsigned seed)
+    : trajectory_(trajectory), noise_(noise), rateHz_(rate_hz), rng_(seed)
+{
+}
+
+ImuSample
+ImuSensor::idealSampleAt(double t) const
+{
+    const Pose pose = trajectory_.pose(t);
+    const Quat q_wb = pose.orientation;
+    ImuSample s;
+    s.time = fromSeconds(t);
+    s.angular_velocity = trajectory_.angularVelocity(t);
+    // Accelerometer measures specific force in the body frame:
+    // f = R_bw * (a_world - g).
+    const Vec3 a_world = trajectory_.acceleration(t);
+    s.linear_acceleration =
+        q_wb.conjugate().rotate(a_world - gravityWorld());
+    return s;
+}
+
+std::vector<ImuSample>
+ImuSensor::generate(double duration_s)
+{
+    const double dt = 1.0 / rateHz_;
+    const auto count = static_cast<std::size_t>(duration_s * rateHz_) + 1;
+
+    // Discrete-time noise: sigma_d = sigma_c / sqrt(dt); bias walk
+    // integrates as sigma_b * sqrt(dt) per step.
+    const double gyro_sigma = noise_.gyro_noise_density / std::sqrt(dt);
+    const double accel_sigma = noise_.accel_noise_density / std::sqrt(dt);
+    const double gyro_walk = noise_.gyro_bias_walk * std::sqrt(dt);
+    const double accel_walk = noise_.accel_bias_walk * std::sqrt(dt);
+
+    Vec3 bg = noise_.initial_gyro_bias;
+    Vec3 ba = noise_.initial_accel_bias;
+
+    std::vector<ImuSample> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double t = static_cast<double>(i) * dt;
+        ImuSample s = idealSampleAt(t);
+        s.angular_velocity += bg + Vec3(rng_.gaussian(0, gyro_sigma),
+                                        rng_.gaussian(0, gyro_sigma),
+                                        rng_.gaussian(0, gyro_sigma));
+        s.linear_acceleration += ba + Vec3(rng_.gaussian(0, accel_sigma),
+                                           rng_.gaussian(0, accel_sigma),
+                                           rng_.gaussian(0, accel_sigma));
+        out.push_back(s);
+
+        bg += Vec3(rng_.gaussian(0, gyro_walk), rng_.gaussian(0, gyro_walk),
+                   rng_.gaussian(0, gyro_walk));
+        ba += Vec3(rng_.gaussian(0, accel_walk),
+                   rng_.gaussian(0, accel_walk),
+                   rng_.gaussian(0, accel_walk));
+    }
+    return out;
+}
+
+} // namespace illixr

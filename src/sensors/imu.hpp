@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Inertial measurement unit model.
+ *
+ * Produces gyroscope and accelerometer readings from an analytic
+ * Trajectory with the standard continuous-time noise model used by
+ * OpenVINS-style VIO: white measurement noise plus slowly drifting
+ * (random-walk) biases, and gravity folded into the specific force.
+ */
+
+#pragma once
+
+#include "foundation/rng.hpp"
+#include "foundation/time.hpp"
+#include "foundation/vec.hpp"
+#include "sensors/trajectory.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** One IMU reading (body frame). */
+struct ImuSample
+{
+    TimePoint time = 0;
+    Vec3 angular_velocity;    ///< rad/s, gyroscope.
+    Vec3 linear_acceleration; ///< m/s^2, accelerometer (specific force).
+};
+
+/** Continuous-time IMU noise parameters (EuRoC-like defaults). */
+struct ImuNoiseModel
+{
+    double gyro_noise_density = 1.7e-4;  ///< rad/s/sqrt(Hz)
+    double accel_noise_density = 2.0e-3; ///< m/s^2/sqrt(Hz)
+    double gyro_bias_walk = 2.0e-5;      ///< rad/s^2/sqrt(Hz)
+    double accel_bias_walk = 3.0e-3;     ///< m/s^3/sqrt(Hz)
+    Vec3 initial_gyro_bias{1e-3, -2e-3, 1.5e-3};
+    Vec3 initial_accel_bias{2e-2, 1e-2, -1.5e-2};
+};
+
+/** Standard gravity vector in the world frame (Y up). */
+inline Vec3
+gravityWorld()
+{
+    return {0.0, -9.80665, 0.0};
+}
+
+/**
+ * Samples a Trajectory into a stream of noisy IMU readings.
+ */
+class ImuSensor
+{
+  public:
+    ImuSensor(const Trajectory &trajectory, const ImuNoiseModel &noise,
+              double rate_hz, unsigned seed = 17);
+
+    /** Generate samples covering [0, duration_s]. */
+    std::vector<ImuSample> generate(double duration_s);
+
+    /** Noise-free sample at an arbitrary time (for tests). */
+    ImuSample idealSampleAt(double t_seconds) const;
+
+    double rateHz() const { return rateHz_; }
+    const ImuNoiseModel &noiseModel() const { return noise_; }
+
+  private:
+    const Trajectory &trajectory_;
+    ImuNoiseModel noise_;
+    double rateHz_;
+    Rng rng_;
+};
+
+} // namespace illixr

@@ -1,0 +1,171 @@
+#include "sensors/trajectory.hpp"
+
+#include "foundation/rng.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+double
+SinusoidTerm::value(double t) const
+{
+    return amplitude * std::sin(2.0 * M_PI * frequency_hz * t + phase);
+}
+
+double
+SinusoidTerm::firstDerivative(double t) const
+{
+    const double w = 2.0 * M_PI * frequency_hz;
+    return amplitude * w * std::cos(w * t + phase);
+}
+
+double
+SinusoidTerm::secondDerivative(double t) const
+{
+    const double w = 2.0 * M_PI * frequency_hz;
+    return -amplitude * w * w * std::sin(w * t + phase);
+}
+
+namespace {
+
+template <std::size_t N>
+double
+sumValue(const std::array<SinusoidTerm, N> &terms, double t)
+{
+    double acc = 0.0;
+    for (const auto &term : terms)
+        acc += term.value(t);
+    return acc;
+}
+
+template <std::size_t N>
+double
+sumFirst(const std::array<SinusoidTerm, N> &terms, double t)
+{
+    double acc = 0.0;
+    for (const auto &term : terms)
+        acc += term.firstDerivative(t);
+    return acc;
+}
+
+template <std::size_t N>
+double
+sumSecond(const std::array<SinusoidTerm, N> &terms, double t)
+{
+    double acc = 0.0;
+    for (const auto &term : terms)
+        acc += term.secondDerivative(t);
+    return acc;
+}
+
+/** Fill an axis with @p n random sinusoids in the given ranges. */
+template <std::size_t N>
+void
+randomize(std::array<SinusoidTerm, N> &terms, Rng &rng, double amp_lo,
+          double amp_hi, double freq_lo, double freq_hi)
+{
+    for (std::size_t i = 0; i < N; ++i) {
+        // Higher harmonics get smaller amplitudes so that the motion
+        // stays dominated by the base frequency (human-like).
+        const double scale = 1.0 / static_cast<double>(i + 1);
+        terms[i].amplitude = rng.uniform(amp_lo, amp_hi) * scale;
+        terms[i].frequency_hz =
+            rng.uniform(freq_lo, freq_hi) * static_cast<double>(i + 1);
+        terms[i].phase = rng.uniform(0.0, 2.0 * M_PI);
+    }
+}
+
+} // namespace
+
+Trajectory
+Trajectory::labWalk(unsigned seed)
+{
+    Rng rng(0xAB0000 + seed);
+    Trajectory t;
+    // Gentle walking wander within a lab-sized area.
+    randomize(t.posX_, rng, 0.4, 1.2, 0.05, 0.15);
+    randomize(t.posZ_, rng, 0.4, 1.2, 0.05, 0.15);
+    randomize(t.posY_, rng, 0.02, 0.06, 0.8, 1.4); // Gait bounce.
+    randomize(t.yaw_, rng, 0.3, 0.9, 0.04, 0.12);
+    randomize(t.pitch_, rng, 0.04, 0.10, 0.2, 0.5);
+    randomize(t.roll_, rng, 0.02, 0.05, 0.3, 0.6);
+    return t;
+}
+
+Trajectory
+Trajectory::viconRoom(unsigned seed)
+{
+    Rng rng(0xCD0000 + seed);
+    Trajectory t;
+    // Faster, MAV-like excitation: better observability, more
+    // input-dependent VIO work.
+    randomize(t.posX_, rng, 0.5, 1.0, 0.15, 0.35);
+    randomize(t.posZ_, rng, 0.5, 1.0, 0.15, 0.35);
+    randomize(t.posY_, rng, 0.15, 0.4, 0.2, 0.45);
+    randomize(t.yaw_, rng, 0.4, 0.8, 0.1, 0.3);
+    randomize(t.pitch_, rng, 0.1, 0.2, 0.15, 0.4);
+    randomize(t.roll_, rng, 0.08, 0.15, 0.15, 0.4);
+    return t;
+}
+
+Trajectory
+Trajectory::slowScan(unsigned seed)
+{
+    Rng rng(0xEF0000 + seed);
+    Trajectory t;
+    randomize(t.posX_, rng, 0.1, 0.3, 0.02, 0.08);
+    randomize(t.posZ_, rng, 0.1, 0.3, 0.02, 0.08);
+    randomize(t.posY_, rng, 0.02, 0.05, 0.1, 0.2);
+    randomize(t.yaw_, rng, 0.5, 1.0, 0.02, 0.06);
+    randomize(t.pitch_, rng, 0.1, 0.2, 0.03, 0.08);
+    randomize(t.roll_, rng, 0.01, 0.03, 0.1, 0.2);
+    return t;
+}
+
+Quat
+Trajectory::orientationAt(double t) const
+{
+    const double yaw = sumValue(yaw_, t);
+    const double pitch = sumValue(pitch_, t);
+    const double roll = sumValue(roll_, t);
+    // Z-up world; yaw about +Y (up in our convention), pitch about X,
+    // roll about Z, composed yaw * pitch * roll.
+    const Quat qy = Quat::fromAxisAngle(Vec3(0, 1, 0), yaw);
+    const Quat qp = Quat::fromAxisAngle(Vec3(1, 0, 0), pitch);
+    const Quat qr = Quat::fromAxisAngle(Vec3(0, 0, 1), roll);
+    return (qy * qp * qr).normalized();
+}
+
+Pose
+Trajectory::pose(double t) const
+{
+    const Vec3 p(center_.x + sumValue(posX_, t),
+                 center_.y + sumValue(posY_, t),
+                 center_.z + sumValue(posZ_, t));
+    return Pose(orientationAt(t), p);
+}
+
+Vec3
+Trajectory::velocity(double t) const
+{
+    return {sumFirst(posX_, t), sumFirst(posY_, t), sumFirst(posZ_, t)};
+}
+
+Vec3
+Trajectory::acceleration(double t) const
+{
+    return {sumSecond(posX_, t), sumSecond(posY_, t), sumSecond(posZ_, t)};
+}
+
+Vec3
+Trajectory::angularVelocity(double t) const
+{
+    // omega_body = log(q(t)^-1 * q(t+h)) / h, central difference.
+    constexpr double h = 1e-5;
+    const Quat q0 = orientationAt(t - h);
+    const Quat q1 = orientationAt(t + h);
+    const Vec3 dphi = (q0.conjugate() * q1).log();
+    return dphi / (2.0 * h);
+}
+
+} // namespace illixr

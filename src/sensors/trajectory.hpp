@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytic smooth 6-DoF trajectories standing in for the paper's
+ * live "walk in our lab" camera trajectory and for the EuRoC Vicon
+ * Room ground-truth dataset (§III-A, §III-D).
+ *
+ * A trajectory is a sum of sinusoids per translational axis plus
+ * smooth yaw/pitch/roll motion, giving an infinitely differentiable
+ * pose function with closed-form linear kinematics and numerically
+ * differentiated angular velocity. Sampling it at IMU/camera rates
+ * produces perfectly consistent sensor streams with exact ground
+ * truth.
+ */
+
+#pragma once
+
+#include "foundation/pose.hpp"
+#include "foundation/vec.hpp"
+
+#include <array>
+
+namespace illixr {
+
+/** One sinusoidal motion component: amplitude * sin(2*pi*f*t + phase). */
+struct SinusoidTerm
+{
+    double amplitude = 0.0;
+    double frequency_hz = 0.0;
+    double phase = 0.0;
+
+    double value(double t) const;
+    double firstDerivative(double t) const;
+    double secondDerivative(double t) const;
+};
+
+/**
+ * Smooth head trajectory with analytic kinematics.
+ */
+class Trajectory
+{
+  public:
+    static constexpr int kTermsPerAxis = 3;
+
+    /** Walking-in-the-lab preset (live end-to-end runs). */
+    static Trajectory labWalk(unsigned seed = 1);
+
+    /** Vicon-Room-like preset (offline dataset with ground truth),
+     *  a faster, more aggressive MAV-style motion. */
+    static Trajectory viconRoom(unsigned seed = 2);
+
+    /** Slow scanning preset used by the scene-reconstruction dataset
+     *  (dyson_lab substitute): mostly yaw sweep at low speed. */
+    static Trajectory slowScan(unsigned seed = 3);
+
+    /** Body-to-world pose at time @p t_seconds. */
+    Pose pose(double t_seconds) const;
+
+    /** World-frame linear velocity (closed form). */
+    Vec3 velocity(double t_seconds) const;
+
+    /** World-frame linear acceleration (closed form). */
+    Vec3 acceleration(double t_seconds) const;
+
+    /** Body-frame angular velocity (numerically differentiated). */
+    Vec3 angularVelocity(double t_seconds) const;
+
+    /** Center of the motion in the world frame. */
+    Vec3 center() const { return center_; }
+
+  private:
+    Quat orientationAt(double t) const;
+
+    Vec3 center_{0.0, 1.6, 0.0}; ///< Eye height above the floor.
+    std::array<SinusoidTerm, kTermsPerAxis> posX_;
+    std::array<SinusoidTerm, kTermsPerAxis> posY_;
+    std::array<SinusoidTerm, kTermsPerAxis> posZ_;
+    std::array<SinusoidTerm, 2> yaw_;
+    std::array<SinusoidTerm, 2> pitch_;
+    std::array<SinusoidTerm, 2> roll_;
+};
+
+} // namespace illixr

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic 3-D world used to render camera and depth frames.
+ *
+ * The world is a textured axis-aligned room containing a few solid
+ * spheres. Camera frames are raycast per pixel against this geometry
+ * and shaded with a static procedural texture, so that the frames a
+ * moving camera sees are photometrically consistent over time — the
+ * property FAST/KLT feature tracking (and therefore the whole VIO
+ * substitute for the live ZED camera) relies on.
+ */
+
+#pragma once
+
+#include "image/image.hpp"
+#include "sensors/camera.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace illixr {
+
+/** Result of a ray cast against the world. */
+struct RayHit
+{
+    double distance = 0.0; ///< Along the (unit) ray, meters.
+    Vec3 point;            ///< World-space hit point.
+    Vec3 normal;           ///< Outward surface normal at the hit.
+    double albedo = 0.5;   ///< Procedural texture value in [0, 1].
+};
+
+/**
+ * Textured room with interior spheres.
+ */
+class SyntheticWorld
+{
+  public:
+    /** Standard lab-sized room (10 x 4 x 8 m) with four spheres. */
+    static SyntheticWorld labRoom(unsigned seed = 5);
+
+    /**
+     * Cast a ray from @p origin along (unit) @p direction.
+     * @return The nearest hit, or nullopt when the ray escapes
+     *         (cannot happen for origins inside the room).
+     */
+    std::optional<RayHit> castRay(const Vec3 &origin,
+                                  const Vec3 &direction) const;
+
+    /**
+     * Render a grayscale camera frame from the given world-to-camera
+     * pose (see CameraRig::worldToCamera).
+     */
+    ImageF renderGray(const CameraIntrinsics &intr,
+                      const Pose &world_to_camera) const;
+
+    /**
+     * Render a depth frame (meters along the optical axis; 0 where
+     * invalid). @p dropout_fraction randomly invalidates pixels to
+     * emulate depth-sensor holes.
+     */
+    DepthImage renderDepth(const CameraIntrinsics &intr,
+                           const Pose &world_to_camera,
+                           double dropout_fraction = 0.0,
+                           unsigned seed = 9) const;
+
+    /** Room bounds (min corner / max corner). */
+    Vec3 roomMin() const { return roomMin_; }
+    Vec3 roomMax() const { return roomMax_; }
+
+    /** Procedural albedo at a world point on a surface with normal n. */
+    double textureAt(const Vec3 &point, const Vec3 &normal) const;
+
+  private:
+    struct Sphere
+    {
+        Vec3 center;
+        double radius = 0.0;
+        double albedo_offset = 0.0;
+    };
+
+    Vec3 roomMin_{-5.0, 0.0, -4.0};
+    Vec3 roomMax_{5.0, 4.0, 4.0};
+    std::vector<Sphere> spheres_;
+    unsigned textureSeed_ = 5;
+};
+
+} // namespace illixr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * FFT-based convolution for audio filtering.
+ *
+ * The binauralization and psychoacoustic-filter tasks of the audio
+ * pipeline (paper Table VII) are frequency-domain convolutions:
+ * FFT -> complex multiply -> IFFT. FrequencyDomainFilter precomputes
+ * the filter spectrum and streams blocks with overlap-add.
+ */
+
+#pragma once
+
+#include "signal/fft.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** Direct (time-domain) linear convolution, for tests and short filters. */
+std::vector<double> convolveDirect(const std::vector<double> &x,
+                                   const std::vector<double> &h);
+
+/** FFT-based linear convolution of two finite signals. */
+std::vector<double> convolveFft(const std::vector<double> &x,
+                                const std::vector<double> &h);
+
+/**
+ * Streaming block convolver (overlap-add) with a fixed impulse
+ * response, as used per audio block by the playback component.
+ */
+class FrequencyDomainFilter
+{
+  public:
+    /**
+     * @param impulse_response Filter taps.
+     * @param block_size       Samples per processed block.
+     */
+    FrequencyDomainFilter(const std::vector<double> &impulse_response,
+                          std::size_t block_size);
+
+    /**
+     * Filter one block of @c blockSize() samples; returns the same
+     * number of output samples (the filter tail carries over).
+     */
+    std::vector<double> process(const std::vector<double> &block);
+
+    std::size_t blockSize() const { return blockSize_; }
+
+    /** Length of the internal FFT. */
+    std::size_t fftSize() const { return fftSize_; }
+
+    /** Reset streaming state (drops the pending tail). */
+    void reset();
+
+  private:
+    std::size_t blockSize_;
+    std::size_t fftSize_;
+    std::vector<Complex> filterSpectrum_;
+    std::vector<double> overlap_;
+};
+
+} // namespace illixr

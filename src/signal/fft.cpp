@@ -1,0 +1,143 @@
+#include "signal/fft.hpp"
+
+#include <cassert>
+#include <map>
+#include <cmath>
+
+namespace illixr {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    assert(isPowerOfTwo(n));
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    // Danielson–Lanczos butterflies with a cached twiddle table
+    // (table lookup avoids the serial w *= wlen dependency chain).
+    // Cached per size so alternating sizes (e.g. fft2d on non-square
+    // grids) do not rebuild tables.
+    static thread_local std::map<std::size_t, std::vector<Complex>>
+        twiddle_cache;
+    std::vector<Complex> &twiddles = twiddle_cache[n];
+    if (twiddles.size() != n / 2) {
+        twiddles.resize(n / 2);
+        for (std::size_t k = 0; k < n / 2; ++k) {
+            const double angle =
+                -2.0 * M_PI * static_cast<double>(k) /
+                static_cast<double>(n);
+            twiddles[k] = Complex(std::cos(angle), std::sin(angle));
+        }
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t stride = n / len;
+        for (std::size_t i = 0; i < n; i += len) {
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                Complex w = twiddles[k * stride];
+                if (inverse)
+                    w = std::conj(w);
+                const Complex even = data[i + k];
+                const Complex odd = data[i + k + len / 2] * w;
+                data[i + k] = even + odd;
+                data[i + k + len / 2] = even - odd;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (Complex &c : data)
+            c *= scale;
+    }
+}
+
+std::vector<Complex>
+fftReal(const std::vector<double> &signal)
+{
+    std::vector<Complex> data(signal.size());
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        data[i] = Complex(signal[i], 0.0);
+    fft(data, false);
+    return data;
+}
+
+std::vector<double>
+ifftToReal(std::vector<Complex> spectrum)
+{
+    fft(spectrum, true);
+    std::vector<double> out(spectrum.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i)
+        out[i] = spectrum[i].real();
+    return out;
+}
+
+void
+fft2d(std::vector<Complex> &grid, std::size_t width, std::size_t height,
+      bool inverse)
+{
+    assert(grid.size() == width * height);
+    assert(isPowerOfTwo(width) && isPowerOfTwo(height));
+
+    // Transform rows.
+    std::vector<Complex> row(width);
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x)
+            row[x] = grid[y * width + x];
+        fft(row, inverse);
+        for (std::size_t x = 0; x < width; ++x)
+            grid[y * width + x] = row[x];
+    }
+
+    // Transform columns.
+    std::vector<Complex> col(height);
+    for (std::size_t x = 0; x < width; ++x) {
+        for (std::size_t y = 0; y < height; ++y)
+            col[y] = grid[y * width + x];
+        fft(col, inverse);
+        for (std::size_t y = 0; y < height; ++y)
+            grid[y * width + x] = col[y];
+    }
+}
+
+std::vector<double>
+hannWindow(std::size_t n)
+{
+    std::vector<double> w(n);
+    if (n == 1) {
+        w[0] = 1.0;
+        return w;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 *
+               (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                               static_cast<double>(n - 1)));
+    }
+    return w;
+}
+
+} // namespace illixr

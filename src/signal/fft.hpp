@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Radix-2 fast Fourier transform.
+ *
+ * Used by the audio pipeline (frequency-domain HRTF convolution — the
+ * binauralization and psychoacoustic-filter tasks of paper Table VII)
+ * and by the hologram component's Gerchberg–Saxton propagation.
+ */
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace illixr {
+
+using Complex = std::complex<double>;
+
+/** True when @p n is a power of two (and nonzero). */
+bool isPowerOfTwo(std::size_t n);
+
+/** Smallest power of two >= @p n. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * In-place iterative radix-2 FFT.
+ *
+ * @param data    Sequence of length 2^k (asserted).
+ * @param inverse When true computes the inverse transform including
+ *                the 1/N normalization.
+ */
+void fft(std::vector<Complex> &data, bool inverse);
+
+/** Forward FFT of a real signal; returns full complex spectrum. */
+std::vector<Complex> fftReal(const std::vector<double> &signal);
+
+/** Inverse FFT returning only the real parts. */
+std::vector<double> ifftToReal(std::vector<Complex> spectrum);
+
+/**
+ * 2-D FFT of a row-major grid (both dimensions powers of two),
+ * in place. Used by the hologram plane-propagation kernels.
+ */
+void fft2d(std::vector<Complex> &grid, std::size_t width,
+           std::size_t height, bool inverse);
+
+/** Hann window of length @p n. */
+std::vector<double> hannWindow(std::size_t n);
+
+} // namespace illixr

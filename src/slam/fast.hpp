@@ -1,0 +1,52 @@
+/**
+ * @file
+ * FAST-9 corner detector — the feature-detection task of the VIO
+ * component (paper Table VI: "KLT; FAST").
+ *
+ * A pixel is a corner when at least 9 contiguous pixels on the
+ * 16-pixel Bresenham circle of radius 3 are all brighter than
+ * center + threshold or all darker than center - threshold. Corners
+ * are scored by the sum of absolute differences on the arc and
+ * filtered by 3x3 non-maximum suppression.
+ */
+
+#pragma once
+
+#include "foundation/vec.hpp"
+#include "image/image.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** A detected corner. */
+struct Corner
+{
+    Vec2 position;  ///< Pixel coordinates.
+    float score = 0.0f;
+};
+
+/** FAST detector parameters. */
+struct FastParams
+{
+    float threshold = 0.06f;  ///< Intensity delta (images are [0,1]).
+    int min_contiguous = 9;   ///< Arc length (FAST-9).
+    int border = 4;           ///< Ignore margin at the image edge.
+};
+
+/** Detect FAST corners with non-maximum suppression. */
+std::vector<Corner> detectFast(const ImageF &image,
+                               const FastParams &params = FastParams());
+
+/**
+ * Grid-bucketed detection: keep at most @p max_per_cell best corners
+ * in each cell of a grid_x x grid_y grid, skipping cells that already
+ * contain one of @p occupied (existing tracked features). This is the
+ * OpenVINS-style strategy that keeps features well distributed.
+ */
+std::vector<Corner> detectFastGrid(const ImageF &image, int grid_x,
+                                   int grid_y, int max_per_cell,
+                                   const std::vector<Vec2> &occupied,
+                                   const FastParams &params = FastParams());
+
+} // namespace illixr

@@ -1,0 +1,68 @@
+#include "slam/feature_tracker.hpp"
+
+namespace illixr {
+
+FeatureTracker::FeatureTracker(const TrackerParams &params)
+    : params_(params)
+{
+}
+
+std::vector<FeatureObservation>
+FeatureTracker::processFrame(const ImageF &image)
+{
+    ImagePyramid pyramid(image, params_.pyramid_levels);
+    lost_.clear();
+
+    // --- Feature matching: track existing features with KLT. ---
+    if (hasPrev_ && !tracks_.empty()) {
+        ScopedTask timer(profile_, "feature_matching");
+        std::vector<std::uint64_t> ids;
+        std::vector<Vec2> points;
+        ids.reserve(tracks_.size());
+        points.reserve(tracks_.size());
+        for (const auto &[id, pt] : tracks_) {
+            ids.push_back(id);
+            points.push_back(pt);
+        }
+        const auto results =
+            trackPoints(prevPyramid_, pyramid, points, params_.klt);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (results[i].ok) {
+                tracks_[ids[i]] = results[i].position;
+            } else {
+                tracks_.erase(ids[i]);
+                lost_.push_back(ids[i]);
+            }
+        }
+    }
+
+    // --- Feature detection: refill empty grid cells. ---
+    if (tracks_.size() < static_cast<std::size_t>(params_.max_features)) {
+        ScopedTask timer(profile_, "feature_detection");
+        std::vector<Vec2> occupied;
+        occupied.reserve(tracks_.size());
+        for (const auto &[id, pt] : tracks_)
+            occupied.push_back(pt);
+        const auto fresh =
+            detectFastGrid(image, params_.grid_x, params_.grid_y,
+                           params_.max_per_cell, occupied, params_.fast);
+        for (const Corner &c : fresh) {
+            if (tracks_.size() >=
+                static_cast<std::size_t>(params_.max_features))
+                break;
+            tracks_.emplace(nextId_++, c.position);
+        }
+    }
+
+    std::vector<FeatureObservation> observations;
+    observations.reserve(tracks_.size());
+    for (const auto &[id, pt] : tracks_)
+        observations.push_back({id, pt});
+
+    prevPyramid_ = std::move(pyramid);
+    hasPrev_ = true;
+    ++frameIndex_;
+    return observations;
+}
+
+} // namespace illixr

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Frame-to-frame feature track manager: combines FAST detection and
+ * pyramidal KLT into persistent, id-stamped feature tracks, the
+ * front end of the VIO component.
+ */
+
+#pragma once
+
+#include "foundation/profile.hpp"
+#include "foundation/time.hpp"
+#include "foundation/vec.hpp"
+#include "image/pyramid.hpp"
+#include "slam/fast.hpp"
+#include "slam/klt.hpp"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace illixr {
+
+/** One feature observed in one frame. */
+struct FeatureObservation
+{
+    std::uint64_t feature_id = 0;
+    Vec2 pixel;
+};
+
+/** Tracker configuration. */
+struct TrackerParams
+{
+    int grid_x = 8;
+    int grid_y = 6;
+    int max_per_cell = 2;
+    int pyramid_levels = 3;
+    int max_features = 96;   ///< Cap on live tracks (paper §V-E knob).
+    FastParams fast;
+    KltParams klt;
+};
+
+/**
+ * Persistent KLT feature tracker.
+ */
+class FeatureTracker
+{
+  public:
+    explicit FeatureTracker(const TrackerParams &params = TrackerParams());
+
+    /**
+     * Process the next camera image; returns the observations of all
+     * live tracks in this frame (tracked + newly detected).
+     */
+    std::vector<FeatureObservation> processFrame(const ImageF &image);
+
+    /** Ids of tracks that were lost on the most recent frame. */
+    const std::vector<std::uint64_t> &lostTracks() const { return lost_; }
+
+    /** Number of currently live tracks. */
+    std::size_t liveTrackCount() const { return tracks_.size(); }
+
+    /** Frame index of the most recent processFrame call (0-based). */
+    std::size_t frameIndex() const { return frameIndex_; }
+
+    /** Task-level time profile (detection vs matching). */
+    const TaskProfile &profile() const { return profile_; }
+    TaskProfile &profile() { return profile_; }
+
+    const TrackerParams &params() const { return params_; }
+
+  private:
+    TrackerParams params_;
+    ImagePyramid prevPyramid_;
+    std::map<std::uint64_t, Vec2> tracks_; ///< Live tracks (id -> pixel).
+    std::vector<std::uint64_t> lost_;
+    std::uint64_t nextId_ = 1;
+    std::size_t frameIndex_ = 0;
+    bool hasPrev_ = false;
+    TaskProfile profile_;
+};
+
+} // namespace illixr

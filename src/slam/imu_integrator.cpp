@@ -1,0 +1,132 @@
+#include "slam/imu_integrator.hpp"
+
+#include <cassert>
+
+namespace illixr {
+
+namespace {
+
+/** Time derivative of (q, v, p) under body rates (w, a). */
+struct Derivative
+{
+    Quat qdot;
+    Vec3 vdot;
+    Vec3 pdot;
+};
+
+Derivative
+kinematics(const Quat &q, const Vec3 &v, const Vec3 &w, const Vec3 &a)
+{
+    Derivative d;
+    // qdot = 0.5 * q ⊗ (0, w)
+    const Quat omega(0.0, w.x, w.y, w.z);
+    const Quat qd = q * omega;
+    d.qdot = Quat(0.5 * qd.w, 0.5 * qd.x, 0.5 * qd.y, 0.5 * qd.z);
+    d.vdot = q.rotate(a) + gravityWorld();
+    d.pdot = v;
+    return d;
+}
+
+Quat
+addScaled(const Quat &q, const Quat &dq, double s)
+{
+    return Quat(q.w + s * dq.w, q.x + s * dq.x, q.y + s * dq.y,
+                q.z + s * dq.z);
+}
+
+} // namespace
+
+ImuState
+integrateRk4(const ImuState &state, const Vec3 &w0, const Vec3 &a0,
+             const Vec3 &w1, const Vec3 &a1, double dt)
+{
+    // Bias-corrected measurements at the endpoints and midpoint.
+    const Vec3 wb0 = w0 - state.gyro_bias;
+    const Vec3 wb1 = w1 - state.gyro_bias;
+    const Vec3 ab0 = a0 - state.accel_bias;
+    const Vec3 ab1 = a1 - state.accel_bias;
+    const Vec3 wm = (wb0 + wb1) * 0.5;
+    const Vec3 am = (ab0 + ab1) * 0.5;
+
+    const Quat &q = state.orientation;
+    const Vec3 &v = state.velocity;
+
+    // k1 at t0.
+    const Derivative k1 = kinematics(q, v, wb0, ab0);
+    // k2 at midpoint.
+    const Quat q2 = addScaled(q, k1.qdot, dt / 2.0).normalized();
+    const Vec3 v2 = v + k1.vdot * (dt / 2.0);
+    const Derivative k2 = kinematics(q2, v2, wm, am);
+    // k3 at midpoint.
+    const Quat q3 = addScaled(q, k2.qdot, dt / 2.0).normalized();
+    const Vec3 v3 = v + k2.vdot * (dt / 2.0);
+    const Derivative k3 = kinematics(q3, v3, wm, am);
+    // k4 at t1.
+    const Quat q4 = addScaled(q, k3.qdot, dt).normalized();
+    const Vec3 v4 = v + k3.vdot * dt;
+    const Derivative k4 = kinematics(q4, v4, wb1, ab1);
+
+    ImuState out = state;
+    out.time = state.time + fromSeconds(dt);
+    Quat qn = q;
+    qn = addScaled(qn, k1.qdot, dt / 6.0);
+    qn = addScaled(qn, k2.qdot, dt / 3.0);
+    qn = addScaled(qn, k3.qdot, dt / 3.0);
+    qn = addScaled(qn, k4.qdot, dt / 6.0);
+    out.orientation = qn.normalized();
+    out.velocity =
+        v + (k1.vdot + k2.vdot * 2.0 + k3.vdot * 2.0 + k4.vdot) * (dt / 6.0);
+    out.position = state.position +
+                   (k1.pdot + k2.pdot * 2.0 + k3.pdot * 2.0 + k4.pdot) *
+                       (dt / 6.0);
+    return out;
+}
+
+void
+ImuIntegrator::propagateTo(const ImuSample &sample)
+{
+    if (!hasSample_) {
+        lastSample_ = sample;
+        hasSample_ = true;
+        if (!initialized_) {
+            state_.time = sample.time;
+            initialized_ = true;
+        }
+        return;
+    }
+    const double dt = toSeconds(sample.time - lastSample_.time);
+    if (dt > 0.0) {
+        state_ = integrateRk4(state_, lastSample_.angular_velocity,
+                              lastSample_.linear_acceleration,
+                              sample.angular_velocity,
+                              sample.linear_acceleration, dt);
+    }
+    lastSample_ = sample;
+}
+
+void
+ImuIntegrator::addSample(const ImuSample &sample)
+{
+    buffer_.push_back(sample);
+    propagateTo(sample);
+}
+
+void
+ImuIntegrator::correct(const ImuState &state)
+{
+    state_ = state;
+    initialized_ = true;
+    hasSample_ = false;
+    // Drop stale samples, replay the rest on top of the new state.
+    while (!buffer_.empty() && buffer_.front().time <= state.time)
+        buffer_.pop_front();
+    for (const ImuSample &s : buffer_)
+        propagateTo(s);
+    // Keep the buffer bounded: anything older than the corrected
+    // state can never be replayed again.
+    constexpr std::size_t kMaxBuffer = 4096;
+    while (buffer_.size() > kMaxBuffer)
+        buffer_.pop_front();
+}
+
+} // namespace illixr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * RK4 IMU state integration — the "IMU Integrator" component of the
+ * perception pipeline (paper Table II: RK4 from OpenVINS). Also used
+ * internally by the MSCKF filter for state mean propagation.
+ *
+ * The integrator produces high-rate (e.g., 500 Hz) pose estimates by
+ * propagating the most recent VIO state forward through raw IMU
+ * samples; the visual pipeline reads these for reprojection.
+ */
+
+#pragma once
+
+#include "foundation/pose.hpp"
+#include "foundation/time.hpp"
+#include "sensors/imu.hpp"
+
+#include <deque>
+
+namespace illixr {
+
+/** Full kinematic IMU state. */
+struct ImuState
+{
+    TimePoint time = 0;
+    Quat orientation;   ///< Body to world.
+    Vec3 position;      ///< World frame, meters.
+    Vec3 velocity;      ///< World frame, m/s.
+    Vec3 gyro_bias;
+    Vec3 accel_bias;
+
+    Pose pose() const { return Pose(orientation, position); }
+};
+
+/**
+ * One RK4 step: propagate @p state by @p dt seconds assuming the
+ * angular velocity / acceleration measurements vary linearly from
+ * (w0, a0) to (w1, a1) over the interval. Biases are subtracted,
+ * gravity is added back in the world frame.
+ */
+ImuState integrateRk4(const ImuState &state, const Vec3 &w0,
+                      const Vec3 &a0, const Vec3 &w1, const Vec3 &a1,
+                      double dt);
+
+/**
+ * Streaming integrator component: buffers IMU samples, accepts
+ * (low-rate) state corrections from the VIO, and serves the latest
+ * integrated "fast pose".
+ */
+class ImuIntegrator
+{
+  public:
+    /** Append a new IMU sample (timestamps must be increasing). */
+    void addSample(const ImuSample &sample);
+
+    /**
+     * Reset the propagation base to a corrected state (from VIO).
+     * Samples older than the state are dropped; newer buffered
+     * samples are immediately re-integrated on top.
+     */
+    void correct(const ImuState &state);
+
+    /** Latest integrated state (after all buffered samples). */
+    const ImuState &state() const { return state_; }
+
+    /** True once at least one correction or sample has been seen. */
+    bool initialized() const { return initialized_; }
+
+  private:
+    void propagateTo(const ImuSample &sample);
+
+    ImuState state_;
+    ImuSample lastSample_;
+    bool hasSample_ = false;
+    bool initialized_ = false;
+    std::deque<ImuSample> buffer_; ///< Samples newer than state_.
+};
+
+} // namespace illixr

@@ -1,0 +1,78 @@
+#include "slam/integrator_alternatives.hpp"
+
+#include <stdexcept>
+
+namespace illixr {
+
+void
+MidpointPoseIntegrator::propagate(const ImuSample &sample)
+{
+    if (!hasSample_) {
+        lastSample_ = sample;
+        hasSample_ = true;
+        if (state_.time == 0)
+            state_.time = sample.time;
+        initialized_ = true;
+        return;
+    }
+    const double dt = toSeconds(sample.time - lastSample_.time);
+    if (dt > 0.0) {
+        // Midpoint angular rate advances the orientation.
+        const Vec3 w_mid = (lastSample_.angular_velocity +
+                            sample.angular_velocity) *
+                               0.5 -
+                           state_.gyro_bias;
+        const Quat q0 = state_.orientation;
+        const Quat q1 = (q0 * Quat::exp(w_mid * dt)).normalized();
+
+        // Trapezoidal specific force in the world frame.
+        const Vec3 a0 =
+            q0.rotate(lastSample_.linear_acceleration -
+                      state_.accel_bias) +
+            gravityWorld();
+        const Vec3 a1 =
+            q1.rotate(sample.linear_acceleration - state_.accel_bias) +
+            gravityWorld();
+        const Vec3 a_mid = (a0 + a1) * 0.5;
+
+        state_.position += state_.velocity * dt + a_mid * (0.5 * dt * dt);
+        state_.velocity += a_mid * dt;
+        state_.orientation = q1;
+        state_.time = sample.time;
+    }
+    lastSample_ = sample;
+}
+
+void
+MidpointPoseIntegrator::addSample(const ImuSample &sample)
+{
+    buffer_.push_back(sample);
+    propagate(sample);
+}
+
+void
+MidpointPoseIntegrator::correct(const ImuState &state)
+{
+    state_ = state;
+    initialized_ = true;
+    hasSample_ = false;
+    while (!buffer_.empty() && buffer_.front().time <= state.time)
+        buffer_.pop_front();
+    for (const ImuSample &s : buffer_)
+        propagate(s);
+    constexpr std::size_t kMaxBuffer = 4096;
+    while (buffer_.size() > kMaxBuffer)
+        buffer_.pop_front();
+}
+
+std::unique_ptr<PoseIntegrator>
+makePoseIntegrator(const std::string &method)
+{
+    if (method == "rk4")
+        return std::make_unique<Rk4PoseIntegrator>();
+    if (method == "midpoint")
+        return std::make_unique<MidpointPoseIntegrator>();
+    throw std::out_of_range("unknown integrator method: " + method);
+}
+
+} // namespace illixr

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Alternative IMU-integrator implementations.
+ *
+ * Paper Table II lists two interchangeable IMU integrators (RK4 from
+ * OpenVINS and GTSAM's preintegration); ILLIXR's architecture claim
+ * is that such alternatives swap without touching the rest of the
+ * system. This header provides the common interface plus a
+ * midpoint/preintegration-style implementation alongside the RK4 one,
+ * both registered in the plugin registry under distinct names.
+ */
+
+#pragma once
+
+#include "slam/imu_integrator.hpp"
+
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace illixr {
+
+/**
+ * Interface every IMU-integrator implementation satisfies.
+ */
+class PoseIntegrator
+{
+  public:
+    virtual ~PoseIntegrator() = default;
+
+    /** Append a new IMU sample (timestamps must be increasing). */
+    virtual void addSample(const ImuSample &sample) = 0;
+
+    /** Reset the propagation base to a corrected state (from VIO). */
+    virtual void correct(const ImuState &state) = 0;
+
+    /** Latest integrated state. */
+    virtual const ImuState &state() const = 0;
+
+    virtual bool initialized() const = 0;
+
+    /** Implementation name (for telemetry / registry). */
+    virtual const char *method() const = 0;
+};
+
+/** The RK4 integrator (paper Table II "RK4*") behind the interface. */
+class Rk4PoseIntegrator : public PoseIntegrator
+{
+  public:
+    void addSample(const ImuSample &sample) override
+    {
+        impl_.addSample(sample);
+    }
+    void correct(const ImuState &state) override { impl_.correct(state); }
+    const ImuState &state() const override { return impl_.state(); }
+    bool initialized() const override { return impl_.initialized(); }
+    const char *method() const override { return "rk4"; }
+
+  private:
+    ImuIntegrator impl_;
+};
+
+/**
+ * Midpoint (preintegration-style) integrator — the GTSAM-analog
+ * alternative: orientation advanced by the midpoint angular rate,
+ * velocity/position by trapezoidal acceleration. Cheaper and slightly
+ * less accurate than RK4 at low sample rates.
+ */
+class MidpointPoseIntegrator : public PoseIntegrator
+{
+  public:
+    void addSample(const ImuSample &sample) override;
+    void correct(const ImuState &state) override;
+    const ImuState &state() const override { return state_; }
+    bool initialized() const override { return initialized_; }
+    const char *method() const override { return "midpoint"; }
+
+  private:
+    void propagate(const ImuSample &sample);
+
+    ImuState state_;
+    ImuSample lastSample_;
+    bool hasSample_ = false;
+    bool initialized_ = false;
+    std::deque<ImuSample> buffer_;
+};
+
+/** Factory: construct an integrator by method name ("rk4" or
+ *  "midpoint"). @throws std::out_of_range for unknown names. */
+std::unique_ptr<PoseIntegrator>
+makePoseIntegrator(const std::string &method);
+
+} // namespace illixr

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Pyramidal Lucas–Kanade optical-flow tracker — the feature-matching
+ * task of the VIO component (paper Table VI: "KLT; GEMM; linear
+ * algebra").
+ */
+
+#pragma once
+
+#include "foundation/vec.hpp"
+#include "image/pyramid.hpp"
+
+#include <vector>
+
+namespace illixr {
+
+/** LK tracker parameters. */
+struct KltParams
+{
+    int window_radius = 4;     ///< (2r+1)^2 window.
+    int max_iterations = 12;   ///< Gauss–Newton iterations per level.
+    double epsilon = 0.01;     ///< Convergence threshold (pixels).
+    double max_residual = 0.08; ///< Mean abs photometric residual gate.
+    double min_eigenvalue = 1e-4; ///< Gate on the structure tensor.
+};
+
+/** Result of tracking one point. */
+struct KltResult
+{
+    Vec2 position;       ///< Location in the new image.
+    bool ok = false;     ///< Track succeeded and passed gates.
+    double residual = 0.0; ///< Mean absolute photometric residual.
+};
+
+/**
+ * Track @p point from @p prev to @p next (coarse-to-fine across the
+ * pyramids, which must have equal level counts).
+ */
+KltResult trackPointPyramidal(const ImagePyramid &prev,
+                              const ImagePyramid &next, const Vec2 &point,
+                              const KltParams &params = KltParams());
+
+/** Track a batch of points; results align with the input order. */
+std::vector<KltResult> trackPoints(const ImagePyramid &prev,
+                                   const ImagePyramid &next,
+                                   const std::vector<Vec2> &points,
+                                   const KltParams &params = KltParams());
+
+} // namespace illixr

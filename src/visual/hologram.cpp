@@ -1,0 +1,214 @@
+#include "visual/hologram.hpp"
+
+#include "foundation/rng.hpp"
+#include "image/filter.hpp"
+
+#include <cmath>
+
+namespace illixr {
+
+HologramGenerator::HologramGenerator(const HologramParams &params)
+    : params_(params)
+{
+}
+
+double
+HologramGenerator::lensPhaseAt(int x, int y, int d) const
+{
+    const int n = params_.resolution;
+    const double focus =
+        params_.min_focus +
+        (params_.max_focus - params_.min_focus) *
+            (params_.depth_planes > 1
+                 ? static_cast<double>(d) / (params_.depth_planes - 1)
+                 : 0.5);
+    const double nx = (2.0 * x / n) - 1.0;
+    const double ny = (2.0 * y / n) - 1.0;
+    return M_PI * focus * (nx * nx + ny * ny) * n / 8.0;
+}
+
+std::vector<Complex>
+HologramGenerator::propagateToPlane(const std::vector<Complex> &hologram,
+                                    int d) const
+{
+    const int n = params_.resolution;
+    std::vector<Complex> field(hologram.size());
+    for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+            const double phi = lensPhaseAt(x, y, d);
+            field[static_cast<std::size_t>(y) * n + x] =
+                hologram[static_cast<std::size_t>(y) * n + x] *
+                Complex(std::cos(phi), std::sin(phi));
+        }
+    }
+    fft2d(field, n, n, false);
+    // Normalize so amplitudes are resolution-independent.
+    const double scale = 1.0 / n;
+    for (Complex &c : field)
+        c *= scale;
+    return field;
+}
+
+std::vector<Complex>
+HologramGenerator::propagateFromPlane(
+    const std::vector<Complex> &plane_field, int d) const
+{
+    const int n = params_.resolution;
+    std::vector<Complex> field = plane_field;
+    fft2d(field, n, n, true);
+    const double scale = n; // Undo the forward normalization.
+    for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+            const double phi = -lensPhaseAt(x, y, d);
+            field[static_cast<std::size_t>(y) * n + x] *=
+                Complex(std::cos(phi), std::sin(phi)) * scale;
+        }
+    }
+    return field;
+}
+
+HologramResult
+HologramGenerator::compute(const RgbImage &frame, const ImageF *depth)
+{
+    const int n = params_.resolution;
+    const int planes = params_.depth_planes;
+    const std::size_t count = static_cast<std::size_t>(n) * n;
+
+    // Build per-plane target amplitudes from the frame luminance.
+    std::vector<std::vector<double>> targets(planes);
+    {
+        ScopedTask timer(profile_, "sum");
+        const ImageF lum = resizeBilinear(frame.luminance(), n, n);
+        ImageF depth_r;
+        if (depth)
+            depth_r = resizeBilinear(*depth, n, n);
+        for (int d = 0; d < planes; ++d) {
+            targets[d].assign(count, 0.0);
+            const double band_lo =
+                static_cast<double>(d) / planes;
+            const double band_hi =
+                static_cast<double>(d + 1) / planes;
+            double energy = 0.0;
+            for (int y = 0; y < n; ++y) {
+                for (int x = 0; x < n; ++x) {
+                    double a = std::sqrt(
+                        std::max(0.0f, lum.at(x, y)) + 1e-6);
+                    if (depth) {
+                        // Assign pixels to their depth band.
+                        const double zn =
+                            (depth_r.at(x, y) + 1.0) / 2.0;
+                        if (zn < band_lo || zn >= band_hi)
+                            a = 0.0;
+                    }
+                    targets[d][static_cast<std::size_t>(y) * n + x] = a;
+                    energy += a * a;
+                }
+            }
+            // Normalize plane energy to n^2 / planes: a phase-only
+            // hologram carries unit amplitude per pixel, so its
+            // propagated field energy is n^2 split across planes.
+            if (energy > 0.0) {
+                const double s = static_cast<double>(n) /
+                                 std::sqrt(energy * planes);
+                for (double &a : targets[d])
+                    a *= s;
+            }
+        }
+    }
+
+    // Initialize with a deterministic pseudo-random phase (random
+    // initial phase is standard for GS).
+    std::vector<Complex> hologram(count);
+    {
+        ScopedTask timer(profile_, "sum");
+        Rng rng(2718);
+        for (Complex &c : hologram) {
+            const double phi = rng.uniform(0.0, 2.0 * M_PI);
+            c = Complex(std::cos(phi), std::sin(phi));
+        }
+    }
+
+    HologramResult result;
+    result.plane_weights.assign(planes, 1.0);
+
+    for (int iter = 0; iter < params_.iterations; ++iter) {
+        std::vector<std::vector<Complex>> plane_fields(planes);
+        std::vector<double> plane_err(planes, 0.0);
+
+        // --- Hologram-to-depth: propagate to every plane. ---
+        {
+            ScopedTask timer(profile_, "hologram_to_depth");
+            for (int d = 0; d < planes; ++d)
+                plane_fields[d] = propagateToPlane(hologram, d);
+        }
+
+        // --- Sum: per-plane amplitude errors and weight update. ---
+        double total_err = 0.0;
+        {
+            ScopedTask timer(profile_, "sum");
+            for (int d = 0; d < planes; ++d) {
+                double err = 0.0, norm = 0.0;
+                for (std::size_t i = 0; i < count; ++i) {
+                    const double a = std::abs(plane_fields[d][i]);
+                    const double t = targets[d][i];
+                    err += (a - t) * (a - t);
+                    norm += t * t;
+                }
+                plane_err[d] = norm > 0.0 ? std::sqrt(err / norm) : 0.0;
+                total_err += plane_err[d];
+                // Weighted GS: boost badly reproduced planes.
+                result.plane_weights[d] *= (1.0 + 0.5 * plane_err[d]);
+            }
+            result.error_history.push_back(total_err / planes);
+        }
+
+        // --- Depth-to-hologram: constrain amplitudes, back-propagate,
+        //     and combine. ---
+        {
+            ScopedTask timer(profile_, "depth_to_hologram");
+            std::vector<Complex> combined(count, Complex(0.0, 0.0));
+            double weight_sum = 0.0;
+            for (int d = 0; d < planes; ++d) {
+                std::vector<Complex> constrained(count);
+                for (std::size_t i = 0; i < count; ++i) {
+                    const Complex &f = plane_fields[d][i];
+                    const double mag = std::abs(f);
+                    // Keep the phase, impose the target amplitude.
+                    constrained[i] =
+                        (mag > 1e-12)
+                            ? f * (targets[d][i] / mag)
+                            : Complex(targets[d][i], 0.0);
+                }
+                const auto back = propagateFromPlane(constrained, d);
+                const double w = result.plane_weights[d];
+                for (std::size_t i = 0; i < count; ++i)
+                    combined[i] += back[i] * w;
+                weight_sum += w;
+            }
+            // Phase-only constraint at the SLM.
+            for (std::size_t i = 0; i < count; ++i) {
+                const double mag = std::abs(combined[i]);
+                hologram[i] = (mag > 1e-12)
+                                  ? combined[i] * (1.0 / mag)
+                                  : Complex(1.0, 0.0);
+            }
+            (void)weight_sum;
+        }
+    }
+
+    result.rms_error = result.error_history.empty()
+                           ? 0.0
+                           : result.error_history.back();
+    result.phase = ImageF(n, n);
+    for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+            const Complex &c =
+                hologram[static_cast<std::size_t>(y) * n + x];
+            result.phase.at(x, y) =
+                static_cast<float>(std::atan2(c.imag(), c.real()));
+        }
+    }
+    return result;
+}
+
+} // namespace illixr

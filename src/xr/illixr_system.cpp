@@ -1,0 +1,121 @@
+#include "xr/illixr_system.hpp"
+
+#include "runtime/phonebook.hpp"
+#include "xr/plugins.hpp"
+
+namespace illixr {
+
+double
+IntegratedResult::achievedHz(const std::string &name) const
+{
+    auto it = tasks.find(name);
+    if (it == tasks.end() || config.duration <= 0)
+        return 0.0;
+    return it->second.achievedHz(config.duration);
+}
+
+IntegratedResult
+runIntegrated(const IntegratedConfig &config)
+{
+    const SystemTuning tuning;
+
+    // --- Services ---
+    Phonebook phonebook;
+    auto switchboard = std::make_shared<Switchboard>();
+    phonebook.registerService(switchboard);
+
+    DatasetConfig ds_cfg;
+    ds_cfg.duration_s = toSeconds(config.duration) + 0.5;
+    ds_cfg.image_width = config.camera_width;
+    ds_cfg.image_height = config.camera_height;
+    ds_cfg.camera_rate_hz = tuning.camera_hz;
+    ds_cfg.imu_rate_hz = tuning.imu_hz;
+    ds_cfg.preset = DatasetConfig::Preset::LabWalk;
+    ds_cfg.seed = config.seed;
+    auto data =
+        std::make_shared<PreloadedDataset>(ds_cfg, config.duration);
+    phonebook.registerService(data);
+
+    // --- Plugins (Table II components in the integrated config) ---
+    AppConfig app_cfg;
+    app_cfg.eye_width = config.eye_size;
+    app_cfg.eye_height = config.eye_size;
+
+    TimewarpParams tw_params;
+    tw_params.fov_y_rad = app_cfg.fov_y_rad;
+
+    CameraPlugin camera(phonebook, tuning);
+    ImuPlugin imu(phonebook, tuning);
+    VioPlugin vio(phonebook, tuning);
+    IntegratorPlugin integrator(phonebook, tuning);
+    ApplicationPlugin application(phonebook, tuning, config.app, app_cfg,
+                                  config.adaptive_resolution);
+    TimewarpPlugin timewarp(phonebook, tuning, tw_params);
+    AudioEncoderPlugin audio_enc(phonebook, tuning);
+    AudioPlaybackPlugin audio_play(phonebook, tuning);
+
+    // --- Scheduler ---
+    const PlatformModel platform = PlatformModel::get(config.platform);
+    SimScheduler scheduler(platform);
+    scheduler.addPlugin(&camera);
+    scheduler.addPlugin(&imu);
+    scheduler.addPlugin(&vio);
+    scheduler.addPlugin(&integrator);
+    scheduler.addPlugin(&application);
+    const Duration vsync = periodFromHz(tuning.display_hz);
+    scheduler.addVsyncAlignedPlugin(&timewarp, vsync);
+    scheduler.addPlugin(&audio_enc);
+    scheduler.addPlugin(&audio_play);
+
+    scheduler.run(config.duration);
+
+    // --- Collect results ---
+    IntegratedResult result;
+    result.config = config;
+    result.vsync = vsync;
+    double total_host = 0.0;
+    for (const std::string &name : scheduler.taskNames()) {
+        const TaskStats &stats = scheduler.stats(name);
+        result.tasks.emplace(name, stats);
+        double host = 0.0;
+        for (const InvocationRecord &rec : stats.records)
+            host += rec.host_seconds;
+        result.cpu_share[name] = host;
+        total_host += host;
+    }
+    if (total_host > 0.0) {
+        for (auto &[name, host] : result.cpu_share)
+            host /= total_host;
+    }
+
+    result.target_hz["camera"] = tuning.camera_hz;
+    result.target_hz["vio"] = tuning.camera_hz;
+    result.target_hz["imu"] = tuning.imu_hz;
+    result.target_hz["integrator"] = tuning.imu_hz;
+    result.target_hz["application"] = tuning.display_hz;
+    result.target_hz["timewarp"] = tuning.display_hz;
+    result.target_hz["audio_encoding"] = tuning.audio_hz;
+    result.target_hz["audio_playback"] = tuning.audio_hz;
+
+    result.mtp =
+        computeMtp(scheduler.stats("timewarp"), timewarp.imuAgesMs(),
+                   vsync);
+
+    result.utilization.cpu = scheduler.cpuUtilization();
+    result.utilization.gpu = scheduler.gpuUtilization();
+    // Memory traffic proxy: display + camera traffic dominates; use
+    // a weighted blend of unit utilizations (see DESIGN.md).
+    result.utilization.memory = std::min(
+        1.0, 0.55 * result.utilization.gpu + 0.35 * result.utilization.cpu +
+                 0.10);
+    result.power = computePower(platform, result.utilization);
+
+    result.vio_trajectory = vio.trajectory();
+    result.extra["final_eye_resolution"] =
+        static_cast<double>(application.currentEyeResolution());
+    result.extra["min_eye_resolution"] =
+        static_cast<double>(application.minEyeResolution());
+    return result;
+}
+
+} // namespace illixr

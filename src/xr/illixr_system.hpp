@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The integrated ILLIXR system: assembles the full plugin set on the
+ * discrete-event runtime for a chosen application and platform, and
+ * collects every metric the paper's evaluation reports (frame rates,
+ * execution times, CPU-share, power, MTP, QoE inputs).
+ */
+
+#pragma once
+
+#include "metrics/mtp.hpp"
+#include "perfmodel/power.hpp"
+#include "render/scenes.hpp"
+#include "runtime/sim_scheduler.hpp"
+#include "sensors/dataset.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** Configuration of one integrated run. */
+struct IntegratedConfig
+{
+    PlatformId platform = PlatformId::Desktop;
+    AppId app = AppId::Sponza;
+    Duration duration = 10 * kSecond; ///< Virtual run length.
+    int eye_size = 80;                ///< Per-eye render resolution.
+    int camera_width = 192;
+    int camera_height = 144;
+    unsigned seed = 1;
+    bool evaluate_qoe = false;        ///< Offline Table V pass.
+    /** QoE-driven dynamic eye-buffer scaling (paper §V-D demo). */
+    bool adaptive_resolution = false;
+};
+
+/** Everything the benches need from one run. */
+struct IntegratedResult
+{
+    IntegratedConfig config;
+    Duration vsync = 0;
+
+    /** Per-component scheduler statistics, by plugin name. */
+    std::map<std::string, TaskStats> tasks;
+
+    /** Target rates per component (paper Table III). */
+    std::map<std::string, double> target_hz;
+
+    /** Motion-to-photon latency series (§III-E). */
+    MtpSeries mtp;
+
+    /** Power model outputs (Fig 6). */
+    PowerBreakdown power;
+    UtilizationSummary utilization;
+
+    /** Share of total host CPU work per component (Fig 5). */
+    std::map<std::string, double> cpu_share;
+
+    /** VIO trajectory estimate (for offline QoE / accuracy). */
+    std::vector<StampedPose> vio_trajectory;
+
+    /** Extra scenario-specific metrics (e.g., offload round-trip). */
+    std::map<std::string, double> extra;
+
+    /** Achieved rate of a component over the run. */
+    double achievedHz(const std::string &name) const;
+};
+
+/** Run the integrated system once. */
+IntegratedResult runIntegrated(const IntegratedConfig &config);
+
+} // namespace illixr

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * OpenXR-mini: a small application-facing API mirroring the OpenXR
+ * frame-loop (paper §II: applications interface with ILLIXR through
+ * the OpenXR API; here the same boundary is preserved with a compact
+ * C++ API rather than the C ABI).
+ *
+ * Frame lifecycle, as in OpenXR:
+ *   waitFrame()    -> predicted display time for the next frame
+ *   locateViews()  -> per-eye poses at that time (from the runtime's
+ *                     fast pose)
+ *   endFrame()     -> submit the rendered stereo layers
+ */
+
+#pragma once
+
+#include "foundation/pose.hpp"
+#include "render/app.hpp"
+#include "runtime/switchboard.hpp"
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace illixr {
+
+/** Per-eye view returned by locateViews. */
+struct XrView
+{
+    Pose pose;           ///< Eye pose in world space.
+    double fov_y_rad = 1.5;
+};
+
+/** Session state, a simplified OpenXR state machine. */
+enum class XrSessionState
+{
+    Idle,
+    Ready,
+    Focused,
+    Stopping,
+};
+
+/**
+ * An application session against the runtime.
+ */
+class XrSession
+{
+  public:
+    /**
+     * @param switchboard The runtime's switchboard.
+     * @param ipd_m       Inter-pupillary distance for view poses.
+     * @param vsync       Display refresh period.
+     */
+    XrSession(std::shared_ptr<Switchboard> switchboard, double ipd_m,
+              Duration vsync);
+
+    /** Transition Idle -> Ready -> Focused. */
+    void begin();
+
+    /** Transition to Stopping. */
+    void end();
+
+    XrSessionState state() const { return state_; }
+
+    /**
+     * Block (logically) until the runtime wants the next frame;
+     * returns the predicted display time given the current time.
+     */
+    TimePoint waitFrame(TimePoint now) const;
+
+    /**
+     * Eye poses at (approximately) @p display_time, derived from the
+     * runtime's latest fast pose.
+     * @return left and right views.
+     */
+    std::array<XrView, 2> locateViews(TimePoint display_time) const;
+
+    /** Submit the application's rendered stereo frame. */
+    void endFrame(StereoFrame frame, TimePoint now);
+
+    /** Frames submitted so far. */
+    std::size_t submittedFrames() const { return submitted_; }
+
+  private:
+    std::shared_ptr<Switchboard> switchboard_;
+    double ipd_;
+    Duration vsync_;
+    XrSessionState state_ = XrSessionState::Idle;
+    std::size_t submitted_ = 0;
+};
+
+} // namespace illixr

@@ -1,0 +1,391 @@
+#include "xr/plugins.hpp"
+
+#include "audio/clips.hpp"
+
+#include <algorithm>
+
+namespace illixr {
+
+PreloadedDataset::PreloadedDataset(const DatasetConfig &config,
+                                   Duration duration)
+    : dataset(config)
+{
+    // Pre-render every camera frame the run can consume.
+    for (std::size_t i = 0; i < dataset.cameraFrameCount(); ++i) {
+        if (dataset.cameraTime(i) > duration)
+            break;
+        camera_frames.push_back(dataset.cameraFrame(i));
+    }
+    imu_samples = dataset.imuSamples();
+}
+
+// ---------------------------------------------------------------- Camera
+
+CameraPlugin::CameraPlugin(const Phonebook &pb, const SystemTuning &tuning)
+    : Plugin("camera"), tuning_(tuning),
+      sb_(pb.lookup<Switchboard>()), data_(pb.lookup<PreloadedDataset>())
+{
+}
+
+void
+CameraPlugin::iterate(TimePoint now)
+{
+    // Publish every recorded frame with capture time <= now. The
+    // microsecond slack absorbs float-accumulated dataset timestamps
+    // landing nanoseconds after the scheduler's integer period grid
+    // (without it every frame would be published one period late).
+    while (next_ < data_->camera_frames.size() &&
+           data_->camera_frames[next_].time <= now + kMicrosecond) {
+        const CameraFrame &src = data_->camera_frames[next_];
+        auto event = makeEvent<CameraFrameEvent>();
+        event->time = src.time;
+        event->sequence = src.sequence;
+        // Camera processing cost: the SDK's rectification pass is
+        // emulated by a copy + per-pixel gain (debayer/rectify-like).
+        event->image = src.image;
+        for (int y = 0; y < event->image.height(); ++y)
+            for (int x = 0; x < event->image.width(); ++x)
+                event->image.at(x, y) =
+                    std::min(1.0f, event->image.at(x, y) * 1.0f);
+        sb_->publish(topics::kCamera, event);
+        ++next_;
+    }
+}
+
+// ------------------------------------------------------------------- IMU
+
+ImuPlugin::ImuPlugin(const Phonebook &pb, const SystemTuning &tuning)
+    : Plugin("imu"), tuning_(tuning), sb_(pb.lookup<Switchboard>()),
+      data_(pb.lookup<PreloadedDataset>())
+{
+}
+
+void
+ImuPlugin::iterate(TimePoint now)
+{
+    while (next_ < data_->imu_samples.size() &&
+           data_->imu_samples[next_].time <= now + kMicrosecond) {
+        auto event = makeEvent<ImuEvent>();
+        event->time = data_->imu_samples[next_].time;
+        event->sample = data_->imu_samples[next_];
+        sb_->publish(topics::kImu, event);
+        ++next_;
+    }
+}
+
+// ------------------------------------------------------------------- VIO
+
+VioPlugin::VioPlugin(const Phonebook &pb, const SystemTuning &tuning)
+    : Plugin("vio"), tuning_(tuning), sb_(pb.lookup<Switchboard>()),
+      data_(pb.lookup<PreloadedDataset>()),
+      cameraReader_(sb_->subscribe(topics::kCamera)),
+      imuReader_(sb_->subscribe(topics::kImu))
+{
+    MsckfParams params;
+    params.imu_noise = data_->dataset.config().imu_noise;
+    TrackerParams tracker;
+    tracker.max_features = 80; // Table III-style tuned knob (see §V-E).
+    vio_ = std::make_unique<VioSystem>(params, tracker,
+                                       data_->dataset.rig());
+}
+
+void
+VioPlugin::iterate(TimePoint now)
+{
+    (void)now;
+    if (!initialized_) {
+        // Standard benchmarking practice: initialize from the
+        // dataset's ground truth at t = 0.
+        ImuState init;
+        init.time = 0;
+        const Pose p0 = data_->dataset.groundTruthPose(0);
+        init.orientation = p0.orientation;
+        init.position = p0.position;
+        init.velocity = data_->dataset.trajectory().velocity(0.0);
+        vio_->initialize(init);
+        initialized_ = true;
+    }
+
+    // Drain IMU stream into the filter.
+    while (EventPtr e = imuReader_->pop()) {
+        if (auto imu = std::dynamic_pointer_cast<const ImuEvent>(e))
+            vio_->addImu(imu->sample);
+    }
+    // Process every pending camera frame (normally one).
+    while (EventPtr e = cameraReader_->pop()) {
+        auto cam = std::dynamic_pointer_cast<const CameraFrameEvent>(e);
+        if (!cam)
+            continue;
+        const ImuState &state = vio_->processFrame(cam->time, cam->image);
+        auto out = makeEvent<PoseEvent>();
+        out->time = cam->time;
+        out->state = state;
+        sb_->publish(topics::kSlowPose, out);
+        trajectory_.push_back({cam->time, state.pose()});
+    }
+}
+
+// ------------------------------------------------------------ Integrator
+
+IntegratorPlugin::IntegratorPlugin(const Phonebook &pb,
+                                   const SystemTuning &tuning,
+                                   const std::string &method)
+    : Plugin("integrator"), tuning_(tuning),
+      sb_(pb.lookup<Switchboard>()),
+      imuReader_(sb_->subscribe(topics::kImu)),
+      integrator_(makePoseIntegrator(method))
+{
+}
+
+void
+IntegratorPlugin::iterate(TimePoint now)
+{
+    // Re-base onto the newest VIO estimate when one arrives.
+    if (auto slow = sb_->latest<PoseEvent>(topics::kSlowPose)) {
+        if (slow->time > lastCorrection_) {
+            integrator_->correct(slow->state);
+            lastCorrection_ = slow->time;
+        }
+    }
+    while (EventPtr e = imuReader_->pop()) {
+        if (auto imu = std::dynamic_pointer_cast<const ImuEvent>(e))
+            integrator_->addSample(imu->sample);
+    }
+    if (!integrator_->initialized())
+        return;
+    auto out = makeEvent<PoseEvent>();
+    out->time = now;
+    out->state = integrator_->state();
+    sb_->publish(topics::kFastPose, out);
+}
+
+// ------------------------------------------------------------ Application
+
+ApplicationPlugin::ApplicationPlugin(const Phonebook &pb,
+                                     const SystemTuning &tuning, AppId app,
+                                     const AppConfig &app_config,
+                                     bool adaptive_resolution)
+    : Plugin("application"), tuning_(tuning),
+      sb_(pb.lookup<Switchboard>()), app_(app, app_config),
+      adaptive_(adaptive_resolution), initialRes_(app_config.eye_width),
+      currentRes_(app_config.eye_width), minResSeen_(app_config.eye_width)
+{
+    session_ = std::make_unique<XrSession>(
+        sb_, app_config.ipd_m, periodFromHz(tuning_.display_hz));
+    session_->begin();
+}
+
+void
+ApplicationPlugin::adaptResolution(TimePoint now)
+{
+    // The controller watches the application's *achieved* frame
+    // interval: the runtime skips an arrival whenever the previous
+    // render overruns, so intervals stretching past the display
+    // period are the ground-truth overload signal. (The display-side
+    // staleness feed on the qoe_feedback topic remains available for
+    // telemetry and richer policies.)
+    const Duration vsync_period = periodFromHz(tuning_.display_hz);
+    if (lastFeedback_ >= 0) {
+        const Duration interval = now - lastFeedback_;
+        if (interval > (3 * vsync_period) / 2)
+            ++staleWindow_; // Missed at least one display slot.
+        else
+            ++freshWindow_;
+    }
+    lastFeedback_ = now;
+
+    // Decide once per ~24 rendered frames.
+    if (staleWindow_ + freshWindow_ < 24)
+        return;
+    const double miss_fraction =
+        static_cast<double>(staleWindow_) /
+        static_cast<double>(staleWindow_ + freshWindow_);
+    staleWindow_ = 0;
+    freshWindow_ = 0;
+
+    if (miss_fraction > 0.25 && currentRes_ > 32) {
+        // Overloaded: shed pixels (quadratic cost relief per step).
+        currentRes_ = std::max(32, currentRes_ * 4 / 5);
+    } else if (miss_fraction < 0.05 && currentRes_ < initialRes_) {
+        // Headroom: climb back toward full fidelity.
+        currentRes_ = std::min(initialRes_, currentRes_ * 9 / 8 + 1);
+    }
+    minResSeen_ = std::min(minResSeen_, currentRes_);
+    app_.setEyeResolution(currentRes_);
+}
+
+void
+ApplicationPlugin::iterate(TimePoint now)
+{
+    if (adaptive_)
+        adaptResolution(now);
+    // OpenXR frame loop: waitFrame -> locateViews -> render -> endFrame.
+    const TimePoint display_time = session_->waitFrame(now);
+    const auto views = session_->locateViews(display_time);
+
+    // Reconstruct the head pose from the two eye poses (midpoint).
+    Pose head = views[0].pose;
+    head.position =
+        (views[0].pose.position + views[1].pose.position) * 0.5;
+
+    StereoFrame frame = app_.renderFrame(head, toSeconds(now));
+    frame.render_time = now;
+    session_->endFrame(std::move(frame), now);
+}
+
+// --------------------------------------------------------------- Timewarp
+
+TimewarpPlugin::TimewarpPlugin(const Phonebook &pb,
+                               const SystemTuning &tuning,
+                               const TimewarpParams &params)
+    : Plugin("timewarp"), tuning_(tuning), sb_(pb.lookup<Switchboard>()),
+      warp_(params)
+{
+}
+
+void
+TimewarpPlugin::iterate(TimePoint now)
+{
+    auto submitted =
+        sb_->latest<StereoFrameEvent>(topics::kSubmittedFrame);
+    auto fast = sb_->latest<PoseEvent>(topics::kFastPose);
+    if (!submitted) {
+        imuAges_.push_back(0.0);
+        return;
+    }
+
+    // QoE feedback: age of the application's frame at warp time, in
+    // display intervals. Fresh pipelining gives ~1 interval; an
+    // application that cannot hold the display rate shows up as ages
+    // of 2+ intervals even when warp invocations are themselves
+    // being skipped in lockstep.
+    const Duration vsync_period = periodFromHz(tuning_.display_hz);
+    const auto age_intervals = static_cast<int>(
+        (now - submitted->time) / vsync_period);
+    lastSubmittedTime_ = submitted->time;
+    staleStreak_ = age_intervals;
+    auto feedback = makeEvent<QoeFeedbackEvent>();
+    feedback->time = now;
+    feedback->stale_intervals = std::max(0, age_intervals - 1);
+    sb_->publish(topics::kQoeFeedback, feedback);
+
+    Pose fresh = submitted->frame.render_pose;
+    double imu_age_ms = 0.0;
+    if (fast) {
+        fresh = fast->state.pose();
+        imu_age_ms = toMilliseconds(std::max<Duration>(
+            0, now - fast->state.time));
+    }
+    imuAges_.push_back(imu_age_ms);
+
+    auto out = makeEvent<DisplayFrameEvent>();
+    out->time = now;
+    out->imu_age_ms = imu_age_ms;
+    out->left = warp_.reproject(submitted->frame.left,
+                                submitted->frame.render_pose, fresh);
+    out->right = warp_.reproject(submitted->frame.right,
+                                 submitted->frame.render_pose, fresh);
+    sb_->publish(topics::kDisplayFrame, out);
+}
+
+// ---------------------------------------------------------- Audio encode
+
+AudioEncoderPlugin::AudioEncoderPlugin(const Phonebook &pb,
+                                       const SystemTuning &tuning)
+    : Plugin("audio_encoding"), tuning_(tuning),
+      sb_(pb.lookup<Switchboard>()), encoder_(tuning.audio_block)
+{
+    // Two positioned sources (the paper's lecture + radio clips).
+    AudioSource lecture;
+    lecture.pcm = toPcm16(
+        synthesizeClip(ClipKind::SpeechLike, 48000 * 4, 48000.0, 3));
+    lecture.direction = Vec3(1.0, 0.3, 0.0).normalized();
+    encoder_.addSource(std::move(lecture));
+
+    AudioSource radio;
+    radio.pcm =
+        toPcm16(synthesizeClip(ClipKind::Music, 48000 * 4, 48000.0, 4));
+    radio.direction = Vec3(-0.4, -0.8, 0.2).normalized();
+    encoder_.addSource(std::move(radio));
+}
+
+void
+AudioEncoderPlugin::iterate(TimePoint now)
+{
+    auto event = std::make_shared<SoundfieldEvent>(tuning_.audio_block);
+    event->time = now;
+    event->block_index = block_;
+    event->field = encoder_.encodeBlock(block_);
+    ++block_;
+    sb_->publish(topics::kSoundfield, event);
+}
+
+// -------------------------------------------------------- Audio playback
+
+AudioPlaybackPlugin::AudioPlaybackPlugin(const Phonebook &pb,
+                                         const SystemTuning &tuning)
+    : Plugin("audio_playback"), tuning_(tuning),
+      sb_(pb.lookup<Switchboard>()),
+      playback_(tuning.audio_block, 48000.0)
+{
+}
+
+void
+AudioPlaybackPlugin::iterate(TimePoint now)
+{
+    auto field = sb_->latest<SoundfieldEvent>(topics::kSoundfield);
+    if (!field)
+        return;
+    Quat head = Quat::identity();
+    if (auto fast = sb_->latest<PoseEvent>(topics::kFastPose))
+        head = fast->state.orientation;
+    const StereoBlock block = playback_.processBlock(field->field, head);
+
+    auto out = makeEvent<StereoAudioEvent>();
+    out->time = now;
+    out->left = block.left;
+    out->right = block.right;
+    sb_->publish(topics::kStereoAudio, out);
+}
+
+// ------------------------------------------------------------ Registry
+
+void
+registerIllixrPlugins()
+{
+    auto &registry = PluginRegistry::instance();
+    registry.registerFactory("offline_camera", [](const Phonebook &pb) {
+        return std::make_unique<CameraPlugin>(pb, SystemTuning{});
+    });
+    registry.registerFactory("offline_imu", [](const Phonebook &pb) {
+        return std::make_unique<ImuPlugin>(pb, SystemTuning{});
+    });
+    registry.registerFactory("vio", [](const Phonebook &pb) {
+        return std::make_unique<VioPlugin>(pb, SystemTuning{});
+    });
+    registry.registerFactory("imu_integrator", [](const Phonebook &pb) {
+        return std::make_unique<IntegratorPlugin>(pb, SystemTuning{});
+    });
+    registry.registerFactory(
+        "imu_integrator_rk4", [](const Phonebook &pb) {
+            return std::make_unique<IntegratorPlugin>(pb, SystemTuning{},
+                                                      "rk4");
+        });
+    registry.registerFactory(
+        "imu_integrator_midpoint", [](const Phonebook &pb) {
+            return std::make_unique<IntegratorPlugin>(pb, SystemTuning{},
+                                                      "midpoint");
+        });
+    registry.registerFactory("timewarp", [](const Phonebook &pb) {
+        return std::make_unique<TimewarpPlugin>(pb, SystemTuning{},
+                                                TimewarpParams{});
+    });
+    registry.registerFactory("audio_encoding", [](const Phonebook &pb) {
+        return std::make_unique<AudioEncoderPlugin>(pb, SystemTuning{});
+    });
+    registry.registerFactory("audio_playback", [](const Phonebook &pb) {
+        return std::make_unique<AudioPlaybackPlugin>(pb, SystemTuning{});
+    });
+}
+
+} // namespace illixr

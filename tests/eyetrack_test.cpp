@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the eye-tracking substrate: tensors, layers, the
+ * synthetic eye-image generator, and the RITnet-mini segmenter.
+ */
+
+#include "eyetrack/eye_image.hpp"
+#include "eyetrack/layers.hpp"
+#include "eyetrack/ritnet.hpp"
+#include "eyetrack/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace illixr {
+namespace {
+
+TEST(TensorTest, LayoutAndPadding)
+{
+    Tensor t(2, 3, 4);
+    t.at(1, 2, 3) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3), 5.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.atPadded(1, -1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.atPadded(1, 2, 4), 0.0f);
+    EXPECT_EQ(t.size(), 24u);
+}
+
+TEST(TensorTest, ImageRoundTrip)
+{
+    ImageF img(5, 4);
+    img.at(2, 3) = 0.7f;
+    const Tensor t = Tensor::fromImage(img);
+    EXPECT_EQ(t.channels(), 1);
+    EXPECT_FLOAT_EQ(t.at(0, 3, 2), 0.7f);
+    const ImageF back = t.toImage(0);
+    EXPECT_FLOAT_EQ(back.at(2, 3), 0.7f);
+}
+
+TEST(Conv2dTest, IdentityKernelPassesThrough)
+{
+    Conv2d conv(1, 1, 3);
+    conv.weight(0, 0, 1, 1) = 1.0f; // Center tap only.
+    Tensor in(1, 4, 4);
+    in.at(0, 1, 2) = 3.0f;
+    const Tensor out = conv.forward(in);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 2), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+}
+
+TEST(Conv2dTest, MatchesDirectComputation)
+{
+    Rng rng(50);
+    Conv2d conv(2, 3, 3);
+    conv.initializeHe(rng);
+    for (int oc = 0; oc < 3; ++oc)
+        conv.bias(oc) = static_cast<float>(rng.uniform(-0.1, 0.1));
+    Tensor in(2, 5, 6);
+    for (int c = 0; c < 2; ++c)
+        for (int y = 0; y < 5; ++y)
+            for (int x = 0; x < 6; ++x)
+                in.at(c, y, x) = static_cast<float>(rng.uniform(-1, 1));
+
+    const Tensor out = conv.forward(in);
+    // Direct evaluation at an interior pixel.
+    const int y = 2, x = 3;
+    for (int oc = 0; oc < 3; ++oc) {
+        float expected = conv.bias(oc);
+        for (int ic = 0; ic < 2; ++ic)
+            for (int ky = 0; ky < 3; ++ky)
+                for (int kx = 0; kx < 3; ++kx)
+                    expected += conv.weight(oc, ic, ky, kx) *
+                                in.at(ic, y + ky - 1, x + kx - 1);
+        EXPECT_NEAR(out.at(oc, y, x), expected, 1e-5);
+    }
+}
+
+TEST(Conv2dTest, MacCountFormula)
+{
+    Conv2d conv(8, 16, 3);
+    EXPECT_EQ(conv.macCount(10, 20), 10u * 20u * 16u * 8u * 9u);
+}
+
+TEST(LayersTest, ReluClampsNegatives)
+{
+    Tensor t(1, 1, 4);
+    t.at(0, 0, 0) = -1.0f;
+    t.at(0, 0, 1) = 2.0f;
+    relu(t);
+    EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 0, 1), 2.0f);
+}
+
+TEST(LayersTest, MaxPoolTakesMaximum)
+{
+    Tensor t(1, 2, 2);
+    t.at(0, 0, 0) = 1.0f;
+    t.at(0, 0, 1) = 4.0f;
+    t.at(0, 1, 0) = -2.0f;
+    t.at(0, 1, 1) = 0.5f;
+    const Tensor out = maxPool2(t);
+    EXPECT_EQ(out.width(), 1);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+}
+
+TEST(LayersTest, UpsampleRepeatsPixels)
+{
+    Tensor t(1, 1, 2);
+    t.at(0, 0, 0) = 1.0f;
+    t.at(0, 0, 1) = 2.0f;
+    const Tensor out = upsample2(t);
+    EXPECT_EQ(out.width(), 4);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 2), 2.0f);
+}
+
+TEST(LayersTest, ConcatStacksChannels)
+{
+    Tensor a(2, 2, 2, 1.0f), b(1, 2, 2, 3.0f);
+    const Tensor out = concatChannels(a, b);
+    EXPECT_EQ(out.channels(), 3);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 1, 1), 3.0f);
+}
+
+TEST(LayersTest, SoftmaxSumsToOne)
+{
+    Rng rng(60);
+    Tensor t(4, 3, 3);
+    for (int c = 0; c < 4; ++c)
+        for (int y = 0; y < 3; ++y)
+            for (int x = 0; x < 3; ++x)
+                t.at(c, y, x) = static_cast<float>(rng.uniform(-5, 5));
+    const Tensor p = softmaxChannels(t);
+    for (int y = 0; y < 3; ++y) {
+        for (int x = 0; x < 3; ++x) {
+            float sum = 0.0f;
+            for (int c = 0; c < 4; ++c) {
+                EXPECT_GE(p.at(c, y, x), 0.0f);
+                sum += p.at(c, y, x);
+            }
+            EXPECT_NEAR(sum, 1.0f, 1e-5);
+        }
+    }
+}
+
+TEST(EyeImageTest, DeterministicAndInRange)
+{
+    EyeImageGenerator gen_a, gen_b;
+    const ImageF a = gen_a.generate(7);
+    const ImageF b = gen_b.generate(7);
+    for (int y = 0; y < a.height(); ++y) {
+        for (int x = 0; x < a.width(); ++x) {
+            EXPECT_FLOAT_EQ(a.at(x, y), b.at(x, y));
+            EXPECT_GE(a.at(x, y), 0.0f);
+            EXPECT_LE(a.at(x, y), 1.0f);
+        }
+    }
+}
+
+TEST(EyeImageTest, PupilIsDarkest)
+{
+    EyeImageGenerator gen;
+    EyeGroundTruth truth;
+    const ImageF img = gen.generate(3, &truth);
+    const int cx = static_cast<int>(truth.pupil_center.x);
+    const int cy = static_cast<int>(truth.pupil_center.y);
+    ASSERT_TRUE(img.inBounds(cx, cy));
+    EXPECT_LT(img.at(cx, cy), 0.2f);
+}
+
+TEST(RitNetTest, OutputShapeAndNormalization)
+{
+    EyeImageGenerator gen;
+    const ImageF img = gen.generate(0);
+    RitNet net(img.width(), img.height());
+    const Tensor probs = net.segment(img);
+    EXPECT_EQ(probs.channels(), 4);
+    EXPECT_EQ(probs.height(), img.height());
+    EXPECT_EQ(probs.width(), img.width());
+    float sum = 0.0f;
+    for (int c = 0; c < 4; ++c)
+        sum += probs.at(c, 10, 10);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(RitNetTest, SegmentsPupilCorrectly)
+{
+    EyeImageGenerator gen;
+    EyeGroundTruth truth;
+    const ImageF img = gen.generate(5, &truth);
+    RitNet net(img.width(), img.height());
+    const Tensor probs = net.segment(img);
+
+    // At the pupil center, the pupil class must dominate.
+    const int cx = static_cast<int>(truth.pupil_center.x);
+    const int cy = static_cast<int>(truth.pupil_center.y);
+    const int pupil = static_cast<int>(EyeClass::Pupil);
+    for (int c = 0; c < 4; ++c) {
+        if (c != pupil)
+            EXPECT_GT(probs.at(pupil, cy, cx), probs.at(c, cy, cx));
+    }
+    // Far corner is background or sclera, not pupil.
+    EXPECT_LT(probs.at(pupil, 2, 2), 0.3f);
+}
+
+TEST(RitNetTest, GazeEstimateTracksGroundTruth)
+{
+    EyeImageGenerator gen;
+    RitNet net(gen.params().width, gen.params().height);
+    double total_err = 0.0;
+    const int n = 8;
+    for (int i = 0; i < n; ++i) {
+        EyeGroundTruth truth;
+        const ImageF img = gen.generate(i, &truth);
+        const GazeEstimate est = net.estimate(img);
+        total_err += (est.pupil_center - truth.pupil_center).norm();
+        EXPECT_GT(est.confidence, 5.0) << "frame " << i;
+    }
+    EXPECT_LT(total_err / n, 2.5) << "mean pupil-center error too high";
+}
+
+TEST(RitNetTest, ConvolutionDominatesRuntime)
+{
+    // The paper reports eye tracking spends ~74% of its time in
+    // convolutions; our profile should agree in spirit (> 50%).
+    EyeImageGenerator gen;
+    RitNet net(gen.params().width, gen.params().height);
+    for (int i = 0; i < 3; ++i)
+        net.estimate(gen.generate(i));
+    const double conv = net.profile().taskShare("convolution");
+    EXPECT_GT(conv, 0.5);
+}
+
+TEST(RitNetTest, ParameterAndMacCountsAreSane)
+{
+    RitNet net(64, 48);
+    EXPECT_GT(net.parameterCount(), 1000u);
+    EXPECT_LT(net.parameterCount(), 100000u);
+    EXPECT_GT(net.macCount(), 1000000u); // Compute >> parameters.
+}
+
+} // namespace
+} // namespace illixr

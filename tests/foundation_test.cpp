@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for the foundation module: vectors, matrices,
+ * quaternions, poses, RNG, statistics, and trajectory error.
+ */
+
+#include "foundation/mat.hpp"
+#include "foundation/pose.hpp"
+#include "foundation/quat.hpp"
+#include "foundation/rng.hpp"
+#include "foundation/stats.hpp"
+#include "foundation/time.hpp"
+#include "foundation/trajectory_error.hpp"
+#include "foundation/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace illixr {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(TimeTest, Conversions)
+{
+    EXPECT_EQ(fromSeconds(1.0), kSecond);
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(kMillisecond), 1.0);
+    EXPECT_EQ(periodFromHz(100.0), 10 * kMillisecond);
+    EXPECT_EQ(periodFromHz(500.0), 2 * kMillisecond);
+}
+
+TEST(Vec3Test, ArithmeticAndNorm)
+{
+    const Vec3 a(1.0, 2.0, 3.0);
+    const Vec3 b(4.0, -5.0, 6.0);
+    EXPECT_NEAR((a + b).x, 5.0, kTol);
+    EXPECT_NEAR((a - b).y, 7.0, kTol);
+    EXPECT_NEAR(a.dot(b), 12.0, kTol);
+    EXPECT_NEAR(a.norm(), std::sqrt(14.0), kTol);
+    EXPECT_NEAR(a.normalized().norm(), 1.0, kTol);
+}
+
+TEST(Vec3Test, CrossProductIsOrthogonal)
+{
+    const Vec3 a(1.0, 2.0, 3.0);
+    const Vec3 b(-2.0, 0.5, 4.0);
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0, kTol);
+    EXPECT_NEAR(c.dot(b), 0.0, kTol);
+}
+
+TEST(Vec3Test, CrossOfBasisVectors)
+{
+    const Vec3 x(1, 0, 0), y(0, 1, 0), z(0, 0, 1);
+    const Vec3 c = x.cross(y);
+    EXPECT_NEAR(c.x, z.x, kTol);
+    EXPECT_NEAR(c.y, z.y, kTol);
+    EXPECT_NEAR(c.z, z.z, kTol);
+}
+
+TEST(Mat3Test, IdentityMultiplication)
+{
+    const Mat3 id = Mat3::identity();
+    const Vec3 v(3.0, -2.0, 7.0);
+    const Vec3 r = id * v;
+    EXPECT_NEAR(r.x, v.x, kTol);
+    EXPECT_NEAR(r.y, v.y, kTol);
+    EXPECT_NEAR(r.z, v.z, kTol);
+}
+
+TEST(Mat3Test, InverseRoundTrip)
+{
+    Mat3 a;
+    a(0, 0) = 2.0; a(0, 1) = 1.0; a(0, 2) = 0.5;
+    a(1, 0) = -1.0; a(1, 1) = 3.0; a(1, 2) = 2.0;
+    a(2, 0) = 0.0; a(2, 1) = 1.0; a(2, 2) = 4.0;
+    const Mat3 prod = a * a.inverse();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(prod(i, j), (i == j) ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Mat3Test, SkewMatchesCrossProduct)
+{
+    const Vec3 v(0.3, -1.2, 2.0);
+    const Vec3 w(1.0, 0.5, -0.7);
+    const Vec3 by_matrix = Mat3::skew(v) * w;
+    const Vec3 by_cross = v.cross(w);
+    EXPECT_NEAR(by_matrix.x, by_cross.x, kTol);
+    EXPECT_NEAR(by_matrix.y, by_cross.y, kTol);
+    EXPECT_NEAR(by_matrix.z, by_cross.z, kTol);
+}
+
+TEST(Mat4Test, InverseRoundTrip)
+{
+    Mat4 a = Mat4::translation(Vec3(1.0, 2.0, 3.0)) *
+             Mat4::fromRotation(
+                 Quat::fromAxisAngle(Vec3(0, 1, 0), 0.7).toMatrix()) *
+             Mat4::scale(Vec3(2.0, 2.0, 2.0));
+    const Mat4 prod = a * a.inverse();
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_NEAR(prod(i, j), (i == j) ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Mat4Test, PerspectiveMapsNearFarPlanes)
+{
+    const Mat4 p = Mat4::perspective(M_PI / 2.0, 1.0, 0.1, 100.0);
+    // A point on the near plane maps to NDC z = -1.
+    const Vec3 near_pt = p.transformPoint(Vec3(0.0, 0.0, -0.1));
+    EXPECT_NEAR(near_pt.z, -1.0, 1e-9);
+    // A point on the far plane maps to NDC z = +1.
+    const Vec3 far_pt = p.transformPoint(Vec3(0.0, 0.0, -100.0));
+    EXPECT_NEAR(far_pt.z, 1.0, 1e-6);
+}
+
+TEST(Mat4Test, LookAtPlacesEyeAtOrigin)
+{
+    const Vec3 eye(1.0, 2.0, 3.0);
+    const Mat4 view = Mat4::lookAt(eye, Vec3(0, 0, 0), Vec3(0, 1, 0));
+    const Vec3 mapped = view.transformPoint(eye);
+    EXPECT_NEAR(mapped.norm(), 0.0, 1e-9);
+}
+
+TEST(QuatTest, AxisAngleRotation)
+{
+    // 90 degrees about z maps x to y.
+    const Quat q = Quat::fromAxisAngle(Vec3(0, 0, 1), M_PI / 2.0);
+    const Vec3 r = q.rotate(Vec3(1, 0, 0));
+    EXPECT_NEAR(r.x, 0.0, kTol);
+    EXPECT_NEAR(r.y, 1.0, kTol);
+    EXPECT_NEAR(r.z, 0.0, kTol);
+}
+
+TEST(QuatTest, MatrixRoundTrip)
+{
+    const Quat q =
+        Quat::fromAxisAngle(Vec3(1.0, -2.0, 0.5).normalized(), 1.234);
+    const Quat q2 = Quat::fromMatrix(q.toMatrix());
+    // Quaternions are equal up to sign.
+    EXPECT_NEAR(std::fabs(q.dot(q2)), 1.0, 1e-9);
+}
+
+TEST(QuatTest, ExpLogRoundTrip)
+{
+    const Vec3 w(0.3, -0.6, 0.2);
+    const Vec3 back = Quat::exp(w).log();
+    EXPECT_NEAR(back.x, w.x, 1e-9);
+    EXPECT_NEAR(back.y, w.y, 1e-9);
+    EXPECT_NEAR(back.z, w.z, 1e-9);
+}
+
+TEST(QuatTest, ExpOfSmallAngle)
+{
+    const Vec3 w(1e-14, 0.0, 0.0);
+    const Quat q = Quat::exp(w);
+    EXPECT_NEAR(q.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(q.w, 1.0, 1e-12);
+}
+
+TEST(QuatTest, SlerpEndpoints)
+{
+    const Quat a = Quat::fromAxisAngle(Vec3(0, 0, 1), 0.0);
+    const Quat b = Quat::fromAxisAngle(Vec3(0, 0, 1), 1.0);
+    EXPECT_NEAR(a.slerp(b, 0.0).angleTo(a), 0.0, 1e-9);
+    EXPECT_NEAR(a.slerp(b, 1.0).angleTo(b), 0.0, 1e-9);
+    // Halfway is half the angle.
+    EXPECT_NEAR(a.slerp(b, 0.5).angleTo(a), 0.5, 1e-9);
+}
+
+TEST(QuatTest, ComposedRotationMatchesMatrixProduct)
+{
+    const Quat qa = Quat::fromAxisAngle(Vec3(0, 1, 0), 0.4);
+    const Quat qb = Quat::fromAxisAngle(Vec3(1, 0, 0), -0.9);
+    const Vec3 v(0.2, 1.0, -0.5);
+    const Vec3 by_quat = (qa * qb).rotate(v);
+    const Vec3 by_mat = (qa.toMatrix() * qb.toMatrix()) * v;
+    EXPECT_NEAR(by_quat.x, by_mat.x, 1e-9);
+    EXPECT_NEAR(by_quat.y, by_mat.y, 1e-9);
+    EXPECT_NEAR(by_quat.z, by_mat.z, 1e-9);
+}
+
+TEST(PoseTest, ComposeAndInverse)
+{
+    const Pose a(Quat::fromAxisAngle(Vec3(0, 0, 1), 0.5), Vec3(1, 2, 3));
+    const Pose b(Quat::fromAxisAngle(Vec3(1, 0, 0), -0.3), Vec3(-1, 0, 2));
+    const Pose ab = a * b;
+    const Vec3 p(0.5, -0.5, 1.0);
+    const Vec3 direct = a.transform(b.transform(p));
+    const Vec3 composed = ab.transform(p);
+    EXPECT_NEAR(direct.x, composed.x, 1e-9);
+    EXPECT_NEAR(direct.y, composed.y, 1e-9);
+    EXPECT_NEAR(direct.z, composed.z, 1e-9);
+
+    const Pose id = a * a.inverse();
+    EXPECT_NEAR(id.position.norm(), 0.0, 1e-9);
+    EXPECT_NEAR(id.orientation.angleTo(Quat::identity()), 0.0, 1e-9);
+}
+
+TEST(PoseTest, MatrixAgreesWithTransform)
+{
+    const Pose a(Quat::fromAxisAngle(Vec3(0.2, 1, 0).normalized(), 1.1),
+                 Vec3(0.5, -2.0, 4.0));
+    const Vec3 p(1.0, 2.0, 3.0);
+    const Vec3 by_pose = a.transform(p);
+    const Vec3 by_mat = a.toMatrix().transformPoint(p);
+    EXPECT_NEAR(by_pose.x, by_mat.x, 1e-9);
+    EXPECT_NEAR(by_pose.y, by_mat.y, 1e-9);
+    EXPECT_NEAR(by_pose.z, by_mat.z, 1e-9);
+}
+
+TEST(PoseTest, InterpolateMidpoint)
+{
+    const Pose a(Quat::identity(), Vec3(0, 0, 0));
+    const Pose b(Quat::fromAxisAngle(Vec3(0, 0, 1), 1.0), Vec3(2, 0, 0));
+    const Pose mid = a.interpolate(b, 0.5);
+    EXPECT_NEAR(mid.position.x, 1.0, 1e-9);
+    EXPECT_NEAR(mid.orientation.angleTo(Quat::identity()), 0.5, 1e-9);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.gaussian(3.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 3.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(RunningStatTest, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, kTol);
+    EXPECT_NEAR(s.stddev(), 2.0, kTol);
+    EXPECT_NEAR(s.min(), 2.0, kTol);
+    EXPECT_NEAR(s.max(), 9.0, kTol);
+}
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSeriesTest, Percentiles)
+{
+    SampleSeries s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.percentile(0.0), 1.0, kTol);
+    EXPECT_NEAR(s.percentile(100.0), 100.0, kTol);
+    EXPECT_NEAR(s.percentile(50.0), 50.5, kTol);
+    EXPECT_NEAR(s.fractionAbove(90.0), 0.10, kTol);
+}
+
+TEST(TrajectoryErrorTest, IdenticalTrajectoriesHaveZeroError)
+{
+    std::vector<StampedPose> traj;
+    for (int i = 0; i < 50; ++i) {
+        StampedPose sp;
+        sp.time = i * 10 * kMillisecond;
+        sp.pose = Pose(Quat::fromAxisAngle(Vec3(0, 0, 1), 0.01 * i),
+                       Vec3(0.1 * i, 0.0, 0.0));
+        traj.push_back(sp);
+    }
+    const TrajectoryError err = computeTrajectoryError(traj, traj);
+    EXPECT_EQ(err.matched, 50u);
+    EXPECT_NEAR(err.ate_rmse_m, 0.0, 1e-9);
+    EXPECT_NEAR(err.rot_mean_rad, 0.0, 1e-9);
+}
+
+TEST(TrajectoryErrorTest, ConstantOffsetIsAlignedAway)
+{
+    std::vector<StampedPose> gt, est;
+    for (int i = 0; i < 50; ++i) {
+        StampedPose sp;
+        sp.time = i * 10 * kMillisecond;
+        sp.pose = Pose(Quat::identity(), Vec3(0.1 * i, 0.0, 0.0));
+        gt.push_back(sp);
+        sp.pose.position += Vec3(5.0, -3.0, 2.0); // Rigid offset.
+        est.push_back(sp);
+    }
+    const TrajectoryError err = computeTrajectoryError(est, gt);
+    EXPECT_NEAR(err.ate_rmse_m, 0.0, 1e-9);
+}
+
+TEST(TrajectoryErrorTest, DriftIsMeasured)
+{
+    std::vector<StampedPose> gt, est;
+    for (int i = 0; i < 101; ++i) {
+        StampedPose sp;
+        sp.time = i * 10 * kMillisecond;
+        sp.pose = Pose(Quat::identity(), Vec3(0.1 * i, 0.0, 0.0));
+        gt.push_back(sp);
+        // Estimate drifts linearly up to 1 m in y.
+        sp.pose.position += Vec3(0.0, 0.01 * i, 0.0);
+        est.push_back(sp);
+    }
+    const TrajectoryError err = computeTrajectoryError(est, gt);
+    EXPECT_GT(err.ate_mean_m, 0.4);
+    EXPECT_NEAR(err.ate_max_m, 1.0, 1e-9);
+}
+
+TEST(TrajectoryErrorTest, UnmatchedTimesAreSkipped)
+{
+    std::vector<StampedPose> gt(1), est(1);
+    gt[0].time = 0;
+    est[0].time = kSecond; // 1 s apart: no match within 10 ms.
+    const TrajectoryError err = computeTrajectoryError(est, gt);
+    EXPECT_EQ(err.matched, 0u);
+}
+
+} // namespace
+} // namespace illixr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the offloading substrate: link model math and the
+ * offloaded-VIO plugin's latency/exclusion semantics.
+ */
+
+#include "offload/network.hpp"
+#include "offload/offload_vio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace illixr {
+namespace {
+
+TEST(NetworkLinkTest, PresetsOrderedByLatency)
+{
+    EXPECT_LT(NetworkLink::edgeEthernet().base_latency_ms,
+              NetworkLink::wifi6().base_latency_ms);
+    EXPECT_LT(NetworkLink::wifi6().base_latency_ms,
+              NetworkLink::fiveG().base_latency_ms);
+    EXPECT_LT(NetworkLink::fiveG().base_latency_ms,
+              NetworkLink::lteCloud().base_latency_ms);
+}
+
+TEST(NetworkModelTest, DelayIncludesSerialization)
+{
+    NetworkLink link;
+    link.uplink_mbps = 8.0; // 1 MB/s: 1 ms per KB.
+    link.base_latency_ms = 5.0;
+    link.jitter_ms = 0.0;
+    NetworkModel net(link);
+    const Duration d = net.transferDelay(10'000, true);
+    // 5 ms base + 10 ms serialization.
+    EXPECT_NEAR(toMilliseconds(d), 15.0, 0.1);
+}
+
+TEST(NetworkModelTest, DownlinkUsesItsOwnBandwidth)
+{
+    NetworkLink link;
+    link.uplink_mbps = 8.0;
+    link.downlink_mbps = 80.0;
+    link.base_latency_ms = 0.0;
+    link.jitter_ms = 0.0;
+    NetworkModel net(link);
+    const Duration up = net.transferDelay(10'000, true);
+    const Duration down = net.transferDelay(10'000, false);
+    EXPECT_NEAR(toMilliseconds(up) / toMilliseconds(down), 10.0, 0.5);
+}
+
+TEST(NetworkModelTest, LossRateIsApproximatelyHonored)
+{
+    NetworkLink link;
+    link.loss_rate = 0.1;
+    NetworkModel net(link, 5);
+    int lost = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (net.transferDelay(100, true) < 0)
+            ++lost;
+    }
+    EXPECT_NEAR(static_cast<double>(lost) / 2000.0, 0.1, 0.03);
+    EXPECT_EQ(net.messagesLost(), static_cast<std::size_t>(lost));
+    EXPECT_EQ(net.messagesSent(), 2000u);
+}
+
+TEST(NetworkModelTest, JitterNeverNegative)
+{
+    NetworkLink link;
+    link.base_latency_ms = 1.0;
+    link.jitter_ms = 5.0;
+    NetworkModel net(link, 9);
+    for (int i = 0; i < 200; ++i) {
+        const Duration d = net.transferDelay(0, true);
+        EXPECT_GE(toMilliseconds(d), 1.0 - 1e-9);
+    }
+}
+
+TEST(OffloadIntegrationTest, OffloadRestoresVioRateOnJetsonLp)
+{
+    IntegratedConfig cfg;
+    cfg.platform = PlatformId::JetsonLP;
+    cfg.app = AppId::Sponza;
+    cfg.duration = 3 * kSecond;
+
+    const IntegratedResult local = runIntegrated(cfg);
+    OffloadConfig offload;
+    offload.link = NetworkLink::edgeEthernet();
+    const IntegratedResult remote = runIntegratedOffloaded(cfg, offload);
+
+    // Remote VIO meets the camera rate even when local misses it,
+    // and its local CPU share collapses (compression only).
+    EXPECT_GE(remote.achievedHz("vio"), 0.95 * 15.0);
+    EXPECT_LT(remote.cpu_share.at("vio"),
+              0.5 * std::max(0.01, local.cpu_share.at("vio")));
+    // Poses still flow and track.
+    EXPECT_GT(remote.vio_trajectory.size(), 30u);
+    // The rest of the system is unaffected structurally.
+    EXPECT_GT(remote.achievedHz("audio_playback"), 0.85 * 48.0);
+}
+
+} // namespace
+} // namespace illixr

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the performance/power/micro-architecture models and
+ * the cache simulator.
+ */
+
+#include "perfmodel/cache_sim.hpp"
+#include "perfmodel/platform.hpp"
+#include "perfmodel/power.hpp"
+#include "perfmodel/uarch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace illixr {
+namespace {
+
+TEST(PlatformTest, ScalesOrderedByPlatform)
+{
+    const auto desktop = PlatformModel::get(PlatformId::Desktop);
+    const auto hp = PlatformModel::get(PlatformId::JetsonHP);
+    const auto lp = PlatformModel::get(PlatformId::JetsonLP);
+    EXPECT_LT(desktop.cpu_scale, hp.cpu_scale);
+    EXPECT_LT(hp.cpu_scale, lp.cpu_scale);
+    // Jetson-LP runs at half the clocks of Jetson-HP (paper §III-A).
+    EXPECT_NEAR(lp.cpu_scale / hp.cpu_scale, 2.0, 1e-9);
+    EXPECT_NEAR(lp.gpu_graphics_scale / hp.gpu_graphics_scale, 2.0, 1e-9);
+    EXPECT_EQ(desktop.cpu_threads, 12);
+    EXPECT_EQ(hp.cpu_threads, 8);
+}
+
+TEST(PlatformTest, ScaleDurationConverts)
+{
+    const auto lp = PlatformModel::get(PlatformId::JetsonLP);
+    const Duration d = lp.scaleDuration(0.001, ExecUnit::Cpu);
+    EXPECT_EQ(d, fromSeconds(0.001 * lp.cpu_scale));
+}
+
+TEST(PowerTest, DesktopIsGpuDominatedUnderLoad)
+{
+    const auto desktop = PlatformModel::get(PlatformId::Desktop);
+    UtilizationSummary util;
+    util.cpu = 0.3;
+    util.gpu = 0.7;
+    util.memory = 0.4;
+    const PowerBreakdown p = computePower(desktop, util);
+    EXPECT_GT(p.share(PowerRail::Gpu), 0.5); // Fig 6b desktop.
+    EXPECT_GT(p.total(), 100.0);
+}
+
+TEST(PowerTest, JetsonLpSocSysDominate)
+{
+    const auto lp = PlatformModel::get(PlatformId::JetsonLP);
+    UtilizationSummary util;
+    util.cpu = 0.3;
+    util.gpu = 0.8;
+    util.memory = 0.5;
+    const PowerBreakdown p = computePower(lp, util);
+    // Paper Fig 6b: SoC + Sys exceed 50% of total on Jetson-LP.
+    EXPECT_GT(p.share(PowerRail::Soc) + p.share(PowerRail::Sys), 0.5);
+}
+
+TEST(PowerTest, TotalsOrderedAcrossPlatforms)
+{
+    UtilizationSummary util;
+    util.cpu = 0.5;
+    util.gpu = 0.8;
+    util.memory = 0.5;
+    const double d =
+        computePower(PlatformModel::get(PlatformId::Desktop), util)
+            .total();
+    const double hp =
+        computePower(PlatformModel::get(PlatformId::JetsonHP), util)
+            .total();
+    const double lp =
+        computePower(PlatformModel::get(PlatformId::JetsonLP), util)
+            .total();
+    EXPECT_GT(d, 10.0 * hp); // Orders of magnitude (Fig 6a log scale).
+    EXPECT_GT(hp, lp);
+    // Gap to the ideal (Table I): LP is still ~an order of magnitude
+    // above the ideal VR power; the desktop is ~two more.
+    EXPECT_GT(lp, 4.0 * idealPowerTarget(false));
+    EXPECT_GT(d, 100.0 * idealPowerTarget(false));
+}
+
+TEST(UarchTest, FractionsSumToOne)
+{
+    for (const OpMix &mix : illixrComponentMixes()) {
+        const UarchResult r = evaluateUarch(mix);
+        EXPECT_NEAR(r.retiring + r.bad_speculation + r.frontend_bound +
+                        r.backend_bound,
+                    1.0, 1e-9)
+            << mix.component;
+        EXPECT_GT(r.ipc, 0.0);
+        EXPECT_LT(r.ipc, 4.0);
+    }
+}
+
+TEST(UarchTest, Fig8ExtremesReproduced)
+{
+    double reproj_ipc = 0.0, playback_ipc = 0.0, playback_retiring = 0.0;
+    double reproj_frontend = 0.0;
+    for (const OpMix &mix : illixrComponentMixes()) {
+        const UarchResult r = evaluateUarch(mix);
+        if (mix.component == "Reproj.") {
+            reproj_ipc = r.ipc;
+            reproj_frontend = r.frontend_bound;
+        }
+        if (mix.component == "Audio Playback") {
+            playback_ipc = r.ipc;
+            playback_retiring = r.retiring;
+        }
+    }
+    // Paper Fig 8: reprojection IPC ~0.3 and frontend bound; audio
+    // playback IPC ~3.5 with ~86% retiring.
+    EXPECT_LT(reproj_ipc, 0.6);
+    EXPECT_GT(reproj_frontend, 0.4);
+    EXPECT_GT(playback_ipc, 3.0);
+    EXPECT_GT(playback_retiring, 0.75);
+}
+
+TEST(UarchTest, IpcOrderingMatchesPaper)
+{
+    // Playback > encoding > VIO > reprojection (Fig 8).
+    double ipc_play = 0, ipc_enc = 0, ipc_vio = 0, ipc_reproj = 0;
+    for (const OpMix &mix : illixrComponentMixes()) {
+        const double ipc = evaluateUarch(mix).ipc;
+        if (mix.component == "Audio Playback")
+            ipc_play = ipc;
+        else if (mix.component == "Audio Encoding")
+            ipc_enc = ipc;
+        else if (mix.component == "VIO")
+            ipc_vio = ipc;
+        else if (mix.component == "Reproj.")
+            ipc_reproj = ipc;
+    }
+    EXPECT_GT(ipc_play, ipc_enc);
+    EXPECT_GT(ipc_enc, ipc_vio);
+    EXPECT_GT(ipc_vio, ipc_reproj);
+}
+
+TEST(CacheTest, SmallWorkingSetHitsL1)
+{
+    CacheHierarchy cache;
+    // 16 KB working set, streamed repeatedly: fits the 32 KB L1.
+    for (int pass = 0; pass < 10; ++pass)
+        for (std::uint64_t a = 0; a < 16 * 1024; a += 8)
+            cache.access(a);
+    EXPECT_LT(cache.l1().missRate(), 0.05);
+}
+
+TEST(CacheTest, LargeWorkingSetMissesL2ButFitsLlc)
+{
+    CacheHierarchy cache;
+    // 2 MB working set: misses the 256 KB L2 but fits the 12 MB LLC
+    // (the paper's VIO working-set observation).
+    const std::uint64_t ws = 2 * 1024 * 1024;
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t a = 0; a < ws; a += 64)
+            cache.access(a);
+    EXPECT_GT(cache.l2Mpka(), 100.0);
+    // After the first (cold) pass the LLC serves everything.
+    EXPECT_LT(cache.llc().missRate(), 0.5);
+}
+
+TEST(CacheTest, StreamingNeverReuses)
+{
+    CacheHierarchy cache;
+    // One pass over 64 MB: every line is a compulsory miss at L1.
+    for (std::uint64_t a = 0; a < 64ull * 1024 * 1024; a += 64)
+        cache.access(a);
+    EXPECT_GT(cache.l1().missRate(), 0.95);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed)
+{
+    // Direct construction: 2-way, 2 sets, 64 B lines = 256 B cache.
+    CacheLevel cache(256, 64, 2);
+    // Two lines in set 0 (stride 128 keeps the same set).
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(128));
+    EXPECT_TRUE(cache.access(0));    // Hit; 128 becomes LRU.
+    EXPECT_FALSE(cache.access(256)); // Evicts 128.
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(128)); // Was evicted.
+}
+
+} // namespace
+} // namespace illixr

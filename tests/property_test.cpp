@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps asserting the invariants
+ * the components rely on, across wide input ranges.
+ */
+
+#include "audio/ambisonics.hpp"
+#include "foundation/rng.hpp"
+#include "image/ssim.hpp"
+#include "perfmodel/cache_sim.hpp"
+#include "sensors/imu.hpp"
+#include "signal/fft.hpp"
+#include "slam/imu_integrator.hpp"
+#include "visual/timewarp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace illixr {
+namespace {
+
+// ------------------------------------------------------------- FFT
+
+class FftSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftSizes, RoundTripIsIdentity)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n);
+    std::vector<Complex> data(n), original(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        data[i] = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        original[i] = data[i];
+    }
+    fft(data, false);
+    fft(data, true);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+        EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+    }
+}
+
+TEST_P(FftSizes, LinearityHolds)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 1);
+    std::vector<Complex> a(n), b(n), sum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = Complex(rng.uniform(-1, 1), 0.0);
+        b[i] = Complex(rng.uniform(-1, 1), 0.0);
+        sum[i] = a[i] + b[i] * 2.0;
+    }
+    fft(a, false);
+    fft(b, false);
+    fft(sum, false);
+    for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 16)) {
+        const Complex expected = a[i] + b[i] * 2.0;
+        EXPECT_NEAR(sum[i].real(), expected.real(), 1e-8);
+        EXPECT_NEAR(sum[i].imag(), expected.imag(), 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(8, 16, 64, 256, 1024, 4096));
+
+// ----------------------------------------------------------- Quat
+
+class QuatSeeds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(QuatSeeds, ExpLogRoundTripRandomVectors)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        const Vec3 w(rng.uniform(-3, 3), rng.uniform(-3, 3),
+                     rng.uniform(-3, 3));
+        if (w.norm() > M_PI - 0.01)
+            continue; // Log principal branch.
+        const Vec3 back = Quat::exp(w).log();
+        EXPECT_NEAR((back - w).norm(), 0.0, 1e-9);
+    }
+}
+
+TEST_P(QuatSeeds, RotationPreservesNormAndDot)
+{
+    Rng rng(GetParam() + 100);
+    for (int i = 0; i < 50; ++i) {
+        const Quat q = Quat::exp(Vec3(rng.uniform(-2, 2),
+                                      rng.uniform(-2, 2),
+                                      rng.uniform(-2, 2)));
+        const Vec3 a(rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(-5, 5));
+        const Vec3 b(rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(-5, 5));
+        EXPECT_NEAR(q.rotate(a).norm(), a.norm(), 1e-9);
+        EXPECT_NEAR(q.rotate(a).dot(q.rotate(b)), a.dot(b), 1e-8);
+    }
+}
+
+TEST_P(QuatSeeds, PoseCompositionIsAssociative)
+{
+    Rng rng(GetParam() + 200);
+    auto random_pose = [&rng] {
+        return Pose(Quat::exp(Vec3(rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                   rng.uniform(-1, 1))),
+                    Vec3(rng.uniform(-2, 2), rng.uniform(-2, 2),
+                         rng.uniform(-2, 2)));
+    };
+    for (int i = 0; i < 20; ++i) {
+        const Pose a = random_pose(), b = random_pose(),
+                   c = random_pose();
+        const Pose left = (a * b) * c;
+        const Pose right = a * (b * c);
+        EXPECT_NEAR(left.translationErrorTo(right), 0.0, 1e-9);
+        EXPECT_NEAR(left.rotationErrorTo(right), 0.0, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuatSeeds, ::testing::Values(1, 2, 3, 4));
+
+// ----------------------------------------------------------- SSIM
+
+class SsimSeeds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SsimSeeds, SelfSimilarityIsOneAndSymmetric)
+{
+    Rng rng(GetParam());
+    ImageF a(40, 40), b(40, 40);
+    for (int y = 0; y < 40; ++y) {
+        for (int x = 0; x < 40; ++x) {
+            a.at(x, y) = static_cast<float>(rng.uniform());
+            b.at(x, y) = static_cast<float>(rng.uniform());
+        }
+    }
+    EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
+    EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-9);
+    EXPECT_LT(ssim(a, b), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsimSeeds,
+                         ::testing::Values(11, 12, 13));
+
+// ------------------------------------------------------- Timewarp
+
+class WarpMeshSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WarpMeshSizes, IdentityWarpIsExactForAnyMeshResolution)
+{
+    TimewarpParams params;
+    params.mesh_cols = GetParam();
+    params.mesh_rows = GetParam();
+    params.lens_distortion = false;
+    params.chromatic_correction = false;
+    Timewarp warp(params);
+
+    Rng rng(GetParam());
+    RgbImage img(48, 48);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 48; ++x)
+            img.setPixel(x, y, Vec3(rng.uniform(), rng.uniform(),
+                                    rng.uniform()));
+    const Pose pose = Pose::identity();
+    const RgbImage out = warp.reproject(img, pose, pose);
+    // Identity rotation + no distortion: per-pixel pass-through up to
+    // interpolation roundoff, independent of mesh resolution.
+    for (int y = 2; y < 46; ++y)
+        for (int x = 2; x < 46; ++x)
+            EXPECT_NEAR(out.g.at(x, y), img.g.at(x, y), 5e-3)
+                << "at " << x << "," << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, WarpMeshSizes,
+                         ::testing::Values(4, 8, 16, 32));
+
+// ---------------------------------------------------------- Cache
+
+TEST(CacheProperties, MissesPerAccessMonotoneInWorkingSet)
+{
+    // L2 misses per kilo-access (normalized by *total* accesses, not
+    // L2 lookups — the conditional miss rate is not monotone) can
+    // only grow as the streamed working set grows.
+    double prev_mpka = -1.0;
+    for (std::size_t ws_kb : {16, 64, 256, 1024, 4096}) {
+        CacheHierarchy cache;
+        for (int pass = 0; pass < 4; ++pass)
+            for (std::uint64_t a = 0; a < ws_kb * 1024; a += 64)
+                cache.access(a);
+        const double mpka = cache.l2Mpka();
+        EXPECT_GE(mpka, prev_mpka - 1.0)
+            << "L2 MPKA decreased at working set " << ws_kb;
+        prev_mpka = mpka;
+    }
+}
+
+TEST(CacheProperties, HitsPlusMissesEqualsAccesses)
+{
+    CacheHierarchy cache;
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i)
+        cache.access(rng.nextU64() % (8 * 1024 * 1024));
+    EXPECT_EQ(cache.l1().hits() + cache.l1().misses(),
+              cache.l1().accesses());
+    // L2 sees exactly the L1 misses; LLC exactly the L2 misses.
+    EXPECT_EQ(cache.l2().accesses(), cache.l1().misses());
+    EXPECT_EQ(cache.llc().accesses(), cache.l2().misses());
+}
+
+// ----------------------------------------------------- Integrator
+
+class ImuRates : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ImuRates, IntegrationErrorShrinksWithRate)
+{
+    // Property: for each rate, the error is below a bound that
+    // shrinks quadratically with the sample period.
+    const double rate = GetParam();
+    const Trajectory traj = Trajectory::labWalk(77);
+    ImuNoiseModel noiseless;
+    noiseless.gyro_noise_density = 0.0;
+    noiseless.accel_noise_density = 0.0;
+    noiseless.gyro_bias_walk = 0.0;
+    noiseless.accel_bias_walk = 0.0;
+    noiseless.initial_gyro_bias = Vec3(0, 0, 0);
+    noiseless.initial_accel_bias = Vec3(0, 0, 0);
+    ImuSensor sensor(traj, noiseless, rate);
+    const auto samples = sensor.generate(2.0);
+
+    ImuIntegrator integrator;
+    ImuState init;
+    init.orientation = traj.pose(0.0).orientation;
+    init.position = traj.pose(0.0).position;
+    init.velocity = traj.velocity(0.0);
+    integrator.correct(init);
+    for (const auto &s : samples)
+        integrator.addSample(s);
+
+    const double err =
+        (integrator.state().position - traj.pose(2.0).position).norm();
+    const double dt = 1.0 / rate;
+    // Generous constant; the point is the quadratic scaling envelope.
+    EXPECT_LT(err, 0.002 + 400.0 * dt * dt) << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ImuRates,
+                         ::testing::Values(50.0, 100.0, 200.0, 500.0));
+
+// ----------------------------------------------------- Ambisonics
+
+class RotationSeeds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RotationSeeds, RotatorComposesLikeRotations)
+{
+    // Property: R(q1) * R(q2) == R(q1 ∘ q2) as matrices.
+    Rng rng(GetParam());
+    const Quat q1 = Quat::exp(Vec3(rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                   rng.uniform(-1, 1)));
+    const Quat q2 = Quat::exp(Vec3(rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                   rng.uniform(-1, 1)));
+    const MatX m1 = SoundfieldRotator(q1).matrix();
+    const MatX m2 = SoundfieldRotator(q2).matrix();
+    const MatX m12 = SoundfieldRotator((q1 * q2).normalized()).matrix();
+    EXPECT_NEAR((m1 * m2 - m12).maxAbs(), 0.0, 1e-8);
+}
+
+TEST_P(RotationSeeds, InverseRotationIsTranspose)
+{
+    Rng rng(GetParam() + 50);
+    const Quat q = Quat::exp(Vec3(rng.uniform(-1.5, 1.5),
+                                  rng.uniform(-1.5, 1.5),
+                                  rng.uniform(-1.5, 1.5)));
+    const MatX m = SoundfieldRotator(q).matrix();
+    const MatX mi = SoundfieldRotator(q.conjugate()).matrix();
+    EXPECT_NEAR((m.transpose() - mi).maxAbs(), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RotationSeeds,
+                         ::testing::Values(21, 22, 23, 24));
+
+} // namespace
+} // namespace illixr

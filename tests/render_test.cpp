@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for meshes, the software rasterizer, scenes, and the
+ * application driver.
+ */
+
+#include "render/app.hpp"
+#include "render/mesh.hpp"
+#include "render/rasterizer.hpp"
+#include "render/scenes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace illixr {
+namespace {
+
+TEST(MeshTest, BoxHasTwelveTriangles)
+{
+    const Mesh box = makeBox(Vec3(1, 1, 1), Vec3(1, 0, 0));
+    EXPECT_EQ(box.triangleCount(), 12u);
+    EXPECT_EQ(box.vertices.size(), 24u);
+    Vec3 lo, hi;
+    box.bounds(lo, hi);
+    EXPECT_NEAR(lo.x, -1.0, 1e-12);
+    EXPECT_NEAR(hi.z, 1.0, 1e-12);
+}
+
+TEST(MeshTest, SphereNormalsAreRadial)
+{
+    const Mesh sphere = makeSphere(2.0, 8, 12, Vec3(1, 1, 1));
+    for (const Vertex &v : sphere.vertices) {
+        EXPECT_NEAR(v.position.norm(), 2.0, 1e-9);
+        EXPECT_NEAR(v.normal.dot(v.position.normalized()), 1.0, 1e-9);
+    }
+}
+
+TEST(MeshTest, AppendRebasesIndices)
+{
+    Mesh a = makeBox(Vec3(1, 1, 1), Vec3(1, 0, 0));
+    const Mesh b = makeBox(Vec3(2, 2, 2), Vec3(0, 1, 0));
+    const std::size_t verts_a = a.vertices.size();
+    a.append(b);
+    EXPECT_EQ(a.triangleCount(), 24u);
+    // Second half of the indices must refer past the first mesh.
+    for (std::size_t i = 36; i < a.indices.size(); ++i)
+        EXPECT_GE(a.indices[i], verts_a);
+}
+
+TEST(MeshTest, TransformMovesBounds)
+{
+    Mesh box = makeBox(Vec3(1, 1, 1), Vec3(1, 0, 0));
+    box.transform(Mat4::translation(Vec3(10, 0, 0)));
+    Vec3 lo, hi;
+    box.bounds(lo, hi);
+    EXPECT_NEAR(lo.x, 9.0, 1e-12);
+    EXPECT_NEAR(hi.x, 11.0, 1e-12);
+}
+
+TEST(RasterizerTest, ClearFillsColorAndDepth)
+{
+    Rasterizer r(16, 16);
+    r.clear(Vec3(0.2, 0.4, 0.6));
+    EXPECT_NEAR(r.color().pixel(5, 5).y, 0.4, 1e-6);
+    EXPECT_GT(r.depth().at(5, 5), 1e20f);
+}
+
+TEST(RasterizerTest, BoxInFrontOfCameraIsVisible)
+{
+    Rasterizer r(64, 64);
+    r.clear(Vec3(0, 0, 0));
+    const Mesh box = makeBox(Vec3(0.5, 0.5, 0.5), Vec3(1.0, 0.2, 0.2));
+    const Mat4 model = Mat4::translation(Vec3(0, 0, -3));
+    const Mat4 view = Mat4::identity();
+    const Mat4 proj = Mat4::perspective(1.2, 1.0, 0.1, 50.0);
+    r.draw(box, model, view, proj, DirectionalLight{});
+
+    // Center pixel shows the lit red box face.
+    const Vec3 c = r.color().pixel(32, 32);
+    EXPECT_GT(c.x, 0.2);
+    EXPECT_GT(c.x, c.y * 2.0);
+    EXPECT_GT(r.stats().fragments_shaded, 100u);
+    EXPECT_LT(r.depth().at(32, 32), 1.0f);
+    // Corners show background.
+    EXPECT_NEAR(r.color().pixel(1, 1).x, 0.0, 1e-6);
+}
+
+TEST(RasterizerTest, DepthTestOrdersOverlappingBoxes)
+{
+    Rasterizer r(64, 64);
+    r.clear(Vec3(0, 0, 0));
+    const Mesh red = makeBox(Vec3(0.5, 0.5, 0.1), Vec3(1, 0, 0));
+    const Mesh green = makeBox(Vec3(0.5, 0.5, 0.1), Vec3(0, 1, 0));
+    const Mat4 view = Mat4::identity();
+    const Mat4 proj = Mat4::perspective(1.2, 1.0, 0.1, 50.0);
+    // Draw far green first, then near red: red must win. Then redraw
+    // green (farther): red must still win.
+    r.draw(green, Mat4::translation(Vec3(0, 0, -5)), view, proj,
+           DirectionalLight{});
+    r.draw(red, Mat4::translation(Vec3(0, 0, -3)), view, proj,
+           DirectionalLight{});
+    r.draw(green, Mat4::translation(Vec3(0, 0, -5)), view, proj,
+           DirectionalLight{});
+    const Vec3 c = r.color().pixel(32, 32);
+    EXPECT_GT(c.x, c.y);
+}
+
+TEST(RasterizerTest, BehindCameraIsCulled)
+{
+    Rasterizer r(32, 32);
+    r.clear(Vec3(0, 0, 0));
+    const Mesh box = makeBox(Vec3(0.5, 0.5, 0.5), Vec3(1, 1, 1));
+    r.draw(box, Mat4::translation(Vec3(0, 0, 5)), Mat4::identity(),
+           Mat4::perspective(1.2, 1.0, 0.1, 50.0), DirectionalLight{});
+    EXPECT_EQ(r.stats().fragments_shaded, 0u);
+}
+
+TEST(RasterizerTest, GouraudLightingDependsOnNormal)
+{
+    // A sphere lit from above: top brighter than bottom.
+    Rasterizer r(64, 64);
+    r.clear(Vec3(0, 0, 0));
+    const Mesh sphere = makeSphere(1.0, 24, 32, Vec3(0.8, 0.8, 0.8));
+    DirectionalLight light;
+    light.direction = Vec3(0, 1, 0);
+    r.draw(sphere, Mat4::translation(Vec3(0, 0, -3)), Mat4::identity(),
+           Mat4::perspective(1.2, 1.0, 0.1, 50.0), light);
+    const double top = r.color().pixel(32, 18).x;
+    const double bottom = r.color().pixel(32, 46).x;
+    EXPECT_GT(top, bottom + 0.1);
+}
+
+TEST(SceneTest, ComplexityOrderingMatchesPaper)
+{
+    // Sponza most graphics-intensive, AR demo least (paper §III-C).
+    const Scene sponza(AppId::Sponza);
+    const Scene materials(AppId::Materials);
+    const Scene platformer(AppId::Platformer);
+    const Scene ar(AppId::ArDemo);
+    EXPECT_GT(sponza.triangleCount(), materials.triangleCount());
+    EXPECT_GT(materials.triangleCount(), platformer.triangleCount());
+    EXPECT_GT(platformer.triangleCount(), ar.triangleCount());
+    EXPECT_GT(sponza.triangleCount(), 10000u);
+    EXPECT_LT(ar.triangleCount(), 1000u);
+}
+
+TEST(SceneTest, AnimationMovesObjects)
+{
+    Scene scene(AppId::Platformer);
+    scene.update(0.0);
+    // Find an animated object.
+    std::size_t animated = 0;
+    for (std::size_t i = 0; i < scene.objects().size(); ++i) {
+        if (scene.objects()[i].motion != SceneObject::Motion::Static) {
+            animated = i;
+            break;
+        }
+    }
+    const Mat4 t0 = scene.objectTransform(animated);
+    scene.update(0.37);
+    const Mat4 t1 = scene.objectTransform(animated);
+    const Vec3 p0(t0(0, 3), t0(1, 3), t0(2, 3));
+    const Vec3 p1(t1(0, 3), t1(1, 3), t1(2, 3));
+    EXPECT_GT((p1 - p0).norm(), 0.01);
+}
+
+TEST(AppTest, RendersStereoFrames)
+{
+    AppConfig cfg;
+    cfg.eye_width = 64;
+    cfg.eye_height = 64;
+    XrApplication app(AppId::ArDemo, cfg);
+    const Pose head(Quat::identity(), Vec3(0, 1.6, 0));
+    const StereoFrame frame = app.renderFrame(head, 0.5);
+    EXPECT_EQ(frame.left.width(), 64);
+    EXPECT_EQ(frame.right.width(), 64);
+    EXPECT_GT(app.stats().draw_calls, 0u);
+    EXPECT_GT(app.profile().taskSeconds("rendering"), 0.0);
+    EXPECT_GT(app.profile().taskSeconds("simulation"), 0.0);
+}
+
+TEST(AppTest, StereoEyesDiffer)
+{
+    AppConfig cfg;
+    cfg.eye_width = 64;
+    cfg.eye_height = 64;
+    XrApplication app(AppId::Platformer, cfg);
+    const Pose head(Quat::identity(), Vec3(0, 1.2, 4.0));
+    const StereoFrame frame = app.renderFrame(head, 0.0);
+    double diff = 0.0;
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            diff += std::fabs(frame.left.r.at(x, y) -
+                              frame.right.r.at(x, y));
+    EXPECT_GT(diff, 1.0) << "stereo parallax expected";
+}
+
+TEST(AppTest, RenderCostOrderingMatchesPaper)
+{
+    // Fragments shaded per frame should follow the complexity order.
+    AppConfig cfg;
+    cfg.eye_width = 64;
+    cfg.eye_height = 64;
+    const Pose head(Quat::identity(), Vec3(0, 1.6, 3.0));
+    std::size_t shaded[4];
+    const AppId apps[4] = {AppId::Sponza, AppId::Materials,
+                           AppId::Platformer, AppId::ArDemo};
+    for (int i = 0; i < 4; ++i) {
+        XrApplication app(apps[i], cfg);
+        app.renderFrame(head, 0.1);
+        shaded[i] = app.stats().triangles_submitted;
+    }
+    EXPECT_GT(shaded[0], shaded[1]);
+    EXPECT_GT(shaded[1], shaded[2]);
+    EXPECT_GT(shaded[2], shaded[3]);
+}
+
+TEST(EyePoseTest, IpdSeparatesEyes)
+{
+    const Pose head(Quat::identity(), Vec3(0, 1.6, 0));
+    const Pose left = eyePose(head, 0.064, true);
+    const Pose right = eyePose(head, 0.064, false);
+    EXPECT_NEAR((left.position - right.position).norm(), 0.064, 1e-9);
+    // Rotated head: separation still equals the IPD.
+    const Pose head2(Quat::fromAxisAngle(Vec3(0, 1, 0), 1.0),
+                     Vec3(0, 1.6, 0));
+    const Pose l2 = eyePose(head2, 0.064, true);
+    const Pose r2 = eyePose(head2, 0.064, false);
+    EXPECT_NEAR((l2.position - r2.position).norm(), 0.064, 1e-9);
+}
+
+} // namespace
+} // namespace illixr

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the runtime core: phonebook, switchboard semantics
+ * (sync vs async reads), plugin registry, the discrete-event
+ * scheduler (periodicity, skip-on-overrun, contention, vsync
+ * alignment), and the real-threaded executor.
+ */
+
+#include "foundation/profile.hpp"
+#include "runtime/phonebook.hpp"
+#include "runtime/plugin.hpp"
+#include "runtime/rt_executor.hpp"
+#include "runtime/sim_scheduler.hpp"
+#include "runtime/switchboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace illixr {
+namespace {
+
+struct IntEvent : Event
+{
+    int value = 0;
+};
+
+TEST(PhonebookTest, RegisterAndLookup)
+{
+    Phonebook pb;
+    auto sb = std::make_shared<Switchboard>();
+    pb.registerService(sb);
+    EXPECT_TRUE(pb.has<Switchboard>());
+    EXPECT_EQ(pb.lookup<Switchboard>().get(), sb.get());
+    EXPECT_FALSE(pb.has<SyncReader>());
+    EXPECT_THROW(pb.lookup<SyncReader>(), std::out_of_range);
+}
+
+TEST(SwitchboardTest, AsyncReadReturnsLatest)
+{
+    Switchboard sb;
+    EXPECT_EQ(sb.latest("t"), nullptr);
+    for (int i = 0; i < 5; ++i) {
+        auto e = makeEvent<IntEvent>();
+        e->value = i;
+        sb.publish("t", e);
+    }
+    auto latest = sb.latest<IntEvent>("t");
+    ASSERT_NE(latest, nullptr);
+    EXPECT_EQ(latest->value, 4);
+    EXPECT_EQ(sb.publishCount("t"), 5u);
+}
+
+TEST(SwitchboardTest, SyncReaderSeesEveryValueInOrder)
+{
+    Switchboard sb;
+    auto reader = sb.subscribe("t");
+    for (int i = 0; i < 10; ++i) {
+        auto e = makeEvent<IntEvent>();
+        e->value = i;
+        sb.publish("t", e);
+    }
+    EXPECT_EQ(reader->pending(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        auto e = std::dynamic_pointer_cast<const IntEvent>(reader->pop());
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->value, i);
+    }
+    EXPECT_EQ(reader->pop(), nullptr);
+}
+
+TEST(SwitchboardTest, SyncReaderMissesEventsBeforeSubscription)
+{
+    Switchboard sb;
+    sb.publish("t", makeEvent<IntEvent>());
+    auto reader = sb.subscribe("t");
+    EXPECT_EQ(reader->pending(), 0u);
+    sb.publish("t", makeEvent<IntEvent>());
+    EXPECT_EQ(reader->pending(), 1u);
+}
+
+TEST(SwitchboardTest, TypedLatestRejectsWrongType)
+{
+    struct OtherEvent : Event
+    {
+    };
+    Switchboard sb;
+    sb.publish("t", makeEvent<OtherEvent>());
+    EXPECT_EQ(sb.latest<IntEvent>("t"), nullptr);
+}
+
+TEST(SwitchboardTest, TopicNamesEnumerates)
+{
+    Switchboard sb;
+    sb.publish("alpha", makeEvent<IntEvent>());
+    sb.subscribe("beta");
+    const auto names = sb.topicNames();
+    EXPECT_EQ(names.size(), 2u);
+}
+
+/** Plugin that burns a configurable amount of host time. */
+class BurnPlugin : public Plugin
+{
+  public:
+    BurnPlugin(std::string name, Duration period, double burn_us,
+               ExecUnit unit = ExecUnit::Cpu, bool skip = true)
+        : Plugin(std::move(name)), period_(period), burnUs_(burn_us),
+          unit_(unit), skip_(skip)
+    {
+    }
+
+    void
+    iterate(TimePoint) override
+    {
+        ++count;
+        const double start = hostTimeSeconds();
+        double acc = 0.0;
+        while ((hostTimeSeconds() - start) * 1e6 < burnUs_)
+            acc += 1.0;
+        sink_ = acc;
+    }
+
+    Duration period() const override { return period_; }
+    ExecUnit execUnit() const override { return unit_; }
+    bool skipOnOverrun() const override { return skip_; }
+
+    int count = 0;
+
+  private:
+    double sink_ = 0.0;
+    Duration period_;
+    double burnUs_;
+    ExecUnit unit_;
+    bool skip_;
+};
+
+TEST(PluginRegistryTest, CreateByName)
+{
+    PluginRegistry registry;
+    registry.registerFactory("burn", [](const Phonebook &) {
+        return std::make_unique<BurnPlugin>("burn", kMillisecond, 1.0);
+    });
+    EXPECT_TRUE(registry.has("burn"));
+    EXPECT_FALSE(registry.has("nope"));
+    Phonebook pb;
+    auto plugin = registry.create("burn", pb);
+    EXPECT_EQ(plugin->name(), "burn");
+    EXPECT_THROW(registry.create("nope", pb), std::out_of_range);
+    EXPECT_EQ(registry.names().size(), 1u);
+}
+
+TEST(SimSchedulerTest, PeriodicTaskRunsAtTargetRate)
+{
+    BurnPlugin fast("fast", 10 * kMillisecond, 5.0);
+    SimScheduler sched(PlatformModel::get(PlatformId::Desktop));
+    sched.addPlugin(&fast);
+    sched.run(1 * kSecond);
+    // 100 Hz over 1 s: ~100 invocations (inclusive of t=0).
+    EXPECT_NEAR(static_cast<double>(fast.count), 100.0, 3.0);
+    const TaskStats &stats = sched.stats("fast");
+    EXPECT_EQ(stats.invocations, static_cast<std::size_t>(fast.count));
+    EXPECT_EQ(stats.skips, 0u);
+    EXPECT_GT(stats.exec_ms.mean(), 0.0);
+}
+
+TEST(SimSchedulerTest, SlowPlatformInflatesVirtualTime)
+{
+    BurnPlugin a("a", 10 * kMillisecond, 100.0);
+    BurnPlugin b("b", 10 * kMillisecond, 100.0);
+    SimScheduler desktop(PlatformModel::get(PlatformId::Desktop));
+    desktop.addPlugin(&a);
+    desktop.run(kSecond);
+    SimScheduler jetson(PlatformModel::get(PlatformId::JetsonLP));
+    jetson.addPlugin(&b);
+    jetson.run(kSecond);
+    const double d = desktop.stats("a").exec_ms.mean();
+    const double j = jetson.stats("b").exec_ms.mean();
+    EXPECT_NEAR(j / d, 5.6, 1.5); // Jetson-LP cpu_scale.
+}
+
+TEST(SimSchedulerTest, OverrunSkipsFrames)
+{
+    // A task whose virtual duration exceeds its period must skip.
+    // 2 ms of work on Jetson-LP -> 11.2 ms virtual vs 5 ms period.
+    BurnPlugin heavy("heavy", 5 * kMillisecond, 2000.0);
+    SimScheduler sched(PlatformModel::get(PlatformId::JetsonLP));
+    sched.addPlugin(&heavy);
+    sched.run(kSecond);
+    const TaskStats &stats = sched.stats("heavy");
+    EXPECT_GT(stats.skips, 50u);
+    EXPECT_LT(stats.achievedHz(kSecond), 150.0);
+}
+
+TEST(SimSchedulerTest, GpuQueueSerializesGpuTasks)
+{
+    // Two GPU tasks of 1 ms at 500 Hz each saturate the single GPU
+    // queue: total GPU busy can't exceed the run duration.
+    BurnPlugin g1("g1", 2 * kMillisecond, 1000.0, ExecUnit::GpuGraphics);
+    BurnPlugin g2("g2", 2 * kMillisecond, 1000.0, ExecUnit::GpuCompute);
+    SimScheduler sched(PlatformModel::get(PlatformId::Desktop));
+    sched.addPlugin(&g1);
+    sched.addPlugin(&g2);
+    sched.run(kSecond);
+    EXPECT_LE(sched.gpuUtilization(), 1.0);
+    EXPECT_GT(sched.gpuUtilization(), 0.7);
+    // Together they demand 2x the queue: someone must skip.
+    EXPECT_GT(sched.stats("g1").skips + sched.stats("g2").skips, 100u);
+}
+
+TEST(SimSchedulerTest, CpuUtilizationAccounting)
+{
+    // One task of ~1 ms every 10 ms on 12 threads: ~1/120 utilization.
+    BurnPlugin t("t", 10 * kMillisecond, 1000.0);
+    SimScheduler sched(PlatformModel::get(PlatformId::Desktop));
+    sched.addPlugin(&t);
+    sched.run(kSecond);
+    EXPECT_NEAR(sched.cpuUtilization(), 1.0 / 120.0, 0.5 / 120.0);
+}
+
+TEST(SimSchedulerTest, VsyncAlignedTaskTargetsVsync)
+{
+    BurnPlugin warp("warp", 0, 500.0, ExecUnit::GpuGraphics);
+    SimScheduler sched(PlatformModel::get(PlatformId::Desktop));
+    const Duration vsync = periodFromHz(120.0);
+    sched.addVsyncAlignedPlugin(&warp, vsync);
+    sched.run(kSecond);
+    const TaskStats &stats = sched.stats("warp");
+    EXPECT_GT(stats.invocations, 100u);
+    // After warmup, completions should land before their targets and
+    // arrivals should be late in the vsync interval.
+    std::size_t on_time = 0;
+    for (std::size_t i = 5; i < stats.records.size(); ++i) {
+        const auto &rec = stats.records[i];
+        ASSERT_GT(rec.target_vsync, 0);
+        if (rec.completion <= rec.target_vsync)
+            ++on_time;
+    }
+    EXPECT_GT(on_time, (stats.records.size() - 5) * 3 / 4);
+}
+
+TEST(RtExecutorTest, RunsPluginsLive)
+{
+    BurnPlugin fast("fast", 5 * kMillisecond, 10.0);
+    RtExecutor exec;
+    exec.addPlugin(&fast);
+    exec.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    exec.stop();
+    // ~24 iterations expected; allow generous slack for CI noise.
+    EXPECT_GE(exec.iterations("fast"), 8u);
+    EXPECT_LE(exec.iterations("fast"), 40u);
+}
+
+} // namespace
+} // namespace illixr

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the synthetic sensor substrate: trajectory
+ * kinematics, IMU model consistency, camera projection, raycast
+ * world, and dataset assembly.
+ */
+
+#include "foundation/stats.hpp"
+#include "sensors/camera.hpp"
+#include "sensors/dataset.hpp"
+#include "sensors/imu.hpp"
+#include "sensors/trajectory.hpp"
+#include "sensors/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace illixr {
+namespace {
+
+TEST(TrajectoryTest, VelocityMatchesNumericalDerivative)
+{
+    const Trajectory traj = Trajectory::labWalk(3);
+    const double h = 1e-6;
+    for (double t : {0.5, 2.0, 7.3, 15.0}) {
+        const Vec3 v = traj.velocity(t);
+        const Vec3 num = (traj.pose(t + h).position -
+                          traj.pose(t - h).position) /
+                         (2.0 * h);
+        EXPECT_NEAR(v.x, num.x, 1e-5);
+        EXPECT_NEAR(v.y, num.y, 1e-5);
+        EXPECT_NEAR(v.z, num.z, 1e-5);
+    }
+}
+
+TEST(TrajectoryTest, AccelerationMatchesNumericalDerivative)
+{
+    const Trajectory traj = Trajectory::viconRoom(4);
+    const double h = 1e-5;
+    for (double t : {1.0, 4.4, 9.9}) {
+        const Vec3 a = traj.acceleration(t);
+        const Vec3 num =
+            (traj.velocity(t + h) - traj.velocity(t - h)) / (2.0 * h);
+        EXPECT_NEAR(a.x, num.x, 1e-4);
+        EXPECT_NEAR(a.y, num.y, 1e-4);
+        EXPECT_NEAR(a.z, num.z, 1e-4);
+    }
+}
+
+TEST(TrajectoryTest, AngularVelocityIntegratesOrientation)
+{
+    // One Euler step of omega must approximately advance q.
+    const Trajectory traj = Trajectory::labWalk(5);
+    const double t = 3.0;
+    const double dt = 1e-4;
+    const Quat q0 = traj.pose(t).orientation;
+    const Quat q1 = traj.pose(t + dt).orientation;
+    const Vec3 w = traj.angularVelocity(t);
+    const Quat q1_pred = q0 * Quat::exp(w * dt);
+    EXPECT_NEAR(q1_pred.angleTo(q1), 0.0, 1e-6);
+}
+
+TEST(TrajectoryTest, StaysNearCenter)
+{
+    const Trajectory traj = Trajectory::labWalk(6);
+    for (double t = 0.0; t < 60.0; t += 0.25) {
+        const Vec3 offset = traj.pose(t).position - traj.center();
+        EXPECT_LT(offset.norm(), 4.0) << "escaped the room at t=" << t;
+    }
+}
+
+TEST(ImuTest, StationaryIdealSampleMeasuresGravity)
+{
+    // At any instant, ideal accel + gravity rotated to body equals
+    // world acceleration.
+    const Trajectory traj = Trajectory::labWalk(7);
+    ImuSensor imu(traj, ImuNoiseModel{}, 500.0);
+    const double t = 2.5;
+    const ImuSample s = imu.idealSampleAt(t);
+    const Quat q = traj.pose(t).orientation;
+    const Vec3 a_world = q.rotate(s.linear_acceleration) + gravityWorld();
+    const Vec3 expected = traj.acceleration(t);
+    EXPECT_NEAR(a_world.x, expected.x, 1e-9);
+    EXPECT_NEAR(a_world.y, expected.y, 1e-9);
+    EXPECT_NEAR(a_world.z, expected.z, 1e-9);
+}
+
+TEST(ImuTest, GeneratedStreamHasCorrectRateAndTimestamps)
+{
+    const Trajectory traj = Trajectory::labWalk(8);
+    ImuSensor imu(traj, ImuNoiseModel{}, 200.0);
+    const auto samples = imu.generate(2.0);
+    ASSERT_EQ(samples.size(), 401u);
+    EXPECT_EQ(samples[0].time, 0);
+    EXPECT_EQ(samples[1].time - samples[0].time, 5 * kMillisecond);
+}
+
+TEST(ImuTest, NoiseHasExpectedMagnitude)
+{
+    const Trajectory traj = Trajectory::labWalk(9);
+    ImuNoiseModel noise;
+    noise.initial_gyro_bias = Vec3(0, 0, 0);
+    noise.gyro_bias_walk = 0.0;
+    ImuSensor imu(traj, noise, 500.0);
+    ImuSensor ideal_src(traj, noise, 500.0);
+    const auto noisy = imu.generate(10.0);
+
+    RunningStat err;
+    for (const auto &s : noisy) {
+        const ImuSample ideal = ideal_src.idealSampleAt(toSeconds(s.time));
+        err.add(s.angular_velocity.x - ideal.angular_velocity.x);
+    }
+    // sigma_d = density / sqrt(dt) = 1.7e-4 * sqrt(500).
+    const double expected = 1.7e-4 * std::sqrt(500.0);
+    EXPECT_NEAR(err.stddev(), expected, 0.2 * expected);
+    EXPECT_NEAR(err.mean(), 0.0, 0.1 * expected);
+}
+
+TEST(CameraTest, ProjectUnprojectRoundTrip)
+{
+    const CameraIntrinsics intr = CameraIntrinsics::fromFov(640, 480, 1.5);
+    const Vec3 p(0.3, -0.2, 2.0);
+    const Vec2 px = intr.project(p);
+    const Vec3 ray = intr.unproject(px);
+    // Ray must be parallel to p.
+    EXPECT_NEAR(ray.cross(p.normalized()).norm(), 0.0, 1e-9);
+}
+
+TEST(CameraTest, PrincipalPointIsImageCenter)
+{
+    const CameraIntrinsics intr = CameraIntrinsics::fromFov(640, 480, 1.5);
+    const Vec2 px = intr.project(Vec3(0, 0, 1.0));
+    EXPECT_NEAR(px.x, 320.0, 1e-9);
+    EXPECT_NEAR(px.y, 240.0, 1e-9);
+    EXPECT_TRUE(intr.inImage(px));
+    EXPECT_FALSE(intr.inImage(Vec2(-1.0, 10.0)));
+}
+
+TEST(CameraTest, FovMatchesIntrinsics)
+{
+    const double fov = 1.2;
+    const CameraIntrinsics intr = CameraIntrinsics::fromFov(640, 480, fov);
+    // A ray at the horizontal FoV edge projects to the image border.
+    const Vec3 edge(std::tan(fov / 2.0), 0.0, 1.0);
+    const Vec2 px = intr.project(edge);
+    EXPECT_NEAR(px.x, 640.0, 1e-6);
+}
+
+TEST(CameraRigTest, WorldToCameraMapsForwardPointAhead)
+{
+    const CameraRig rig =
+        CameraRig::standard(CameraIntrinsics::fromFov(320, 240, 1.5));
+    // Body at origin, identity orientation, looking along -Z.
+    const Pose body = Pose::identity();
+    const Pose w2c = rig.worldToCamera(body);
+    // A world point 2 m in front of the body (z = -2) must land on
+    // the camera's +Z axis.
+    const Vec3 p_cam = w2c.transform(Vec3(0, 0, -2));
+    EXPECT_NEAR(p_cam.x, 0.0, 1e-9);
+    EXPECT_NEAR(p_cam.y, 0.0, 1e-9);
+    EXPECT_NEAR(p_cam.z, 2.0, 1e-9);
+}
+
+TEST(WorldTest, RaysFromInsideAlwaysHit)
+{
+    const SyntheticWorld world = SyntheticWorld::labRoom();
+    Rng rng(12);
+    for (int i = 0; i < 200; ++i) {
+        const Vec3 dir = Vec3(rng.gaussian(), rng.gaussian(),
+                              rng.gaussian())
+                             .normalized();
+        const auto hit = world.castRay(Vec3(0.0, 1.5, 0.0), dir);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_GT(hit->distance, 0.0);
+        EXPECT_LT(hit->distance, 15.0);
+        EXPECT_NEAR(hit->normal.norm(), 1.0, 1e-9);
+    }
+}
+
+TEST(WorldTest, TextureIsViewIndependent)
+{
+    const SyntheticWorld world = SyntheticWorld::labRoom();
+    // Hit the same wall point from two origins: same albedo.
+    const Vec3 target(0.0, 2.0, 4.0); // On the +Z wall.
+    const Vec3 o1(0.0, 2.0, 0.0), o2(1.0, 1.0, -1.0);
+    const auto h1 = world.castRay(o1, (target - o1).normalized());
+    const auto h2 = world.castRay(o2, (target - o2).normalized());
+    ASSERT_TRUE(h1 && h2);
+    EXPECT_NEAR(h1->albedo, h2->albedo, 1e-9);
+}
+
+TEST(WorldTest, RenderedImageHasContrast)
+{
+    const SyntheticWorld world = SyntheticWorld::labRoom();
+    const CameraRig rig =
+        CameraRig::standard(CameraIntrinsics::fromFov(160, 120, 1.5));
+    const Pose body(Quat::identity(), Vec3(0, 1.6, 0));
+    const ImageF img =
+        world.renderGray(rig.intrinsics, rig.worldToCamera(body));
+    double lo = 1.0, hi = 0.0;
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            lo = std::min(lo, static_cast<double>(img.at(x, y)));
+            hi = std::max(hi, static_cast<double>(img.at(x, y)));
+        }
+    }
+    EXPECT_GT(hi - lo, 0.2) << "textured room should not be flat";
+}
+
+TEST(WorldTest, DepthMatchesRaycastGeometry)
+{
+    const SyntheticWorld world = SyntheticWorld::labRoom();
+    const CameraRig rig =
+        CameraRig::standard(CameraIntrinsics::fromFov(64, 48, 1.5));
+    const Pose body(Quat::identity(), Vec3(0, 1.6, 0));
+    const DepthImage depth =
+        world.renderDepth(rig.intrinsics, rig.worldToCamera(body), 0.0);
+    // Center pixel looks straight ahead at the -Z wall 4 m+1.6-eye...
+    // body at z=0 looking along -Z hits z=-4 wall: 4 m away.
+    const float d = depth.at(32, 24);
+    EXPECT_NEAR(d, 4.0f, 0.05f);
+}
+
+TEST(WorldTest, DepthDropoutProducesInvalidPixels)
+{
+    const SyntheticWorld world = SyntheticWorld::labRoom();
+    const CameraRig rig =
+        CameraRig::standard(CameraIntrinsics::fromFov(64, 48, 1.5));
+    const Pose body(Quat::identity(), Vec3(0, 1.6, 0));
+    const DepthImage depth =
+        world.renderDepth(rig.intrinsics, rig.worldToCamera(body), 0.2);
+    int invalid = 0;
+    for (int y = 0; y < depth.height(); ++y)
+        for (int x = 0; x < depth.width(); ++x)
+            if (depth.at(x, y) == 0.0f)
+                ++invalid;
+    const double fraction =
+        static_cast<double>(invalid) / depth.pixelCount();
+    EXPECT_NEAR(fraction, 0.2, 0.05);
+}
+
+TEST(DatasetTest, StreamsAreConsistentlyTimed)
+{
+    DatasetConfig cfg;
+    cfg.duration_s = 2.0;
+    cfg.image_width = 64;
+    cfg.image_height = 48;
+    const SyntheticDataset ds(cfg);
+
+    EXPECT_EQ(ds.imuSamples().size(), 1001u); // 500 Hz * 2 s + 1.
+    EXPECT_EQ(ds.cameraFrameCount(), 31u);    // 15 Hz * 2 s + 1.
+    EXPECT_EQ(ds.cameraTime(0), 0);
+
+    const CameraFrame f = ds.cameraFrame(3);
+    EXPECT_EQ(f.sequence, 3u);
+    EXPECT_EQ(f.image.width(), 64);
+    EXPECT_EQ(f.time, ds.cameraTime(3));
+}
+
+TEST(DatasetTest, FramesAreDeterministic)
+{
+    DatasetConfig cfg;
+    cfg.duration_s = 1.0;
+    cfg.image_width = 32;
+    cfg.image_height = 24;
+    const SyntheticDataset a(cfg), b(cfg);
+    const CameraFrame fa = a.cameraFrame(5);
+    const CameraFrame fb = b.cameraFrame(5);
+    for (int y = 0; y < 24; ++y)
+        for (int x = 0; x < 32; ++x)
+            EXPECT_FLOAT_EQ(fa.image.at(x, y), fb.image.at(x, y));
+}
+
+TEST(DatasetTest, GroundTruthMatchesTrajectory)
+{
+    DatasetConfig cfg;
+    cfg.duration_s = 1.0;
+    const SyntheticDataset ds(cfg);
+    const auto gt = ds.groundTruthTrajectory();
+    ASSERT_EQ(gt.size(), ds.cameraFrameCount());
+    const Pose direct = ds.trajectory().pose(toSeconds(gt[4].time));
+    EXPECT_NEAR(gt[4].pose.translationErrorTo(direct), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace illixr

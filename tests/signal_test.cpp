@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the FFT and convolution substrate.
+ */
+
+#include "foundation/rng.hpp"
+#include "signal/convolution.hpp"
+#include "signal/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace illixr {
+namespace {
+
+TEST(FftTest, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(5), 8u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+    EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum)
+{
+    std::vector<Complex> data(16, Complex(0.0, 0.0));
+    data[0] = Complex(1.0, 0.0);
+    fft(data, false);
+    for (const Complex &c : data) {
+        EXPECT_NEAR(c.real(), 1.0, 1e-12);
+        EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(FftTest, SineHasSingleBin)
+{
+    const std::size_t n = 64;
+    const std::size_t k = 5;
+    std::vector<double> signal(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        signal[i] = std::sin(2.0 * M_PI * static_cast<double>(k * i) /
+                             static_cast<double>(n));
+    }
+    const auto spectrum = fftReal(signal);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double mag = std::abs(spectrum[i]);
+        if (i == k || i == n - k)
+            EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-9);
+        else
+            EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+}
+
+TEST(FftTest, RoundTripRecoverySignal)
+{
+    Rng rng(21);
+    std::vector<double> signal(256);
+    for (double &s : signal)
+        s = rng.uniform(-1.0, 1.0);
+    const auto spectrum = fftReal(signal);
+    const auto back = ifftToReal(spectrum);
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        EXPECT_NEAR(back[i], signal[i], 1e-10);
+}
+
+TEST(FftTest, ParsevalHolds)
+{
+    Rng rng(22);
+    const std::size_t n = 128;
+    std::vector<double> signal(n);
+    double time_energy = 0.0;
+    for (double &s : signal) {
+        s = rng.gaussian();
+        time_energy += s * s;
+    }
+    const auto spectrum = fftReal(signal);
+    double freq_energy = 0.0;
+    for (const Complex &c : spectrum)
+        freq_energy += std::norm(c);
+    freq_energy /= static_cast<double>(n);
+    EXPECT_NEAR(freq_energy, time_energy, 1e-8);
+}
+
+TEST(Fft2dTest, RoundTrip)
+{
+    Rng rng(23);
+    const std::size_t w = 16, h = 8;
+    std::vector<Complex> grid(w * h);
+    std::vector<Complex> original(w * h);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        grid[i] = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+        original[i] = grid[i];
+    }
+    fft2d(grid, w, h, false);
+    fft2d(grid, w, h, true);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_NEAR(grid[i].real(), original[i].real(), 1e-10);
+        EXPECT_NEAR(grid[i].imag(), original[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft2dTest, DcBinIsSum)
+{
+    const std::size_t w = 8, h = 8;
+    std::vector<Complex> grid(w * h, Complex(1.0, 0.0));
+    fft2d(grid, w, h, false);
+    EXPECT_NEAR(grid[0].real(), 64.0, 1e-10);
+    for (std::size_t i = 1; i < grid.size(); ++i)
+        EXPECT_NEAR(std::abs(grid[i]), 0.0, 1e-10);
+}
+
+TEST(WindowTest, HannEndpointsAndPeak)
+{
+    const auto w = hannWindow(65);
+    EXPECT_NEAR(w.front(), 0.0, 1e-12);
+    EXPECT_NEAR(w.back(), 0.0, 1e-12);
+    EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(ConvolutionTest, FftMatchesDirect)
+{
+    Rng rng(31);
+    std::vector<double> x(100), h(17);
+    for (double &v : x)
+        v = rng.uniform(-1.0, 1.0);
+    for (double &v : h)
+        v = rng.uniform(-1.0, 1.0);
+    const auto direct = convolveDirect(x, h);
+    const auto fast = convolveFft(x, h);
+    ASSERT_EQ(direct.size(), fast.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_NEAR(fast[i], direct[i], 1e-9);
+}
+
+TEST(ConvolutionTest, IdentityFilterIsPassThrough)
+{
+    std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> h{1.0};
+    const auto y = convolveFft(x, h);
+    ASSERT_EQ(y.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(FrequencyDomainFilterTest, StreamedEqualsBatchConvolution)
+{
+    Rng rng(41);
+    std::vector<double> signal(1024);
+    for (double &v : signal)
+        v = rng.uniform(-1.0, 1.0);
+    std::vector<double> ir(64);
+    for (double &v : ir)
+        v = rng.uniform(-0.5, 0.5);
+
+    const std::size_t block = 128;
+    FrequencyDomainFilter filter(ir, block);
+    std::vector<double> streamed;
+    for (std::size_t off = 0; off < signal.size(); off += block) {
+        std::vector<double> in(signal.begin() + off,
+                               signal.begin() + off + block);
+        const auto out = filter.process(in);
+        streamed.insert(streamed.end(), out.begin(), out.end());
+    }
+
+    const auto batch = convolveDirect(signal, ir);
+    for (std::size_t i = 0; i < streamed.size(); ++i)
+        EXPECT_NEAR(streamed[i], batch[i], 1e-9) << "sample " << i;
+}
+
+TEST(FrequencyDomainFilterTest, ResetClearsTail)
+{
+    std::vector<double> ir(32, 0.0);
+    ir[0] = 1.0;
+    ir[31] = 0.5; // Long tail to create overlap.
+    FrequencyDomainFilter filter(ir, 64);
+
+    std::vector<double> impulse(64, 0.0);
+    impulse[60] = 1.0;
+    filter.process(impulse); // Leaves a tail pending.
+    filter.reset();
+
+    std::vector<double> zeros(64, 0.0);
+    const auto out = filter.process(zeros);
+    for (double v : out)
+        EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace illixr

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Unit and integration tests for the SLAM substrate: FAST, KLT, the
+ * RK4 IMU integrator, and the full MSCKF VIO on synthetic data.
+ */
+
+#include "foundation/trajectory_error.hpp"
+#include "sensors/dataset.hpp"
+#include "slam/fast.hpp"
+#include "slam/feature_tracker.hpp"
+#include "slam/imu_integrator.hpp"
+#include "slam/klt.hpp"
+#include "slam/msckf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace illixr {
+namespace {
+
+/** Checkerboard image (strong FAST corners at cell junctions). */
+ImageF
+makeCheckerboard(int w, int h, int cell)
+{
+    ImageF img(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            img.at(x, y) = (((x / cell) + (y / cell)) & 1) ? 0.9f : 0.1f;
+    return img;
+}
+
+TEST(FastTest, FlatImageHasNoCorners)
+{
+    ImageF img(64, 64, 0.5f);
+    EXPECT_TRUE(detectFast(img).empty());
+}
+
+TEST(FastTest, IsolatedSquareCornersDetected)
+{
+    // FAST-9 responds to L-junctions; isolated bright squares on a
+    // dark background provide four each. (Ideal checkerboard
+    // X-junctions are correctly NOT detected by FAST.)
+    ImageF img(96, 96, 0.1f);
+    std::vector<Vec2> expected;
+    for (int sy = 0; sy < 3; ++sy) {
+        for (int sx = 0; sx < 3; ++sx) {
+            const int x0 = 12 + sx * 28;
+            const int y0 = 12 + sy * 28;
+            for (int y = y0; y < y0 + 12; ++y)
+                for (int x = x0; x < x0 + 12; ++x)
+                    img.at(x, y) = 0.9f;
+            expected.push_back(Vec2(x0, y0));
+            expected.push_back(Vec2(x0 + 11, y0 + 11));
+        }
+    }
+    const auto corners = detectFast(img);
+    EXPECT_GE(corners.size(), 18u); // >= 2 corners per square found.
+    // Every detection must be near some square corner.
+    for (const Corner &c : corners) {
+        double best = 1e9;
+        for (int sy = 0; sy < 3; ++sy) {
+            for (int sx = 0; sx < 3; ++sx) {
+                const double x0 = 12 + sx * 28, y0 = 12 + sy * 28;
+                for (double cx : {x0, x0 + 11.0}) {
+                    for (double cy : {y0, y0 + 11.0}) {
+                        best = std::min(
+                            best, (c.position - Vec2(cx, cy)).norm());
+                    }
+                }
+            }
+        }
+        EXPECT_LT(best, 3.0) << "spurious corner at (" << c.position.x
+                             << "," << c.position.y << ")";
+    }
+}
+
+TEST(FastTest, IsolatedBlobIsDetected)
+{
+    ImageF img(32, 32, 0.2f);
+    img.at(16, 16) = 1.0f;
+    img.at(17, 16) = 1.0f;
+    img.at(16, 17) = 1.0f;
+    img.at(17, 17) = 1.0f;
+    const auto corners = detectFast(img);
+    ASSERT_FALSE(corners.empty());
+    EXPECT_NEAR(corners.front().position.x, 16.5, 2.0);
+}
+
+TEST(FastTest, GridBucketingRespectsCap)
+{
+    const ImageF img = makeCheckerboard(128, 128, 8); // Dense corners.
+    const auto corners =
+        detectFastGrid(img, 4, 4, 2, {});
+    EXPECT_LE(corners.size(), 32u); // 16 cells x 2.
+    // With occupied cells, fewer should be returned.
+    std::vector<Vec2> occupied;
+    for (int i = 0; i < 16; ++i) {
+        occupied.push_back(
+            Vec2(16.0 + 32.0 * (i % 4), 16.0 + 32.0 * (i / 4)));
+        occupied.push_back(
+            Vec2(17.0 + 32.0 * (i % 4), 16.0 + 32.0 * (i / 4)));
+    }
+    const auto fewer = detectFastGrid(img, 4, 4, 2, occupied);
+    EXPECT_TRUE(fewer.empty());
+}
+
+TEST(KltTest, TracksPureTranslation)
+{
+    // Render the lab room, then the same room from a slightly moved
+    // camera, and verify KLT recovers feature motion consistent with
+    // reprojection of the scene geometry.
+    const SyntheticWorld world = SyntheticWorld::labRoom();
+    const CameraRig rig =
+        CameraRig::standard(CameraIntrinsics::fromFov(160, 120, 1.5));
+    const Pose body0(Quat::identity(), Vec3(0.0, 1.6, 0.0));
+    const Pose body1(Quat::identity(), Vec3(0.03, 1.6, 0.0));
+
+    const ImageF img0 =
+        world.renderGray(rig.intrinsics, rig.worldToCamera(body0));
+    const ImageF img1 =
+        world.renderGray(rig.intrinsics, rig.worldToCamera(body1));
+    ImagePyramid pyr0(img0, 3), pyr1(img1, 3);
+
+    const auto corners = detectFastGrid(img0, 4, 3, 2, {});
+    ASSERT_GT(corners.size(), 5u);
+
+    int tracked = 0;
+    for (const Corner &c : corners) {
+        const auto res = trackPointPyramidal(pyr0, pyr1, c.position);
+        if (!res.ok)
+            continue;
+        ++tracked;
+        // Ground truth: unproject via raycast and reproject in view 1.
+        // Only wall hits give a reliable static-point ground truth
+        // (sphere-silhouette corners violate it).
+        const Pose w2c0 = rig.worldToCamera(body0);
+        const Pose c2w0 = w2c0.inverse();
+        const Vec3 ray = c2w0.orientation.rotate(
+            rig.intrinsics.unproject(c.position));
+        const auto hit = world.castRay(c2w0.position, ray);
+        ASSERT_TRUE(hit.has_value());
+        const Vec3 an(std::fabs(hit->normal.x), std::fabs(hit->normal.y),
+                      std::fabs(hit->normal.z));
+        const bool on_wall =
+            std::max({an.x, an.y, an.z}) > 0.999; // Axis-aligned.
+        if (!on_wall)
+            continue;
+        const Vec2 expected = rig.intrinsics.project(
+            rig.worldToCamera(body1).transform(hit->point));
+        EXPECT_NEAR(res.position.x, expected.x, 0.8);
+        EXPECT_NEAR(res.position.y, expected.y, 0.8);
+    }
+    EXPECT_GT(tracked, static_cast<int>(corners.size()) / 3);
+}
+
+TEST(KltTest, FailsGracefullyNearBorder)
+{
+    const ImageF img = makeCheckerboard(64, 64, 8);
+    ImagePyramid pyr(img, 2);
+    const auto res = trackPointPyramidal(pyr, pyr, Vec2(1.0, 1.0));
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(FeatureTrackerTest, MaintainsTracksAcrossFrames)
+{
+    DatasetConfig cfg;
+    cfg.duration_s = 0.5;
+    cfg.image_width = 160;
+    cfg.image_height = 120;
+    const SyntheticDataset ds(cfg);
+
+    FeatureTracker tracker;
+    std::vector<FeatureObservation> prev;
+    int persistent = 0;
+    for (std::size_t i = 0; i < ds.cameraFrameCount(); ++i) {
+        const auto obs = tracker.processFrame(ds.cameraFrame(i).image);
+        EXPECT_GT(obs.size(), 10u) << "frame " << i;
+        if (i > 0) {
+            // Most ids persist between consecutive frames.
+            int common = 0;
+            for (const auto &o : obs)
+                for (const auto &p : prev)
+                    if (o.feature_id == p.feature_id) {
+                        ++common;
+                        break;
+                    }
+            if (common > static_cast<int>(prev.size()) / 2)
+                ++persistent;
+        }
+        prev = obs;
+    }
+    EXPECT_GE(persistent,
+              static_cast<int>(ds.cameraFrameCount()) - 2);
+    EXPECT_GT(tracker.profile().taskSeconds("feature_detection"), 0.0);
+    EXPECT_GT(tracker.profile().taskSeconds("feature_matching"), 0.0);
+}
+
+TEST(ImuIntegratorTest, IdealSamplesFollowTrajectory)
+{
+    const Trajectory traj = Trajectory::labWalk(21);
+    ImuNoiseModel noiseless;
+    noiseless.gyro_noise_density = 0.0;
+    noiseless.accel_noise_density = 0.0;
+    noiseless.gyro_bias_walk = 0.0;
+    noiseless.accel_bias_walk = 0.0;
+    noiseless.initial_gyro_bias = Vec3(0, 0, 0);
+    noiseless.initial_accel_bias = Vec3(0, 0, 0);
+    ImuSensor sensor(traj, noiseless, 500.0);
+    const auto samples = sensor.generate(3.0);
+
+    ImuIntegrator integrator;
+    ImuState init;
+    init.time = 0;
+    init.orientation = traj.pose(0.0).orientation;
+    init.position = traj.pose(0.0).position;
+    init.velocity = traj.velocity(0.0);
+    integrator.correct(init);
+    for (const auto &s : samples)
+        integrator.addSample(s);
+
+    const Pose truth = traj.pose(3.0);
+    const ImuState &got = integrator.state();
+    EXPECT_LT((got.position - truth.position).norm(), 0.01)
+        << "RK4 drift too large on noise-free IMU";
+    EXPECT_LT(got.orientation.angleTo(truth.orientation), 0.005);
+}
+
+TEST(ImuIntegratorTest, CorrectionResetsAndReplays)
+{
+    const Trajectory traj = Trajectory::labWalk(22);
+    ImuNoiseModel noiseless;
+    noiseless.gyro_noise_density = 0.0;
+    noiseless.accel_noise_density = 0.0;
+    noiseless.gyro_bias_walk = 0.0;
+    noiseless.accel_bias_walk = 0.0;
+    noiseless.initial_gyro_bias = Vec3(0, 0, 0);
+    noiseless.initial_accel_bias = Vec3(0, 0, 0);
+    ImuSensor sensor(traj, noiseless, 500.0);
+    const auto samples = sensor.generate(2.0);
+
+    ImuIntegrator integrator;
+    ImuState init;
+    init.orientation = traj.pose(0.0).orientation;
+    init.position = traj.pose(0.0).position;
+    init.velocity = traj.velocity(0.0);
+    integrator.correct(init);
+
+    // Feed everything, then issue a (perfect) correction at t=1s: the
+    // replayed estimate at t=2s should still match ground truth.
+    for (const auto &s : samples)
+        integrator.addSample(s);
+    ImuState mid;
+    mid.time = fromSeconds(1.0);
+    mid.orientation = traj.pose(1.0).orientation;
+    mid.position = traj.pose(1.0).position;
+    mid.velocity = traj.velocity(1.0);
+    integrator.correct(mid);
+
+    const Pose truth = traj.pose(2.0);
+    EXPECT_LT((integrator.state().position - truth.position).norm(), 0.01);
+}
+
+TEST(MsckfTest, Rk4StepMatchesClosedFormConstantRates)
+{
+    // Constant angular velocity about z, no acceleration: closed-form
+    // solution is a circle in orientation space.
+    ImuState s;
+    s.orientation = Quat::identity();
+    const Vec3 w(0.0, 0.0, 1.0);
+    const Vec3 a = Quat::identity().conjugate().rotate(-gravityWorld());
+    ImuState out = s;
+    const double dt = 0.002;
+    // Note: after rotation the accelerometer reading that cancels
+    // gravity changes, so integrate with the true body-frame reading.
+    for (int i = 0; i < 500; ++i) {
+        const Vec3 a0 =
+            out.orientation.conjugate().rotate(-gravityWorld());
+        // End-of-step orientation is approximately current; a single
+        // RK4 with matching endpoint measurement.
+        const Quat q_end =
+            out.orientation * Quat::exp(w * dt);
+        const Vec3 a1 = q_end.conjugate().rotate(-gravityWorld());
+        out = integrateRk4(out, w, a0, w, a1, dt);
+    }
+    const Quat expected = Quat::fromAxisAngle(Vec3(0, 0, 1), 1.0);
+    EXPECT_NEAR(out.orientation.angleTo(expected), 0.0, 1e-4);
+    EXPECT_LT(out.velocity.norm(), 1e-3);
+    EXPECT_LT(out.position.norm(), 1e-3);
+}
+
+/** End-to-end VIO accuracy on a synthetic dataset. */
+TEST(VioIntegrationTest, TracksSyntheticDatasetWithLowDrift)
+{
+    DatasetConfig cfg;
+    cfg.duration_s = 5.0;
+    cfg.image_width = 192;
+    cfg.image_height = 144;
+    cfg.preset = DatasetConfig::Preset::LabWalk;
+    cfg.seed = 3;
+    const SyntheticDataset ds(cfg);
+
+    MsckfParams params;
+    params.imu_noise = cfg.imu_noise;
+    TrackerParams tparams;
+    VioSystem vio(params, tparams, ds.rig());
+
+    ImuState init;
+    init.time = 0;
+    init.orientation = ds.trajectory().pose(0.0).orientation;
+    init.position = ds.trajectory().pose(0.0).position;
+    init.velocity = ds.trajectory().velocity(0.0);
+    vio.initialize(init);
+
+    std::vector<StampedPose> estimate;
+    std::size_t imu_idx = 0;
+    const auto &imu = ds.imuSamples();
+    for (std::size_t f = 0; f < ds.cameraFrameCount(); ++f) {
+        const CameraFrame frame = ds.cameraFrame(f);
+        while (imu_idx < imu.size() && imu[imu_idx].time <= frame.time)
+            vio.addImu(imu[imu_idx++]);
+        const ImuState &s = vio.processFrame(frame.time, frame.image);
+        estimate.push_back({frame.time, s.pose()});
+    }
+
+    ASSERT_GT(vio.filter().updateCount(), 5u);
+    EXPECT_LE(vio.filter().cloneCount(), params.max_clones);
+    EXPECT_LE(vio.filter().slamFeatureCount(), params.max_slam_features);
+
+    const TrajectoryError err =
+        computeTrajectoryError(estimate, ds.groundTruthTrajectory());
+    ASSERT_GT(err.matched, 30u);
+    EXPECT_LT(err.ate_rmse_m, 0.15)
+        << "VIO drift too large: " << err.ate_rmse_m << " m";
+    EXPECT_LT(err.rot_mean_rad, 0.1);
+
+    // The Table VI task buckets must all have been exercised.
+    const TaskProfile profile = vio.combinedProfile();
+    EXPECT_GT(profile.taskSeconds("feature_detection"), 0.0);
+    EXPECT_GT(profile.taskSeconds("feature_matching"), 0.0);
+    EXPECT_GT(profile.taskSeconds("msckf_update"), 0.0);
+    EXPECT_GT(profile.taskSeconds("slam_update"), 0.0);
+    EXPECT_GT(profile.taskSeconds("feature_initialization"), 0.0);
+    EXPECT_GT(profile.taskSeconds("marginalization"), 0.0);
+}
+
+TEST(VioIntegrationTest, BeatsDeadReckoning)
+{
+    DatasetConfig cfg;
+    cfg.duration_s = 8.0;
+    cfg.image_width = 192;
+    cfg.image_height = 144;
+    cfg.seed = 4;
+    // A noisier (consumer-grade) IMU makes the dead-reckoning
+    // baseline drift visibly within the window.
+    cfg.imu_noise.gyro_noise_density *= 10.0;
+    cfg.imu_noise.accel_noise_density *= 10.0;
+    const SyntheticDataset ds(cfg);
+
+    // Dead reckoning: integrate the noisy IMU only.
+    ImuIntegrator dead;
+    ImuState init;
+    init.time = 0;
+    init.orientation = ds.trajectory().pose(0.0).orientation;
+    init.position = ds.trajectory().pose(0.0).position;
+    init.velocity = ds.trajectory().velocity(0.0);
+    dead.correct(init);
+    std::vector<StampedPose> dead_traj;
+    for (const auto &s : ds.imuSamples()) {
+        dead.addSample(s);
+        dead_traj.push_back({s.time, dead.state().pose()});
+    }
+
+    // VIO on the same data.
+    MsckfParams params;
+    params.imu_noise = cfg.imu_noise;
+    VioSystem vio(params, TrackerParams{}, ds.rig());
+    vio.initialize(init);
+    std::vector<StampedPose> vio_traj;
+    std::size_t imu_idx = 0;
+    for (std::size_t f = 0; f < ds.cameraFrameCount(); ++f) {
+        const CameraFrame frame = ds.cameraFrame(f);
+        while (imu_idx < ds.imuSamples().size() &&
+               ds.imuSamples()[imu_idx].time <= frame.time)
+            vio.addImu(ds.imuSamples()[imu_idx++]);
+        vio.processFrame(frame.time, frame.image);
+        vio_traj.push_back({frame.time, vio.state().pose()});
+    }
+
+    const auto gt = ds.groundTruthTrajectory();
+    const double dead_err =
+        computeTrajectoryError(dead_traj, gt).ate_rmse_m;
+    const double vio_err = computeTrajectoryError(vio_traj, gt).ate_rmse_m;
+    EXPECT_LT(vio_err, dead_err * 0.5)
+        << "vio=" << vio_err << " dead=" << dead_err;
+}
+
+} // namespace
+} // namespace illixr
