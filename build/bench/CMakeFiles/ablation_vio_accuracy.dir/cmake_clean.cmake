@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vio_accuracy.dir/ablation_vio_accuracy.cpp.o"
+  "CMakeFiles/ablation_vio_accuracy.dir/ablation_vio_accuracy.cpp.o.d"
+  "ablation_vio_accuracy"
+  "ablation_vio_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vio_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_framerates.dir/fig3_framerates.cpp.o"
+  "CMakeFiles/fig3_framerates.dir/fig3_framerates.cpp.o.d"
+  "fig3_framerates"
+  "fig3_framerates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_framerates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

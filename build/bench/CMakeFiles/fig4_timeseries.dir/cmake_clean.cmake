@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_timeseries.dir/fig4_timeseries.cpp.o"
+  "CMakeFiles/fig4_timeseries.dir/fig4_timeseries.cpp.o.d"
+  "fig4_timeseries"
+  "fig4_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

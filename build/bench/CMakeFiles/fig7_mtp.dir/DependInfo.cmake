@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_mtp.cpp" "bench/CMakeFiles/fig7_mtp.dir/fig7_mtp.cpp.o" "gcc" "bench/CMakeFiles/fig7_mtp.dir/fig7_mtp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xr/CMakeFiles/illixr_xr.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/illixr_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/illixr_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/illixr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/visual/CMakeFiles/illixr_visual.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/illixr_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/illixr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/illixr_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/illixr_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/eyetrack/CMakeFiles/illixr_eyetrack.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/illixr_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/illixr_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/illixr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mtp.dir/fig7_mtp.cpp.o"
+  "CMakeFiles/fig7_mtp.dir/fig7_mtp.cpp.o.d"
+  "fig7_mtp"
+  "fig7_mtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_mtp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_uarch.dir/fig8_uarch.cpp.o"
+  "CMakeFiles/fig8_uarch.dir/fig8_uarch.cpp.o.d"
+  "fig8_uarch"
+  "fig8_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

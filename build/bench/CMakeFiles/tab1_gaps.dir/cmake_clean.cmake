@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_gaps.dir/tab1_gaps.cpp.o"
+  "CMakeFiles/tab1_gaps.dir/tab1_gaps.cpp.o.d"
+  "tab1_gaps"
+  "tab1_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_tuning.dir/tab3_tuning.cpp.o"
+  "CMakeFiles/tab3_tuning.dir/tab3_tuning.cpp.o.d"
+  "tab3_tuning"
+  "tab3_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_mtp.dir/tab4_mtp.cpp.o"
+  "CMakeFiles/tab4_mtp.dir/tab4_mtp.cpp.o.d"
+  "tab4_mtp"
+  "tab4_mtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_mtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_quality.dir/tab5_quality.cpp.o"
+  "CMakeFiles/tab5_quality.dir/tab5_quality.cpp.o.d"
+  "tab5_quality"
+  "tab5_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_tasks.dir/tab6_tasks.cpp.o"
+  "CMakeFiles/tab6_tasks.dir/tab6_tasks.cpp.o.d"
+  "tab6_tasks"
+  "tab6_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

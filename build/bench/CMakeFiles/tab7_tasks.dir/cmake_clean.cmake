@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_tasks.dir/tab7_tasks.cpp.o"
+  "CMakeFiles/tab7_tasks.dir/tab7_tasks.cpp.o.d"
+  "tab7_tasks"
+  "tab7_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab7_tasks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_demo_live.dir/ar_demo_live.cpp.o"
+  "CMakeFiles/ar_demo_live.dir/ar_demo_live.cpp.o.d"
+  "ar_demo_live"
+  "ar_demo_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_demo_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_spatializer.dir/audio_spatializer.cpp.o"
+  "CMakeFiles/audio_spatializer.dir/audio_spatializer.cpp.o.d"
+  "audio_spatializer"
+  "audio_spatializer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_spatializer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for audio_spatializer.
+# This may be replaced when dependencies are built.

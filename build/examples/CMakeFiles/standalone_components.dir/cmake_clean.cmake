@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standalone_components.dir/standalone_components.cpp.o"
+  "CMakeFiles/standalone_components.dir/standalone_components.cpp.o.d"
+  "standalone_components"
+  "standalone_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standalone_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

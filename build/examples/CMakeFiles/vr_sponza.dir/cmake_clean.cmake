@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_sponza.dir/vr_sponza.cpp.o"
+  "CMakeFiles/vr_sponza.dir/vr_sponza.cpp.o.d"
+  "vr_sponza"
+  "vr_sponza.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_sponza.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("foundation")
+subdirs("linalg")
+subdirs("signal")
+subdirs("image")
+subdirs("sensors")
+subdirs("slam")
+subdirs("recon")
+subdirs("eyetrack")
+subdirs("render")
+subdirs("visual")
+subdirs("audio")
+subdirs("perfmodel")
+subdirs("runtime")
+subdirs("metrics")
+subdirs("xr")
+subdirs("offload")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/ambisonics.cpp" "src/audio/CMakeFiles/illixr_audio.dir/ambisonics.cpp.o" "gcc" "src/audio/CMakeFiles/illixr_audio.dir/ambisonics.cpp.o.d"
+  "/root/repo/src/audio/audio_pipeline.cpp" "src/audio/CMakeFiles/illixr_audio.dir/audio_pipeline.cpp.o" "gcc" "src/audio/CMakeFiles/illixr_audio.dir/audio_pipeline.cpp.o.d"
+  "/root/repo/src/audio/binaural.cpp" "src/audio/CMakeFiles/illixr_audio.dir/binaural.cpp.o" "gcc" "src/audio/CMakeFiles/illixr_audio.dir/binaural.cpp.o.d"
+  "/root/repo/src/audio/clips.cpp" "src/audio/CMakeFiles/illixr_audio.dir/clips.cpp.o" "gcc" "src/audio/CMakeFiles/illixr_audio.dir/clips.cpp.o.d"
+  "/root/repo/src/audio/wav.cpp" "src/audio/CMakeFiles/illixr_audio.dir/wav.cpp.o" "gcc" "src/audio/CMakeFiles/illixr_audio.dir/wav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/illixr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/illixr_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

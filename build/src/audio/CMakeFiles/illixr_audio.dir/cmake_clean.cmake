@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_audio.dir/ambisonics.cpp.o"
+  "CMakeFiles/illixr_audio.dir/ambisonics.cpp.o.d"
+  "CMakeFiles/illixr_audio.dir/audio_pipeline.cpp.o"
+  "CMakeFiles/illixr_audio.dir/audio_pipeline.cpp.o.d"
+  "CMakeFiles/illixr_audio.dir/binaural.cpp.o"
+  "CMakeFiles/illixr_audio.dir/binaural.cpp.o.d"
+  "CMakeFiles/illixr_audio.dir/clips.cpp.o"
+  "CMakeFiles/illixr_audio.dir/clips.cpp.o.d"
+  "CMakeFiles/illixr_audio.dir/wav.cpp.o"
+  "CMakeFiles/illixr_audio.dir/wav.cpp.o.d"
+  "libillixr_audio.a"
+  "libillixr_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eyetrack/eye_image.cpp" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/eye_image.cpp.o" "gcc" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/eye_image.cpp.o.d"
+  "/root/repo/src/eyetrack/layers.cpp" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/layers.cpp.o" "gcc" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/layers.cpp.o.d"
+  "/root/repo/src/eyetrack/ritnet.cpp" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/ritnet.cpp.o" "gcc" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/ritnet.cpp.o.d"
+  "/root/repo/src/eyetrack/tensor.cpp" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/tensor.cpp.o" "gcc" "src/eyetrack/CMakeFiles/illixr_eyetrack.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

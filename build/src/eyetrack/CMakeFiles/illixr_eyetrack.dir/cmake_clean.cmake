@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_eyetrack.dir/eye_image.cpp.o"
+  "CMakeFiles/illixr_eyetrack.dir/eye_image.cpp.o.d"
+  "CMakeFiles/illixr_eyetrack.dir/layers.cpp.o"
+  "CMakeFiles/illixr_eyetrack.dir/layers.cpp.o.d"
+  "CMakeFiles/illixr_eyetrack.dir/ritnet.cpp.o"
+  "CMakeFiles/illixr_eyetrack.dir/ritnet.cpp.o.d"
+  "CMakeFiles/illixr_eyetrack.dir/tensor.cpp.o"
+  "CMakeFiles/illixr_eyetrack.dir/tensor.cpp.o.d"
+  "libillixr_eyetrack.a"
+  "libillixr_eyetrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_eyetrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/foundation/log.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/log.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/log.cpp.o.d"
+  "/root/repo/src/foundation/mat.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/mat.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/mat.cpp.o.d"
+  "/root/repo/src/foundation/pose.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/pose.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/pose.cpp.o.d"
+  "/root/repo/src/foundation/profile.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/profile.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/profile.cpp.o.d"
+  "/root/repo/src/foundation/quat.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/quat.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/quat.cpp.o.d"
+  "/root/repo/src/foundation/rng.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/rng.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/rng.cpp.o.d"
+  "/root/repo/src/foundation/stats.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/stats.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/stats.cpp.o.d"
+  "/root/repo/src/foundation/trajectory_error.cpp" "src/foundation/CMakeFiles/illixr_foundation.dir/trajectory_error.cpp.o" "gcc" "src/foundation/CMakeFiles/illixr_foundation.dir/trajectory_error.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_foundation.dir/log.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/log.cpp.o.d"
+  "CMakeFiles/illixr_foundation.dir/mat.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/mat.cpp.o.d"
+  "CMakeFiles/illixr_foundation.dir/pose.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/pose.cpp.o.d"
+  "CMakeFiles/illixr_foundation.dir/profile.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/profile.cpp.o.d"
+  "CMakeFiles/illixr_foundation.dir/quat.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/quat.cpp.o.d"
+  "CMakeFiles/illixr_foundation.dir/rng.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/rng.cpp.o.d"
+  "CMakeFiles/illixr_foundation.dir/stats.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/stats.cpp.o.d"
+  "CMakeFiles/illixr_foundation.dir/trajectory_error.cpp.o"
+  "CMakeFiles/illixr_foundation.dir/trajectory_error.cpp.o.d"
+  "libillixr_foundation.a"
+  "libillixr_foundation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_foundation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

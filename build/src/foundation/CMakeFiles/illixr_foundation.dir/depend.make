@@ -1,0 +1,2 @@
+# Empty dependencies file for illixr_foundation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/filter.cpp" "src/image/CMakeFiles/illixr_image.dir/filter.cpp.o" "gcc" "src/image/CMakeFiles/illixr_image.dir/filter.cpp.o.d"
+  "/root/repo/src/image/flip.cpp" "src/image/CMakeFiles/illixr_image.dir/flip.cpp.o" "gcc" "src/image/CMakeFiles/illixr_image.dir/flip.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/illixr_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/illixr_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/io.cpp" "src/image/CMakeFiles/illixr_image.dir/io.cpp.o" "gcc" "src/image/CMakeFiles/illixr_image.dir/io.cpp.o.d"
+  "/root/repo/src/image/pyramid.cpp" "src/image/CMakeFiles/illixr_image.dir/pyramid.cpp.o" "gcc" "src/image/CMakeFiles/illixr_image.dir/pyramid.cpp.o.d"
+  "/root/repo/src/image/ssim.cpp" "src/image/CMakeFiles/illixr_image.dir/ssim.cpp.o" "gcc" "src/image/CMakeFiles/illixr_image.dir/ssim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_image.dir/filter.cpp.o"
+  "CMakeFiles/illixr_image.dir/filter.cpp.o.d"
+  "CMakeFiles/illixr_image.dir/flip.cpp.o"
+  "CMakeFiles/illixr_image.dir/flip.cpp.o.d"
+  "CMakeFiles/illixr_image.dir/image.cpp.o"
+  "CMakeFiles/illixr_image.dir/image.cpp.o.d"
+  "CMakeFiles/illixr_image.dir/io.cpp.o"
+  "CMakeFiles/illixr_image.dir/io.cpp.o.d"
+  "CMakeFiles/illixr_image.dir/pyramid.cpp.o"
+  "CMakeFiles/illixr_image.dir/pyramid.cpp.o.d"
+  "CMakeFiles/illixr_image.dir/ssim.cpp.o"
+  "CMakeFiles/illixr_image.dir/ssim.cpp.o.d"
+  "libillixr_image.a"
+  "libillixr_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_linalg.dir/decomp.cpp.o"
+  "CMakeFiles/illixr_linalg.dir/decomp.cpp.o.d"
+  "CMakeFiles/illixr_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/illixr_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/illixr_linalg.dir/svd.cpp.o"
+  "CMakeFiles/illixr_linalg.dir/svd.cpp.o.d"
+  "libillixr_linalg.a"
+  "libillixr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

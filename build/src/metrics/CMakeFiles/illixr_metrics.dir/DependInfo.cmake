@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/audio_quality.cpp" "src/metrics/CMakeFiles/illixr_metrics.dir/audio_quality.cpp.o" "gcc" "src/metrics/CMakeFiles/illixr_metrics.dir/audio_quality.cpp.o.d"
+  "/root/repo/src/metrics/mtp.cpp" "src/metrics/CMakeFiles/illixr_metrics.dir/mtp.cpp.o" "gcc" "src/metrics/CMakeFiles/illixr_metrics.dir/mtp.cpp.o.d"
+  "/root/repo/src/metrics/qoe.cpp" "src/metrics/CMakeFiles/illixr_metrics.dir/qoe.cpp.o" "gcc" "src/metrics/CMakeFiles/illixr_metrics.dir/qoe.cpp.o.d"
+  "/root/repo/src/metrics/telemetry.cpp" "src/metrics/CMakeFiles/illixr_metrics.dir/telemetry.cpp.o" "gcc" "src/metrics/CMakeFiles/illixr_metrics.dir/telemetry.cpp.o.d"
+  "/root/repo/src/metrics/video_quality.cpp" "src/metrics/CMakeFiles/illixr_metrics.dir/video_quality.cpp.o" "gcc" "src/metrics/CMakeFiles/illixr_metrics.dir/video_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/illixr_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/visual/CMakeFiles/illixr_visual.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/illixr_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/illixr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/illixr_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/illixr_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

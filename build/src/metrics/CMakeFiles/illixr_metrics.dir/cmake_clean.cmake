@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_metrics.dir/audio_quality.cpp.o"
+  "CMakeFiles/illixr_metrics.dir/audio_quality.cpp.o.d"
+  "CMakeFiles/illixr_metrics.dir/mtp.cpp.o"
+  "CMakeFiles/illixr_metrics.dir/mtp.cpp.o.d"
+  "CMakeFiles/illixr_metrics.dir/qoe.cpp.o"
+  "CMakeFiles/illixr_metrics.dir/qoe.cpp.o.d"
+  "CMakeFiles/illixr_metrics.dir/telemetry.cpp.o"
+  "CMakeFiles/illixr_metrics.dir/telemetry.cpp.o.d"
+  "CMakeFiles/illixr_metrics.dir/video_quality.cpp.o"
+  "CMakeFiles/illixr_metrics.dir/video_quality.cpp.o.d"
+  "libillixr_metrics.a"
+  "libillixr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

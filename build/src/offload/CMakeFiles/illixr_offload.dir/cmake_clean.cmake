@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_offload.dir/network.cpp.o"
+  "CMakeFiles/illixr_offload.dir/network.cpp.o.d"
+  "CMakeFiles/illixr_offload.dir/offload_vio.cpp.o"
+  "CMakeFiles/illixr_offload.dir/offload_vio.cpp.o.d"
+  "libillixr_offload.a"
+  "libillixr_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/cache_sim.cpp" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/cache_sim.cpp.o" "gcc" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/perfmodel/platform.cpp" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/platform.cpp.o" "gcc" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/platform.cpp.o.d"
+  "/root/repo/src/perfmodel/power.cpp" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/power.cpp.o" "gcc" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/power.cpp.o.d"
+  "/root/repo/src/perfmodel/uarch.cpp" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/uarch.cpp.o" "gcc" "src/perfmodel/CMakeFiles/illixr_perfmodel.dir/uarch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_perfmodel.dir/cache_sim.cpp.o"
+  "CMakeFiles/illixr_perfmodel.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/illixr_perfmodel.dir/platform.cpp.o"
+  "CMakeFiles/illixr_perfmodel.dir/platform.cpp.o.d"
+  "CMakeFiles/illixr_perfmodel.dir/power.cpp.o"
+  "CMakeFiles/illixr_perfmodel.dir/power.cpp.o.d"
+  "CMakeFiles/illixr_perfmodel.dir/uarch.cpp.o"
+  "CMakeFiles/illixr_perfmodel.dir/uarch.cpp.o.d"
+  "libillixr_perfmodel.a"
+  "libillixr_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

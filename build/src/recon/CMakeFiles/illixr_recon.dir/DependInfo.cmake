@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recon/icp.cpp" "src/recon/CMakeFiles/illixr_recon.dir/icp.cpp.o" "gcc" "src/recon/CMakeFiles/illixr_recon.dir/icp.cpp.o.d"
+  "/root/repo/src/recon/mesh_extract.cpp" "src/recon/CMakeFiles/illixr_recon.dir/mesh_extract.cpp.o" "gcc" "src/recon/CMakeFiles/illixr_recon.dir/mesh_extract.cpp.o.d"
+  "/root/repo/src/recon/reconstructor.cpp" "src/recon/CMakeFiles/illixr_recon.dir/reconstructor.cpp.o" "gcc" "src/recon/CMakeFiles/illixr_recon.dir/reconstructor.cpp.o.d"
+  "/root/repo/src/recon/tsdf.cpp" "src/recon/CMakeFiles/illixr_recon.dir/tsdf.cpp.o" "gcc" "src/recon/CMakeFiles/illixr_recon.dir/tsdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/illixr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/illixr_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

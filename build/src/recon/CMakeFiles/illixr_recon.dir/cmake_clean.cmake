@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_recon.dir/icp.cpp.o"
+  "CMakeFiles/illixr_recon.dir/icp.cpp.o.d"
+  "CMakeFiles/illixr_recon.dir/mesh_extract.cpp.o"
+  "CMakeFiles/illixr_recon.dir/mesh_extract.cpp.o.d"
+  "CMakeFiles/illixr_recon.dir/reconstructor.cpp.o"
+  "CMakeFiles/illixr_recon.dir/reconstructor.cpp.o.d"
+  "CMakeFiles/illixr_recon.dir/tsdf.cpp.o"
+  "CMakeFiles/illixr_recon.dir/tsdf.cpp.o.d"
+  "libillixr_recon.a"
+  "libillixr_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

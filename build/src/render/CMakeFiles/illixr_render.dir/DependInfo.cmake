@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/app.cpp" "src/render/CMakeFiles/illixr_render.dir/app.cpp.o" "gcc" "src/render/CMakeFiles/illixr_render.dir/app.cpp.o.d"
+  "/root/repo/src/render/mesh.cpp" "src/render/CMakeFiles/illixr_render.dir/mesh.cpp.o" "gcc" "src/render/CMakeFiles/illixr_render.dir/mesh.cpp.o.d"
+  "/root/repo/src/render/rasterizer.cpp" "src/render/CMakeFiles/illixr_render.dir/rasterizer.cpp.o" "gcc" "src/render/CMakeFiles/illixr_render.dir/rasterizer.cpp.o.d"
+  "/root/repo/src/render/scenes.cpp" "src/render/CMakeFiles/illixr_render.dir/scenes.cpp.o" "gcc" "src/render/CMakeFiles/illixr_render.dir/scenes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

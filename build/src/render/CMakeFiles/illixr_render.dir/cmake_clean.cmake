@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_render.dir/app.cpp.o"
+  "CMakeFiles/illixr_render.dir/app.cpp.o.d"
+  "CMakeFiles/illixr_render.dir/mesh.cpp.o"
+  "CMakeFiles/illixr_render.dir/mesh.cpp.o.d"
+  "CMakeFiles/illixr_render.dir/rasterizer.cpp.o"
+  "CMakeFiles/illixr_render.dir/rasterizer.cpp.o.d"
+  "CMakeFiles/illixr_render.dir/scenes.cpp.o"
+  "CMakeFiles/illixr_render.dir/scenes.cpp.o.d"
+  "libillixr_render.a"
+  "libillixr_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/plugin.cpp" "src/runtime/CMakeFiles/illixr_runtime.dir/plugin.cpp.o" "gcc" "src/runtime/CMakeFiles/illixr_runtime.dir/plugin.cpp.o.d"
+  "/root/repo/src/runtime/rt_executor.cpp" "src/runtime/CMakeFiles/illixr_runtime.dir/rt_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/illixr_runtime.dir/rt_executor.cpp.o.d"
+  "/root/repo/src/runtime/sim_scheduler.cpp" "src/runtime/CMakeFiles/illixr_runtime.dir/sim_scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/illixr_runtime.dir/sim_scheduler.cpp.o.d"
+  "/root/repo/src/runtime/switchboard.cpp" "src/runtime/CMakeFiles/illixr_runtime.dir/switchboard.cpp.o" "gcc" "src/runtime/CMakeFiles/illixr_runtime.dir/switchboard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/illixr_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

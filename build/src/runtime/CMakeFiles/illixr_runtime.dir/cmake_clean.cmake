@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_runtime.dir/plugin.cpp.o"
+  "CMakeFiles/illixr_runtime.dir/plugin.cpp.o.d"
+  "CMakeFiles/illixr_runtime.dir/rt_executor.cpp.o"
+  "CMakeFiles/illixr_runtime.dir/rt_executor.cpp.o.d"
+  "CMakeFiles/illixr_runtime.dir/sim_scheduler.cpp.o"
+  "CMakeFiles/illixr_runtime.dir/sim_scheduler.cpp.o.d"
+  "CMakeFiles/illixr_runtime.dir/switchboard.cpp.o"
+  "CMakeFiles/illixr_runtime.dir/switchboard.cpp.o.d"
+  "libillixr_runtime.a"
+  "libillixr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

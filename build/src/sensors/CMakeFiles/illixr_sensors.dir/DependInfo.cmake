@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/camera.cpp" "src/sensors/CMakeFiles/illixr_sensors.dir/camera.cpp.o" "gcc" "src/sensors/CMakeFiles/illixr_sensors.dir/camera.cpp.o.d"
+  "/root/repo/src/sensors/dataset.cpp" "src/sensors/CMakeFiles/illixr_sensors.dir/dataset.cpp.o" "gcc" "src/sensors/CMakeFiles/illixr_sensors.dir/dataset.cpp.o.d"
+  "/root/repo/src/sensors/imu.cpp" "src/sensors/CMakeFiles/illixr_sensors.dir/imu.cpp.o" "gcc" "src/sensors/CMakeFiles/illixr_sensors.dir/imu.cpp.o.d"
+  "/root/repo/src/sensors/trajectory.cpp" "src/sensors/CMakeFiles/illixr_sensors.dir/trajectory.cpp.o" "gcc" "src/sensors/CMakeFiles/illixr_sensors.dir/trajectory.cpp.o.d"
+  "/root/repo/src/sensors/world.cpp" "src/sensors/CMakeFiles/illixr_sensors.dir/world.cpp.o" "gcc" "src/sensors/CMakeFiles/illixr_sensors.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

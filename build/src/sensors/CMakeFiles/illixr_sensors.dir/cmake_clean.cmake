@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_sensors.dir/camera.cpp.o"
+  "CMakeFiles/illixr_sensors.dir/camera.cpp.o.d"
+  "CMakeFiles/illixr_sensors.dir/dataset.cpp.o"
+  "CMakeFiles/illixr_sensors.dir/dataset.cpp.o.d"
+  "CMakeFiles/illixr_sensors.dir/imu.cpp.o"
+  "CMakeFiles/illixr_sensors.dir/imu.cpp.o.d"
+  "CMakeFiles/illixr_sensors.dir/trajectory.cpp.o"
+  "CMakeFiles/illixr_sensors.dir/trajectory.cpp.o.d"
+  "CMakeFiles/illixr_sensors.dir/world.cpp.o"
+  "CMakeFiles/illixr_sensors.dir/world.cpp.o.d"
+  "libillixr_sensors.a"
+  "libillixr_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

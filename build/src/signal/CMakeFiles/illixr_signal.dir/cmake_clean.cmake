@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_signal.dir/convolution.cpp.o"
+  "CMakeFiles/illixr_signal.dir/convolution.cpp.o.d"
+  "CMakeFiles/illixr_signal.dir/fft.cpp.o"
+  "CMakeFiles/illixr_signal.dir/fft.cpp.o.d"
+  "libillixr_signal.a"
+  "libillixr_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libillixr_signal.a"
+)

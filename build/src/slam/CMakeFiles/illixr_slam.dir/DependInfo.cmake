@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/fast.cpp" "src/slam/CMakeFiles/illixr_slam.dir/fast.cpp.o" "gcc" "src/slam/CMakeFiles/illixr_slam.dir/fast.cpp.o.d"
+  "/root/repo/src/slam/feature_tracker.cpp" "src/slam/CMakeFiles/illixr_slam.dir/feature_tracker.cpp.o" "gcc" "src/slam/CMakeFiles/illixr_slam.dir/feature_tracker.cpp.o.d"
+  "/root/repo/src/slam/imu_integrator.cpp" "src/slam/CMakeFiles/illixr_slam.dir/imu_integrator.cpp.o" "gcc" "src/slam/CMakeFiles/illixr_slam.dir/imu_integrator.cpp.o.d"
+  "/root/repo/src/slam/integrator_alternatives.cpp" "src/slam/CMakeFiles/illixr_slam.dir/integrator_alternatives.cpp.o" "gcc" "src/slam/CMakeFiles/illixr_slam.dir/integrator_alternatives.cpp.o.d"
+  "/root/repo/src/slam/klt.cpp" "src/slam/CMakeFiles/illixr_slam.dir/klt.cpp.o" "gcc" "src/slam/CMakeFiles/illixr_slam.dir/klt.cpp.o.d"
+  "/root/repo/src/slam/msckf.cpp" "src/slam/CMakeFiles/illixr_slam.dir/msckf.cpp.o" "gcc" "src/slam/CMakeFiles/illixr_slam.dir/msckf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/illixr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/illixr_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

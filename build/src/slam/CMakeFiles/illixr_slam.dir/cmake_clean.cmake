@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_slam.dir/fast.cpp.o"
+  "CMakeFiles/illixr_slam.dir/fast.cpp.o.d"
+  "CMakeFiles/illixr_slam.dir/feature_tracker.cpp.o"
+  "CMakeFiles/illixr_slam.dir/feature_tracker.cpp.o.d"
+  "CMakeFiles/illixr_slam.dir/imu_integrator.cpp.o"
+  "CMakeFiles/illixr_slam.dir/imu_integrator.cpp.o.d"
+  "CMakeFiles/illixr_slam.dir/integrator_alternatives.cpp.o"
+  "CMakeFiles/illixr_slam.dir/integrator_alternatives.cpp.o.d"
+  "CMakeFiles/illixr_slam.dir/klt.cpp.o"
+  "CMakeFiles/illixr_slam.dir/klt.cpp.o.d"
+  "CMakeFiles/illixr_slam.dir/msckf.cpp.o"
+  "CMakeFiles/illixr_slam.dir/msckf.cpp.o.d"
+  "libillixr_slam.a"
+  "libillixr_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

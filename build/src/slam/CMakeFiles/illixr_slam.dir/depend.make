@@ -1,0 +1,2 @@
+# Empty dependencies file for illixr_slam.
+# This may be replaced when dependencies are built.

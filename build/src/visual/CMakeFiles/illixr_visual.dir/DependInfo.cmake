@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/visual/hologram.cpp" "src/visual/CMakeFiles/illixr_visual.dir/hologram.cpp.o" "gcc" "src/visual/CMakeFiles/illixr_visual.dir/hologram.cpp.o.d"
+  "/root/repo/src/visual/timewarp.cpp" "src/visual/CMakeFiles/illixr_visual.dir/timewarp.cpp.o" "gcc" "src/visual/CMakeFiles/illixr_visual.dir/timewarp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/illixr_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/illixr_render.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_visual.dir/hologram.cpp.o"
+  "CMakeFiles/illixr_visual.dir/hologram.cpp.o.d"
+  "CMakeFiles/illixr_visual.dir/timewarp.cpp.o"
+  "CMakeFiles/illixr_visual.dir/timewarp.cpp.o.d"
+  "libillixr_visual.a"
+  "libillixr_visual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/illixr_xr.dir/illixr_system.cpp.o"
+  "CMakeFiles/illixr_xr.dir/illixr_system.cpp.o.d"
+  "CMakeFiles/illixr_xr.dir/openxr_mini.cpp.o"
+  "CMakeFiles/illixr_xr.dir/openxr_mini.cpp.o.d"
+  "CMakeFiles/illixr_xr.dir/plugins.cpp.o"
+  "CMakeFiles/illixr_xr.dir/plugins.cpp.o.d"
+  "libillixr_xr.a"
+  "libillixr_xr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/illixr_xr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eyetrack_test.dir/eyetrack_test.cpp.o"
+  "CMakeFiles/eyetrack_test.dir/eyetrack_test.cpp.o.d"
+  "eyetrack_test"
+  "eyetrack_test.pdb"
+  "eyetrack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eyetrack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foundation_test.dir/foundation_test.cpp.o"
+  "CMakeFiles/foundation_test.dir/foundation_test.cpp.o.d"
+  "foundation_test"
+  "foundation_test.pdb"
+  "foundation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foundation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slam_test.cpp" "tests/CMakeFiles/slam_test.dir/slam_test.cpp.o" "gcc" "tests/CMakeFiles/slam_test.dir/slam_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/illixr_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/illixr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/illixr_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/illixr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/foundation/CMakeFiles/illixr_foundation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

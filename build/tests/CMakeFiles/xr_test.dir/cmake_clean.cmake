@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xr_test.dir/xr_test.cpp.o"
+  "CMakeFiles/xr_test.dir/xr_test.cpp.o.d"
+  "xr_test"
+  "xr_test.pdb"
+  "xr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/foundation_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/signal_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")
+include("/root/repo/build/tests/sensors_test[1]_include.cmake")
+include("/root/repo/build/tests/slam_test[1]_include.cmake")
+include("/root/repo/build/tests/eyetrack_test[1]_include.cmake")
+include("/root/repo/build/tests/recon_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/visual_test[1]_include.cmake")
+include("/root/repo/build/tests/audio_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/xr_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
