@@ -7,6 +7,8 @@
 
 #include "bench_common.hpp"
 
+#include "xr/events.hpp"
+
 using namespace illixr;
 using namespace illixr::bench;
 
@@ -19,13 +21,17 @@ main()
     TextTable table;
     table.setHeader({"platform", "Sponza", "Materials", "Platformer",
                      "AR Demo"});
+    // Keep one run per platform for the lineage-derived breakdown.
+    std::vector<IntegratedResult> sponza_runs;
     for (PlatformId platform : kPlatforms) {
         std::vector<std::string> row = {platformName(platform)};
         for (AppId app : kApps) {
-            const IntegratedResult r =
+            IntegratedResult r =
                 runIntegrated(standardConfig(platform, app));
             row.push_back(TextTable::meanStd(r.mtp.latency_ms.mean(),
                                              r.mtp.latency_ms.stddev()));
+            if (app == AppId::Sponza)
+                sponza_runs.push_back(std::move(r));
         }
         table.addRow(row);
     }
@@ -35,5 +41,33 @@ main()
                 "apps; degradation Desktop -> Jetson-HP -> Jetson-LP,\n"
                 "growing with application complexity; AR target missed\n"
                 "on the Jetsons.\n");
+
+    // Lineage-derived MTP: the same §III-E decomposition, but every
+    // number resolved through each displayed frame's causal ancestry
+    // (Sponza runs), plus the stage-to-photon latency per pipeline
+    // stage.
+    banner("Table IV (lineage): per-stage latency to photon, Sponza",
+           "frame-lineage trace");
+    TextTable lineage;
+    lineage.setHeader({"platform", "MTP (lineage)", "frames",
+                       "resolved", "camera->photon", "imu->photon",
+                       "render->photon"});
+    for (const IntegratedResult &r : sponza_runs) {
+        const LineageMtp &lm = r.lineage_mtp;
+        auto stage = [&lm](const char *topic) {
+            const auto it = lm.stage_to_photon_ms.find(topic);
+            return it == lm.stage_to_photon_ms.end()
+                       ? std::string("-")
+                       : TextTable::num(it->second.mean(), 1);
+        };
+        lineage.addRow({platformName(r.config.platform),
+                        TextTable::meanStd(lm.mtp.latency_ms.mean(),
+                                           lm.mtp.latency_ms.stddev()),
+                        std::to_string(lm.frames),
+                        std::to_string(lm.resolved),
+                        stage(topics::kCamera), stage(topics::kImu),
+                        stage(topics::kSubmittedFrame)});
+    }
+    std::printf("%s\n", lineage.render().c_str());
     return 0;
 }

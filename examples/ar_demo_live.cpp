@@ -8,11 +8,10 @@
  */
 
 #include "runtime/rt_executor.hpp"
+#include "trace/trace.hpp"
 #include "xr/plugins.hpp"
 
-#include <chrono>
 #include <cstdio>
-#include <thread>
 
 using namespace illixr;
 
@@ -52,31 +51,44 @@ main()
     AudioEncoderPlugin audio_enc(phonebook, tuning);
     AudioPlaybackPlugin audio_play(phonebook, tuning);
 
+    // Both runtimes implement the Executor interface; this example
+    // drives the real-threaded one through it, with the same trace
+    // sink the discrete-event scheduler uses (wall-clock spans).
+    auto sink = std::make_shared<TraceSink>();
+    switchboard->setTraceSink(sink);
+
     RtExecutor executor;
-    executor.addPlugin(&camera);
-    executor.addPlugin(&imu);
-    executor.addPlugin(&integrator);
-    executor.addPlugin(&app);
-    executor.addPlugin(&timewarp);
-    executor.addPlugin(&audio_enc);
-    executor.addPlugin(&audio_play);
+    Executor &exec = executor;
+    executor.setTraceSink(sink);
+    executor.setPhonebook(&phonebook);
+    exec.addPlugin(&camera);
+    exec.addPlugin(&imu);
+    exec.addPlugin(&integrator);
+    exec.addPlugin(&app);
+    exec.addPlugin(&timewarp);
+    exec.addPlugin(&audio_enc);
+    exec.addPlugin(&audio_play);
 
-    executor.start();
-    std::this_thread::sleep_for(std::chrono::seconds(2));
-    executor.stop();
+    exec.run(2 * kSecond);
 
-    std::printf("Iterations over 2 s wall clock:\n");
-    for (const char *name :
-         {"camera", "imu", "integrator", "application", "timewarp",
-          "audio_encoding", "audio_playback"}) {
-        std::printf("  %-16s %4zu (%.1f Hz)\n", name,
-                    executor.iterations(name),
-                    executor.iterations(name) / 2.0);
+    std::printf("Iterations over 2 s wall clock (%s timeline):\n",
+                exec.timeline());
+    for (const std::string &name : exec.taskNames()) {
+        const TaskStats &stats = exec.stats(name);
+        std::printf("  %-16s %4zu (%.1f Hz), exec %.2f ms, %zu skips\n",
+                    name.c_str(), stats.invocations,
+                    stats.achievedHz(2 * kSecond), stats.exec_ms.mean(),
+                    stats.skips);
     }
     std::printf("\nSwitchboard topics:\n");
     for (const std::string &topic : switchboard->topicNames()) {
         std::printf("  %-16s %zu events\n", topic.c_str(),
                     switchboard->publishCount(topic));
     }
+
+    const char *trace_path = "/tmp/illixr_ar_live.trace.json";
+    if (sink->writeChromeTrace(trace_path))
+        std::printf("\nWrote %zu wall-clock spans to %s\n",
+                    sink->spanCount(), trace_path);
     return 0;
 }

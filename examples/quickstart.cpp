@@ -45,6 +45,9 @@ main()
                 "(VR target < 20 ms)\n",
                 result.mtp.latency_ms.mean(),
                 result.mtp.latency_ms.stddev());
+    std::printf("Frame lineage: %zu displayed frames traced, %zu "
+                "resolved to their camera frame + IMU window\n",
+                result.lineage_mtp.frames, result.lineage_mtp.resolved);
     std::printf("Modeled power: %.1f W (ideal VR device: 1-2 W)\n",
                 result.power.total());
     std::printf("VIO estimated %zu poses\n",

@@ -65,6 +65,18 @@ main(int argc, char **argv)
                 result.mtp.imu_age_ms.mean(),
                 result.mtp.reprojection_ms.mean(),
                 result.mtp.swap_ms.mean());
+    std::printf("MTP (lineage): %.1f ± %.1f ms over %zu frames "
+                "(%zu fully resolved to camera+IMU)\n",
+                result.lineage_mtp.mtp.latency_ms.mean(),
+                result.lineage_mtp.mtp.latency_ms.stddev(),
+                result.lineage_mtp.frames, result.lineage_mtp.resolved);
+    for (const std::string &stage : result.lineage_stages) {
+        const auto it = result.lineage_mtp.stage_to_photon_ms.find(stage);
+        if (it != result.lineage_mtp.stage_to_photon_ms.end())
+            std::printf("  %-16s -> photon  %7.2f ms (p99 %7.2f)\n",
+                        stage.c_str(), it->second.mean(),
+                        it->second.percentile(99.0));
+    }
     std::printf("Power: %.1f W  (CPU %.1f, GPU %.1f, DDR %.1f, SoC %.1f, "
                 "Sys %.1f)\n",
                 result.power.total(), result.power.rail_watts[0],
@@ -88,6 +100,29 @@ main(int argc, char **argv)
             std::printf("\nWrote the final (distortion-corrected) left-"
                         "eye frame to %s\n",
                         path);
+    }
+
+    // Export the causal trace: spans + lineage flows for
+    // chrome://tracing, the per-frame latency breakdown as CSV, and
+    // every task counter/histogram from the metric registry.
+    if (result.trace) {
+        const char *trace_path = "/tmp/illixr_sponza.trace.json";
+        const char *lineage_path = "/tmp/illixr_sponza_lineage.csv";
+        if (result.trace->writeChromeTrace(trace_path))
+            std::printf("Wrote %zu spans / %zu events to %s\n",
+                        result.trace->spanCount(),
+                        result.trace->eventCount(), trace_path);
+        if (result.trace->writeLineageCsv(lineage_path,
+                                          topics::kDisplayFrame,
+                                          result.lineage_stages))
+            std::printf("Wrote per-frame lineage breakdown to %s\n",
+                        lineage_path);
+    }
+    if (result.metrics) {
+        const char *metrics_path = "/tmp/illixr_sponza_metrics.csv";
+        if (result.metrics->writeCsv(metrics_path))
+            std::printf("Wrote metric registry snapshot to %s\n",
+                        metrics_path);
     }
     return 0;
 }

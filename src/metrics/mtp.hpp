@@ -14,8 +14,11 @@
 #pragma once
 
 #include "foundation/stats.hpp"
-#include "runtime/sim_scheduler.hpp"
+#include "runtime/executor.hpp"
+#include "trace/trace.hpp"
 
+#include <map>
+#include <string>
 #include <vector>
 
 namespace illixr {
@@ -42,5 +45,35 @@ struct MtpSeries
 MtpSeries computeMtp(const TaskStats &reproj,
                      const std::vector<double> &imu_age_ms,
                      Duration vsync);
+
+/**
+ * MTP derived from the causal trace instead of index-aligned plugin
+ * logs: every displayed frame is resolved through its parent links to
+ * the pose/IMU/camera events it was actually computed from.
+ */
+struct LineageMtp
+{
+    /** Same decomposition as computeMtp, but per traced frame. */
+    MtpSeries mtp;
+
+    /**
+     * Stage-to-photon latency per upstream topic: time from the
+     * frame's latest ancestor on that topic to the frame's display
+     * vsync (ms). Keys are the stage topic names.
+     */
+    std::map<std::string, SampleSeries> stage_to_photon_ms;
+
+    std::size_t frames = 0;   ///< Displayed frames traced.
+    std::size_t resolved = 0; ///< Frames with camera + IMU lineage.
+};
+
+/**
+ * Walk the trace: for each event on @p frame_topic, find the warp
+ * span that produced it, its display vsync, and its latest ancestor
+ * on each of @p stage_topics.
+ */
+LineageMtp computeLineageMtp(const TraceSink &sink, Duration vsync,
+                             const std::string &frame_topic,
+                             const std::vector<std::string> &stage_topics);
 
 } // namespace illixr

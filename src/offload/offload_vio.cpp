@@ -10,9 +10,13 @@ OffloadedVioPlugin::OffloadedVioPlugin(const Phonebook &pb,
                                        const SystemTuning &tuning,
                                        const OffloadConfig &config)
     : Plugin("vio"), tuning_(tuning), config_(config),
-      sb_(pb.lookup<Switchboard>()), data_(pb.lookup<PreloadedDataset>()),
-      cameraReader_(sb_->subscribe(topics::kCamera)),
-      imuReader_(sb_->subscribe(topics::kImu)), net_(config.link)
+      data_(pb.lookup<PreloadedDataset>()),
+      cameraReader_(
+          pb.lookup<Switchboard>()->reader<CameraFrameEvent>(topics::kCamera)),
+      imuReader_(pb.lookup<Switchboard>()->reader<ImuEvent>(topics::kImu)),
+      slowPoseWriter_(
+          pb.lookup<Switchboard>()->writer<PoseEvent>(topics::kSlowPose)),
+      net_(config.link)
 {
     MsckfParams params;
     params.imu_noise = data_->dataset.config().imu_noise;
@@ -38,22 +42,16 @@ OffloadedVioPlugin::iterate(TimePoint now)
 
     // Release matured remote results onto the switchboard.
     while (!pending_.empty() && pending_.front().release <= now) {
-        sb_->publish(topics::kSlowPose, pending_.front().event);
+        slowPoseWriter_.put(std::move(pending_.front().event));
         pending_.pop_front();
     }
 
     // Stream sensors to the "server" (the IMU messages are small and
     // folded into the frame's uplink accounting).
-    while (EventPtr e = imuReader_->pop()) {
-        if (auto imu = std::dynamic_pointer_cast<const ImuEvent>(e))
-            vio_->addImu(imu->sample);
-    }
+    while (auto imu = imuReader_.pop())
+        vio_->addImu(imu->sample);
 
-    while (EventPtr e = cameraReader_->pop()) {
-        auto cam = std::dynamic_pointer_cast<const CameraFrameEvent>(e);
-        if (!cam)
-            continue;
-
+    while (auto cam = cameraReader_.pop()) {
         // The filter computation happens on the remote server: run it
         // here for the real result, but exclude its host cost from
         // the local platform and model it as remote latency instead.
@@ -78,6 +76,10 @@ OffloadedVioPlugin::iterate(TimePoint now)
         auto out = makeEvent<PoseEvent>();
         out->time = cam->time;
         out->state = state;
+        // The pose is released in a *later* invocation than the one
+        // that consumed its inputs, so lineage must be pinned
+        // explicitly rather than inherited from the releasing scope.
+        out->parents = {cam->trace};
         pending_.push_back({now + rtt, out});
         trajectory_.push_back({cam->time, state.pose()});
         roundTrip_.add(toMilliseconds((now - cam->time) + rtt));
@@ -93,6 +95,13 @@ runIntegratedOffloaded(const IntegratedConfig &config,
     Phonebook phonebook;
     auto switchboard = std::make_shared<Switchboard>();
     phonebook.registerService(switchboard);
+
+    auto metrics = std::make_shared<MetricsRegistry>();
+    std::shared_ptr<TraceSink> sink;
+    if (config.trace) {
+        sink = std::make_shared<TraceSink>();
+        switchboard->setTraceSink(sink);
+    }
 
     DatasetConfig ds_cfg;
     ds_cfg.duration_s = toSeconds(config.duration) + 0.5;
@@ -123,6 +132,10 @@ runIntegratedOffloaded(const IntegratedConfig &config,
 
     const PlatformModel platform = PlatformModel::get(config.platform);
     SimScheduler scheduler(platform);
+    scheduler.setMetrics(metrics.get());
+    scheduler.setPhonebook(&phonebook);
+    if (sink)
+        scheduler.setTraceSink(sink);
     scheduler.addPlugin(&camera);
     scheduler.addPlugin(&imu);
     scheduler.addPlugin(&vio);
@@ -163,6 +176,15 @@ runIntegratedOffloaded(const IntegratedConfig &config,
 
     result.mtp = computeMtp(scheduler.stats("timewarp"),
                             timewarp.imuAgesMs(), vsync);
+    result.lineage_stages = {topics::kCamera, topics::kImu,
+                             topics::kSlowPose, topics::kFastPose,
+                             topics::kSubmittedFrame};
+    if (sink) {
+        result.trace = sink;
+        result.lineage_mtp = computeLineageMtp(
+            *sink, vsync, topics::kDisplayFrame, result.lineage_stages);
+    }
+    result.metrics = metrics;
     result.utilization.cpu = scheduler.cpuUtilization();
     result.utilization.gpu = scheduler.gpuUtilization();
     result.utilization.memory = std::min(

@@ -72,10 +72,10 @@ class OffloadedVioPlugin : public Plugin
 
     SystemTuning tuning_;
     OffloadConfig config_;
-    std::shared_ptr<Switchboard> sb_;
     std::shared_ptr<PreloadedDataset> data_;
-    std::shared_ptr<SyncReader> cameraReader_;
-    std::shared_ptr<SyncReader> imuReader_;
+    Switchboard::Reader<CameraFrameEvent> cameraReader_;
+    Switchboard::Reader<ImuEvent> imuReader_;
+    Switchboard::Writer<PoseEvent> slowPoseWriter_;
     std::unique_ptr<VioSystem> vio_;
     NetworkModel net_;
     std::deque<PendingPose> pending_;

@@ -1,0 +1,47 @@
+#include "runtime/executor.hpp"
+
+namespace illixr {
+
+double
+TaskStats::achievedHz(Duration wall) const
+{
+    if (wall <= 0)
+        return 0.0;
+    return static_cast<double>(invocations) / toSeconds(wall);
+}
+
+ExecutorBase::TaskMetrics
+ExecutorBase::internMetrics(const std::string &task)
+{
+    TaskMetrics m;
+    if (!metrics_)
+        return m;
+    m.invocations = &metrics_->counter("task." + task + ".invocations");
+    m.skips = &metrics_->counter("task." + task + ".skips");
+    m.exec_ms = &metrics_->histogram("task." + task + ".exec_ms");
+    return m;
+}
+
+void
+ExecutorBase::startPlugins()
+{
+    if (started_)
+        return;
+    started_ = true;
+    static const Phonebook empty;
+    const Phonebook &pb = phonebook_ ? *phonebook_ : empty;
+    for (Plugin *plugin : lifecycle_)
+        plugin->start(pb);
+}
+
+void
+ExecutorBase::stopPlugins()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    for (auto it = lifecycle_.rbegin(); it != lifecycle_.rend(); ++it)
+        (*it)->stop();
+}
+
+} // namespace illixr

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Executor: the one interface over both ways of running a plugin set
+ * — the discrete-event SimScheduler (virtual timeline) and the
+ * real-threaded RtExecutor (wall clock). Examples and benches program
+ * against this interface, so simulated and live execution are
+ * swappable without divergent call sites.
+ *
+ * The base class also unifies the plugin lifecycle, which the two
+ * executors previously half-duplicated (and half-skipped): run()
+ * calls Plugin::start() in registration order before the first
+ * iterate() and Plugin::stop() in reverse order after the last one,
+ * on both timelines.
+ *
+ * Instrumentation: an attached TraceSink receives one Span per
+ * invocation (task, exec unit, arrival/start/completion, skip
+ * causes); the attached MetricsRegistry receives per-task interned
+ * counters (`task.<name>.invocations`, `.skips`) and an exec-time
+ * histogram (`task.<name>.exec_ms`).
+ */
+
+#pragma once
+
+#include "foundation/stats.hpp"
+#include "perfmodel/platform.hpp"
+#include "runtime/phonebook.hpp"
+#include "runtime/plugin.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** One completed invocation (virtual or wall timeline). */
+struct InvocationRecord
+{
+    TimePoint arrival = 0;
+    TimePoint start = 0;
+    Duration virtual_duration = 0;
+    TimePoint completion = 0;
+    TimePoint target_vsync = 0; ///< 0 unless vsync-aligned.
+    double host_seconds = 0.0;
+};
+
+/** Aggregated statistics of one scheduled task. */
+struct TaskStats
+{
+    std::string name;
+    ExecUnit unit = ExecUnit::Cpu;
+    Duration period = 0;
+    std::size_t invocations = 0;
+    std::size_t skips = 0;       ///< Arrivals dropped due to overrun.
+    Duration busy = 0;           ///< Total busy time.
+    SampleSeries exec_ms;        ///< Per-invocation ms.
+    std::vector<InvocationRecord> records;
+
+    /** Achieved rate over a run of @p wall duration. */
+    double achievedHz(Duration wall) const;
+};
+
+/**
+ * The executor interface.
+ */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /** Register a periodic plugin (not owned). Precedes run(). */
+    virtual void addPlugin(Plugin *plugin) = 0;
+
+    /**
+     * Register a vsync-aligned plugin (reprojection). Executors
+     * without late-latch scheduling run it as plain periodic at the
+     * vsync period.
+     */
+    virtual void
+    addVsyncAlignedPlugin(Plugin *plugin, Duration vsync)
+    {
+        (void)vsync;
+        addPlugin(plugin);
+    }
+
+    /**
+     * Run the plugin set for @p duration (virtual or wall time,
+     * depending on the executor), blocking until done. Wraps the
+     * unified plugin lifecycle (start before, stop after).
+     */
+    virtual void run(Duration duration) = 0;
+
+    /** Statistics of one task. @throws std::out_of_range. */
+    virtual const TaskStats &stats(const std::string &name) const = 0;
+
+    /** Names of all registered tasks. */
+    virtual std::vector<std::string> taskNames() const = 0;
+
+    /** Attach the span/lineage sink (nullptr disables tracing). */
+    virtual void setTraceSink(std::shared_ptr<TraceSink> sink) = 0;
+
+    /** "virtual" or "wall": which timeline the timestamps are on. */
+    virtual const char *timeline() const = 0;
+};
+
+/**
+ * Shared lifecycle + instrumentation plumbing of both executors.
+ */
+class ExecutorBase : public Executor
+{
+  public:
+    void
+    setTraceSink(std::shared_ptr<TraceSink> sink) override
+    {
+        sink_ = std::move(sink);
+    }
+
+    /** Registry receiving per-task metrics (nullptr disables). */
+    void setMetrics(MetricsRegistry *metrics) { metrics_ = metrics; }
+
+    /** Phonebook handed to Plugin::start() (optional). */
+    void setPhonebook(const Phonebook *phonebook)
+    {
+        phonebook_ = phonebook;
+    }
+
+  protected:
+    /** Interned per-task metric handles (resolved once, not per hit). */
+    struct TaskMetrics
+    {
+        Counter *invocations = nullptr;
+        Counter *skips = nullptr;
+        Histogram *exec_ms = nullptr;
+    };
+
+    TaskMetrics internMetrics(const std::string &task);
+
+    /** Track a plugin for the shared start/stop lifecycle. */
+    void notePlugin(Plugin *plugin) { lifecycle_.push_back(plugin); }
+
+    /** Plugin::start() in registration order (idempotent per run). */
+    void startPlugins();
+
+    /** Plugin::stop() in reverse registration order. */
+    void stopPlugins();
+
+    std::shared_ptr<TraceSink> sink_;
+    MetricsRegistry *metrics_ = &MetricsRegistry::global();
+    const Phonebook *phonebook_ = nullptr;
+
+  private:
+    std::vector<Plugin *> lifecycle_;
+    bool started_ = false;
+};
+
+} // namespace illixr

@@ -1,6 +1,9 @@
 #include "runtime/rt_executor.hpp"
 
+#include "foundation/profile.hpp"
+
 #include <chrono>
+#include <stdexcept>
 
 namespace illixr {
 
@@ -14,7 +17,20 @@ RtExecutor::addPlugin(Plugin *plugin)
 {
     auto entry = std::make_unique<Entry>();
     entry->plugin = plugin;
+    entry->stats.name = plugin->name();
+    entry->stats.unit = plugin->execUnit();
+    entry->stats.period = plugin->period();
+    entry->metrics = internMetrics(entry->stats.name);
+    notePlugin(plugin);
     entries_.push_back(std::move(entry));
+}
+
+void
+RtExecutor::run(Duration duration)
+{
+    start();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+    stop();
 }
 
 void
@@ -22,6 +38,7 @@ RtExecutor::start()
 {
     if (running_.exchange(true))
         return;
+    startPlugins();
     for (auto &entry : entries_)
         threads_.emplace_back([this, &entry] { threadMain(*entry); });
 }
@@ -36,6 +53,7 @@ RtExecutor::stop()
             t.join();
     }
     threads_.clear();
+    stopPlugins();
 }
 
 std::size_t
@@ -48,6 +66,28 @@ RtExecutor::iterations(const std::string &name) const
     return 0;
 }
 
+const TaskStats &
+RtExecutor::stats(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry->stats.name == name) {
+            std::lock_guard<std::mutex> lock(entry->mutex);
+            return entry->stats;
+        }
+    }
+    throw std::out_of_range("no such task: " + name);
+}
+
+std::vector<std::string>
+RtExecutor::taskNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        names.push_back(entry->stats.name);
+    return names;
+}
+
 void
 RtExecutor::threadMain(Entry &entry)
 {
@@ -57,17 +97,69 @@ RtExecutor::threadMain(Entry &entry)
         std::chrono::nanoseconds(entry.plugin->period());
     auto next = epoch;
 
+    auto wallNs = [&epoch](Clock::time_point t) {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(t -
+                                                                    epoch)
+            .count();
+    };
+
     while (running_.load()) {
         const auto now = Clock::now();
-        const TimePoint vnow =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(now -
-                                                                 epoch)
-                .count();
+        const TimePoint vnow = wallNs(now);
+
+        const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
+        TraceContext::beginInvocation(span_id, vnow);
+        const double t0 = hostTimeSeconds();
         entry.plugin->iterate(vnow);
+        const double host_seconds =
+            hostTimeSeconds() - t0 -
+            entry.plugin->consumeExcludedHostSeconds();
+        TraceContext::endInvocation();
+
+        const TimePoint done = wallNs(Clock::now());
         entry.iterations.fetch_add(1);
+
+        {
+            std::lock_guard<std::mutex> lock(entry.mutex);
+            InvocationRecord rec;
+            rec.arrival = vnow;
+            rec.start = vnow; // Dedicated thread: runs on arrival.
+            rec.virtual_duration = done - vnow;
+            rec.completion = done;
+            rec.host_seconds = host_seconds;
+            entry.stats.records.push_back(rec);
+            entry.stats.exec_ms.add(toMilliseconds(done - vnow));
+            entry.stats.busy += done - vnow;
+            ++entry.stats.invocations;
+        }
+        if (entry.metrics.invocations)
+            entry.metrics.invocations->add();
+        if (entry.metrics.exec_ms)
+            entry.metrics.exec_ms->observe(toMilliseconds(done - vnow));
+        if (sink_) {
+            Span span;
+            span.task = entry.stats.name;
+            span.unit = entry.plugin->execUnit();
+            span.arrival = vnow;
+            span.start = vnow;
+            span.completion = done;
+            span.host_seconds = host_seconds;
+            span.id = span_id;
+            sink_->recordSpan(std::move(span));
+        }
+
         next += period;
         if (next < Clock::now()) {
             // Overran: realign instead of bursting (skip semantics).
+            {
+                std::lock_guard<std::mutex> lock(entry.mutex);
+                ++entry.stats.skips;
+            }
+            if (entry.metrics.skips)
+                entry.metrics.skips->add();
+            if (sink_)
+                sink_->recordSkip(entry.stats.name, wallNs(Clock::now()),
+                                  SkipCause::Overrun);
             next = Clock::now() + period;
         }
         std::this_thread::sleep_until(next);

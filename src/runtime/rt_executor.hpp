@@ -5,15 +5,21 @@
  * period, wall-clock timestamps. Used by the examples to demonstrate
  * the runtime working as a live system (paper §II-B: "The ILLIXR
  * runtime currently runs on Linux").
+ *
+ * Implements the Executor interface (wall timeline): run(duration)
+ * starts the plugin threads, sleeps, and stops them; TaskStats and
+ * TraceSink spans mirror the SimScheduler's, with nanoseconds since
+ * the executor epoch as the timeline.
  */
 
 #pragma once
 
-#include "foundation/stats.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/plugin.hpp"
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,22 +29,25 @@ namespace illixr {
 /**
  * Threaded periodic executor.
  */
-class RtExecutor
+class RtExecutor : public ExecutorBase
 {
   public:
     RtExecutor() = default;
-    ~RtExecutor();
+    ~RtExecutor() override;
 
     RtExecutor(const RtExecutor &) = delete;
     RtExecutor &operator=(const RtExecutor &) = delete;
 
     /** Register a plugin (not owned). Must precede start(). */
-    void addPlugin(Plugin *plugin);
+    void addPlugin(Plugin *plugin) override;
 
-    /** Launch one thread per plugin. */
+    /** Run live for @p duration of wall time, then stop. */
+    void run(Duration duration) override;
+
+    /** Launch one thread per plugin (start() plugins first). */
     void start();
 
-    /** Stop all threads and join. */
+    /** Stop all threads, join, and stop() plugins. */
     void stop();
 
     bool running() const { return running_.load(); }
@@ -46,11 +55,21 @@ class RtExecutor
     /** Completed iterations of a plugin so far. */
     std::size_t iterations(const std::string &name) const;
 
+    /** Statistics of a plugin; call after stop(). */
+    const TaskStats &stats(const std::string &name) const override;
+
+    std::vector<std::string> taskNames() const override;
+
+    const char *timeline() const override { return "wall"; }
+
   private:
     struct Entry
     {
         Plugin *plugin = nullptr;
         std::atomic<std::size_t> iterations{0};
+        mutable std::mutex mutex; ///< Guards stats while live.
+        TaskStats stats;
+        TaskMetrics metrics;
     };
 
     void threadMain(Entry &entry);

@@ -8,14 +8,6 @@
 
 namespace illixr {
 
-double
-TaskStats::achievedHz(Duration wall) const
-{
-    if (wall <= 0)
-        return 0.0;
-    return static_cast<double>(invocations) / toSeconds(wall);
-}
-
 SimScheduler::SimScheduler(const PlatformModel &platform)
     : platform_(platform)
 {
@@ -30,6 +22,8 @@ SimScheduler::addPlugin(Plugin *plugin)
     t.stats.name = plugin->name();
     t.stats.unit = plugin->execUnit();
     t.stats.period = plugin->period();
+    t.metrics = internMetrics(t.stats.name);
+    notePlugin(plugin);
     tasks_.push_back(std::move(t));
 }
 
@@ -43,6 +37,8 @@ SimScheduler::addVsyncAlignedPlugin(Plugin *plugin, Duration vsync)
     t.stats.period = vsync;
     t.vsync_aligned = true;
     t.vsync = vsync;
+    t.metrics = internMetrics(t.stats.name);
+    notePlugin(plugin);
     tasks_.push_back(std::move(t));
 }
 
@@ -82,12 +78,17 @@ SimScheduler::dispatch(std::size_t task_index, TimePoint arrival)
 {
     Task &task = tasks_[task_index];
 
-    // Execute the plugin for real and measure its host cost.
+    // Execute the plugin for real and measure its host cost. The
+    // invocation scope makes every switchboard read a causal input of
+    // every publish, all stamped with this span's id.
+    const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
+    TraceContext::beginInvocation(span_id, arrival);
     const double t0 = hostTimeSeconds();
     task.plugin->iterate(arrival);
     const double host_seconds =
         std::max(1e-9, hostTimeSeconds() - t0 -
                            task.plugin->consumeExcludedHostSeconds());
+    TraceContext::endInvocation();
 
     const Duration vdur =
         platform_.scaleDuration(host_seconds, task.plugin->execUnit());
@@ -115,6 +116,23 @@ SimScheduler::dispatch(std::size_t task_index, TimePoint arrival)
     task.stats.busy += vdur;
     ++task.stats.invocations;
 
+    if (task.metrics.invocations)
+        task.metrics.invocations->add();
+    if (task.metrics.exec_ms)
+        task.metrics.exec_ms->observe(toMilliseconds(vdur));
+
+    if (sink_) {
+        Span span;
+        span.task = task.stats.name;
+        span.unit = task.plugin->execUnit();
+        span.arrival = arrival;
+        span.start = start;
+        span.completion = completion;
+        span.host_seconds = host_seconds;
+        span.id = span_id;
+        sink_->recordSpan(std::move(span));
+    }
+
     // EMA of host duration drives the late-latch estimate.
     const double alpha = 0.2;
     task.duration_ema_s = (task.duration_ema_s == 0.0)
@@ -126,6 +144,7 @@ SimScheduler::dispatch(std::size_t task_index, TimePoint arrival)
 void
 SimScheduler::run(Duration duration)
 {
+    startPlugins();
     runDuration_ = duration;
     now_ = 0;
     // Seed arrivals.
@@ -155,6 +174,11 @@ SimScheduler::run(Duration duration)
         // Arrival.
         if (task.running && task.plugin->skipOnOverrun()) {
             ++task.stats.skips;
+            if (task.metrics.skips)
+                task.metrics.skips->add();
+            if (sink_)
+                sink_->recordSkip(task.stats.name, ev.time,
+                                  SkipCause::Overrun);
         } else {
             dispatch(ev.task, ev.time);
         }
@@ -178,6 +202,7 @@ SimScheduler::run(Duration duration)
         }
     }
     now_ = duration;
+    stopPlugins();
 }
 
 const TaskStats &

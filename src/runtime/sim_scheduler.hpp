@@ -16,12 +16,16 @@
  * task is dispatched as late as possible before each vsync, using an
  * exponential moving average of its past durations as the budget
  * estimate.
+ *
+ * Implements the Executor interface (virtual timeline); with a
+ * TraceSink attached, every invocation is recorded as a Span and
+ * every skipped arrival as a SkipRecord.
  */
 
 #pragma once
 
-#include "foundation/stats.hpp"
 #include "perfmodel/platform.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/plugin.hpp"
 
 #include <map>
@@ -32,58 +36,33 @@
 
 namespace illixr {
 
-/** One completed invocation (virtual timeline). */
-struct InvocationRecord
-{
-    TimePoint arrival = 0;
-    TimePoint start = 0;
-    Duration virtual_duration = 0;
-    TimePoint completion = 0;
-    TimePoint target_vsync = 0; ///< 0 unless vsync-aligned.
-    double host_seconds = 0.0;
-};
-
-/** Aggregated statistics of one scheduled task. */
-struct TaskStats
-{
-    std::string name;
-    ExecUnit unit = ExecUnit::Cpu;
-    Duration period = 0;
-    std::size_t invocations = 0;
-    std::size_t skips = 0;       ///< Arrivals dropped due to overrun.
-    Duration busy = 0;           ///< Total virtual busy time.
-    SampleSeries exec_ms;        ///< Per-invocation virtual ms.
-    std::vector<InvocationRecord> records;
-
-    /** Achieved rate over a run of @p wall virtual duration. */
-    double achievedHz(Duration wall) const;
-};
-
 /**
  * The discrete-event scheduler.
  */
-class SimScheduler
+class SimScheduler : public ExecutorBase
 {
   public:
     explicit SimScheduler(const PlatformModel &platform);
 
     /** Register a periodic plugin (not owned). */
-    void addPlugin(Plugin *plugin);
+    void addPlugin(Plugin *plugin) override;
 
     /**
      * Register a vsync-aligned plugin (reprojection): dispatched as
      * late as possible before each vsync of period @p vsync.
      */
-    void addVsyncAlignedPlugin(Plugin *plugin, Duration vsync);
+    void addVsyncAlignedPlugin(Plugin *plugin, Duration vsync) override;
 
     /** Run the virtual timeline for @p duration. */
-    void run(Duration duration);
+    void run(Duration duration) override;
 
     /** Current virtual time. */
     TimePoint now() const { return now_; }
 
-    const TaskStats &stats(const std::string &name) const;
-    std::vector<std::string> taskNames() const;
+    const TaskStats &stats(const std::string &name) const override;
+    std::vector<std::string> taskNames() const override;
+
+    const char *timeline() const override { return "virtual"; }
 
     /** Mean CPU hardware-thread utilization over the run, [0, 1]. */
     double cpuUtilization() const;
@@ -98,6 +77,7 @@ class SimScheduler
     {
         Plugin *plugin = nullptr;
         TaskStats stats;
+        TaskMetrics metrics;
         bool running = false;
         bool vsync_aligned = false;
         Duration vsync = 0;

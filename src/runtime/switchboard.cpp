@@ -7,11 +7,17 @@ namespace illixr {
 EventPtr
 SyncReader::pop()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty())
-        return nullptr;
-    EventPtr e = queue_.front();
-    queue_.pop_front();
+    EventPtr e;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return nullptr;
+        e = queue_.front();
+        queue_.pop_front();
+    }
+    // Reading an event inside an executor invocation marks it as a
+    // causal input of whatever the invocation publishes.
+    TraceContext::noteConsumed(e->trace);
     return e;
 }
 
@@ -22,57 +28,162 @@ SyncReader::pending() const
     return queue_.size();
 }
 
+std::size_t
+SyncReader::dropped() const
+{
+    // The publisher mutates dropped_ under mutex_; an unlocked read
+    // here was a data race under the real-threaded executor.
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+Switchboard::TopicPtr
+Switchboard::topicForUntyped(const std::string &topic)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TopicPtr &t = topics_[topic];
+    if (!t) {
+        t = std::make_shared<TopicState>();
+        t->name = topic;
+        by_index_.push_back(t);
+        t->index = static_cast<std::uint32_t>(by_index_.size());
+        t->sink = sink_;
+    }
+    return t;
+}
+
+Switchboard::TopicPtr
+Switchboard::topicFor(const std::string &topic, std::type_index type)
+{
+    TopicPtr t = topicForUntyped(topic);
+    std::lock_guard<std::mutex> lock(t->mutex);
+    if (t->type == std::type_index(typeid(void))) {
+        t->type = type;
+    } else if (t->type != type) {
+        throw std::logic_error("switchboard: topic '" + topic +
+                               "' already carries a different payload "
+                               "type");
+    }
+    return t;
+}
+
+std::shared_ptr<SyncReader>
+Switchboard::attachSyncReader(const TopicPtr &t, std::size_t capacity)
+{
+    auto reader = std::make_shared<SyncReader>();
+    reader->capacity_ = capacity == 0 ? 1 : capacity;
+    std::lock_guard<std::mutex> lock(t->mutex);
+    t->readers.push_back(reader);
+    return reader;
+}
+
+void
+Switchboard::publishToTopic(const TopicPtr &t, EventPtr event)
+{
+    TraceId id;
+    std::vector<TraceId> parents;
+    std::shared_ptr<TraceSink> sink;
+    {
+        std::lock_guard<std::mutex> lock(t->mutex);
+        ++t->publish_count;
+        id = TraceId{t->index, t->publish_count};
+
+        // Stamp the (still exclusively held) event. Events are
+        // immutable from the readers' perspective; the switchboard is
+        // the single writer of the trace fields and does so before
+        // any fan-out.
+        Event *mut = const_cast<Event *>(event.get());
+        mut->trace = id;
+        if (mut->parents.empty() && TraceContext::active())
+            mut->parents = TraceContext::consumed();
+        parents = mut->parents;
+
+        t->latest = event;
+        sink = t->sink;
+
+        // Fan out to live synchronous readers; prune dead ones.
+        auto it = t->readers.begin();
+        while (it != t->readers.end()) {
+            if (auto reader = it->lock()) {
+                std::size_t drops = 0;
+                {
+                    std::lock_guard<std::mutex> rlock(reader->mutex_);
+                    if (reader->queue_.size() >= reader->capacity_) {
+                        reader->queue_.pop_front();
+                        ++reader->dropped_;
+                        ++drops;
+                    }
+                    reader->queue_.push_back(event);
+                }
+                if (drops && sink)
+                    sink->recordSkip(t->name, TraceContext::now(),
+                                     SkipCause::QueueDrop);
+                ++it;
+            } else {
+                it = t->readers.erase(it);
+            }
+        }
+    }
+
+    if (sink) {
+        EventRecord rec;
+        rec.id = id;
+        rec.parents = std::move(parents);
+        rec.topic = t->name;
+        rec.event_time = event->time;
+        rec.publish_time =
+            TraceContext::active() ? TraceContext::now() : event->time;
+        rec.span = TraceContext::currentSpan();
+        sink->recordEvent(std::move(rec));
+    }
+}
+
 void
 Switchboard::publish(const std::string &topic, EventPtr event)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    Topic &t = topics_[topic];
-    t.latest = event;
-    ++t.publish_count;
-    // Fan out to live synchronous readers; prune dead ones.
-    auto it = t.readers.begin();
-    while (it != t.readers.end()) {
-        if (auto reader = it->lock()) {
-            std::lock_guard<std::mutex> rlock(reader->mutex_);
-            if (reader->queue_.size() >= reader->capacity_) {
-                reader->queue_.pop_front();
-                ++reader->dropped_;
-            }
-            reader->queue_.push_back(event);
-            ++it;
-        } else {
-            it = t.readers.erase(it);
-        }
-    }
+    publishToTopic(topicForUntyped(topic), std::move(event));
 }
 
 EventPtr
 Switchboard::latest(const std::string &topic) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = topics_.find(topic);
-    if (it == topics_.end())
-        return nullptr;
-    return it->second.latest;
+    TopicPtr t;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = topics_.find(topic);
+        if (it == topics_.end())
+            return nullptr;
+        t = it->second;
+    }
+    EventPtr e;
+    {
+        std::lock_guard<std::mutex> lock(t->mutex);
+        e = t->latest;
+    }
+    if (e)
+        TraceContext::noteConsumed(e->trace);
+    return e;
 }
 
 std::shared_ptr<SyncReader>
-Switchboard::subscribe(const std::string &topic)
+Switchboard::subscribe(const std::string &topic, std::size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto reader = std::make_shared<SyncReader>();
-    topics_[topic].readers.push_back(reader);
-    return reader;
+    return attachSyncReader(topicForUntyped(topic), capacity);
 }
 
 std::size_t
 Switchboard::publishCount(const std::string &topic) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = topics_.find(topic);
-    if (it == topics_.end())
-        return 0;
-    return it->second.publish_count;
+    TopicPtr t;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = topics_.find(topic);
+        if (it == topics_.end())
+            return 0;
+        t = it->second;
+    }
+    std::lock_guard<std::mutex> lock(t->mutex);
+    return t->publish_count;
 }
 
 std::vector<std::string>
@@ -84,6 +195,27 @@ Switchboard::topicNames() const
     for (const auto &[name, topic] : topics_)
         names.push_back(name);
     return names;
+}
+
+std::uint32_t
+Switchboard::topicIndex(const std::string &topic) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end())
+        return 0;
+    return it->second->index;
+}
+
+void
+Switchboard::setTraceSink(std::shared_ptr<TraceSink> sink)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink_ = sink;
+    for (auto &[name, topic] : topics_) {
+        std::lock_guard<std::mutex> tlock(topic->mutex);
+        topic->sink = sink;
+    }
 }
 
 } // namespace illixr

@@ -7,17 +7,40 @@
  * latest"); *synchronous* readers see every value through a bounded
  * per-reader queue. Plugins may only interact through these streams,
  * which is what makes every component independently swappable.
+ *
+ * ## Typed handles
+ *
+ * The steady-state API is handle-based: a plugin interns a topic
+ * once (`writer<T>()`, `reader<T>()`, `asyncReader<T>()`) and then
+ * publishes/reads through the handle with no per-access map lookup
+ * and no dynamic_pointer_cast — the topic's payload type is locked at
+ * handle creation, so reads are a single static cast behind one
+ * per-topic mutex. The string-keyed `publish`/`latest`/`subscribe`
+ * calls remain as thin deprecated shims over the same topics.
+ *
+ * ## Lineage
+ *
+ * On publish every event is stamped with a TraceId (interned topic
+ * index + per-topic sequence). If the publishing plugin is running
+ * inside an executor invocation (TraceContext), the ids of every
+ * event it read this invocation become the new event's parent links,
+ * so a displayed frame's full causal chain back to its source camera
+ * frame and IMU window is reconstructible from the TraceSink.
  */
 
 #pragma once
 
 #include "foundation/time.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_id.hpp"
 
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
+#include <typeindex>
 #include <vector>
 
 namespace illixr {
@@ -26,6 +49,18 @@ namespace illixr {
 struct Event
 {
     TimePoint time = 0; ///< When the payload was produced/captured.
+
+    /** Causal identity; assigned by the switchboard on publish. */
+    TraceId trace;
+
+    /**
+     * Events this one was derived from. Left empty, the switchboard
+     * fills it from the running invocation's consumed set; a plugin
+     * may also set it explicitly (e.g., for results released long
+     * after the invocation that consumed the inputs).
+     */
+    std::vector<TraceId> parents;
+
     virtual ~Event() = default;
 };
 
@@ -45,7 +80,7 @@ class SyncReader
     std::size_t pending() const;
 
     /** Number of events dropped due to queue overflow. */
-    std::size_t dropped() const { return dropped_; }
+    std::size_t dropped() const;
 
   private:
     friend class Switchboard;
@@ -60,11 +95,164 @@ class SyncReader
  */
 class Switchboard
 {
+    /** Interned per-topic state shared with the typed handles. */
+    struct TopicState
+    {
+        std::string name;
+        std::uint32_t index = 0; ///< 1-based interned source id.
+        mutable std::mutex mutex;
+        EventPtr latest;
+        std::uint64_t publish_count = 0;
+        std::type_index type = std::type_index(typeid(void));
+        std::vector<std::weak_ptr<SyncReader>> readers;
+        std::shared_ptr<TraceSink> sink;
+    };
+
+    using TopicPtr = std::shared_ptr<TopicState>;
+
   public:
-    /** Publish an event on a topic (creates the topic on first use). */
+    /**
+     * Typed publish handle. Obtain once; put() is map-lookup-free.
+     */
+    template <typename T> class Writer
+    {
+      public:
+        Writer() = default;
+
+        /** Publish (stamps TraceId + parents, fans out to readers). */
+        void
+        put(std::shared_ptr<T> event)
+        {
+            Switchboard::publishToTopic(topic_, std::move(event));
+        }
+
+        /** TraceId of the most recent put() on this topic. */
+        TraceId
+        lastId() const
+        {
+            std::lock_guard<std::mutex> lock(topic_->mutex);
+            if (topic_->publish_count == 0)
+                return TraceId{};
+            return TraceId{topic_->index, topic_->publish_count};
+        }
+
+        explicit operator bool() const { return topic_ != nullptr; }
+
+      private:
+        friend class Switchboard;
+        explicit Writer(TopicPtr topic) : topic_(std::move(topic)) {}
+        TopicPtr topic_;
+    };
+
+    /**
+     * Typed latest-value handle ("asynchronous read" in §II-B): no
+     * queue, no history, just the newest event. latest() performs no
+     * map lookup and no dynamic cast — the topic's type was locked
+     * when the handle was created.
+     */
+    template <typename T> class AsyncReader
+    {
+      public:
+        AsyncReader() = default;
+
+        std::shared_ptr<const T>
+        latest() const
+        {
+            EventPtr e;
+            {
+                std::lock_guard<std::mutex> lock(topic_->mutex);
+                e = topic_->latest;
+            }
+            if (e)
+                TraceContext::noteConsumed(e->trace);
+            return std::static_pointer_cast<const T>(e);
+        }
+
+        explicit operator bool() const { return topic_ != nullptr; }
+
+      private:
+        friend class Switchboard;
+        explicit AsyncReader(TopicPtr topic) : topic_(std::move(topic)) {}
+        TopicPtr topic_;
+    };
+
+    /**
+     * Typed every-event handle: a bounded queue that sees each value
+     * published after creation, in order, plus a latest() peek.
+     */
+    template <typename T> class Reader
+    {
+      public:
+        Reader() = default;
+
+        /** Pop the oldest unread event; nullptr when drained. */
+        std::shared_ptr<const T>
+        pop()
+        {
+            return std::static_pointer_cast<const T>(sync_->pop());
+        }
+
+        /** Newest value on the topic (independent of the queue). */
+        std::shared_ptr<const T>
+        latest() const
+        {
+            return async_.latest();
+        }
+
+        std::size_t pending() const { return sync_->pending(); }
+        std::size_t dropped() const { return sync_->dropped(); }
+
+        explicit operator bool() const { return sync_ != nullptr; }
+
+      private:
+        friend class Switchboard;
+        Reader(TopicPtr topic, std::shared_ptr<SyncReader> sync)
+            : async_(std::move(topic)), sync_(std::move(sync))
+        {
+        }
+        AsyncReader<T> async_;
+        std::shared_ptr<SyncReader> sync_;
+    };
+
+    // ---- typed handle factories (intern once, use forever) ----
+
+    /** Get the typed publish handle for @p topic. */
+    template <typename T>
+    Writer<T>
+    writer(const std::string &topic)
+    {
+        return Writer<T>(topicFor(topic, typeid(T)));
+    }
+
+    /** Get the typed latest-value handle for @p topic. */
+    template <typename T>
+    AsyncReader<T>
+    asyncReader(const std::string &topic)
+    {
+        return AsyncReader<T>(topicFor(topic, typeid(T)));
+    }
+
+    /** Create a typed every-event reader on @p topic. */
+    template <typename T>
+    Reader<T>
+    reader(const std::string &topic, std::size_t capacity = 1024)
+    {
+        TopicPtr t = topicFor(topic, typeid(T));
+        return Reader<T>(t, attachSyncReader(t, capacity));
+    }
+
+    // ---- deprecated string-keyed shims ----
+
+    /**
+     * Publish an event on a topic (creates the topic on first use).
+     * @deprecated Obtain a Writer<T> once and put() through it.
+     */
     void publish(const std::string &topic, EventPtr event);
 
-    /** Asynchronous read: latest value, or nullptr if none yet. */
+    /**
+     * Asynchronous read: latest value, or nullptr if none yet.
+     * @deprecated Obtain an AsyncReader<T> once and latest() it.
+     */
     EventPtr latest(const std::string &topic) const;
 
     /** Typed asynchronous read (nullptr if absent or wrong type). */
@@ -75,8 +263,14 @@ class Switchboard
         return std::dynamic_pointer_cast<const T>(latest(topic));
     }
 
-    /** Create a synchronous reader on a topic. */
-    std::shared_ptr<SyncReader> subscribe(const std::string &topic);
+    /**
+     * Create a synchronous reader on a topic.
+     * @deprecated Obtain a Reader<T> via reader<T>().
+     */
+    std::shared_ptr<SyncReader>
+    subscribe(const std::string &topic, std::size_t capacity = 1024);
+
+    // ---- introspection / wiring ----
 
     /** Number of events ever published on a topic. */
     std::size_t publishCount(const std::string &topic) const;
@@ -84,16 +278,40 @@ class Switchboard
     /** Names of all topics that have been touched. */
     std::vector<std::string> topicNames() const;
 
+    /** Interned 1-based index of a topic (0 if never touched). */
+    std::uint32_t topicIndex(const std::string &topic) const;
+
+    /**
+     * Attach a trace sink: every subsequent publish (on existing and
+     * future topics) is recorded as an EventRecord.
+     */
+    void setTraceSink(std::shared_ptr<TraceSink> sink);
+
   private:
-    struct Topic
+    /** Intern (or fetch) a topic, locking its payload type. */
+    TopicPtr topicFor(const std::string &topic, std::type_index type);
+
+    /** Untyped intern (shims; leaves the type unlocked). */
+    TopicPtr topicForUntyped(const std::string &topic);
+
+    static std::shared_ptr<SyncReader> attachSyncReader(const TopicPtr &t,
+                                                        std::size_t capacity);
+
+    /** The one publish path: stamp id/parents, fan out, record. */
+    static void publishToTopic(const TopicPtr &t, EventPtr event);
+
+    template <typename T>
+    static void
+    publishToTopic(const TopicPtr &t, std::shared_ptr<T> event)
     {
-        EventPtr latest;
-        std::size_t publish_count = 0;
-        std::vector<std::weak_ptr<SyncReader>> readers;
-    };
+        publishToTopic(t, std::static_pointer_cast<const Event>(
+                              std::shared_ptr<const T>(std::move(event))));
+    }
 
     mutable std::mutex mutex_;
-    std::map<std::string, Topic> topics_;
+    std::map<std::string, TopicPtr> topics_;
+    std::vector<TopicPtr> by_index_;
+    std::shared_ptr<TraceSink> sink_;
 };
 
 /** Convenience: make a shared event of type T. */

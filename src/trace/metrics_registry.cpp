@@ -1,0 +1,188 @@
+#include "trace/metrics_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace illixr {
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Shard &
+Histogram::shardForThisThread()
+{
+    const std::size_t slot =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kShards;
+    return shards_[slot];
+}
+
+void
+Histogram::observe(double x)
+{
+    Shard &shard = shardForThisThread();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.series.add(x);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot out;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (double x : shard.series.samples())
+            out.series.add(x);
+    }
+    out.count = out.series.count();
+    if (out.count) {
+        out.mean = out.series.mean();
+        out.stddev = out.series.stddev();
+        out.min = out.series.min();
+        out.max = out.series.max();
+        out.p50 = out.series.percentile(50.0);
+        out.p99 = out.series.percentile(99.0);
+    }
+    return out;
+}
+
+std::size_t
+Histogram::count() const
+{
+    std::size_t n = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        n += shard.series.count();
+    }
+    return n;
+}
+
+void
+Histogram::reset()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.series.reset();
+    }
+}
+
+// ----------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+bool
+MetricsRegistry::hasCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.count(name) > 0;
+}
+
+bool
+MetricsRegistry::hasHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histograms_.count(name) > 0;
+}
+
+std::vector<MetricRow>
+MetricsRegistry::snapshotRows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricRow> rows;
+    rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto &[name, c] : counters_) {
+        MetricRow row;
+        row.name = name;
+        row.type = "counter";
+        row.count = static_cast<std::size_t>(c->value());
+        row.value = static_cast<double>(c->value());
+        rows.push_back(std::move(row));
+    }
+    for (const auto &[name, g] : gauges_) {
+        MetricRow row;
+        row.name = name;
+        row.type = "gauge";
+        row.count = 1;
+        row.value = g->value();
+        rows.push_back(std::move(row));
+    }
+    for (const auto &[name, h] : histograms_) {
+        const HistogramSnapshot snap = h->snapshot();
+        MetricRow row;
+        row.name = name;
+        row.type = "histogram";
+        row.count = snap.count;
+        row.value = snap.mean;
+        row.stddev = snap.stddev;
+        row.min = snap.min;
+        row.max = snap.max;
+        row.p99 = snap.p99;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+bool
+MetricsRegistry::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "name,type,count,value,stddev,min,max,p99\n");
+    for (const MetricRow &row : snapshotRows()) {
+        std::fprintf(f, "%s,%s,%zu,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+                     row.name.c_str(), row.type.c_str(), row.count,
+                     row.value, row.stddev, row.min, row.max, row.p99);
+    }
+    std::fclose(f);
+    return true;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace illixr

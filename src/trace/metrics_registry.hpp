@@ -1,0 +1,164 @@
+/**
+ * @file
+ * MetricsRegistry: the unified named-metric store (counters, gauges,
+ * histograms) that replaces ad-hoc SampleSeries plumbing between the
+ * executors, the metrics layer, and the bench binaries.
+ *
+ * Hot-path cost model: handles are resolved *once* by name (interned
+ * pointer, like the switchboard's typed topic handles); after that a
+ * Counter/Gauge update is a single relaxed atomic and a Histogram
+ * observation takes one uncontended striped lock (threads hash to
+ * separate shards, so concurrent producers do not serialize).
+ */
+
+#pragma once
+
+#include "foundation/stats.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace illixr {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Merged view of a histogram at one point in time. */
+struct HistogramSnapshot
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    /** All samples, shard-merged (per-thread order preserved). */
+    SampleSeries series;
+};
+
+/**
+ * Sample distribution. Writers land on one of kShards lock-striped
+ * shards chosen by thread id, so concurrent observe() calls from
+ * different threads almost never contend.
+ */
+class Histogram
+{
+  public:
+    void observe(double x);
+
+    /** Merge all shards into one view. */
+    HistogramSnapshot snapshot() const;
+
+    std::size_t count() const;
+    void reset();
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        SampleSeries series;
+    };
+
+    Shard &shardForThisThread();
+
+    std::array<Shard, kShards> shards_;
+};
+
+/** One row of MetricsRegistry::snapshotRows(). */
+struct MetricRow
+{
+    std::string name;
+    std::string type; ///< "counter" | "gauge" | "histogram"
+    std::size_t count = 0;
+    double value = 0.0; ///< counter/gauge value, histogram mean.
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Named metric registry. Lookup by name locks; do it once and keep
+ * the returned reference (stable for the registry's lifetime).
+ */
+class MetricsRegistry
+{
+  public:
+    /** Process-wide instance for ad-hoc instrumentation. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    bool hasCounter(const std::string &name) const;
+    bool hasHistogram(const std::string &name) const;
+
+    /** All metrics as export rows, name-sorted within each type. */
+    std::vector<MetricRow> snapshotRows() const;
+
+    /** CSV export: name,type,count,value,stddev,min,max,p99. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Zero every metric (handles stay valid). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace illixr

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * TraceId: the causal identity of one event published on the
+ * switchboard. Every event gets a per-source (per-topic) monotonic
+ * sequence number at publish time, plus parent links to the events it
+ * was derived from, so a displayed frame's full lineage (IMU/camera
+ * -> VIO -> integrator -> render -> reprojection -> display) is
+ * reconstructible after a run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace illixr {
+
+/** Identity of one published event: (interned source, sequence). */
+struct TraceId
+{
+    /** Interned topic index, 1-based. 0 = invalid / never published. */
+    std::uint32_t source = 0;
+
+    /** Per-source monotonically increasing sequence, 1-based. */
+    std::uint64_t sequence = 0;
+
+    /** True once assigned by the switchboard. */
+    bool valid() const { return source != 0; }
+
+    /** Dense 64-bit key (sequence fits: < 2^40 events per topic). */
+    std::uint64_t
+    key() const
+    {
+        return (static_cast<std::uint64_t>(source) << 40) |
+               (sequence & ((std::uint64_t(1) << 40) - 1));
+    }
+
+    friend bool
+    operator==(const TraceId &a, const TraceId &b)
+    {
+        return a.source == b.source && a.sequence == b.sequence;
+    }
+};
+
+} // namespace illixr
+
+template <> struct std::hash<illixr::TraceId>
+{
+    std::size_t
+    operator()(const illixr::TraceId &id) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(id.key());
+    }
+};

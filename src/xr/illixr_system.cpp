@@ -24,6 +24,13 @@ runIntegrated(const IntegratedConfig &config)
     auto switchboard = std::make_shared<Switchboard>();
     phonebook.registerService(switchboard);
 
+    auto metrics = std::make_shared<MetricsRegistry>();
+    std::shared_ptr<TraceSink> sink;
+    if (config.trace) {
+        sink = std::make_shared<TraceSink>();
+        switchboard->setTraceSink(sink);
+    }
+
     DatasetConfig ds_cfg;
     ds_cfg.duration_s = toSeconds(config.duration) + 0.5;
     ds_cfg.image_width = config.camera_width;
@@ -57,6 +64,10 @@ runIntegrated(const IntegratedConfig &config)
     // --- Scheduler ---
     const PlatformModel platform = PlatformModel::get(config.platform);
     SimScheduler scheduler(platform);
+    scheduler.setMetrics(metrics.get());
+    scheduler.setPhonebook(&phonebook);
+    if (sink)
+        scheduler.setTraceSink(sink);
     scheduler.addPlugin(&camera);
     scheduler.addPlugin(&imu);
     scheduler.addPlugin(&vio);
@@ -100,6 +111,18 @@ runIntegrated(const IntegratedConfig &config)
     result.mtp =
         computeMtp(scheduler.stats("timewarp"), timewarp.imuAgesMs(),
                    vsync);
+
+    result.lineage_stages = {topics::kCamera, topics::kImu,
+                             topics::kSlowPose, topics::kFastPose,
+                             topics::kSubmittedFrame};
+    if (sink) {
+        result.trace = sink;
+        result.lineage_mtp = computeLineageMtp(
+            *sink, vsync, topics::kDisplayFrame, result.lineage_stages);
+    }
+    result.metrics = metrics;
+    metrics->gauge("run.cpu_utilization").set(scheduler.cpuUtilization());
+    metrics->gauge("run.gpu_utilization").set(scheduler.gpuUtilization());
 
     result.utilization.cpu = scheduler.cpuUtilization();
     result.utilization.gpu = scheduler.gpuUtilization();

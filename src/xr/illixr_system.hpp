@@ -13,6 +13,8 @@
 #include "render/scenes.hpp"
 #include "runtime/sim_scheduler.hpp"
 #include "sensors/dataset.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace.hpp"
 
 #include <map>
 #include <memory>
@@ -34,6 +36,8 @@ struct IntegratedConfig
     bool evaluate_qoe = false;        ///< Offline Table V pass.
     /** QoE-driven dynamic eye-buffer scaling (paper §V-D demo). */
     bool adaptive_resolution = false;
+    /** Record spans + frame lineage into IntegratedResult::trace. */
+    bool trace = true;
 };
 
 /** Everything the benches need from one run. */
@@ -50,6 +54,18 @@ struct IntegratedResult
 
     /** Motion-to-photon latency series (§III-E). */
     MtpSeries mtp;
+
+    /** Lineage-derived MTP breakdown (empty when !config.trace). */
+    LineageMtp lineage_mtp;
+
+    /** Full causal trace of the run (null when !config.trace). */
+    std::shared_ptr<TraceSink> trace;
+
+    /** Per-run metric registry (task counters/histograms). */
+    std::shared_ptr<MetricsRegistry> metrics;
+
+    /** Stage topics used for the lineage queries, pipeline order. */
+    std::vector<std::string> lineage_stages;
 
     /** Power model outputs (Fig 6). */
     PowerBreakdown power;

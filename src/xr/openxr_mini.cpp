@@ -6,7 +6,11 @@ namespace illixr {
 
 XrSession::XrSession(std::shared_ptr<Switchboard> switchboard,
                      double ipd_m, Duration vsync)
-    : switchboard_(std::move(switchboard)), ipd_(ipd_m), vsync_(vsync)
+    : fastPoseReader_(
+          switchboard->asyncReader<PoseEvent>(topics::kFastPose)),
+      submittedWriter_(
+          switchboard->writer<StereoFrameEvent>(topics::kSubmittedFrame)),
+      ipd_(ipd_m), vsync_(vsync)
 {
 }
 
@@ -35,7 +39,7 @@ std::array<XrView, 2>
 XrSession::locateViews(TimePoint display_time) const
 {
     Pose head = Pose::identity();
-    if (auto pose = switchboard_->latest<PoseEvent>(topics::kFastPose)) {
+    if (auto pose = fastPoseReader_.latest()) {
         head = pose->state.pose();
         // First-order prediction toward the display time using the
         // integrator's velocity (§II-A footnote 3).
@@ -55,7 +59,7 @@ XrSession::endFrame(StereoFrame frame, TimePoint now)
     auto event = makeEvent<StereoFrameEvent>();
     event->time = now;
     event->frame = std::move(frame);
-    switchboard_->publish(topics::kSubmittedFrame, event);
+    submittedWriter_.put(std::move(event));
     ++submitted_;
 }
 

@@ -17,6 +17,7 @@
 #include "foundation/pose.hpp"
 #include "render/app.hpp"
 #include "runtime/switchboard.hpp"
+#include "xr/events.hpp"
 
 #include <array>
 #include <memory>
@@ -82,7 +83,8 @@ class XrSession
     std::size_t submittedFrames() const { return submitted_; }
 
   private:
-    std::shared_ptr<Switchboard> switchboard_;
+    Switchboard::AsyncReader<PoseEvent> fastPoseReader_;
+    Switchboard::Writer<StereoFrameEvent> submittedWriter_;
     double ipd_;
     Duration vsync_;
     XrSessionState state_ = XrSessionState::Idle;

@@ -22,8 +22,9 @@ PreloadedDataset::PreloadedDataset(const DatasetConfig &config,
 // ---------------------------------------------------------------- Camera
 
 CameraPlugin::CameraPlugin(const Phonebook &pb, const SystemTuning &tuning)
-    : Plugin("camera"), tuning_(tuning),
-      sb_(pb.lookup<Switchboard>()), data_(pb.lookup<PreloadedDataset>())
+    : Plugin("camera"), tuning_(tuning), data_(pb.lookup<PreloadedDataset>()),
+      cameraWriter_(
+          pb.lookup<Switchboard>()->writer<CameraFrameEvent>(topics::kCamera))
 {
 }
 
@@ -47,7 +48,7 @@ CameraPlugin::iterate(TimePoint now)
             for (int x = 0; x < event->image.width(); ++x)
                 event->image.at(x, y) =
                     std::min(1.0f, event->image.at(x, y) * 1.0f);
-        sb_->publish(topics::kCamera, event);
+        cameraWriter_.put(std::move(event));
         ++next_;
     }
 }
@@ -55,8 +56,8 @@ CameraPlugin::iterate(TimePoint now)
 // ------------------------------------------------------------------- IMU
 
 ImuPlugin::ImuPlugin(const Phonebook &pb, const SystemTuning &tuning)
-    : Plugin("imu"), tuning_(tuning), sb_(pb.lookup<Switchboard>()),
-      data_(pb.lookup<PreloadedDataset>())
+    : Plugin("imu"), tuning_(tuning), data_(pb.lookup<PreloadedDataset>()),
+      imuWriter_(pb.lookup<Switchboard>()->writer<ImuEvent>(topics::kImu))
 {
 }
 
@@ -68,7 +69,7 @@ ImuPlugin::iterate(TimePoint now)
         auto event = makeEvent<ImuEvent>();
         event->time = data_->imu_samples[next_].time;
         event->sample = data_->imu_samples[next_];
-        sb_->publish(topics::kImu, event);
+        imuWriter_.put(std::move(event));
         ++next_;
     }
 }
@@ -76,10 +77,12 @@ ImuPlugin::iterate(TimePoint now)
 // ------------------------------------------------------------------- VIO
 
 VioPlugin::VioPlugin(const Phonebook &pb, const SystemTuning &tuning)
-    : Plugin("vio"), tuning_(tuning), sb_(pb.lookup<Switchboard>()),
-      data_(pb.lookup<PreloadedDataset>()),
-      cameraReader_(sb_->subscribe(topics::kCamera)),
-      imuReader_(sb_->subscribe(topics::kImu))
+    : Plugin("vio"), tuning_(tuning), data_(pb.lookup<PreloadedDataset>()),
+      cameraReader_(
+          pb.lookup<Switchboard>()->reader<CameraFrameEvent>(topics::kCamera)),
+      imuReader_(pb.lookup<Switchboard>()->reader<ImuEvent>(topics::kImu)),
+      slowPoseWriter_(
+          pb.lookup<Switchboard>()->writer<PoseEvent>(topics::kSlowPose))
 {
     MsckfParams params;
     params.imu_noise = data_->dataset.config().imu_noise;
@@ -107,20 +110,15 @@ VioPlugin::iterate(TimePoint now)
     }
 
     // Drain IMU stream into the filter.
-    while (EventPtr e = imuReader_->pop()) {
-        if (auto imu = std::dynamic_pointer_cast<const ImuEvent>(e))
-            vio_->addImu(imu->sample);
-    }
+    while (auto imu = imuReader_.pop())
+        vio_->addImu(imu->sample);
     // Process every pending camera frame (normally one).
-    while (EventPtr e = cameraReader_->pop()) {
-        auto cam = std::dynamic_pointer_cast<const CameraFrameEvent>(e);
-        if (!cam)
-            continue;
+    while (auto cam = cameraReader_.pop()) {
         const ImuState &state = vio_->processFrame(cam->time, cam->image);
         auto out = makeEvent<PoseEvent>();
         out->time = cam->time;
         out->state = state;
-        sb_->publish(topics::kSlowPose, out);
+        slowPoseWriter_.put(std::move(out));
         trajectory_.push_back({cam->time, state.pose()});
     }
 }
@@ -131,8 +129,11 @@ IntegratorPlugin::IntegratorPlugin(const Phonebook &pb,
                                    const SystemTuning &tuning,
                                    const std::string &method)
     : Plugin("integrator"), tuning_(tuning),
-      sb_(pb.lookup<Switchboard>()),
-      imuReader_(sb_->subscribe(topics::kImu)),
+      imuReader_(pb.lookup<Switchboard>()->reader<ImuEvent>(topics::kImu)),
+      slowPoseReader_(
+          pb.lookup<Switchboard>()->asyncReader<PoseEvent>(topics::kSlowPose)),
+      fastPoseWriter_(
+          pb.lookup<Switchboard>()->writer<PoseEvent>(topics::kFastPose)),
       integrator_(makePoseIntegrator(method))
 {
 }
@@ -141,22 +142,20 @@ void
 IntegratorPlugin::iterate(TimePoint now)
 {
     // Re-base onto the newest VIO estimate when one arrives.
-    if (auto slow = sb_->latest<PoseEvent>(topics::kSlowPose)) {
+    if (auto slow = slowPoseReader_.latest()) {
         if (slow->time > lastCorrection_) {
             integrator_->correct(slow->state);
             lastCorrection_ = slow->time;
         }
     }
-    while (EventPtr e = imuReader_->pop()) {
-        if (auto imu = std::dynamic_pointer_cast<const ImuEvent>(e))
-            integrator_->addSample(imu->sample);
-    }
+    while (auto imu = imuReader_.pop())
+        integrator_->addSample(imu->sample);
     if (!integrator_->initialized())
         return;
     auto out = makeEvent<PoseEvent>();
     out->time = now;
     out->state = integrator_->state();
-    sb_->publish(topics::kFastPose, out);
+    fastPoseWriter_.put(std::move(out));
 }
 
 // ------------------------------------------------------------ Application
@@ -238,7 +237,15 @@ ApplicationPlugin::iterate(TimePoint now)
 TimewarpPlugin::TimewarpPlugin(const Phonebook &pb,
                                const SystemTuning &tuning,
                                const TimewarpParams &params)
-    : Plugin("timewarp"), tuning_(tuning), sb_(pb.lookup<Switchboard>()),
+    : Plugin("timewarp"), tuning_(tuning),
+      submittedReader_(pb.lookup<Switchboard>()->asyncReader<StereoFrameEvent>(
+          topics::kSubmittedFrame)),
+      fastPoseReader_(
+          pb.lookup<Switchboard>()->asyncReader<PoseEvent>(topics::kFastPose)),
+      qoeWriter_(pb.lookup<Switchboard>()->writer<QoeFeedbackEvent>(
+          topics::kQoeFeedback)),
+      displayWriter_(pb.lookup<Switchboard>()->writer<DisplayFrameEvent>(
+          topics::kDisplayFrame)),
       warp_(params)
 {
 }
@@ -246,9 +253,8 @@ TimewarpPlugin::TimewarpPlugin(const Phonebook &pb,
 void
 TimewarpPlugin::iterate(TimePoint now)
 {
-    auto submitted =
-        sb_->latest<StereoFrameEvent>(topics::kSubmittedFrame);
-    auto fast = sb_->latest<PoseEvent>(topics::kFastPose);
+    auto submitted = submittedReader_.latest();
+    auto fast = fastPoseReader_.latest();
     if (!submitted) {
         imuAges_.push_back(0.0);
         return;
@@ -267,7 +273,7 @@ TimewarpPlugin::iterate(TimePoint now)
     auto feedback = makeEvent<QoeFeedbackEvent>();
     feedback->time = now;
     feedback->stale_intervals = std::max(0, age_intervals - 1);
-    sb_->publish(topics::kQoeFeedback, feedback);
+    qoeWriter_.put(std::move(feedback));
 
     Pose fresh = submitted->frame.render_pose;
     double imu_age_ms = 0.0;
@@ -285,7 +291,7 @@ TimewarpPlugin::iterate(TimePoint now)
                                 submitted->frame.render_pose, fresh);
     out->right = warp_.reproject(submitted->frame.right,
                                  submitted->frame.render_pose, fresh);
-    sb_->publish(topics::kDisplayFrame, out);
+    displayWriter_.put(std::move(out));
 }
 
 // ---------------------------------------------------------- Audio encode
@@ -293,7 +299,9 @@ TimewarpPlugin::iterate(TimePoint now)
 AudioEncoderPlugin::AudioEncoderPlugin(const Phonebook &pb,
                                        const SystemTuning &tuning)
     : Plugin("audio_encoding"), tuning_(tuning),
-      sb_(pb.lookup<Switchboard>()), encoder_(tuning.audio_block)
+      soundfieldWriter_(pb.lookup<Switchboard>()->writer<SoundfieldEvent>(
+          topics::kSoundfield)),
+      encoder_(tuning.audio_block)
 {
     // Two positioned sources (the paper's lecture + radio clips).
     AudioSource lecture;
@@ -317,7 +325,7 @@ AudioEncoderPlugin::iterate(TimePoint now)
     event->block_index = block_;
     event->field = encoder_.encodeBlock(block_);
     ++block_;
-    sb_->publish(topics::kSoundfield, event);
+    soundfieldWriter_.put(std::move(event));
 }
 
 // -------------------------------------------------------- Audio playback
@@ -325,7 +333,12 @@ AudioEncoderPlugin::iterate(TimePoint now)
 AudioPlaybackPlugin::AudioPlaybackPlugin(const Phonebook &pb,
                                          const SystemTuning &tuning)
     : Plugin("audio_playback"), tuning_(tuning),
-      sb_(pb.lookup<Switchboard>()),
+      soundfieldReader_(pb.lookup<Switchboard>()->asyncReader<SoundfieldEvent>(
+          topics::kSoundfield)),
+      fastPoseReader_(
+          pb.lookup<Switchboard>()->asyncReader<PoseEvent>(topics::kFastPose)),
+      stereoWriter_(pb.lookup<Switchboard>()->writer<StereoAudioEvent>(
+          topics::kStereoAudio)),
       playback_(tuning.audio_block, 48000.0)
 {
 }
@@ -333,11 +346,11 @@ AudioPlaybackPlugin::AudioPlaybackPlugin(const Phonebook &pb,
 void
 AudioPlaybackPlugin::iterate(TimePoint now)
 {
-    auto field = sb_->latest<SoundfieldEvent>(topics::kSoundfield);
+    auto field = soundfieldReader_.latest();
     if (!field)
         return;
     Quat head = Quat::identity();
-    if (auto fast = sb_->latest<PoseEvent>(topics::kFastPose))
+    if (auto fast = fastPoseReader_.latest())
         head = fast->state.orientation;
     const StereoBlock block = playback_.processBlock(field->field, head);
 
@@ -345,7 +358,7 @@ AudioPlaybackPlugin::iterate(TimePoint now)
     out->time = now;
     out->left = block.left;
     out->right = block.right;
-    sb_->publish(topics::kStereoAudio, out);
+    stereoWriter_.put(std::move(out));
 }
 
 // ------------------------------------------------------------ Registry

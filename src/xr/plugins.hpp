@@ -68,8 +68,8 @@ class CameraPlugin : public Plugin
 
   private:
     SystemTuning tuning_;
-    std::shared_ptr<Switchboard> sb_;
     std::shared_ptr<PreloadedDataset> data_;
+    Switchboard::Writer<CameraFrameEvent> cameraWriter_;
     std::size_t next_ = 0;
 };
 
@@ -87,8 +87,8 @@ class ImuPlugin : public Plugin
 
   private:
     SystemTuning tuning_;
-    std::shared_ptr<Switchboard> sb_;
     std::shared_ptr<PreloadedDataset> data_;
+    Switchboard::Writer<ImuEvent> imuWriter_;
     std::size_t next_ = 0;
 };
 
@@ -111,10 +111,10 @@ class VioPlugin : public Plugin
 
   private:
     SystemTuning tuning_;
-    std::shared_ptr<Switchboard> sb_;
     std::shared_ptr<PreloadedDataset> data_;
-    std::shared_ptr<SyncReader> cameraReader_;
-    std::shared_ptr<SyncReader> imuReader_;
+    Switchboard::Reader<CameraFrameEvent> cameraReader_;
+    Switchboard::Reader<ImuEvent> imuReader_;
+    Switchboard::Writer<PoseEvent> slowPoseWriter_;
     std::unique_ptr<VioSystem> vio_;
     std::vector<StampedPose> trajectory_;
     bool initialized_ = false;
@@ -142,8 +142,9 @@ class IntegratorPlugin : public Plugin
 
   private:
     SystemTuning tuning_;
-    std::shared_ptr<Switchboard> sb_;
-    std::shared_ptr<SyncReader> imuReader_;
+    Switchboard::Reader<ImuEvent> imuReader_;
+    Switchboard::AsyncReader<PoseEvent> slowPoseReader_;
+    Switchboard::Writer<PoseEvent> fastPoseWriter_;
     std::unique_ptr<PoseIntegrator> integrator_;
     TimePoint lastCorrection_ = -1;
 };
@@ -209,7 +210,10 @@ class TimewarpPlugin : public Plugin
 
   private:
     SystemTuning tuning_;
-    std::shared_ptr<Switchboard> sb_;
+    Switchboard::AsyncReader<StereoFrameEvent> submittedReader_;
+    Switchboard::AsyncReader<PoseEvent> fastPoseReader_;
+    Switchboard::Writer<QoeFeedbackEvent> qoeWriter_;
+    Switchboard::Writer<DisplayFrameEvent> displayWriter_;
     Timewarp warp_;
     std::vector<double> imuAges_;
     TimePoint lastSubmittedTime_ = -1;
@@ -229,7 +233,7 @@ class AudioEncoderPlugin : public Plugin
 
   private:
     SystemTuning tuning_;
-    std::shared_ptr<Switchboard> sb_;
+    Switchboard::Writer<SoundfieldEvent> soundfieldWriter_;
     AudioEncoder encoder_;
     std::size_t block_ = 0;
 };
@@ -247,7 +251,9 @@ class AudioPlaybackPlugin : public Plugin
 
   private:
     SystemTuning tuning_;
-    std::shared_ptr<Switchboard> sb_;
+    Switchboard::AsyncReader<SoundfieldEvent> soundfieldReader_;
+    Switchboard::AsyncReader<PoseEvent> fastPoseReader_;
+    Switchboard::Writer<StereoAudioEvent> stereoWriter_;
     AudioPlayback playback_;
 };
 

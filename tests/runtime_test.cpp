@@ -251,6 +251,129 @@ TEST(RtExecutorTest, RunsPluginsLive)
     // ~24 iterations expected; allow generous slack for CI noise.
     EXPECT_GE(exec.iterations("fast"), 8u);
     EXPECT_LE(exec.iterations("fast"), 40u);
+    // The Executor-interface stats mirror the iteration counter.
+    EXPECT_EQ(exec.stats("fast").invocations, exec.iterations("fast"));
+    EXPECT_EQ(exec.taskNames().size(), 1u);
+    EXPECT_STREQ(exec.timeline(), "wall");
+}
+
+TEST(SwitchboardTest, TypedHandlesRoundTrip)
+{
+    Switchboard sb;
+    auto writer = sb.writer<IntEvent>("t");
+    auto reader = sb.reader<IntEvent>("t", 8);
+    auto peek = sb.asyncReader<IntEvent>("t");
+
+    for (int i = 0; i < 3; ++i) {
+        auto e = makeEvent<IntEvent>();
+        e->value = i;
+        writer.put(std::move(e));
+    }
+    EXPECT_EQ(peek.latest()->value, 2);
+    EXPECT_EQ(reader.latest()->value, 2);
+    for (int i = 0; i < 3; ++i) {
+        auto e = reader.pop();
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->value, i);
+    }
+    EXPECT_EQ(reader.pop(), nullptr);
+    EXPECT_EQ(reader.dropped(), 0u);
+}
+
+TEST(SwitchboardTest, TypedHandlesInteroperateWithStringShims)
+{
+    Switchboard sb;
+    // Topic first touched through the deprecated string API...
+    sb.publish("t", makeEvent<IntEvent>());
+    // ...is the same topic a typed handle interns afterwards.
+    auto reader = sb.asyncReader<IntEvent>("t");
+    ASSERT_NE(reader.latest(), nullptr);
+    auto writer = sb.writer<IntEvent>("t");
+    writer.put(makeEvent<IntEvent>());
+    EXPECT_EQ(sb.publishCount("t"), 2u);
+    EXPECT_NE(sb.latest<IntEvent>("t"), nullptr);
+}
+
+/** Plugin that logs its lifecycle transitions into a shared journal. */
+class LifecyclePlugin : public Plugin
+{
+  public:
+    LifecyclePlugin(std::string name, std::vector<std::string> *journal)
+        : Plugin(std::move(name)), journal_(journal)
+    {
+    }
+
+    void
+    start(const Phonebook &) override
+    {
+        journal_->push_back(name() + ":start");
+    }
+
+    void
+    stop() override
+    {
+        journal_->push_back(name() + ":stop");
+    }
+
+    void
+    iterate(TimePoint) override
+    {
+        if (!iterated_) {
+            journal_->push_back(name() + ":first_iterate");
+            iterated_ = true;
+        }
+    }
+
+    Duration period() const override { return 100 * kMillisecond; }
+
+  private:
+    std::vector<std::string> *journal_;
+    bool iterated_ = false;
+};
+
+TEST(ExecutorLifecycleTest, SimSchedulerStartsAndStopsPlugins)
+{
+    std::vector<std::string> journal;
+    LifecyclePlugin a("a", &journal);
+    LifecyclePlugin b("b", &journal);
+    SimScheduler sched(PlatformModel::get(PlatformId::Desktop));
+    sched.addPlugin(&a);
+    sched.addPlugin(&b);
+    sched.run(kSecond);
+    // start() in registration order, before any iterate(); stop() in
+    // reverse order after the run.
+    ASSERT_GE(journal.size(), 6u);
+    EXPECT_EQ(journal[0], "a:start");
+    EXPECT_EQ(journal[1], "b:start");
+    EXPECT_EQ(journal[journal.size() - 2], "b:stop");
+    EXPECT_EQ(journal.back(), "a:stop");
+}
+
+TEST(ExecutorLifecycleTest, RtExecutorRunIsStartSleepStop)
+{
+    std::vector<std::string> journal;
+    LifecyclePlugin a("a", &journal);
+    RtExecutor exec;
+    Executor &iface = exec; // The common interface drives both.
+    iface.addPlugin(&a);
+    iface.run(50 * kMillisecond);
+    ASSERT_GE(journal.size(), 3u);
+    EXPECT_EQ(journal.front(), "a:start");
+    EXPECT_EQ(journal[1], "a:first_iterate");
+    EXPECT_EQ(journal.back(), "a:stop");
+}
+
+TEST(ExecutorLifecycleTest, VsyncFallbackOnExecutorInterface)
+{
+    // Through the base interface, executors without late-latch
+    // scheduling treat vsync-aligned plugins as plain periodic.
+    std::vector<std::string> journal;
+    LifecyclePlugin a("a", &journal);
+    RtExecutor exec;
+    Executor &iface = exec;
+    iface.addVsyncAlignedPlugin(&a, periodFromHz(120.0));
+    iface.run(50 * kMillisecond);
+    EXPECT_GE(exec.iterations("a"), 1u);
 }
 
 } // namespace
