@@ -45,6 +45,10 @@ standardConfig(PlatformId platform, AppId app,
     cfg.platform = platform;
     cfg.app = app;
     cfg.duration = duration;
+    // Executor overrides (ILLIXR_EXECUTOR / ILLIXR_POOL_WORKERS /
+    // ILLIXR_DETERMINISTIC / ILLIXR_SEED) so every bench binary can
+    // switch executors without growing its own flags.
+    applyExecutorEnv(cfg);
     return cfg;
 }
 

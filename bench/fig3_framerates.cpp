@@ -10,16 +10,146 @@
  * pipeline for the heavier applications; on Jetson-LP only the audio
  * pipeline holds its target while the visual pipeline is severely
  * degraded.
+ *
+ * Flags: `--executor=sim|pool`, `--workers=N`, `--deterministic`,
+ * `--seed=N` select the executor of the integrated runs; `--live`
+ * instead runs a wall-clock aggregate-throughput comparison of the
+ * thread-per-plugin RtExecutor against the worker-pool PoolExecutor
+ * on a synthetic three-pipeline workload.
  */
 
 #include "bench_common.hpp"
 
+#include "foundation/profile.hpp"
+#include "runtime/pool_executor.hpp"
+#include "runtime/rt_executor.hpp"
+
 using namespace illixr;
 using namespace illixr::bench;
 
-int
-main()
+namespace {
+
+/** Busy-spin plugin for the live executor comparison. */
+class SpinPlugin : public Plugin
 {
+  public:
+    SpinPlugin(std::string name, Duration period, double busy_us)
+        : Plugin(std::move(name)), period_(period), busy_us_(busy_us)
+    {
+    }
+
+    void
+    iterate(TimePoint) override
+    {
+        const double deadline = hostTimeSeconds() + busy_us_ * 1e-6;
+        volatile double acc = 0.0;
+        while (hostTimeSeconds() < deadline)
+            acc += 1.0;
+        (void)acc;
+    }
+
+    Duration period() const override { return period_; }
+
+  private:
+    Duration period_;
+    double busy_us_;
+};
+
+/** The three pipelines at their Table III rate shapes. */
+std::vector<std::unique_ptr<SpinPlugin>>
+liveWorkload()
+{
+    std::vector<std::unique_ptr<SpinPlugin>> v;
+    v.push_back(
+        std::make_unique<SpinPlugin>("camera", periodFromHz(150), 120.0));
+    v.push_back(
+        std::make_unique<SpinPlugin>("vio", periodFromHz(150), 400.0));
+    v.push_back(std::make_unique<SpinPlugin>("integrator",
+                                             periodFromHz(400), 40.0));
+    v.push_back(std::make_unique<SpinPlugin>("application",
+                                             periodFromHz(120), 250.0));
+    v.push_back(std::make_unique<SpinPlugin>("timewarp",
+                                             periodFromHz(120), 120.0));
+    v.push_back(std::make_unique<SpinPlugin>("audio_encoding",
+                                             periodFromHz(96), 100.0));
+    v.push_back(std::make_unique<SpinPlugin>("audio_playback",
+                                             periodFromHz(96), 60.0));
+    return v;
+}
+
+double
+aggregateHz(ExecutorBase &executor,
+            std::vector<std::unique_ptr<SpinPlugin>> &plugins,
+            Duration wall)
+{
+    for (auto &p : plugins)
+        executor.addPlugin(p.get());
+    executor.run(wall);
+    std::size_t total = 0;
+    for (auto &p : plugins)
+        total += executor.stats(p->name()).invocations;
+    return static_cast<double>(total) / toSeconds(wall);
+}
+
+int
+runLiveComparison(std::size_t workers)
+{
+    banner("Live executor comparison: RtExecutor vs PoolExecutor",
+           "PoolExecutor tentpole acceptance (aggregate throughput)");
+    const Duration wall = 2 * kSecond;
+
+    auto rt_plugins = liveWorkload();
+    RtExecutor rt;
+    const double rt_hz = aggregateHz(rt, rt_plugins, wall);
+
+    auto pool_plugins = liveWorkload();
+    PoolExecutorConfig pool_cfg;
+    pool_cfg.workers = workers;
+    PoolExecutor pool(pool_cfg);
+    const double pool_hz = aggregateHz(pool, pool_plugins, wall);
+
+    TextTable table;
+    table.setHeader({"executor", "threads", "aggregate(Hz)"});
+    table.addRow({"rt (thread-per-plugin)",
+                  std::to_string(rt_plugins.size()),
+                  TextTable::num(rt_hz, 1)});
+    table.addRow({"pool", std::to_string(workers),
+                  TextTable::num(pool_hz, 1)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("pool/rt aggregate throughput: %.2fx (host cores: %u)\n",
+                rt_hz > 0.0 ? pool_hz / rt_hz : 0.0,
+                std::thread::hardware_concurrency());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool live = false;
+    std::vector<std::string> executor_flags;
+    IntegratedConfig opt; // Accumulates executor flag values.
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--live") {
+            live = true;
+            continue;
+        }
+        if (parseExecutorFlag(arg, opt)) {
+            executor_flags.push_back(arg);
+            continue;
+        }
+        std::fprintf(stderr,
+                     "unknown flag: %s\nusage: fig3_framerates "
+                     "[--executor=sim|pool] [--workers=N] "
+                     "[--deterministic] [--seed=N] [--live]\n",
+                     arg.c_str());
+        return 2;
+    }
+    if (live)
+        return runLiveComparison(opt.pool_workers);
+
     banner("Figure 3: per-component frame rates",
            "Fig 3 (a)-(c), §IV-A1");
 
@@ -37,8 +167,12 @@ main()
 
         // One run per application on this platform.
         std::vector<IntegratedResult> results;
-        for (AppId app : kApps)
-            results.push_back(runIntegrated(standardConfig(platform, app)));
+        for (AppId app : kApps) {
+            IntegratedConfig cfg = standardConfig(platform, app);
+            for (const std::string &flag : executor_flags)
+                parseExecutorFlag(flag, cfg); // Flags beat env.
+            results.push_back(runIntegrated(cfg));
+        }
 
         for (const std::string &component : components) {
             std::vector<std::string> row = {

@@ -1,25 +1,52 @@
 /**
  * @file
- * Live-runtime example: runs the plugin set on the *real-threaded*
- * executor (one thread per plugin, wall-clock periods) instead of
- * the discrete-event scheduler — the §II-B "live system" mode of the
- * runtime, demonstrated for two wall-clock seconds with the sparse
- * AR application.
+ * Live-runtime example: runs the plugin set on a *live* executor
+ * (wall-clock periods) instead of the discrete-event scheduler — the
+ * §II-B "live system" mode of the runtime, demonstrated for two
+ * wall-clock seconds with the sparse AR application.
+ *
+ * `--executor=rt` (default) uses the thread-per-plugin RtExecutor;
+ * `--executor=pool` uses the worker-pool PoolExecutor, with
+ * `--workers=N` selecting the pool size.
  */
 
+#include "runtime/pool_executor.hpp"
 #include "runtime/rt_executor.hpp"
 #include "trace/trace.hpp"
 #include "xr/plugins.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace illixr;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Live AR demo on the real-threaded runtime "
-                "(2 s wall clock)\n\n");
+    bool use_pool = false;
+    std::size_t workers = 4;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--executor=rt") {
+            use_pool = false;
+        } else if (arg == "--executor=pool") {
+            use_pool = true;
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            workers = static_cast<std::size_t>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+            if (workers == 0)
+                workers = 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: ar_demo_live [--executor=rt|pool] "
+                         "[--workers=N]\n");
+            return 2;
+        }
+    }
+
+    std::printf("Live AR demo on the %s runtime (2 s wall clock)\n\n",
+                use_pool ? "worker-pool" : "real-threaded");
 
     // Services.
     Phonebook phonebook;
@@ -51,13 +78,19 @@ main()
     AudioEncoderPlugin audio_enc(phonebook, tuning);
     AudioPlaybackPlugin audio_play(phonebook, tuning);
 
-    // Both runtimes implement the Executor interface; this example
-    // drives the real-threaded one through it, with the same trace
-    // sink the discrete-event scheduler uses (wall-clock spans).
+    // All executors implement the Executor interface; this example
+    // drives a live one through it, with the same trace sink the
+    // discrete-event scheduler uses (wall-clock spans).
     auto sink = std::make_shared<TraceSink>();
     switchboard->setTraceSink(sink);
 
-    RtExecutor executor;
+    RtExecutor rt_executor;
+    PoolExecutorConfig pool_cfg;
+    pool_cfg.workers = workers;
+    PoolExecutor pool_executor(pool_cfg);
+    ExecutorBase &executor =
+        use_pool ? static_cast<ExecutorBase &>(pool_executor)
+                 : static_cast<ExecutorBase &>(rt_executor);
     Executor &exec = executor;
     executor.setTraceSink(sink);
     executor.setPhonebook(&phonebook);

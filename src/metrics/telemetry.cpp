@@ -20,6 +20,26 @@ writeSeriesCsv(const SampleSeries &series, const std::string &path,
     return true;
 }
 
+bool
+writePoseCsv(const std::vector<StampedPose> &trajectory,
+             const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "time_ns,px,py,pz,qw,qx,qy,qz\n");
+    for (const StampedPose &sp : trajectory) {
+        const Pose &p = sp.pose;
+        std::fprintf(f,
+                     "%lld,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                     static_cast<long long>(sp.time), p.position.x,
+                     p.position.y, p.position.z, p.orientation.w,
+                     p.orientation.x, p.orientation.y, p.orientation.z);
+    }
+    std::fclose(f);
+    return true;
+}
+
 void
 TextTable::setHeader(const std::vector<std::string> &header)
 {

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include "foundation/pose.hpp"
 #include "foundation/stats.hpp"
 
 #include <string>
@@ -17,6 +18,16 @@ namespace illixr {
 /** Write one series as CSV (index,value). @return success. */
 bool writeSeriesCsv(const SampleSeries &series, const std::string &path,
                     const std::string &value_name = "value");
+
+/**
+ * Write a stamped trajectory as CSV
+ * (`time_ns,px,py,pz,qw,qx,qy,qz`), with fixed 17-significant-digit
+ * formatting so equal poses always serialize to equal bytes (the
+ * deterministic-replay golden tests diff these files directly).
+ * @return success.
+ */
+bool writePoseCsv(const std::vector<StampedPose> &trajectory,
+                  const std::string &path);
 
 /**
  * Fixed-width text table (printed by every bench binary).

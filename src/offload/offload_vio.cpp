@@ -2,6 +2,7 @@
 
 #include "foundation/profile.hpp"
 #include "metrics/mtp.hpp"
+#include "runtime/pool_executor.hpp"
 #include "xr/illixr_system.hpp"
 
 namespace illixr {
@@ -131,29 +132,43 @@ runIntegratedOffloaded(const IntegratedConfig &config,
     AudioPlaybackPlugin audio_play(phonebook, tuning);
 
     const PlatformModel platform = PlatformModel::get(config.platform);
-    SimScheduler scheduler(platform);
-    scheduler.setMetrics(metrics.get());
-    scheduler.setPhonebook(&phonebook);
+    std::unique_ptr<SimScheduler> sim;
+    std::unique_ptr<PoolExecutor> pool;
+    ExecutorBase *executor = nullptr;
+    if (config.executor == ExecutorKind::Pool) {
+        PoolExecutorConfig pool_cfg;
+        pool_cfg.workers = config.pool_workers;
+        pool_cfg.deterministic = config.deterministic;
+        pool_cfg.seed = config.seed;
+        pool_cfg.platform = config.platform;
+        pool = std::make_unique<PoolExecutor>(pool_cfg);
+        executor = pool.get();
+    } else {
+        sim = std::make_unique<SimScheduler>(platform);
+        executor = sim.get();
+    }
+    executor->setMetrics(metrics.get());
+    executor->setPhonebook(&phonebook);
     if (sink)
-        scheduler.setTraceSink(sink);
-    scheduler.addPlugin(&camera);
-    scheduler.addPlugin(&imu);
-    scheduler.addPlugin(&vio);
-    scheduler.addPlugin(&integrator);
-    scheduler.addPlugin(&application);
+        executor->setTraceSink(sink);
+    executor->addPlugin(&camera);
+    executor->addPlugin(&imu);
+    executor->addPlugin(&vio);
+    executor->addPlugin(&integrator);
+    executor->addPlugin(&application);
     const Duration vsync = periodFromHz(tuning.display_hz);
-    scheduler.addVsyncAlignedPlugin(&timewarp, vsync);
-    scheduler.addPlugin(&audio_enc);
-    scheduler.addPlugin(&audio_play);
+    executor->addVsyncAlignedPlugin(&timewarp, vsync);
+    executor->addPlugin(&audio_enc);
+    executor->addPlugin(&audio_play);
 
-    scheduler.run(config.duration);
+    executor->run(config.duration);
 
     IntegratedResult result;
     result.config = config;
     result.vsync = vsync;
     double total_host = 0.0;
-    for (const std::string &name : scheduler.taskNames()) {
-        const TaskStats &stats = scheduler.stats(name);
+    for (const std::string &name : executor->taskNames()) {
+        const TaskStats &stats = executor->stats(name);
         result.tasks.emplace(name, stats);
         double host = 0.0;
         for (const InvocationRecord &rec : stats.records)
@@ -174,7 +189,7 @@ runIntegratedOffloaded(const IntegratedConfig &config,
     result.target_hz["audio_encoding"] = tuning.audio_hz;
     result.target_hz["audio_playback"] = tuning.audio_hz;
 
-    result.mtp = computeMtp(scheduler.stats("timewarp"),
+    result.mtp = computeMtp(executor->stats("timewarp"),
                             timewarp.imuAgesMs(), vsync);
     result.lineage_stages = {topics::kCamera, topics::kImu,
                              topics::kSlowPose, topics::kFastPose,
@@ -185,8 +200,10 @@ runIntegratedOffloaded(const IntegratedConfig &config,
             *sink, vsync, topics::kDisplayFrame, result.lineage_stages);
     }
     result.metrics = metrics;
-    result.utilization.cpu = scheduler.cpuUtilization();
-    result.utilization.gpu = scheduler.gpuUtilization();
+    result.utilization.cpu =
+        pool ? pool->cpuUtilization() : sim->cpuUtilization();
+    result.utilization.gpu =
+        pool ? pool->gpuUtilization() : sim->gpuUtilization();
     result.utilization.memory = std::min(
         1.0, 0.55 * result.utilization.gpu +
                  0.35 * result.utilization.cpu + 0.10);

@@ -1,0 +1,644 @@
+#include "runtime/pool_executor.hpp"
+
+#include "foundation/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace illixr {
+
+namespace {
+
+/** Non-skip plugins may burst to catch up, but never unboundedly. */
+constexpr int kMaxCatchupPeriods = 8;
+
+/** Modeled cost of an event-driven invocation (deterministic mode). */
+constexpr Duration kEventTaskNominal = kMillisecond;
+
+} // namespace
+
+const char *
+laneName(PipelineLane lane)
+{
+    switch (lane) {
+    case PipelineLane::Perception:
+        return "perception";
+    case PipelineLane::Visual:
+        return "visual";
+    case PipelineLane::Audio:
+        return "audio";
+    }
+    return "?";
+}
+
+PipelineLane
+laneForTask(const std::string &name)
+{
+    // The integrated system's component names (paper Table II /
+    // Fig 2). Unknown tasks land on the middle lane.
+    if (name == "camera" || name == "imu" || name == "vio" ||
+        name == "integrator" || name.find("vio") != std::string::npos ||
+        name.find("imu") != std::string::npos)
+        return PipelineLane::Perception;
+    if (name.find("audio") != std::string::npos)
+        return PipelineLane::Audio;
+    return PipelineLane::Visual;
+}
+
+PoolExecutor::PoolExecutor(PoolExecutorConfig config)
+    : config_(config), platform_(PlatformModel::get(config.platform))
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+}
+
+PoolExecutor::~PoolExecutor()
+{
+    stop();
+}
+
+void
+PoolExecutor::addEntry(Plugin *plugin, PipelineLane lane, Duration period,
+                       bool vsync_aligned, Duration vsync)
+{
+    auto entry = std::make_unique<Entry>();
+    entry->plugin = plugin;
+    entry->lane = lane;
+    entry->period = period;
+    entry->vsync_aligned = vsync_aligned;
+    entry->vsync = vsync;
+    entry->stats.name = plugin->name();
+    entry->stats.unit = plugin->execUnit();
+    entry->stats.period = period;
+    entry->metrics = internMetrics(entry->stats.name);
+    notePlugin(plugin);
+    entries_.push_back(std::move(entry));
+}
+
+void
+PoolExecutor::addPlugin(Plugin *plugin)
+{
+    addPlugin(plugin, laneForTask(plugin->name()));
+}
+
+void
+PoolExecutor::addPlugin(Plugin *plugin, PipelineLane lane)
+{
+    addEntry(plugin, lane, plugin->period(), false, 0);
+}
+
+void
+PoolExecutor::addVsyncAlignedPlugin(Plugin *plugin, Duration vsync)
+{
+    addEntry(plugin, laneForTask(plugin->name()), vsync, true, vsync);
+}
+
+void
+PoolExecutor::addEventDrivenPlugin(Plugin *plugin, PipelineLane lane,
+                                   Switchboard &sb,
+                                   const std::string &topic)
+{
+    addEntry(plugin, lane, 0, false, 0);
+    Entry *entry = entries_.back().get();
+    const std::size_t task_index = entries_.size() - 1;
+    entry->listener = sb.onPublish(
+        topic, [this, entry, task_index](const std::string &) {
+            if (config_.deterministic) {
+                std::lock_guard<std::mutex> lock(simWakeupMutex_);
+                simWakeups_.push_back(task_index);
+                return;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                // Coalesce bursts: one pending invocation, latest wins
+                // (the plugin reads the newest value when it runs).
+                entry->pending_events = 1;
+                entry->next_release = wallNs();
+            }
+            cv_.notify_one();
+        });
+}
+
+TimePoint
+PoolExecutor::wallNs() const
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+PoolExecutor::run(Duration duration)
+{
+    if (config_.deterministic) {
+        runVirtual(duration);
+        return;
+    }
+    start();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+    stop();
+    runDuration_ = duration;
+}
+
+void
+PoolExecutor::start()
+{
+    if (config_.deterministic || running_.exchange(true))
+        return;
+    startPlugins();
+    epoch_ = std::chrono::steady_clock::now();
+    if (metrics_) {
+        for (int lane = 0; lane < 3; ++lane)
+            laneDepth_[lane] = &metrics_->gauge(
+                std::string("pool.lane.") +
+                laneName(static_cast<PipelineLane>(lane)) + ".queue_depth");
+        workerInvocations_.clear();
+        for (std::size_t w = 0; w < config_.workers; ++w)
+            workerInvocations_.push_back(&metrics_->counter(
+                "pool.worker." + std::to_string(w + 1) + ".invocations"));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        busyCpu_ = 0;
+        busyGpu_ = 0;
+        for (auto &entry : entries_) {
+            entry->next_release = 0;
+            entry->pending_events = 0;
+            entry->in_flight = false;
+        }
+    }
+    for (std::size_t w = 0; w < config_.workers; ++w)
+        workers_.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+PoolExecutor::stop()
+{
+    if (config_.deterministic)
+        return;
+    // Raise the flag under the scheduling mutex so a worker between
+    // its running check and its wait cannot miss the broadcast, then
+    // release it: the joins below must never run while holding it
+    // (a parked worker needs the mutex to observe the flag and exit).
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_.exchange(false))
+            return;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+    stopPlugins();
+}
+
+PoolExecutor::Entry *
+PoolExecutor::pickDue(TimePoint now)
+{
+    Entry *best = nullptr;
+    for (auto &entry : entries_) {
+        if (entry->in_flight)
+            continue;
+        const bool due = entry->period > 0
+                             ? entry->next_release <= now
+                             : entry->pending_events > 0;
+        if (!due)
+            continue;
+        if (!best || entry->lane < best->lane ||
+            (entry->lane == best->lane &&
+             entry->next_release < best->next_release))
+            best = entry.get();
+    }
+    return best;
+}
+
+TimePoint
+PoolExecutor::earliestRelease() const
+{
+    TimePoint earliest = -1;
+    for (const auto &entry : entries_) {
+        if (entry->in_flight || entry->period <= 0)
+            continue;
+        if (earliest < 0 || entry->next_release < earliest)
+            earliest = entry->next_release;
+    }
+    return earliest;
+}
+
+void
+PoolExecutor::updateQueueGauges(TimePoint now)
+{
+    if (!laneDepth_[0])
+        return;
+    std::size_t depth[3] = {0, 0, 0};
+    for (const auto &entry : entries_) {
+        if (entry->in_flight)
+            continue;
+        const bool due = entry->period > 0
+                             ? entry->next_release <= now
+                             : entry->pending_events > 0;
+        if (due)
+            ++depth[static_cast<int>(entry->lane)];
+    }
+    for (int lane = 0; lane < 3; ++lane)
+        laneDepth_[lane]->set(static_cast<double>(depth[lane]));
+}
+
+void
+PoolExecutor::executeLive(Entry &entry, std::size_t worker_index,
+                          TimePoint release, TimePoint now)
+{
+    const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
+    TraceContext::beginInvocation(span_id, now);
+    const double t0 = hostTimeSeconds();
+    entry.plugin->iterate(now);
+    const double host_seconds =
+        hostTimeSeconds() - t0 - entry.plugin->consumeExcludedHostSeconds();
+    TraceContext::endInvocation();
+    const TimePoint done = wallNs();
+
+    entry.iterations.fetch_add(1);
+    if (entry.metrics.invocations)
+        entry.metrics.invocations->add();
+    if (entry.metrics.exec_ms)
+        entry.metrics.exec_ms->observe(toMilliseconds(done - now));
+    if (worker_index < workerInvocations_.size() &&
+        workerInvocations_[worker_index])
+        workerInvocations_[worker_index]->add();
+    if (sink_) {
+        Span span;
+        span.task = entry.stats.name;
+        span.unit = entry.plugin->execUnit();
+        span.arrival = release;
+        span.start = now;
+        span.completion = done;
+        span.host_seconds = host_seconds;
+        span.id = span_id;
+        span.worker = static_cast<std::uint32_t>(worker_index + 1);
+        sink_->recordSpan(std::move(span));
+    }
+
+    InvocationRecord rec;
+    rec.arrival = release;
+    rec.start = now;
+    rec.virtual_duration = done - now;
+    rec.completion = done;
+    rec.host_seconds = host_seconds;
+    if (entry.vsync_aligned && entry.vsync > 0)
+        rec.target_vsync =
+            ((now + entry.vsync - 1) / entry.vsync) * entry.vsync;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry.stats.records.push_back(rec);
+    entry.stats.exec_ms.add(toMilliseconds(done - now));
+    entry.stats.busy += done - now;
+    ++entry.stats.invocations;
+    if (entry.plugin->execUnit() == ExecUnit::Cpu)
+        busyCpu_ += done - now;
+    else
+        busyGpu_ += done - now;
+}
+
+void
+PoolExecutor::workerMain(std::size_t worker_index)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (running_.load()) {
+        const TimePoint now = wallNs();
+        Entry *entry = pickDue(now);
+        if (!entry) {
+            const TimePoint wake = earliestRelease();
+            updateQueueGauges(now);
+            if (wake < 0)
+                cv_.wait(lock);
+            else
+                cv_.wait_until(lock,
+                               epoch_ + std::chrono::nanoseconds(wake));
+            continue;
+        }
+
+        const TimePoint release = entry->next_release;
+        entry->in_flight = true;
+        if (entry->period <= 0)
+            entry->pending_events = 0;
+        updateQueueGauges(now);
+
+        lock.unlock();
+        executeLive(*entry, worker_index, release, now);
+        lock.lock();
+
+        entry->in_flight = false;
+        if (entry->period > 0) {
+            // Rate limit: exactly one invocation per period boundary.
+            const TimePoint after = wallNs();
+            entry->next_release += entry->period;
+            if (entry->next_release <= after) {
+                const bool skip = entry->plugin->skipOnOverrun();
+                const TimePoint behind =
+                    (after - entry->next_release) / entry->period;
+                if (skip || behind > kMaxCatchupPeriods) {
+                    // Drop the missed boundaries and realign.
+                    while (entry->next_release <= after) {
+                        ++entry->stats.skips;
+                        if (entry->metrics.skips)
+                            entry->metrics.skips->add();
+                        if (sink_)
+                            sink_->recordSkip(entry->stats.name, after,
+                                              SkipCause::Overrun);
+                        entry->next_release += entry->period;
+                    }
+                }
+                // else: a non-skip plugin catches up by running again
+                // immediately (bounded by kMaxCatchupPeriods).
+            }
+        }
+        // A slot changed: a sleeping worker may now have work.
+        cv_.notify_one();
+    }
+}
+
+// --------------------------------------------------- deterministic
+
+Duration
+PoolExecutor::modeledCost(const Entry &entry, std::size_t w)
+{
+    // Deterministic by construction: the cost is a seeded per-worker
+    // draw around a nominal fraction of the period, scaled by the
+    // platform — never the measured host time, which varies run to
+    // run.
+    const Duration nominal =
+        entry.period > 0 ? entry.period / 4 : kEventTaskNominal;
+    const double jitter = workerRng_[w].uniform(0.9, 1.1);
+    return platform_.scaleDuration(toSeconds(nominal) * jitter,
+                                   entry.plugin->execUnit());
+}
+
+double
+PoolExecutor::handoff(Entry &entry, std::size_t w, TimePoint arrival,
+                      std::uint64_t span_id)
+{
+    std::unique_lock<std::mutex> lock(handoffMutex_);
+    handoffEntry_ = &entry;
+    handoffWorker_ = w;
+    handoffArrival_ = arrival;
+    handoffSpan_ = span_id;
+    handoffDone_ = false;
+    handoffCv_.notify_all();
+    handoffCv_.wait(lock, [this] { return handoffDone_; });
+    handoffEntry_ = nullptr;
+    return handoffHostSeconds_;
+}
+
+void
+PoolExecutor::virtualWorkerMain(std::size_t worker_index)
+{
+    std::unique_lock<std::mutex> lock(handoffMutex_);
+    for (;;) {
+        handoffCv_.wait(lock, [this, worker_index] {
+            return shutdownWorkers_ ||
+                   (handoffEntry_ && handoffWorker_ == worker_index &&
+                    !handoffDone_);
+        });
+        if (shutdownWorkers_)
+            return;
+        Entry &entry = *handoffEntry_;
+        const TimePoint arrival = handoffArrival_;
+        const std::uint64_t span_id = handoffSpan_;
+        lock.unlock();
+
+        TraceContext::beginInvocation(span_id, arrival);
+        const double t0 = hostTimeSeconds();
+        entry.plugin->iterate(arrival);
+        const double host_seconds =
+            hostTimeSeconds() - t0 -
+            entry.plugin->consumeExcludedHostSeconds();
+        TraceContext::endInvocation();
+
+        lock.lock();
+        handoffHostSeconds_ = host_seconds;
+        handoffDone_ = true;
+        handoffCv_.notify_all();
+    }
+}
+
+void
+PoolExecutor::runVirtual(Duration duration)
+{
+    startPlugins();
+    runDuration_ = duration;
+    busyCpu_ = 0;
+    busyGpu_ = 0;
+
+    if (metrics_) {
+        for (int lane = 0; lane < 3; ++lane)
+            laneDepth_[lane] = &metrics_->gauge(
+                std::string("pool.lane.") +
+                laneName(static_cast<PipelineLane>(lane)) + ".queue_depth");
+        workerInvocations_.clear();
+        for (std::size_t w = 0; w < config_.workers; ++w)
+            workerInvocations_.push_back(&metrics_->counter(
+                "pool.worker." + std::to_string(w + 1) + ".invocations"));
+    }
+
+    // Seed one Rng stream per worker; identical seeds give identical
+    // draws, making the whole timeline a pure function of the seed.
+    workerRng_.clear();
+    for (std::size_t w = 0; w < config_.workers; ++w)
+        workerRng_.emplace_back(config_.seed * 0x9e3779b97f4a7c15ULL +
+                                w + 1);
+
+    shutdownWorkers_ = false;
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < config_.workers; ++w)
+        workers.emplace_back([this, w] { virtualWorkerMain(w); });
+
+    std::priority_queue<SimEvent, std::vector<SimEvent>,
+                        std::greater<SimEvent>>
+        queue;
+    std::uint64_t seq = 0;
+    std::vector<TimePoint> workerFreeAt(config_.workers, 0);
+
+    auto pushArrival = [&queue, &seq, this](std::size_t task, TimePoint t) {
+        queue.push(SimEvent{t, static_cast<int>(entries_[task]->lane),
+                            seq++, 0, task});
+    };
+
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i]->period > 0)
+            pushArrival(i, 0);
+    }
+
+    while (!queue.empty()) {
+        const SimEvent ev = queue.top();
+        queue.pop();
+        if (ev.time > duration)
+            break;
+        Entry &entry = *entries_[ev.task];
+
+        if (ev.type == 1) { // Completion frees the plugin's slot.
+            entry.sim_running = false;
+            continue;
+        }
+
+        // Arrival.
+        if (entry.sim_running && entry.plugin->skipOnOverrun()) {
+            ++entry.stats.skips;
+            if (entry.metrics.skips)
+                entry.metrics.skips->add();
+            if (sink_)
+                sink_->recordSkip(entry.stats.name, ev.time,
+                                  SkipCause::Overrun);
+        } else {
+            // Dispatch to the earliest-free worker (ties to the
+            // lowest index): deterministic assignment.
+            std::size_t w = 0;
+            for (std::size_t i = 1; i < workerFreeAt.size(); ++i) {
+                if (workerFreeAt[i] < workerFreeAt[w])
+                    w = i;
+            }
+
+            const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
+            const double host_seconds =
+                handoff(entry, w, ev.time, span_id);
+
+            const Duration vdur = modeledCost(entry, w);
+            const TimePoint start = std::max(ev.time, workerFreeAt[w]);
+            const TimePoint completion = start + vdur;
+            workerFreeAt[w] = completion;
+            entry.sim_running = true;
+            queue.push(SimEvent{completion, static_cast<int>(entry.lane),
+                                seq++, 1, ev.task});
+
+            InvocationRecord rec;
+            rec.arrival = ev.time;
+            rec.start = start;
+            rec.virtual_duration = vdur;
+            rec.completion = completion;
+            rec.host_seconds = host_seconds;
+            if (entry.vsync_aligned && entry.vsync > 0)
+                rec.target_vsync =
+                    ((ev.time + entry.vsync - 1) / entry.vsync) *
+                    entry.vsync;
+            entry.stats.records.push_back(rec);
+            entry.stats.exec_ms.add(toMilliseconds(vdur));
+            entry.stats.busy += vdur;
+            ++entry.stats.invocations;
+            entry.iterations.fetch_add(1);
+            if (entry.plugin->execUnit() == ExecUnit::Cpu)
+                busyCpu_ += vdur;
+            else
+                busyGpu_ += vdur;
+
+            if (entry.metrics.invocations)
+                entry.metrics.invocations->add();
+            if (entry.metrics.exec_ms)
+                entry.metrics.exec_ms->observe(toMilliseconds(vdur));
+            if (workerInvocations_.size() > w && workerInvocations_[w])
+                workerInvocations_[w]->add();
+            if (sink_) {
+                Span span;
+                span.task = entry.stats.name;
+                span.unit = entry.plugin->execUnit();
+                span.arrival = ev.time;
+                span.start = start;
+                span.completion = completion;
+                span.host_seconds = host_seconds;
+                span.id = span_id;
+                span.worker = static_cast<std::uint32_t>(w + 1);
+                sink_->recordSpan(std::move(span));
+            }
+        }
+
+        // Topic wakeups raised by the invocation become arrivals at
+        // the current virtual time, in publish order.
+        {
+            std::lock_guard<std::mutex> wlock(simWakeupMutex_);
+            for (std::size_t task : simWakeups_)
+                pushArrival(task, ev.time);
+            simWakeups_.clear();
+        }
+
+        if (entry.period > 0)
+            pushArrival(ev.task, ev.time + entry.period);
+
+        if (laneDepth_[0]) {
+            // Ready-queue depth per lane at this virtual instant.
+            std::size_t depth[3] = {0, 0, 0};
+            // (The priority queue is opaque; approximate with the
+            // number of plugins whose slot is occupied — the quantity
+            // the figure-level gauges track is backlog, not arrivals.)
+            for (const auto &e : entries_)
+                if (e->sim_running)
+                    ++depth[static_cast<int>(e->lane)];
+            for (int lane = 0; lane < 3; ++lane)
+                laneDepth_[lane]->set(static_cast<double>(depth[lane]));
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(handoffMutex_);
+        shutdownWorkers_ = true;
+    }
+    handoffCv_.notify_all();
+    for (std::thread &t : workers) {
+        if (t.joinable())
+            t.join();
+    }
+    stopPlugins();
+}
+
+// ---------------------------------------------------------- stats
+
+std::size_t
+PoolExecutor::iterations(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry->stats.name == name)
+            return entry->iterations.load();
+    }
+    return 0;
+}
+
+const TaskStats &
+PoolExecutor::stats(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry->stats.name == name) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            return entry->stats;
+        }
+    }
+    throw std::out_of_range("no such task: " + name);
+}
+
+std::vector<std::string>
+PoolExecutor::taskNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        names.push_back(entry->stats.name);
+    return names;
+}
+
+double
+PoolExecutor::cpuUtilization() const
+{
+    if (runDuration_ <= 0 || config_.workers == 0)
+        return 0.0;
+    return toSeconds(busyCpu_) /
+           (toSeconds(runDuration_) * static_cast<double>(config_.workers));
+}
+
+double
+PoolExecutor::gpuUtilization() const
+{
+    if (runDuration_ <= 0)
+        return 0.0;
+    return std::min(1.0, toSeconds(busyGpu_) / toSeconds(runDuration_));
+}
+
+} // namespace illixr

@@ -46,8 +46,16 @@ RtExecutor::start()
 void
 RtExecutor::stop()
 {
-    if (!running_.exchange(false))
-        return;
+    // Raise the flag under stopMutex_ so a thread between its running
+    // check and its wait cannot miss the broadcast; drop the lock
+    // before joining (joining while holding the mutex the threads
+    // need to observe the flag would deadlock against parked threads).
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        if (!running_.exchange(false))
+            return;
+    }
+    stopCv_.notify_all();
     for (std::thread &t : threads_) {
         if (t.joinable())
             t.join();
@@ -162,7 +170,11 @@ RtExecutor::threadMain(Entry &entry)
                                   SkipCause::Overrun);
             next = Clock::now() + period;
         }
-        std::this_thread::sleep_until(next);
+        // Park until the next release — or until stop() broadcasts,
+        // so shutdown latency is bounded by a wakeup, not a period.
+        std::unique_lock<std::mutex> lock(stopMutex_);
+        stopCv_.wait_until(lock, next,
+                           [this] { return !running_.load(); });
     }
 }
 

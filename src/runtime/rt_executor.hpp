@@ -18,6 +18,7 @@
 #include "runtime/plugin.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,7 +48,14 @@ class RtExecutor : public ExecutorBase
     /** Launch one thread per plugin (start() plugins first). */
     void start();
 
-    /** Stop all threads, join, and stop() plugins. */
+    /**
+     * Stop all threads, join, and stop() plugins. Completes promptly
+     * even when every plugin thread is parked mid-period: the threads
+     * sleep on a condition variable that stop() broadcasts, and the
+     * stop flag is raised under that cv's mutex (never held across
+     * the joins) so a thread between its check and its wait cannot
+     * miss the wakeup.
+     */
     void stop();
 
     bool running() const { return running_.load(); }
@@ -77,6 +85,8 @@ class RtExecutor : public ExecutorBase
     std::vector<std::unique_ptr<Entry>> entries_;
     std::vector<std::thread> threads_;
     std::atomic<bool> running_{false};
+    std::mutex stopMutex_;       ///< Guards the sleep/stop handshake.
+    std::condition_variable stopCv_;
 };
 
 } // namespace illixr

@@ -83,6 +83,7 @@ Switchboard::publishToTopic(const TopicPtr &t, EventPtr event)
     TraceId id;
     std::vector<TraceId> parents;
     std::shared_ptr<TraceSink> sink;
+    std::vector<std::shared_ptr<PublishListener>> listeners;
     {
         std::lock_guard<std::mutex> lock(t->mutex);
         ++t->publish_count;
@@ -123,6 +124,19 @@ Switchboard::publishToTopic(const TopicPtr &t, EventPtr event)
                 it = t->readers.erase(it);
             }
         }
+
+        // Snapshot live listeners; they run after the lock drops so a
+        // listener may publish, subscribe, or wake a worker pool
+        // without deadlocking against this topic.
+        auto lit = t->listeners.begin();
+        while (lit != t->listeners.end()) {
+            if (auto listener = lit->lock()) {
+                listeners.push_back(std::move(listener));
+                ++lit;
+            } else {
+                lit = t->listeners.erase(lit);
+            }
+        }
     }
 
     if (sink) {
@@ -136,6 +150,19 @@ Switchboard::publishToTopic(const TopicPtr &t, EventPtr event)
         rec.span = TraceContext::currentSpan();
         sink->recordEvent(std::move(rec));
     }
+
+    for (const auto &listener : listeners)
+        (*listener)(t->name);
+}
+
+PublishListenerHandle
+Switchboard::onPublish(const std::string &topic, PublishListener listener)
+{
+    auto handle = std::make_shared<PublishListener>(std::move(listener));
+    TopicPtr t = topicForUntyped(topic);
+    std::lock_guard<std::mutex> lock(t->mutex);
+    t->listeners.push_back(handle);
+    return handle;
 }
 
 void

@@ -35,6 +35,7 @@
 #include "trace/trace_id.hpp"
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,15 @@ class SyncReader
     std::size_t dropped_ = 0;
 };
 
+/** Callback fired after a publish completes on a topic. */
+using PublishListener = std::function<void(const std::string &topic)>;
+
+/**
+ * Owning token of a publish listener: the listener stays registered
+ * for as long as the handle is alive (topics keep only weak refs).
+ */
+using PublishListenerHandle = std::shared_ptr<PublishListener>;
+
 /**
  * The switchboard.
  */
@@ -105,6 +115,7 @@ class Switchboard
         std::uint64_t publish_count = 0;
         std::type_index type = std::type_index(typeid(void));
         std::vector<std::weak_ptr<SyncReader>> readers;
+        std::vector<std::weak_ptr<PublishListener>> listeners;
         std::shared_ptr<TraceSink> sink;
     };
 
@@ -286,6 +297,16 @@ class Switchboard
      * future topics) is recorded as an EventRecord.
      */
     void setTraceSink(std::shared_ptr<TraceSink> sink);
+
+    /**
+     * Register a wakeup callback on @p topic: invoked after every
+     * publish, outside the topic lock (safe to re-enter the
+     * switchboard or wake an executor). The listener is dropped as
+     * soon as the returned handle dies; executors keep the handle for
+     * the lifetime of the subscribed task.
+     */
+    PublishListenerHandle onPublish(const std::string &topic,
+                                    PublishListener listener);
 
   private:
     /** Intern (or fetch) a topic, locking its payload type. */

@@ -106,6 +106,10 @@ class MsckfFilter
     /** Total EKF updates applied (MSCKF + SLAM), for tests. */
     std::size_t updateCount() const { return updateCount_; }
 
+    /** Full error-state covariance (15 + 6·clones + 3·slam square);
+     *  exposed for the invariant tests (symmetry, PSD). */
+    const MatX &covariance() const { return cov_; }
+
   private:
     struct Clone
     {

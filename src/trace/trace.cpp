@@ -339,14 +339,14 @@ TraceSink::writeChromeTrace(const std::string &path) const
             "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\","
             "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
             "\"args\":{\"span\":%llu,\"arrival_us\":%.3f,"
-            "\"host_ms\":%.6f,\"unit\":%d}}",
+            "\"host_ms\":%.6f,\"unit\":%d,\"worker\":%u}}",
             jsonEscape(span.task).c_str(),
             static_cast<double>(span.start) / 1e3,
             static_cast<double>(span.completion - span.start) / 1e3,
             tidOf(span.task),
             static_cast<unsigned long long>(span.id),
             static_cast<double>(span.arrival) / 1e3, span.host_seconds * 1e3,
-            static_cast<int>(span.unit));
+            static_cast<int>(span.unit), span.worker);
     }
 
     for (const SkipRecord &skip : skips_) {

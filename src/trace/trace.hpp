@@ -47,6 +47,7 @@ struct Span
     TimePoint completion = 0; ///< When it released it.
     double host_seconds = 0.0;
     std::uint64_t id = 0;     ///< Sink-unique, 1-based.
+    std::uint32_t worker = 0; ///< 1-based pool worker id (0 = none).
 };
 
 /** Why an arrival did not run. */

@@ -1,7 +1,11 @@
 #include "xr/illixr_system.hpp"
 
 #include "runtime/phonebook.hpp"
+#include "runtime/pool_executor.hpp"
 #include "xr/plugins.hpp"
+
+#include <cstdlib>
+#include <cstring>
 
 namespace illixr {
 
@@ -12,6 +16,98 @@ IntegratedResult::achievedHz(const std::string &name) const
     if (it == tasks.end() || config.duration <= 0)
         return 0.0;
     return it->second.achievedHz(config.duration);
+}
+
+bool
+parseExecutorKind(const std::string &name, ExecutorKind &out)
+{
+    if (name == "sim") {
+        out = ExecutorKind::Sim;
+        return true;
+    }
+    if (name == "pool") {
+        out = ExecutorKind::Pool;
+        return true;
+    }
+    return false;
+}
+
+const char *
+executorKindName(ExecutorKind kind)
+{
+    return kind == ExecutorKind::Pool ? "pool" : "sim";
+}
+
+namespace {
+
+bool
+parseUnsigned(const std::string &text, unsigned long &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoul(text.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+bool
+applyExecutorEnv(IntegratedConfig &config)
+{
+    if (const char *v = std::getenv("ILLIXR_EXECUTOR")) {
+        if (!parseExecutorKind(v, config.executor))
+            return false;
+    }
+    if (const char *v = std::getenv("ILLIXR_POOL_WORKERS")) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.pool_workers = n;
+    }
+    if (const char *v = std::getenv("ILLIXR_DETERMINISTIC"))
+        config.deterministic = std::string(v) != "0";
+    if (const char *v = std::getenv("ILLIXR_SEED")) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n))
+            return false;
+        config.seed = static_cast<unsigned>(n);
+    }
+    return true;
+}
+
+bool
+parseExecutorFlag(const std::string &arg, IntegratedConfig &config)
+{
+    auto value = [&arg](const char *prefix, std::string &out) {
+        const std::size_t n = std::strlen(prefix);
+        if (arg.compare(0, n, prefix) != 0)
+            return false;
+        out = arg.substr(n);
+        return true;
+    };
+    std::string v;
+    if (value("--executor=", v))
+        return parseExecutorKind(v, config.executor);
+    if (value("--workers=", v)) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.pool_workers = n;
+        return true;
+    }
+    if (arg == "--deterministic") {
+        config.deterministic = true;
+        return true;
+    }
+    if (value("--seed=", v)) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n))
+            return false;
+        config.seed = static_cast<unsigned>(n);
+        return true;
+    }
+    return false;
 }
 
 IntegratedResult
@@ -61,32 +157,46 @@ runIntegrated(const IntegratedConfig &config)
     AudioEncoderPlugin audio_enc(phonebook, tuning);
     AudioPlaybackPlugin audio_play(phonebook, tuning);
 
-    // --- Scheduler ---
+    // --- Executor ---
     const PlatformModel platform = PlatformModel::get(config.platform);
-    SimScheduler scheduler(platform);
-    scheduler.setMetrics(metrics.get());
-    scheduler.setPhonebook(&phonebook);
+    std::unique_ptr<SimScheduler> sim;
+    std::unique_ptr<PoolExecutor> pool;
+    ExecutorBase *executor = nullptr;
+    if (config.executor == ExecutorKind::Pool) {
+        PoolExecutorConfig pool_cfg;
+        pool_cfg.workers = config.pool_workers;
+        pool_cfg.deterministic = config.deterministic;
+        pool_cfg.seed = config.seed;
+        pool_cfg.platform = config.platform;
+        pool = std::make_unique<PoolExecutor>(pool_cfg);
+        executor = pool.get();
+    } else {
+        sim = std::make_unique<SimScheduler>(platform);
+        executor = sim.get();
+    }
+    executor->setMetrics(metrics.get());
+    executor->setPhonebook(&phonebook);
     if (sink)
-        scheduler.setTraceSink(sink);
-    scheduler.addPlugin(&camera);
-    scheduler.addPlugin(&imu);
-    scheduler.addPlugin(&vio);
-    scheduler.addPlugin(&integrator);
-    scheduler.addPlugin(&application);
+        executor->setTraceSink(sink);
+    executor->addPlugin(&camera);
+    executor->addPlugin(&imu);
+    executor->addPlugin(&vio);
+    executor->addPlugin(&integrator);
+    executor->addPlugin(&application);
     const Duration vsync = periodFromHz(tuning.display_hz);
-    scheduler.addVsyncAlignedPlugin(&timewarp, vsync);
-    scheduler.addPlugin(&audio_enc);
-    scheduler.addPlugin(&audio_play);
+    executor->addVsyncAlignedPlugin(&timewarp, vsync);
+    executor->addPlugin(&audio_enc);
+    executor->addPlugin(&audio_play);
 
-    scheduler.run(config.duration);
+    executor->run(config.duration);
 
     // --- Collect results ---
     IntegratedResult result;
     result.config = config;
     result.vsync = vsync;
     double total_host = 0.0;
-    for (const std::string &name : scheduler.taskNames()) {
-        const TaskStats &stats = scheduler.stats(name);
+    for (const std::string &name : executor->taskNames()) {
+        const TaskStats &stats = executor->stats(name);
         result.tasks.emplace(name, stats);
         double host = 0.0;
         for (const InvocationRecord &rec : stats.records)
@@ -109,7 +219,7 @@ runIntegrated(const IntegratedConfig &config)
     result.target_hz["audio_playback"] = tuning.audio_hz;
 
     result.mtp =
-        computeMtp(scheduler.stats("timewarp"), timewarp.imuAgesMs(),
+        computeMtp(executor->stats("timewarp"), timewarp.imuAgesMs(),
                    vsync);
 
     result.lineage_stages = {topics::kCamera, topics::kImu,
@@ -121,11 +231,15 @@ runIntegrated(const IntegratedConfig &config)
             *sink, vsync, topics::kDisplayFrame, result.lineage_stages);
     }
     result.metrics = metrics;
-    metrics->gauge("run.cpu_utilization").set(scheduler.cpuUtilization());
-    metrics->gauge("run.gpu_utilization").set(scheduler.gpuUtilization());
+    const double cpu_util =
+        pool ? pool->cpuUtilization() : sim->cpuUtilization();
+    const double gpu_util =
+        pool ? pool->gpuUtilization() : sim->gpuUtilization();
+    metrics->gauge("run.cpu_utilization").set(cpu_util);
+    metrics->gauge("run.gpu_utilization").set(gpu_util);
 
-    result.utilization.cpu = scheduler.cpuUtilization();
-    result.utilization.gpu = scheduler.gpuUtilization();
+    result.utilization.cpu = cpu_util;
+    result.utilization.gpu = gpu_util;
     // Memory traffic proxy: display + camera traffic dominates; use
     // a weighted blend of unit utilizations (see DESIGN.md).
     result.utilization.memory = std::min(

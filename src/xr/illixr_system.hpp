@@ -23,6 +23,19 @@
 
 namespace illixr {
 
+/** Which executor drives an integrated run. */
+enum class ExecutorKind
+{
+    Sim,  ///< Discrete-event SimScheduler (virtual time; default).
+    Pool, ///< PoolExecutor worker pool (wall time, or virtual when
+          ///< deterministic).
+};
+
+/** Parse an executor name ("sim" | "pool"). @return success. */
+bool parseExecutorKind(const std::string &name, ExecutorKind &out);
+
+const char *executorKindName(ExecutorKind kind);
+
 /** Configuration of one integrated run. */
 struct IntegratedConfig
 {
@@ -38,7 +51,30 @@ struct IntegratedConfig
     bool adaptive_resolution = false;
     /** Record spans + frame lineage into IntegratedResult::trace. */
     bool trace = true;
+    /** Executor driving the plugin set. */
+    ExecutorKind executor = ExecutorKind::Sim;
+    /** Worker count when executor == Pool. */
+    std::size_t pool_workers = 4;
+    /** Pool only: virtual-clock replay; byte-reproducible per seed. */
+    bool deterministic = false;
 };
+
+/**
+ * Apply the executor environment overrides to @p config:
+ * `ILLIXR_EXECUTOR` (sim|pool), `ILLIXR_POOL_WORKERS`,
+ * `ILLIXR_DETERMINISTIC` (0|1), `ILLIXR_SEED`. Unset variables leave
+ * the corresponding field untouched. @return false on a malformed
+ * value (config is left partially updated).
+ */
+bool applyExecutorEnv(IntegratedConfig &config);
+
+/**
+ * Parse one executor CLI flag into @p config: `--executor=sim|pool`,
+ * `--workers=N`, `--deterministic`, `--seed=N`. @return true when
+ * @p arg was one of these flags and parsed cleanly; false otherwise
+ * (unrecognised flags are the caller's business).
+ */
+bool parseExecutorFlag(const std::string &arg, IntegratedConfig &config);
 
 /** Everything the benches need from one run. */
 struct IntegratedResult

@@ -6,11 +6,15 @@
 
 #include "audio/ambisonics.hpp"
 #include "foundation/rng.hpp"
+#include "image/pyramid.hpp"
 #include "image/ssim.hpp"
+#include "linalg/decomp.hpp"
 #include "perfmodel/cache_sim.hpp"
+#include "sensors/dataset.hpp"
 #include "sensors/imu.hpp"
 #include "signal/fft.hpp"
 #include "slam/imu_integrator.hpp"
+#include "slam/msckf.hpp"
 #include "visual/timewarp.hpp"
 
 #include <gtest/gtest.h>
@@ -287,6 +291,127 @@ TEST_P(RotationSeeds, InverseRotationIsTranspose)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RotationSeeds,
                          ::testing::Values(21, 22, 23, 24));
+
+// ---------------------------------------------------------- MSCKF
+
+class MsckfSeeds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MsckfSeeds, CovarianceStaysSymmetricPsd)
+{
+    // Property: across random IMU/feature sequences, the error-state
+    // covariance remains (a) symmetric and (b) positive semidefinite
+    // after every camera-frame update. PSD is checked via Cholesky of
+    // C + eps*I (strict PD of the regularized matrix).
+    DatasetConfig cfg;
+    cfg.duration_s = 2.0;
+    cfg.image_width = 192;
+    cfg.image_height = 144;
+    cfg.preset = DatasetConfig::Preset::LabWalk;
+    cfg.seed = GetParam();
+    const SyntheticDataset ds(cfg);
+
+    MsckfParams params;
+    params.imu_noise = cfg.imu_noise;
+    VioSystem vio(params, TrackerParams{}, ds.rig());
+
+    ImuState init;
+    init.time = 0;
+    init.orientation = ds.trajectory().pose(0.0).orientation;
+    init.position = ds.trajectory().pose(0.0).position;
+    init.velocity = ds.trajectory().velocity(0.0);
+    vio.initialize(init);
+
+    std::size_t imu_idx = 0;
+    const auto &imu = ds.imuSamples();
+    for (std::size_t f = 0; f < ds.cameraFrameCount(); ++f) {
+        const CameraFrame frame = ds.cameraFrame(f);
+        while (imu_idx < imu.size() && imu[imu_idx].time <= frame.time)
+            vio.addImu(imu[imu_idx++]);
+        vio.processFrame(frame.time, frame.image);
+
+        const MatX &cov = vio.filter().covariance();
+        ASSERT_EQ(cov.rows(), cov.cols());
+        ASSERT_GE(cov.rows(), 15u);
+        // Symmetry, relative to the magnitude of the entries.
+        const double scale = std::max(cov.maxAbs(), 1e-12);
+        EXPECT_LT((cov - cov.transpose()).maxAbs() / scale, 1e-9)
+            << "asymmetric covariance after frame " << f;
+        // PSD: Cholesky of the eps-regularized matrix must succeed.
+        const double eps = 1e-10 + 1e-9 * scale;
+        const Cholesky chol(cov + MatX::identity(cov.rows()) * eps);
+        EXPECT_TRUE(chol.ok())
+            << "covariance not PSD after frame " << f;
+        // Diagonal entries are marginal variances: never negative.
+        for (std::size_t i = 0; i < cov.rows(); ++i)
+            EXPECT_GE(cov(i, i), -1e-12) << "negative variance at " << i;
+    }
+    ASSERT_GT(vio.filter().updateCount(), 3u)
+        << "filter applied too few EKF updates to exercise the property";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsckfSeeds,
+                         ::testing::Values(31, 32, 33));
+
+// -------------------------------------------------------- Pyramid
+
+class PyramidSeeds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PyramidSeeds, DownsampleEnergyAndRangeBounds)
+{
+    // Properties of the Gaussian pyramid on random images: each level
+    // is a convex combination of the previous one, so (a) its value
+    // range is contained in the previous level's range, and (b) its
+    // mean-square energy does not grow (blurring only removes energy;
+    // small slack for the subsampling grid).
+    Rng rng(GetParam());
+    ImageF base(96, 72);
+    for (int y = 0; y < base.height(); ++y)
+        for (int x = 0; x < base.width(); ++x)
+            base.at(x, y) = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    const ImagePyramid pyr(base, 4);
+    ASSERT_GE(pyr.levels(), 2);
+
+    auto stats = [](const ImageF &img) {
+        double mn = img.at(0, 0), mx = img.at(0, 0), ms = 0.0;
+        for (int y = 0; y < img.height(); ++y) {
+            for (int x = 0; x < img.width(); ++x) {
+                const double v = img.at(x, y);
+                mn = std::min(mn, v);
+                mx = std::max(mx, v);
+                ms += v * v;
+            }
+        }
+        ms /= static_cast<double>(img.pixelCount());
+        struct R
+        {
+            double min, max, mean_square;
+        };
+        return R{mn, mx, ms};
+    };
+
+    auto prev = stats(pyr.level(0));
+    for (int l = 1; l < pyr.levels(); ++l) {
+        const auto cur = stats(pyr.level(l));
+        // Halving (floor) keeps at least half the resolution.
+        EXPECT_GE(pyr.level(l).width(), pyr.level(l - 1).width() / 2);
+        EXPECT_GE(pyr.level(l).height(), pyr.level(l - 1).height() / 2);
+        EXPECT_GE(cur.min, prev.min - 1e-6)
+            << "level " << l << " min escaped the parent range";
+        EXPECT_LE(cur.max, prev.max + 1e-6)
+            << "level " << l << " max escaped the parent range";
+        EXPECT_LE(cur.mean_square, prev.mean_square * 1.05 + 1e-6)
+            << "level " << l << " gained energy";
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PyramidSeeds,
+                         ::testing::Values(41, 42, 43, 44));
 
 } // namespace
 } // namespace illixr

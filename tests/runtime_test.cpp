@@ -91,6 +91,23 @@ TEST(SwitchboardTest, TypedLatestRejectsWrongType)
     EXPECT_EQ(sb.latest<IntEvent>("t"), nullptr);
 }
 
+TEST(SwitchboardTest, PublishListenersFireAndExpire)
+{
+    Switchboard sb;
+    int hits = 0;
+    auto handle =
+        sb.onPublish("t", [&hits](const std::string &topic) {
+            EXPECT_EQ(topic, "t");
+            ++hits;
+        });
+    sb.publish("t", makeEvent<IntEvent>());
+    sb.publish("u", makeEvent<IntEvent>()); // Other topics don't fire.
+    EXPECT_EQ(hits, 1);
+    handle.reset(); // Dropping the handle unsubscribes.
+    sb.publish("t", makeEvent<IntEvent>());
+    EXPECT_EQ(hits, 1);
+}
+
 TEST(SwitchboardTest, TopicNamesEnumerates)
 {
     Switchboard sb;
@@ -255,6 +272,40 @@ TEST(RtExecutorTest, RunsPluginsLive)
     EXPECT_EQ(exec.stats("fast").invocations, exec.iterations("fast"));
     EXPECT_EQ(exec.taskNames().size(), 1u);
     EXPECT_STREQ(exec.timeline(), "wall");
+}
+
+TEST(RtExecutorTest, StopCompletesPromptlyUnderLoad)
+{
+    // Regression: stop() used to let each plugin thread sleep out the
+    // remainder of its period before observing the flag, so a plugin
+    // with a long period stalled shutdown for up to that period (and
+    // a stop() racing a thread between its flag check and its sleep
+    // could miss the wakeup entirely). With the condition-variable
+    // handshake, stop() must return promptly even when one thread is
+    // parked 10 s into the future and others are busy iterating.
+    BurnPlugin parked("parked", 10 * kSecond, 1.0);
+    BurnPlugin busy_a("busy_a", kMillisecond, 200.0);
+    BurnPlugin busy_b("busy_b", kMillisecond, 200.0);
+    RtExecutor exec;
+    exec.addPlugin(&parked);
+    exec.addPlugin(&busy_a);
+    exec.addPlugin(&busy_b);
+    exec.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const auto t0 = std::chrono::steady_clock::now();
+    exec.stop();
+    const auto stop_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    // Far below the parked plugin's 10 s period; generous for CI.
+    EXPECT_LT(stop_ms, 2000);
+    EXPECT_GE(exec.iterations("parked"), 1u); // The t=0 release ran.
+    EXPECT_GE(exec.iterations("busy_a"), 1u);
+    // Stopped means stopped: counters do not advance afterwards.
+    const std::size_t after = exec.iterations("busy_a");
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(exec.iterations("busy_a"), after);
 }
 
 TEST(SwitchboardTest, TypedHandlesRoundTrip)
