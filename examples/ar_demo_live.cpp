@@ -8,11 +8,18 @@
  * `--executor=rt` (default) uses the thread-per-plugin RtExecutor;
  * `--executor=pool` uses the worker-pool PoolExecutor, with
  * `--workers=N` selecting the pool size.
+ *
+ * `--fault-plan=SPEC` injects faults from a parseFaultPlan() spec
+ * (e.g. "seed=7,crash=0.01,stall=0.02,drop=0.05") and
+ * `--resilience` turns on plugin supervision + graceful degradation,
+ * demonstrating chaos on the live runtime.
  */
 
+#include "resilience/resilience.hpp"
 #include "runtime/pool_executor.hpp"
 #include "runtime/rt_executor.hpp"
 #include "trace/trace.hpp"
+#include "trace/metrics_registry.hpp"
 #include "xr/plugins.hpp"
 
 #include <cstdio>
@@ -26,6 +33,7 @@ main(int argc, char **argv)
 {
     bool use_pool = false;
     std::size_t workers = 4;
+    ResilienceConfig rcfg;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--executor=rt") {
@@ -37,10 +45,19 @@ main(int argc, char **argv)
                 std::strtoul(arg.c_str() + 10, nullptr, 10));
             if (workers == 0)
                 workers = 1;
+        } else if (arg.rfind("--fault-plan=", 0) == 0) {
+            if (!parseFaultPlan(arg.substr(13), rcfg.fault_plan)) {
+                std::fprintf(stderr, "bad --fault-plan spec\n");
+                return 2;
+            }
+        } else if (arg == "--resilience") {
+            rcfg.supervise = true;
+            rcfg.degrade = true;
         } else {
             std::fprintf(stderr,
                          "usage: ar_demo_live [--executor=rt|pool] "
-                         "[--workers=N]\n");
+                         "[--workers=N] [--fault-plan=SPEC] "
+                         "[--resilience]\n");
             return 2;
         }
     }
@@ -83,6 +100,22 @@ main(int argc, char **argv)
     // discrete-event scheduler uses (wall-clock spans).
     auto sink = std::make_shared<TraceSink>();
     switchboard->setTraceSink(sink);
+    auto metrics = std::make_shared<MetricsRegistry>();
+
+    // Optional chaos: fault plan, supervision, degradation.
+    std::unique_ptr<ResilienceContext> resilience;
+    if (rcfg.enabled()) {
+        if (rcfg.fault_plan.topics.empty() &&
+            (rcfg.fault_plan.drop_rate > 0.0 ||
+             rcfg.fault_plan.corrupt_rate > 0.0))
+            rcfg.fault_plan.topics = {topics::kCamera, topics::kImu};
+        resilience = std::make_unique<ResilienceContext>(
+            rcfg, *switchboard, metrics.get());
+        if (resilience->injector())
+            registerSensorCorrupters(*resilience->injector());
+        std::printf("Resilience: %s\n\n",
+                    faultPlanSummary(rcfg.fault_plan).c_str());
+    }
 
     RtExecutor rt_executor;
     PoolExecutorConfig pool_cfg;
@@ -93,6 +126,7 @@ main(int argc, char **argv)
                  : static_cast<ExecutorBase &>(rt_executor);
     Executor &exec = executor;
     executor.setTraceSink(sink);
+    executor.setMetrics(metrics.get());
     executor.setPhonebook(&phonebook);
     exec.addPlugin(&camera);
     exec.addPlugin(&imu);
@@ -101,6 +135,11 @@ main(int argc, char **argv)
     exec.addPlugin(&timewarp);
     exec.addPlugin(&audio_enc);
     exec.addPlugin(&audio_play);
+    if (resilience) {
+        resilience->attach(executor);
+        if (resilience->degradationPlugin())
+            exec.addPlugin(resilience->degradationPlugin());
+    }
 
     exec.run(2 * kSecond);
 
@@ -117,6 +156,28 @@ main(int argc, char **argv)
     for (const std::string &topic : switchboard->topicNames()) {
         std::printf("  %-16s %zu events\n", topic.c_str(),
                     switchboard->publishCount(topic));
+    }
+
+    if (resilience) {
+        std::printf("\nResilience health summary:\n");
+        if (FaultInjector *inj = resilience->injector())
+            std::printf("  injected: %llu crashes, %llu stalls, "
+                        "%llu spikes, %llu drops, %llu corruptions\n",
+                        (unsigned long long)inj->injectedCrashes(),
+                        (unsigned long long)inj->injectedStalls(),
+                        (unsigned long long)inj->injectedSpikes(),
+                        (unsigned long long)inj->injectedDrops(),
+                        (unsigned long long)inj->injectedCorruptions());
+        if (Supervisor *sup = resilience->supervisor())
+            std::printf("  supervisor: %zu exceptions seen, "
+                        "%zu restarts\n",
+                        sup->exceptionsSeen(), sup->restarts());
+        if (DegradationPlugin *deg = resilience->degradationPlugin())
+            std::printf("  degradation: level %d now, max %d\n",
+                        deg->level(), deg->maxLevelReached());
+        std::printf("  health events on '%s': %zu\n",
+                    topics::kHealth.c_str(),
+                    switchboard->publishCount(topics::kHealth));
     }
 
     const char *trace_path = "/tmp/illixr_ar_live.trace.json";

@@ -60,11 +60,20 @@ NetworkModel::NetworkModel(const NetworkLink &link, unsigned seed)
 {
 }
 
+void
+NetworkModel::setDisturbance(double extra_loss, double extra_latency_ms)
+{
+    extraLoss_ = std::max(0.0, extra_loss);
+    extraLatencyMs_ = std::max(0.0, extra_latency_ms);
+}
+
 Duration
 NetworkModel::transferDelay(std::size_t bytes, bool uplink)
 {
     ++sent_;
-    if (link_.loss_rate > 0.0 && rng_.uniform() < link_.loss_rate) {
+    const double loss =
+        std::min(1.0, link_.loss_rate + extraLoss_);
+    if (loss > 0.0 && rng_.uniform() < loss) {
         ++lost_;
         return -1;
     }
@@ -74,8 +83,8 @@ NetworkModel::transferDelay(std::size_t bytes, bool uplink)
         static_cast<double>(bytes) * 8.0 / (mbps * 1000.0);
     const double jitter_ms =
         std::max(0.0, rng_.gaussian(0.0, link_.jitter_ms));
-    const double total_ms =
-        link_.base_latency_ms + serialization_ms + jitter_ms;
+    const double total_ms = link_.base_latency_ms + serialization_ms +
+                            jitter_ms + extraLatencyMs_;
     return fromSeconds(total_ms / 1000.0);
 }
 

@@ -56,6 +56,19 @@ class NetworkModel
      */
     Duration transferDelay(std::size_t bytes, bool uplink);
 
+    /**
+     * Overlay a transient degradation (a brownout window) on the
+     * link: @p extra_loss adds to the per-message loss probability
+     * (clamped to 1), @p extra_latency_ms adds to every delivered
+     * message's one-way delay. Stays until cleared or replaced.
+     */
+    void setDisturbance(double extra_loss, double extra_latency_ms);
+    void clearDisturbance() { setDisturbance(0.0, 0.0); }
+    bool disturbed() const
+    {
+        return extraLoss_ > 0.0 || extraLatencyMs_ > 0.0;
+    }
+
     const NetworkLink &link() const { return link_; }
 
     std::size_t messagesSent() const { return sent_; }
@@ -66,6 +79,8 @@ class NetworkModel
     Rng rng_;
     std::size_t sent_ = 0;
     std::size_t lost_ = 0;
+    double extraLoss_ = 0.0;      ///< Brownout loss overlay.
+    double extraLatencyMs_ = 0.0; ///< Brownout latency overlay.
 };
 
 } // namespace illixr

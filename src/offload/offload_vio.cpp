@@ -2,6 +2,7 @@
 
 #include "foundation/profile.hpp"
 #include "metrics/mtp.hpp"
+#include "resilience/fault_injector.hpp"
 #include "runtime/pool_executor.hpp"
 #include "xr/illixr_system.hpp"
 
@@ -17,7 +18,9 @@ OffloadedVioPlugin::OffloadedVioPlugin(const Phonebook &pb,
       imuReader_(pb.lookup<Switchboard>()->reader<ImuEvent>(topics::kImu)),
       slowPoseWriter_(
           pb.lookup<Switchboard>()->writer<PoseEvent>(topics::kSlowPose)),
-      net_(config.link)
+      healthWriter_(
+          pb.lookup<Switchboard>()->writer<HealthEvent>(topics::kHealth)),
+      net_(config.link), breaker_(config.breaker)
 {
     MsckfParams params;
     params.imu_noise = data_->dataset.config().imu_noise;
@@ -25,6 +28,48 @@ OffloadedVioPlugin::OffloadedVioPlugin(const Phonebook &pb,
     tracker.max_features = 80;
     vio_ = std::make_unique<VioSystem>(params, tracker,
                                        data_->dataset.rig());
+}
+
+void
+OffloadedVioPlugin::publishBreakerTransition(TimePoint now)
+{
+    const CircuitBreaker::State state = breaker_.state();
+    if (state == lastState_)
+        return;
+    lastState_ = state;
+    auto ev = makeEvent<HealthEvent>();
+    ev->time = now;
+    ev->task = name();
+    ev->detail = CircuitBreaker::stateName(state);
+    switch (state) {
+    case CircuitBreaker::State::Open:
+        ev->kind = HealthKind::CircuitOpen;
+        break;
+    case CircuitBreaker::State::HalfOpen:
+        ev->kind = HealthKind::CircuitHalfOpen;
+        break;
+    case CircuitBreaker::State::Closed:
+        ev->kind = HealthKind::CircuitClosed;
+        break;
+    }
+    healthWriter_.put(std::move(ev));
+}
+
+void
+OffloadedVioPlugin::publishLocalPose(
+    TimePoint now, const std::shared_ptr<const CameraFrameEvent> &cam)
+{
+    (void)now;
+    if (!fallback_.initialized())
+        return;
+    const ImuState state = fallback_.state();
+    auto out = makeEvent<PoseEvent>();
+    out->time = cam->time;
+    out->state = state;
+    out->parents = {cam->trace};
+    slowPoseWriter_.put(std::move(out));
+    trajectory_.push_back({cam->time, state.pose()});
+    ++failoverPoses_;
 }
 
 void
@@ -38,21 +83,44 @@ OffloadedVioPlugin::iterate(TimePoint now)
         init.position = p0.position;
         init.velocity = data_->dataset.trajectory().velocity(0.0);
         vio_->initialize(init);
+        fallback_.correct(init);
         initialized_ = true;
     }
 
-    // Release matured remote results onto the switchboard.
+    // Apply (or clear) the fault plan's brownout window on the link.
+    if (injector_) {
+        if (const BrownoutWindow *w = injector_->brownoutAt(now))
+            net_.setDisturbance(w->extra_loss, w->extra_latency_ms);
+        else if (net_.disturbed())
+            net_.clearDisturbance();
+    }
+
+    // Release matured remote results onto the switchboard, re-basing
+    // the local fallback integrator on each accepted remote pose so a
+    // later failover starts from the freshest corrected state.
     while (!pending_.empty() && pending_.front().release <= now) {
+        fallback_.correct(pending_.front().event->state);
         slowPoseWriter_.put(std::move(pending_.front().event));
         pending_.pop_front();
     }
 
     // Stream sensors to the "server" (the IMU messages are small and
-    // folded into the frame's uplink accounting).
-    while (auto imu = imuReader_.pop())
+    // folded into the frame's uplink accounting). The fallback
+    // integrator shadows the stream so it is always ready to serve.
+    while (auto imu = imuReader_.pop()) {
         vio_->addImu(imu->sample);
+        fallback_.addSample(imu->sample);
+    }
 
     while (auto cam = cameraReader_.pop()) {
+        if (!breaker_.allow(now)) {
+            // Failed over: local integrator serves head tracking
+            // while the link is considered down.
+            publishLocalPose(now, cam);
+            continue;
+        }
+        publishBreakerTransition(now); // Open -> HalfOpen probe.
+
         // The filter computation happens on the remote server: run it
         // here for the real result, but exclude its host cost from
         // the local platform and model it as remote latency instead.
@@ -68,11 +136,22 @@ OffloadedVioPlugin::iterate(TimePoint now)
         const Duration down = net_.transferDelay(256, false);
         if (up < 0 || down < 0) {
             ++framesLost_; // Message lost; no pose update this frame.
+            breaker_.recordFailure(now);
+            publishBreakerTransition(now);
+            // Keep tracking through the loss with the local pose.
+            publishLocalPose(now, cam);
             continue;
         }
         const Duration remote_compute =
             fromSeconds(remote_host_s * config_.server_scale);
         const Duration rtt = up + remote_compute + down;
+        if (toMilliseconds(rtt) > config_.rtt_failure_ms) {
+            // Delivered but too stale to steer reprojection with.
+            breaker_.recordFailure(now);
+        } else {
+            breaker_.recordSuccess(now);
+        }
+        publishBreakerTransition(now);
 
         auto out = makeEvent<PoseEvent>();
         out->time = cam->time;
@@ -122,6 +201,9 @@ runIntegratedOffloaded(const IntegratedConfig &config,
     TimewarpParams tw_params;
     tw_params.fov_y_rad = app_cfg.fov_y_rad;
 
+    std::unique_ptr<ResilienceContext> resilience =
+        makeResilienceContext(config, *switchboard, metrics.get());
+
     CameraPlugin camera(phonebook, tuning);
     ImuPlugin imu(phonebook, tuning);
     OffloadedVioPlugin vio(phonebook, tuning, offload);
@@ -130,6 +212,8 @@ runIntegratedOffloaded(const IntegratedConfig &config,
     TimewarpPlugin timewarp(phonebook, tuning, tw_params);
     AudioEncoderPlugin audio_enc(phonebook, tuning);
     AudioPlaybackPlugin audio_play(phonebook, tuning);
+    if (resilience && resilience->injector())
+        vio.setFaultInjector(resilience->injector());
 
     const PlatformModel platform = PlatformModel::get(config.platform);
     std::unique_ptr<SimScheduler> sim;
@@ -160,6 +244,11 @@ runIntegratedOffloaded(const IntegratedConfig &config,
     executor->addVsyncAlignedPlugin(&timewarp, vsync);
     executor->addPlugin(&audio_enc);
     executor->addPlugin(&audio_play);
+    if (resilience) {
+        resilience->attach(*executor);
+        if (resilience->degradationPlugin())
+            executor->addPlugin(resilience->degradationPlugin());
+    }
 
     executor->run(config.duration);
 
@@ -212,6 +301,11 @@ runIntegratedOffloaded(const IntegratedConfig &config,
     result.extra["pose_round_trip_ms"] = vio.roundTripMs().mean();
     result.extra["frames_lost"] =
         static_cast<double>(vio.framesLost());
+    result.extra["circuit_opens"] =
+        static_cast<double>(vio.circuitOpens());
+    result.extra["failover_poses"] =
+        static_cast<double>(vio.failoverPoses());
+    exportResilienceExtras(resilience.get(), result.extra);
     return result;
 }
 

@@ -17,6 +17,9 @@
 
 #include "foundation/stats.hpp"
 #include "offload/network.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/health_events.hpp"
+#include "slam/imu_integrator.hpp"
 #include "slam/msckf.hpp"
 #include "xr/illixr_system.hpp"
 #include "xr/plugins.hpp"
@@ -25,6 +28,8 @@
 #include <memory>
 
 namespace illixr {
+
+class FaultInjector;
 
 /** Offload configuration. */
 struct OffloadConfig
@@ -35,10 +40,22 @@ struct OffloadConfig
     double server_scale = 0.8;
     /** Bytes per camera frame after on-device compression. */
     double compression_ratio = 0.25;
+
+    /** Breaker guarding the remote path (see CircuitBreaker). */
+    CircuitBreakerPolicy breaker;
+    /** A delivered frame whose round trip exceeds this counts as a
+     *  breaker failure (stale poses are as bad as lost ones). */
+    double rtt_failure_ms = 150.0;
 };
 
 /**
  * Drop-in replacement for VioPlugin that runs the filter "remotely".
+ *
+ * A CircuitBreaker guards the remote path: consecutive lost or
+ * over-deadline frames trip it Open and head tracking fails over to a
+ * local RK4 IMU integrator (corrected by the last accepted remote
+ * poses) until HalfOpen probes succeed and the link closes again.
+ * Breaker transitions surface as HealthEvents on resilience.health.
  */
 class OffloadedVioPlugin : public Plugin
 {
@@ -62,6 +79,18 @@ class OffloadedVioPlugin : public Plugin
 
     std::size_t framesLost() const { return framesLost_; }
     const NetworkModel &network() const { return net_; }
+    NetworkModel &network() { return net_; }
+
+    /** Feed brownout windows (and only those) from a fault plan. */
+    void setFaultInjector(const FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    std::size_t circuitOpens() const { return breaker_.opens(); }
+    CircuitBreaker::State breakerState() const { return breaker_.state(); }
+    /** Poses produced by the local integrator while failed over. */
+    std::size_t failoverPoses() const { return failoverPoses_; }
 
   private:
     struct PendingPose
@@ -70,12 +99,17 @@ class OffloadedVioPlugin : public Plugin
         std::shared_ptr<PoseEvent> event;
     };
 
+    void publishBreakerTransition(TimePoint now);
+    void publishLocalPose(TimePoint now,
+                          const std::shared_ptr<const CameraFrameEvent> &cam);
+
     SystemTuning tuning_;
     OffloadConfig config_;
     std::shared_ptr<PreloadedDataset> data_;
     Switchboard::Reader<CameraFrameEvent> cameraReader_;
     Switchboard::Reader<ImuEvent> imuReader_;
     Switchboard::Writer<PoseEvent> slowPoseWriter_;
+    Switchboard::Writer<HealthEvent> healthWriter_;
     std::unique_ptr<VioSystem> vio_;
     NetworkModel net_;
     std::deque<PendingPose> pending_;
@@ -83,6 +117,12 @@ class OffloadedVioPlugin : public Plugin
     SampleSeries roundTrip_;
     std::size_t framesLost_ = 0;
     bool initialized_ = false;
+
+    CircuitBreaker breaker_;
+    CircuitBreaker::State lastState_ = CircuitBreaker::State::Closed;
+    ImuIntegrator fallback_; ///< Local failover integrator.
+    std::size_t failoverPoses_ = 0;
+    const FaultInjector *injector_ = nullptr;
 };
 
 /**

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * CircuitBreaker: the classic three-state breaker, used to fail the
+ * offloaded VIO path over to the local IMU integrator (and back) when
+ * the link browns out — the serving-stack pattern the ROADMAP's
+ * robustness PR transfers.
+ *
+ *   Closed    -> requests flow; consecutive failures trip it Open.
+ *   Open      -> requests are refused until `open_hold` elapses.
+ *   HalfOpen  -> a limited probe: successes close it, one failure
+ *                re-opens it.
+ *
+ * Time comes in through the caller (virtual or wall), so the breaker
+ * behaves identically under the deterministic executor.
+ */
+
+#pragma once
+
+#include "foundation/time.hpp"
+
+#include <cstddef>
+
+namespace illixr {
+
+struct CircuitBreakerPolicy
+{
+    std::size_t failure_threshold = 3; ///< Consecutive failures to trip.
+    Duration open_hold = 500 * kMillisecond; ///< Open -> HalfOpen delay.
+    std::size_t probe_successes = 2; ///< HalfOpen successes to close.
+};
+
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        Closed,
+        Open,
+        HalfOpen,
+    };
+
+    explicit CircuitBreaker(CircuitBreakerPolicy policy = {})
+        : policy_(policy)
+    {
+    }
+
+    /**
+     * May a request be attempted at @p now? Transitions Open ->
+     * HalfOpen once the hold has elapsed (the caller's attempt is the
+     * probe).
+     */
+    bool
+    allow(TimePoint now)
+    {
+        if (state_ == State::Open) {
+            if (now - opened_at_ < policy_.open_hold)
+                return false;
+            state_ = State::HalfOpen;
+            probe_successes_ = 0;
+        }
+        return true;
+    }
+
+    void
+    recordSuccess(TimePoint now)
+    {
+        (void)now;
+        if (state_ == State::HalfOpen) {
+            if (++probe_successes_ >= policy_.probe_successes) {
+                state_ = State::Closed;
+                failures_ = 0;
+            }
+            return;
+        }
+        failures_ = 0;
+    }
+
+    void
+    recordFailure(TimePoint now)
+    {
+        if (state_ == State::HalfOpen) {
+            trip(now);
+            return;
+        }
+        if (state_ == State::Closed &&
+            ++failures_ >= policy_.failure_threshold)
+            trip(now);
+    }
+
+    State state() const { return state_; }
+    std::size_t opens() const { return opens_; }
+
+    static const char *
+    stateName(State s)
+    {
+        switch (s) {
+        case State::Closed:
+            return "closed";
+        case State::Open:
+            return "open";
+        case State::HalfOpen:
+            return "half_open";
+        }
+        return "?";
+    }
+
+  private:
+    void
+    trip(TimePoint now)
+    {
+        state_ = State::Open;
+        opened_at_ = now;
+        failures_ = 0;
+        ++opens_;
+    }
+
+    CircuitBreakerPolicy policy_;
+    State state_ = State::Closed;
+    TimePoint opened_at_ = 0;
+    std::size_t failures_ = 0;        ///< Consecutive, Closed state.
+    std::size_t probe_successes_ = 0; ///< HalfOpen progress.
+    std::size_t opens_ = 0;           ///< Lifetime trip count.
+};
+
+} // namespace illixr

@@ -1,0 +1,118 @@
+#include "resilience/degradation.hpp"
+
+#include <algorithm>
+
+namespace illixr {
+
+DegradationPlugin::DegradationPlugin(Switchboard &switchboard,
+                                     MetricsRegistry *metrics,
+                                     DegradationPolicy policy)
+    : Plugin("resilience_governor"), policy_(policy), metrics_(metrics),
+      commands_(
+          switchboard.writer<DegradationCommandEvent>(topics::kDegradation))
+{
+    if (metrics_) {
+        levelGauge_ = &metrics_->gauge("resilience.degradation_level");
+        pressureGauge_ = &metrics_->gauge("resilience.pressure");
+        shedCounter_ = &metrics_->counter("resilience.shed_steps");
+        recoverCounter_ = &metrics_->counter("resilience.recover_steps");
+        for (const std::string &task : policy_.watched) {
+            Window w;
+            w.invocations =
+                &metrics_->counter("task." + task + ".invocations");
+            w.skips = &metrics_->counter("task." + task + ".skips");
+            windows_[task] = w;
+        }
+    }
+}
+
+DegradationCommandEvent
+DegradationPlugin::commandForLevel(int level)
+{
+    DegradationCommandEvent cmd;
+    cmd.level = level;
+    // The paper's shedding order: drop camera rate first (perception
+    // absorbs it through the IMU), then reprojection rate, then audio
+    // batching — cheapest QoE cost first.
+    cmd.camera_stride = level >= 1 ? 2 : 1;
+    cmd.reprojection_stride = level >= 2 ? 2 : 1;
+    cmd.audio_coalesce = level >= 3 ? 2 : 1;
+    return cmd;
+}
+
+double
+DegradationPlugin::samplePressure()
+{
+    double pressure = 0.0;
+    for (auto &[task, w] : windows_) {
+        const std::uint64_t inv = w.invocations->value();
+        const std::uint64_t skp = w.skips->value();
+        const std::uint64_t d_inv = inv - w.last_invocations;
+        const std::uint64_t d_skp = skp - w.last_skips;
+        w.last_invocations = inv;
+        w.last_skips = skp;
+        const std::uint64_t total = d_inv + d_skp;
+        if (total == 0)
+            continue;
+        pressure = std::max(pressure, static_cast<double>(d_skp) /
+                                          static_cast<double>(total));
+    }
+    return pressure;
+}
+
+void
+DegradationPlugin::publishLevel(TimePoint now)
+{
+    auto cmd =
+        std::make_shared<DegradationCommandEvent>(commandForLevel(level_));
+    cmd->time = now;
+    commands_.put(std::move(cmd));
+    if (levelGauge_)
+        levelGauge_->set(static_cast<double>(level_));
+}
+
+void
+DegradationPlugin::iterate(TimePoint now)
+{
+    if (!metrics_)
+        return;
+    if (!published_initial_) {
+        // Make the knobs' baseline explicit before any pressure is
+        // observed, so consumers never run on a stale level.
+        published_initial_ = true;
+        publishLevel(now);
+        return;
+    }
+
+    const double pressure = samplePressure();
+    if (pressureGauge_)
+        pressureGauge_->set(pressure);
+
+    if (pressure >= policy_.shed_threshold) {
+        ++above_;
+        below_ = 0;
+    } else if (pressure <= policy_.clear_threshold) {
+        ++below_;
+        above_ = 0;
+    } else {
+        above_ = 0;
+        below_ = 0;
+    }
+
+    if (above_ >= policy_.rise_hold && level_ < policy_.max_level) {
+        ++level_;
+        max_level_reached_ = std::max(max_level_reached_, level_);
+        above_ = 0;
+        if (shedCounter_)
+            shedCounter_->add();
+        publishLevel(now);
+    } else if (below_ >= policy_.recover_hold && level_ > 0) {
+        --level_;
+        below_ = 0;
+        if (recoverCounter_)
+            recoverCounter_->add();
+        publishLevel(now);
+    }
+}
+
+} // namespace illixr

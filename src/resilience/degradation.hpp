@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DegradationManager: the QoE-aware graceful-degradation policy loop.
+ *
+ * It runs as an ordinary periodic plugin ("resilience_governor"), so
+ * its decisions get spans, lineage, and scheduling like every other
+ * component. Each tick it reads the executors' interned per-task
+ * counters (`task.<t>.invocations` / `.skips`) out of the
+ * MetricsRegistry, computes the worst deadline-miss ratio across the
+ * watched tasks over the window, and moves a degradation level
+ * 0..max_level with hysteresis:
+ *
+ *  - pressure above `shed_threshold` for `rise_hold` consecutive
+ *    ticks escalates one level;
+ *  - pressure below `clear_threshold` for `recover_hold` ticks
+ *    recovers one level.
+ *
+ * Levels map onto the paper's load-shedding knobs (§V-C): camera
+ * frame decimation, reprojection stride, audio block coalescing —
+ * published as one DegradationCommandEvent on
+ * `resilience.degradation`, which the knob consumers (camera,
+ * timewarp, audio encoder) read asynchronously. Exported gauges:
+ * `resilience.degradation_level`, `resilience.pressure`.
+ */
+
+#pragma once
+
+#include "resilience/health_events.hpp"
+#include "runtime/plugin.hpp"
+#include "trace/metrics_registry.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+struct DegradationPolicy
+{
+    Duration period = 100 * kMillisecond; ///< Policy tick.
+
+    double shed_threshold = 0.15;  ///< Miss ratio that escalates.
+    double clear_threshold = 0.03; ///< Miss ratio that recovers.
+    int rise_hold = 2;    ///< Ticks above threshold to escalate.
+    int recover_hold = 5; ///< Ticks below threshold to recover.
+    int max_level = 3;
+
+    /** Tasks whose miss ratio constitutes "pressure". */
+    std::vector<std::string> watched = {"timewarp", "vio",
+                                        "application"};
+};
+
+class DegradationPlugin final : public Plugin
+{
+  public:
+    DegradationPlugin(Switchboard &switchboard, MetricsRegistry *metrics,
+                      DegradationPolicy policy = {});
+
+    void iterate(TimePoint now) override;
+    Duration period() const override { return policy_.period; }
+
+    int level() const { return level_; }
+    int maxLevelReached() const { return max_level_reached_; }
+
+    /** The knob values of a given level (also used by tests). */
+    static DegradationCommandEvent commandForLevel(int level);
+
+  private:
+    struct Window
+    {
+        Counter *invocations = nullptr;
+        Counter *skips = nullptr;
+        std::uint64_t last_invocations = 0;
+        std::uint64_t last_skips = 0;
+    };
+
+    double samplePressure();
+    void publishLevel(TimePoint now);
+
+    DegradationPolicy policy_;
+    MetricsRegistry *metrics_ = nullptr;
+
+    Switchboard::Writer<DegradationCommandEvent> commands_;
+    std::map<std::string, Window> windows_;
+
+    int level_ = 0;
+    int max_level_reached_ = 0;
+    int above_ = 0; ///< Consecutive ticks above shed_threshold.
+    int below_ = 0; ///< Consecutive ticks below clear_threshold.
+    bool published_initial_ = false;
+
+    Gauge *levelGauge_ = nullptr;
+    Gauge *pressureGauge_ = nullptr;
+    Counter *shedCounter_ = nullptr;
+    Counter *recoverCounter_ = nullptr;
+};
+
+} // namespace illixr

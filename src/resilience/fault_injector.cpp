@@ -1,0 +1,135 @@
+#include "resilience/fault_injector.hpp"
+
+namespace illixr {
+
+namespace {
+
+/** Boundary-kind salts of faultDraw(): distinct streams per fault. */
+enum FaultKind : std::uint32_t
+{
+    kKindCrash = 1,
+    kKindStall = 2,
+    kKindSpike = 3,
+    kKindDrop = 4,
+    kKindCorrupt = 5,
+    kKindCorruptSeed = 6,
+};
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, MetricsRegistry *metrics)
+    : plan_(std::move(plan))
+{
+    if (metrics) {
+        crashCounter_ = &metrics->counter("resilience.injected.crash");
+        stallCounter_ = &metrics->counter("resilience.injected.stall");
+        spikeCounter_ = &metrics->counter("resilience.injected.spike");
+        dropCounter_ = &metrics->counter("resilience.injected.drop");
+        corruptCounter_ =
+            &metrics->counter("resilience.injected.corrupt");
+    }
+}
+
+PreInvocationAction
+FaultInjector::before(Plugin &plugin, std::uint64_t attempt,
+                      TimePoint now)
+{
+    (void)now;
+    PreInvocationAction pre;
+    if (!plan_.appliesToTask(plugin.name()))
+        return pre;
+    const std::string &name = plugin.name();
+    if (plan_.crash_rate > 0.0 &&
+        faultDraw(plan_.seed, kKindCrash, name, attempt) <
+            plan_.crash_rate) {
+        pre.crash = true;
+        crashes_.fetch_add(1, std::memory_order_relaxed);
+        if (crashCounter_)
+            crashCounter_->add();
+    }
+    if (plan_.stall_rate > 0.0 &&
+        faultDraw(plan_.seed, kKindStall, name, attempt) <
+            plan_.stall_rate) {
+        pre.stall = plan_.stall;
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        if (stallCounter_)
+            stallCounter_->add();
+    }
+    if (plan_.spike_rate > 0.0 &&
+        faultDraw(plan_.seed, kKindSpike, name, attempt) <
+            plan_.spike_rate) {
+        pre.duration_scale = plan_.spike_scale;
+        spikes_.fetch_add(1, std::memory_order_relaxed);
+        if (spikeCounter_)
+            spikeCounter_->add();
+    }
+    return pre;
+}
+
+void
+FaultInjector::after(Plugin &plugin, TimePoint now,
+                     const InvocationOutcome &outcome)
+{
+    (void)plugin;
+    (void)now;
+    (void)outcome;
+}
+
+PublishHookHandle
+FaultInjector::makePublishHook()
+{
+    return std::make_shared<PublishHook>(
+        [this](const std::string &topic, std::uint64_t attempt,
+               Event &event) {
+            return onPublish(topic, attempt, event);
+        });
+}
+
+void
+FaultInjector::setCorrupter(const std::string &topic, EventCorrupter fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    corrupters_[topic] = std::move(fn);
+}
+
+bool
+FaultInjector::onPublish(const std::string &topic, std::uint64_t attempt,
+                         Event &event)
+{
+    if (!plan_.appliesToTopic(topic))
+        return true;
+    if (plan_.drop_rate > 0.0 &&
+        faultDraw(plan_.seed, kKindDrop, topic, attempt) <
+            plan_.drop_rate) {
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        if (dropCounter_)
+            dropCounter_->add();
+        return false;
+    }
+    if (plan_.corrupt_rate > 0.0 &&
+        faultDraw(plan_.seed, kKindCorrupt, topic, attempt) <
+            plan_.corrupt_rate) {
+        EventCorrupter corrupter;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = corrupters_.find(topic);
+            if (it != corrupters_.end())
+                corrupter = it->second;
+        }
+        if (corrupter) {
+            // Seed the corrupter's draws from the same coordinate
+            // system as the decision itself: replayable corruption.
+            Rng rng(plan_.seed ^
+                    static_cast<std::uint64_t>(faultDraw(
+                        plan_.seed, kKindCorruptSeed, topic, attempt) *
+                        9007199254740992.0));
+            corrupter(event, rng);
+            corruptions_.fetch_add(1, std::memory_order_relaxed);
+            if (corruptCounter_)
+                corruptCounter_->add();
+        }
+    }
+    return true;
+}
+
+} // namespace illixr

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * FaultInjector: turns a FaultPlan into decisions at the two runtime
+ * boundaries every component passes through — Executor invocations
+ * (via InvocationInterceptor) and Switchboard publishes (via
+ * PublishHook) — plus the offload-link brownout windows the network
+ * model samples.
+ *
+ * Every decision is a pure function of (plan seed, boundary kind,
+ * task/topic name, attempt index) through faultDraw(), never of wall
+ * time or thread identity, so the same plan replays the same faults
+ * under the deterministic executor, byte for byte.
+ *
+ * The injector knows nothing about payload types: corrupting an
+ * event is delegated to per-topic corrupter callbacks registered by
+ * the layer that owns the types (the xr wiring registers camera and
+ * IMU corrupters), each handed a deterministically seeded Rng.
+ */
+
+#pragma once
+
+#include "resilience/fault_plan.hpp"
+#include "foundation/rng.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/switchboard.hpp"
+#include "trace/metrics_registry.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace illixr {
+
+/** Mutates one event in place; drawn values come from @p rng. */
+using EventCorrupter = std::function<void(Event &event, Rng &rng)>;
+
+class FaultInjector final : public InvocationInterceptor
+{
+  public:
+    explicit FaultInjector(FaultPlan plan,
+                           MetricsRegistry *metrics = nullptr);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // ---- invocation boundary (InvocationInterceptor) ----
+
+    PreInvocationAction before(Plugin &plugin, std::uint64_t attempt,
+                               TimePoint now) override;
+
+    void after(Plugin &plugin, TimePoint now,
+               const InvocationOutcome &outcome) override;
+
+    // ---- publish boundary ----
+
+    /**
+     * The hook to install via Switchboard::setPublishHook(). Keeps
+     * `this` borrowed: the injector must outlive the switchboard's
+     * use of the handle.
+     */
+    PublishHookHandle makePublishHook();
+
+    /** Register the corrupter for @p topic (replaces any previous). */
+    void setCorrupter(const std::string &topic, EventCorrupter fn);
+
+    // ---- offload link ----
+
+    /** The brownout window covering @p now, or nullptr. */
+    const BrownoutWindow *brownoutAt(TimePoint now) const
+    {
+        return plan_.brownoutAt(now);
+    }
+
+    // ---- accounting ----
+
+    std::uint64_t injectedCrashes() const { return crashes_; }
+    std::uint64_t injectedStalls() const { return stalls_; }
+    std::uint64_t injectedSpikes() const { return spikes_; }
+    std::uint64_t injectedDrops() const { return drops_; }
+    std::uint64_t injectedCorruptions() const { return corruptions_; }
+    std::uint64_t injectedTotal() const
+    {
+        return injectedCrashes() + injectedStalls() + injectedSpikes() +
+               injectedDrops() + injectedCorruptions();
+    }
+
+  private:
+    bool onPublish(const std::string &topic, std::uint64_t attempt,
+                   Event &event);
+
+    FaultPlan plan_;
+
+    std::mutex mutex_; ///< Guards corrupters_ registration/lookup.
+    std::map<std::string, EventCorrupter> corrupters_;
+
+    std::atomic<std::uint64_t> crashes_{0};
+    std::atomic<std::uint64_t> stalls_{0};
+    std::atomic<std::uint64_t> spikes_{0};
+    std::atomic<std::uint64_t> drops_{0};
+    std::atomic<std::uint64_t> corruptions_{0};
+
+    Counter *crashCounter_ = nullptr;
+    Counter *stallCounter_ = nullptr;
+    Counter *spikeCounter_ = nullptr;
+    Counter *dropCounter_ = nullptr;
+    Counter *corruptCounter_ = nullptr;
+};
+
+} // namespace illixr

@@ -1,0 +1,211 @@
+#include "resilience/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace illixr {
+
+namespace {
+
+/** splitmix64 finalizer: the avalanche step that turns a structured
+ *  coordinate into an unbiased draw. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashName(const std::string &name)
+{
+    // FNV-1a; stable across platforms (std::hash is not guaranteed).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseRate(const std::string &s, double &out)
+{
+    double v = 0.0;
+    if (!parseDouble(s, v) || v < 0.0 || v > 1.0)
+        return false;
+    out = v;
+    return true;
+}
+
+std::vector<std::string>
+splitList(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(s);
+    while (std::getline(in, part, sep)) {
+        if (!part.empty())
+            parts.push_back(part);
+    }
+    return parts;
+}
+
+bool
+contains(const std::vector<std::string> &names, const std::string &name)
+{
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+} // namespace
+
+bool
+FaultPlan::active() const
+{
+    return crash_rate > 0.0 || stall_rate > 0.0 || spike_rate > 0.0 ||
+           drop_rate > 0.0 || corrupt_rate > 0.0 || !brownouts.empty();
+}
+
+bool
+FaultPlan::appliesToTask(const std::string &task) const
+{
+    return tasks.empty() || contains(tasks, task);
+}
+
+bool
+FaultPlan::appliesToTopic(const std::string &topic) const
+{
+    return contains(topics, topic);
+}
+
+const BrownoutWindow *
+FaultPlan::brownoutAt(TimePoint now) const
+{
+    for (const BrownoutWindow &w : brownouts) {
+        if (now >= w.start && now < w.start + w.length)
+            return &w;
+    }
+    return nullptr;
+}
+
+bool
+parseFaultPlan(const std::string &spec, FaultPlan &out)
+{
+    FaultPlan plan;
+    for (const std::string &item : splitList(spec, ',')) {
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        double v = 0.0;
+        if (key == "seed") {
+            if (!parseDouble(value, v) || v < 0.0)
+                return false;
+            plan.seed = static_cast<std::uint64_t>(v);
+        } else if (key == "crash") {
+            if (!parseRate(value, plan.crash_rate))
+                return false;
+        } else if (key == "stall") {
+            if (!parseRate(value, plan.stall_rate))
+                return false;
+        } else if (key == "stall_ms") {
+            if (!parseDouble(value, v) || v < 0.0)
+                return false;
+            plan.stall = static_cast<Duration>(v * 1e6);
+        } else if (key == "spike") {
+            if (!parseRate(value, plan.spike_rate))
+                return false;
+        } else if (key == "spike_scale") {
+            if (!parseDouble(value, v) || v < 1.0)
+                return false;
+            plan.spike_scale = v;
+        } else if (key == "drop") {
+            if (!parseRate(value, plan.drop_rate))
+                return false;
+        } else if (key == "corrupt") {
+            if (!parseRate(value, plan.corrupt_rate))
+                return false;
+        } else if (key == "tasks") {
+            plan.tasks = splitList(value, '|');
+        } else if (key == "topics") {
+            plan.topics = splitList(value, '|');
+        } else if (key == "brownout") {
+            // start_ms:length_ms:loss:latency_ms
+            const std::vector<std::string> f = splitList(value, ':');
+            if (f.size() != 4)
+                return false;
+            double start_ms = 0, length_ms = 0, loss = 0, lat_ms = 0;
+            if (!parseDouble(f[0], start_ms) || start_ms < 0.0 ||
+                !parseDouble(f[1], length_ms) || length_ms <= 0.0 ||
+                !parseRate(f[2], loss) ||
+                !parseDouble(f[3], lat_ms) || lat_ms < 0.0)
+                return false;
+            BrownoutWindow w;
+            w.start = static_cast<TimePoint>(start_ms * 1e6);
+            w.length = static_cast<Duration>(length_ms * 1e6);
+            w.extra_loss = loss;
+            w.extra_latency_ms = lat_ms;
+            plan.brownouts.push_back(w);
+        } else {
+            return false;
+        }
+    }
+    out = std::move(plan);
+    return true;
+}
+
+std::string
+faultPlanSummary(const FaultPlan &plan)
+{
+    std::ostringstream out;
+    out << "seed=" << plan.seed;
+    if (plan.crash_rate > 0.0)
+        out << " crash=" << plan.crash_rate;
+    if (plan.stall_rate > 0.0)
+        out << " stall=" << plan.stall_rate << "@"
+            << toMilliseconds(plan.stall) << "ms";
+    if (plan.spike_rate > 0.0)
+        out << " spike=" << plan.spike_rate << "x" << plan.spike_scale;
+    if (plan.drop_rate > 0.0)
+        out << " drop=" << plan.drop_rate;
+    if (plan.corrupt_rate > 0.0)
+        out << " corrupt=" << plan.corrupt_rate;
+    for (const BrownoutWindow &w : plan.brownouts)
+        out << " brownout=" << (w.start / 1000000) << "+"
+            << (w.length / 1000000) << "ms(loss=" << w.extra_loss
+            << ",+" << w.extra_latency_ms << "ms)";
+    if (!plan.active())
+        out << " (inactive)";
+    return out.str();
+}
+
+double
+faultDraw(std::uint64_t seed, std::uint32_t kind,
+          const std::string &name, std::uint64_t index)
+{
+    std::uint64_t x = mix64(seed ^ (0xa0761d6478bd642fULL +
+                                    static_cast<std::uint64_t>(kind)));
+    x = mix64(x ^ hashName(name));
+    x = mix64(x ^ index);
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+} // namespace illixr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * FaultPlan: the seeded, declarative description of every fault a run
+ * will experience. A plan is data, not code — the same plan string
+ * and seed always produce the same faults at the same (task, attempt)
+ * and (topic, publish) coordinates, which is what makes chaos runs
+ * replayable byte-for-byte under the deterministic executor
+ * (DESIGN.md §5 determinism contract).
+ *
+ * Plans are written as comma-separated `key=value` specs, e.g.
+ *
+ *   crash=0.01,stall=0.02,drop=0.05,brownout=1000:500:1.0:80,seed=7
+ *
+ * See parseFaultPlan() for the full key reference (README has the
+ * user-facing version).
+ */
+
+#pragma once
+
+#include "foundation/time.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** One offload-link brownout window on the run's timeline. */
+struct BrownoutWindow
+{
+    TimePoint start = 0;   ///< Window start (timeline ns).
+    Duration length = 0;   ///< Window length (ns).
+    double extra_loss = 1.0;      ///< Added to NetworkLink.loss_rate.
+    double extra_latency_ms = 0.0; ///< Added to the base latency.
+};
+
+/**
+ * The declarative fault plan. Rates are per-boundary probabilities
+ * in [0, 1]: crash/stall/spike apply per invocation attempt,
+ * drop/corrupt per publish attempt.
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    // ---- invocation-boundary faults ----
+    double crash_rate = 0.0; ///< Injected exception inside iterate().
+    double stall_rate = 0.0; ///< Invocation hangs for `stall`.
+    Duration stall = 20 * kMillisecond;
+    double spike_rate = 0.0; ///< Invocation cost multiplied by scale.
+    double spike_scale = 4.0;
+
+    /** Tasks the invocation faults apply to (empty = all). */
+    std::vector<std::string> tasks;
+
+    // ---- publish-boundary faults ----
+    double drop_rate = 0.0;    ///< Event silently dropped.
+    double corrupt_rate = 0.0; ///< Event payload corrupted in place.
+
+    /** Topics the publish faults apply to (empty = none — sensor
+     *  topics are opted in explicitly by the wiring). */
+    std::vector<std::string> topics;
+
+    // ---- offload-link brownouts ----
+    std::vector<BrownoutWindow> brownouts;
+
+    /** True if any fault can ever fire under this plan. */
+    bool active() const;
+
+    /** True if invocation faults apply to @p task. */
+    bool appliesToTask(const std::string &task) const;
+
+    /** True if publish faults apply to @p topic. */
+    bool appliesToTopic(const std::string &topic) const;
+
+    /** The brownout window covering @p now, or nullptr. */
+    const BrownoutWindow *brownoutAt(TimePoint now) const;
+};
+
+/**
+ * Parse a `key=value,key=value` plan spec. Keys: `seed`, `crash`,
+ * `stall`, `stall_ms`, `spike`, `spike_scale`, `drop`, `corrupt`,
+ * `tasks` / `topics` (pipe-separated name lists), and repeatable
+ * `brownout=start_ms:length_ms:loss:latency_ms`. Unknown keys or
+ * malformed values fail the parse; @p out is only written on success.
+ * An empty spec parses to an inactive plan.
+ */
+bool parseFaultPlan(const std::string &spec, FaultPlan &out);
+
+/** One-line human-readable summary ("crash=0.01 drop=0.05 ..."). */
+std::string faultPlanSummary(const FaultPlan &plan);
+
+/**
+ * The deterministic per-coordinate uniform draw in [0, 1) every fault
+ * decision is made from: a pure function of (seed, kind, name,
+ * index), independent of wall time, thread, and call order.
+ */
+double faultDraw(std::uint64_t seed, std::uint32_t kind,
+                 const std::string &name, std::uint64_t index);
+
+} // namespace illixr

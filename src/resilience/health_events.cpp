@@ -1,0 +1,27 @@
+#include "resilience/health_events.hpp"
+
+namespace illixr {
+
+const char *
+healthKindName(HealthKind kind)
+{
+    switch (kind) {
+    case HealthKind::Exception:
+        return "exception";
+    case HealthKind::FaultInjected:
+        return "fault_injected";
+    case HealthKind::DeadlineMiss:
+        return "deadline_miss";
+    case HealthKind::Restart:
+        return "restart";
+    case HealthKind::CircuitOpen:
+        return "circuit_open";
+    case HealthKind::CircuitHalfOpen:
+        return "circuit_half_open";
+    case HealthKind::CircuitClosed:
+        return "circuit_closed";
+    }
+    return "unknown";
+}
+
+} // namespace illixr

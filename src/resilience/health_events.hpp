@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Typed health and degradation events of the resilience subsystem.
+ *
+ * Everything the Supervisor, the circuit breaker, and the
+ * DegradationManager decide is announced on the switchboard like any
+ * other data in the system, so experiments can subscribe to the
+ * system's own view of its health, and traces show *why* a knob
+ * moved next to the frames it affected.
+ */
+
+#pragma once
+
+#include "runtime/switchboard.hpp"
+
+#include <string>
+
+namespace illixr {
+
+namespace topics {
+
+/** HealthEvent stream: faults, restarts, circuit transitions. */
+inline const std::string kHealth = "resilience.health";
+
+/** DegradationCommandEvent stream: the current shedding knobs. */
+inline const std::string kDegradation = "resilience.degradation";
+
+} // namespace topics
+
+/** What happened to a supervised component. */
+enum class HealthKind
+{
+    Exception,       ///< An invocation threw (contained).
+    FaultInjected,   ///< The FaultInjector fired on this task/topic.
+    DeadlineMiss,    ///< Sustained overrun skips observed.
+    Restart,         ///< Supervisor restarted the plugin.
+    CircuitOpen,     ///< Breaker tripped: remote path abandoned.
+    CircuitHalfOpen, ///< Breaker probing the remote path again.
+    CircuitClosed,   ///< Breaker recovered: remote path restored.
+};
+
+const char *healthKindName(HealthKind kind);
+
+/** One health observation about one task (or link). */
+struct HealthEvent : Event
+{
+    HealthKind kind = HealthKind::Exception;
+    std::string task;   ///< Plugin/task name (or link name).
+    std::string detail; ///< Human-readable context (what(), counts).
+};
+
+/**
+ * The DegradationManager's current load-shedding command. Knob
+ * consumers (camera, reprojection, audio encoder) read the latest
+ * value and apply it; level 0 means no shedding (all knobs 1/0/1).
+ */
+struct DegradationCommandEvent : Event
+{
+    int level = 0; ///< 0 (none) .. 3 (max shedding).
+
+    /** Publish every Nth camera frame (1 = full rate). */
+    int camera_stride = 1;
+
+    /** Reproject on every Nth invocation (1 = every vsync). */
+    int reprojection_stride = 1;
+
+    /** Encode N audio blocks per (decimated) invocation (1 = off). */
+    int audio_coalesce = 1;
+};
+
+} // namespace illixr

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Supervisor: the per-plugin watchdog of the resilience subsystem.
+ *
+ * Fed by the same invocation boundary the FaultInjector uses, it
+ *
+ *  - contains and counts plugin exceptions (the executor already
+ *    guarantees they cannot unwind a worker; the supervisor decides
+ *    what happens next),
+ *  - takes a plugin *down* after a threshold of consecutive
+ *    exceptions and restarts it (stop() + start()) after an
+ *    exponential backoff, capped and reset by a healthy streak,
+ *  - watches per-task overrun skips in the MetricsRegistry as a
+ *    deadline-miss heartbeat, announcing sustained misses,
+ *
+ * publishing every decision as a typed HealthEvent on
+ * `resilience.health`.
+ *
+ * Timeline-agnostic: all delays are computed from the executor's
+ * `now` (virtual or wall), so backoff schedules replay exactly under
+ * the deterministic executor.
+ */
+
+#pragma once
+
+#include "resilience/health_events.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/phonebook.hpp"
+#include "trace/metrics_registry.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace illixr {
+
+struct SupervisorPolicy
+{
+    /** Consecutive exceptions that take a plugin down. */
+    std::size_t exception_threshold = 1;
+
+    /** First restart delay; doubles per consecutive restart. */
+    Duration initial_backoff = 50 * kMillisecond;
+
+    double backoff_factor = 2.0;
+    Duration max_backoff = 2 * kSecond;
+
+    /** Clean invocations that reset the backoff exponent. */
+    std::size_t healthy_streak = 8;
+
+    /** Overrun skips since the last report that announce a sustained
+     *  deadline-miss episode (0 disables the watchdog). */
+    std::size_t miss_report_threshold = 10;
+};
+
+class Supervisor final : public InvocationInterceptor
+{
+  public:
+    Supervisor(Switchboard &switchboard, MetricsRegistry *metrics,
+               SupervisorPolicy policy = {});
+
+    /** Phonebook handed to restarted plugins' start(). */
+    void setPhonebook(const Phonebook *phonebook)
+    {
+        phonebook_ = phonebook;
+    }
+
+    // ---- InvocationInterceptor ----
+
+    PreInvocationAction before(Plugin &plugin, std::uint64_t attempt,
+                               TimePoint now) override;
+
+    void after(Plugin &plugin, TimePoint now,
+               const InvocationOutcome &outcome) override;
+
+    // ---- accounting ----
+
+    std::uint64_t restarts() const;
+    std::uint64_t exceptionsSeen() const;
+
+    /** Is @p task currently held down awaiting restart? */
+    bool isDown(const std::string &task) const;
+
+  private:
+    struct TaskState
+    {
+        bool down = false;
+        TimePoint restart_at = 0;
+        std::size_t consecutive_exceptions = 0;
+        std::size_t healthy = 0;
+        std::size_t restart_streak = 0; ///< Drives the backoff exponent.
+        std::uint64_t last_skips = 0;   ///< Watchdog counter baseline.
+        Counter *skips_counter = nullptr;
+    };
+
+    void publish(HealthKind kind, const std::string &task,
+                 std::string detail, TimePoint now);
+
+    Duration backoffFor(std::size_t restart_streak) const;
+
+    SupervisorPolicy policy_;
+    const Phonebook *phonebook_ = nullptr;
+    MetricsRegistry *metrics_ = nullptr;
+
+    Switchboard::Writer<HealthEvent> health_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, TaskState> states_;
+    std::uint64_t restarts_ = 0;
+    std::uint64_t exceptions_ = 0;
+
+    Counter *restartCounter_ = nullptr;
+    Counter *exceptionCounter_ = nullptr;
+    Counter *suppressedCounter_ = nullptr;
+};
+
+} // namespace illixr

@@ -1,5 +1,9 @@
 #include "runtime/executor.hpp"
 
+#include "foundation/profile.hpp"
+
+#include <algorithm>
+
 namespace illixr {
 
 double
@@ -18,8 +22,54 @@ ExecutorBase::internMetrics(const std::string &task)
         return m;
     m.invocations = &metrics_->counter("task." + task + ".invocations");
     m.skips = &metrics_->counter("task." + task + ".skips");
+    m.exceptions = &metrics_->counter("task." + task + ".exceptions");
     m.exec_ms = &metrics_->histogram("task." + task + ".exec_ms");
     return m;
+}
+
+InvocationOutcome
+ExecutorBase::invokeGuarded(Plugin &plugin, std::uint64_t attempt,
+                            TimePoint now, std::uint64_t span_id)
+{
+    InvocationOutcome out;
+    PreInvocationAction pre;
+    if (interceptor_)
+        pre = interceptor_->before(plugin, attempt, now);
+    out.extra = std::max<Duration>(0, pre.stall);
+    out.duration_scale = std::max(1.0, pre.duration_scale);
+
+    if (pre.suppress) {
+        out.suppressed = true;
+        if (interceptor_)
+            interceptor_->after(plugin, now, out);
+        return out;
+    }
+
+    TraceContext::beginInvocation(span_id, now);
+    const double t0 = hostTimeSeconds();
+    try {
+        if (pre.crash)
+            throw InjectedFault("injected fault: task '" + plugin.name() +
+                                "', attempt " + std::to_string(attempt));
+        plugin.iterate(now);
+        out.ran = true;
+    } catch (const std::exception &e) {
+        out.exception = true;
+        out.error = e.what();
+    } catch (...) {
+        out.exception = true;
+        out.error = "non-standard exception";
+    }
+    out.host_seconds =
+        std::max(0.0, hostTimeSeconds() - t0 -
+                          plugin.consumeExcludedHostSeconds());
+    // Close the scope on every path: an escaped exception must not
+    // leave a poisoned consumed set for this thread's next invocation.
+    TraceContext::endInvocation();
+
+    if (interceptor_)
+        interceptor_->after(plugin, now, out);
+    return out;
 }
 
 void

@@ -29,6 +29,7 @@
 #include "trace/trace.hpp"
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,12 +54,70 @@ struct TaskStats
     Duration period = 0;
     std::size_t invocations = 0;
     std::size_t skips = 0;       ///< Arrivals dropped due to overrun.
+    std::size_t attempts = 0;    ///< Dispatch attempts (incl. held).
+    std::size_t exceptions = 0;  ///< Invocations that threw.
+    std::size_t suppressed = 0;  ///< Invocations held by a supervisor.
     Duration busy = 0;           ///< Total busy time.
     SampleSeries exec_ms;        ///< Per-invocation ms.
     std::vector<InvocationRecord> records;
 
     /** Achieved rate over a run of @p wall duration. */
     double achievedHz(Duration wall) const;
+};
+
+/** The exception type thrown by injected crash faults. */
+struct InjectedFault : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Decision taken at the invocation boundary, before iterate() runs.
+ * Produced by an InvocationInterceptor (fault injection, supervision).
+ */
+struct PreInvocationAction
+{
+    bool suppress = false; ///< Hold this invocation (recorded as such).
+    bool crash = false;    ///< Throw an InjectedFault inside the scope.
+    Duration stall = 0;    ///< Extra occupancy (hang-then-complete).
+    double duration_scale = 1.0; ///< Latency-spike cost multiplier.
+};
+
+/** What one guarded invocation did. */
+struct InvocationOutcome
+{
+    bool ran = false;        ///< iterate() returned normally.
+    bool suppressed = false; ///< Held back; iterate() never ran.
+    bool exception = false;  ///< iterate() (or an injected crash) threw.
+    std::string error;       ///< what() of the escaped exception.
+    double host_seconds = 0.0;
+    Duration extra = 0;          ///< Injected stall to add to occupancy.
+    double duration_scale = 1.0; ///< Injected cost multiplier.
+};
+
+/**
+ * Hook consulted by every executor around every plugin invocation.
+ * before() may suppress the invocation, inject a crash, or add
+ * modeled latency; after() observes the outcome (including escaped
+ * exceptions) outside the invocation's trace scope, so anything it
+ * publishes does not inherit the invocation's lineage.
+ *
+ * Called from executor worker threads: implementations must be
+ * thread-safe, and under the deterministic PoolExecutor must make
+ * decisions that are pure functions of (task, attempt) — never of
+ * wall-clock time — to preserve the determinism contract.
+ */
+class InvocationInterceptor
+{
+  public:
+    virtual ~InvocationInterceptor() = default;
+
+    virtual PreInvocationAction before(Plugin &plugin,
+                                       std::uint64_t attempt,
+                                       TimePoint now) = 0;
+
+    virtual void after(Plugin &plugin, TimePoint now,
+                       const InvocationOutcome &outcome) = 0;
 };
 
 /**
@@ -125,16 +184,40 @@ class ExecutorBase : public Executor
         phonebook_ = phonebook;
     }
 
+    /** The phonebook plugins were started with (may be nullptr). */
+    const Phonebook *phonebook() const { return phonebook_; }
+
+    /**
+     * Attach the invocation-boundary hook (nullptr detaches). Must be
+     * set before run(); the interceptor must outlive the run.
+     */
+    void setInterceptor(InvocationInterceptor *interceptor)
+    {
+        interceptor_ = interceptor;
+    }
+
   protected:
     /** Interned per-task metric handles (resolved once, not per hit). */
     struct TaskMetrics
     {
         Counter *invocations = nullptr;
         Counter *skips = nullptr;
+        Counter *exceptions = nullptr;
         Histogram *exec_ms = nullptr;
     };
 
     TaskMetrics internMetrics(const std::string &task);
+
+    /**
+     * The one way executors run iterate(): consults the interceptor,
+     * opens/closes the TraceContext scope on *every* path (an escaped
+     * exception must not poison the thread's next invocation), and
+     * contains any exception the plugin throws instead of letting it
+     * unwind the executor. host_seconds excludes the plugin's
+     * excluded (modeled-remote) time.
+     */
+    InvocationOutcome invokeGuarded(Plugin &plugin, std::uint64_t attempt,
+                                    TimePoint now, std::uint64_t span_id);
 
     /** Track a plugin for the shared start/stop lifecycle. */
     void notePlugin(Plugin *plugin) { lifecycle_.push_back(plugin); }
@@ -148,6 +231,7 @@ class ExecutorBase : public Executor
     std::shared_ptr<TraceSink> sink_;
     MetricsRegistry *metrics_ = &MetricsRegistry::global();
     const Phonebook *phonebook_ = nullptr;
+    InvocationInterceptor *interceptor_ = nullptr;
 
   private:
     std::vector<Plugin *> lifecycle_;

@@ -252,17 +252,34 @@ PoolExecutor::executeLive(Entry &entry, std::size_t worker_index,
                           TimePoint release, TimePoint now)
 {
     const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
-    TraceContext::beginInvocation(span_id, now);
-    const double t0 = hostTimeSeconds();
-    entry.plugin->iterate(now);
-    const double host_seconds =
-        hostTimeSeconds() - t0 - entry.plugin->consumeExcludedHostSeconds();
-    TraceContext::endInvocation();
+    std::uint64_t attempt;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        attempt = ++entry.stats.attempts;
+    }
+    const InvocationOutcome out =
+        invokeGuarded(*entry.plugin, attempt, now, span_id);
+
+    if (out.suppressed) {
+        if (sink_)
+            sink_->recordSkip(entry.stats.name, now,
+                              SkipCause::Suppressed);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++entry.stats.suppressed;
+        return;
+    }
+    // Injected stalls hang the worker (bounded) so the occupancy is
+    // real contention for the pool, like an actual hang would be.
+    if (out.extra > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            std::min<Duration>(out.extra, 100 * kMillisecond)));
     const TimePoint done = wallNs();
 
     entry.iterations.fetch_add(1);
     if (entry.metrics.invocations)
         entry.metrics.invocations->add();
+    if (out.exception && entry.metrics.exceptions)
+        entry.metrics.exceptions->add();
     if (entry.metrics.exec_ms)
         entry.metrics.exec_ms->observe(toMilliseconds(done - now));
     if (worker_index < workerInvocations_.size() &&
@@ -275,7 +292,7 @@ PoolExecutor::executeLive(Entry &entry, std::size_t worker_index,
         span.arrival = release;
         span.start = now;
         span.completion = done;
-        span.host_seconds = host_seconds;
+        span.host_seconds = out.host_seconds;
         span.id = span_id;
         span.worker = static_cast<std::uint32_t>(worker_index + 1);
         sink_->recordSpan(std::move(span));
@@ -286,7 +303,7 @@ PoolExecutor::executeLive(Entry &entry, std::size_t worker_index,
     rec.start = now;
     rec.virtual_duration = done - now;
     rec.completion = done;
-    rec.host_seconds = host_seconds;
+    rec.host_seconds = out.host_seconds;
     if (entry.vsync_aligned && entry.vsync > 0)
         rec.target_vsync =
             ((now + entry.vsync - 1) / entry.vsync) * entry.vsync;
@@ -296,6 +313,8 @@ PoolExecutor::executeLive(Entry &entry, std::size_t worker_index,
     entry.stats.exec_ms.add(toMilliseconds(done - now));
     entry.stats.busy += done - now;
     ++entry.stats.invocations;
+    if (out.exception)
+        ++entry.stats.exceptions;
     if (entry.plugin->execUnit() == ExecUnit::Cpu)
         busyCpu_ += done - now;
     else
@@ -376,20 +395,21 @@ PoolExecutor::modeledCost(const Entry &entry, std::size_t w)
                                    entry.plugin->execUnit());
 }
 
-double
+InvocationOutcome
 PoolExecutor::handoff(Entry &entry, std::size_t w, TimePoint arrival,
-                      std::uint64_t span_id)
+                      std::uint64_t attempt, std::uint64_t span_id)
 {
     std::unique_lock<std::mutex> lock(handoffMutex_);
     handoffEntry_ = &entry;
     handoffWorker_ = w;
     handoffArrival_ = arrival;
+    handoffAttempt_ = attempt;
     handoffSpan_ = span_id;
     handoffDone_ = false;
     handoffCv_.notify_all();
     handoffCv_.wait(lock, [this] { return handoffDone_; });
     handoffEntry_ = nullptr;
-    return handoffHostSeconds_;
+    return handoffOutcome_;
 }
 
 void
@@ -406,19 +426,20 @@ PoolExecutor::virtualWorkerMain(std::size_t worker_index)
             return;
         Entry &entry = *handoffEntry_;
         const TimePoint arrival = handoffArrival_;
+        const std::uint64_t attempt = handoffAttempt_;
         const std::uint64_t span_id = handoffSpan_;
         lock.unlock();
 
-        TraceContext::beginInvocation(span_id, arrival);
-        const double t0 = hostTimeSeconds();
-        entry.plugin->iterate(arrival);
-        const double host_seconds =
-            hostTimeSeconds() - t0 -
-            entry.plugin->consumeExcludedHostSeconds();
-        TraceContext::endInvocation();
+        // The guarded call runs here, on the worker thread, because
+        // TraceContext is thread-local and the interceptor must see
+        // the same thread the plugin publishes from. The barrier
+        // keeps it serialized, so interceptor decisions stay a pure
+        // function of (task, attempt).
+        const InvocationOutcome out =
+            invokeGuarded(*entry.plugin, attempt, arrival, span_id);
 
         lock.lock();
-        handoffHostSeconds_ = host_seconds;
+        handoffOutcome_ = out;
         handoffDone_ = true;
         handoffCv_.notify_all();
     }
@@ -501,10 +522,31 @@ PoolExecutor::runVirtual(Duration duration)
             }
 
             const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
-            const double host_seconds =
-                handoff(entry, w, ev.time, span_id);
+            const std::uint64_t attempt = ++entry.stats.attempts;
+            const InvocationOutcome out =
+                handoff(entry, w, ev.time, attempt, span_id);
 
-            const Duration vdur = modeledCost(entry, w);
+            if (out.suppressed) {
+                // Held by the interceptor: no cost draw (the decision
+                // is deterministic, so the draw stream stays aligned
+                // across runs), no completion event.
+                ++entry.stats.suppressed;
+                if (sink_)
+                    sink_->recordSkip(entry.stats.name, ev.time,
+                                      SkipCause::Suppressed);
+            } else {
+            if (out.exception) {
+                ++entry.stats.exceptions;
+                if (entry.metrics.exceptions)
+                    entry.metrics.exceptions->add();
+            }
+
+            // Injected spikes/stalls stretch the *modeled* cost, so
+            // they land on the virtual timeline deterministically.
+            Duration vdur = modeledCost(entry, w);
+            vdur = static_cast<Duration>(static_cast<double>(vdur) *
+                                         out.duration_scale) +
+                   out.extra;
             const TimePoint start = std::max(ev.time, workerFreeAt[w]);
             const TimePoint completion = start + vdur;
             workerFreeAt[w] = completion;
@@ -517,7 +559,7 @@ PoolExecutor::runVirtual(Duration duration)
             rec.start = start;
             rec.virtual_duration = vdur;
             rec.completion = completion;
-            rec.host_seconds = host_seconds;
+            rec.host_seconds = out.host_seconds;
             if (entry.vsync_aligned && entry.vsync > 0)
                 rec.target_vsync =
                     ((ev.time + entry.vsync - 1) / entry.vsync) *
@@ -545,10 +587,11 @@ PoolExecutor::runVirtual(Duration duration)
                 span.arrival = ev.time;
                 span.start = start;
                 span.completion = completion;
-                span.host_seconds = host_seconds;
+                span.host_seconds = out.host_seconds;
                 span.id = span_id;
                 span.worker = static_cast<std::uint32_t>(w + 1);
                 sink_->recordSpan(std::move(span));
+            }
             }
         }
 

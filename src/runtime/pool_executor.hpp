@@ -207,10 +207,12 @@ class PoolExecutor : public ExecutorBase
     // ---- deterministic mode ----
     void runVirtual(Duration duration);
     void virtualWorkerMain(std::size_t worker_index);
-    /** Hand @p entry to worker @p w, barrier until iterate returns.
-     *  @return the measured host seconds of the invocation. */
-    double handoff(Entry &entry, std::size_t w, TimePoint arrival,
-                   std::uint64_t span_id);
+    /** Hand @p entry to worker @p w, barrier until the guarded
+     *  invocation returns on that worker's thread (the interceptor
+     *  and the plugin both run there, where TraceContext lives). */
+    InvocationOutcome handoff(Entry &entry, std::size_t w,
+                              TimePoint arrival, std::uint64_t attempt,
+                              std::uint64_t span_id);
     /** Modeled virtual cost of one invocation on worker @p w. */
     Duration modeledCost(const Entry &entry, std::size_t w);
 
@@ -233,9 +235,10 @@ class PoolExecutor : public ExecutorBase
     Entry *handoffEntry_ = nullptr;
     std::size_t handoffWorker_ = 0;
     TimePoint handoffArrival_ = 0;
+    std::uint64_t handoffAttempt_ = 0;
     std::uint64_t handoffSpan_ = 0;
     bool handoffDone_ = false;
-    double handoffHostSeconds_ = 0.0;
+    InvocationOutcome handoffOutcome_;
     bool shutdownWorkers_ = false;
 
     // Topic wakeups raised while a deterministic invocation runs;

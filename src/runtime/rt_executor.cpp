@@ -2,6 +2,7 @@
 
 #include "foundation/profile.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -116,44 +117,65 @@ RtExecutor::threadMain(Entry &entry)
         const TimePoint vnow = wallNs(now);
 
         const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
-        TraceContext::beginInvocation(span_id, vnow);
-        const double t0 = hostTimeSeconds();
-        entry.plugin->iterate(vnow);
-        const double host_seconds =
-            hostTimeSeconds() - t0 -
-            entry.plugin->consumeExcludedHostSeconds();
-        TraceContext::endInvocation();
-
-        const TimePoint done = wallNs(Clock::now());
-        entry.iterations.fetch_add(1);
-
+        std::uint64_t attempt;
         {
             std::lock_guard<std::mutex> lock(entry.mutex);
-            InvocationRecord rec;
-            rec.arrival = vnow;
-            rec.start = vnow; // Dedicated thread: runs on arrival.
-            rec.virtual_duration = done - vnow;
-            rec.completion = done;
-            rec.host_seconds = host_seconds;
-            entry.stats.records.push_back(rec);
-            entry.stats.exec_ms.add(toMilliseconds(done - vnow));
-            entry.stats.busy += done - vnow;
-            ++entry.stats.invocations;
+            attempt = ++entry.stats.attempts;
         }
-        if (entry.metrics.invocations)
-            entry.metrics.invocations->add();
-        if (entry.metrics.exec_ms)
-            entry.metrics.exec_ms->observe(toMilliseconds(done - vnow));
-        if (sink_) {
-            Span span;
-            span.task = entry.stats.name;
-            span.unit = entry.plugin->execUnit();
-            span.arrival = vnow;
-            span.start = vnow;
-            span.completion = done;
-            span.host_seconds = host_seconds;
-            span.id = span_id;
-            sink_->recordSpan(std::move(span));
+        const InvocationOutcome out =
+            invokeGuarded(*entry.plugin, attempt, vnow, span_id);
+
+        if (out.suppressed) {
+            {
+                std::lock_guard<std::mutex> lock(entry.mutex);
+                ++entry.stats.suppressed;
+            }
+            if (sink_)
+                sink_->recordSkip(entry.stats.name, vnow,
+                                  SkipCause::Suppressed);
+        } else {
+            // A stall fault hangs the thread (bounded) before the
+            // invocation is accounted, so the occupancy shows up in
+            // the span like a real hang would.
+            if (out.extra > 0)
+                std::this_thread::sleep_for(std::chrono::nanoseconds(
+                    std::min<Duration>(out.extra, 100 * kMillisecond)));
+
+            const TimePoint done = wallNs(Clock::now());
+            entry.iterations.fetch_add(1);
+
+            {
+                std::lock_guard<std::mutex> lock(entry.mutex);
+                InvocationRecord rec;
+                rec.arrival = vnow;
+                rec.start = vnow; // Dedicated thread: runs on arrival.
+                rec.virtual_duration = done - vnow;
+                rec.completion = done;
+                rec.host_seconds = out.host_seconds;
+                entry.stats.records.push_back(rec);
+                entry.stats.exec_ms.add(toMilliseconds(done - vnow));
+                entry.stats.busy += done - vnow;
+                ++entry.stats.invocations;
+                if (out.exception)
+                    ++entry.stats.exceptions;
+            }
+            if (out.exception && entry.metrics.exceptions)
+                entry.metrics.exceptions->add();
+            if (entry.metrics.invocations)
+                entry.metrics.invocations->add();
+            if (entry.metrics.exec_ms)
+                entry.metrics.exec_ms->observe(toMilliseconds(done - vnow));
+            if (sink_) {
+                Span span;
+                span.task = entry.stats.name;
+                span.unit = entry.plugin->execUnit();
+                span.arrival = vnow;
+                span.start = vnow;
+                span.completion = done;
+                span.host_seconds = out.host_seconds;
+                span.id = span_id;
+                sink_->recordSpan(std::move(span));
+            }
         }
 
         next += period;

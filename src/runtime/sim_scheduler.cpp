@@ -80,18 +80,33 @@ SimScheduler::dispatch(std::size_t task_index, TimePoint arrival)
 
     // Execute the plugin for real and measure its host cost. The
     // invocation scope makes every switchboard read a causal input of
-    // every publish, all stamped with this span's id.
+    // every publish, all stamped with this span's id. The guarded
+    // call contains plugin exceptions and applies any interceptor
+    // decision (suppression, injected crash/stall/spike).
     const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
-    TraceContext::beginInvocation(span_id, arrival);
-    const double t0 = hostTimeSeconds();
-    task.plugin->iterate(arrival);
-    const double host_seconds =
-        std::max(1e-9, hostTimeSeconds() - t0 -
-                           task.plugin->consumeExcludedHostSeconds());
-    TraceContext::endInvocation();
+    const std::uint64_t attempt = ++task.stats.attempts;
+    const InvocationOutcome out =
+        invokeGuarded(*task.plugin, attempt, arrival, span_id);
 
-    const Duration vdur =
+    if (out.suppressed) {
+        ++task.stats.suppressed;
+        if (sink_)
+            sink_->recordSkip(task.stats.name, arrival,
+                              SkipCause::Suppressed);
+        return;
+    }
+    if (out.exception) {
+        ++task.stats.exceptions;
+        if (task.metrics.exceptions)
+            task.metrics.exceptions->add();
+    }
+
+    const double host_seconds = std::max(1e-9, out.host_seconds);
+    Duration vdur =
         platform_.scaleDuration(host_seconds, task.plugin->execUnit());
+    vdur = static_cast<Duration>(static_cast<double>(vdur) *
+                                 out.duration_scale) +
+           out.extra;
     const TimePoint start =
         acquireResource(task.plugin->execUnit(), arrival, vdur);
     const TimePoint completion = start + vdur;

@@ -48,6 +48,7 @@ Switchboard::topicForUntyped(const std::string &topic)
         by_index_.push_back(t);
         t->index = static_cast<std::uint32_t>(by_index_.size());
         t->sink = sink_;
+        t->hook = hook_;
     }
     return t;
 }
@@ -86,6 +87,21 @@ Switchboard::publishToTopic(const TopicPtr &t, EventPtr event)
     std::vector<std::shared_ptr<PublishListener>> listeners;
     {
         std::lock_guard<std::mutex> lock(t->mutex);
+        ++t->publish_attempts;
+        if (t->hook) {
+            // The event is still exclusively held: the hook may
+            // corrupt it in place or veto the publish entirely.
+            Event *mut = const_cast<Event *>(event.get());
+            if (!(*t->hook)(t->name, t->publish_attempts, *mut)) {
+                if (t->sink)
+                    t->sink->recordSkip(t->name,
+                                        TraceContext::active()
+                                            ? TraceContext::now()
+                                            : event->time,
+                                        SkipCause::InjectedDrop);
+                return;
+            }
+        }
         ++t->publish_count;
         id = TraceId{t->index, t->publish_count};
 
@@ -151,8 +167,16 @@ Switchboard::publishToTopic(const TopicPtr &t, EventPtr event)
         sink->recordEvent(std::move(rec));
     }
 
-    for (const auto &listener : listeners)
-        (*listener)(t->name);
+    for (const auto &listener : listeners) {
+        // One throwing listener must not skip the rest or poison the
+        // topic: contain, count, continue.
+        try {
+            (*listener)(t->name);
+        } catch (...) {
+            t->listener_exceptions.fetch_add(1,
+                                             std::memory_order_relaxed);
+        }
+    }
 }
 
 PublishListenerHandle
@@ -243,6 +267,48 @@ Switchboard::setTraceSink(std::shared_ptr<TraceSink> sink)
         std::lock_guard<std::mutex> tlock(topic->mutex);
         topic->sink = sink;
     }
+}
+
+void
+Switchboard::setPublishHook(PublishHookHandle hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook_ = hook;
+    for (auto &[name, topic] : topics_) {
+        std::lock_guard<std::mutex> tlock(topic->mutex);
+        topic->hook = hook;
+    }
+}
+
+std::uint64_t
+Switchboard::publishAttempts(const std::string &topic) const
+{
+    TopicPtr t;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = topics_.find(topic);
+        if (it == topics_.end())
+            return 0;
+        t = it->second;
+    }
+    std::lock_guard<std::mutex> lock(t->mutex);
+    return t->publish_attempts;
+}
+
+std::size_t
+Switchboard::listenerExceptions() const
+{
+    std::vector<TopicPtr> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot.reserve(topics_.size());
+        for (const auto &[name, topic] : topics_)
+            snapshot.push_back(topic);
+    }
+    std::size_t total = 0;
+    for (const TopicPtr &t : snapshot)
+        total += t->listener_exceptions.load(std::memory_order_relaxed);
+    return total;
 }
 
 } // namespace illixr

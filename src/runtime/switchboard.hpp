@@ -34,6 +34,7 @@
 #include "trace/trace.hpp"
 #include "trace/trace_id.hpp"
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -101,6 +102,22 @@ using PublishListener = std::function<void(const std::string &topic)>;
 using PublishListenerHandle = std::shared_ptr<PublishListener>;
 
 /**
+ * Hook consulted on every publish, before the event is stamped and
+ * fanned out. Return false to drop the publish (no TraceId, no
+ * readers, no listeners — recorded as an injected-drop skip); the
+ * mutable Event reference may be corrupted in place.
+ *
+ * @p attempt counts publish *attempts* on the topic (1-based),
+ * including dropped ones, so fault decisions keyed on it are
+ * deterministic regardless of earlier drops. Runs under the topic
+ * lock: must not re-enter the switchboard.
+ */
+using PublishHook = std::function<bool(
+    const std::string &topic, std::uint64_t attempt, Event &event)>;
+
+using PublishHookHandle = std::shared_ptr<PublishHook>;
+
+/**
  * The switchboard.
  */
 class Switchboard
@@ -113,10 +130,13 @@ class Switchboard
         mutable std::mutex mutex;
         EventPtr latest;
         std::uint64_t publish_count = 0;
+        std::uint64_t publish_attempts = 0; ///< Includes dropped ones.
         std::type_index type = std::type_index(typeid(void));
         std::vector<std::weak_ptr<SyncReader>> readers;
         std::vector<std::weak_ptr<PublishListener>> listeners;
         std::shared_ptr<TraceSink> sink;
+        PublishHookHandle hook;
+        std::atomic<std::size_t> listener_exceptions{0};
     };
 
     using TopicPtr = std::shared_ptr<TopicState>;
@@ -299,6 +319,25 @@ class Switchboard
     void setTraceSink(std::shared_ptr<TraceSink> sink);
 
     /**
+     * Attach the publish-boundary hook (fault injection): consulted
+     * on every subsequent publish on existing and future topics.
+     * nullptr detaches.
+     */
+    void setPublishHook(PublishHookHandle hook);
+
+    /**
+     * Publish attempts ever made on a topic, including ones a hook
+     * dropped (publishCount() counts only completed publishes).
+     */
+    std::uint64_t publishAttempts(const std::string &topic) const;
+
+    /**
+     * Total exceptions thrown (and contained) by onPublish listeners
+     * across all topics: one throwing listener never skips the rest.
+     */
+    std::size_t listenerExceptions() const;
+
+    /**
      * Register a wakeup callback on @p topic: invoked after every
      * publish, outside the topic lock (safe to re-enter the
      * switchboard or wake an executor). The listener is dropped as
@@ -333,6 +372,7 @@ class Switchboard
     std::map<std::string, TopicPtr> topics_;
     std::vector<TopicPtr> by_index_;
     std::shared_ptr<TraceSink> sink_;
+    PublishHookHandle hook_;
 };
 
 /** Convenience: make a shared event of type T. */

@@ -15,6 +15,10 @@ skipCauseName(SkipCause cause)
         return "overrun";
     case SkipCause::QueueDrop:
         return "queue_drop";
+    case SkipCause::Suppressed:
+        return "suppressed";
+    case SkipCause::InjectedDrop:
+        return "injected_drop";
     }
     return "unknown";
 }

@@ -53,8 +53,10 @@ struct Span
 /** Why an arrival did not run. */
 enum class SkipCause
 {
-    Overrun,   ///< Previous instance still running (frame drop).
-    QueueDrop, ///< Reader queue overflow dropped the event.
+    Overrun,      ///< Previous instance still running (frame drop).
+    QueueDrop,    ///< Reader queue overflow dropped the event.
+    Suppressed,   ///< Invocation held back (supervisor backoff).
+    InjectedDrop, ///< Publish dropped by an injected fault.
 };
 
 const char *skipCauseName(SkipCause cause);

@@ -73,6 +73,15 @@ applyExecutorEnv(IntegratedConfig &config)
             return false;
         config.seed = static_cast<unsigned>(n);
     }
+    if (const char *v = std::getenv("ILLIXR_FAULT_PLAN")) {
+        if (!parseFaultPlan(v, config.resilience.fault_plan))
+            return false;
+    }
+    if (const char *v = std::getenv("ILLIXR_RESILIENCE")) {
+        const bool on = std::string(v) != "0";
+        config.resilience.supervise = on;
+        config.resilience.degrade = on;
+    }
     return true;
 }
 
@@ -107,7 +116,59 @@ parseExecutorFlag(const std::string &arg, IntegratedConfig &config)
         config.seed = static_cast<unsigned>(n);
         return true;
     }
+    if (value("--fault-plan=", v))
+        return parseFaultPlan(v, config.resilience.fault_plan);
+    if (arg == "--resilience") {
+        config.resilience.supervise = true;
+        config.resilience.degrade = true;
+        return true;
+    }
     return false;
+}
+
+std::unique_ptr<ResilienceContext>
+makeResilienceContext(const IntegratedConfig &config,
+                      Switchboard &switchboard, MetricsRegistry *metrics)
+{
+    if (!config.resilience.enabled())
+        return nullptr;
+    ResilienceConfig rcfg = config.resilience;
+    // Topic faults default to the sensor streams: a plan that asks
+    // for drops/corruption without naming topics hits camera + imu.
+    if (rcfg.fault_plan.topics.empty() &&
+        (rcfg.fault_plan.drop_rate > 0.0 ||
+         rcfg.fault_plan.corrupt_rate > 0.0))
+        rcfg.fault_plan.topics = {topics::kCamera, topics::kImu};
+    auto ctx = std::make_unique<ResilienceContext>(rcfg, switchboard,
+                                                   metrics);
+    if (ctx->injector())
+        registerSensorCorrupters(*ctx->injector());
+    return ctx;
+}
+
+void
+exportResilienceExtras(ResilienceContext *ctx,
+                       std::map<std::string, double> &extra)
+{
+    if (!ctx)
+        return;
+    if (FaultInjector *inj = ctx->injector()) {
+        extra["injected_faults"] =
+            static_cast<double>(inj->injectedTotal());
+        extra["injected_crashes"] =
+            static_cast<double>(inj->injectedCrashes());
+        extra["injected_drops"] =
+            static_cast<double>(inj->injectedDrops());
+    }
+    if (Supervisor *sup = ctx->supervisor()) {
+        extra["plugin_restarts"] = static_cast<double>(sup->restarts());
+        extra["plugin_exceptions"] =
+            static_cast<double>(sup->exceptionsSeen());
+    }
+    if (DegradationPlugin *deg = ctx->degradationPlugin()) {
+        extra["degradation_max_level"] =
+            static_cast<double>(deg->maxLevelReached());
+    }
 }
 
 IntegratedResult
@@ -146,6 +207,11 @@ runIntegrated(const IntegratedConfig &config)
 
     TimewarpParams tw_params;
     tw_params.fov_y_rad = app_cfg.fov_y_rad;
+
+    // Resilience: installed before any plugin publishes so the fault
+    // plan sees every event from the first one.
+    std::unique_ptr<ResilienceContext> resilience =
+        makeResilienceContext(config, *switchboard, metrics.get());
 
     CameraPlugin camera(phonebook, tuning);
     ImuPlugin imu(phonebook, tuning);
@@ -187,6 +253,11 @@ runIntegrated(const IntegratedConfig &config)
     executor->addVsyncAlignedPlugin(&timewarp, vsync);
     executor->addPlugin(&audio_enc);
     executor->addPlugin(&audio_play);
+    if (resilience) {
+        resilience->attach(*executor);
+        if (resilience->degradationPlugin())
+            executor->addPlugin(resilience->degradationPlugin());
+    }
 
     executor->run(config.duration);
 
@@ -252,6 +323,7 @@ runIntegrated(const IntegratedConfig &config)
         static_cast<double>(application.currentEyeResolution());
     result.extra["min_eye_resolution"] =
         static_cast<double>(application.minEyeResolution());
+    exportResilienceExtras(resilience.get(), result.extra);
     return result;
 }
 

@@ -11,6 +11,7 @@
 #include "metrics/mtp.hpp"
 #include "perfmodel/power.hpp"
 #include "render/scenes.hpp"
+#include "resilience/resilience.hpp"
 #include "runtime/sim_scheduler.hpp"
 #include "sensors/dataset.hpp"
 #include "trace/metrics_registry.hpp"
@@ -57,21 +58,26 @@ struct IntegratedConfig
     std::size_t pool_workers = 4;
     /** Pool only: virtual-clock replay; byte-reproducible per seed. */
     bool deterministic = false;
+    /** Fault injection / supervision / degradation (off by default). */
+    ResilienceConfig resilience;
 };
 
 /**
  * Apply the executor environment overrides to @p config:
  * `ILLIXR_EXECUTOR` (sim|pool), `ILLIXR_POOL_WORKERS`,
- * `ILLIXR_DETERMINISTIC` (0|1), `ILLIXR_SEED`. Unset variables leave
- * the corresponding field untouched. @return false on a malformed
- * value (config is left partially updated).
+ * `ILLIXR_DETERMINISTIC` (0|1), `ILLIXR_SEED`, `ILLIXR_FAULT_PLAN`
+ * (a parseFaultPlan() spec), `ILLIXR_RESILIENCE` (0|1: supervision +
+ * degradation). Unset variables leave the corresponding field
+ * untouched. @return false on a malformed value (config is left
+ * partially updated).
  */
 bool applyExecutorEnv(IntegratedConfig &config);
 
 /**
  * Parse one executor CLI flag into @p config: `--executor=sim|pool`,
- * `--workers=N`, `--deterministic`, `--seed=N`. @return true when
- * @p arg was one of these flags and parsed cleanly; false otherwise
+ * `--workers=N`, `--deterministic`, `--seed=N`,
+ * `--fault-plan=SPEC`, `--resilience`. @return true when @p arg was
+ * one of these flags and parsed cleanly; false otherwise
  * (unrecognised flags are the caller's business).
  */
 bool parseExecutorFlag(const std::string &arg, IntegratedConfig &config);
@@ -119,6 +125,21 @@ struct IntegratedResult
     /** Achieved rate of a component over the run. */
     double achievedHz(const std::string &name) const;
 };
+
+/**
+ * Build the run's ResilienceContext from @p config.resilience
+ * (nullptr when disabled). Installs the publish hook on
+ * @p switchboard, registers the sensor corrupters, and defaults topic
+ * faults onto the camera + imu streams; attach() to the executor is
+ * the caller's job.
+ */
+std::unique_ptr<ResilienceContext>
+makeResilienceContext(const IntegratedConfig &config,
+                      Switchboard &switchboard, MetricsRegistry *metrics);
+
+/** Export resilience.* counters into IntegratedResult::extra. */
+void exportResilienceExtras(ResilienceContext *ctx,
+                            std::map<std::string, double> &extra);
 
 /** Run the integrated system once. */
 IntegratedResult runIntegrated(const IntegratedConfig &config);

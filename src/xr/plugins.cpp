@@ -1,6 +1,7 @@
 #include "xr/plugins.hpp"
 
 #include "audio/clips.hpp"
+#include "resilience/fault_injector.hpp"
 
 #include <algorithm>
 
@@ -24,13 +25,19 @@ PreloadedDataset::PreloadedDataset(const DatasetConfig &config,
 CameraPlugin::CameraPlugin(const Phonebook &pb, const SystemTuning &tuning)
     : Plugin("camera"), tuning_(tuning), data_(pb.lookup<PreloadedDataset>()),
       cameraWriter_(
-          pb.lookup<Switchboard>()->writer<CameraFrameEvent>(topics::kCamera))
+          pb.lookup<Switchboard>()->writer<CameraFrameEvent>(topics::kCamera)),
+      degradeReader_(
+          pb.lookup<Switchboard>()->asyncReader<DegradationCommandEvent>(
+              topics::kDegradation))
 {
 }
 
 void
 CameraPlugin::iterate(TimePoint now)
 {
+    int stride = 1;
+    if (auto cmd = degradeReader_.latest())
+        stride = std::max(1, cmd->camera_stride);
     // Publish every recorded frame with capture time <= now. The
     // microsecond slack absorbs float-accumulated dataset timestamps
     // landing nanoseconds after the scheduler's integer period grid
@@ -38,6 +45,12 @@ CameraPlugin::iterate(TimePoint now)
     while (next_ < data_->camera_frames.size() &&
            data_->camera_frames[next_].time <= now + kMicrosecond) {
         const CameraFrame &src = data_->camera_frames[next_];
+        if (stride > 1 &&
+            src.sequence % static_cast<std::size_t>(stride) != 0) {
+            ++framesShed_;
+            ++next_;
+            continue;
+        }
         auto event = makeEvent<CameraFrameEvent>();
         event->time = src.time;
         event->sequence = src.sequence;
@@ -242,6 +255,9 @@ TimewarpPlugin::TimewarpPlugin(const Phonebook &pb,
           topics::kSubmittedFrame)),
       fastPoseReader_(
           pb.lookup<Switchboard>()->asyncReader<PoseEvent>(topics::kFastPose)),
+      degradeReader_(
+          pb.lookup<Switchboard>()->asyncReader<DegradationCommandEvent>(
+              topics::kDegradation)),
       qoeWriter_(pb.lookup<Switchboard>()->writer<QoeFeedbackEvent>(
           topics::kQoeFeedback)),
       displayWriter_(pb.lookup<Switchboard>()->writer<DisplayFrameEvent>(
@@ -253,6 +269,19 @@ TimewarpPlugin::TimewarpPlugin(const Phonebook &pb,
 void
 TimewarpPlugin::iterate(TimePoint now)
 {
+    // Reprojection skip under degradation: at stride N only every Nth
+    // vsync is warped. Shed invocations leave no imuAges_ entry, so
+    // MTP stays a mean over warps actually performed.
+    int stride = 1;
+    if (auto cmd = degradeReader_.latest())
+        stride = std::max(1, cmd->reprojection_stride);
+    const std::size_t warp_index = warpIndex_++;
+    if (stride > 1 &&
+        warp_index % static_cast<std::size_t>(stride) != 0) {
+        ++warpsShed_;
+        return;
+    }
+
     auto submitted = submittedReader_.latest();
     auto fast = fastPoseReader_.latest();
     if (!submitted) {
@@ -301,6 +330,9 @@ AudioEncoderPlugin::AudioEncoderPlugin(const Phonebook &pb,
     : Plugin("audio_encoding"), tuning_(tuning),
       soundfieldWriter_(pb.lookup<Switchboard>()->writer<SoundfieldEvent>(
           topics::kSoundfield)),
+      degradeReader_(
+          pb.lookup<Switchboard>()->asyncReader<DegradationCommandEvent>(
+              topics::kDegradation)),
       encoder_(tuning.audio_block)
 {
     // Two positioned sources (the paper's lecture + radio clips).
@@ -320,12 +352,26 @@ AudioEncoderPlugin::AudioEncoderPlugin(const Phonebook &pb,
 void
 AudioEncoderPlugin::iterate(TimePoint now)
 {
-    auto event = std::make_shared<SoundfieldEvent>(tuning_.audio_block);
-    event->time = now;
-    event->block_index = block_;
-    event->field = encoder_.encodeBlock(block_);
-    ++block_;
-    soundfieldWriter_.put(std::move(event));
+    // Block coalescing under degradation: at coalesce N, N-1 of every
+    // N invocations return immediately and the Nth encodes the whole
+    // batch, so no audio is lost.
+    int coalesce = 1;
+    if (auto cmd = degradeReader_.latest())
+        coalesce = std::max(1, cmd->audio_coalesce);
+    const std::size_t call = call_++;
+    if (coalesce > 1 &&
+        call % static_cast<std::size_t>(coalesce) != 0) {
+        ++callsCoalesced_;
+        return;
+    }
+    for (int i = 0; i < coalesce; ++i) {
+        auto event = std::make_shared<SoundfieldEvent>(tuning_.audio_block);
+        event->time = now;
+        event->block_index = block_;
+        event->field = encoder_.encodeBlock(block_);
+        ++block_;
+        soundfieldWriter_.put(std::move(event));
+    }
 }
 
 // -------------------------------------------------------- Audio playback
@@ -398,6 +444,39 @@ registerIllixrPlugins()
     });
     registry.registerFactory("audio_playback", [](const Phonebook &pb) {
         return std::make_unique<AudioPlaybackPlugin>(pb, SystemTuning{});
+    });
+}
+
+// ------------------------------------------------------ Fault corrupters
+
+void
+registerSensorCorrupters(FaultInjector &injector)
+{
+    // Camera: a saturated horizontal glitch band, the torn-readout
+    // corruption a flaky sensor link produces.
+    injector.setCorrupter(topics::kCamera, [](Event &e, Rng &rng) {
+        auto *frame = dynamic_cast<CameraFrameEvent *>(&e);
+        if (!frame || frame->image.height() <= 0 ||
+            frame->image.width() <= 0)
+            return;
+        const int rows = 2 + static_cast<int>(rng.uniformInt(4));
+        const int y0 = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(frame->image.height())));
+        for (int dy = 0; dy < rows; ++dy) {
+            const int y = std::min(frame->image.height() - 1, y0 + dy);
+            for (int x = 0; x < frame->image.width(); ++x)
+                frame->image.at(x, y) = static_cast<float>(rng.uniform());
+        }
+    });
+    // IMU: a one-sample accelerometer spike (garbage decode of a
+    // mangled transport packet).
+    injector.setCorrupter(topics::kImu, [](Event &e, Rng &rng) {
+        auto *imu = dynamic_cast<ImuEvent *>(&e);
+        if (!imu)
+            return;
+        const double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+        imu->sample.linear_acceleration.x += sign * rng.uniform(15.0, 40.0);
+        imu->sample.linear_acceleration.z -= sign * rng.uniform(5.0, 20.0);
     });
 }
 

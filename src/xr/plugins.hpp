@@ -16,6 +16,7 @@
 
 #include "audio/audio_pipeline.hpp"
 #include "render/app.hpp"
+#include "resilience/health_events.hpp"
 #include "runtime/plugin.hpp"
 #include "sensors/dataset.hpp"
 #include "slam/imu_integrator.hpp"
@@ -29,6 +30,8 @@
 #include <vector>
 
 namespace illixr {
+
+class FaultInjector;
 
 /** Table III tuned system parameters. */
 struct SystemTuning
@@ -55,7 +58,13 @@ struct PreloadedDataset
     std::vector<ImuSample> imu_samples;
 };
 
-/** Camera component (ZED-SDK stand-in): replays recorded frames. */
+/**
+ * Camera component (ZED-SDK stand-in): replays recorded frames.
+ *
+ * Honors the DegradationManager's camera_stride knob: at stride N it
+ * publishes only every Nth recorded frame (by dataset sequence), the
+ * paper's "reduce camera rate" load-shedding lever.
+ */
 class CameraPlugin : public Plugin
 {
   public:
@@ -66,11 +75,15 @@ class CameraPlugin : public Plugin
         return periodFromHz(tuning_.camera_hz);
     }
 
+    std::size_t framesShed() const { return framesShed_; }
+
   private:
     SystemTuning tuning_;
     std::shared_ptr<PreloadedDataset> data_;
     Switchboard::Writer<CameraFrameEvent> cameraWriter_;
+    Switchboard::AsyncReader<DegradationCommandEvent> degradeReader_;
     std::size_t next_ = 0;
+    std::size_t framesShed_ = 0;
 };
 
 /** IMU component: replays recorded samples at the IMU rate. */
@@ -208,19 +221,30 @@ class TimewarpPlugin : public Plugin
     /** Per-invocation IMU pose age (for the MTP computation). */
     const std::vector<double> &imuAgesMs() const { return imuAges_; }
 
+    std::size_t warpsShed() const { return warpsShed_; }
+
   private:
     SystemTuning tuning_;
     Switchboard::AsyncReader<StereoFrameEvent> submittedReader_;
     Switchboard::AsyncReader<PoseEvent> fastPoseReader_;
+    Switchboard::AsyncReader<DegradationCommandEvent> degradeReader_;
     Switchboard::Writer<QoeFeedbackEvent> qoeWriter_;
     Switchboard::Writer<DisplayFrameEvent> displayWriter_;
     Timewarp warp_;
     std::vector<double> imuAges_;
     TimePoint lastSubmittedTime_ = -1;
     int staleStreak_ = 0;
+    std::size_t warpIndex_ = 0;
+    std::size_t warpsShed_ = 0;
 };
 
-/** Ambisonic encoding of the scene's sound sources. */
+/**
+ * Ambisonic encoding of the scene's sound sources.
+ *
+ * Honors the audio_coalesce knob: at coalesce N only every Nth
+ * invocation does work, encoding N blocks back to back — total audio
+ * is preserved while per-invocation overhead amortizes N-fold.
+ */
 class AudioEncoderPlugin : public Plugin
 {
   public:
@@ -231,11 +255,17 @@ class AudioEncoderPlugin : public Plugin
         return periodFromHz(tuning_.audio_hz);
     }
 
+    std::size_t blocksEncoded() const { return block_; }
+    std::size_t callsCoalesced() const { return callsCoalesced_; }
+
   private:
     SystemTuning tuning_;
     Switchboard::Writer<SoundfieldEvent> soundfieldWriter_;
+    Switchboard::AsyncReader<DegradationCommandEvent> degradeReader_;
     AudioEncoder encoder_;
     std::size_t block_ = 0;
+    std::size_t call_ = 0;
+    std::size_t callsCoalesced_ = 0;
 };
 
 /** Binauralization of the soundfield with the listener's pose. */
@@ -259,5 +289,12 @@ class AudioPlaybackPlugin : public Plugin
 
 /** Register all component factories with the global registry. */
 void registerIllixrPlugins();
+
+/**
+ * Install the sensor-stream corrupters on @p injector: a torn-readout
+ * glitch band for camera frames and an accelerometer spike for IMU
+ * samples. What a corrupt= fault does to the "camera"/"imu" topics.
+ */
+void registerSensorCorrupters(FaultInjector &injector);
 
 } // namespace illixr

@@ -74,6 +74,62 @@ TEST(NetworkModelTest, JitterNeverNegative)
     }
 }
 
+TEST(NetworkModelTest, SameSeedSameDelays)
+{
+    NetworkLink link;
+    link.jitter_ms = 3.0;
+    link.loss_rate = 0.05;
+    NetworkModel a(link, 11);
+    NetworkModel b(link, 11);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(a.transferDelay(1000, true), b.transferDelay(1000, true));
+}
+
+TEST(NetworkModelTest, DisturbanceRaisesLossAndLatencyThenClears)
+{
+    NetworkLink link;
+    link.base_latency_ms = 2.0;
+    link.jitter_ms = 0.0;
+    NetworkModel net(link, 7);
+    EXPECT_FALSE(net.disturbed());
+
+    const Duration clean = net.transferDelay(1000, true);
+
+    // Full brownout: every message lost, none delivered.
+    net.setDisturbance(1.0, 50.0);
+    EXPECT_TRUE(net.disturbed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(net.transferDelay(1000, true), 0);
+
+    // Latency-only disturbance: delivered, but slower by the overlay.
+    net.setDisturbance(0.0, 50.0);
+    const Duration slow = net.transferDelay(1000, true);
+    EXPECT_NEAR(toMilliseconds(slow - clean), 50.0, 0.1);
+
+    // Clearing restores the undisturbed behavior exactly.
+    net.clearDisturbance();
+    EXPECT_FALSE(net.disturbed());
+    EXPECT_EQ(net.transferDelay(1000, true), clean);
+}
+
+TEST(NetworkModelTest, DisturbanceDoesNotPerturbZeroLossRngStream)
+{
+    // A zero-loss link must produce the same jitter stream whether or
+    // not a (latency-only) disturbance was applied along the way:
+    // the loss draw is skipped entirely, preserving replayability.
+    NetworkLink link;
+    link.jitter_ms = 3.0;
+    NetworkModel a(link, 13);
+    NetworkModel b(link, 13);
+    b.setDisturbance(0.0, 25.0);
+    for (int i = 0; i < 200; ++i) {
+        const Duration da = a.transferDelay(500, true);
+        const Duration db = b.transferDelay(500, true);
+        // Integer-nanosecond Duration quantizes each delay separately.
+        EXPECT_NEAR(toMilliseconds(db - da), 25.0, 1e-5);
+    }
+}
+
 TEST(OffloadIntegrationTest, OffloadRestoresVioRateOnJetsonLp)
 {
     IntegratedConfig cfg;
@@ -95,6 +151,33 @@ TEST(OffloadIntegrationTest, OffloadRestoresVioRateOnJetsonLp)
     EXPECT_GT(remote.vio_trajectory.size(), 30u);
     // The rest of the system is unaffected structurally.
     EXPECT_GT(remote.achievedHz("audio_playback"), 0.85 * 48.0);
+}
+
+TEST(OffloadIntegrationTest, LossyLinkTripsBreakerAndLocalFailoverServes)
+{
+    // A link that loses everything: the breaker must trip quickly and
+    // the local IMU integrator must keep the pose stream alive for
+    // the whole run. (Fail-back after a *transient* brownout is
+    // covered by resilience_test's end-to-end chaos run.)
+    IntegratedConfig cfg;
+    cfg.duration = 2 * kSecond;
+
+    OffloadConfig offload;
+    offload.link = NetworkLink::edgeEthernet();
+    offload.link.loss_rate = 1.0;
+    offload.breaker.failure_threshold = 2;
+    offload.breaker.open_hold = 200 * kMillisecond;
+
+    const IntegratedResult result = runIntegratedOffloaded(cfg, offload);
+
+    EXPECT_GE(result.extra.at("circuit_opens"), 1.0);
+    EXPECT_GT(result.extra.at("failover_poses"), 0.0);
+    EXPECT_GT(result.extra.at("frames_lost"), 0.0);
+    // Head tracking never went dark: poses cover the run.
+    ASSERT_FALSE(result.vio_trajectory.empty());
+    EXPECT_GT(result.vio_trajectory.size(), 10u);
+    EXPECT_GT(result.vio_trajectory.back().time,
+              cfg.duration - 500 * kMillisecond);
 }
 
 } // namespace

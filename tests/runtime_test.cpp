@@ -108,6 +108,30 @@ TEST(SwitchboardTest, PublishListenersFireAndExpire)
     EXPECT_EQ(hits, 1);
 }
 
+TEST(SwitchboardTest, ThrowingListenerIsContainedAndOthersStillFire)
+{
+    Switchboard sb;
+    int before_hits = 0, after_hits = 0;
+    auto h1 = sb.onPublish("t", [&before_hits](const std::string &) {
+        ++before_hits;
+    });
+    auto h2 = sb.onPublish("t", [](const std::string &) -> void {
+        throw std::runtime_error("listener failure");
+    });
+    auto h3 = sb.onPublish("t", [&after_hits](const std::string &) {
+        ++after_hits;
+    });
+    sb.publish("t", makeEvent<IntEvent>());
+    sb.publish("t", makeEvent<IntEvent>());
+
+    // The publishes completed, both healthy listeners fired every
+    // time, and the contained exceptions were accounted.
+    EXPECT_EQ(sb.publishCount("t"), 2u);
+    EXPECT_EQ(before_hits, 2);
+    EXPECT_EQ(after_hits, 2);
+    EXPECT_EQ(sb.listenerExceptions(), 2u);
+}
+
 TEST(SwitchboardTest, TopicNamesEnumerates)
 {
     Switchboard sb;
