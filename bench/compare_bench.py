@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare two micro_kernels --json outputs and fail on regression.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files map benchmark name -> ns/iter (the format written by
+`micro_kernels --json out.json`). The script exits non-zero when any
+benchmark present in BOTH files is more than PCT percent slower in
+CURRENT than in BASELINE (default 25). Names present in only one file
+are reported but never fail the run, so adding or retiring benchmarks
+does not break CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline JSON (name -> ns/iter)")
+    parser.add_argument("current", help="current JSON (name -> ns/iter)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="allowed slowdown in percent (default: 25)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    regressions = []
+    shared = sorted(set(baseline) & set(current))
+    for name in shared:
+        base_ns = float(baseline[name])
+        cur_ns = float(current[name])
+        if base_ns <= 0.0:
+            continue
+        delta_pct = (cur_ns / base_ns - 1.0) * 100.0
+        marker = ""
+        if delta_pct > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta_pct))
+        print(
+            f"{name:32s} {base_ns:14.1f} {cur_ns:14.1f} "
+            f"{delta_pct:+7.1f}%{marker}"
+        )
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:32s} (only in baseline)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:32s} (only in current)")
+
+    if not shared:
+        print("error: no shared benchmark names", file=sys.stderr)
+        return 2
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) over "
+            f"{args.threshold:.0f}%:",
+            file=sys.stderr,
+        )
+        for name, pct in regressions:
+            print(f"  {name}: +{pct:.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regression over {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,11 @@
 #include "bench_common.hpp"
 
 #include "foundation/profile.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/pool_executor.hpp"
 #include "runtime/rt_executor.hpp"
+#include "sensors/world.hpp"
+#include "slam/feature_tracker.hpp"
 
 using namespace illixr;
 using namespace illixr::bench;
@@ -91,6 +94,8 @@ aggregateHz(ExecutorBase &executor,
     return static_cast<double>(total) / toSeconds(wall);
 }
 
+double cameraPipelineLatencyMs(std::size_t workers);
+
 int
 runLiveComparison(std::size_t workers)
 {
@@ -119,7 +124,80 @@ runLiveComparison(std::size_t workers)
     std::printf("pool/rt aggregate throughput: %.2fx (host cores: %u)\n",
                 rt_hz > 0.0 ? pool_hz / rt_hz : 0.0,
                 std::thread::hardware_concurrency());
+
+    // Camera-pipeline latency: the real pyramid + FAST + KLT chain
+    // from inside pool tasks, at the configured kernel width.
+    const double cam_ms = cameraPipelineLatencyMs(workers);
+    std::printf("camera pipeline mean latency: %.3f ms/frame "
+                "(kernel threads: %zu)\n",
+                cam_ms, KernelPool::instance().width());
     return 0;
+}
+
+/**
+ * Camera-pipeline plugin for the live comparison: runs the real
+ * camera -> pyramid -> FAST/KLT tracker chain on synthetic frames
+ * from inside a PoolExecutor task, so the kernel pool's
+ * borrowed-worker path is what gets measured.
+ */
+class CameraPipelinePlugin : public Plugin
+{
+  public:
+    CameraPipelinePlugin()
+        : Plugin("camera_pipeline"), tracker_(TrackerParams{})
+    {
+        const SyntheticWorld world = SyntheticWorld::labRoom();
+        const CameraRig rig = CameraRig::standard(
+            CameraIntrinsics::fromFov(192, 144, 1.5));
+        for (int i = 0; i < 8; ++i) {
+            const Pose body(
+                Quat::fromAxisAngle(Vec3(0, 1, 0), 0.01 * i),
+                Vec3(0.02 * i, 1.6, 0));
+            frames_.push_back(std::make_shared<const ImageF>(
+                world.renderGray(rig.intrinsics,
+                                 rig.worldToCamera(body))));
+        }
+    }
+
+    void
+    iterate(TimePoint) override
+    {
+        const double t0 = hostTimeSeconds();
+        tracker_.processFrame(frames_[next_++ % frames_.size()]);
+        latencies_.push_back(hostTimeSeconds() - t0);
+    }
+
+    Duration period() const override { return periodFromHz(150); }
+
+    double
+    meanLatencyMs() const
+    {
+        if (latencies_.empty())
+            return 0.0;
+        double acc = 0.0;
+        for (double s : latencies_)
+            acc += s;
+        return acc / static_cast<double>(latencies_.size()) * 1e3;
+    }
+
+  private:
+    FeatureTracker tracker_;
+    std::vector<std::shared_ptr<const ImageF>> frames_;
+    std::size_t next_ = 0;
+    std::vector<double> latencies_;
+};
+
+/** Mean per-frame tracker latency under a PoolExecutor run. */
+double
+cameraPipelineLatencyMs(std::size_t workers)
+{
+    CameraPipelinePlugin pipeline;
+    PoolExecutorConfig pool_cfg;
+    pool_cfg.workers = workers;
+    PoolExecutor pool(pool_cfg);
+    pool.addPlugin(&pipeline);
+    pool.run(2 * kSecond);
+    return pipeline.meanLatencyMs();
 }
 
 } // namespace
@@ -130,6 +208,7 @@ main(int argc, char **argv)
     bool live = false;
     std::vector<std::string> executor_flags;
     IntegratedConfig opt; // Accumulates executor flag values.
+    applyExecutorEnv(opt); // Env first; flags below beat it.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--live") {
@@ -143,10 +222,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "unknown flag: %s\nusage: fig3_framerates "
                      "[--executor=sim|pool] [--workers=N] "
-                     "[--deterministic] [--seed=N] [--live]\n",
+                     "[--kernel-threads=N] [--deterministic] "
+                     "[--seed=N] [--live]\n",
                      arg.c_str());
         return 2;
     }
+    if (opt.kernel_threads > 0)
+        KernelPool::instance().setWidth(opt.kernel_threads);
     if (live)
         return runLiveComparison(opt.pool_workers);
 

@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "audio/ambisonics.hpp"
 #include "audio/binaural.hpp"
 #include "audio/clips.hpp"
@@ -130,6 +135,38 @@ BM_GaussianBlur(benchmark::State &state)
 BENCHMARK(BM_GaussianBlur);
 
 void
+BM_Pyramid(benchmark::State &state)
+{
+    auto base = std::make_shared<const ImageF>(cameraFrame());
+    for (auto _ : state) {
+        ImagePyramid pyr(base, 3);
+        benchmark::DoNotOptimize(pyr.level(pyr.levels() - 1).data());
+    }
+}
+BENCHMARK(BM_Pyramid);
+
+void
+BM_MsckfGemm(benchmark::State &state)
+{
+    // Shape of the covariance-update products: K (n x m) times
+    // (H P) (m x n) with n = 15 + 6 clones + slam, m = compressed
+    // measurement rows.
+    Rng rng(3);
+    MatX k(75, 64), hp(64, 75);
+    for (std::size_t i = 0; i < k.rows(); ++i)
+        for (std::size_t j = 0; j < k.cols(); ++j)
+            k(i, j) = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < hp.rows(); ++i)
+        for (std::size_t j = 0; j < hp.cols(); ++j)
+            hp(i, j) = rng.uniform(-1, 1);
+    for (auto _ : state) {
+        MatX prod = k * hp;
+        benchmark::DoNotOptimize(prod.data());
+    }
+}
+BENCHMARK(BM_MsckfGemm);
+
+void
 BM_RasterizeArDemo(benchmark::State &state)
 {
     AppConfig cfg;
@@ -235,4 +272,80 @@ BENCHMARK(BM_CnnForward);
 } // namespace
 } // namespace illixr
 
-BENCHMARK_MAIN();
+namespace {
+
+/**
+ * Console reporter that additionally collects name -> ns/iter, so a
+ * `--json out.json` run leaves a machine-readable result for
+ * bench/compare_bench.py alongside the normal console table.
+ */
+class JsonCollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.error_occurred || run.iterations == 0)
+                continue;
+            results_.emplace_back(run.benchmark_name(),
+                                  run.real_accumulated_time /
+                                      static_cast<double>(run.iterations) *
+                                      1e9);
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    bool
+    writeJson(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+        std::fprintf(f, "{\n");
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            std::fprintf(f, "  \"%s\": %.1f%s\n",
+                         results_[i].first.c_str(), results_[i].second,
+                         i + 1 < results_.size() ? "," : "");
+        }
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> results_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               args.data()))
+        return 1;
+    JsonCollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_path.empty() && !reporter.writeJson(json_path)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

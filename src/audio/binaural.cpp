@@ -1,5 +1,7 @@
 #include "audio/binaural.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cassert>
 #include <cmath>
 
@@ -125,18 +127,36 @@ Binauralizer::process(const Soundfield &field)
 
     std::vector<Complex> acc_left(fftSize_, Complex(0.0, 0.0));
     std::vector<Complex> acc_right(fftSize_, Complex(0.0, 0.0));
-    std::vector<Complex> buf(fftSize_);
 
+    // Per-channel forward transform + spectral product in parallel;
+    // partial spectra combine in fixed channel order below, matching
+    // the serial accumulation order bit-for-bit.
+    std::vector<std::vector<Complex>> prod_left(kAmbisonicChannels);
+    std::vector<std::vector<Complex>> prod_right(kAmbisonicChannels);
+    parallelFor(
+        "binaural_fir", 0,
+        static_cast<std::size_t>(kAmbisonicChannels), 1,
+        [&](std::size_t cb, std::size_t ce) {
+            std::vector<Complex> buf(fftSize_);
+            for (std::size_t c = cb; c < ce; ++c) {
+                // One shared forward transform per soundfield channel.
+                for (std::size_t i = 0; i < blockSize_; ++i)
+                    buf[i] = Complex(field.channels[c][i], 0.0);
+                for (std::size_t i = blockSize_; i < fftSize_; ++i)
+                    buf[i] = Complex(0.0, 0.0);
+                fft(buf, false);
+                prod_left[c].resize(fftSize_);
+                prod_right[c].resize(fftSize_);
+                for (std::size_t i = 0; i < fftSize_; ++i) {
+                    prod_left[c][i] = buf[i] * filterLeft_[c][i];
+                    prod_right[c][i] = buf[i] * filterRight_[c][i];
+                }
+            }
+        });
     for (int c = 0; c < kAmbisonicChannels; ++c) {
-        // One shared forward transform per soundfield channel.
-        for (std::size_t i = 0; i < blockSize_; ++i)
-            buf[i] = Complex(field.channels[c][i], 0.0);
-        for (std::size_t i = blockSize_; i < fftSize_; ++i)
-            buf[i] = Complex(0.0, 0.0);
-        fft(buf, false);
         for (std::size_t i = 0; i < fftSize_; ++i) {
-            acc_left[i] += buf[i] * filterLeft_[c][i];
-            acc_right[i] += buf[i] * filterRight_[c][i];
+            acc_left[i] += prod_left[c][i];
+            acc_right[i] += prod_right[c][i];
         }
     }
     fft(acc_left, true);

@@ -1,5 +1,7 @@
 #include "eyetrack/layers.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cassert>
 #include <cmath>
 
@@ -57,7 +59,11 @@ Conv2d::forward(const Tensor &input) const
     const int pad = kernelSize_ / 2;
     Tensor out(outChannels_, h, w);
 
-    for (int oc = 0; oc < outChannels_; ++oc) {
+    // Output channels are fully independent (each writes its own
+    // plane of `out`), so they tile across the kernel pool.
+    parallelFor("conv2d", 0, static_cast<std::size_t>(outChannels_), 1,
+                [&](std::size_t ob, std::size_t oe) {
+    for (int oc = static_cast<int>(ob); oc < static_cast<int>(oe); ++oc) {
         for (int y = 0; y < h; ++y) {
             for (int x = 0; x < w; ++x) {
                 float acc = bias_[oc];
@@ -74,6 +80,7 @@ Conv2d::forward(const Tensor &input) const
             }
         }
     }
+                });
     return out;
 }
 

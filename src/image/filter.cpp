@@ -1,5 +1,7 @@
 #include "image/filter.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <vector>
@@ -7,6 +9,15 @@
 namespace illixr {
 
 namespace {
+
+/** Rows per tile for the row-parallel filter kernels. */
+constexpr std::size_t kRowGrain = 16;
+
+inline int
+clampi(int v, int lo, int hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
 
 /** Normalized 1-D Gaussian kernel with radius 3 sigma. */
 std::vector<double>
@@ -27,36 +38,99 @@ gaussianKernel(double sigma)
 
 } // namespace
 
+namespace detail {
+
+void
+gaussianBlurRaw(const float *src, int w, int h, double sigma, float *dst)
+{
+    if (w <= 0 || h <= 0)
+        return;
+    if (sigma <= 0.0) {
+        std::copy(src, src + static_cast<std::size_t>(w) * h, dst);
+        return;
+    }
+    const auto kernel = gaussianKernel(sigma);
+    const int radius = static_cast<int>(kernel.size() / 2);
+
+    ArenaFrame scratch;
+    float *tmp = scratch.alloc<float>(static_cast<std::size_t>(w) * h);
+
+    // Horizontal pass (rows are independent).
+    parallelFor("gaussian_h", 0, static_cast<std::size_t>(h), kRowGrain,
+                [&](std::size_t yb, std::size_t ye) {
+                    for (std::size_t y = yb; y < ye; ++y) {
+                        const float *row = src + y * w;
+                        float *out_row = tmp + y * w;
+                        for (int x = 0; x < w; ++x) {
+                            double acc = 0.0;
+                            for (int k = -radius; k <= radius; ++k)
+                                acc += kernel[k + radius] *
+                                       row[clampi(x + k, 0, w - 1)];
+                            out_row[x] = static_cast<float>(acc);
+                        }
+                    }
+                });
+    // Vertical pass (the horizontal pass is fully materialized, so
+    // output rows only read tmp; rows stay independent).
+    parallelFor("gaussian_v", 0, static_cast<std::size_t>(h), kRowGrain,
+                [&](std::size_t yb, std::size_t ye) {
+                    for (std::size_t y = yb; y < ye; ++y) {
+                        float *out_row = dst + y * w;
+                        for (int x = 0; x < w; ++x) {
+                            double acc = 0.0;
+                            for (int k = -radius; k <= radius; ++k) {
+                                const int yy = clampi(
+                                    static_cast<int>(y) + k, 0, h - 1);
+                                acc += kernel[k + radius] *
+                                       tmp[static_cast<std::size_t>(yy) *
+                                               w +
+                                           x];
+                            }
+                            out_row[x] = static_cast<float>(acc);
+                        }
+                    }
+                });
+}
+
+void
+downsampleHalfRaw(const float *src, int w, int h, float *dst)
+{
+    const int ow = std::max(1, w / 2);
+    const int oh = std::max(1, h / 2);
+    parallelFor(
+        "downsample", 0, static_cast<std::size_t>(oh), kRowGrain,
+        [&](std::size_t yb, std::size_t ye) {
+            for (std::size_t y = yb; y < ye; ++y) {
+                float *out_row = dst + y * ow;
+                for (int x = 0; x < ow; ++x) {
+                    const int x0 = clampi(2 * x, 0, w - 1);
+                    const int x1 = clampi(2 * x + 1, 0, w - 1);
+                    const int y0 =
+                        clampi(2 * static_cast<int>(y), 0, h - 1);
+                    const int y1 =
+                        clampi(2 * static_cast<int>(y) + 1, 0, h - 1);
+                    const double v =
+                        (src[static_cast<std::size_t>(y0) * w + x0] +
+                         src[static_cast<std::size_t>(y0) * w + x1] +
+                         src[static_cast<std::size_t>(y1) * w + x0] +
+                         src[static_cast<std::size_t>(y1) * w + x1]) /
+                        4.0;
+                    out_row[x] = static_cast<float>(v);
+                }
+            }
+        });
+}
+
+} // namespace detail
+
 ImageF
 gaussianBlur(const ImageF &src, double sigma)
 {
     if (src.empty() || sigma <= 0.0)
         return src;
-    const auto kernel = gaussianKernel(sigma);
-    const int radius = static_cast<int>(kernel.size() / 2);
-    const int w = src.width();
-    const int h = src.height();
-
-    // Horizontal pass.
-    ImageF tmp(w, h);
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            double acc = 0.0;
-            for (int k = -radius; k <= radius; ++k)
-                acc += kernel[k + radius] * src.atClamped(x + k, y);
-            tmp.at(x, y) = static_cast<float>(acc);
-        }
-    }
-    // Vertical pass.
-    ImageF out(w, h);
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            double acc = 0.0;
-            for (int k = -radius; k <= radius; ++k)
-                acc += kernel[k + radius] * tmp.atClamped(x, y + k);
-            out.at(x, y) = static_cast<float>(acc);
-        }
-    }
+    ImageF out(src.width(), src.height());
+    detail::gaussianBlurRaw(src.data(), src.width(), src.height(), sigma,
+                            out.data());
     return out;
 }
 
@@ -136,16 +210,9 @@ downsampleHalf(const ImageF &src)
     const int w = std::max(1, src.width() / 2);
     const int h = std::max(1, src.height() / 2);
     ImageF out(w, h);
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            const double v = (src.atClamped(2 * x, 2 * y) +
-                              src.atClamped(2 * x + 1, 2 * y) +
-                              src.atClamped(2 * x, 2 * y + 1) +
-                              src.atClamped(2 * x + 1, 2 * y + 1)) /
-                             4.0;
-            out.at(x, y) = static_cast<float>(v);
-        }
-    }
+    if (!src.empty())
+        detail::downsampleHalfRaw(src.data(), src.width(), src.height(),
+                                  out.data());
     return out;
 }
 

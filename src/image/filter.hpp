@@ -34,6 +34,22 @@ ImageF bilateralFilter(const ImageF &src, double spatial_sigma,
 /** Downsample by 2 with a 2x2 box average. */
 ImageF downsampleHalf(const ImageF &src);
 
+namespace detail {
+
+/**
+ * Separable Gaussian into @p dst (w*h floats); the intermediate
+ * horizontal pass lives in the caller thread's ScratchArena, so the
+ * pyramid path allocates nothing per frame. @p src and @p dst may not
+ * alias. Row-tiled via the kernel pool; bit-identical at any width.
+ */
+void gaussianBlurRaw(const float *src, int w, int h, double sigma,
+                     float *dst);
+
+/** 2x2 box downsample into dst (max(1,w/2) x max(1,h/2) floats). */
+void downsampleHalfRaw(const float *src, int w, int h, float *dst);
+
+} // namespace detail
+
 /** Resize to an arbitrary resolution with bilinear sampling. */
 ImageF resizeBilinear(const ImageF &src, int new_width, int new_height);
 

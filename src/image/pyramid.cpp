@@ -1,17 +1,44 @@
 #include "image/pyramid.hpp"
 
 #include "image/filter.hpp"
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
 
 namespace illixr {
 
 ImagePyramid::ImagePyramid(const ImageF &base, int levels)
+    : base_(std::make_shared<const ImageF>(base))
 {
-    levels_.push_back(base);
+    build(levels);
+}
+
+ImagePyramid::ImagePyramid(std::shared_ptr<const ImageF> base, int levels)
+    : base_(std::move(base))
+{
+    if (base_)
+        build(levels);
+}
+
+void
+ImagePyramid::build(int levels)
+{
+    const ImageF *prev = base_.get();
     for (int i = 1; i < levels; ++i) {
-        const ImageF &prev = levels_.back();
-        if (prev.width() < 32 || prev.height() < 32)
+        if (prev->width() < 32 || prev->height() < 32)
             break;
-        levels_.push_back(downsampleHalf(gaussianBlur(prev, 1.0)));
+        const int w = prev->width();
+        const int h = prev->height();
+        // The blurred full-resolution intermediate is scratch: it only
+        // feeds the downsample, so it lives in the arena.
+        ArenaFrame scratch;
+        float *blurred =
+            scratch.alloc<float>(static_cast<std::size_t>(w) * h);
+        detail::gaussianBlurRaw(prev->data(), w, h, 1.0, blurred);
+        ImageF next(std::max(1, w / 2), std::max(1, h / 2));
+        detail::downsampleHalfRaw(blurred, w, h, next.data());
+        higher_.push_back(std::move(next));
+        prev = &higher_.back();
     }
 }
 

@@ -1,9 +1,25 @@
 #include "linalg/matrix.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cassert>
 #include <cmath>
 
 namespace illixr {
+
+namespace {
+
+/**
+ * Flop threshold below which dense products stay on the caller's
+ * thread. Thresholding cannot change results: every output row is
+ * computed by the same serial inner loops either way.
+ */
+constexpr std::size_t kGemmParallelFlops = 64 * 1024;
+
+/** Output rows per tile. */
+constexpr std::size_t kGemmRowGrain = 8;
+
+} // namespace
 
 MatX::MatX(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
@@ -67,18 +83,26 @@ MatX::operator*(const MatX &o) const
 {
     assert(cols_ == o.rows_);
     MatX r(rows_, o.cols_);
-    // i-k-j loop order keeps the inner loop contiguous for row-major.
-    for (std::size_t i = 0; i < rows_; ++i) {
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const double a = data_[i * cols_ + k];
-            if (a == 0.0)
-                continue;
-            const double *orow = &o.data_[k * o.cols_];
-            double *rrow = &r.data_[i * o.cols_];
-            for (std::size_t j = 0; j < o.cols_; ++j)
-                rrow[j] += a * orow[j];
+    // i-k-j loop order keeps the inner loop contiguous for row-major;
+    // output rows are independent, so the MSCKF covariance GEMMs tile
+    // by row (bit-identical at any width).
+    auto rows_kernel = [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) {
+            for (std::size_t k = 0; k < cols_; ++k) {
+                const double a = data_[i * cols_ + k];
+                if (a == 0.0)
+                    continue;
+                const double *orow = &o.data_[k * o.cols_];
+                double *rrow = &r.data_[i * o.cols_];
+                for (std::size_t j = 0; j < o.cols_; ++j)
+                    rrow[j] += a * orow[j];
+            }
         }
-    }
+    };
+    if (rows_ * cols_ * o.cols_ >= kGemmParallelFlops)
+        parallelFor("gemm", 0, rows_, kGemmRowGrain, rows_kernel);
+    else
+        rows_kernel(0, rows_);
     return r;
 }
 
@@ -139,6 +163,28 @@ MatX::transposeTimes(const MatX &o) const
 {
     assert(rows_ == o.rows_);
     MatX r(cols_, o.cols_);
+    if (cols_ * rows_ * o.cols_ >= kGemmParallelFlops) {
+        // Row-partition the output: each out(i, j) still accumulates
+        // over k in ascending order with the same zero-skip rule, so
+        // the result matches the serial k-outer loop bit-for-bit.
+        parallelFor("gemm_tn", 0, cols_, kGemmRowGrain,
+                    [&](std::size_t ib, std::size_t ie) {
+                        for (std::size_t i = ib; i < ie; ++i) {
+                            double *rrow = &r.data_[i * o.cols_];
+                            for (std::size_t k = 0; k < rows_; ++k) {
+                                const double a = data_[k * cols_ + i];
+                                if (a == 0.0)
+                                    continue;
+                                const double *brow =
+                                    &o.data_[k * o.cols_];
+                                for (std::size_t j = 0; j < o.cols_;
+                                     ++j)
+                                    rrow[j] += a * brow[j];
+                            }
+                        }
+                    });
+        return r;
+    }
     for (std::size_t k = 0; k < rows_; ++k) {
         const double *arow = &data_[k * cols_];
         const double *brow = &o.data_[k * o.cols_];
@@ -159,16 +205,22 @@ MatX::timesTranspose(const MatX &o) const
 {
     assert(cols_ == o.cols_);
     MatX r(rows_, o.rows_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        const double *arow = &data_[i * cols_];
-        for (std::size_t j = 0; j < o.rows_; ++j) {
-            const double *brow = &o.data_[j * o.cols_];
-            double acc = 0.0;
-            for (std::size_t k = 0; k < cols_; ++k)
-                acc += arow[k] * brow[k];
-            r(i, j) = acc;
+    auto rows_kernel = [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) {
+            const double *arow = &data_[i * cols_];
+            for (std::size_t j = 0; j < o.rows_; ++j) {
+                const double *brow = &o.data_[j * o.cols_];
+                double acc = 0.0;
+                for (std::size_t k = 0; k < cols_; ++k)
+                    acc += arow[k] * brow[k];
+                r(i, j) = acc;
+            }
         }
-    }
+    };
+    if (rows_ * cols_ * o.rows_ >= kGemmParallelFlops)
+        parallelFor("gemm_nt", 0, rows_, kGemmRowGrain, rows_kernel);
+    else
+        rows_kernel(0, rows_);
     return r;
 }
 

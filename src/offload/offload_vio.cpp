@@ -125,7 +125,8 @@ OffloadedVioPlugin::iterate(TimePoint now)
         // here for the real result, but exclude its host cost from
         // the local platform and model it as remote latency instead.
         const double t0 = hostTimeSeconds();
-        const ImuState &state = vio_->processFrame(cam->time, cam->image);
+        const ImuState &state = vio_->processFrame(
+            cam->time, std::shared_ptr<const ImageF>(cam, &cam->image));
         const double remote_host_s = hostTimeSeconds() - t0;
         excludeHostSeconds(remote_host_s);
 

@@ -1,5 +1,7 @@
 #include "recon/tsdf.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -23,7 +25,11 @@ TsdfVolume::integrate(const DepthImage &depth, const CameraIntrinsics &intr,
     const int res = params_.resolution;
     const float trunc = static_cast<float>(params_.truncation);
 
-    for (int z = 0; z < res; ++z) {
+    // Voxel slabs along z: every voxel is read-modify-written by
+    // exactly one tile, so the fusion math is untouched.
+    parallelFor("tsdf_integrate", 0, static_cast<std::size_t>(res), 2,
+                [&](std::size_t zb, std::size_t ze) {
+    for (int z = static_cast<int>(zb); z < static_cast<int>(ze); ++z) {
         for (int y = 0; y < res; ++y) {
             for (int x = 0; x < res; ++x) {
                 const Vec3 world =
@@ -56,6 +62,7 @@ TsdfVolume::integrate(const DepthImage &depth, const CameraIntrinsics &intr,
             }
         }
     }
+                });
 }
 
 float
@@ -124,7 +131,11 @@ TsdfVolume::raycast(const CameraIntrinsics &intr,
         params_.truncation / std::max(1, step_divisor);
     const double max_range = params_.side_meters * 1.8;
 
-    for (int y = 0; y < h; ++y) {
+    // Ray rows are independent; each writes its own vertex/normal
+    // slots.
+    parallelFor("tsdf_raycast", 0, static_cast<std::size_t>(h), 4,
+                [&](std::size_t yb, std::size_t ye) {
+    for (int y = static_cast<int>(yb); y < static_cast<int>(ye); ++y) {
         for (int x = 0; x < w; ++x) {
             const Vec3 dir = camera_to_world.orientation.rotate(
                 intr.unproject(Vec2(x + 0.5, y + 0.5)));
@@ -159,6 +170,7 @@ TsdfVolume::raycast(const CameraIntrinsics &intr,
             }
         }
     }
+                });
 }
 
 std::size_t

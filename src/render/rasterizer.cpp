@@ -1,5 +1,7 @@
 #include "render/rasterizer.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -23,6 +25,20 @@ edgeFunction(double ax, double ay, double bx, double by, double cx,
 {
     return (cx - ax) * (by - ay) - (cy - ay) * (bx - ax);
 }
+
+/** Screen-space triangle after setup/culling, ready to rasterize. */
+struct SetupTriangle
+{
+    const ShadedVertex *a = nullptr;
+    const ShadedVertex *b = nullptr;
+    const ShadedVertex *c = nullptr;
+    double ax, ay, bx, by, cx, cy;
+    double inv_area;
+    int x0, x1, y0, y1; ///< Clamped bounding box.
+};
+
+/** Rows of the framebuffer covered by one rasterizer tile band. */
+constexpr int kBandRows = 16;
 
 } // namespace
 
@@ -55,15 +71,18 @@ Rasterizer::draw(const Mesh &mesh, const Mat4 &model, const Mat4 &view,
     const Mat4 view_inv = view.inverse();
     const Vec3 eye(view_inv(0, 3), view_inv(1, 3), view_inv(2, 3));
 
-    // Transform all vertices once.
+    // Transform all vertices once. (`char`, not `vector<bool>`: tiles
+    // write disjoint plain bytes, never shared packed words.)
     std::vector<ShadedVertex> tv(mesh.vertices.size());
-    std::vector<bool> valid(mesh.vertices.size(), true);
-    for (std::size_t i = 0; i < mesh.vertices.size(); ++i) {
+    std::vector<char> valid(mesh.vertices.size(), 1);
+    parallelFor("raster_xform", 0, mesh.vertices.size(), 64,
+                [&](std::size_t vb, std::size_t ve) {
+    for (std::size_t i = vb; i < ve; ++i) {
         const Vertex &v = mesh.vertices[i];
         const Vec3 world = model.transformPoint(v.position);
         const Vec4 clip = mvp * Vec4(v.position, 1.0);
         if (clip.w <= 1e-6) {
-            valid[i] = false; // Behind the near plane.
+            valid[i] = 0; // Behind the near plane.
             continue;
         }
         ShadedVertex &out = tv[i];
@@ -80,12 +99,17 @@ Rasterizer::draw(const Mesh &mesh, const Mat4 &model, const Mat4 &view,
         out.normal = n;
         out.world = world;
     }
+                });
 
     const int w = width();
     const int h = height();
     const double half_w = w / 2.0;
     const double half_h = h / 2.0;
 
+    // --- Triangle setup (serial): cull, clamp, and record screen
+    // geometry in submission order. ---
+    std::vector<SetupTriangle> tris;
+    tris.reserve(mesh.indices.size() / 3);
     for (std::size_t t = 0; t + 2 < mesh.indices.size(); t += 3) {
         const std::uint32_t ia = mesh.indices[t];
         const std::uint32_t ib = mesh.indices[t + 1];
@@ -120,10 +144,43 @@ Rasterizer::draw(const Mesh &mesh, const Mat4 &model, const Mat4 &view,
         if (x0 > x1 || y0 > y1)
             continue;
         ++stats_.triangles_rasterized;
+        tris.push_back({&a, &b, &c, ax, ay, bx, by, cx, cy, 1.0 / area,
+                        x0, x1, y0, y1});
+    }
 
-        const double inv_area = 1.0 / area;
-        for (int py = y0; py <= y1; ++py) {
-            for (int px = x0; px <= x1; ++px) {
+    // --- Bin triangles into horizontal tile bands (serial, so each
+    // band sees its triangles in submission order). ---
+    const std::size_t bands =
+        (static_cast<std::size_t>(h) + kBandRows - 1) / kBandRows;
+    std::vector<std::vector<std::size_t>> bins(bands);
+    for (std::size_t i = 0; i < tris.size(); ++i) {
+        for (int band = tris[i].y0 / kBandRows;
+             band <= tris[i].y1 / kBandRows; ++band)
+            bins[static_cast<std::size_t>(band)].push_back(i);
+    }
+
+    // --- Rasterize bands in parallel. Every pixel belongs to exactly
+    // one band and each band replays its triangles in submission
+    // order, so the depth-test sequence per pixel is identical to the
+    // serial rasterizer. Fragment counts combine in band order. ---
+    std::vector<std::size_t> band_frags(bands, 0);
+    parallelFor("raster_tiles", 0, bands, 1,
+                [&](std::size_t bb, std::size_t be) {
+    for (std::size_t band = bb; band < be; ++band) {
+        const int band_y0 = static_cast<int>(band) * kBandRows;
+        const int band_y1 = std::min(h - 1, band_y0 + kBandRows - 1);
+        std::size_t frags = 0;
+        for (const std::size_t ti : bins[band]) {
+            const SetupTriangle &s = tris[ti];
+            const ShadedVertex &a = *s.a;
+            const ShadedVertex &b = *s.b;
+            const ShadedVertex &c = *s.c;
+            const double ax = s.ax, ay = s.ay, bx = s.bx, by = s.by,
+                         cx = s.cx, cy = s.cy;
+            const double inv_area = s.inv_area;
+        for (int py = std::max(s.y0, band_y0);
+             py <= std::min(s.y1, band_y1); ++py) {
+            for (int px = s.x0; px <= s.x1; ++px) {
                 const double sx = px + 0.5;
                 const double sy = py + 0.5;
                 double w0 = edgeFunction(bx, by, cx, cy, sx, sy);
@@ -178,10 +235,15 @@ Rasterizer::draw(const Mesh &mesh, const Mat4 &model, const Mat4 &view,
                     Vec3(std::clamp(rgb.x, 0.0, 1.0),
                          std::clamp(rgb.y, 0.0, 1.0),
                          std::clamp(rgb.z, 0.0, 1.0)));
-                ++stats_.fragments_shaded;
+                ++frags;
             }
         }
+        }
+        band_frags[band] = frags;
     }
+                });
+    for (std::size_t band = 0; band < bands; ++band)
+        stats_.fragments_shaded += band_frags[band];
 }
 
 } // namespace illixr

@@ -1,0 +1,483 @@
+#include "runtime/parallel.hpp"
+
+#include "foundation/profile.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace illixr {
+
+// ---------------------------------------------------------------------
+// Tiling
+// ---------------------------------------------------------------------
+
+std::vector<KernelTile>
+kernelTiles(std::size_t begin, std::size_t end, std::size_t grain)
+{
+    std::vector<KernelTile> tiles;
+    if (end <= begin)
+        return tiles;
+    if (grain == 0)
+        grain = 1;
+    const std::size_t n = end - begin;
+    const std::size_t count = (n + grain - 1) / grain;
+    tiles.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        KernelTile t;
+        t.begin = begin + i * grain;
+        t.end = std::min(end, t.begin + grain);
+        t.index = i;
+        tiles.push_back(t);
+    }
+    return tiles;
+}
+
+// ---------------------------------------------------------------------
+// ScratchArena
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kMinArenaBlock = 64 * 1024;
+} // namespace
+
+ScratchArena &
+ScratchArena::forThisThread()
+{
+    static thread_local ScratchArena arena;
+    return arena;
+}
+
+void *
+ScratchArena::allocate(std::size_t bytes, std::size_t align)
+{
+    ++allocs_;
+    if (bytes == 0)
+        bytes = 1;
+    if (align == 0)
+        align = 1;
+    // Try the current block, then any later (already-grown) block.
+    while (block_ < blocks_.size()) {
+        Block &b = blocks_[block_];
+        const std::size_t base =
+            reinterpret_cast<std::size_t>(b.data.get());
+        const std::size_t aligned =
+            (base + offset_ + align - 1) & ~(align - 1);
+        const std::size_t new_offset = aligned - base + bytes;
+        if (new_offset <= b.size) {
+            offset_ = new_offset;
+            return reinterpret_cast<void *>(aligned);
+        }
+        ++block_;
+        offset_ = 0;
+    }
+    // Grow: blocks double so steady-state kernels settle into block 0.
+    std::size_t size = kMinArenaBlock;
+    if (!blocks_.empty())
+        size = std::max(size, blocks_.back().size * 2);
+    size = std::max(size, bytes + align);
+    Block b;
+    b.data = std::make_unique<std::byte[]>(size);
+    b.size = size;
+    capacity_ += size;
+    ++growths_;
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+    const std::size_t base =
+        reinterpret_cast<std::size_t>(blocks_.back().data.get());
+    const std::size_t aligned = (base + align - 1) & ~(align - 1);
+    offset_ = aligned - base + bytes;
+    return reinterpret_cast<void *>(aligned);
+}
+
+void
+ScratchArena::rewind(Mark m)
+{
+    assert(m.block <= blocks_.size());
+    block_ = m.block;
+    offset_ = m.offset;
+}
+
+void
+ScratchArena::releaseAll()
+{
+    blocks_.clear();
+    block_ = 0;
+    offset_ = 0;
+    capacity_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// KernelPool
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kMaxKernelWidth = 64;
+
+thread_local bool tl_in_kernel = false;
+
+/** Cached metric handles for one kernel name. */
+struct KernelMetrics
+{
+    Counter *tiles = nullptr;
+    Counter *steals = nullptr;
+    Histogram *ns = nullptr;
+};
+
+struct alignas(64) ChunkCursor
+{
+    std::atomic<std::size_t> next{0};
+    std::size_t limit = 0;
+};
+
+struct Launch
+{
+    const char *name = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t tiles = 0;
+    KernelPool::TileFn fn = nullptr;
+    void *ctx = nullptr;
+    std::size_t parts = 1;
+    ChunkCursor chunks[kMaxKernelWidth];
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::uint64_t> steals{0};
+};
+
+} // namespace
+
+struct KernelPool::Impl
+{
+    // --- configuration (config_mutex) ---
+    mutable std::mutex config_mutex;
+    std::size_t width = 1;
+    std::shared_ptr<TraceSink> sink;
+    MetricsRegistry *metrics = nullptr; // null -> global()
+
+    // --- single-flight admission ---
+    std::mutex launch_mutex;
+
+    // --- helper handoff (m) ---
+    std::mutex m;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    std::vector<std::thread> helpers;
+    Launch *current = nullptr;
+    std::uint64_t generation = 0;
+    std::size_t active = 0; ///< Helpers inside the current launch.
+    bool stop = false;
+
+    // --- stats ---
+    std::atomic<std::uint64_t> parallel_launches{0};
+    std::atomic<std::uint64_t> steal_total{0};
+
+    // --- metric handle cache (cache_mutex) ---
+    std::mutex cache_mutex;
+    std::unordered_map<std::string, KernelMetrics> metric_cache;
+
+    void
+    runTile(Launch &l, std::size_t tile)
+    {
+        const std::size_t b = l.begin + tile * l.grain;
+        const std::size_t e = std::min(l.end, b + l.grain);
+        l.fn(l.ctx, b, e);
+        l.done.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Drain own chunk, then steal from the others. */
+    void
+    participate(Launch &l, std::size_t w)
+    {
+        const bool was_in_kernel = tl_in_kernel;
+        tl_in_kernel = true;
+        ChunkCursor &own = l.chunks[w];
+        std::size_t i;
+        while ((i = own.next.fetch_add(1, std::memory_order_relaxed)) <
+               own.limit)
+            runTile(l, i);
+        // Steal: scan the other chunks until every tile is claimed.
+        for (std::size_t scan = 1; scan < l.parts; ++scan) {
+            const std::size_t v = (w + scan) % l.parts;
+            ChunkCursor &victim = l.chunks[v];
+            while (victim.next.load(std::memory_order_relaxed) <
+                   victim.limit) {
+                i = victim.next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= victim.limit)
+                    break;
+                runTile(l, i);
+                l.steals.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        tl_in_kernel = was_in_kernel;
+    }
+
+    void
+    helperMain()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            Launch *l = nullptr;
+            std::size_t slot = 0;
+            {
+                std::unique_lock<std::mutex> lk(m);
+                work_cv.wait(lk, [&] {
+                    return stop || (current && generation != seen);
+                });
+                if (stop)
+                    return;
+                seen = generation;
+                l = current;
+                slot = ++active; // 1-based helper slot
+                if (slot >= l->parts) {
+                    // More helpers than participant slots (width was
+                    // lowered mid-flight): sit this one out.
+                    --active;
+                    continue;
+                }
+            }
+            participate(*l, slot);
+            {
+                std::lock_guard<std::mutex> lk(m);
+                --active;
+            }
+            done_cv.notify_all();
+        }
+    }
+
+    void
+    stopHelpers()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m);
+            stop = true;
+        }
+        work_cv.notify_all();
+        for (std::thread &t : helpers)
+            t.join();
+        helpers.clear();
+        {
+            std::lock_guard<std::mutex> lk(m);
+            stop = false;
+        }
+    }
+
+    KernelMetrics
+    metricsFor(const char *name)
+    {
+        MetricsRegistry *reg = metrics ? metrics
+                                       : &MetricsRegistry::global();
+        std::lock_guard<std::mutex> lk(cache_mutex);
+        auto it = metric_cache.find(name);
+        if (it != metric_cache.end())
+            return it->second;
+        KernelMetrics km;
+        const std::string base = std::string("kernel.") + name;
+        km.tiles = &reg->counter(base + ".tiles");
+        km.steals = &reg->counter(base + ".steal");
+        km.ns = &reg->histogram(base + ".ns");
+        metric_cache.emplace(name, km);
+        return km;
+    }
+};
+
+KernelPool::KernelPool() : impl_(std::make_unique<Impl>())
+{
+    impl_->width = defaultWidth();
+}
+
+KernelPool::~KernelPool()
+{
+    impl_->stopHelpers();
+}
+
+KernelPool &
+KernelPool::instance()
+{
+    static KernelPool pool;
+    return pool;
+}
+
+std::size_t
+KernelPool::defaultWidth()
+{
+    if (const char *v = std::getenv("ILLIXR_KERNEL_THREADS")) {
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(v, &end, 10);
+        if (end && *end == '\0' && n >= 1)
+            return std::min<std::size_t>(n, kMaxKernelWidth);
+    }
+    return 1;
+}
+
+void
+KernelPool::setWidth(std::size_t width)
+{
+    width = std::clamp<std::size_t>(width, 1, kMaxKernelWidth);
+    // Wait out any in-flight kernel so helpers are quiescent.
+    std::lock_guard<std::mutex> launch_lk(impl_->launch_mutex);
+    impl_->stopHelpers();
+    std::lock_guard<std::mutex> lk(impl_->config_mutex);
+    impl_->width = width;
+}
+
+std::size_t
+KernelPool::width() const
+{
+    std::lock_guard<std::mutex> lk(impl_->config_mutex);
+    return impl_->width;
+}
+
+void
+KernelPool::setTraceSink(std::shared_ptr<TraceSink> sink)
+{
+    std::lock_guard<std::mutex> lk(impl_->config_mutex);
+    impl_->sink = std::move(sink);
+}
+
+void
+KernelPool::setMetrics(MetricsRegistry *metrics)
+{
+    std::lock_guard<std::mutex> lk(impl_->config_mutex);
+    impl_->metrics = metrics;
+    // The handle cache points into the previous registry; retargeting
+    // (or detaching back to the global registry) invalidates every
+    // cached Counter*/Histogram*. Callers retarget only while the
+    // pool is quiescent (before/after an executor run), so no launch
+    // can still be using a stale handle.
+    std::lock_guard<std::mutex> ck(impl_->cache_mutex);
+    impl_->metric_cache.clear();
+}
+
+bool
+KernelPool::inKernel()
+{
+    return tl_in_kernel;
+}
+
+std::uint64_t
+KernelPool::parallelLaunches() const
+{
+    return impl_->parallel_launches.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+KernelPool::stealCount() const
+{
+    return impl_->steal_total.load(std::memory_order_relaxed);
+}
+
+void
+KernelPool::run(const char *name, std::size_t begin, std::size_t end,
+                std::size_t grain, TileFn fn, void *ctx)
+{
+    if (end <= begin)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const std::size_t tiles = (end - begin + grain - 1) / grain;
+
+    const double t0 = hostTimeSeconds();
+
+    std::size_t width;
+    std::shared_ptr<TraceSink> sink;
+    {
+        std::lock_guard<std::mutex> lk(impl_->config_mutex);
+        width = impl_->width;
+        sink = impl_->sink;
+    }
+
+    std::uint64_t steals = 0;
+    // Serial path: width 1, a single tile, a nested launch, or a
+    // kernel already in flight. Identical tiles in ascending order,
+    // so outputs match the parallel path bit-for-bit.
+    bool parallel = width > 1 && tiles > 1 && !tl_in_kernel;
+    std::unique_lock<std::mutex> launch_lk(impl_->launch_mutex,
+                                           std::defer_lock);
+    if (parallel)
+        parallel = launch_lk.try_lock();
+
+    if (!parallel) {
+        const bool was_in_kernel = tl_in_kernel;
+        tl_in_kernel = true;
+        for (std::size_t i = 0; i < tiles; ++i) {
+            const std::size_t b = begin + i * grain;
+            const std::size_t e = std::min(end, b + grain);
+            fn(ctx, b, e);
+        }
+        tl_in_kernel = was_in_kernel;
+    } else {
+        Launch l;
+        l.name = name;
+        l.begin = begin;
+        l.end = end;
+        l.grain = grain;
+        l.tiles = tiles;
+        l.fn = fn;
+        l.ctx = ctx;
+        l.parts = std::min(width, kMaxKernelWidth);
+        for (std::size_t w = 0; w < l.parts; ++w) {
+            l.chunks[w].next.store(tiles * w / l.parts,
+                                   std::memory_order_relaxed);
+            l.chunks[w].limit = tiles * (w + 1) / l.parts;
+        }
+        {
+            std::lock_guard<std::mutex> lk(impl_->m);
+            // Lazily (re)start helpers at the configured width.
+            while (impl_->helpers.size() + 1 < width)
+                impl_->helpers.emplace_back(
+                    [this] { impl_->helperMain(); });
+            impl_->current = &l;
+            ++impl_->generation;
+        }
+        impl_->work_cv.notify_all();
+        impl_->participate(l, 0);
+        {
+            std::unique_lock<std::mutex> lk(impl_->m);
+            impl_->done_cv.wait(lk, [&] {
+                return impl_->active == 0 &&
+                       l.done.load(std::memory_order_acquire) ==
+                           l.tiles;
+            });
+            impl_->current = nullptr;
+        }
+        steals = l.steals.load(std::memory_order_relaxed);
+        impl_->parallel_launches.fetch_add(1,
+                                           std::memory_order_relaxed);
+        impl_->steal_total.fetch_add(steals,
+                                     std::memory_order_relaxed);
+        launch_lk.unlock();
+    }
+
+    const double t1 = hostTimeSeconds();
+
+    KernelMetrics km = impl_->metricsFor(name);
+    km.tiles->add(tiles);
+    if (steals)
+        km.steals->add(steals);
+    km.ns->observe((t1 - t0) * 1e9);
+
+    if (sink) {
+        Span span;
+        span.task = std::string("kernel.") + name;
+        span.unit = ExecUnit::Cpu;
+        span.arrival = static_cast<TimePoint>(t0 * 1e9);
+        span.start = span.arrival;
+        span.completion = static_cast<TimePoint>(t1 * 1e9);
+        span.host_seconds = t1 - t0;
+        span.id = sink->nextSpanId();
+        sink->recordSpan(std::move(span));
+    }
+}
+
+} // namespace illixr

@@ -1,5 +1,7 @@
 #include "signal/fft.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cassert>
 #include <map>
 #include <cmath>
@@ -103,25 +105,32 @@ fft2d(std::vector<Complex> &grid, std::size_t width, std::size_t height,
     assert(grid.size() == width * height);
     assert(isPowerOfTwo(width) && isPowerOfTwo(height));
 
-    // Transform rows.
-    std::vector<Complex> row(width);
-    for (std::size_t y = 0; y < height; ++y) {
-        for (std::size_t x = 0; x < width; ++x)
-            row[x] = grid[y * width + x];
-        fft(row, inverse);
-        for (std::size_t x = 0; x < width; ++x)
-            grid[y * width + x] = row[x];
-    }
+    // Transform rows. Each row is an independent 1-D FFT into a
+    // per-tile staging buffer (the twiddle cache is thread_local).
+    parallelFor("fft2d_rows", 0, height, 4,
+                [&](std::size_t yb, std::size_t ye) {
+                    std::vector<Complex> row(width);
+                    for (std::size_t y = yb; y < ye; ++y) {
+                        for (std::size_t x = 0; x < width; ++x)
+                            row[x] = grid[y * width + x];
+                        fft(row, inverse);
+                        for (std::size_t x = 0; x < width; ++x)
+                            grid[y * width + x] = row[x];
+                    }
+                });
 
     // Transform columns.
-    std::vector<Complex> col(height);
-    for (std::size_t x = 0; x < width; ++x) {
-        for (std::size_t y = 0; y < height; ++y)
-            col[y] = grid[y * width + x];
-        fft(col, inverse);
-        for (std::size_t y = 0; y < height; ++y)
-            grid[y * width + x] = col[y];
-    }
+    parallelFor("fft2d_cols", 0, width, 4,
+                [&](std::size_t xb, std::size_t xe) {
+                    std::vector<Complex> col(height);
+                    for (std::size_t x = xb; x < xe; ++x) {
+                        for (std::size_t y = 0; y < height; ++y)
+                            col[y] = grid[y * width + x];
+                        fft(col, inverse);
+                        for (std::size_t y = 0; y < height; ++y)
+                            grid[y * width + x] = col[y];
+                    }
+                });
 }
 
 std::vector<double>

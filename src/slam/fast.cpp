@@ -1,7 +1,10 @@
 #include "slam/fast.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace illixr {
 
@@ -83,30 +86,64 @@ detectFast(const ImageF &image, const FastParams &params)
     const int h = image.height();
     const int border = std::max(params.border, 3);
 
-    // Score map for non-maximum suppression.
-    ImageF scores(w, h, 0.0f);
-    for (int y = border; y < h - border; ++y)
-        for (int x = border; x < w - border; ++x)
-            scores.at(x, y) = cornerScore(image, x, y, params);
+    if (h - border <= border || w - border <= border)
+        return {};
 
-    std::vector<Corner> corners;
-    for (int y = border; y < h - border; ++y) {
-        for (int x = border; x < w - border; ++x) {
-            const float s = scores.at(x, y);
-            if (s <= 0.0f)
-                continue;
-            bool is_max = true;
-            for (int dy = -1; dy <= 1 && is_max; ++dy)
-                for (int dx = -1; dx <= 1; ++dx)
-                    if ((dx || dy) && scores.atClamped(x + dx, y + dy) > s) {
-                        is_max = false;
-                        break;
+    // Score map for non-maximum suppression (arena scratch: this is a
+    // per-frame w*h buffer on the camera hot path).
+    ArenaFrame scratch;
+    float *scores = scratch.alloc<float>(static_cast<std::size_t>(w) * h);
+    std::memset(scores, 0, static_cast<std::size_t>(w) * h *
+                               sizeof(float));
+    auto score_at = [&](int x, int y) -> float & {
+        return scores[static_cast<std::size_t>(y) * w + x];
+    };
+
+    parallelFor("fast_score", border, static_cast<std::size_t>(h - border),
+                8, [&](std::size_t yb, std::size_t ye) {
+                    for (std::size_t y = yb; y < ye; ++y)
+                        for (int x = border; x < w - border; ++x)
+                            score_at(x, static_cast<int>(y)) =
+                                cornerScore(image, x, static_cast<int>(y),
+                                            params);
+                });
+
+    // NMS: rows only read the (fully materialized) score map; each
+    // tile collects its corners locally and the tile lists concatenate
+    // in ascending tile order, reproducing the serial y-major scan
+    // order exactly.
+    auto nms_rows = [&](std::size_t yb, std::size_t ye) {
+        std::vector<Corner> local;
+        for (std::size_t y = yb; y < ye; ++y) {
+            for (int x = border; x < w - border; ++x) {
+                const float s = score_at(x, static_cast<int>(y));
+                if (s <= 0.0f)
+                    continue;
+                bool is_max = true;
+                for (int dy = -1; dy <= 1 && is_max; ++dy)
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        const int nx = std::clamp(x + dx, 0, w - 1);
+                        const int ny = std::clamp(
+                            static_cast<int>(y) + dy, 0, h - 1);
+                        if ((dx || dy) && score_at(nx, ny) > s) {
+                            is_max = false;
+                            break;
+                        }
                     }
-            if (is_max)
-                corners.push_back({Vec2(x, y), s});
+                if (is_max)
+                    local.push_back(
+                        {Vec2(x, static_cast<int>(y)), s});
+            }
         }
-    }
-    return corners;
+        return local;
+    };
+    return parallelReduce(
+        "fast_nms", border, static_cast<std::size_t>(h - border), 8,
+        std::vector<Corner>(), nms_rows,
+        [](std::vector<Corner> acc, std::vector<Corner> part) {
+            acc.insert(acc.end(), part.begin(), part.end());
+            return acc;
+        });
 }
 
 std::vector<Corner>

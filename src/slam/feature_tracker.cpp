@@ -10,7 +10,15 @@ FeatureTracker::FeatureTracker(const TrackerParams &params)
 std::vector<FeatureObservation>
 FeatureTracker::processFrame(const ImageF &image)
 {
-    ImagePyramid pyramid(image, params_.pyramid_levels);
+    return processFrame(std::make_shared<const ImageF>(image));
+}
+
+std::vector<FeatureObservation>
+FeatureTracker::processFrame(std::shared_ptr<const ImageF> image_ptr)
+{
+    const ImageF &image = *image_ptr;
+    auto pyramid = std::make_shared<const ImagePyramid>(
+        std::move(image_ptr), params_.pyramid_levels);
     lost_.clear();
 
     // --- Feature matching: track existing features with KLT. ---
@@ -25,7 +33,7 @@ FeatureTracker::processFrame(const ImageF &image)
             points.push_back(pt);
         }
         const auto results =
-            trackPoints(prevPyramid_, pyramid, points, params_.klt);
+            trackPoints(*prevPyramid_, *pyramid, points, params_.klt);
         for (std::size_t i = 0; i < results.size(); ++i) {
             if (results[i].ok) {
                 tracks_[ids[i]] = results[i].position;

@@ -49,9 +49,25 @@ class FeatureTracker
 
     /**
      * Process the next camera image; returns the observations of all
-     * live tracks in this frame (tracked + newly detected).
+     * live tracks in this frame (tracked + newly detected). Copies
+     * @p image into the frame pyramid; hot paths should use the
+     * shared_ptr overload.
      */
     std::vector<FeatureObservation> processFrame(const ImageF &image);
+
+    /**
+     * Zero-copy variant: the frame pyramid aliases @p image, which is
+     * built exactly once per frame and shared with the previous-frame
+     * state (and any other consumer via currentPyramid()).
+     */
+    std::vector<FeatureObservation>
+    processFrame(std::shared_ptr<const ImageF> image);
+
+    /** Pyramid of the most recent frame (null before any frame). */
+    const std::shared_ptr<const ImagePyramid> &currentPyramid() const
+    {
+        return prevPyramid_;
+    }
 
     /** Ids of tracks that were lost on the most recent frame. */
     const std::vector<std::uint64_t> &lostTracks() const { return lost_; }
@@ -70,7 +86,7 @@ class FeatureTracker
 
   private:
     TrackerParams params_;
-    ImagePyramid prevPyramid_;
+    std::shared_ptr<const ImagePyramid> prevPyramid_;
     std::map<std::uint64_t, Vec2> tracks_; ///< Live tracks (id -> pixel).
     std::vector<std::uint64_t> lost_;
     std::uint64_t nextId_ = 1;

@@ -1,5 +1,7 @@
 #include "slam/klt.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cmath>
 
 namespace illixr {
@@ -30,8 +32,12 @@ trackLevel(const ImageF &prev, const ImageF &next, const Vec2 &point,
     const int n = (2 * r + 1) * (2 * r + 1);
 
     // The spatial gradient matrix is evaluated once in the previous
-    // image (standard inverse-compositional-style optimization).
-    std::vector<double> gx(n), gy(n), tmpl(n);
+    // image (standard inverse-compositional-style optimization). The
+    // window buffers are per-feature scratch: arena, not heap.
+    ArenaFrame scratch;
+    double *gx = scratch.alloc<double>(n);
+    double *gy = scratch.alloc<double>(n);
+    double *tmpl = scratch.alloc<double>(n);
     double gxx = 0.0, gxy = 0.0, gyy = 0.0;
     int idx = 0;
     for (int dy = -r; dy <= r; ++dy) {
@@ -127,10 +133,15 @@ std::vector<KltResult>
 trackPoints(const ImagePyramid &prev, const ImagePyramid &next,
             const std::vector<Vec2> &points, const KltParams &params)
 {
-    std::vector<KltResult> results;
-    results.reserve(points.size());
-    for (const Vec2 &p : points)
-        results.push_back(trackPointPyramidal(prev, next, p, params));
+    std::vector<KltResult> results(points.size());
+    // Features are fully independent; each tile writes its own result
+    // slots, so output order (and bits) match the serial loop.
+    parallelFor("klt_track", 0, points.size(), 2,
+                [&](std::size_t b, std::size_t e) {
+                    for (std::size_t i = b; i < e; ++i)
+                        results[i] = trackPointPyramidal(
+                            prev, next, points[i], params);
+                });
     return results;
 }
 

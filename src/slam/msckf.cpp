@@ -1,6 +1,7 @@
 #include "slam/msckf.hpp"
 
 #include "linalg/decomp.hpp"
+#include "runtime/parallel.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -581,6 +582,10 @@ MsckfFilter::processFeatures(TimePoint frame_time,
             std::vector<double> h_rows;
             std::vector<double> r_vals;
             std::size_t rows = 0;
+            // One reusable Jacobian-row buffer from the arena instead
+            // of a fresh vector per measurement row.
+            ArenaFrame scratch;
+            double *row = scratch.alloc<double>(n);
 
             for (const auto &[fi, pixel] : slam_obs) {
                 const Vec3 f = slamFeatures_[fi].position;
@@ -605,7 +610,7 @@ MsckfFilter::processFeatures(TimePoint frame_time,
                 const std::size_t coff = cloneOffset(ci);
                 const std::size_t foff = slamOffset(fi);
                 for (int a = 0; a < 2; ++a) {
-                    std::vector<double> row(n, 0.0);
+                    std::fill(row, row + n, 0.0);
                     for (int b = 0; b < 3; ++b) {
                         double acc_t = 0.0, acc_p = 0.0, acc_f = 0.0;
                         for (int c2 = 0; c2 < 3; ++c2) {
@@ -617,7 +622,7 @@ MsckfFilter::processFeatures(TimePoint frame_time,
                         row[coff + 3 + b] = acc_p;
                         row[foff + b] = acc_f;
                     }
-                    h_rows.insert(h_rows.end(), row.begin(), row.end());
+                    h_rows.insert(h_rows.end(), row, row + n);
                     r_vals.push_back(a == 0 ? res.x : res.y);
                     ++rows;
                 }
@@ -746,6 +751,15 @@ const ImuState &
 VioSystem::processFrame(TimePoint time, const ImageF &image)
 {
     const auto obs = tracker_.processFrame(image);
+    filter_.processFeatures(time, obs, tracker_.lostTracks());
+    return filter_.state();
+}
+
+const ImuState &
+VioSystem::processFrame(TimePoint time,
+                        std::shared_ptr<const ImageF> image)
+{
+    const auto obs = tracker_.processFrame(std::move(image));
     filter_.processFeatures(time, obs, tracker_.lostTracks());
     return filter_.state();
 }

@@ -212,6 +212,10 @@ class VioSystem
     /** Process one camera frame; returns the updated state. */
     const ImuState &processFrame(TimePoint time, const ImageF &image);
 
+    /** Zero-copy variant: the tracker pyramid aliases @p image. */
+    const ImuState &processFrame(TimePoint time,
+                                 std::shared_ptr<const ImageF> image);
+
     const ImuState &state() const { return filter_.state(); }
     const MsckfFilter &filter() const { return filter_; }
     const FeatureTracker &tracker() const { return tracker_; }

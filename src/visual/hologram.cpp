@@ -2,6 +2,7 @@
 
 #include "foundation/rng.hpp"
 #include "image/filter.hpp"
+#include "runtime/parallel.hpp"
 
 #include <cmath>
 
@@ -33,14 +34,20 @@ HologramGenerator::propagateToPlane(const std::vector<Complex> &hologram,
 {
     const int n = params_.resolution;
     std::vector<Complex> field(hologram.size());
-    for (int y = 0; y < n; ++y) {
-        for (int x = 0; x < n; ++x) {
-            const double phi = lensPhaseAt(x, y, d);
-            field[static_cast<std::size_t>(y) * n + x] =
-                hologram[static_cast<std::size_t>(y) * n + x] *
-                Complex(std::cos(phi), std::sin(phi));
-        }
-    }
+    // Rows write disjoint slices of the field.
+    parallelFor("hologram_phase", 0, static_cast<std::size_t>(n), 8,
+                [&](std::size_t yb, std::size_t ye) {
+                    for (int y = static_cast<int>(yb);
+                         y < static_cast<int>(ye); ++y) {
+                        for (int x = 0; x < n; ++x) {
+                            const double phi = lensPhaseAt(x, y, d);
+                            field[static_cast<std::size_t>(y) * n + x] =
+                                hologram[static_cast<std::size_t>(y) * n +
+                                         x] *
+                                Complex(std::cos(phi), std::sin(phi));
+                        }
+                    }
+                });
     fft2d(field, n, n, false);
     // Normalize so amplitudes are resolution-independent.
     const double scale = 1.0 / n;
@@ -57,13 +64,18 @@ HologramGenerator::propagateFromPlane(
     std::vector<Complex> field = plane_field;
     fft2d(field, n, n, true);
     const double scale = n; // Undo the forward normalization.
-    for (int y = 0; y < n; ++y) {
-        for (int x = 0; x < n; ++x) {
-            const double phi = -lensPhaseAt(x, y, d);
-            field[static_cast<std::size_t>(y) * n + x] *=
-                Complex(std::cos(phi), std::sin(phi)) * scale;
-        }
-    }
+    parallelFor("hologram_phase", 0, static_cast<std::size_t>(n), 8,
+                [&](std::size_t yb, std::size_t ye) {
+                    for (int y = static_cast<int>(yb);
+                         y < static_cast<int>(ye); ++y) {
+                        for (int x = 0; x < n; ++x) {
+                            const double phi = -lensPhaseAt(x, y, d);
+                            field[static_cast<std::size_t>(y) * n + x] *=
+                                Complex(std::cos(phi), std::sin(phi)) *
+                                scale;
+                        }
+                    }
+                });
     return field;
 }
 
@@ -170,15 +182,20 @@ HologramGenerator::compute(const RgbImage &frame, const ImageF *depth)
             double weight_sum = 0.0;
             for (int d = 0; d < planes; ++d) {
                 std::vector<Complex> constrained(count);
-                for (std::size_t i = 0; i < count; ++i) {
-                    const Complex &f = plane_fields[d][i];
-                    const double mag = std::abs(f);
-                    // Keep the phase, impose the target amplitude.
-                    constrained[i] =
-                        (mag > 1e-12)
-                            ? f * (targets[d][i] / mag)
-                            : Complex(targets[d][i], 0.0);
-                }
+                parallelFor(
+                    "hologram_constraint", 0, count, 4096,
+                    [&](std::size_t ib, std::size_t ie) {
+                        for (std::size_t i = ib; i < ie; ++i) {
+                            const Complex &f = plane_fields[d][i];
+                            const double mag = std::abs(f);
+                            // Keep the phase, impose the target
+                            // amplitude.
+                            constrained[i] =
+                                (mag > 1e-12)
+                                    ? f * (targets[d][i] / mag)
+                                    : Complex(targets[d][i], 0.0);
+                        }
+                    });
                 const auto back = propagateFromPlane(constrained, d);
                 const double w = result.plane_weights[d];
                 for (std::size_t i = 0; i < count; ++i)

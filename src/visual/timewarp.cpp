@@ -1,5 +1,7 @@
 #include "visual/timewarp.hpp"
 
+#include "runtime/parallel.hpp"
+
 #include <cmath>
 #include <vector>
 
@@ -115,7 +117,12 @@ Timewarp::reproject(const RgbImage &rendered, const Pose &render_pose,
         const double cell_h =
             static_cast<double>(h) / params_.mesh_rows;
 
-        for (int y = 0; y < h; ++y) {
+        // Scanline blocks: output rows are independent (reads only
+        // touch the mesh and the rendered frame).
+        parallelFor("timewarp", 0, static_cast<std::size_t>(h), 8,
+                    [&](std::size_t yb, std::size_t ye) {
+        for (int y = static_cast<int>(yb); y < static_cast<int>(ye);
+             ++y) {
             const double gy = (y + 0.5) / cell_h;
             const int r0 = std::min(static_cast<int>(gy),
                                     params_.mesh_rows - 1);
@@ -167,6 +174,7 @@ Timewarp::reproject(const RgbImage &rendered, const Pose &render_pose,
                     out.setPixel(x, y, Vec3(rgb[0], rgb[1], rgb[2]));
             }
         }
+                    });
     }
     return out;
 }
@@ -213,7 +221,9 @@ Timewarp::reprojectPositional(const RgbImage &rendered,
     };
     (void)render_inv;
 
-    for (int y = 0; y < h; ++y) {
+    parallelFor("timewarp_pos", 0, static_cast<std::size_t>(h), 8,
+                [&](std::size_t yb, std::size_t ye) {
+    for (int y = static_cast<int>(yb); y < static_cast<int>(ye); ++y) {
         for (int x = 0; x < w; ++x) {
             // Fixed-point inverse warp, seeded at the output pixel.
             Vec2 uv(static_cast<double>(x), static_cast<double>(y));
@@ -239,6 +249,7 @@ Timewarp::reprojectPositional(const RgbImage &rendered,
             }
         }
     }
+                });
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "xr/illixr_system.hpp"
 
+#include "runtime/parallel.hpp"
 #include "runtime/phonebook.hpp"
 #include "runtime/pool_executor.hpp"
 #include "xr/plugins.hpp"
@@ -65,6 +66,12 @@ applyExecutorEnv(IntegratedConfig &config)
             return false;
         config.pool_workers = n;
     }
+    if (const char *v = std::getenv("ILLIXR_KERNEL_THREADS")) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.kernel_threads = n;
+    }
     if (const char *v = std::getenv("ILLIXR_DETERMINISTIC"))
         config.deterministic = std::string(v) != "0";
     if (const char *v = std::getenv("ILLIXR_SEED")) {
@@ -103,6 +110,13 @@ parseExecutorFlag(const std::string &arg, IntegratedConfig &config)
         if (!parseUnsigned(v, n) || n == 0)
             return false;
         config.pool_workers = n;
+        return true;
+    }
+    if (value("--kernel-threads=", v)) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.kernel_threads = n;
         return true;
     }
     if (arg == "--deterministic") {
@@ -176,6 +190,13 @@ runIntegrated(const IntegratedConfig &config)
 {
     const SystemTuning tuning;
 
+    // --- Kernel pool: width for the data-parallel kernels, plus this
+    // run's metrics/trace sinks (kernel results are bit-identical at
+    // any width, so this never perturbs determinism). ---
+    KernelPool &kernels = KernelPool::instance();
+    if (config.kernel_threads > 0)
+        kernels.setWidth(config.kernel_threads);
+
     // --- Services ---
     Phonebook phonebook;
     auto switchboard = std::make_shared<Switchboard>();
@@ -187,6 +208,8 @@ runIntegrated(const IntegratedConfig &config)
         sink = std::make_shared<TraceSink>();
         switchboard->setTraceSink(sink);
     }
+    kernels.setMetrics(metrics.get());
+    kernels.setTraceSink(sink);
 
     DatasetConfig ds_cfg;
     ds_cfg.duration_s = toSeconds(config.duration) + 0.5;
@@ -260,6 +283,10 @@ runIntegrated(const IntegratedConfig &config)
     }
 
     executor->run(config.duration);
+
+    // Detach the run-scoped sinks before the registry can go away.
+    kernels.setMetrics(nullptr);
+    kernels.setTraceSink(nullptr);
 
     // --- Collect results ---
     IntegratedResult result;

@@ -56,6 +56,11 @@ struct IntegratedConfig
     ExecutorKind executor = ExecutorKind::Sim;
     /** Worker count when executor == Pool. */
     std::size_t pool_workers = 4;
+    /** Kernel-pool width for data-parallel kernels (parallelFor).
+     *  0 = inherit the process default (`ILLIXR_KERNEL_THREADS`,
+     *  else serial); 1 = force serial. Results are bit-identical at
+     *  any width. */
+    std::size_t kernel_threads = 0;
     /** Pool only: virtual-clock replay; byte-reproducible per seed. */
     bool deterministic = false;
     /** Fault injection / supervision / degradation (off by default). */
@@ -65,6 +70,7 @@ struct IntegratedConfig
 /**
  * Apply the executor environment overrides to @p config:
  * `ILLIXR_EXECUTOR` (sim|pool), `ILLIXR_POOL_WORKERS`,
+ * `ILLIXR_KERNEL_THREADS` (data-parallel kernel width),
  * `ILLIXR_DETERMINISTIC` (0|1), `ILLIXR_SEED`, `ILLIXR_FAULT_PLAN`
  * (a parseFaultPlan() spec), `ILLIXR_RESILIENCE` (0|1: supervision +
  * degradation). Unset variables leave the corresponding field
@@ -75,7 +81,7 @@ bool applyExecutorEnv(IntegratedConfig &config);
 
 /**
  * Parse one executor CLI flag into @p config: `--executor=sim|pool`,
- * `--workers=N`, `--deterministic`, `--seed=N`,
+ * `--workers=N`, `--kernel-threads=N`, `--deterministic`, `--seed=N`,
  * `--fault-plan=SPEC`, `--resilience`. @return true when @p arg was
  * one of these flags and parsed cleanly; false otherwise
  * (unrecognised flags are the caller's business).

@@ -125,9 +125,12 @@ VioPlugin::iterate(TimePoint now)
     // Drain IMU stream into the filter.
     while (auto imu = imuReader_.pop())
         vio_->addImu(imu->sample);
-    // Process every pending camera frame (normally one).
+    // Process every pending camera frame (normally one). The aliasing
+    // shared_ptr lets the tracker pyramid borrow the frame's level-0
+    // image instead of deep-copying it.
     while (auto cam = cameraReader_.pop()) {
-        const ImuState &state = vio_->processFrame(cam->time, cam->image);
+        const ImuState &state = vio_->processFrame(
+            cam->time, std::shared_ptr<const ImageF>(cam, &cam->image));
         auto out = makeEvent<PoseEvent>();
         out->time = cam->time;
         out->state = state;

@@ -36,13 +36,15 @@ struct RunFiles
 
 RunFiles
 runOnce(unsigned seed, const std::string &tag,
-        const std::string &fault_spec = "")
+        const std::string &fault_spec = "",
+        std::size_t kernel_threads = 0)
 {
     IntegratedConfig cfg;
     cfg.executor = ExecutorKind::Pool;
     cfg.pool_workers = 4;
     cfg.deterministic = true;
     cfg.seed = seed;
+    cfg.kernel_threads = kernel_threads;
     cfg.duration = 1 * kSecond;
     if (!fault_spec.empty()) {
         EXPECT_TRUE(
@@ -92,6 +94,22 @@ TEST(DeterminismTest, DifferentSeedDiverges)
     // A different seed changes the dataset and the modeled costs:
     // the trajectories must not be byte-equal.
     EXPECT_NE(a.pose, c.pose);
+}
+
+TEST(DeterminismTest, KernelWidthsAreByteIdentical)
+{
+    // The data-parallel kernel contract (DESIGN.md §6): tiling is a
+    // pure function of (range, grain) and reductions combine in fixed
+    // tile order, so the kernel-pool width must never be observable in
+    // the results. The same deterministic run at kernel widths 1, 2
+    // and 4 must produce byte-identical pose and lineage CSVs.
+    const RunFiles w1 = runOnce(11, "k1", "", 1);
+    const RunFiles w2 = runOnce(11, "k2", "", 2);
+    const RunFiles w4 = runOnce(11, "k4", "", 4);
+    EXPECT_EQ(w1.pose, w2.pose);
+    EXPECT_EQ(w1.pose, w4.pose);
+    EXPECT_EQ(w1.lineage, w2.lineage);
+    EXPECT_EQ(w1.lineage, w4.lineage);
 }
 
 TEST(DeterminismTest, FaultedSameSeedIsByteIdentical)

@@ -1,0 +1,652 @@
+/**
+ * @file
+ * Tests of the data-parallel kernel runtime (runtime/parallel.hpp):
+ * tiling purity, the determinism contract (bit-identical results for
+ * every converted kernel at any worker count), scratch-arena reuse,
+ * and executor interaction (nested launches never deadlock).
+ */
+
+#include <gtest/gtest.h>
+
+#include "audio/ambisonics.hpp"
+#include "audio/binaural.hpp"
+#include "audio/clips.hpp"
+#include "eyetrack/layers.hpp"
+#include "foundation/rng.hpp"
+#include "image/filter.hpp"
+#include "image/pyramid.hpp"
+#include "linalg/decomp.hpp"
+#include "linalg/matrix.hpp"
+#include "recon/tsdf.hpp"
+#include "render/app.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/pool_executor.hpp"
+#include "sensors/world.hpp"
+#include "signal/fft.hpp"
+#include "slam/fast.hpp"
+#include "slam/klt.hpp"
+#include "visual/hologram.hpp"
+#include "visual/timewarp.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace illixr {
+namespace {
+
+/** RAII kernel-pool width override (restores serial on exit). */
+class WidthGuard
+{
+  public:
+    explicit WidthGuard(std::size_t width)
+    {
+        KernelPool::instance().setWidth(width);
+    }
+    ~WidthGuard() { KernelPool::instance().setWidth(1); }
+};
+
+bool
+sameImage(const ImageF &a, const ImageF &b)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        return false;
+    return std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.width()) * a.height() *
+                           sizeof(float)) == 0;
+}
+
+bool
+sameRgb(const RgbImage &a, const RgbImage &b)
+{
+    return sameImage(a.r, b.r) && sameImage(a.g, b.g) &&
+           sameImage(a.b, b.b);
+}
+
+const ImageF &
+cameraFrame()
+{
+    static const ImageF frame = [] {
+        const SyntheticWorld world = SyntheticWorld::labRoom();
+        const CameraRig rig = CameraRig::standard(
+            CameraIntrinsics::fromFov(192, 144, 1.5));
+        const Pose body(Quat::identity(), Vec3(0, 1.6, 0));
+        return world.renderGray(rig.intrinsics,
+                                rig.worldToCamera(body));
+    }();
+    return frame;
+}
+
+// ------------------------------------------------------------- Tiling
+
+TEST(KernelTiles, IsAPureFunctionOfRangeAndGrain)
+{
+    const auto a = kernelTiles(3, 100, 8);
+    const auto b = kernelTiles(3, 100, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].begin, b[i].begin);
+        EXPECT_EQ(a[i].end, b[i].end);
+        EXPECT_EQ(a[i].index, b[i].index);
+    }
+}
+
+TEST(KernelTiles, CoversTheRangeDisjointlyInOrder)
+{
+    const auto tiles = kernelTiles(3, 100, 8);
+    ASSERT_FALSE(tiles.empty());
+    EXPECT_EQ(tiles.front().begin, 3u);
+    EXPECT_EQ(tiles.back().end, 100u);
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        EXPECT_EQ(tiles[i].index, i);
+        EXPECT_LT(tiles[i].begin, tiles[i].end);
+        EXPECT_LE(tiles[i].end - tiles[i].begin, 8u);
+        if (i > 0) {
+            EXPECT_EQ(tiles[i].begin, tiles[i - 1].end);
+        }
+    }
+    // ceil((100 - 3) / 8) tiles.
+    EXPECT_EQ(tiles.size(), (100u - 3u + 7u) / 8u);
+}
+
+TEST(KernelTiles, EmptyAndDegenerateRanges)
+{
+    EXPECT_TRUE(kernelTiles(5, 5, 4).empty());
+    EXPECT_TRUE(kernelTiles(7, 3, 4).empty());
+    const auto one = kernelTiles(4, 5, 16);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].begin, 4u);
+    EXPECT_EQ(one[0].end, 5u);
+}
+
+// ----------------------------------------------------------- The pool
+
+TEST(KernelPool, ParallelForVisitsEveryIndexOnce)
+{
+    WidthGuard width(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor("test_visit", 0, hits.size(), 7,
+                [&](std::size_t b, std::size_t e) {
+                    for (std::size_t i = b; i < e; ++i)
+                        hits[i].fetch_add(1);
+                });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(KernelPool, ParallelReduceIsBitIdenticalAcrossWidths)
+{
+    // A sum whose result depends on the combine order: floating-point
+    // addition is not associative, so fixed tile order is observable.
+    std::vector<double> values(4097);
+    Rng rng(11);
+    for (double &v : values)
+        v = rng.uniform(-1e6, 1e6) * 1e-7;
+
+    auto run = [&] {
+        return parallelReduce(
+            "test_reduce", 0, values.size(), 64, 0.0,
+            [&](std::size_t b, std::size_t e) {
+                double acc = 0.0;
+                for (std::size_t i = b; i < e; ++i)
+                    acc += values[i];
+                return acc;
+            },
+            [](double a, double b) { return a + b; });
+    };
+    double serial;
+    {
+        WidthGuard width(1);
+        serial = run();
+    }
+    for (std::size_t w : {2u, 4u}) {
+        WidthGuard width(w);
+        const double parallel = run();
+        EXPECT_EQ(std::memcmp(&serial, &parallel, sizeof(double)), 0)
+            << "width " << w;
+    }
+}
+
+TEST(KernelPool, RecordsLaunchAndMetricStats)
+{
+    KernelPool &pool = KernelPool::instance();
+    MetricsRegistry metrics;
+    pool.setMetrics(&metrics);
+    {
+        WidthGuard width(2);
+        const std::uint64_t launches_before = pool.parallelLaunches();
+        parallelFor("test_stats", 0, 512, 4,
+                    [&](std::size_t, std::size_t) {});
+        EXPECT_GT(pool.parallelLaunches(), launches_before);
+    }
+    pool.setMetrics(nullptr);
+    EXPECT_GE(metrics.counter("kernel.test_stats.tiles").value(), 128u);
+}
+
+TEST(KernelPool, RetargetingMetricsDropsStaleHandles)
+{
+    // Regression: the pool caches Counter*/Histogram* handles per
+    // kernel name. Retargeting the registry (one per integrated run,
+    // destroyed afterwards) must invalidate the cache, or the next
+    // run's kernels write through dangling pointers into the freed
+    // registry.
+    KernelPool &pool = KernelPool::instance();
+    auto first = std::make_unique<MetricsRegistry>();
+    pool.setMetrics(first.get());
+    parallelFor("test_retarget", 0, 64, 4,
+                [&](std::size_t, std::size_t) {});
+    EXPECT_GE(first->counter("kernel.test_retarget.tiles").value(), 16u);
+    first.reset(); // Destroy the run's registry, as runIntegrated does.
+
+    MetricsRegistry second;
+    pool.setMetrics(&second);
+    parallelFor("test_retarget", 0, 64, 4,
+                [&](std::size_t, std::size_t) {});
+    pool.setMetrics(nullptr);
+    // The second run's launch must have landed in the *second*
+    // registry (and not crashed writing into the freed first one).
+    EXPECT_GE(second.counter("kernel.test_retarget.tiles").value(), 16u);
+}
+
+TEST(KernelPool, SerialWidthRunsInline)
+{
+    WidthGuard width(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    parallelFor("test_inline", 0, 100, 8,
+                [&](std::size_t, std::size_t) {
+                    EXPECT_EQ(std::this_thread::get_id(), caller);
+                    EXPECT_TRUE(KernelPool::inKernel());
+                });
+    EXPECT_FALSE(KernelPool::inKernel());
+}
+
+TEST(KernelPool, NestedParallelForRunsInlineSerial)
+{
+    WidthGuard width(4);
+    std::vector<int> out(64, 0);
+    parallelFor("test_outer", 0, 8, 1,
+                [&](std::size_t ob, std::size_t oe) {
+                    for (std::size_t o = ob; o < oe; ++o) {
+                        // Nested launch: must degrade to inline serial
+                        // execution, not deadlock or oversubscribe.
+                        parallelFor("test_inner", 0, 8, 1,
+                                    [&](std::size_t ib, std::size_t ie) {
+                                        for (std::size_t i = ib; i < ie;
+                                             ++i)
+                                            out[o * 8 + i] = 1;
+                                    });
+                    }
+                });
+    for (int v : out)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(KernelPool, ConcurrentLaunchesFromManyThreadsComplete)
+{
+    WidthGuard width(2);
+    // Several threads race to launch kernels; single-flight admission
+    // must serialize or inline them without losing work.
+    std::vector<std::thread> threads;
+    std::vector<std::vector<int>> results(4, std::vector<int>(512, 0));
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (int rep = 0; rep < 50; ++rep)
+                parallelFor("test_race", 0, 512, 16,
+                            [&](std::size_t b, std::size_t e) {
+                                for (std::size_t i = b; i < e; ++i)
+                                    results[t][i] = t + 1;
+                            });
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < 4; ++t)
+        for (int v : results[t])
+            EXPECT_EQ(v, t + 1);
+}
+
+TEST(KernelPool, NoDeadlockFromPoolExecutorTaskAtWidthOne)
+{
+    WidthGuard width(1);
+    // A plugin iterating under the PoolExecutor launches kernels; at
+    // kernel width 1 everything must run inline on the task's worker.
+    class KernelPlugin : public Plugin
+    {
+      public:
+        KernelPlugin() : Plugin("kernel_plugin") {}
+        void
+        iterate(TimePoint) override
+        {
+            double sum = 0.0;
+            parallelFor("test_task", 0, 256, 8,
+                        [&](std::size_t b, std::size_t e) {
+                            for (std::size_t i = b; i < e; ++i)
+                                sum += static_cast<double>(i);
+                        });
+            total += sum;
+        }
+        Duration period() const override { return periodFromHz(1000); }
+        double total = 0.0;
+    };
+    KernelPlugin plugin;
+    PoolExecutorConfig cfg;
+    cfg.workers = 2;
+    cfg.deterministic = true;
+    PoolExecutor pool(cfg);
+    pool.addPlugin(&plugin);
+    pool.run(50 * kMillisecond);
+    EXPECT_GT(plugin.total, 0.0);
+}
+
+// ------------------------------------------------------ Scratch arena
+
+TEST(ScratchArena, DoesNotGrowAfterWarmup)
+{
+    ScratchArena &arena = ScratchArena::forThisThread();
+    auto frame_work = [&] {
+        ArenaFrame frame;
+        float *a = frame.arena().alloc<float>(4096);
+        double *b = frame.arena().alloc<double>(1024);
+        a[0] = 1.0f;
+        b[0] = 2.0;
+    };
+    frame_work(); // Warmup allocates the blocks.
+    const std::size_t grown = arena.growthCount();
+    const std::size_t cap = arena.capacity();
+    for (int i = 0; i < 100; ++i)
+        frame_work();
+    EXPECT_EQ(arena.growthCount(), grown);
+    EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(ScratchArena, NestedFramesRewindInOrder)
+{
+    ScratchArena &arena = ScratchArena::forThisThread();
+    ArenaFrame outer;
+    float *a = arena.alloc<float>(16);
+    a[3] = 7.0f;
+    {
+        ArenaFrame inner;
+        float *b = arena.alloc<float>(16);
+        b[0] = 1.0f;
+        EXPECT_NE(a, b);
+    }
+    // After the inner frame rewinds, the next allocation reuses its
+    // space.
+    float *c = arena.alloc<float>(16);
+    EXPECT_EQ(a[3], 7.0f);
+    (void)c;
+}
+
+TEST(ScratchArena, AlignmentIsRespected)
+{
+    ArenaFrame frame;
+    ScratchArena &arena = frame.arena();
+    (void)arena.allocate(1, 1);
+    double *d = arena.alloc<double>(3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    (void)arena.allocate(2, 1);
+    void *p = arena.allocate(64, 64);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+// ------------------------------------- Kernel-by-kernel bit identity
+
+/** Run @p make at width 1 and width 4 and compare with @p same. */
+template <typename F, typename Eq>
+void
+expectWidthInvariant(F &&make, Eq &&same)
+{
+    decltype(make()) serial = [&] {
+        WidthGuard width(1);
+        return make();
+    }();
+    {
+        WidthGuard width(4);
+        const auto parallel = make();
+        EXPECT_TRUE(same(serial, parallel));
+    }
+}
+
+TEST(KernelEquivalence, GaussianBlurAndDownsample)
+{
+    const ImageF &img = cameraFrame();
+    expectWidthInvariant([&] { return gaussianBlur(img, 1.5); },
+                         sameImage);
+    expectWidthInvariant([&] { return downsampleHalf(img); }, sameImage);
+}
+
+TEST(KernelEquivalence, ImagePyramid)
+{
+    auto base = std::make_shared<const ImageF>(cameraFrame());
+    auto levels = [&] {
+        ImagePyramid pyr(base, 4);
+        std::vector<ImageF> copy;
+        for (int i = 0; i < pyr.levels(); ++i)
+            copy.push_back(pyr.level(i));
+        return copy;
+    };
+    expectWidthInvariant(levels, [](const std::vector<ImageF> &a,
+                                    const std::vector<ImageF> &b) {
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            if (!sameImage(a[i], b[i]))
+                return false;
+        return true;
+    });
+    // Level 0 borrows the caller's image instead of copying it.
+    ImagePyramid pyr(base, 3);
+    EXPECT_EQ(pyr.level(0).data(), base->data());
+}
+
+TEST(KernelEquivalence, FastDetect)
+{
+    const ImageF &img = cameraFrame();
+    expectWidthInvariant(
+        [&] { return detectFast(img); },
+        [](const std::vector<Corner> &a, const std::vector<Corner> &b) {
+            if (a.size() != b.size())
+                return false;
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (a[i].position.x != b[i].position.x ||
+                    a[i].position.y != b[i].position.y ||
+                    a[i].score != b[i].score)
+                    return false;
+            }
+            return true;
+        });
+}
+
+TEST(KernelEquivalence, KltTrack)
+{
+    const ImageF &img = cameraFrame();
+    ImagePyramid pyr(img, 3);
+    const auto corners = detectFastGrid(img, 8, 6, 2, {});
+    std::vector<Vec2> points;
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(40, corners.size()); ++i)
+        points.push_back(corners[i].position);
+    expectWidthInvariant(
+        [&] { return trackPoints(pyr, pyr, points); },
+        [](const std::vector<KltResult> &a,
+           const std::vector<KltResult> &b) {
+            if (a.size() != b.size())
+                return false;
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (a[i].ok != b[i].ok ||
+                    a[i].position.x != b[i].position.x ||
+                    a[i].position.y != b[i].position.y ||
+                    a[i].residual != b[i].residual)
+                    return false;
+            }
+            return true;
+        });
+}
+
+TEST(KernelEquivalence, DenseGemms)
+{
+    Rng rng(5);
+    MatX a(40, 56), b(56, 44);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            a(i, j) = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < b.rows(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j)
+            b(i, j) = rng.uniform(-1, 1);
+    auto same = [](const MatX &x, const MatX &y) {
+        return x.rows() == y.rows() && x.cols() == y.cols() &&
+               std::memcmp(x.data(), y.data(),
+                           x.rows() * x.cols() * sizeof(double)) == 0;
+    };
+    expectWidthInvariant([&] { return a * b; }, same);
+    expectWidthInvariant([&] { return a.transposeTimes(a); }, same);
+    expectWidthInvariant([&] { return a.timesTranspose(a); }, same);
+}
+
+TEST(KernelEquivalence, CholeskyAndQrSolves)
+{
+    Rng rng(6);
+    MatX a(48, 48);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            a(i, j) = rng.uniform(-1, 1);
+    MatX spd = a.transposeTimes(a);
+    for (std::size_t i = 0; i < spd.rows(); ++i)
+        spd(i, i) += 48.0;
+    MatX rhs(48, 40);
+    for (std::size_t i = 0; i < rhs.rows(); ++i)
+        for (std::size_t j = 0; j < rhs.cols(); ++j)
+            rhs(i, j) = rng.uniform(-1, 1);
+    auto same = [](const MatX &x, const MatX &y) {
+        return x.rows() == y.rows() && x.cols() == y.cols() &&
+               std::memcmp(x.data(), y.data(),
+                           x.rows() * x.cols() * sizeof(double)) == 0;
+    };
+    const Cholesky chol(spd);
+    expectWidthInvariant([&] { return chol.solve(rhs); }, same);
+    const HouseholderQR qr(a);
+    expectWidthInvariant([&] { return qr.applyQT(rhs); }, same);
+}
+
+TEST(KernelEquivalence, Fft2d)
+{
+    std::vector<Complex> grid(64 * 64);
+    Rng rng(7);
+    for (Complex &c : grid)
+        c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    auto run = [&] {
+        std::vector<Complex> copy = grid;
+        fft2d(copy, 64, 64, false);
+        fft2d(copy, 64, 64, true);
+        return copy;
+    };
+    expectWidthInvariant(run, [](const std::vector<Complex> &a,
+                                 const std::vector<Complex> &b) {
+        return a.size() == b.size() &&
+               std::memcmp(a.data(), b.data(),
+                           a.size() * sizeof(Complex)) == 0;
+    });
+}
+
+TEST(KernelEquivalence, TimewarpReprojection)
+{
+    RgbImage frame(96, 96, Vec3(0.3, 0.5, 0.7));
+    for (int y = 0; y < 96; ++y)
+        for (int x = 0; x < 96; ++x)
+            frame.r.at(x, y) = static_cast<float>((x ^ y) & 31) / 31.0f;
+    const Pose render = Pose::identity();
+    const Pose fresh(Quat::fromAxisAngle(Vec3(0, 1, 0), 0.02),
+                     Vec3(0.01, 0, 0));
+    expectWidthInvariant(
+        [&] {
+            Timewarp warp;
+            return warp.reproject(frame, render, fresh);
+        },
+        sameRgb);
+    const ImageF depth(96, 96, 0.5f);
+    expectWidthInvariant(
+        [&] {
+            Timewarp warp;
+            return warp.reprojectPositional(frame, depth, render, fresh,
+                                            0.1, 50.0);
+        },
+        sameRgb);
+}
+
+TEST(KernelEquivalence, HologramGeneration)
+{
+    HologramParams params;
+    params.resolution = 32;
+    params.iterations = 2;
+    params.depth_planes = 2;
+    RgbImage target(32, 32, Vec3(0.5, 0.4, 0.3));
+    expectWidthInvariant(
+        [&] {
+            HologramGenerator gen(params);
+            return gen.compute(target);
+        },
+        [](const HologramResult &a, const HologramResult &b) {
+            return a.rms_error == b.rms_error &&
+                   sameImage(a.phase, b.phase);
+        });
+}
+
+TEST(KernelEquivalence, TsdfIntegrateAndRaycast)
+{
+    TsdfParams params;
+    params.resolution = 32;
+    params.side_meters = 4.0;
+    params.origin = Vec3(-2, -2, -0.5);
+    const CameraIntrinsics intr = CameraIntrinsics::fromFov(64, 48, 1.2);
+    DepthImage depth(64, 48, 0.0f);
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 64; ++x)
+            depth.at(x, y) = 1.5f + 0.01f * static_cast<float>(x % 7);
+
+    struct Result
+    {
+        std::size_t observed;
+        std::vector<Vec3> vertices;
+        std::vector<Vec3> normals;
+    };
+    auto run = [&] {
+        TsdfVolume vol(params);
+        vol.integrate(depth, intr, Pose::identity());
+        Result r;
+        r.observed = vol.observedVoxelCount();
+        vol.raycast(intr, Pose::identity(), r.vertices, r.normals, 2);
+        return r;
+    };
+    expectWidthInvariant(run, [](const Result &a, const Result &b) {
+        if (a.observed != b.observed ||
+            a.vertices.size() != b.vertices.size())
+            return false;
+        for (std::size_t i = 0; i < a.vertices.size(); ++i) {
+            if (a.vertices[i].x != b.vertices[i].x ||
+                a.vertices[i].y != b.vertices[i].y ||
+                a.vertices[i].z != b.vertices[i].z ||
+                a.normals[i].x != b.normals[i].x ||
+                a.normals[i].y != b.normals[i].y ||
+                a.normals[i].z != b.normals[i].z)
+                return false;
+        }
+        return true;
+    });
+}
+
+TEST(KernelEquivalence, Conv2dForward)
+{
+    Conv2d conv(8, 16, 3);
+    Rng rng(9);
+    conv.initializeHe(rng);
+    Tensor input(8, 24, 24);
+    Rng rng2(10);
+    for (int c = 0; c < 8; ++c)
+        for (int y = 0; y < 24; ++y)
+            for (int x = 0; x < 24; ++x)
+                input.at(c, y, x) =
+                    static_cast<float>(rng2.uniform(-1, 1));
+    expectWidthInvariant(
+        [&] { return conv.forward(input); },
+        [](const Tensor &a, const Tensor &b) {
+            return a.size() == b.size() &&
+                   std::memcmp(a.data(), b.data(),
+                               a.size() * sizeof(float)) == 0;
+        });
+}
+
+TEST(KernelEquivalence, BinauralFir)
+{
+    const auto mono = synthesizeClip(ClipKind::Noise, 512, 48000.0);
+    Soundfield field(512);
+    encodeSource(mono, Vec3(1, 0, 0).normalized(), field);
+    expectWidthInvariant(
+        [&] {
+            Binauralizer binaural(512);
+            return binaural.process(field);
+        },
+        [](const StereoBlock &a, const StereoBlock &b) {
+            return a.left == b.left && a.right == b.right;
+        });
+}
+
+TEST(KernelEquivalence, RasterizerTiles)
+{
+    AppConfig cfg;
+    cfg.eye_width = 72;
+    cfg.eye_height = 72;
+    expectWidthInvariant(
+        [&] {
+            XrApplication app(AppId::ArDemo, cfg);
+            const Pose head(Quat::identity(), Vec3(0, 1.2, 0));
+            return app.renderFrame(head, 0.125);
+        },
+        [](const StereoFrame &a, const StereoFrame &b) {
+            return sameRgb(a.left, b.left) && sameRgb(a.right, b.right);
+        });
+}
+
+} // namespace
+} // namespace illixr
