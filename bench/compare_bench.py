@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""Compare two micro_kernels --json outputs and fail on regression.
+"""Compare benchmark --json outputs and fail on regression.
 
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--threshold PCT]
+    compare_bench.py --pair BASE.json:CUR.json[:PCT] [--pair ...]
 
-Both files map benchmark name -> ns/iter (the format written by
-`micro_kernels --json out.json`). The script exits non-zero when any
-benchmark present in BOTH files is more than PCT percent slower in
-CURRENT than in BASELINE (default 25). Names present in only one file
-are reported but never fail the run, so adding or retiring benchmarks
-does not break CI.
+Each file maps benchmark name -> ns/iter (the format written by
+`micro_kernels --json out.json` and `micro_transport --json out.json`).
+The positional form compares one pair; --pair may be repeated to check
+several baselines in a single run (e.g. kernels and transport). A pair
+fails when any benchmark present in BOTH of its files is more than PCT
+percent slower in CURRENT than in BASELINE (per-pair PCT, else
+--threshold, default 25). Names present in only one file are reported
+but never fail the run, so adding or retiring benchmarks does not break
+CI. Baseline entries with ns <= 0 are skipped. Exit status is 1 when
+any pair regressed, 2 when a pair shares no benchmark names.
 """
 
 import argparse
@@ -17,23 +22,15 @@ import json
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="baseline JSON (name -> ns/iter)")
-    parser.add_argument("current", help="current JSON (name -> ns/iter)")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=25.0,
-        help="allowed slowdown in percent (default: 25)",
-    )
-    args = parser.parse_args()
-
-    with open(args.baseline) as f:
+def compare_pair(baseline_path, current_path, threshold):
+    """Print a per-benchmark delta table; return (regressions, shared)."""
+    with open(baseline_path) as f:
         baseline = json.load(f)
-    with open(args.current) as f:
+    with open(current_path) as f:
         current = json.load(f)
 
+    print(f"== {baseline_path} vs {current_path} "
+          f"(threshold {threshold:.0f}%) ==")
     regressions = []
     shared = sorted(set(baseline) & set(current))
     for name in shared:
@@ -43,7 +40,7 @@ def main() -> int:
             continue
         delta_pct = (cur_ns / base_ns - 1.0) * 100.0
         marker = ""
-        if delta_pct > args.threshold:
+        if delta_pct > threshold:
             marker = "  << REGRESSION"
             regressions.append((name, delta_pct))
         print(
@@ -56,19 +53,75 @@ def main() -> int:
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:32s} (only in current)")
 
-    if not shared:
-        print("error: no shared benchmark names", file=sys.stderr)
-        return 2
-    if regressions:
-        print(
-            f"\n{len(regressions)} regression(s) over "
-            f"{args.threshold:.0f}%:",
-            file=sys.stderr,
+    return regressions, shared
+
+
+def parse_pair(spec, default_threshold):
+    parts = spec.split(":")
+    if len(parts) == 2:
+        return parts[0], parts[1], default_threshold
+    if len(parts) == 3:
+        return parts[0], parts[1], float(parts[2])
+    raise argparse.ArgumentTypeError(
+        f"--pair wants BASE.json:CUR.json[:PCT], got {spec!r}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline JSON (name -> ns/iter)")
+    parser.add_argument("current", nargs="?",
+                        help="current JSON (name -> ns/iter)")
+    parser.add_argument(
+        "--pair",
+        action="append",
+        default=[],
+        metavar="BASE:CUR[:PCT]",
+        help="compare BASE.json against CUR.json with an optional "
+        "per-pair threshold; repeatable",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="allowed slowdown in percent (default: 25)",
+    )
+    args = parser.parse_args()
+
+    pairs = []
+    if args.baseline is not None:
+        if args.current is None:
+            parser.error("positional usage needs BASELINE and CURRENT")
+        pairs.append((args.baseline, args.current, args.threshold))
+    for spec in args.pair:
+        pairs.append(parse_pair(spec, args.threshold))
+    if not pairs:
+        parser.error("give BASELINE CURRENT or at least one --pair")
+
+    all_regressions = []
+    status = 0
+    for i, (base, cur, threshold) in enumerate(pairs):
+        if i:
+            print()
+        regressions, shared = compare_pair(base, cur, threshold)
+        if not shared:
+            print(f"error: no shared benchmark names in {base} vs {cur}",
+                  file=sys.stderr)
+            status = max(status, 2)
+        all_regressions.extend(
+            (base, name, pct, threshold) for name, pct in regressions
         )
-        for name, pct in regressions:
-            print(f"  {name}: +{pct:.1f}%", file=sys.stderr)
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} regression(s):", file=sys.stderr)
+        for base, name, pct, threshold in all_regressions:
+            print(f"  [{base}] {name}: +{pct:.1f}% (limit {threshold:.0f}%)",
+                  file=sys.stderr)
         return 1
-    print(f"\nOK: no regression over {args.threshold:.0f}%")
+    if status:
+        return status
+    print("\nOK: no regression in any pair")
     return 0
 
 

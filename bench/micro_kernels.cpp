@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "bench_json.hpp"
+
 #include "audio/ambisonics.hpp"
 #include "audio/binaural.hpp"
 #include "audio/clips.hpp"
@@ -272,80 +274,8 @@ BENCHMARK(BM_CnnForward);
 } // namespace
 } // namespace illixr
 
-namespace {
-
-/**
- * Console reporter that additionally collects name -> ns/iter, so a
- * `--json out.json` run leaves a machine-readable result for
- * bench/compare_bench.py alongside the normal console table.
- */
-class JsonCollectingReporter : public benchmark::ConsoleReporter
-{
-  public:
-    void
-    ReportRuns(const std::vector<Run> &reports) override
-    {
-        for (const Run &run : reports) {
-            if (run.error_occurred || run.iterations == 0)
-                continue;
-            results_.emplace_back(run.benchmark_name(),
-                                  run.real_accumulated_time /
-                                      static_cast<double>(run.iterations) *
-                                      1e9);
-        }
-        benchmark::ConsoleReporter::ReportRuns(reports);
-    }
-
-    bool
-    writeJson(const std::string &path) const
-    {
-        std::FILE *f = std::fopen(path.c_str(), "w");
-        if (!f)
-            return false;
-        std::fprintf(f, "{\n");
-        for (std::size_t i = 0; i < results_.size(); ++i) {
-            std::fprintf(f, "  \"%s\": %.1f%s\n",
-                         results_[i].first.c_str(), results_[i].second,
-                         i + 1 < results_.size() ? "," : "");
-        }
-        std::fprintf(f, "}\n");
-        std::fclose(f);
-        return true;
-    }
-
-  private:
-    std::vector<std::pair<std::string, double>> results_;
-};
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    std::string json_path;
-    std::vector<char *> args;
-    args.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (arg.rfind("--json=", 0) == 0) {
-            json_path = arg.substr(7);
-        } else {
-            args.push_back(argv[i]);
-        }
-    }
-    int filtered_argc = static_cast<int>(args.size());
-    benchmark::Initialize(&filtered_argc, args.data());
-    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
-                                               args.data()))
-        return 1;
-    JsonCollectingReporter reporter;
-    benchmark::RunSpecifiedBenchmarks(&reporter);
-    benchmark::Shutdown();
-    if (!json_path.empty() && !reporter.writeJson(json_path)) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-    }
-    return 0;
+    return illixr::benchjson::benchJsonMain(argc, argv);
 }

@@ -37,7 +37,7 @@ OffloadedVioPlugin::publishBreakerTransition(TimePoint now)
     if (state == lastState_)
         return;
     lastState_ = state;
-    auto ev = makeEvent<HealthEvent>();
+    auto ev = healthWriter_.make();
     ev->time = now;
     ev->task = name();
     ev->detail = CircuitBreaker::stateName(state);
@@ -63,7 +63,7 @@ OffloadedVioPlugin::publishLocalPose(
     if (!fallback_.initialized())
         return;
     const ImuState state = fallback_.state();
-    auto out = makeEvent<PoseEvent>();
+    auto out = slowPoseWriter_.make();
     out->time = cam->time;
     out->state = state;
     out->parents = {cam->trace};
@@ -154,7 +154,7 @@ OffloadedVioPlugin::iterate(TimePoint now)
         }
         publishBreakerTransition(now);
 
-        auto out = makeEvent<PoseEvent>();
+        auto out = slowPoseWriter_.make();
         out->time = cam->time;
         out->state = state;
         // The pose is released in a *later* invocation than the one

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Slab event pools for the switchboard transport: per-topic recycling
+ * allocators that make steady-state publish→read traffic heap-free.
+ *
+ * An EventPool<T> hands out `std::shared_ptr<T>` whose *entire*
+ * footprint — the T itself and the shared_ptr control block — lives
+ * in one fixed-size node carved from arena chunks owned by the pool.
+ * When the last reference drops, the node goes back on the pool's
+ * freelist instead of the heap (the control block's destroy path is
+ * the recycling deleter), so after warmup `make()` is a freelist pop
+ * plus a constructor call: zero heap allocations per event.
+ *
+ * Lifetime rule: events may outlive the pool, the topic, and the
+ * switchboard — every outstanding node holds one intrusive reference
+ * on the arena (and the shared handle from EventPoolArena::create
+ * holds one more), so the arena deletes itself only after the last
+ * handle AND the last pooled event anywhere are gone. The intrusive
+ * count costs one relaxed increment per allocation instead of the
+ * two-to-four refcount RMW pairs a shared_ptr-holding allocator pays
+ * per event through allocate_shared's allocator copies.
+ *
+ * Counters (hits = freelist reuse, misses = node carved from a chunk,
+ * live = events currently out) are internal relaxed atomics, and are
+ * mirrored into `sb.pool.<topic>.*` metrics when the owning
+ * switchboard has a MetricsRegistry attached.
+ */
+
+#pragma once
+
+#include "trace/metrics_registry.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace illixr {
+
+/**
+ * The type-erased core of an EventPool: a mutex-guarded freelist of
+ * fixed-size nodes backed by geometrically grown arena chunks. The
+ * node size is locked by the first allocation (every allocation of a
+ * given pool is the same allocate_shared node type, so all requests
+ * match); a mismatched request falls through to the heap and counts
+ * as a miss, never corrupts the freelist.
+ *
+ * Deallocation is lock-free: freed nodes go onto an MPSC Treiber lane
+ * (push-only CAS — immune to ABA) that the next allocation claims
+ * wholesale with one exchange. Readers dropping the last reference to
+ * an event therefore never block the publisher, whichever thread the
+ * drop lands on.
+ */
+class EventPoolArena
+{
+  public:
+    explicit EventPoolArena(std::size_t chunk_nodes = 64)
+        : chunk_nodes_(chunk_nodes == 0 ? 64 : chunk_nodes)
+    {
+    }
+
+    ~EventPoolArena() = default;
+
+    /**
+     * The only safe way to heap-allocate an arena: the returned
+     * handle participates in the intrusive count, so the arena
+     * outlives every node even if the handle dies first. (A
+     * stack-constructed arena is fine too as long as it outlives its
+     * nodes — it simply never self-deletes.)
+     */
+    static std::shared_ptr<EventPoolArena>
+    create(std::size_t chunk_nodes = 64)
+    {
+        return std::shared_ptr<EventPoolArena>(
+            new EventPoolArena(chunk_nodes), &releaseRef);
+    }
+
+    EventPoolArena(const EventPoolArena &) = delete;
+    EventPoolArena &operator=(const EventPoolArena &) = delete;
+
+    void *
+    allocate(std::size_t bytes)
+    {
+        const std::size_t want = padded(bytes);
+        // Owner fast lane: the first-allocating thread keeps a small
+        // private freelist it alone touches (checked by thread
+        // identity), so the steady-state alloc→publish→drop cycle on
+        // one thread costs no atomic RMW at all — the shape of every
+        // single-writer topic whose events die on the writer's own
+        // thread (e.g. evictions and latest-slot displacement).
+        if (owner_.load(std::memory_order_relaxed) == tlsMarker() &&
+            owner_free_ &&
+            want == locked_size_.load(std::memory_order_relaxed)) {
+            Node *n = owner_free_;
+            owner_free_ = n->next;
+            --owner_free_count_;
+            storeBump(owner_hits_);
+            storeBump(owner_allocs_);
+            bumpCounter(hit_counter_);
+            refs_.fetch_add(1, std::memory_order_relaxed);
+            return n;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (node_size_ == 0) {
+                node_size_ = want;
+                locked_size_.store(want, std::memory_order_release);
+            }
+            if (want == node_size_) {
+                if (owner_.load(std::memory_order_relaxed) == nullptr)
+                    owner_.store(tlsMarker(),
+                                 std::memory_order_relaxed);
+                if (!free_head_) {
+                    // Claim the whole lock-free return lane in one
+                    // exchange; the acquire pairs with the release
+                    // CAS in deallocate().
+                    free_head_ = returned_.exchange(
+                        nullptr, std::memory_order_acquire);
+                }
+                refs_.fetch_add(1, std::memory_order_relaxed);
+                if (free_head_) {
+                    Node *n = free_head_;
+                    free_head_ = n->next;
+                    ++hits_;
+                    ++allocs_;
+                    bumpCounter(hit_counter_);
+                    return n;
+                }
+                void *n = carveLocked();
+                ++misses_;
+                ++allocs_;
+                bumpCounter(miss_counter_);
+                return n;
+            }
+            // Foreign size (should not happen for a homogeneous
+            // pool): satisfy from the heap so correctness never
+            // depends on the size lock-in, and count it as a miss.
+            ++misses_;
+        }
+        bumpCounter(miss_counter_);
+        refs_.fetch_add(1, std::memory_order_relaxed);
+        return ::operator new(bytes);
+    }
+
+    /**
+     * Lock-free: pushes the node onto an MPSC return lane that the
+     * next allocate() claims wholesale, so readers releasing the last
+     * reference to an event never contend with the publisher's
+     * allocation mutex. Only size-matched pointers can be pool nodes
+     * (every pool-path allocation has padded size == node_size_, every
+     * foreign-size allocation went to the heap, and node_size_ never
+     * changes once set), so the size check alone routes correctly.
+     *
+     * Drops the node's intrusive arena reference last; when that was
+     * the final reference (no handles, no other nodes) the arena
+     * deletes itself, so no member may be touched afterwards.
+     */
+    void
+    deallocate(void *p, std::size_t bytes)
+    {
+        if (padded(bytes) ==
+            locked_size_.load(std::memory_order_acquire)) {
+            Node *n = static_cast<Node *>(p);
+            if (owner_.load(std::memory_order_relaxed) ==
+                    tlsMarker() &&
+                owner_free_count_ < kOwnerCacheMax) {
+                n->next = owner_free_;
+                owner_free_ = n;
+                ++owner_free_count_;
+                storeBump(owner_deallocs_);
+                releaseRef(this);
+                return;
+            }
+            Node *head = returned_.load(std::memory_order_relaxed);
+            do {
+                n->next = head;
+            } while (!returned_.compare_exchange_weak(
+                head, n, std::memory_order_release,
+                std::memory_order_relaxed));
+            deallocs_.fetch_add(1, std::memory_order_relaxed);
+            releaseRef(this);
+            return;
+        }
+        ::operator delete(p);
+        releaseRef(this);
+    }
+
+    /** Freelist reuses since construction. */
+    std::uint64_t
+    hits() const
+    {
+        std::uint64_t shared;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shared = hits_;
+        }
+        return shared + owner_hits_.load(std::memory_order_relaxed);
+    }
+
+    /** Nodes carved from chunks (or, pathologically, the heap). */
+    std::uint64_t
+    misses() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return misses_;
+    }
+
+    /** Events currently alive out of this pool. */
+    std::uint64_t
+    live() const
+    {
+        std::uint64_t allocs;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            allocs = allocs_;
+        }
+        allocs += owner_allocs_.load(std::memory_order_relaxed);
+        const std::uint64_t deallocs =
+            deallocs_.load(std::memory_order_relaxed) +
+            owner_deallocs_.load(std::memory_order_relaxed);
+        return allocs >= deallocs ? allocs - deallocs : 0;
+    }
+
+    /** Nodes the arena can hold without growing again. */
+    std::size_t
+    capacity() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return capacity_nodes_;
+    }
+
+    /** hits / (hits + misses), 0 when nothing was ever allocated. */
+    double
+    hitRate() const
+    {
+        const double h = static_cast<double>(hits());
+        const double m = static_cast<double>(misses());
+        return (h + m) == 0.0 ? 0.0 : h / (h + m);
+    }
+
+    /**
+     * Mirror hit/miss increments into registry counters (metrics are
+     * attached after pools may already exist, so these are swappable;
+     * null detaches).
+     */
+    void
+    setCounters(Counter *hit, Counter *miss)
+    {
+        hit_counter_.store(hit, std::memory_order_release);
+        miss_counter_.store(miss, std::memory_order_release);
+    }
+
+  private:
+    struct Node
+    {
+        Node *next;
+    };
+
+    static std::size_t
+    padded(std::size_t bytes)
+    {
+        const std::size_t a = alignof(std::max_align_t);
+        const std::size_t n = bytes < sizeof(Node) ? sizeof(Node) : bytes;
+        return (n + a - 1) / a * a;
+    }
+
+    void *
+    carveLocked()
+    {
+        if (chunks_.empty() || chunk_used_ == chunk_nodes_in_last_) {
+            // Geometric growth keeps the chunk count logarithmic in
+            // the peak live-event count.
+            chunk_nodes_in_last_ =
+                chunks_.empty() ? chunk_nodes_
+                                : chunk_nodes_in_last_ * 2;
+            chunks_.push_back(std::make_unique<std::byte[]>(
+                node_size_ * chunk_nodes_in_last_));
+            chunk_used_ = 0;
+            capacity_nodes_ += chunk_nodes_in_last_;
+        }
+        std::byte *base = chunks_.back().get();
+        return base + node_size_ * chunk_used_++;
+    }
+
+    static void
+    bumpCounter(const std::atomic<Counter *> &c)
+    {
+        if (Counter *k = c.load(std::memory_order_acquire))
+            k->add(1);
+    }
+
+    /** Single-writer counter bump: a plain store, not an RMW. */
+    static void
+    storeBump(std::atomic<std::uint64_t> &c)
+    {
+        c.store(c.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    }
+
+    /** Per-thread identity for the owner fast lane. Address equality
+     *  can only hold for one live thread at a time. */
+    static void *
+    tlsMarker()
+    {
+        static thread_local char marker;
+        return &marker;
+    }
+
+    /** Intrusive release: handles (via create()) and every node each
+     *  hold one reference; the last release deletes the arena. */
+    static void
+    releaseRef(EventPoolArena *a)
+    {
+        if (a->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            delete a;
+    }
+
+    mutable std::mutex mutex_;
+    Node *free_head_ = nullptr;
+    std::size_t node_size_ = 0;
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::size_t chunk_used_ = 0;
+    std::size_t chunk_nodes_in_last_ = 0;
+    std::size_t chunk_nodes_;
+    std::size_t capacity_nodes_ = 0;
+    std::uint64_t hits_ = 0;    ///< Guarded by mutex_.
+    std::uint64_t misses_ = 0;  ///< Guarded by mutex_.
+    std::uint64_t allocs_ = 0;  ///< Pool-path allocations (mutex_).
+    /** node_size_ once locked in; lock-free mirror for deallocate(). */
+    std::atomic<std::size_t> locked_size_{0};
+    /** MPSC return lane: deallocate pushes, allocate claims all. */
+    std::atomic<Node *> returned_{nullptr};
+    std::atomic<std::uint64_t> deallocs_{0};
+
+    /**
+     * Owner fast lane. owner_ is the tlsMarker() of the first
+     * pool-path allocating thread; owner_free_/owner_free_count_ are
+     * touched only after an owner identity check, so exactly one
+     * thread ever accesses them (capped: if the owner stops
+     * allocating, at most kOwnerCacheMax nodes sit idle here). The
+     * owner_* counters are single-writer atomics bumped with plain
+     * stores.
+     */
+    static constexpr std::size_t kOwnerCacheMax = 64;
+    /** Intrusive count: 1 for the create() handle + 1 per node out. */
+    std::atomic<std::uint64_t> refs_{1};
+    std::atomic<void *> owner_{nullptr};
+    Node *owner_free_ = nullptr;
+    std::size_t owner_free_count_ = 0;
+    std::atomic<std::uint64_t> owner_hits_{0};
+    std::atomic<std::uint64_t> owner_allocs_{0};
+    std::atomic<std::uint64_t> owner_deallocs_{0};
+    std::atomic<Counter *> hit_counter_{nullptr};
+    std::atomic<Counter *> miss_counter_{nullptr};
+};
+
+/**
+ * Allocator whose storage is an EventPoolArena. Holds only a raw
+ * pointer — allocate_shared copies the allocator several times per
+ * event, and a shared_ptr here would turn each copy into refcount
+ * RMWs. Lifetime is safe anyway: every allocation takes an intrusive
+ * arena reference that its deallocation releases, so the embedded
+ * control-block allocator always points at a live arena for exactly
+ * as long as it can be asked to deallocate. The caller constructing
+ * a PoolAllocator must hold an arena handle across allocate().
+ */
+template <typename T> struct PoolAllocator
+{
+    using value_type = T;
+
+    EventPoolArena *arena;
+
+    explicit PoolAllocator(EventPoolArena *a) : arena(a) {}
+
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &other) : arena(other.arena)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(arena->allocate(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+        arena->deallocate(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &other) const
+    {
+        return arena == other.arena;
+    }
+};
+
+/**
+ * Typed slab pool: make() is allocate_shared through the arena, so
+ * object + control block share one recycled node.
+ */
+template <typename T> class EventPool
+{
+  public:
+    explicit EventPool(std::size_t chunk_events = 64)
+        : arena_(EventPoolArena::create(chunk_events))
+    {
+    }
+
+    explicit EventPool(std::shared_ptr<EventPoolArena> arena)
+        : arena_(std::move(arena))
+    {
+    }
+
+    template <typename... Args>
+    std::shared_ptr<T>
+    make(Args &&...args)
+    {
+        return std::allocate_shared<T>(PoolAllocator<T>(arena_.get()),
+                                       std::forward<Args>(args)...);
+    }
+
+    EventPoolArena &arena() { return *arena_; }
+    const EventPoolArena &arena() const { return *arena_; }
+    std::shared_ptr<EventPoolArena> arenaPtr() const { return arena_; }
+
+  private:
+    std::shared_ptr<EventPoolArena> arena_;
+};
+
+} // namespace illixr

@@ -89,6 +89,18 @@ applyExecutorEnv(IntegratedConfig &config)
         config.resilience.supervise = on;
         config.resilience.degrade = on;
     }
+    if (const char *v = std::getenv("ILLIXR_SB_RING_CAP")) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.sb_ring_capacity = n;
+    }
+    if (const char *v = std::getenv("ILLIXR_SB_POOL_CHUNK")) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.sb_pool_chunk = n;
+    }
     return true;
 }
 
@@ -135,6 +147,20 @@ parseExecutorFlag(const std::string &arg, IntegratedConfig &config)
     if (arg == "--resilience") {
         config.resilience.supervise = true;
         config.resilience.degrade = true;
+        return true;
+    }
+    if (value("--sb-ring-cap=", v)) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.sb_ring_capacity = n;
+        return true;
+    }
+    if (value("--sb-pool-chunk=", v)) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        config.sb_pool_chunk = n;
         return true;
     }
     return false;
@@ -200,9 +226,14 @@ runIntegrated(const IntegratedConfig &config)
     // --- Services ---
     Phonebook phonebook;
     auto switchboard = std::make_shared<Switchboard>();
+    if (config.sb_ring_capacity > 0)
+        switchboard->setDefaultRingCapacity(config.sb_ring_capacity);
+    if (config.sb_pool_chunk > 0)
+        switchboard->setPoolChunkEvents(config.sb_pool_chunk);
     phonebook.registerService(switchboard);
 
     auto metrics = std::make_shared<MetricsRegistry>();
+    switchboard->setMetrics(metrics.get());
     std::shared_ptr<TraceSink> sink;
     if (config.trace) {
         sink = std::make_shared<TraceSink>();
@@ -328,6 +359,9 @@ runIntegrated(const IntegratedConfig &config)
         result.lineage_mtp = computeLineageMtp(
             *sink, vsync, topics::kDisplayFrame, result.lineage_stages);
     }
+    // Sample the transport gauges (seqlock contention, pool occupancy)
+    // into this run's registry before it is handed to the caller.
+    switchboard->flushMetrics();
     result.metrics = metrics;
     const double cpu_util =
         pool ? pool->cpuUtilization() : sim->cpuUtilization();

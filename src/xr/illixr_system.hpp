@@ -63,6 +63,12 @@ struct IntegratedConfig
     std::size_t kernel_threads = 0;
     /** Pool only: virtual-clock replay; byte-reproducible per seed. */
     bool deterministic = false;
+    /** Default Switchboard SyncReader ring capacity (events; rounded
+     *  up to a power of two). 0 = switchboard default (1024). */
+    std::size_t sb_ring_capacity = 0;
+    /** Events per initial slab chunk of each topic's event pool.
+     *  0 = switchboard default (64). */
+    std::size_t sb_pool_chunk = 0;
     /** Fault injection / supervision / degradation (off by default). */
     ResilienceConfig resilience;
 };
@@ -73,7 +79,9 @@ struct IntegratedConfig
  * `ILLIXR_KERNEL_THREADS` (data-parallel kernel width),
  * `ILLIXR_DETERMINISTIC` (0|1), `ILLIXR_SEED`, `ILLIXR_FAULT_PLAN`
  * (a parseFaultPlan() spec), `ILLIXR_RESILIENCE` (0|1: supervision +
- * degradation). Unset variables leave the corresponding field
+ * degradation), `ILLIXR_SB_RING_CAP` (default SyncReader ring
+ * capacity), `ILLIXR_SB_POOL_CHUNK` (events per initial slab chunk).
+ * Unset variables leave the corresponding field
  * untouched. @return false on a malformed value (config is left
  * partially updated).
  */
@@ -82,7 +90,8 @@ bool applyExecutorEnv(IntegratedConfig &config);
 /**
  * Parse one executor CLI flag into @p config: `--executor=sim|pool`,
  * `--workers=N`, `--kernel-threads=N`, `--deterministic`, `--seed=N`,
- * `--fault-plan=SPEC`, `--resilience`. @return true when @p arg was
+ * `--fault-plan=SPEC`, `--resilience`, `--sb-ring-cap=N`,
+ * `--sb-pool-chunk=N`. @return true when @p arg was
  * one of these flags and parsed cleanly; false otherwise
  * (unrecognised flags are the caller's business).
  */

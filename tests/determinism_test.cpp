@@ -132,5 +132,24 @@ TEST(DeterminismTest, FaultedSameSeedIsByteIdentical)
     EXPECT_NE(a.pose, clean.pose);
 }
 
+TEST(DeterminismTest, FaultedKernelWidthsAreByteIdentical)
+{
+    // The two contracts composed: a chaos run (injected crashes,
+    // stalls, drops, corruption, plus supervised restarts and
+    // degradation) must STILL be invariant to the kernel-pool width.
+    // This pins the transport data plane too — publish fan-out, ring
+    // eviction and slab recycling all happen under fault churn here,
+    // and none of it may leak into the recorded pose or lineage.
+    const std::string spec =
+        "seed=7,crash=0.02,stall=0.03,spike=0.03,drop=0.05,corrupt=0.02";
+    const RunFiles w1 = runOnce(11, "fk1", spec, 1);
+    const RunFiles w2 = runOnce(11, "fk2", spec, 2);
+    const RunFiles w4 = runOnce(11, "fk4", spec, 4);
+    EXPECT_EQ(w1.pose, w2.pose);
+    EXPECT_EQ(w1.pose, w4.pose);
+    EXPECT_EQ(w1.lineage, w2.lineage);
+    EXPECT_EQ(w1.lineage, w4.lineage);
+}
+
 } // namespace
 } // namespace illixr

@@ -89,18 +89,18 @@ class ProducerPlugin : public Plugin
 {
   public:
     ProducerPlugin(std::string name, Duration period, Switchboard *sb,
-                   std::string topic)
-        : Plugin(std::move(name)), period_(period), sb_(sb),
-          topic_(std::move(topic))
+                   const std::string &topic)
+        : Plugin(std::move(name)), period_(period),
+          writer_(sb->writer<IntEvent>(topic))
     {
     }
 
     void
     iterate(TimePoint) override
     {
-        auto e = makeEvent<IntEvent>();
+        auto e = writer_.make();
         e->value = count.fetch_add(1);
-        sb_->publish(topic_, e);
+        writer_.put(std::move(e));
     }
 
     Duration period() const override { return period_; }
@@ -109,8 +109,7 @@ class ProducerPlugin : public Plugin
 
   private:
     Duration period_;
-    Switchboard *sb_;
-    std::string topic_;
+    Switchboard::Writer<IntEvent> writer_;
 };
 
 /** Event-driven consumer (period <= 0), drains a topic reader. */
@@ -119,14 +118,14 @@ class ConsumerPlugin : public Plugin
   public:
     ConsumerPlugin(std::string name, Switchboard *sb,
                    const std::string &topic)
-        : Plugin(std::move(name)), reader_(sb->subscribe(topic))
+        : Plugin(std::move(name)), reader_(sb->reader<IntEvent>(topic))
     {
     }
 
     void
     iterate(TimePoint) override
     {
-        while (auto e = reader_->pop())
+        while (auto e = reader_.pop())
             consumed.fetch_add(1);
         invocations.fetch_add(1);
     }
@@ -137,7 +136,7 @@ class ConsumerPlugin : public Plugin
     std::atomic<int> invocations{0};
 
   private:
-    std::shared_ptr<SyncReader> reader_;
+    Switchboard::Reader<IntEvent> reader_;
 };
 
 TEST(PoolExecutorTest, LaneMappingFromTaskNames)
@@ -292,8 +291,9 @@ TEST(PoolExecutorTest, TopicDrivenWakeupAndCoalescing)
     EXPECT_EQ(consumer.invocations.load(), 0);
     // A burst of publishes wakes it; bursts may coalesce, so the
     // invocation count is in [1, 10] but every event is consumed.
+    auto writer = sb.writer<IntEvent>("t");
     for (int i = 0; i < 10; ++i)
-        sb.publish("t", makeEvent<IntEvent>());
+        writer.put(writer.make());
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(5);
     while (consumer.consumed.load() < 10 &&

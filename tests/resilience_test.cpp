@@ -211,9 +211,11 @@ TEST(FaultInjectorTest, PublishHookDropsEverythingAtRateOne)
 
     Switchboard sb;
     sb.setPublishHook(injector.makePublishHook());
+    auto writer = sb.writer<ValueEvent>("t");
     for (int i = 0; i < 10; ++i)
-        sb.publish("t", makeEvent<ValueEvent>());
-    sb.publish("other", makeEvent<ValueEvent>()); // Out of scope.
+        writer.put(writer.make());
+    auto other = sb.writer<ValueEvent>("other");
+    other.put(other.make()); // Out of scope.
 
     EXPECT_EQ(sb.publishCount("t"), 0u);
     EXPECT_EQ(sb.publishAttempts("t"), 10u);
@@ -235,11 +237,12 @@ TEST(FaultInjectorTest, PublishHookCorruptsInPlaceDeterministically)
         });
         Switchboard sb;
         sb.setPublishHook(injector.makePublishHook());
-        auto ev = makeEvent<ValueEvent>();
+        auto writer = sb.writer<ValueEvent>("t");
+        auto ev = writer.make();
         ev->value = -1;
-        sb.publish("t", ev);
+        writer.put(std::move(ev));
         (void)trial;
-        auto seen = sb.latest<ValueEvent>("t");
+        auto seen = sb.asyncReader<ValueEvent>("t").latest();
         EXPECT_EQ(injector.injectedCorruptions(), 1u);
         return seen ? seen->value : -2;
     };
@@ -355,7 +358,7 @@ TEST(FaultContainmentTest, DeterministicPoolCountsInjectedCrashes)
 TEST(SupervisorTest, TakesPluginDownThenRestartsAfterBackoff)
 {
     Switchboard sb;
-    auto health = sb.subscribe(topics::kHealth);
+    auto health = sb.reader<HealthEvent>(topics::kHealth);
     MetricsRegistry metrics;
     SupervisorPolicy policy;
     policy.exception_threshold = 2;
@@ -391,9 +394,7 @@ TEST(SupervisorTest, TakesPluginDownThenRestartsAfterBackoff)
 
     // Health stream told the whole story: 2 exceptions, down, restart.
     std::size_t exceptions = 0, restarts = 0;
-    while (auto raw = health->pop()) {
-        auto ev = std::dynamic_pointer_cast<const HealthEvent>(raw);
-        ASSERT_NE(ev, nullptr);
+    while (auto ev = health.pop()) {
         if (ev->kind == HealthKind::Exception)
             ++exceptions;
         if (ev->kind == HealthKind::Restart)
@@ -423,7 +424,7 @@ TEST(DegradationTest, CommandForLevelMapsKnobsInSheddingOrder)
 TEST(DegradationTest, ShedsUnderPressureAndRecoversWithHysteresis)
 {
     Switchboard sb;
-    auto commands = sb.subscribe(topics::kDegradation);
+    auto commands = sb.reader<DegradationCommandEvent>(topics::kDegradation);
     MetricsRegistry metrics;
     DegradationPolicy policy;
     policy.watched = {"timewarp"};
@@ -465,10 +466,7 @@ TEST(DegradationTest, ShedsUnderPressureAndRecoversWithHysteresis)
 
     // Every level change was published as a typed command.
     std::vector<int> levels;
-    while (auto raw = commands->pop()) {
-        auto cmd =
-            std::dynamic_pointer_cast<const DegradationCommandEvent>(raw);
-        ASSERT_NE(cmd, nullptr);
+    while (auto cmd = commands.pop()) {
         levels.push_back(cmd->level);
     }
     EXPECT_EQ(levels, (std::vector<int>{0, 1, 2, 1}));

@@ -12,6 +12,7 @@
 #include "runtime/rt_executor.hpp"
 #include "runtime/sim_scheduler.hpp"
 #include "runtime/switchboard.hpp"
+#include "trace/metrics_registry.hpp"
 
 #include <gtest/gtest.h>
 
@@ -367,6 +368,83 @@ TEST(SwitchboardTest, TypedHandlesInteroperateWithStringShims)
     writer.put(makeEvent<IntEvent>());
     EXPECT_EQ(sb.publishCount("t"), 2u);
     EXPECT_NE(sb.latest<IntEvent>("t"), nullptr);
+}
+
+TEST(SwitchboardTest, SyncReaderEvictsOldestAndCountsDropsMetric)
+{
+    // Documented overflow policy: a full ring evicts the OLDEST
+    // queued event so the survivors are always the newest `capacity`
+    // events, and every eviction is visible both on the handle
+    // (dropped()) and in the aggregate sb.reader.dropped counter.
+    MetricsRegistry metrics;
+    Switchboard sb;
+    sb.setMetrics(&metrics);
+    auto writer = sb.writer<IntEvent>("t");
+    auto reader = sb.reader<IntEvent>("t", 4);
+
+    for (int i = 0; i < 10; ++i) {
+        auto e = writer.make();
+        e->value = i;
+        writer.put(std::move(e));
+    }
+
+    EXPECT_EQ(reader.pending(), 4u);
+    EXPECT_EQ(reader.dropped(), 6u);
+    EXPECT_EQ(metrics.counter("sb.reader.dropped").value(), 6.0);
+    // Survivors are the newest four, still in publish order.
+    for (int want = 6; want < 10; ++want) {
+        auto e = reader.pop();
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->value, want);
+    }
+    EXPECT_EQ(reader.pop(), nullptr);
+}
+
+TEST(SwitchboardTest, DeprecatedStringShimsAreCounted)
+{
+    MetricsRegistry metrics;
+    Switchboard sb;
+    sb.setMetrics(&metrics);
+
+    sb.publish("t", makeEvent<IntEvent>());
+    sb.publish("t", makeEvent<IntEvent>());
+    (void)sb.latest<IntEvent>("t");
+    auto sub = sb.subscribe("t", 8);
+    (void)sub;
+
+    EXPECT_EQ(metrics.counter("sb.deprecated.publish").value(), 2.0);
+    EXPECT_EQ(metrics.counter("sb.deprecated.latest").value(), 1.0);
+    EXPECT_EQ(metrics.counter("sb.deprecated.subscribe").value(), 1.0);
+}
+
+TEST(SwitchboardTest, PooledEventsOutliveTheSwitchboard)
+{
+    // Slab-pooled events hold an intrusive reference on their arena:
+    // a consumer may keep an event after the switchboard (and with it
+    // the pool handle) is gone, and the payload must stay valid until
+    // the last reference dies.
+    std::shared_ptr<const IntEvent> survivor;
+    {
+        Switchboard sb;
+        auto writer = sb.writer<IntEvent>("t");
+        auto peek = sb.asyncReader<IntEvent>("t");
+        auto e = writer.make();
+        e->value = 41;
+        writer.put(std::move(e));
+        // Churn the pool so recycling is exercised before teardown.
+        for (int i = 0; i < 100; ++i) {
+            auto f = writer.make();
+            f->value = i;
+            writer.put(std::move(f));
+        }
+        auto g = writer.make();
+        g->value = 42;
+        writer.put(std::move(g));
+        survivor = peek.latest();
+    }
+    ASSERT_NE(survivor, nullptr);
+    EXPECT_EQ(survivor->value, 42);
+    EXPECT_TRUE(survivor->trace.valid());
 }
 
 /** Plugin that logs its lifecycle transitions into a shared journal. */

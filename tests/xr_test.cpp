@@ -55,7 +55,7 @@ TEST(OpenXrMiniTest, LocateViewsUsesFastPoseWithPrediction)
     pose->state.time = kSecond;
     pose->state.position = Vec3(1.0, 2.0, 3.0);
     pose->state.velocity = Vec3(1.0, 0.0, 0.0);
-    sb->publish(topics::kFastPose, pose);
+    sb->writer<PoseEvent>(topics::kFastPose).put(std::move(pose));
 
     // 10 ms ahead: predicted 1 cm along +x.
     const auto views = session.locateViews(kSecond + 10 * kMillisecond);
