@@ -11,6 +11,7 @@
 #include "metrics/telemetry.hpp"
 #include "render/scenes.hpp"
 #include "xr/illixr_system.hpp"
+#include "xr/session.hpp"
 
 #include <cstdio>
 #include <string>
@@ -41,14 +42,14 @@ inline IntegratedConfig
 standardConfig(PlatformId platform, AppId app,
                Duration duration = 6 * kSecond)
 {
-    IntegratedConfig cfg;
+    SessionConfig cfg;
     cfg.platform = platform;
     cfg.app = app;
     cfg.duration = duration;
     // Executor overrides (ILLIXR_EXECUTOR / ILLIXR_POOL_WORKERS /
     // ILLIXR_DETERMINISTIC / ILLIXR_SEED) so every bench binary can
     // switch executors without growing its own flags.
-    applyExecutorEnv(cfg);
+    cfg.applyEnv();
     return cfg;
 }
 

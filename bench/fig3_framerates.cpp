@@ -205,18 +205,17 @@ cameraPipelineLatencyMs(std::size_t workers)
 int
 main(int argc, char **argv)
 {
+    // The one-stop config parse: env first, flags beat it.
+    const SessionConfig::Parse parse =
+        SessionConfig::fromEnvAndArgs(argc, argv);
+    if (!parse.ok) {
+        std::fprintf(stderr, "%s\n", parse.error.c_str());
+        return 2;
+    }
     bool live = false;
-    std::vector<std::string> executor_flags;
-    IntegratedConfig opt; // Accumulates executor flag values.
-    applyExecutorEnv(opt); // Env first; flags below beat it.
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    for (const std::string &arg : parse.unparsed) {
         if (arg == "--live") {
             live = true;
-            continue;
-        }
-        if (parseExecutorFlag(arg, opt)) {
-            executor_flags.push_back(arg);
             continue;
         }
         std::fprintf(stderr,
@@ -227,6 +226,7 @@ main(int argc, char **argv)
                      arg.c_str());
         return 2;
     }
+    const SessionConfig &opt = parse.config;
     if (opt.kernel_threads > 0)
         KernelPool::instance().setWidth(opt.kernel_threads);
     if (live)
@@ -247,12 +247,15 @@ main(int argc, char **argv)
             header.push_back(appShortName(app));
         table.setHeader(header);
 
-        // One run per application on this platform.
+        // One run per application on this platform. `opt` already
+        // layers defaults <- env <- flags, so just point it at the
+        // experiment cell.
         std::vector<IntegratedResult> results;
         for (AppId app : kApps) {
-            IntegratedConfig cfg = standardConfig(platform, app);
-            for (const std::string &flag : executor_flags)
-                parseExecutorFlag(flag, cfg); // Flags beat env.
+            SessionConfig cfg = opt;
+            cfg.platform = platform;
+            cfg.app = app;
+            cfg.duration = 6 * kSecond;
             results.push_back(runIntegrated(cfg));
         }
 

@@ -1,8 +1,10 @@
 #include "runtime/executor.hpp"
 
 #include "foundation/profile.hpp"
+#include "runtime/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace illixr {
 
@@ -45,6 +47,13 @@ ExecutorBase::invokeGuarded(Plugin &plugin, std::uint64_t attempt,
         return out;
     }
 
+    // Route kernel.* metrics/spans launched by this invocation to THIS
+    // executor's sinks: with several sessions per process, the
+    // process-wide KernelPool cannot carry one global registry — the
+    // scope makes kernel accounting per-session (thread-local, so
+    // concurrent sessions never stomp each other's registries).
+    KernelPool::MetricsScope kernel_scope(metrics_, sink_.get());
+
     TraceContext::beginInvocation(span_id, now);
     const double t0 = hostTimeSeconds();
     try {
@@ -70,6 +79,31 @@ ExecutorBase::invokeGuarded(Plugin &plugin, std::uint64_t attempt,
     if (interceptor_)
         interceptor_->after(plugin, now, out);
     return out;
+}
+
+void
+ExecutorBase::requestStop()
+{
+    {
+        // The lock orders the flag-store before any waiter's re-check:
+        // without it a sleeper could test the flag, lose the CPU, miss
+        // the notify, and wait out the full configured duration.
+        std::lock_guard<std::mutex> lock(stop_request_mutex_);
+        stop_requested_.store(true, std::memory_order_release);
+    }
+    stop_request_cv_.notify_all();
+}
+
+void
+ExecutorBase::interruptibleSleep(Duration duration)
+{
+    if (duration <= 0)
+        return;
+    std::unique_lock<std::mutex> lock(stop_request_mutex_);
+    stop_request_cv_.wait_for(
+        lock, std::chrono::nanoseconds(duration), [this] {
+            return stop_requested_.load(std::memory_order_acquire);
+        });
 }
 
 void

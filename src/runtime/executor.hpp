@@ -28,7 +28,10 @@
 #include "trace/metrics_registry.hpp"
 #include "trace/trace.hpp"
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -196,6 +199,23 @@ class ExecutorBase : public Executor
         interceptor_ = interceptor;
     }
 
+    /**
+     * Cooperative early stop: ask an in-flight (or not yet started)
+     * run() to wind down at its next scheduling point. Safe to call
+     * from any thread; one-way for this executor instance. A run that
+     * ends early still performs the full plugin stop() lifecycle and
+     * leaves the collected stats valid — sessions use this for
+     * eviction (Session::stop()).
+     */
+    void requestStop();
+
+    /** Has requestStop() been called on this executor? */
+    bool
+    stopRequested() const
+    {
+        return stop_requested_.load(std::memory_order_acquire);
+    }
+
   protected:
     /** Interned per-task metric handles (resolved once, not per hit). */
     struct TaskMetrics
@@ -228,14 +248,24 @@ class ExecutorBase : public Executor
     /** Plugin::stop() in reverse registration order. */
     void stopPlugins();
 
+    /**
+     * Block for @p duration, or until requestStop() — the wall-clock
+     * executors' run() bodies sleep through this so an eviction never
+     * has to wait out the configured duration.
+     */
+    void interruptibleSleep(Duration duration);
+
     std::shared_ptr<TraceSink> sink_;
     MetricsRegistry *metrics_ = &MetricsRegistry::global();
     const Phonebook *phonebook_ = nullptr;
     InvocationInterceptor *interceptor_ = nullptr;
+    std::atomic<bool> stop_requested_{false};
 
   private:
     std::vector<Plugin *> lifecycle_;
     bool started_ = false;
+    std::mutex stop_request_mutex_;
+    std::condition_variable stop_request_cv_;
 };
 
 } // namespace illixr

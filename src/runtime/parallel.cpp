@@ -126,6 +126,9 @@ constexpr std::size_t kMaxKernelWidth = 64;
 
 thread_local bool tl_in_kernel = false;
 
+/** Innermost live MetricsScope of the calling thread (see header). */
+thread_local const KernelPool::MetricsScope *tl_metrics_scope = nullptr;
+
 /** Cached metric handles for one kernel name. */
 struct KernelMetrics
 {
@@ -183,8 +186,13 @@ struct KernelPool::Impl
     std::atomic<std::uint64_t> steal_total{0};
 
     // --- metric handle cache (cache_mutex) ---
+    // Keyed per registry: concurrent sessions intern the same kernel
+    // names into *different* registries, so a name-only cache would
+    // hand one session handles into another session's registry.
     std::mutex cache_mutex;
-    std::unordered_map<std::string, KernelMetrics> metric_cache;
+    std::unordered_map<const MetricsRegistry *,
+                       std::unordered_map<std::string, KernelMetrics>>
+        metric_cache;
 
     void
     runTile(Launch &l, std::size_t tile)
@@ -273,20 +281,19 @@ struct KernelPool::Impl
     }
 
     KernelMetrics
-    metricsFor(const char *name)
+    metricsFor(const char *name, MetricsRegistry *reg)
     {
-        MetricsRegistry *reg = metrics ? metrics
-                                       : &MetricsRegistry::global();
         std::lock_guard<std::mutex> lk(cache_mutex);
-        auto it = metric_cache.find(name);
-        if (it != metric_cache.end())
+        auto &per_registry = metric_cache[reg];
+        auto it = per_registry.find(name);
+        if (it != per_registry.end())
             return it->second;
         KernelMetrics km;
         const std::string base = std::string("kernel.") + name;
         km.tiles = &reg->counter(base + ".tiles");
         km.steals = &reg->counter(base + ".steal");
         km.ns = &reg->histogram(base + ".ns");
-        metric_cache.emplace(name, km);
+        per_registry.emplace(name, km);
         return km;
     }
 };
@@ -349,14 +356,40 @@ void
 KernelPool::setMetrics(MetricsRegistry *metrics)
 {
     std::lock_guard<std::mutex> lk(impl_->config_mutex);
+    MetricsRegistry *previous =
+        impl_->metrics ? impl_->metrics : &MetricsRegistry::global();
     impl_->metrics = metrics;
-    // The handle cache points into the previous registry; retargeting
-    // (or detaching back to the global registry) invalidates every
-    // cached Counter*/Histogram*. Callers retarget only while the
-    // pool is quiescent (before/after an executor run), so no launch
-    // can still be using a stale handle.
+    // Retargeting usually means the previous per-run registry is about
+    // to die; evict its handles so a future registry reusing the same
+    // address can never hit a stale Counter*/Histogram*. The global
+    // registry is immortal — its handles stay cached.
+    if (previous != &MetricsRegistry::global()) {
+        std::lock_guard<std::mutex> ck(impl_->cache_mutex);
+        impl_->metric_cache.erase(previous);
+    }
+}
+
+KernelPool::MetricsScope::MetricsScope(MetricsRegistry *metrics,
+                                       TraceSink *sink)
+    : metrics_(metrics), sink_(sink), prev_(tl_metrics_scope)
+{
+    tl_metrics_scope = this;
+}
+
+KernelPool::MetricsScope::~MetricsScope()
+{
+    tl_metrics_scope = prev_;
+}
+
+void
+KernelPool::forgetMetrics(const MetricsRegistry *metrics)
+{
+    // Same lock order as setMetrics (config before cache).
+    std::lock_guard<std::mutex> lk(impl_->config_mutex);
+    if (impl_->metrics == metrics)
+        impl_->metrics = nullptr;
     std::lock_guard<std::mutex> ck(impl_->cache_mutex);
-    impl_->metric_cache.clear();
+    impl_->metric_cache.erase(metrics);
 }
 
 bool
@@ -389,13 +422,29 @@ KernelPool::run(const char *name, std::size_t begin, std::size_t end,
 
     const double t0 = hostTimeSeconds();
 
+    // Accounting targets: the launching thread's MetricsScope wins
+    // (per-session routing under concurrent sessions); otherwise the
+    // pool-wide defaults. The shared_ptr hold keeps a pool-wide sink
+    // alive across the launch; a scope sink is a raw pointer whose
+    // lifetime the scope's installer (the executor run) guarantees.
     std::size_t width;
-    std::shared_ptr<TraceSink> sink;
+    MetricsRegistry *reg = nullptr;
+    TraceSink *sink = nullptr;
+    std::shared_ptr<TraceSink> sink_hold;
     {
         std::lock_guard<std::mutex> lk(impl_->config_mutex);
         width = impl_->width;
-        sink = impl_->sink;
+        if (tl_metrics_scope) {
+            reg = tl_metrics_scope->metrics_;
+            sink = tl_metrics_scope->sink_;
+        } else {
+            reg = impl_->metrics;
+            sink_hold = impl_->sink;
+            sink = sink_hold.get();
+        }
     }
+    if (!reg)
+        reg = &MetricsRegistry::global();
 
     std::uint64_t steals = 0;
     // Serial path: width 1, a single tile, a nested launch, or a
@@ -461,7 +510,7 @@ KernelPool::run(const char *name, std::size_t begin, std::size_t end,
 
     const double t1 = hostTimeSeconds();
 
-    KernelMetrics km = impl_->metricsFor(name);
+    KernelMetrics km = impl_->metricsFor(name, reg);
     km.tiles->add(tiles);
     if (steals)
         km.steals->add(steals);

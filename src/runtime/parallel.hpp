@@ -191,8 +191,50 @@ class KernelPool
     /**
      * Registry for the kernel.<name>.{tiles,steal,ns} family
      * (defaults to MetricsRegistry::global()).
+     *
+     * Process-wide: with several sessions sharing the pool this is the
+     * wrong knob — use a MetricsScope on the launching thread instead,
+     * which takes precedence and needs no quiescence.
      */
     void setMetrics(MetricsRegistry *metrics);
+
+    /**
+     * Thread-local accounting override: while a scope is alive on the
+     * launching thread, every kernel launched from that thread records
+     * its kernel.<name>.{tiles,steal,ns} metrics into @p metrics and
+     * its spans into @p sink — not into the pool-wide defaults. This
+     * is how per-session kernel accounting works: each executor
+     * installs a scope around plugin invocations, so N concurrent
+     * sessions sharing the one process-wide pool never mix metrics.
+     * Scopes nest (the previous scope is restored on destruction);
+     * a null @p metrics falls back to MetricsRegistry::global(), a
+     * null @p sink disables span recording for the scope.
+     */
+    class MetricsScope
+    {
+      public:
+        MetricsScope(MetricsRegistry *metrics, TraceSink *sink);
+        ~MetricsScope();
+
+        MetricsScope(const MetricsScope &) = delete;
+        MetricsScope &operator=(const MetricsScope &) = delete;
+
+      private:
+        friend class KernelPool;
+
+        MetricsRegistry *metrics_ = nullptr;
+        TraceSink *sink_ = nullptr;
+        const MetricsScope *prev_ = nullptr;
+    };
+
+    /**
+     * Drop every cached Counter/Histogram handle interned against
+     * @p metrics. Sessions call this when tearing down their registry:
+     * the pool's per-registry handle cache would otherwise dangle —
+     * and silently alias a *new* registry allocated at the same
+     * address (the PR-4 use-after-free, multi-tenant edition).
+     */
+    void forgetMetrics(const MetricsRegistry *metrics);
 
     using TileFn = void (*)(void *ctx, std::size_t begin, std::size_t end);
 

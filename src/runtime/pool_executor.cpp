@@ -136,7 +136,7 @@ PoolExecutor::run(Duration duration)
         return;
     }
     start();
-    std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+    interruptibleSleep(duration); // Eviction cuts the wall run short.
     stop();
     runDuration_ = duration;
 }
@@ -493,6 +493,10 @@ PoolExecutor::runVirtual(Duration duration)
     }
 
     while (!queue.empty()) {
+        // Cooperative eviction (Session::stop()): wind down at the
+        // next virtual-event boundary; the lifecycle below still runs.
+        if (stopRequested())
+            break;
         const SimEvent ev = queue.top();
         queue.pop();
         if (ev.time > duration)

@@ -30,7 +30,7 @@ void
 RtExecutor::run(Duration duration)
 {
     start();
-    std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+    interruptibleSleep(duration); // Eviction cuts the wall run short.
     stop();
 }
 

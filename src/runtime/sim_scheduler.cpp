@@ -174,6 +174,10 @@ SimScheduler::run(Duration duration)
     }
 
     while (!queue_.empty()) {
+        // Cooperative eviction (Session::stop()): wind down at the
+        // next event boundary; stopPlugins() below still runs.
+        if (stopRequested())
+            break;
         const SimEvent ev = queue_.top();
         queue_.pop();
         if (ev.time > duration)

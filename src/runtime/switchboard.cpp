@@ -3,8 +3,6 @@
 #include "trace/metrics_registry.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <set>
 
 namespace illixr {
 
@@ -396,68 +394,6 @@ Switchboard::onPublish(const std::string &topic, PublishListener listener)
     std::lock_guard<std::mutex> lock(t->mutex);
     t->listeners.push_back(handle);
     return handle;
-}
-
-void
-Switchboard::noteDeprecated(const char *which) const
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (metrics_) {
-            metrics_->counter(std::string("sb.deprecated.") + which)
-                .add(1);
-        } else {
-            MetricsRegistry::global()
-                .counter(std::string("sb.deprecated.") + which)
-                .add(1);
-        }
-    }
-    static std::mutex warn_mutex;
-    static std::set<std::string> warned;
-    bool first = false;
-    {
-        std::lock_guard<std::mutex> lock(warn_mutex);
-        first = warned.insert(which).second;
-    }
-    if (first)
-        std::fprintf(stderr,
-                     "[switchboard] deprecated string-keyed %s() used; "
-                     "migrate to the typed Writer/Reader/AsyncReader "
-                     "handles (counted in sb.deprecated.%s)\n",
-                     which, which);
-}
-
-void
-Switchboard::publish(const std::string &topic, EventPtr event)
-{
-    noteDeprecated("publish");
-    publishToTopic(topicForUntyped(topic), std::move(event));
-}
-
-EventPtr
-Switchboard::latest(const std::string &topic) const
-{
-    noteDeprecated("latest");
-    TopicPtr t;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = topics_.find(topic);
-        if (it == topics_.end())
-            return nullptr;
-        t = it->second;
-    }
-    EventPtr e = t->latest.load();
-    if (e)
-        TraceContext::noteConsumed(e->trace);
-    return e;
-}
-
-std::shared_ptr<SyncReader>
-Switchboard::subscribe(const std::string &topic, std::size_t capacity)
-{
-    noteDeprecated("subscribe");
-    return attachSyncReader(topicForUntyped(topic),
-                            effectiveCapacity(capacity));
 }
 
 std::size_t

@@ -10,14 +10,14 @@
  *
  * ## Typed handles
  *
- * The steady-state API is handle-based: a plugin interns a topic
- * once (`writer<T>()`, `reader<T>()`, `asyncReader<T>()`) and then
+ * The API is handle-based: a plugin interns a topic once
+ * (`writer<T>()`, `reader<T>()`, `asyncReader<T>()`) and then
  * publishes/reads through the handle with no per-access map lookup
  * and no dynamic_pointer_cast — the topic's payload type is locked at
- * handle creation. The string-keyed `publish`/`latest`/`subscribe`
- * calls remain as deprecated shims over the same topics; each shim
- * counts its uses into `sb.deprecated.*` and logs one warning per
- * process.
+ * handle creation. The historical string-keyed `publish`/`latest`/
+ * `subscribe` shims have been removed; `onPublish()` is the one
+ * remaining string-keyed entry point (it observes a topic without
+ * locking its type).
  *
  * ## Zero-copy data plane (DESIGN.md §7)
  *
@@ -453,35 +453,6 @@ class Switchboard
         return Reader<T>(t, attachSyncReader(t, effectiveCapacity(capacity)));
     }
 
-    // ---- deprecated string-keyed shims ----
-
-    /**
-     * Publish an event on a topic (creates the topic on first use).
-     * @deprecated Obtain a Writer<T> once and put() through it.
-     */
-    void publish(const std::string &topic, EventPtr event);
-
-    /**
-     * Asynchronous read: latest value, or nullptr if none yet.
-     * @deprecated Obtain an AsyncReader<T> once and latest() it.
-     */
-    EventPtr latest(const std::string &topic) const;
-
-    /** Typed asynchronous read (nullptr if absent or wrong type). */
-    template <typename T>
-    std::shared_ptr<const T>
-    latest(const std::string &topic) const
-    {
-        return std::dynamic_pointer_cast<const T>(latest(topic));
-    }
-
-    /**
-     * Create a synchronous reader on a topic (capacity 0 = default).
-     * @deprecated Obtain a Reader<T> via reader<T>().
-     */
-    std::shared_ptr<SyncReader>
-    subscribe(const std::string &topic, std::size_t capacity = 0);
-
     // ---- introspection / wiring ----
 
     /** Number of events ever published on a topic. */
@@ -501,10 +472,9 @@ class Switchboard
 
     /**
      * Attach a metrics registry: per-topic `sb.topic.<name>.*`
-     * counters, pool `sb.pool.<name>.*` counters, the global
-     * `sb.reader.dropped` counter, and the `sb.deprecated.*` shim
-     * counters land there. null detaches (handles are re-resolved, so
-     * per-run registries never dangle).
+     * counters, pool `sb.pool.<name>.*` counters, and the global
+     * `sb.reader.dropped` counter land there. null detaches (handles
+     * are re-resolved, so per-run registries never dangle).
      */
     void setMetrics(MetricsRegistry *metrics);
 
@@ -512,9 +482,9 @@ class Switchboard
      * Mirror accumulated transport gauges (`sb.topic.<name>.latest_*`
      * seqlock contention, `sb.pool.<name>.live`/`.hit_rate`) into the
      * attached registry. Counters update live; gauges are sampled
-     * here because the reader fast path must stay store-free. Called
-     * by runIntegrated before the metrics dump; harmless without a
-     * registry.
+     * here because the reader fast path must stay store-free. Each
+     * session calls this before handing off its registry; harmless
+     * without one.
      */
     void flushMetrics();
 
@@ -579,7 +549,7 @@ class Switchboard
     /** Intern (or fetch) a topic, locking its payload type. */
     TopicPtr topicFor(const std::string &topic, std::type_index type);
 
-    /** Untyped intern (shims; leaves the type unlocked). */
+    /** Untyped intern (onPublish; leaves the type unlocked). */
     TopicPtr topicForUntyped(const std::string &topic);
 
     static std::shared_ptr<SyncReader> attachSyncReader(const TopicPtr &t,
@@ -600,9 +570,6 @@ class Switchboard
     static std::shared_ptr<EventPoolArena> poolForTopic(const TopicPtr &t);
 
     std::size_t effectiveCapacity(std::size_t requested) const;
-
-    /** Count one use of a deprecated string-keyed shim. */
-    void noteDeprecated(const char *which) const;
 
     /** Resolve per-topic counters from the attached registry. */
     void wireTopicMetricsLocked(TopicState &t) const;

@@ -1,12 +1,7 @@
 #include "xr/illixr_system.hpp"
 
-#include "runtime/parallel.hpp"
-#include "runtime/phonebook.hpp"
-#include "runtime/pool_executor.hpp"
 #include "xr/plugins.hpp"
-
-#include <cstdlib>
-#include <cstring>
+#include "xr/session.hpp"
 
 namespace illixr {
 
@@ -39,131 +34,24 @@ executorKindName(ExecutorKind kind)
     return kind == ExecutorKind::Pool ? "pool" : "sim";
 }
 
-namespace {
-
-bool
-parseUnsigned(const std::string &text, unsigned long &out)
-{
-    if (text.empty())
-        return false;
-    char *end = nullptr;
-    out = std::strtoul(text.c_str(), &end, 10);
-    return end && *end == '\0';
-}
-
-} // namespace
-
 bool
 applyExecutorEnv(IntegratedConfig &config)
 {
-    if (const char *v = std::getenv("ILLIXR_EXECUTOR")) {
-        if (!parseExecutorKind(v, config.executor))
-            return false;
-    }
-    if (const char *v = std::getenv("ILLIXR_POOL_WORKERS")) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.pool_workers = n;
-    }
-    if (const char *v = std::getenv("ILLIXR_KERNEL_THREADS")) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.kernel_threads = n;
-    }
-    if (const char *v = std::getenv("ILLIXR_DETERMINISTIC"))
-        config.deterministic = std::string(v) != "0";
-    if (const char *v = std::getenv("ILLIXR_SEED")) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n))
-            return false;
-        config.seed = static_cast<unsigned>(n);
-    }
-    if (const char *v = std::getenv("ILLIXR_FAULT_PLAN")) {
-        if (!parseFaultPlan(v, config.resilience.fault_plan))
-            return false;
-    }
-    if (const char *v = std::getenv("ILLIXR_RESILIENCE")) {
-        const bool on = std::string(v) != "0";
-        config.resilience.supervise = on;
-        config.resilience.degrade = on;
-    }
-    if (const char *v = std::getenv("ILLIXR_SB_RING_CAP")) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.sb_ring_capacity = n;
-    }
-    if (const char *v = std::getenv("ILLIXR_SB_POOL_CHUNK")) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.sb_pool_chunk = n;
-    }
-    return true;
+    // Deprecated wrapper: the canonical parser lives on SessionConfig.
+    SessionConfig session_config(config);
+    const bool ok = session_config.applyEnv();
+    config = static_cast<const IntegratedConfig &>(session_config);
+    return ok;
 }
 
 bool
 parseExecutorFlag(const std::string &arg, IntegratedConfig &config)
 {
-    auto value = [&arg](const char *prefix, std::string &out) {
-        const std::size_t n = std::strlen(prefix);
-        if (arg.compare(0, n, prefix) != 0)
-            return false;
-        out = arg.substr(n);
-        return true;
-    };
-    std::string v;
-    if (value("--executor=", v))
-        return parseExecutorKind(v, config.executor);
-    if (value("--workers=", v)) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.pool_workers = n;
-        return true;
-    }
-    if (value("--kernel-threads=", v)) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.kernel_threads = n;
-        return true;
-    }
-    if (arg == "--deterministic") {
-        config.deterministic = true;
-        return true;
-    }
-    if (value("--seed=", v)) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n))
-            return false;
-        config.seed = static_cast<unsigned>(n);
-        return true;
-    }
-    if (value("--fault-plan=", v))
-        return parseFaultPlan(v, config.resilience.fault_plan);
-    if (arg == "--resilience") {
-        config.resilience.supervise = true;
-        config.resilience.degrade = true;
-        return true;
-    }
-    if (value("--sb-ring-cap=", v)) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.sb_ring_capacity = n;
-        return true;
-    }
-    if (value("--sb-pool-chunk=", v)) {
-        unsigned long n = 0;
-        if (!parseUnsigned(v, n) || n == 0)
-            return false;
-        config.sb_pool_chunk = n;
-        return true;
-    }
-    return false;
+    // Deprecated wrapper: the canonical parser lives on SessionConfig.
+    SessionConfig session_config(config);
+    const bool ok = session_config.parseFlag(arg);
+    config = static_cast<const IntegratedConfig &>(session_config);
+    return ok;
 }
 
 std::unique_ptr<ResilienceContext>
@@ -211,181 +99,7 @@ exportResilienceExtras(ResilienceContext *ctx,
     }
 }
 
-IntegratedResult
-runIntegrated(const IntegratedConfig &config)
-{
-    const SystemTuning tuning;
-
-    // --- Kernel pool: width for the data-parallel kernels, plus this
-    // run's metrics/trace sinks (kernel results are bit-identical at
-    // any width, so this never perturbs determinism). ---
-    KernelPool &kernels = KernelPool::instance();
-    if (config.kernel_threads > 0)
-        kernels.setWidth(config.kernel_threads);
-
-    // --- Services ---
-    Phonebook phonebook;
-    auto switchboard = std::make_shared<Switchboard>();
-    if (config.sb_ring_capacity > 0)
-        switchboard->setDefaultRingCapacity(config.sb_ring_capacity);
-    if (config.sb_pool_chunk > 0)
-        switchboard->setPoolChunkEvents(config.sb_pool_chunk);
-    phonebook.registerService(switchboard);
-
-    auto metrics = std::make_shared<MetricsRegistry>();
-    switchboard->setMetrics(metrics.get());
-    std::shared_ptr<TraceSink> sink;
-    if (config.trace) {
-        sink = std::make_shared<TraceSink>();
-        switchboard->setTraceSink(sink);
-    }
-    kernels.setMetrics(metrics.get());
-    kernels.setTraceSink(sink);
-
-    DatasetConfig ds_cfg;
-    ds_cfg.duration_s = toSeconds(config.duration) + 0.5;
-    ds_cfg.image_width = config.camera_width;
-    ds_cfg.image_height = config.camera_height;
-    ds_cfg.camera_rate_hz = tuning.camera_hz;
-    ds_cfg.imu_rate_hz = tuning.imu_hz;
-    ds_cfg.preset = DatasetConfig::Preset::LabWalk;
-    ds_cfg.seed = config.seed;
-    auto data =
-        std::make_shared<PreloadedDataset>(ds_cfg, config.duration);
-    phonebook.registerService(data);
-
-    // --- Plugins (Table II components in the integrated config) ---
-    AppConfig app_cfg;
-    app_cfg.eye_width = config.eye_size;
-    app_cfg.eye_height = config.eye_size;
-
-    TimewarpParams tw_params;
-    tw_params.fov_y_rad = app_cfg.fov_y_rad;
-
-    // Resilience: installed before any plugin publishes so the fault
-    // plan sees every event from the first one.
-    std::unique_ptr<ResilienceContext> resilience =
-        makeResilienceContext(config, *switchboard, metrics.get());
-
-    CameraPlugin camera(phonebook, tuning);
-    ImuPlugin imu(phonebook, tuning);
-    VioPlugin vio(phonebook, tuning);
-    IntegratorPlugin integrator(phonebook, tuning);
-    ApplicationPlugin application(phonebook, tuning, config.app, app_cfg,
-                                  config.adaptive_resolution);
-    TimewarpPlugin timewarp(phonebook, tuning, tw_params);
-    AudioEncoderPlugin audio_enc(phonebook, tuning);
-    AudioPlaybackPlugin audio_play(phonebook, tuning);
-
-    // --- Executor ---
-    const PlatformModel platform = PlatformModel::get(config.platform);
-    std::unique_ptr<SimScheduler> sim;
-    std::unique_ptr<PoolExecutor> pool;
-    ExecutorBase *executor = nullptr;
-    if (config.executor == ExecutorKind::Pool) {
-        PoolExecutorConfig pool_cfg;
-        pool_cfg.workers = config.pool_workers;
-        pool_cfg.deterministic = config.deterministic;
-        pool_cfg.seed = config.seed;
-        pool_cfg.platform = config.platform;
-        pool = std::make_unique<PoolExecutor>(pool_cfg);
-        executor = pool.get();
-    } else {
-        sim = std::make_unique<SimScheduler>(platform);
-        executor = sim.get();
-    }
-    executor->setMetrics(metrics.get());
-    executor->setPhonebook(&phonebook);
-    if (sink)
-        executor->setTraceSink(sink);
-    executor->addPlugin(&camera);
-    executor->addPlugin(&imu);
-    executor->addPlugin(&vio);
-    executor->addPlugin(&integrator);
-    executor->addPlugin(&application);
-    const Duration vsync = periodFromHz(tuning.display_hz);
-    executor->addVsyncAlignedPlugin(&timewarp, vsync);
-    executor->addPlugin(&audio_enc);
-    executor->addPlugin(&audio_play);
-    if (resilience) {
-        resilience->attach(*executor);
-        if (resilience->degradationPlugin())
-            executor->addPlugin(resilience->degradationPlugin());
-    }
-
-    executor->run(config.duration);
-
-    // Detach the run-scoped sinks before the registry can go away.
-    kernels.setMetrics(nullptr);
-    kernels.setTraceSink(nullptr);
-
-    // --- Collect results ---
-    IntegratedResult result;
-    result.config = config;
-    result.vsync = vsync;
-    double total_host = 0.0;
-    for (const std::string &name : executor->taskNames()) {
-        const TaskStats &stats = executor->stats(name);
-        result.tasks.emplace(name, stats);
-        double host = 0.0;
-        for (const InvocationRecord &rec : stats.records)
-            host += rec.host_seconds;
-        result.cpu_share[name] = host;
-        total_host += host;
-    }
-    if (total_host > 0.0) {
-        for (auto &[name, host] : result.cpu_share)
-            host /= total_host;
-    }
-
-    result.target_hz["camera"] = tuning.camera_hz;
-    result.target_hz["vio"] = tuning.camera_hz;
-    result.target_hz["imu"] = tuning.imu_hz;
-    result.target_hz["integrator"] = tuning.imu_hz;
-    result.target_hz["application"] = tuning.display_hz;
-    result.target_hz["timewarp"] = tuning.display_hz;
-    result.target_hz["audio_encoding"] = tuning.audio_hz;
-    result.target_hz["audio_playback"] = tuning.audio_hz;
-
-    result.mtp =
-        computeMtp(executor->stats("timewarp"), timewarp.imuAgesMs(),
-                   vsync);
-
-    result.lineage_stages = {topics::kCamera, topics::kImu,
-                             topics::kSlowPose, topics::kFastPose,
-                             topics::kSubmittedFrame};
-    if (sink) {
-        result.trace = sink;
-        result.lineage_mtp = computeLineageMtp(
-            *sink, vsync, topics::kDisplayFrame, result.lineage_stages);
-    }
-    // Sample the transport gauges (seqlock contention, pool occupancy)
-    // into this run's registry before it is handed to the caller.
-    switchboard->flushMetrics();
-    result.metrics = metrics;
-    const double cpu_util =
-        pool ? pool->cpuUtilization() : sim->cpuUtilization();
-    const double gpu_util =
-        pool ? pool->gpuUtilization() : sim->gpuUtilization();
-    metrics->gauge("run.cpu_utilization").set(cpu_util);
-    metrics->gauge("run.gpu_utilization").set(gpu_util);
-
-    result.utilization.cpu = cpu_util;
-    result.utilization.gpu = gpu_util;
-    // Memory traffic proxy: display + camera traffic dominates; use
-    // a weighted blend of unit utilizations (see DESIGN.md).
-    result.utilization.memory = std::min(
-        1.0, 0.55 * result.utilization.gpu + 0.35 * result.utilization.cpu +
-                 0.10);
-    result.power = computePower(platform, result.utilization);
-
-    result.vio_trajectory = vio.trajectory();
-    result.extra["final_eye_resolution"] =
-        static_cast<double>(application.currentEyeResolution());
-    result.extra["min_eye_resolution"] =
-        static_cast<double>(application.minEyeResolution());
-    exportResilienceExtras(resilience.get(), result.extra);
-    return result;
-}
+// runIntegrated() lives in session.cpp: it is the thin one-session
+// wrapper over the Session lifecycle (see xr/session.hpp).
 
 } // namespace illixr

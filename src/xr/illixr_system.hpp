@@ -74,26 +74,16 @@ struct IntegratedConfig
 };
 
 /**
- * Apply the executor environment overrides to @p config:
- * `ILLIXR_EXECUTOR` (sim|pool), `ILLIXR_POOL_WORKERS`,
- * `ILLIXR_KERNEL_THREADS` (data-parallel kernel width),
- * `ILLIXR_DETERMINISTIC` (0|1), `ILLIXR_SEED`, `ILLIXR_FAULT_PLAN`
- * (a parseFaultPlan() spec), `ILLIXR_RESILIENCE` (0|1: supervision +
- * degradation), `ILLIXR_SB_RING_CAP` (default SyncReader ring
- * capacity), `ILLIXR_SB_POOL_CHUNK` (events per initial slab chunk).
- * Unset variables leave the corresponding field
- * untouched. @return false on a malformed value (config is left
- * partially updated).
+ * @deprecated Thin wrapper over SessionConfig::applyEnv() — use
+ * SessionConfig::fromEnvAndArgs() (xr/session.hpp), the single config
+ * entry point, in new code.
  */
 bool applyExecutorEnv(IntegratedConfig &config);
 
 /**
- * Parse one executor CLI flag into @p config: `--executor=sim|pool`,
- * `--workers=N`, `--kernel-threads=N`, `--deterministic`, `--seed=N`,
- * `--fault-plan=SPEC`, `--resilience`, `--sb-ring-cap=N`,
- * `--sb-pool-chunk=N`. @return true when @p arg was
- * one of these flags and parsed cleanly; false otherwise
- * (unrecognised flags are the caller's business).
+ * @deprecated Thin wrapper over SessionConfig::parseFlag() — use
+ * SessionConfig::fromEnvAndArgs() (xr/session.hpp), the single config
+ * entry point, in new code.
  */
 bool parseExecutorFlag(const std::string &arg, IntegratedConfig &config);
 
@@ -156,7 +146,11 @@ makeResilienceContext(const IntegratedConfig &config,
 void exportResilienceExtras(ResilienceContext *ctx,
                             std::map<std::string, double> &extra);
 
-/** Run the integrated system once. */
+/**
+ * Run the integrated system once: a thin blocking wrapper over one
+ * Session (start + result; see xr/session.hpp for the session
+ * lifecycle and the multi-session SessionManager).
+ */
 IntegratedResult runIntegrated(const IntegratedConfig &config);
 
 } // namespace illixr

@@ -9,6 +9,7 @@
 #include "metrics/telemetry.hpp"
 #include "xr/events.hpp"
 #include "xr/illixr_system.hpp"
+#include "xr/session.hpp"
 
 #include <gtest/gtest.h>
 
@@ -34,26 +35,10 @@ struct RunFiles
     std::string lineage;
 };
 
+/** Serialize one run's pose + lineage CSVs and slurp them back. */
 RunFiles
-runOnce(unsigned seed, const std::string &tag,
-        const std::string &fault_spec = "",
-        std::size_t kernel_threads = 0)
+filesFor(const IntegratedResult &result, const std::string &tag)
 {
-    IntegratedConfig cfg;
-    cfg.executor = ExecutorKind::Pool;
-    cfg.pool_workers = 4;
-    cfg.deterministic = true;
-    cfg.seed = seed;
-    cfg.kernel_threads = kernel_threads;
-    cfg.duration = 1 * kSecond;
-    if (!fault_spec.empty()) {
-        EXPECT_TRUE(
-            parseFaultPlan(fault_spec, cfg.resilience.fault_plan));
-        cfg.resilience.supervise = true;
-        cfg.resilience.degrade = true;
-    }
-
-    const IntegratedResult result = runIntegrated(cfg);
     EXPECT_GT(result.tasks.size(), 0u);
     EXPECT_GT(result.vio_trajectory.size(), 0u);
 
@@ -77,6 +62,37 @@ runOnce(unsigned seed, const std::string &tag,
     EXPECT_NE(files.pose.find('\n'), files.pose.rfind('\n'));
     EXPECT_NE(files.lineage.find('\n'), files.lineage.rfind('\n'));
     return files;
+}
+
+/** Deterministic pool config shared by the solo and fleet runs. */
+IntegratedConfig
+detConfig(unsigned seed, const std::string &fault_spec = "",
+          std::size_t kernel_threads = 0)
+{
+    IntegratedConfig cfg;
+    cfg.executor = ExecutorKind::Pool;
+    cfg.pool_workers = 4;
+    cfg.deterministic = true;
+    cfg.seed = seed;
+    cfg.kernel_threads = kernel_threads;
+    cfg.duration = 1 * kSecond;
+    if (!fault_spec.empty()) {
+        EXPECT_TRUE(
+            parseFaultPlan(fault_spec, cfg.resilience.fault_plan));
+        cfg.resilience.supervise = true;
+        cfg.resilience.degrade = true;
+    }
+    return cfg;
+}
+
+RunFiles
+runOnce(unsigned seed, const std::string &tag,
+        const std::string &fault_spec = "",
+        std::size_t kernel_threads = 0)
+{
+    return filesFor(
+        runIntegrated(detConfig(seed, fault_spec, kernel_threads)),
+        tag);
 }
 
 TEST(DeterminismTest, SameSeedIsByteIdentical)
@@ -149,6 +165,59 @@ TEST(DeterminismTest, FaultedKernelWidthsAreByteIdentical)
     EXPECT_EQ(w1.pose, w4.pose);
     EXPECT_EQ(w1.lineage, w2.lineage);
     EXPECT_EQ(w1.lineage, w4.lineage);
+}
+
+TEST(DeterminismTest, ConcurrentSessionsMatchSolo)
+{
+    // The multi-tenant contract (DESIGN.md §8): a session's results
+    // are a function of its own config only. Two sessions with
+    // different seeds running concurrently in one SessionManager must
+    // each be byte-identical to the same config run alone.
+    const RunFiles solo11 = runOnce(11, "cs_solo11");
+    const RunFiles solo12 = runOnce(12, "cs_solo12");
+
+    SessionManager manager(2);
+    SessionConfig cfg11(detConfig(11));
+    cfg11.name = "cs11";
+    SessionConfig cfg12(detConfig(12));
+    cfg12.name = "cs12";
+    auto s11 = manager.submit(std::move(cfg11));
+    auto s12 = manager.submit(std::move(cfg12));
+    manager.drain();
+
+    const RunFiles fleet11 = filesFor(s11->result(), "cs_fleet11");
+    const RunFiles fleet12 = filesFor(s12->result(), "cs_fleet12");
+    EXPECT_EQ(solo11.pose, fleet11.pose);
+    EXPECT_EQ(solo11.lineage, fleet11.lineage);
+    EXPECT_EQ(solo12.pose, fleet12.pose);
+    EXPECT_EQ(solo12.lineage, fleet12.lineage);
+    // Different seeds really produced different sessions.
+    EXPECT_NE(fleet11.pose, fleet12.pose);
+}
+
+TEST(DeterminismTest, ConcurrentSessionStress)
+{
+    // TSan stress target: four concurrent sessions sharing the
+    // process-wide KernelPool, each with its own Switchboard and
+    // metrics. The assertions are light — the point is to drive the
+    // shared kernel pool, per-registry metric cache and Session
+    // lifecycle from four threads at once under the sanitizer.
+    constexpr std::size_t kSessions = 4;
+    SessionManager manager(kSessions);
+    std::vector<std::shared_ptr<Session>> fleet;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+        SessionConfig cfg(detConfig(20 + static_cast<unsigned>(i)));
+        cfg.name = "stress" + std::to_string(i);
+        cfg.duration = 500 * kMillisecond;
+        fleet.push_back(manager.submit(std::move(cfg)));
+    }
+    manager.drain();
+    for (const auto &session : fleet) {
+        EXPECT_EQ(session->state(), Session::State::Finished);
+        const IntegratedResult &r = session->result();
+        EXPECT_GT(r.tasks.size(), 0u);
+        EXPECT_GT(r.vio_trajectory.size(), 0u);
+    }
 }
 
 } // namespace

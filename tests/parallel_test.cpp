@@ -209,6 +209,69 @@ TEST(KernelPool, RetargetingMetricsDropsStaleHandles)
     EXPECT_GE(second.counter("kernel.test_retarget.tiles").value(), 16u);
 }
 
+TEST(KernelPool, MetricsScopeRoutesToTheScopedRegistry)
+{
+    // Multi-tenant accounting: a thread holding a MetricsScope routes
+    // its kernel launches into the scoped registry, not the pool-wide
+    // default — this is how N concurrent sessions share one KernelPool
+    // without mixing their kernel.* metrics.
+    KernelPool &pool = KernelPool::instance();
+    MetricsRegistry pool_default;
+    pool.setMetrics(&pool_default);
+    MetricsRegistry session;
+    {
+        WidthGuard width(2);
+        KernelPool::MetricsScope scope(&session, nullptr);
+        parallelFor("test_scope", 0, 64, 4,
+                    [&](std::size_t, std::size_t) {});
+    }
+    EXPECT_GE(session.counter("kernel.test_scope.tiles").value(), 16u);
+    EXPECT_FALSE(pool_default.hasCounter("kernel.test_scope.tiles"));
+
+    // Outside the scope the pool-wide default applies again.
+    {
+        WidthGuard width(2);
+        parallelFor("test_scope", 0, 64, 4,
+                    [&](std::size_t, std::size_t) {});
+    }
+    EXPECT_GE(pool_default.counter("kernel.test_scope.tiles").value(),
+              16u);
+    pool.forgetMetrics(&session);
+    pool.setMetrics(nullptr);
+}
+
+TEST(KernelPool, ForgetMetricsDropsASessionsCachedHandles)
+{
+    // The multi-tenant edition of the stale-handle hazard: a session's
+    // registry dies while the pool's default registry is untouched, so
+    // setMetrics() never runs and cannot evict the cache. Each session
+    // must call forgetMetrics() at teardown, or a new registry landing
+    // at the same address inherits dangling Counter/Histogram handles.
+    KernelPool &pool = KernelPool::instance();
+    auto first = std::make_unique<MetricsRegistry>();
+    {
+        WidthGuard width(2);
+        KernelPool::MetricsScope scope(first.get(), nullptr);
+        parallelFor("test_forget", 0, 64, 4,
+                    [&](std::size_t, std::size_t) {});
+    }
+    EXPECT_GE(first->counter("kernel.test_forget.tiles").value(), 16u);
+    pool.forgetMetrics(first.get());
+    first.reset();
+
+    // A new registry (possibly at the recycled address) must get fresh
+    // handles, not the dead session's cached ones.
+    auto second = std::make_unique<MetricsRegistry>();
+    {
+        WidthGuard width(2);
+        KernelPool::MetricsScope scope(second.get(), nullptr);
+        parallelFor("test_forget", 0, 64, 4,
+                    [&](std::size_t, std::size_t) {});
+    }
+    EXPECT_GE(second->counter("kernel.test_forget.tiles").value(), 16u);
+    pool.forgetMetrics(second.get());
+}
+
 TEST(KernelPool, SerialWidthRunsInline)
 {
     WidthGuard width(1);

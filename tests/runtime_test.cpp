@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <type_traits>
 
 namespace illixr {
 namespace {
@@ -42,13 +43,15 @@ TEST(PhonebookTest, RegisterAndLookup)
 TEST(SwitchboardTest, AsyncReadReturnsLatest)
 {
     Switchboard sb;
-    EXPECT_EQ(sb.latest("t"), nullptr);
+    auto peek = sb.asyncReader<IntEvent>("t");
+    EXPECT_EQ(peek.latest(), nullptr);
+    auto writer = sb.writer<IntEvent>("t");
     for (int i = 0; i < 5; ++i) {
         auto e = makeEvent<IntEvent>();
         e->value = i;
-        sb.publish("t", e);
+        writer.put(std::move(e));
     }
-    auto latest = sb.latest<IntEvent>("t");
+    auto latest = peek.latest();
     ASSERT_NE(latest, nullptr);
     EXPECT_EQ(latest->value, 4);
     EXPECT_EQ(sb.publishCount("t"), 5u);
@@ -57,55 +60,66 @@ TEST(SwitchboardTest, AsyncReadReturnsLatest)
 TEST(SwitchboardTest, SyncReaderSeesEveryValueInOrder)
 {
     Switchboard sb;
-    auto reader = sb.subscribe("t");
+    auto writer = sb.writer<IntEvent>("t");
+    auto reader = sb.reader<IntEvent>("t", 16);
     for (int i = 0; i < 10; ++i) {
         auto e = makeEvent<IntEvent>();
         e->value = i;
-        sb.publish("t", e);
+        writer.put(std::move(e));
     }
-    EXPECT_EQ(reader->pending(), 10u);
+    EXPECT_EQ(reader.pending(), 10u);
     for (int i = 0; i < 10; ++i) {
-        auto e = std::dynamic_pointer_cast<const IntEvent>(reader->pop());
+        auto e = reader.pop();
         ASSERT_NE(e, nullptr);
         EXPECT_EQ(e->value, i);
     }
-    EXPECT_EQ(reader->pop(), nullptr);
+    EXPECT_EQ(reader.pop(), nullptr);
 }
 
 TEST(SwitchboardTest, SyncReaderMissesEventsBeforeSubscription)
 {
     Switchboard sb;
-    sb.publish("t", makeEvent<IntEvent>());
-    auto reader = sb.subscribe("t");
-    EXPECT_EQ(reader->pending(), 0u);
-    sb.publish("t", makeEvent<IntEvent>());
-    EXPECT_EQ(reader->pending(), 1u);
+    auto writer = sb.writer<IntEvent>("t");
+    writer.put(makeEvent<IntEvent>());
+    auto reader = sb.reader<IntEvent>("t");
+    EXPECT_EQ(reader.pending(), 0u);
+    writer.put(makeEvent<IntEvent>());
+    EXPECT_EQ(reader.pending(), 1u);
 }
 
-TEST(SwitchboardTest, TypedLatestRejectsWrongType)
+TEST(SwitchboardTest, TopicTypeIsLockedAtFirstHandle)
 {
+    // The typed handles lock a topic's payload type at intern time:
+    // asking for the same topic under a different type is a wiring
+    // bug, reported loudly instead of returning silent nullptrs the
+    // way the old dynamic_cast shims did.
     struct OtherEvent : Event
     {
     };
     Switchboard sb;
-    sb.publish("t", makeEvent<OtherEvent>());
-    EXPECT_EQ(sb.latest<IntEvent>("t"), nullptr);
+    auto writer = sb.writer<OtherEvent>("t");
+    writer.put(makeEvent<OtherEvent>());
+    EXPECT_THROW(sb.asyncReader<IntEvent>("t"), std::logic_error);
+    EXPECT_THROW(sb.writer<IntEvent>("t"), std::logic_error);
+    EXPECT_THROW(sb.reader<IntEvent>("t"), std::logic_error);
 }
 
 TEST(SwitchboardTest, PublishListenersFireAndExpire)
 {
     Switchboard sb;
+    auto writer_t = sb.writer<IntEvent>("t");
+    auto writer_u = sb.writer<IntEvent>("u");
     int hits = 0;
     auto handle =
         sb.onPublish("t", [&hits](const std::string &topic) {
             EXPECT_EQ(topic, "t");
             ++hits;
         });
-    sb.publish("t", makeEvent<IntEvent>());
-    sb.publish("u", makeEvent<IntEvent>()); // Other topics don't fire.
+    writer_t.put(makeEvent<IntEvent>());
+    writer_u.put(makeEvent<IntEvent>()); // Other topics don't fire.
     EXPECT_EQ(hits, 1);
     handle.reset(); // Dropping the handle unsubscribes.
-    sb.publish("t", makeEvent<IntEvent>());
+    writer_t.put(makeEvent<IntEvent>());
     EXPECT_EQ(hits, 1);
 }
 
@@ -122,8 +136,9 @@ TEST(SwitchboardTest, ThrowingListenerIsContainedAndOthersStillFire)
     auto h3 = sb.onPublish("t", [&after_hits](const std::string &) {
         ++after_hits;
     });
-    sb.publish("t", makeEvent<IntEvent>());
-    sb.publish("t", makeEvent<IntEvent>());
+    auto writer = sb.writer<IntEvent>("t");
+    writer.put(makeEvent<IntEvent>());
+    writer.put(makeEvent<IntEvent>());
 
     // The publishes completed, both healthy listeners fired every
     // time, and the contained exceptions were accounted.
@@ -136,8 +151,8 @@ TEST(SwitchboardTest, ThrowingListenerIsContainedAndOthersStillFire)
 TEST(SwitchboardTest, TopicNamesEnumerates)
 {
     Switchboard sb;
-    sb.publish("alpha", makeEvent<IntEvent>());
-    sb.subscribe("beta");
+    sb.writer<IntEvent>("alpha").put(makeEvent<IntEvent>());
+    auto reader = sb.reader<IntEvent>("beta");
     const auto names = sb.topicNames();
     EXPECT_EQ(names.size(), 2u);
 }
@@ -356,18 +371,22 @@ TEST(SwitchboardTest, TypedHandlesRoundTrip)
     EXPECT_EQ(reader.dropped(), 0u);
 }
 
-TEST(SwitchboardTest, TypedHandlesInteroperateWithStringShims)
+TEST(SwitchboardTest, TypedHandlesInteroperateWithUntypedIntern)
 {
     Switchboard sb;
-    // Topic first touched through the deprecated string API...
-    sb.publish("t", makeEvent<IntEvent>());
-    // ...is the same topic a typed handle interns afterwards.
-    auto reader = sb.asyncReader<IntEvent>("t");
-    ASSERT_NE(reader.latest(), nullptr);
+    // A topic first touched through the untyped onPublish() intern
+    // (which leaves the payload type unlocked)...
+    int hits = 0;
+    auto handle =
+        sb.onPublish("t", [&hits](const std::string &) { ++hits; });
+    // ...is the same topic the typed handles lock and use afterwards.
     auto writer = sb.writer<IntEvent>("t");
+    auto reader = sb.asyncReader<IntEvent>("t");
     writer.put(makeEvent<IntEvent>());
+    writer.put(makeEvent<IntEvent>());
+    ASSERT_NE(reader.latest(), nullptr);
     EXPECT_EQ(sb.publishCount("t"), 2u);
-    EXPECT_NE(sb.latest<IntEvent>("t"), nullptr);
+    EXPECT_EQ(hits, 2);
 }
 
 TEST(SwitchboardTest, SyncReaderEvictsOldestAndCountsDropsMetric)
@@ -400,21 +419,71 @@ TEST(SwitchboardTest, SyncReaderEvictsOldestAndCountsDropsMetric)
     EXPECT_EQ(reader.pop(), nullptr);
 }
 
-TEST(SwitchboardTest, DeprecatedStringShimsAreCounted)
+// Detection idiom: substitution succeeds only if the string-keyed
+// call still compiles. The deprecated shims were deleted once every
+// call site moved to typed handles; these traits pin the API surface
+// so a shim cannot quietly reappear.
+template <typename SB, typename = void>
+struct HasStringPublish : std::false_type
 {
+};
+template <typename SB>
+struct HasStringPublish<
+    SB, std::void_t<decltype(std::declval<SB &>().publish(
+            std::declval<const std::string &>(),
+            std::declval<EventPtr>()))>> : std::true_type
+{
+};
+
+template <typename SB, typename = void>
+struct HasStringLatest : std::false_type
+{
+};
+template <typename SB>
+struct HasStringLatest<
+    SB, std::void_t<decltype(std::declval<const SB &>().latest(
+            std::declval<const std::string &>()))>> : std::true_type
+{
+};
+
+template <typename SB, typename = void>
+struct HasStringSubscribe : std::false_type
+{
+};
+template <typename SB>
+struct HasStringSubscribe<
+    SB, std::void_t<decltype(std::declval<SB &>().subscribe(
+            std::declval<const std::string &>()))>> : std::true_type
+{
+};
+
+TEST(SwitchboardTest, DeprecatedStringShimsAreGone)
+{
+    static_assert(!HasStringPublish<Switchboard>::value,
+                  "string-keyed publish() must stay deleted");
+    static_assert(!HasStringLatest<Switchboard>::value,
+                  "string-keyed latest() must stay deleted");
+    static_assert(!HasStringSubscribe<Switchboard>::value,
+                  "string-keyed subscribe() must stay deleted");
+
+    // And with no shims left, nothing can mint sb.deprecated.*
+    // counters: a full typed-handle round trip leaves none behind.
     MetricsRegistry metrics;
     Switchboard sb;
     sb.setMetrics(&metrics);
-
-    sb.publish("t", makeEvent<IntEvent>());
-    sb.publish("t", makeEvent<IntEvent>());
-    (void)sb.latest<IntEvent>("t");
-    auto sub = sb.subscribe("t", 8);
-    (void)sub;
-
-    EXPECT_EQ(metrics.counter("sb.deprecated.publish").value(), 2.0);
-    EXPECT_EQ(metrics.counter("sb.deprecated.latest").value(), 1.0);
-    EXPECT_EQ(metrics.counter("sb.deprecated.subscribe").value(), 1.0);
+    auto writer = sb.writer<IntEvent>("t");
+    auto reader = sb.reader<IntEvent>("t", 8);
+    auto peek = sb.asyncReader<IntEvent>("t");
+    writer.put(makeEvent<IntEvent>());
+    (void)peek.latest();
+    (void)reader.pop();
+    sb.flushMetrics();
+    for (const MetricRow &row : metrics.snapshotRows())
+        EXPECT_EQ(row.name.rfind("sb.deprecated.", 0), std::string::npos)
+            << "unexpected deprecated-shim counter: " << row.name;
+    EXPECT_FALSE(metrics.hasCounter("sb.deprecated.publish"));
+    EXPECT_FALSE(metrics.hasCounter("sb.deprecated.latest"));
+    EXPECT_FALSE(metrics.hasCounter("sb.deprecated.subscribe"));
 }
 
 TEST(SwitchboardTest, PooledEventsOutliveTheSwitchboard)
