@@ -22,7 +22,7 @@ using namespace illixr::bench;
 
 namespace {
 
-struct Scenario
+struct FaultScenario
 {
     const char *name;
     const char *plan;    ///< parseFaultPlan spec ("" = no faults).
@@ -43,7 +43,7 @@ struct Row
 };
 
 Row
-runScenario(const Scenario &scenario, Duration duration)
+runScenario(const FaultScenario &scenario, Duration duration)
 {
     IntegratedConfig cfg =
         standardConfig(PlatformId::Desktop, AppId::Sponza, duration);
@@ -113,7 +113,7 @@ main()
            "new subsystem; methodology of §III-E, §IV");
 
     const Duration duration = 5 * kSecond;
-    const std::vector<Scenario> scenarios = {
+    const std::vector<FaultScenario> scenarios = {
         {"baseline", "", false},
         {"chaos-low", "seed=7,crash=0.01,stall=0.02,drop=0.02", false},
         {"chaos-mid",
@@ -134,7 +134,7 @@ main()
     csv << "scenario,injected_faults,plugin_restarts,vio_hz,mtp_ms,"
            "ate_cm,ssim,max_degradation_level,circuit_opens\n";
 
-    for (const Scenario &scenario : scenarios) {
+    for (const FaultScenario &scenario : scenarios) {
         const Row row = runScenario(scenario, duration);
         table.addRow({row.name, TextTable::num(row.injected, 0),
                       TextTable::num(row.restarts, 0),

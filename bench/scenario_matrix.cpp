@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Scenario matrix: the per-scenario QoE regression wall. Runs every
+ * requested scenario through the Session runtime across executors,
+ * kernel widths and fault plans, and reports one ATE/RTE(/MTP) row
+ * per cell — the committed baseline (bench/BENCH_scenarios.json) is
+ * gated in CI by compare_bench.py, so an accuracy or latency
+ * regression in ANY scenario cell fails the build, not just the
+ * lab-walk average.
+ *
+ *   scenario_matrix [--scenarios=a,b,...] [--executors=sim,pool]
+ *                   [--widths=1,2] [--faults=clean,chaos]
+ *                   [--duration-ms=1500] [--seed=N] [--json PATH]
+ *
+ * Scenario tokens are built-in family names ("circular",
+ * "figure-eight", ...) or scenario file paths. Cells are keyed
+ * `scn/<scenario>/<executor>/w<width>/<fault>/<metric>`.
+ *
+ * Metric emission rules:
+ *  - ate_cm / rte_cm: every cell (pose error against the scenario's
+ *    exact analytic ground truth, sampled at the estimate's own
+ *    timestamps so matching is exact).
+ *  - mtp_p50_ms / mtp_p99_ms: deterministic-pool cells only. The sim
+ *    executor's virtual schedule derives from measured host cost, so
+ *    its MTP is machine-dependent and must not be gated.
+ *
+ * The pool executor always runs in deterministic mode here: matrix
+ * cells must be byte-reproducible run to run
+ * (DeterminismTest.ScenarioRunsAreByteIdentical pins this).
+ */
+
+#include "bench_common.hpp"
+#include "foundation/trajectory_error.hpp"
+#include "xr/session.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace illixr {
+namespace {
+
+/** The canonical chaos plan (same spec the determinism tests pin). */
+constexpr const char *kChaosPlan =
+    "seed=7,crash=0.02,stall=0.03,spike=0.03,drop=0.05,corrupt=0.02";
+
+struct CellSpec
+{
+    Scenario scenario;
+    ExecutorKind executor = ExecutorKind::Sim;
+    std::size_t width = 1;
+    bool chaos = false;
+};
+
+std::string
+cellKey(const CellSpec &cell)
+{
+    return "scn/" + cell.scenario.name + "/" +
+           executorKindName(cell.executor) + "/w" +
+           std::to_string(cell.width) + "/" +
+           (cell.chaos ? "chaos" : "clean") + "/";
+}
+
+std::vector<std::pair<std::string, double>>
+runCell(const SessionConfig &base, const CellSpec &cell)
+{
+    SessionConfig cfg = base;
+    cfg.name = cellKey(cell);
+    cfg.executor = cell.executor;
+    cfg.kernel_threads = cell.width;
+    if (cell.executor == ExecutorKind::Pool) {
+        cfg.deterministic = true;
+        cfg.pool_workers = 4;
+    }
+    if (!cfg.applyScenario(cell.scenario)) {
+        std::fprintf(stderr, "bad fault plan in scenario '%s'\n",
+                     cell.scenario.name.c_str());
+        std::exit(2);
+    }
+    if (cell.chaos) {
+        if (!parseFaultPlan(kChaosPlan, cfg.resilience.fault_plan))
+            std::exit(2);
+        cfg.resilience.supervise = true;
+        cfg.resilience.degrade = true;
+    }
+
+    const IntegratedResult r = runIntegrated(cfg);
+
+    // Exact analytic ground truth, sampled at the estimate's own
+    // timestamps (zero matching slack, and RTE windows line up).
+    const unsigned effective_seed =
+        cell.scenario.seed != 0 ? cell.scenario.seed : cfg.seed;
+    const Trajectory truth =
+        cell.scenario.makeTrajectory(effective_seed);
+    std::vector<StampedPose> gt;
+    gt.reserve(r.vio_trajectory.size());
+    for (const StampedPose &est : r.vio_trajectory) {
+        StampedPose sp;
+        sp.time = est.time;
+        sp.pose = truth.pose(toSeconds(est.time));
+        gt.push_back(sp);
+    }
+    const TrajectoryError err = computeTrajectoryError(
+        r.vio_trajectory, gt, 10 * kMillisecond, 500 * kMillisecond);
+
+    const std::string key = cellKey(cell);
+    std::vector<std::pair<std::string, double>> metrics;
+    metrics.emplace_back(key + "ate_cm", 100.0 * err.ate_rmse_m);
+    metrics.emplace_back(key + "rte_cm", 100.0 * err.rte_rmse_m);
+    if (cell.executor == ExecutorKind::Pool) {
+        metrics.emplace_back(key + "mtp_p50_ms",
+                             r.mtp.latency_ms.percentile(50));
+        metrics.emplace_back(key + "mtp_p99_ms",
+                             r.mtp.latency_ms.percentile(99));
+    }
+    return metrics;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= csv.size()) {
+        const std::size_t comma = csv.find(',', begin);
+        const std::string item =
+            csv.substr(begin, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - begin);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return out;
+}
+
+bool
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::string, double>> &rows)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f, "  \"%s\": %.4f%s\n", rows[i].first.c_str(),
+                     rows[i].second, i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+} // namespace illixr
+
+int
+main(int argc, char **argv)
+{
+    using namespace illixr;
+    using illixr::bench::banner;
+
+    SessionConfig::Parse parse =
+        SessionConfig::fromEnvAndArgs(argc, argv);
+    if (!parse.ok) {
+        std::fprintf(stderr, "%s\n", parse.error.c_str());
+        return 2;
+    }
+
+    std::vector<std::string> scenario_specs = {
+        "circular", "figure-eight", "rapid-rotation", "stop-and-stare",
+        "occlusion-walk"};
+    std::vector<std::string> executor_names = {"sim", "pool"};
+    std::vector<std::size_t> widths = {1, 2};
+    std::vector<std::string> fault_names = {"clean", "chaos"};
+    long duration_ms = 1500;
+    std::string json_path;
+
+    for (std::size_t i = 0; i < parse.unparsed.size(); ++i) {
+        const std::string &arg = parse.unparsed[i];
+        if (arg.rfind("--scenarios=", 0) == 0) {
+            scenario_specs = splitList(arg.substr(12));
+        } else if (arg.rfind("--executors=", 0) == 0) {
+            executor_names = splitList(arg.substr(12));
+        } else if (arg.rfind("--widths=", 0) == 0) {
+            widths.clear();
+            for (const std::string &w : splitList(arg.substr(9)))
+                widths.push_back(static_cast<std::size_t>(
+                    std::max(1L, std::atol(w.c_str()))));
+        } else if (arg.rfind("--faults=", 0) == 0) {
+            fault_names = splitList(arg.substr(9));
+        } else if (arg.rfind("--duration-ms=", 0) == 0) {
+            duration_ms = std::max(1L, std::atol(arg.c_str() + 14));
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg == "--json" && i + 1 < parse.unparsed.size()) {
+            json_path = parse.unparsed[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "unknown flag: %s\nusage: scenario_matrix "
+                "[--scenarios=a,b,...] [--executors=sim,pool] "
+                "[--widths=1,2] [--faults=clean,chaos] "
+                "[--duration-ms=M] [--seed=N] [--json PATH]\n",
+                arg.c_str());
+            return 2;
+        }
+    }
+
+    // Resolve scenario tokens: built-in family name or file path.
+    std::vector<Scenario> scenarios;
+    for (const std::string &spec : scenario_specs) {
+        Scenario s;
+        std::string error;
+        if (!Scenario::byName(spec, s) &&
+            !Scenario::loadFile(spec, s, error)) {
+            std::fprintf(stderr, "scenario '%s': %s\n", spec.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        scenarios.push_back(s);
+    }
+    std::vector<ExecutorKind> executors;
+    for (const std::string &name : executor_names) {
+        ExecutorKind kind;
+        if (!parseExecutorKind(name, kind)) {
+            std::fprintf(stderr, "unknown executor '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+        executors.push_back(kind);
+    }
+    std::vector<bool> faults;
+    for (const std::string &name : fault_names) {
+        if (name != "clean" && name != "chaos") {
+            std::fprintf(stderr, "unknown fault mode '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+        faults.push_back(name == "chaos");
+    }
+
+    SessionConfig base = parse.config;
+    base.duration = duration_ms * kMillisecond;
+    if (base.seed == 1 && !std::getenv("ILLIXR_SEED"))
+        base.seed = 11; // Matrix default; --seed=N still wins.
+
+    banner("Scenario matrix: per-scenario QoE regression wall",
+           "Trajectory/scene DSL over the Session runtime "
+           "(DESIGN.md Scenario model)");
+    std::printf("cells = %zu scenarios x %zu executors x %zu widths "
+                "x %zu fault modes, %ld ms each\n\n",
+                scenarios.size(), executors.size(), widths.size(),
+                faults.size(), duration_ms);
+    std::printf("  %-48s %10s %10s %10s %10s\n", "cell", "ate_cm",
+                "rte_cm", "mtp_p50", "mtp_p99");
+
+    std::vector<std::pair<std::string, double>> rows;
+    for (const Scenario &scenario : scenarios) {
+        for (ExecutorKind executor : executors) {
+            for (std::size_t width : widths) {
+                for (bool chaos : faults) {
+                    CellSpec cell;
+                    cell.scenario = scenario;
+                    cell.executor = executor;
+                    cell.width = width;
+                    cell.chaos = chaos;
+                    const auto metrics = runCell(base, cell);
+                    const double ate = metrics[0].second;
+                    const double rte = metrics[1].second;
+                    if (metrics.size() > 2)
+                        std::printf("  %-48s %10.2f %10.2f %10.2f "
+                                    "%10.2f\n",
+                                    cellKey(cell).c_str(), ate, rte,
+                                    metrics[2].second,
+                                    metrics[3].second);
+                    else
+                        std::printf("  %-48s %10.2f %10.2f %10s "
+                                    "%10s\n",
+                                    cellKey(cell).c_str(), ate, rte,
+                                    "-", "-");
+                    std::fflush(stdout);
+                    rows.insert(rows.end(), metrics.begin(),
+                                metrics.end());
+                }
+            }
+        }
+    }
+
+    if (!json_path.empty()) {
+        if (!writeJson(json_path, rows)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        std::printf("\nwrote %zu metrics to %s\n", rows.size(),
+                    json_path.c_str());
+    }
+    return 0;
+}

@@ -152,6 +152,12 @@ Quat::slerp(const Quat &o, double t) const
 double
 Quat::angleTo(const Quat &o) const
 {
+    // Equal (or antipodal — same rotation) quaternions are exactly 0
+    // apart; composing q^-1 * q would leave ~1e-17 cross-term residue,
+    // and a perfect pose estimate must score an exact zero.
+    if ((w == o.w && x == o.x && y == o.y && z == o.z) ||
+        (w == -o.w && x == -o.x && y == -o.y && z == -o.z))
+        return 0.0;
     const Quat diff = conjugate() * o;
     return diff.log().norm();
 }

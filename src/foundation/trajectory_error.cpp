@@ -48,16 +48,29 @@ nearestPose(const std::vector<StampedPose> &gt, TimePoint t,
 TrajectoryError
 computeTrajectoryError(const std::vector<StampedPose> &estimate,
                        const std::vector<StampedPose> &ground_truth,
-                       Duration max_dt)
+                       Duration max_dt, Duration rte_delta)
 {
     TrajectoryError err;
     if (estimate.empty() || ground_truth.empty())
         return err;
 
     // Align the estimate so its first matched pose coincides with the
-    // corresponding ground-truth pose.
+    // corresponding ground-truth pose. When the first pair already
+    // coincides, skip the correction: composing an identity-valued
+    // Pose would leave ~1e-16 residue, and a perfect estimator must
+    // score exactly 0.
     Pose align = Pose::identity();
     bool aligned = false;
+    bool use_align = false;
+
+    struct MatchedPair
+    {
+        TimePoint time;
+        Pose est;
+        Pose gt;
+    };
+    std::vector<MatchedPair> pairs;
+    pairs.reserve(estimate.size());
 
     double sum_sq = 0.0;
     double sum = 0.0;
@@ -71,10 +84,13 @@ computeTrajectoryError(const std::vector<StampedPose> &estimate,
             continue;
         const Pose &gt = ground_truth[gi].pose;
         if (!aligned) {
-            align = gt * est.pose.inverse();
+            use_align = est.pose.translationErrorTo(gt) != 0.0 ||
+                        est.pose.rotationErrorTo(gt) != 0.0;
+            if (use_align)
+                align = gt * est.pose.inverse();
             aligned = true;
         }
-        const Pose corrected = align * est.pose;
+        const Pose corrected = use_align ? align * est.pose : est.pose;
         const double te = corrected.translationErrorTo(gt);
         const double re = corrected.rotationErrorTo(gt);
         sum_sq += te * te;
@@ -82,6 +98,7 @@ computeTrajectoryError(const std::vector<StampedPose> &estimate,
         sum_rot += re;
         max_err = std::max(max_err, te);
         ++n;
+        pairs.push_back({est.time, est.pose, gt});
     }
 
     if (n == 0)
@@ -91,6 +108,39 @@ computeTrajectoryError(const std::vector<StampedPose> &estimate,
     err.ate_mean_m = sum / static_cast<double>(n);
     err.ate_max_m = max_err;
     err.rot_mean_rad = sum_rot / static_cast<double>(n);
+
+    // RTE: relative motion over rte_delta windows; the global frame
+    // (and thus the alignment choice) cancels in est_i^-1 * est_j.
+    if (rte_delta > 0 && pairs.size() >= 2) {
+        double rte_sum_sq = 0.0;
+        double rte_sum = 0.0;
+        std::size_t rte_n = 0;
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            if (j < i + 1)
+                j = i + 1;
+            while (j < pairs.size() &&
+                   pairs[j].time - pairs[i].time < rte_delta)
+                ++j;
+            if (j >= pairs.size())
+                break;
+            const Duration dt = pairs[j].time - pairs[i].time;
+            if (dt > 2 * rte_delta)
+                continue; // Gap in the matched stream; skip.
+            const Pose d_est = pairs[i].est.inverse() * pairs[j].est;
+            const Pose d_gt = pairs[i].gt.inverse() * pairs[j].gt;
+            const double te = d_est.translationErrorTo(d_gt);
+            rte_sum_sq += te * te;
+            rte_sum += te;
+            ++rte_n;
+        }
+        if (rte_n > 0) {
+            err.rte_pairs = rte_n;
+            err.rte_rmse_m =
+                std::sqrt(rte_sum_sq / static_cast<double>(rte_n));
+            err.rte_mean_m = rte_sum / static_cast<double>(rte_n);
+        }
+    }
     return err;
 }
 

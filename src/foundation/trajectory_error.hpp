@@ -21,6 +21,14 @@ struct TrajectoryError
     double ate_max_m = 0.0;       ///< Maximum translational error.
     double rot_mean_rad = 0.0;    ///< Mean rotational error.
     std::size_t matched = 0;      ///< Number of matched pose pairs.
+
+    // Relative trajectory error over a fixed time delta: the drift
+    // metric. The per-pair relative motions cancel any global
+    // alignment, so RTE is meaningful even when ATE alignment is
+    // degenerate.
+    double rte_rmse_m = 0.0;      ///< RMSE of relative translation error.
+    double rte_mean_m = 0.0;      ///< Mean relative translation error.
+    std::size_t rte_pairs = 0;    ///< Number of (i, i+delta) pairs.
 };
 
 /**
@@ -29,11 +37,20 @@ struct TrajectoryError
  * within @p max_dt; the estimate is first aligned to ground truth by
  * the rigid transform between the first matched pair (a simplified
  * version of the usual SE(3) Umeyama alignment that suffices when
- * both trajectories start from a known common origin).
+ * both trajectories start from a known common origin). When the first
+ * matched pair already coincides the alignment is skipped entirely,
+ * so a bit-perfect estimator scores an ATE of exactly 0 (no floating
+ * point residue from composing the identity correction).
+ *
+ * RTE compares the relative motion over windows of @p rte_delta:
+ * for each matched pair i and the first matched pair j at least
+ * rte_delta later (and at most 2x rte_delta, to skip gaps), the
+ * translational difference between est_i^-1*est_j and gt_i^-1*gt_j.
  */
 TrajectoryError computeTrajectoryError(
     const std::vector<StampedPose> &estimate,
     const std::vector<StampedPose> &ground_truth,
-    Duration max_dt = 10 * kMillisecond);
+    Duration max_dt = 10 * kMillisecond,
+    Duration rte_delta = kSecond);
 
 } // namespace illixr

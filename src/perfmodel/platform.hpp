@@ -7,7 +7,7 @@
  *
  * Components execute for real on the host; their *virtual* duration
  * on a modeled platform is host time scaled by a per-execution-unit
- * factor. The factors are calibrated constants (see DESIGN.md §9):
+ * factor. The factors are calibrated constants (see DESIGN.md §10):
  * they encode the relative CPU/GPU throughput of the three platforms
  * (Jetson-LP runs at half the clocks of Jetson-HP per the paper), so
  * cross-platform *shape* — which components miss their deadlines

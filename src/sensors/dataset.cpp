@@ -4,9 +4,20 @@ namespace illixr {
 
 namespace {
 
+/** Scenario seed wins when set; otherwise the runtime seed. */
+unsigned
+effectiveSeed(const DatasetConfig &cfg)
+{
+    if (cfg.scenario && cfg.scenario->seed != 0)
+        return cfg.scenario->seed;
+    return cfg.seed;
+}
+
 Trajectory
 makeTrajectory(const DatasetConfig &cfg)
 {
+    if (cfg.scenario)
+        return cfg.scenario->makeTrajectory(effectiveSeed(cfg));
     switch (cfg.preset) {
       case DatasetConfig::Preset::LabWalk:
         return Trajectory::labWalk(cfg.seed);
@@ -18,16 +29,30 @@ makeTrajectory(const DatasetConfig &cfg)
     return Trajectory::labWalk(cfg.seed);
 }
 
+SyntheticWorld
+makeWorld(const DatasetConfig &cfg)
+{
+    if (cfg.scenario)
+        return cfg.scenario->makeWorld(effectiveSeed(cfg) + 100);
+    return SyntheticWorld::labRoom(cfg.seed + 100);
+}
+
 } // namespace
 
 SyntheticDataset::SyntheticDataset(const DatasetConfig &config)
     : config_(config), trajectory_(makeTrajectory(config)),
-      world_(SyntheticWorld::labRoom(config.seed + 100)),
+      world_(makeWorld(config)),
       rig_(CameraRig::standard(CameraIntrinsics::fromFov(
           config.image_width, config.image_height, config.camera_fov_rad)))
 {
-    ImuSensor imu_sensor(trajectory_, config.imu_noise, config.imu_rate_hz,
-                         config.seed + 7);
+    const ImuNoiseModel noise =
+        config.scenario ? config.scenario->imuNoise() : config.imu_noise;
+    const double imu_rate =
+        (config.scenario && config.scenario->imu_rate_hz > 0.0)
+            ? config.scenario->imu_rate_hz
+            : config.imu_rate_hz;
+    ImuSensor imu_sensor(trajectory_, noise, imu_rate,
+                         effectiveSeed(config) + 7);
     imu_ = imu_sensor.generate(config.duration_s);
 
     const double cam_dt = 1.0 / config.camera_rate_hz;

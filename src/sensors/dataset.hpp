@@ -16,10 +16,12 @@
 #include "image/image.hpp"
 #include "sensors/camera.hpp"
 #include "sensors/imu.hpp"
+#include "sensors/scenario.hpp"
 #include "sensors/trajectory.hpp"
 #include "sensors/world.hpp"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,16 @@ struct DatasetConfig
 
     enum class Preset { LabWalk, ViconRoom, SlowScan };
     Preset preset = Preset::LabWalk;
+
+    /**
+     * When set, the scenario overrides the preset: trajectory, world
+     * (feature density / lighting / occluders) and IMU noise grade
+     * all come from the scenario. A scenario with seed != 0 also
+     * overrides `seed`, and one with imu_rate_hz > 0 overrides
+     * `imu_rate_hz` (camera rate and image geometry stay with the
+     * runtime config).
+     */
+    std::optional<Scenario> scenario;
 };
 
 /** One camera frame with its capture timestamp. */

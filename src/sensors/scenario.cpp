@@ -1,0 +1,711 @@
+#include "sensors/scenario.hpp"
+
+#include "foundation/rng.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace illixr {
+
+namespace {
+
+/** Canonical names; order matches the PathFamily enumerators. */
+constexpr const char *kFamilyNames[] = {
+    "lab-walk",       "vicon-room",     "slow-scan",
+    "circular",       "figure-eight",   "rapid-rotation",
+    "stop-and-stare", "occlusion-walk",
+};
+
+constexpr const char *kGradeNames[] = {"consumer", "ideal", "degraded"};
+
+/** Lowercase and fold '_' to '-' so CLI spellings are forgiving. */
+std::string
+canonicalToken(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(c == '_' ? '-' : static_cast<char>(std::tolower(
+                                           static_cast<unsigned char>(c))));
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+parseDoubleStrict(const std::string &text, double &out)
+{
+    const std::string t = trim(text);
+    if (t.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end != t.c_str() + t.size() || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseIntStrict(const std::string &text, long &out)
+{
+    const std::string t = trim(text);
+    if (t.empty())
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (end != t.c_str() + t.size())
+        return false;
+    out = v;
+    return true;
+}
+
+std::string
+formatDouble(double v)
+{
+    // Shortest representation that round-trips exactly.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double back = 0.0;
+    for (int prec = 1; prec <= 16; ++prec) {
+        char trial[64];
+        std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+        if (parseDoubleStrict(trial, back) && back == v)
+            return trial;
+    }
+    return buf;
+}
+
+/** Fill an axis with random sinusoids drawn from a band. The scale
+ *  schedule (higher harmonics smaller and faster) and the draw order
+ *  (amplitude, frequency, phase per term) are the legacy preset RNG
+ *  contract — changing either changes every golden CSV. */
+template <std::size_t N>
+void
+randomize(std::array<SinusoidTerm, N> &terms, Rng &rng,
+          const AxisBand &band)
+{
+    for (std::size_t i = 0; i < N; ++i) {
+        const double scale = 1.0 / static_cast<double>(i + 1);
+        terms[i].amplitude =
+            rng.uniform(band.amp_lo, band.amp_hi) * scale;
+        terms[i].frequency_hz = rng.uniform(band.freq_lo, band.freq_hi) *
+                                static_cast<double>(i + 1);
+        terms[i].phase = rng.uniform(0.0, 2.0 * M_PI);
+    }
+}
+
+} // namespace
+
+const char *
+pathFamilyName(PathFamily family)
+{
+    return kFamilyNames[static_cast<int>(family)];
+}
+
+bool
+parsePathFamily(const std::string &name, PathFamily &out)
+{
+    const std::string t = canonicalToken(trim(name));
+    for (std::size_t i = 0;
+         i < sizeof(kFamilyNames) / sizeof(kFamilyNames[0]); ++i) {
+        if (t == kFamilyNames[i]) {
+            out = static_cast<PathFamily>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<PathFamily> &
+allPathFamilies()
+{
+    static const std::vector<PathFamily> families = {
+        PathFamily::LabWalk,       PathFamily::ViconRoom,
+        PathFamily::SlowScan,      PathFamily::Circular,
+        PathFamily::FigureEight,   PathFamily::RapidRotation,
+        PathFamily::StopAndStare,  PathFamily::OcclusionWalk,
+    };
+    return families;
+}
+
+const char *
+imuGradeName(ImuGrade grade)
+{
+    return kGradeNames[static_cast<int>(grade)];
+}
+
+bool
+parseImuGrade(const std::string &name, ImuGrade &out)
+{
+    const std::string t = canonicalToken(trim(name));
+    for (std::size_t i = 0;
+         i < sizeof(kGradeNames) / sizeof(kGradeNames[0]); ++i) {
+        if (t == kGradeNames[i]) {
+            out = static_cast<ImuGrade>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+ImuNoiseModel
+imuNoiseForGrade(ImuGrade grade)
+{
+    switch (grade) {
+    case ImuGrade::Consumer:
+        return ImuNoiseModel{};
+    case ImuGrade::Ideal: {
+        ImuNoiseModel m;
+        m.gyro_noise_density = 0.0;
+        m.accel_noise_density = 0.0;
+        m.gyro_bias_walk = 0.0;
+        m.accel_bias_walk = 0.0;
+        m.initial_gyro_bias = Vec3(0, 0, 0);
+        m.initial_accel_bias = Vec3(0, 0, 0);
+        return m;
+    }
+    case ImuGrade::Degraded: {
+        ImuNoiseModel m;
+        m.gyro_noise_density *= 10.0;
+        m.accel_noise_density *= 10.0;
+        m.gyro_bias_walk *= 5.0;
+        m.accel_bias_walk *= 5.0;
+        m.initial_gyro_bias = m.initial_gyro_bias * 3.0;
+        m.initial_accel_bias = m.initial_accel_bias * 3.0;
+        return m;
+    }
+    }
+    return ImuNoiseModel{};
+}
+
+// ---------------------------------------------------------------------
+// Legacy randomized-path bands
+// ---------------------------------------------------------------------
+
+RandomPathBands
+labWalkBands()
+{
+    RandomPathBands b;
+    b.rng_stream = 0xAB0000;
+    // Gentle walking wander within a lab-sized area; posY is the gait
+    // bounce.
+    b.pos_x = {0.4, 1.2, 0.05, 0.15};
+    b.pos_z = {0.4, 1.2, 0.05, 0.15};
+    b.pos_y = {0.02, 0.06, 0.8, 1.4};
+    b.yaw = {0.3, 0.9, 0.04, 0.12};
+    b.pitch = {0.04, 0.10, 0.2, 0.5};
+    b.roll = {0.02, 0.05, 0.3, 0.6};
+    return b;
+}
+
+RandomPathBands
+viconRoomBands()
+{
+    RandomPathBands b;
+    b.rng_stream = 0xCD0000;
+    // Faster, MAV-like excitation: better observability, more
+    // input-dependent VIO work.
+    b.pos_x = {0.5, 1.0, 0.15, 0.35};
+    b.pos_z = {0.5, 1.0, 0.15, 0.35};
+    b.pos_y = {0.15, 0.4, 0.2, 0.45};
+    b.yaw = {0.4, 0.8, 0.1, 0.3};
+    b.pitch = {0.1, 0.2, 0.15, 0.4};
+    b.roll = {0.08, 0.15, 0.15, 0.4};
+    return b;
+}
+
+RandomPathBands
+slowScanBands()
+{
+    RandomPathBands b;
+    b.rng_stream = 0xEF0000;
+    b.pos_x = {0.1, 0.3, 0.02, 0.08};
+    b.pos_z = {0.1, 0.3, 0.02, 0.08};
+    b.pos_y = {0.02, 0.05, 0.1, 0.2};
+    b.yaw = {0.5, 1.0, 0.02, 0.06};
+    b.pitch = {0.1, 0.2, 0.03, 0.08};
+    b.roll = {0.01, 0.03, 0.1, 0.2};
+    return b;
+}
+
+TrajectoryParams
+makeRandomPath(const RandomPathBands &bands, unsigned seed)
+{
+    Rng rng(bands.rng_stream + seed);
+    TrajectoryParams p;
+    p.center = bands.center;
+    // Axis order is the RNG consumption order; keep it fixed.
+    randomize(p.pos_x, rng, bands.pos_x);
+    randomize(p.pos_z, rng, bands.pos_z);
+    randomize(p.pos_y, rng, bands.pos_y);
+    randomize(p.yaw, rng, bands.yaw);
+    randomize(p.pitch, rng, bands.pitch);
+    randomize(p.roll, rng, bands.roll);
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: trajectory / world / IMU synthesis
+// ---------------------------------------------------------------------
+
+Trajectory
+Scenario::makeTrajectory(unsigned effective_seed) const
+{
+    // Legacy randomized families: exactly the pre-scenario presets.
+    switch (family) {
+    case PathFamily::LabWalk:
+    case PathFamily::ViconRoom:
+    case PathFamily::SlowScan: {
+        RandomPathBands bands = family == PathFamily::LabWalk
+                                    ? labWalkBands()
+                                    : family == PathFamily::ViconRoom
+                                          ? viconRoomBands()
+                                          : slowScanBands();
+        bands.center.y = height_m;
+        return Trajectory::fromParams(
+            makeRandomPath(bands, effective_seed));
+    }
+    default:
+        break;
+    }
+
+    // Parametric families: deterministic closed-form paths; the seed
+    // does not perturb geometry (ground truth is the config, not a
+    // draw), only downstream noise.
+    const double f = 1.0 / period_s;
+    TrajectoryParams p;
+    p.center = Vec3(0.0, height_m, 0.0);
+
+    switch (family) {
+    case PathFamily::Circular:
+        // x = R cos(2pi f t), z = R sin(2pi f t): a circle walked at
+        // constant speed, facing along the tangent via the yaw ramp.
+        p.pos_x[0] = {radius_m, f, M_PI / 2.0};
+        p.pos_z[0] = {radius_m, f, 0.0};
+        p.pos_y[0] = {bob_m, 2.0 * f, 0.0};
+        p.yaw_rate =
+            (yaw_rate_rad_s != 0.0) ? yaw_rate_rad_s : 2.0 * M_PI * f;
+        p.pitch[0] = {pitch_amplitude_rad, 2.0 * f, 0.0};
+        break;
+
+    case PathFamily::FigureEight:
+        // Lissajous 1:2 — x = R sin(2pi f t), z = (R/2) sin(4pi f t).
+        p.pos_x[0] = {radius_m, f, 0.0};
+        p.pos_z[0] = {radius_m / 2.0, 2.0 * f, 0.0};
+        p.pos_y[0] = {bob_m, 2.0 * f, 0.0};
+        p.yaw[0] = {yaw_amplitude_rad, f, 0.0};
+        p.pitch[0] = {pitch_amplitude_rad, 2.0 * f, 0.0};
+        p.yaw_rate = yaw_rate_rad_s;
+        break;
+
+    case PathFamily::RapidRotation:
+        // Near-stationary stance, violent two-harmonic head shake:
+        // peak yaw rate ~ 2*pi*f*A, far above the other families.
+        p.pos_x[0] = {radius_m, f, 0.0};
+        p.pos_z[0] = {radius_m, f, M_PI / 2.0};
+        p.pos_y[0] = {bob_m, 2.0 * f, 0.0};
+        p.yaw[0] = {yaw_amplitude_rad, f, 0.0};
+        p.yaw[1] = {0.4 * yaw_amplitude_rad, 1.9 * f, 1.0};
+        p.pitch[0] = {pitch_amplitude_rad, 1.3 * f, 0.5};
+        p.roll[0] = {0.3 * pitch_amplitude_rad, 1.6 * f, 2.1};
+        p.yaw_rate = yaw_rate_rad_s;
+        break;
+
+    case PathFamily::StopAndStare: {
+        // Circular orbit through a full-stop time warp: every
+        // stop_period_s the head momentarily freezes (v = 0 AND
+        // a = 0), then re-accelerates — the tracker-reacquisition
+        // stressor.
+        p.pos_x[0] = {radius_m, f, M_PI / 2.0};
+        p.pos_z[0] = {radius_m, f, 0.0};
+        p.pos_y[0] = {bob_m, 2.0 * f, 0.0};
+        p.yaw_rate =
+            (yaw_rate_rad_s != 0.0) ? yaw_rate_rad_s : 2.0 * M_PI * f;
+        p.pitch[0] = {pitch_amplitude_rad, 2.0 * f, 0.0};
+        p.warp.rate = 1.0;
+        p.warp.pause_period_s = stop_period_s;
+        p.warp.pause_depth = 1.0;
+        break;
+    }
+
+    case PathFamily::OcclusionWalk:
+        // Wide incommensurate sweep that repeatedly threads the
+        // occluder pillar ring (see worldSpec()).
+        p.pos_x[0] = {radius_m, f, 0.0};
+        p.pos_z[0] = {0.8 * radius_m, 1.5 * f, 0.7};
+        p.pos_y[0] = {bob_m, 2.0 * f, 0.0};
+        p.yaw[0] = {yaw_amplitude_rad, f, 0.0};
+        p.pitch[0] = {pitch_amplitude_rad, 1.4 * f, 0.3};
+        p.yaw_rate = yaw_rate_rad_s;
+        break;
+
+    default:
+        break;
+    }
+    return Trajectory::fromParams(p);
+}
+
+int
+Scenario::effectiveOccluders() const
+{
+    if (occluders >= 0)
+        return occluders;
+    return family == PathFamily::OcclusionWalk ? 3 : 0;
+}
+
+WorldSpec
+Scenario::worldSpec() const
+{
+    WorldSpec spec;
+    spec.feature_density = feature_density;
+    spec.lighting = lighting;
+    spec.occluders = effectiveOccluders();
+    return spec;
+}
+
+SyntheticWorld
+Scenario::makeWorld(unsigned effective_seed) const
+{
+    return SyntheticWorld::fromSpec(worldSpec(), effective_seed);
+}
+
+ImuNoiseModel
+Scenario::imuNoise() const
+{
+    return imuNoiseForGrade(imu_grade);
+}
+
+Scenario
+Scenario::fromFamily(PathFamily family_in)
+{
+    Scenario s;
+    s.family = family_in;
+    s.name = pathFamilyName(family_in);
+    switch (family_in) {
+    case PathFamily::LabWalk:
+    case PathFamily::ViconRoom:
+    case PathFamily::SlowScan:
+        break; // Knobs unused; the bands carry the parameters.
+    case PathFamily::Circular:
+        s.radius_m = 1.5;
+        s.period_s = 8.0;
+        break;
+    case PathFamily::FigureEight:
+        s.radius_m = 1.8;
+        s.period_s = 7.0;
+        break;
+    case PathFamily::RapidRotation:
+        s.radius_m = 0.06;
+        s.period_s = 1.25;
+        s.bob_m = 0.01;
+        s.yaw_amplitude_rad = 1.2;
+        s.pitch_amplitude_rad = 0.35;
+        break;
+    case PathFamily::StopAndStare:
+        s.radius_m = 1.2;
+        s.period_s = 10.0;
+        s.stop_period_s = 4.0;
+        break;
+    case PathFamily::OcclusionWalk:
+        s.radius_m = 2.2;
+        s.period_s = 9.0;
+        break;
+    }
+    return s;
+}
+
+bool
+Scenario::byName(const std::string &name, Scenario &out)
+{
+    PathFamily family;
+    if (!parsePathFamily(name, family))
+        return false;
+    out = fromFamily(family);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Parsing / serialization
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct ScenarioLine
+{
+    int number = 0; ///< 1-based line number in the source text.
+    std::string section; ///< "" = top level.
+    std::string key;
+    std::string value;
+};
+
+bool
+fail(std::string &error, int line, const std::string &detail)
+{
+    error = "scenario parse error at line " + std::to_string(line) +
+            ": " + detail;
+    return false;
+}
+
+bool
+applyDouble(const ScenarioLine &ln, double lo, double hi, double &out,
+            std::string &error)
+{
+    double v = 0.0;
+    if (!parseDoubleStrict(ln.value, v))
+        return fail(error, ln.number,
+                    "key '" + ln.key + "' needs a number, got '" +
+                        ln.value + "'");
+    if (v < lo || v > hi)
+        return fail(error, ln.number,
+                    "key '" + ln.key + "' value " + ln.value +
+                        " out of range [" + formatDouble(lo) + ", " +
+                        formatDouble(hi) + "]");
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+Scenario::parse(const std::string &text, Scenario &out,
+                std::string &error)
+{
+    // Phase 1: tokenize every line, validating shape only.
+    std::vector<ScenarioLine> lines;
+    std::string section;
+    std::istringstream in(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+        ++number;
+        const std::string line = trim(raw);
+        if (line.empty() || line[0] == '#' || line[0] == ';')
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return fail(error, number,
+                            "unterminated section header '" + line +
+                                "'");
+            section = canonicalToken(trim(line.substr(1, line.size() - 2)));
+            if (section != "path" && section != "world" &&
+                section != "imu" && section != "faults")
+                return fail(error, number,
+                            "unknown section [" + section + "]");
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail(error, number,
+                        "expected key = value, got '" + line + "'");
+        ScenarioLine ln;
+        ln.number = number;
+        ln.section = section;
+        ln.key = canonicalToken(trim(line.substr(0, eq)));
+        ln.value = trim(line.substr(eq + 1));
+        if (ln.key.empty())
+            return fail(error, number, "empty key before '='");
+        lines.push_back(ln);
+    }
+
+    // Phase 2: start from the family defaults (so key order does not
+    // matter), then apply every key.
+    Scenario s;
+    for (const ScenarioLine &ln : lines) {
+        if (ln.section == "path" && ln.key == "family") {
+            PathFamily family;
+            if (!parsePathFamily(ln.value, family))
+                return fail(error, ln.number,
+                            "key 'family': unknown path family '" +
+                                ln.value + "'");
+            s = fromFamily(family);
+            break;
+        }
+    }
+
+    for (const ScenarioLine &ln : lines) {
+        if (ln.section.empty()) {
+            if (ln.key == "name") {
+                if (ln.value.empty())
+                    return fail(error, ln.number,
+                                "key 'name' needs a value");
+                s.name = ln.value;
+            } else if (ln.key == "seed") {
+                long v = 0;
+                if (!parseIntStrict(ln.value, v) || v < 0)
+                    return fail(error, ln.number,
+                                "key 'seed' needs a non-negative "
+                                "integer, got '" +
+                                    ln.value + "'");
+                s.seed = static_cast<unsigned>(v);
+            } else if (ln.key == "duration-s") {
+                if (!applyDouble(ln, 0.0, 3600.0, s.duration_s, error))
+                    return false;
+            } else {
+                return fail(error, ln.number,
+                            "unknown top-level key '" + ln.key + "'");
+            }
+        } else if (ln.section == "path") {
+            if (ln.key == "family") {
+                continue; // Applied in the pre-pass.
+            } else if (ln.key == "radius-m") {
+                if (!applyDouble(ln, 0.0, 100.0, s.radius_m, error))
+                    return false;
+            } else if (ln.key == "period-s") {
+                if (!applyDouble(ln, 1e-3, 3600.0, s.period_s, error))
+                    return false;
+            } else if (ln.key == "height-m") {
+                if (!applyDouble(ln, 0.0, 100.0, s.height_m, error))
+                    return false;
+            } else if (ln.key == "bob-m") {
+                if (!applyDouble(ln, 0.0, 10.0, s.bob_m, error))
+                    return false;
+            } else if (ln.key == "yaw-amplitude-rad") {
+                if (!applyDouble(ln, 0.0, 2.0 * M_PI,
+                                 s.yaw_amplitude_rad, error))
+                    return false;
+            } else if (ln.key == "yaw-rate-rad-s") {
+                if (!applyDouble(ln, -100.0, 100.0, s.yaw_rate_rad_s,
+                                 error))
+                    return false;
+            } else if (ln.key == "pitch-amplitude-rad") {
+                if (!applyDouble(ln, 0.0, M_PI / 2.0,
+                                 s.pitch_amplitude_rad, error))
+                    return false;
+            } else if (ln.key == "stop-period-s") {
+                if (!applyDouble(ln, 1e-3, 3600.0, s.stop_period_s,
+                                 error))
+                    return false;
+            } else {
+                return fail(error, ln.number,
+                            "unknown [path] key '" + ln.key + "'");
+            }
+        } else if (ln.section == "world") {
+            if (ln.key == "feature-density") {
+                if (!applyDouble(ln, 0.0, 10.0, s.feature_density,
+                                 error))
+                    return false;
+            } else if (ln.key == "lighting") {
+                if (!applyDouble(ln, 0.0, 10.0, s.lighting, error))
+                    return false;
+            } else if (ln.key == "occluders") {
+                long v = 0;
+                if (!parseIntStrict(ln.value, v) || v < -1 || v > 64)
+                    return fail(error, ln.number,
+                                "key 'occluders' needs an integer in "
+                                "[-1, 64], got '" +
+                                    ln.value + "'");
+                s.occluders = static_cast<int>(v);
+            } else {
+                return fail(error, ln.number,
+                            "unknown [world] key '" + ln.key + "'");
+            }
+        } else if (ln.section == "imu") {
+            if (ln.key == "grade") {
+                if (!parseImuGrade(ln.value, s.imu_grade))
+                    return fail(error, ln.number,
+                                "key 'grade': unknown IMU grade '" +
+                                    ln.value +
+                                    "' (consumer | ideal | degraded)");
+            } else if (ln.key == "rate-hz") {
+                if (!applyDouble(ln, 0.0, 10000.0, s.imu_rate_hz,
+                                 error))
+                    return false;
+            } else {
+                return fail(error, ln.number,
+                            "unknown [imu] key '" + ln.key + "'");
+            }
+        } else if (ln.section == "faults") {
+            if (ln.key == "plan") {
+                s.fault_plan = ln.value;
+            } else {
+                return fail(error, ln.number,
+                            "unknown [faults] key '" + ln.key + "'");
+            }
+        }
+    }
+
+    out = s;
+    error.clear();
+    return true;
+}
+
+bool
+Scenario::loadFile(const std::string &path, Scenario &out,
+                   std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "scenario: cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), out, error);
+}
+
+std::string
+Scenario::serialize() const
+{
+    std::ostringstream out;
+    out << "name = " << name << "\n";
+    out << "seed = " << seed << "\n";
+    out << "duration_s = " << formatDouble(duration_s) << "\n";
+    out << "\n[path]\n";
+    out << "family = " << pathFamilyName(family) << "\n";
+    out << "radius_m = " << formatDouble(radius_m) << "\n";
+    out << "period_s = " << formatDouble(period_s) << "\n";
+    out << "height_m = " << formatDouble(height_m) << "\n";
+    out << "bob_m = " << formatDouble(bob_m) << "\n";
+    out << "yaw_amplitude_rad = " << formatDouble(yaw_amplitude_rad)
+        << "\n";
+    out << "yaw_rate_rad_s = " << formatDouble(yaw_rate_rad_s) << "\n";
+    out << "pitch_amplitude_rad = "
+        << formatDouble(pitch_amplitude_rad) << "\n";
+    out << "stop_period_s = " << formatDouble(stop_period_s) << "\n";
+    out << "\n[world]\n";
+    out << "feature_density = " << formatDouble(feature_density)
+        << "\n";
+    out << "lighting = " << formatDouble(lighting) << "\n";
+    out << "occluders = " << occluders << "\n";
+    out << "\n[imu]\n";
+    out << "grade = " << imuGradeName(imu_grade) << "\n";
+    out << "rate_hz = " << formatDouble(imu_rate_hz) << "\n";
+    if (!fault_plan.empty()) {
+        out << "\n[faults]\n";
+        out << "plan = " << fault_plan << "\n";
+    }
+    return out.str();
+}
+
+bool
+Scenario::operator==(const Scenario &o) const
+{
+    return name == o.name && seed == o.seed &&
+           duration_s == o.duration_s && family == o.family &&
+           radius_m == o.radius_m && period_s == o.period_s &&
+           height_m == o.height_m && bob_m == o.bob_m &&
+           yaw_amplitude_rad == o.yaw_amplitude_rad &&
+           yaw_rate_rad_s == o.yaw_rate_rad_s &&
+           pitch_amplitude_rad == o.pitch_amplitude_rad &&
+           stop_period_s == o.stop_period_s &&
+           feature_density == o.feature_density &&
+           lighting == o.lighting && occluders == o.occluders &&
+           imu_grade == o.imu_grade && imu_rate_hz == o.imu_rate_hz &&
+           fault_plan == o.fault_plan;
+}
+
+} // namespace illixr

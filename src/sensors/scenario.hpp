@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Scenario DSL: the declarative config grammar that composes path
+ * families, feature-density/lighting profiles, IMU noise grades and
+ * network/brownout fault profiles into one reproducible workload
+ * description — the repo's answer to "every experiment replays the
+ * same lab walk" (ROADMAP item 2; cf. the per-scenario accuracy
+ * cliffs of "XR Reality Check", arXiv:2508.08642).
+ *
+ * A scenario is INI-like text: `key = value` lines, `#`/`;` comments,
+ * and `[path]` / `[world]` / `[imu]` / `[faults]` sections:
+ *
+ *     name = fig8-dusk
+ *     seed = 9
+ *     duration_s = 8
+ *
+ *     [path]
+ *     family = figure-eight
+ *     radius_m = 1.8
+ *     period_s = 6
+ *
+ *     [world]
+ *     feature_density = 0.6
+ *     lighting = 0.5
+ *
+ *     [imu]
+ *     grade = degraded
+ *
+ *     [faults]
+ *     plan = seed=7,drop=0.05,brownout=1000:500:1.0:80
+ *
+ * Parsing is strict: unknown sections/keys and malformed values fail
+ * with a diagnostic naming the offending line and key. serialize()
+ * emits canonical text that parses back to an equal scenario, and the
+ * same scenario + seed always produces the same Trajectory, world and
+ * IMU stream (the determinism contract: byte-identical runs at any
+ * kernel width).
+ *
+ * Exact analytic ground truth: every family is a closed-form
+ * Trajectory (sum of sinusoids, optional linear yaw ramp, optional
+ * smooth stop-and-go time warp), so ATE/RTE of any estimator is
+ * computed against the true continuous pose — the shape of maplab's
+ * 6dof-test-trajectory-gen (SNIPPETS.md snippet 2).
+ */
+
+#pragma once
+
+#include "sensors/imu.hpp"
+#include "sensors/trajectory.hpp"
+#include "sensors/world.hpp"
+
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** The path families a scenario can select. */
+enum class PathFamily
+{
+    LabWalk,       ///< Legacy randomized walking wander (the default).
+    ViconRoom,     ///< Legacy randomized MAV-style excitation.
+    SlowScan,      ///< Legacy randomized slow yaw sweep.
+    Circular,      ///< Exact circular orbit, facing along the tangent.
+    FigureEight,   ///< Lissajous 1:2 figure-eight sweep.
+    RapidRotation, ///< Near-stationary, violent head rotation.
+    StopAndStare,  ///< Orbit with smooth full stops every few seconds.
+    OcclusionWalk, ///< Wide sweep threading occluder pillars.
+};
+
+const char *pathFamilyName(PathFamily family);
+bool parsePathFamily(const std::string &name, PathFamily &out);
+
+/** All selectable families, in canonical order. */
+const std::vector<PathFamily> &allPathFamilies();
+
+/** IMU sensor quality grades. */
+enum class ImuGrade
+{
+    Consumer,   ///< EuRoC-like defaults (the legacy model).
+    Ideal,      ///< Noise- and bias-free (property tests, oracles).
+    Degraded,   ///< 10x noise densities, 3x biases: phone-grade-bad.
+};
+
+const char *imuGradeName(ImuGrade grade);
+bool parseImuGrade(const std::string &name, ImuGrade &out);
+ImuNoiseModel imuNoiseForGrade(ImuGrade grade);
+
+// ---------------------------------------------------------------------
+// Randomized-path bands: the lifted lab-walk constants
+// ---------------------------------------------------------------------
+
+/** Amplitude/frequency ranges for one randomized sinusoid axis. */
+struct AxisBand
+{
+    double amp_lo = 0.0;
+    double amp_hi = 0.0;
+    double freq_lo = 0.0;
+    double freq_hi = 0.0;
+};
+
+/**
+ * Per-axis randomization bands of a legacy randomized path preset.
+ * Axis order (pos_x, pos_z, pos_y, yaw, pitch, roll) is the RNG
+ * consumption order and must not change: it is what keeps
+ * Trajectory::labWalk() bit-identical to its pre-scenario form.
+ */
+struct RandomPathBands
+{
+    unsigned rng_stream = 0; ///< Added to the user seed (e.g. 0xAB0000).
+    Vec3 center{0.0, 1.6, 0.0};
+    AxisBand pos_x, pos_z, pos_y, yaw, pitch, roll;
+};
+
+RandomPathBands labWalkBands();
+RandomPathBands viconRoomBands();
+RandomPathBands slowScanBands();
+
+/** Draw a TrajectoryParams from bands with the legacy RNG schedule. */
+TrajectoryParams makeRandomPath(const RandomPathBands &bands,
+                                unsigned seed);
+
+// ---------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------
+
+/**
+ * One parsed scenario. Field defaults are the legacy lab walk; the
+ * family-specific knobs below only affect the parametric families.
+ */
+struct Scenario
+{
+    std::string name = "lab-walk";
+    unsigned seed = 0;       ///< 0 = inherit the runtime seed.
+    double duration_s = 0.0; ///< 0 = inherit the runtime duration.
+
+    // ---- [path] ----
+    PathFamily family = PathFamily::LabWalk;
+    double radius_m = 1.5;     ///< Orbit/sweep amplitude.
+    double period_s = 8.0;     ///< One orbit/sweep period.
+    double height_m = 1.6;     ///< Eye height (trajectory center y).
+    double bob_m = 0.05;       ///< Vertical gait bounce amplitude.
+    double yaw_amplitude_rad = 0.6;
+    double yaw_rate_rad_s = 0.0; ///< 0 = family default ramp.
+    double pitch_amplitude_rad = 0.08;
+    double stop_period_s = 4.0; ///< StopAndStare stop cadence.
+
+    // ---- [world] ----
+    double feature_density = 1.0;
+    double lighting = 1.0;
+    int occluders = -1; ///< -1 = family default (3 for OcclusionWalk).
+
+    // ---- [imu] ----
+    ImuGrade imu_grade = ImuGrade::Consumer;
+    double imu_rate_hz = 0.0; ///< 0 = inherit the runtime rate.
+
+    // ---- [faults] ----
+    /** Fault-plan spec (resilience/fault_plan.hpp grammar), "" = none.
+     *  Stored verbatim here; validated and applied by the session
+     *  layer (SessionConfig::applyScenario), which owns resilience. */
+    std::string fault_plan;
+
+    /** Exact analytic trajectory of this scenario. */
+    Trajectory makeTrajectory(unsigned effective_seed) const;
+
+    /** World (geometry + texture + occluders) of this scenario. */
+    SyntheticWorld makeWorld(unsigned effective_seed) const;
+
+    /** The WorldSpec makeWorld() builds from. */
+    WorldSpec worldSpec() const;
+
+    /** IMU noise model for the selected grade. */
+    ImuNoiseModel imuNoise() const;
+
+    /** Occluder count after resolving the family default. */
+    int effectiveOccluders() const;
+
+    /** A scenario pre-tuned to one family's canonical parameters. */
+    static Scenario fromFamily(PathFamily family);
+
+    /** Look up a built-in scenario by family name ("circular", ...). */
+    static bool byName(const std::string &name, Scenario &out);
+
+    /**
+     * Parse scenario text. On failure returns false and sets
+     * @p error to a diagnostic naming the offending line and key;
+     * @p out is only written on success.
+     */
+    static bool parse(const std::string &text, Scenario &out,
+                      std::string &error);
+
+    /** parse() over the contents of @p path ("cannot open" on miss). */
+    static bool loadFile(const std::string &path, Scenario &out,
+                         std::string &error);
+
+    /** Canonical text form; parse(serialize()) == *this. */
+    std::string serialize() const;
+
+    bool operator==(const Scenario &o) const;
+    bool operator!=(const Scenario &o) const { return !(*this == o); }
+};
+
+} // namespace illixr

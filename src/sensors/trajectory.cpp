@@ -1,6 +1,6 @@
 #include "sensors/trajectory.hpp"
 
-#include "foundation/rng.hpp"
+#include "sensors/scenario.hpp"
 
 #include <cmath>
 
@@ -24,6 +24,33 @@ SinusoidTerm::secondDerivative(double t) const
 {
     const double w = 2.0 * M_PI * frequency_hz;
     return -amplitude * w * w * std::sin(w * t + phase);
+}
+
+double
+TimeWarp::warped(double t) const
+{
+    if (pause_period_s <= 0.0)
+        return rate * t;
+    const double w = 2.0 * M_PI / pause_period_s;
+    return rate * t - pause_depth / w * std::sin(w * t);
+}
+
+double
+TimeWarp::speed(double t) const
+{
+    if (pause_period_s <= 0.0)
+        return rate;
+    const double w = 2.0 * M_PI / pause_period_s;
+    return rate - pause_depth * std::cos(w * t);
+}
+
+double
+TimeWarp::accel(double t) const
+{
+    if (pause_period_s <= 0.0)
+        return 0.0;
+    const double w = 2.0 * M_PI / pause_period_s;
+    return pause_depth * w * std::sin(w * t);
 }
 
 namespace {
@@ -58,76 +85,43 @@ sumSecond(const std::array<SinusoidTerm, N> &terms, double t)
     return acc;
 }
 
-/** Fill an axis with @p n random sinusoids in the given ranges. */
-template <std::size_t N>
-void
-randomize(std::array<SinusoidTerm, N> &terms, Rng &rng, double amp_lo,
-          double amp_hi, double freq_lo, double freq_hi)
-{
-    for (std::size_t i = 0; i < N; ++i) {
-        // Higher harmonics get smaller amplitudes so that the motion
-        // stays dominated by the base frequency (human-like).
-        const double scale = 1.0 / static_cast<double>(i + 1);
-        terms[i].amplitude = rng.uniform(amp_lo, amp_hi) * scale;
-        terms[i].frequency_hz =
-            rng.uniform(freq_lo, freq_hi) * static_cast<double>(i + 1);
-        terms[i].phase = rng.uniform(0.0, 2.0 * M_PI);
-    }
-}
-
 } // namespace
+
+Trajectory
+Trajectory::fromParams(const TrajectoryParams &params)
+{
+    Trajectory t;
+    t.params_ = params;
+    return t;
+}
 
 Trajectory
 Trajectory::labWalk(unsigned seed)
 {
-    Rng rng(0xAB0000 + seed);
-    Trajectory t;
-    // Gentle walking wander within a lab-sized area.
-    randomize(t.posX_, rng, 0.4, 1.2, 0.05, 0.15);
-    randomize(t.posZ_, rng, 0.4, 1.2, 0.05, 0.15);
-    randomize(t.posY_, rng, 0.02, 0.06, 0.8, 1.4); // Gait bounce.
-    randomize(t.yaw_, rng, 0.3, 0.9, 0.04, 0.12);
-    randomize(t.pitch_, rng, 0.04, 0.10, 0.2, 0.5);
-    randomize(t.roll_, rng, 0.02, 0.05, 0.3, 0.6);
-    return t;
+    return fromParams(makeRandomPath(labWalkBands(), seed));
 }
 
 Trajectory
 Trajectory::viconRoom(unsigned seed)
 {
-    Rng rng(0xCD0000 + seed);
-    Trajectory t;
-    // Faster, MAV-like excitation: better observability, more
-    // input-dependent VIO work.
-    randomize(t.posX_, rng, 0.5, 1.0, 0.15, 0.35);
-    randomize(t.posZ_, rng, 0.5, 1.0, 0.15, 0.35);
-    randomize(t.posY_, rng, 0.15, 0.4, 0.2, 0.45);
-    randomize(t.yaw_, rng, 0.4, 0.8, 0.1, 0.3);
-    randomize(t.pitch_, rng, 0.1, 0.2, 0.15, 0.4);
-    randomize(t.roll_, rng, 0.08, 0.15, 0.15, 0.4);
-    return t;
+    return fromParams(makeRandomPath(viconRoomBands(), seed));
 }
 
 Trajectory
 Trajectory::slowScan(unsigned seed)
 {
-    Rng rng(0xEF0000 + seed);
-    Trajectory t;
-    randomize(t.posX_, rng, 0.1, 0.3, 0.02, 0.08);
-    randomize(t.posZ_, rng, 0.1, 0.3, 0.02, 0.08);
-    randomize(t.posY_, rng, 0.02, 0.05, 0.1, 0.2);
-    randomize(t.yaw_, rng, 0.5, 1.0, 0.02, 0.06);
-    randomize(t.pitch_, rng, 0.1, 0.2, 0.03, 0.08);
-    randomize(t.roll_, rng, 0.01, 0.03, 0.1, 0.2);
-    return t;
+    return fromParams(makeRandomPath(slowScanBands(), seed));
 }
 
 Quat
 Trajectory::orientationAt(double t) const
 {
-    const double yaw = sumValue(yaw_, t);
-    const double pitch = sumValue(pitch_, t);
-    const double roll = sumValue(roll_, t);
+    const double u = params_.warp.identity() ? t : params_.warp.warped(t);
+    double yaw = sumValue(params_.yaw, u);
+    if (params_.yaw_rate != 0.0)
+        yaw += params_.yaw_rate * u;
+    const double pitch = sumValue(params_.pitch, u);
+    const double roll = sumValue(params_.roll, u);
     // Z-up world; yaw about +Y (up in our convention), pitch about X,
     // roll about Z, composed yaw * pitch * roll.
     const Quat qy = Quat::fromAxisAngle(Vec3(0, 1, 0), yaw);
@@ -139,22 +133,45 @@ Trajectory::orientationAt(double t) const
 Pose
 Trajectory::pose(double t) const
 {
-    const Vec3 p(center_.x + sumValue(posX_, t),
-                 center_.y + sumValue(posY_, t),
-                 center_.z + sumValue(posZ_, t));
+    const double u = params_.warp.identity() ? t : params_.warp.warped(t);
+    const Vec3 p(params_.center.x + sumValue(params_.pos_x, u),
+                 params_.center.y + sumValue(params_.pos_y, u),
+                 params_.center.z + sumValue(params_.pos_z, u));
     return Pose(orientationAt(t), p);
 }
 
 Vec3
 Trajectory::velocity(double t) const
 {
-    return {sumFirst(posX_, t), sumFirst(posY_, t), sumFirst(posZ_, t)};
+    if (params_.warp.identity()) {
+        return {sumFirst(params_.pos_x, t), sumFirst(params_.pos_y, t),
+                sumFirst(params_.pos_z, t)};
+    }
+    // Chain rule: d/dt pos(u(t)) = pos'(u) * u'(t).
+    const double u = params_.warp.warped(t);
+    const double du = params_.warp.speed(t);
+    return {sumFirst(params_.pos_x, u) * du,
+            sumFirst(params_.pos_y, u) * du,
+            sumFirst(params_.pos_z, u) * du};
 }
 
 Vec3
 Trajectory::acceleration(double t) const
 {
-    return {sumSecond(posX_, t), sumSecond(posY_, t), sumSecond(posZ_, t)};
+    if (params_.warp.identity()) {
+        return {sumSecond(params_.pos_x, t), sumSecond(params_.pos_y, t),
+                sumSecond(params_.pos_z, t)};
+    }
+    // d2/dt2 pos(u(t)) = pos''(u) u'^2 + pos'(u) u''.
+    const double u = params_.warp.warped(t);
+    const double du = params_.warp.speed(t);
+    const double ddu = params_.warp.accel(t);
+    return {sumSecond(params_.pos_x, u) * du * du +
+                sumFirst(params_.pos_x, u) * ddu,
+            sumSecond(params_.pos_y, u) * du * du +
+                sumFirst(params_.pos_y, u) * ddu,
+            sumSecond(params_.pos_z, u) * du * du +
+                sumFirst(params_.pos_z, u) * ddu};
 }
 
 Vec3

@@ -5,11 +5,17 @@
  * Room ground-truth dataset (§III-A, §III-D).
  *
  * A trajectory is a sum of sinusoids per translational axis plus
- * smooth yaw/pitch/roll motion, giving an infinitely differentiable
- * pose function with closed-form linear kinematics and numerically
- * differentiated angular velocity. Sampling it at IMU/camera rates
- * produces perfectly consistent sensor streams with exact ground
- * truth.
+ * smooth yaw/pitch/roll motion (optionally with a linear yaw ramp),
+ * all evaluated at a smoothly time-warped parameter, giving an
+ * infinitely differentiable pose function with closed-form linear
+ * kinematics and numerically differentiated angular velocity.
+ * Sampling it at IMU/camera rates produces perfectly consistent
+ * sensor streams with exact ground truth.
+ *
+ * The named presets (labWalk/viconRoom/slowScan) are thin wrappers
+ * over the scenario defaults in sensors/scenario.hpp — the scenario
+ * DSL is the one place path constants live; arbitrary paths are built
+ * through TrajectoryParams + fromParams().
  */
 
 #pragma once
@@ -34,12 +40,59 @@ struct SinusoidTerm
 };
 
 /**
+ * Smooth monotone time reparameterization: the trajectory is
+ * evaluated at u(t) = rate*t - depth*(P/2pi)*sin(2pi*t/P). With
+ * depth == rate the motion comes to a full (momentary) stop — with
+ * zero velocity AND zero acceleration — every P seconds: the
+ * "stop-and-stare" path family. depth == 0 (the default) is the
+ * identity warp. All derivatives are closed form, so the warped
+ * trajectory keeps exact analytic kinematics via the chain rule.
+ */
+struct TimeWarp
+{
+    double rate = 1.0;          ///< Time scale (1 = real time).
+    double pause_period_s = 0.0; ///< Stop cadence; <= 0 disables.
+    double pause_depth = 0.0;    ///< In [0, rate]; rate = full stops.
+
+    bool identity() const
+    {
+        return pause_period_s <= 0.0 && rate == 1.0;
+    }
+    double warped(double t) const;   ///< u(t)
+    double speed(double t) const;    ///< u'(t), >= rate - depth
+    double accel(double t) const;    ///< u''(t)
+};
+
+/**
+ * Full parameter set of one analytic trajectory. Built by the
+ * scenario layer (sensors/scenario.hpp) from a path-family config;
+ * can also be filled by hand for tests.
+ */
+struct TrajectoryParams
+{
+    Vec3 center{0.0, 1.6, 0.0}; ///< Eye height above the floor.
+    std::array<SinusoidTerm, 3> pos_x{};
+    std::array<SinusoidTerm, 3> pos_y{};
+    std::array<SinusoidTerm, 3> pos_z{};
+    std::array<SinusoidTerm, 2> yaw{};
+    std::array<SinusoidTerm, 2> pitch{};
+    std::array<SinusoidTerm, 2> roll{};
+    /** Linear yaw ramp (rad/s of warped time): lets paths spin or
+     *  face along an orbit, which pure sinusoids cannot express. */
+    double yaw_rate = 0.0;
+    TimeWarp warp;
+};
+
+/**
  * Smooth head trajectory with analytic kinematics.
  */
 class Trajectory
 {
   public:
     static constexpr int kTermsPerAxis = 3;
+
+    /** Build from an explicit parameter set. */
+    static Trajectory fromParams(const TrajectoryParams &params);
 
     /** Walking-in-the-lab preset (live end-to-end runs). */
     static Trajectory labWalk(unsigned seed = 1);
@@ -65,18 +118,15 @@ class Trajectory
     Vec3 angularVelocity(double t_seconds) const;
 
     /** Center of the motion in the world frame. */
-    Vec3 center() const { return center_; }
+    Vec3 center() const { return params_.center; }
+
+    /** The parameter set this trajectory evaluates. */
+    const TrajectoryParams &params() const { return params_; }
 
   private:
     Quat orientationAt(double t) const;
 
-    Vec3 center_{0.0, 1.6, 0.0}; ///< Eye height above the floor.
-    std::array<SinusoidTerm, kTermsPerAxis> posX_;
-    std::array<SinusoidTerm, kTermsPerAxis> posY_;
-    std::array<SinusoidTerm, kTermsPerAxis> posZ_;
-    std::array<SinusoidTerm, 2> yaw_;
-    std::array<SinusoidTerm, 2> pitch_;
-    std::array<SinusoidTerm, 2> roll_;
+    TrajectoryParams params_;
 };
 
 } // namespace illixr

@@ -60,17 +60,39 @@ valueNoise(const Vec3 &p, double cell, unsigned seed)
 } // namespace
 
 SyntheticWorld
-SyntheticWorld::labRoom(unsigned seed)
+SyntheticWorld::fromSpec(const WorldSpec &spec, unsigned seed)
 {
     SyntheticWorld w;
+    w.spec_ = spec;
     w.textureSeed_ = seed;
-    Rng rng(seed);
-    // Spheres along the walls, out of the trajectory's wander range.
-    w.spheres_.push_back({Vec3(-3.5, 1.0, -2.5), 0.8, 0.15});
-    w.spheres_.push_back({Vec3(3.2, 0.7, 2.8), 0.7, -0.1});
-    w.spheres_.push_back({Vec3(-2.8, 2.5, 3.0), 0.6, 0.2});
-    w.spheres_.push_back({Vec3(3.8, 2.2, -3.0), 0.9, -0.2});
+    if (spec.wall_spheres) {
+        // Spheres along the walls, out of the trajectory's wander range.
+        w.spheres_.push_back({Vec3(-3.5, 1.0, -2.5), 0.8, 0.15});
+        w.spheres_.push_back({Vec3(3.2, 0.7, 2.8), 0.7, -0.1});
+        w.spheres_.push_back({Vec3(-2.8, 2.5, 3.0), 0.6, 0.2});
+        w.spheres_.push_back({Vec3(3.8, 2.2, -3.0), 0.9, -0.2});
+    }
+    // Occluder pillars: a deterministic ring through the wander area
+    // at head height, so a moving camera repeatedly passes close to
+    // (and loses wall texture behind) nearby geometry.
+    const Vec3 room_center = (spec.room_min + spec.room_max) * 0.5;
+    for (int i = 0; i < spec.occluders; ++i) {
+        const double a =
+            2.0 * M_PI * static_cast<double>(i) /
+            static_cast<double>(std::max(1, spec.occluders));
+        const Vec3 c(room_center.x + spec.occluder_ring_m * std::cos(a),
+                     1.4,
+                     room_center.z + spec.occluder_ring_m * std::sin(a));
+        w.spheres_.push_back(
+            {c, spec.occluder_radius_m, (i & 1) ? -0.12 : 0.12});
+    }
     return w;
+}
+
+SyntheticWorld
+SyntheticWorld::labRoom(unsigned seed)
+{
+    return fromSpec(WorldSpec{}, seed);
 }
 
 double
@@ -78,7 +100,11 @@ SyntheticWorld::textureAt(const Vec3 &p, const Vec3 &normal) const
 {
     // Multi-octave value noise plus a checker component. The checker
     // provides strong gradient corners for FAST; the noise decorates
-    // every scale so KLT windows are never textureless.
+    // every scale so KLT windows are never textureless. Every
+    // contrast term scales with feature_density; the term order (and
+    // thus rounding) matches the pre-spec texture exactly when the
+    // spec is default.
+    const double density = spec_.feature_density;
     const double n1 = valueNoise(p, 0.40, textureSeed_);
     const double n2 = valueNoise(p, 0.13, textureSeed_ + 1);
     const double n3 = valueNoise(p, 0.045, textureSeed_ + 2);
@@ -97,12 +123,15 @@ SyntheticWorld::textureAt(const Vec3 &p, const Vec3 &normal) const
         u = p.x;
         v = p.y;
     }
-    const int cu = static_cast<int>(std::floor(u / 0.5));
-    const int cv = static_cast<int>(std::floor(v / 0.5));
-    const double checker = ((cu + cv) & 1) ? 0.22 : 0.0;
+    const int cu = static_cast<int>(std::floor(u / spec_.checker_cell_m));
+    const int cv = static_cast<int>(std::floor(v / spec_.checker_cell_m));
+    const double checker =
+        ((cu + cv) & 1) ? spec_.checker_contrast * density : 0.0;
 
-    const double value =
-        0.25 + checker + 0.30 * n1 + 0.18 * n2 + 0.10 * n3;
+    const double value = spec_.base_albedo + checker +
+                         spec_.noise_weight_coarse * density * n1 +
+                         spec_.noise_weight_mid * density * n2 +
+                         spec_.noise_weight_fine * density * n3;
     return std::clamp(value, 0.0, 1.0);
 }
 
@@ -118,8 +147,10 @@ SyntheticWorld::castRay(const Vec3 &origin, const Vec3 &direction) const
     // the direction of travel.
     const double o[3] = {origin.x, origin.y, origin.z};
     const double d[3] = {direction.x, direction.y, direction.z};
-    const double lo[3] = {roomMin_.x, roomMin_.y, roomMin_.z};
-    const double hi[3] = {roomMax_.x, roomMax_.y, roomMax_.z};
+    const double lo[3] = {spec_.room_min.x, spec_.room_min.y,
+                          spec_.room_min.z};
+    const double hi[3] = {spec_.room_max.x, spec_.room_max.y,
+                          spec_.room_max.z};
     for (int axis = 0; axis < 3; ++axis) {
         if (std::fabs(d[axis]) < 1e-12)
             continue;
@@ -210,7 +241,8 @@ SyntheticWorld::renderGray(const CameraIntrinsics &intr,
             }
             const double diffuse =
                 std::max(0.0, h->normal.dot(light));
-            const double shade = h->albedo * (0.35 + 0.65 * diffuse);
+            const double shade =
+                h->albedo * (0.35 + 0.65 * diffuse) * spec_.lighting;
             img.at(x, y) = static_cast<float>(std::clamp(shade, 0.0, 1.0));
         }
     }

@@ -8,6 +8,11 @@
  * moving camera sees are photometrically consistent over time — the
  * property FAST/KLT feature tracking (and therefore the whole VIO
  * substitute for the live ZED camera) relies on.
+ *
+ * Every constant of the room lives in WorldSpec: the scenario layer
+ * (sensors/scenario.hpp) maps feature-density / lighting / occluder
+ * profiles onto it, and the default-constructed spec IS the legacy
+ * lab room — same geometry, same texture, same pixels.
  */
 
 #pragma once
@@ -30,12 +35,61 @@ struct RayHit
 };
 
 /**
+ * Declarative description of a SyntheticWorld. The defaults below
+ * reproduce the legacy labRoom() world exactly.
+ */
+struct WorldSpec
+{
+    Vec3 room_min{-5.0, 0.0, -4.0};
+    Vec3 room_max{5.0, 4.0, 4.0};
+
+    // ---- procedural texture ----
+    double base_albedo = 0.25;
+    double checker_contrast = 0.22;
+    double checker_cell_m = 0.5;
+    double noise_weight_coarse = 0.30; ///< cell 0.40 m
+    double noise_weight_mid = 0.18;    ///< cell 0.13 m
+    double noise_weight_fine = 0.10;   ///< cell 0.045 m
+
+    /**
+     * Scales every texture contrast term (checker + noise octaves).
+     * 1 = legacy texture; < 1 starves FAST/KLT of corners, > 1
+     * enriches them. The base albedo is untouched.
+     */
+    double feature_density = 1.0;
+
+    /**
+     * Scene illumination scale applied to rendered shading. 1 =
+     * legacy lighting; < 1 darkens and compresses image contrast.
+     */
+    double lighting = 1.0;
+
+    /** Include the four legacy wall spheres. */
+    bool wall_spheres = true;
+
+    /**
+     * Number of large occluder pillars (spheres) placed on a ring
+     * through the trajectory's wander area, so a walking camera
+     * repeatedly loses wall texture behind nearby geometry — the
+     * "walk-through-occlusion" stressor.
+     */
+    int occluders = 0;
+    double occluder_radius_m = 0.9;
+    double occluder_ring_m = 1.8; ///< Ring radius around room center.
+};
+
+/**
  * Textured room with interior spheres.
  */
 class SyntheticWorld
 {
   public:
-    /** Standard lab-sized room (10 x 4 x 8 m) with four spheres. */
+    /** Build a world from an explicit spec. */
+    static SyntheticWorld fromSpec(const WorldSpec &spec,
+                                   unsigned seed = 5);
+
+    /** Standard lab-sized room (10 x 4 x 8 m) with four spheres:
+     *  fromSpec(WorldSpec{}, seed). */
     static SyntheticWorld labRoom(unsigned seed = 5);
 
     /**
@@ -64,8 +118,11 @@ class SyntheticWorld
                            unsigned seed = 9) const;
 
     /** Room bounds (min corner / max corner). */
-    Vec3 roomMin() const { return roomMin_; }
-    Vec3 roomMax() const { return roomMax_; }
+    Vec3 roomMin() const { return spec_.room_min; }
+    Vec3 roomMax() const { return spec_.room_max; }
+
+    /** The spec this world was built from. */
+    const WorldSpec &spec() const { return spec_; }
 
     /** Procedural albedo at a world point on a surface with normal n. */
     double textureAt(const Vec3 &point, const Vec3 &normal) const;
@@ -78,8 +135,7 @@ class SyntheticWorld
         double albedo_offset = 0.0;
     };
 
-    Vec3 roomMin_{-5.0, 0.0, -4.0};
-    Vec3 roomMax_{5.0, 4.0, 4.0};
+    WorldSpec spec_;
     std::vector<Sphere> spheres_;
     unsigned textureSeed_ = 5;
 };

@@ -71,6 +71,14 @@ struct IntegratedConfig
     std::size_t sb_pool_chunk = 0;
     /** Fault injection / supervision / degradation (off by default). */
     ResilienceConfig resilience;
+    /**
+     * Workload scenario (sensors/scenario.hpp). When set, the dataset
+     * synthesizes the scenario's trajectory / world / IMU grade
+     * instead of the lab-walk preset; SessionConfig::applyScenario()
+     * additionally folds the scenario's duration, seed and fault plan
+     * into the run config.
+     */
+    std::optional<Scenario> scenario;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include "xr/plugins.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -67,6 +68,13 @@ SessionConfig::applyEnv()
         resilience.supervise = on;
         resilience.degrade = on;
     }
+    if (const char *v = std::getenv("ILLIXR_SCENARIO")) {
+        std::string error;
+        if (!applyScenarioSpec(v, error)) {
+            std::fprintf(stderr, "ILLIXR_SCENARIO: %s\n", error.c_str());
+            return false;
+        }
+    }
     if (const char *v = std::getenv("ILLIXR_SB_RING_CAP")) {
         unsigned long n = 0;
         if (!parseUnsigned(v, n) || n == 0)
@@ -122,6 +130,14 @@ SessionConfig::parseFlag(const std::string &arg)
     }
     if (value("--fault-plan=", v))
         return parseFaultPlan(v, resilience.fault_plan);
+    if (value("--scenario=", v)) {
+        std::string error;
+        if (!applyScenarioSpec(v, error)) {
+            std::fprintf(stderr, "--scenario: %s\n", error.c_str());
+            return false;
+        }
+        return true;
+    }
     if (arg == "--resilience") {
         resilience.supervise = true;
         resilience.degrade = true;
@@ -144,6 +160,40 @@ SessionConfig::parseFlag(const std::string &arg)
     return false;
 }
 
+bool
+SessionConfig::applyScenario(const Scenario &s)
+{
+    scenario = s;
+    if (s.duration_s > 0.0)
+        duration = fromSeconds(s.duration_s);
+    if (s.seed != 0)
+        seed = s.seed;
+    if (!s.fault_plan.empty()) {
+        if (!parseFaultPlan(s.fault_plan, resilience.fault_plan))
+            return false;
+        resilience.supervise = true;
+        resilience.degrade = true;
+    }
+    return true;
+}
+
+bool
+SessionConfig::applyScenarioSpec(const std::string &spec,
+                                 std::string &error)
+{
+    Scenario s;
+    if (!Scenario::byName(spec, s)) {
+        if (!Scenario::loadFile(spec, s, error))
+            return false;
+    }
+    if (!applyScenario(s)) {
+        error = "scenario '" + s.name + "': malformed fault plan '" +
+                s.fault_plan + "'";
+        return false;
+    }
+    return true;
+}
+
 SessionConfig::Parse
 SessionConfig::fromEnvAndArgs(int argc, const char *const *argv)
 {
@@ -162,8 +212,8 @@ SessionConfig::fromEnvAndArgs(int argc, const char *const *argv)
         // the tool's own flag handling looking legitimate.
         static const char *const kOwned[] = {
             "--executor=",    "--workers=",     "--kernel-threads=",
-            "--seed=",        "--fault-plan=",  "--sb-ring-cap=",
-            "--sb-pool-chunk="};
+            "--seed=",        "--fault-plan=",  "--scenario=",
+            "--sb-ring-cap=", "--sb-pool-chunk="};
         bool owned = false;
         for (const char *prefix : kOwned)
             owned = owned || arg.rfind(prefix, 0) == 0;
@@ -343,6 +393,7 @@ Session::runBody()
         ds_cfg.imu_rate_hz = tuning.imu_hz;
         ds_cfg.preset = DatasetConfig::Preset::LabWalk;
         ds_cfg.seed = config.seed;
+        ds_cfg.scenario = config.scenario;
         auto data =
             std::make_shared<PreloadedDataset>(ds_cfg, config.duration);
         phonebook.registerService(data);

@@ -65,6 +65,7 @@ struct SessionConfig : IntegratedConfig
      * `ILLIXR_EXECUTOR` (sim|pool), `ILLIXR_POOL_WORKERS`,
      * `ILLIXR_KERNEL_THREADS`, `ILLIXR_DETERMINISTIC` (0|1),
      * `ILLIXR_SEED`, `ILLIXR_FAULT_PLAN`, `ILLIXR_RESILIENCE` (0|1),
+     * `ILLIXR_SCENARIO` (family name or scenario file),
      * `ILLIXR_SB_RING_CAP`, `ILLIXR_SB_POOL_CHUNK`. Unset variables
      * leave the field untouched. @return false on a malformed value
      * (the config is left partially updated).
@@ -75,11 +76,30 @@ struct SessionConfig : IntegratedConfig
      * Parse one config CLI flag into *this: `--executor=sim|pool`,
      * `--workers=N`, `--kernel-threads=N`, `--deterministic`,
      * `--seed=N`, `--fault-plan=SPEC`, `--resilience`,
-     * `--sb-ring-cap=N`, `--sb-pool-chunk=N`. @return true when
+     * `--scenario=NAME_OR_FILE`, `--sb-ring-cap=N`,
+     * `--sb-pool-chunk=N`. @return true when
      * @p arg was one of these flags and parsed cleanly; false
      * otherwise (unrecognised flags are the caller's business).
      */
     bool parseFlag(const std::string &arg);
+
+    /**
+     * Install @p s as the run scenario: sets `scenario` and folds the
+     * scenario-level run knobs into *this — duration when
+     * s.duration_s > 0, seed when s.seed != 0, and a non-empty fault
+     * plan (parsed, with supervision + degradation switched on, as
+     * `--fault-plan= --resilience` would). @return false when the
+     * fault-plan spec is malformed (the scenario is still installed).
+     */
+    bool applyScenario(const Scenario &s);
+
+    /**
+     * Resolve @p spec — a built-in family name ("circular",
+     * "figure-eight", ...) or a scenario file path — and
+     * applyScenario() it. On failure @p error carries the scenario
+     * parser's diagnostic (offending line and key).
+     */
+    bool applyScenarioSpec(const std::string &spec, std::string &error);
 
     /** What fromEnvAndArgs() produced (defined below). */
     struct Parse;

@@ -167,6 +167,59 @@ TEST(DeterminismTest, FaultedKernelWidthsAreByteIdentical)
     EXPECT_EQ(w1.lineage, w4.lineage);
 }
 
+TEST(DeterminismTest, ScenarioRunsAreByteIdentical)
+{
+    // The scenario determinism contract (ISSUE: same seed + same
+    // scenario file => byte-identical runs across kernel widths).
+    // Every non-legacy path family, under a faulted plan, run at
+    // kernel widths 1 (twice), 2 and 4.
+    const std::string spec =
+        "seed=7,crash=0.02,stall=0.03,spike=0.03,drop=0.05,corrupt=0.02";
+    const PathFamily families[] = {
+        PathFamily::Circular, PathFamily::FigureEight,
+        PathFamily::RapidRotation, PathFamily::StopAndStare,
+        PathFamily::OcclusionWalk};
+    for (PathFamily family : families) {
+        auto scenarioConfig = [&](std::size_t kernel_threads) {
+            IntegratedConfig cfg = detConfig(11, spec, kernel_threads);
+            cfg.duration = 600 * kMillisecond;
+            // Through the parse path, as a file-driven run would go.
+            Scenario s;
+            std::string error;
+            EXPECT_TRUE(Scenario::parse(
+                Scenario::fromFamily(family).serialize(), s, error))
+                << error;
+            cfg.scenario = s;
+            return cfg;
+        };
+        const std::string tag = pathFamilyName(family);
+        const RunFiles w1a =
+            filesFor(runIntegrated(scenarioConfig(1)), tag + "_w1a");
+        const RunFiles w1b =
+            filesFor(runIntegrated(scenarioConfig(1)), tag + "_w1b");
+        const RunFiles w2 =
+            filesFor(runIntegrated(scenarioConfig(2)), tag + "_w2");
+        const RunFiles w4 =
+            filesFor(runIntegrated(scenarioConfig(4)), tag + "_w4");
+        EXPECT_EQ(w1a.pose, w1b.pose) << tag;
+        EXPECT_EQ(w1a.lineage, w1b.lineage) << tag;
+        EXPECT_EQ(w1a.pose, w2.pose) << tag;
+        EXPECT_EQ(w1a.pose, w4.pose) << tag;
+        EXPECT_EQ(w1a.lineage, w2.lineage) << tag;
+        EXPECT_EQ(w1a.lineage, w4.lineage) << tag;
+    }
+    // Different scenarios under the same seed must diverge: the
+    // scenario really reaches the dataset.
+    IntegratedConfig circ = detConfig(11, "", 1);
+    circ.duration = 600 * kMillisecond;
+    circ.scenario = Scenario::fromFamily(PathFamily::Circular);
+    IntegratedConfig spin = circ;
+    spin.scenario = Scenario::fromFamily(PathFamily::RapidRotation);
+    const RunFiles a = filesFor(runIntegrated(circ), "scn_circ");
+    const RunFiles b = filesFor(runIntegrated(spin), "scn_spin");
+    EXPECT_NE(a.pose, b.pose);
+}
+
 TEST(DeterminismTest, ConcurrentSessionsMatchSolo)
 {
     // The multi-tenant contract (DESIGN.md §8): a session's results

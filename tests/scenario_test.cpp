@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Scenario DSL tests: parser round-trip and diagnostics, bitwise
+ * legacy equivalence of the lifted lab-walk constants, and the
+ * ground-truth property that RK4-reintegrating the ideal IMU stream
+ * of every path family reproduces the analytic pose.
+ */
+
+#include "foundation/trajectory_error.hpp"
+#include "sensors/dataset.hpp"
+#include "sensors/scenario.hpp"
+#include "slam/imu_integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace illixr {
+namespace {
+
+/** A scenario with every field set away from its default. */
+Scenario
+fullyCustomScenario(PathFamily family)
+{
+    Scenario s = Scenario::fromFamily(family);
+    s.name = "custom-" + std::string(pathFamilyName(family));
+    s.seed = 42;
+    s.duration_s = 3.25;
+    s.radius_m = 2.125;
+    s.period_s = 6.5;
+    s.height_m = 1.75;
+    s.bob_m = 0.03125;
+    s.yaw_amplitude_rad = 0.75;
+    s.yaw_rate_rad_s = 0.5;
+    s.pitch_amplitude_rad = 0.125;
+    s.stop_period_s = 2.5;
+    s.feature_density = 0.625;
+    s.lighting = 0.8125;
+    s.occluders = 5;
+    s.imu_grade = ImuGrade::Degraded;
+    s.imu_rate_hz = 250.0;
+    s.fault_plan = "seed=7,drop=0.05,brownout=1000:500:1.0:80";
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Parser: round-trip
+// ---------------------------------------------------------------------
+
+TEST(ScenarioParse, RoundTripEveryFieldEveryFamily)
+{
+    for (PathFamily family : allPathFamilies()) {
+        const Scenario original = fullyCustomScenario(family);
+        const std::string text = original.serialize();
+        Scenario parsed;
+        std::string error;
+        ASSERT_TRUE(Scenario::parse(text, parsed, error))
+            << pathFamilyName(family) << ": " << error;
+        EXPECT_TRUE(parsed == original)
+            << pathFamilyName(family) << " round-trip mismatch:\n"
+            << text;
+    }
+}
+
+TEST(ScenarioParse, FamilyDefaultsRoundTrip)
+{
+    for (PathFamily family : allPathFamilies()) {
+        const Scenario original = Scenario::fromFamily(family);
+        Scenario parsed;
+        std::string error;
+        ASSERT_TRUE(Scenario::parse(original.serialize(), parsed, error))
+            << error;
+        EXPECT_TRUE(parsed == original) << pathFamilyName(family);
+    }
+}
+
+TEST(ScenarioParse, ByNameResolvesEveryFamily)
+{
+    for (PathFamily family : allPathFamilies()) {
+        Scenario s;
+        ASSERT_TRUE(Scenario::byName(pathFamilyName(family), s));
+        EXPECT_EQ(s.family, family);
+        EXPECT_TRUE(s == Scenario::fromFamily(family));
+    }
+    Scenario s;
+    EXPECT_FALSE(Scenario::byName("no-such-family", s));
+    // Underscores and case are folded.
+    ASSERT_TRUE(Scenario::byName("Figure_Eight", s));
+    EXPECT_EQ(s.family, PathFamily::FigureEight);
+}
+
+TEST(ScenarioParse, KeyOrderDoesNotMatter)
+{
+    // `family` applied first regardless of position, so a knob before
+    // it still overrides the family defaults.
+    const std::string late_family = "[path]\n"
+                                    "radius_m = 9\n"
+                                    "family = circular\n";
+    const std::string early_family = "[path]\n"
+                                     "family = circular\n"
+                                     "radius_m = 9\n";
+    Scenario a, b;
+    std::string error;
+    ASSERT_TRUE(Scenario::parse(late_family, a, error)) << error;
+    ASSERT_TRUE(Scenario::parse(early_family, b, error)) << error;
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.family, PathFamily::Circular);
+    EXPECT_EQ(a.radius_m, 9.0);
+}
+
+TEST(ScenarioParse, CommentsAndBlanksIgnored)
+{
+    const std::string text = "# a comment\n"
+                             "\n"
+                             "name = commented   \n"
+                             "; another comment style\n"
+                             "  [path]  \n"
+                             "  family = slow-scan  \n";
+    Scenario s;
+    std::string error;
+    ASSERT_TRUE(Scenario::parse(text, s, error)) << error;
+    EXPECT_EQ(s.name, "commented");
+    EXPECT_EQ(s.family, PathFamily::SlowScan);
+}
+
+// ---------------------------------------------------------------------
+// Parser: diagnostics (no crash, names line and key)
+// ---------------------------------------------------------------------
+
+TEST(ScenarioParse, MissingEqualsNamesLine)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(Scenario::parse("name = ok\nthis is not a pair\n", s,
+                                 error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(ScenarioParse, UnknownTopLevelKeyRejected)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(Scenario::parse("bogus = 1\n", s, error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+}
+
+TEST(ScenarioParse, UnknownSectionKeyRejected)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(
+        Scenario::parse("[path]\nwobble_m = 0.2\n", s, error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("wobble-m"), std::string::npos) << error;
+}
+
+TEST(ScenarioParse, UnknownSectionRejected)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(Scenario::parse("[weather]\nrain = 1\n", s, error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("weather"), std::string::npos) << error;
+}
+
+TEST(ScenarioParse, MalformedNumberNamesKey)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(Scenario::parse("[path]\nradius_m = fast\n", s, error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("radius-m"), std::string::npos) << error;
+}
+
+TEST(ScenarioParse, OutOfRangeValueRejected)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(
+        Scenario::parse("[world]\nfeature_density = -1\n", s, error));
+    EXPECT_NE(error.find("feature-density"), std::string::npos) << error;
+    EXPECT_FALSE(Scenario::parse("[path]\nperiod_s = 0\n", s, error));
+    EXPECT_NE(error.find("period-s"), std::string::npos) << error;
+}
+
+TEST(ScenarioParse, UnknownFamilyAndGradeRejected)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(
+        Scenario::parse("[path]\nfamily = zigzag\n", s, error));
+    EXPECT_NE(error.find("zigzag"), std::string::npos) << error;
+    EXPECT_FALSE(
+        Scenario::parse("[imu]\ngrade = quantum\n", s, error));
+    EXPECT_NE(error.find("quantum"), std::string::npos) << error;
+}
+
+TEST(ScenarioParse, FailedParseLeavesOutputUntouched)
+{
+    Scenario s = Scenario::fromFamily(PathFamily::Circular);
+    const Scenario before = s;
+    std::string error;
+    EXPECT_FALSE(Scenario::parse("garbage line\n", s, error));
+    EXPECT_TRUE(s == before);
+}
+
+TEST(ScenarioParse, LoadFileMissingPathFails)
+{
+    Scenario s;
+    std::string error;
+    EXPECT_FALSE(
+        Scenario::loadFile("/nonexistent/path.scn", s, error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------
+// Legacy equivalence: the lifted constants change nothing
+// ---------------------------------------------------------------------
+
+TEST(ScenarioLegacy, LabWalkTrajectoryBitIdentical)
+{
+    const unsigned seed = 11;
+    const Trajectory legacy = Trajectory::labWalk(seed);
+    const Trajectory lifted =
+        Scenario{}.makeTrajectory(seed); // Default scenario = lab walk.
+    for (double t = 0.0; t < 8.0; t += 0.37) {
+        const Pose a = legacy.pose(t);
+        const Pose b = lifted.pose(t);
+        EXPECT_EQ(a.position.x, b.position.x);
+        EXPECT_EQ(a.position.y, b.position.y);
+        EXPECT_EQ(a.position.z, b.position.z);
+        EXPECT_EQ(a.orientation.w, b.orientation.w);
+        EXPECT_EQ(a.orientation.x, b.orientation.x);
+        const Vec3 va = legacy.velocity(t), vb = lifted.velocity(t);
+        EXPECT_EQ(va.x, vb.x);
+        EXPECT_EQ(va.y, vb.y);
+        EXPECT_EQ(va.z, vb.z);
+        const Vec3 aa = legacy.acceleration(t), ab = lifted.acceleration(t);
+        EXPECT_EQ(aa.x, ab.x);
+        EXPECT_EQ(aa.y, ab.y);
+        EXPECT_EQ(aa.z, ab.z);
+    }
+}
+
+TEST(ScenarioLegacy, AllPresetsBitIdentical)
+{
+    const struct
+    {
+        PathFamily family;
+        Trajectory legacy;
+    } cases[] = {
+        {PathFamily::LabWalk, Trajectory::labWalk(3)},
+        {PathFamily::ViconRoom, Trajectory::viconRoom(3)},
+        {PathFamily::SlowScan, Trajectory::slowScan(3)},
+    };
+    for (const auto &c : cases) {
+        const Trajectory lifted =
+            Scenario::fromFamily(c.family).makeTrajectory(3);
+        for (double t = 0.0; t < 5.0; t += 0.73) {
+            const Pose a = c.legacy.pose(t);
+            const Pose b = lifted.pose(t);
+            EXPECT_EQ(a.position.x, b.position.x);
+            EXPECT_EQ(a.position.z, b.position.z);
+            EXPECT_EQ(a.orientation.w, b.orientation.w);
+        }
+    }
+}
+
+TEST(ScenarioLegacy, DefaultWorldMatchesLabRoom)
+{
+    const SyntheticWorld legacy = SyntheticWorld::labRoom(105);
+    const SyntheticWorld lifted = Scenario{}.makeWorld(105);
+    // Same texture field...
+    for (double x = -4.9; x < 4.9; x += 0.61) {
+        for (double y = 0.1; y < 3.9; y += 0.77) {
+            const Vec3 p(x, y, -4.0);
+            const Vec3 n(0, 0, 1);
+            EXPECT_EQ(legacy.textureAt(p, n), lifted.textureAt(p, n));
+        }
+    }
+    // ...and identical rendered pixels.
+    const CameraIntrinsics intr =
+        CameraIntrinsics::fromFov(64, 48, 1.5);
+    const Pose view(Quat::identity(), Vec3(0.3, 1.6, 0.2));
+    const ImageF a = legacy.renderGray(intr, view.inverse());
+    const ImageF b = lifted.renderGray(intr, view.inverse());
+    for (int y = 0; y < 48; ++y)
+        for (int x = 0; x < 64; ++x)
+            EXPECT_EQ(a.at(x, y), b.at(x, y));
+}
+
+// ---------------------------------------------------------------------
+// World knobs
+// ---------------------------------------------------------------------
+
+TEST(ScenarioWorld, OcclusionWalkDefaultsToPillars)
+{
+    EXPECT_EQ(
+        Scenario::fromFamily(PathFamily::OcclusionWalk).effectiveOccluders(),
+        3);
+    EXPECT_EQ(
+        Scenario::fromFamily(PathFamily::Circular).effectiveOccluders(),
+        0);
+    Scenario s = Scenario::fromFamily(PathFamily::Circular);
+    s.occluders = 2;
+    EXPECT_EQ(s.effectiveOccluders(), 2);
+}
+
+TEST(ScenarioWorld, FeatureDensityZeroFlattensTexture)
+{
+    Scenario s;
+    s.feature_density = 0.0;
+    const SyntheticWorld w = s.makeWorld(105);
+    const Vec3 n(0, 0, 1);
+    const double v0 = w.textureAt(Vec3(0.1, 1.0, -4.0), n);
+    for (double x = -4.0; x < 4.0; x += 0.93)
+        EXPECT_EQ(w.textureAt(Vec3(x, 1.7, -4.0), n), v0);
+}
+
+TEST(ScenarioWorld, LightingDarkensRenderedFrames)
+{
+    const CameraIntrinsics intr = CameraIntrinsics::fromFov(48, 36, 1.5);
+    const Pose view(Quat::identity(), Vec3(0.0, 1.6, 0.0));
+    Scenario bright;
+    Scenario dim;
+    dim.lighting = 0.3;
+    const ImageF a = bright.makeWorld(105).renderGray(intr, view.inverse());
+    const ImageF b = dim.makeWorld(105).renderGray(intr, view.inverse());
+    double sum_a = 0.0, sum_b = 0.0;
+    for (int y = 0; y < 36; ++y)
+        for (int x = 0; x < 48; ++x) {
+            sum_a += a.at(x, y);
+            sum_b += b.at(x, y);
+        }
+    EXPECT_GT(sum_a, 0.0);
+    EXPECT_NEAR(sum_b / sum_a, 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------------
+// Path-family kinematics
+// ---------------------------------------------------------------------
+
+TEST(ScenarioPath, StopAndStareComesToFullStops)
+{
+    const Scenario s = Scenario::fromFamily(PathFamily::StopAndStare);
+    const Trajectory traj = s.makeTrajectory(1);
+    // u'(t) = 1 - cos(2 pi t / P) vanishes (with u'' = 0 too) at
+    // t = k P: full analytic stops.
+    for (int k = 1; k <= 3; ++k) {
+        const double t = k * s.stop_period_s;
+        EXPECT_LT(traj.velocity(t).norm(), 1e-9) << "k=" << k;
+        EXPECT_LT(traj.acceleration(t).norm(), 1e-8) << "k=" << k;
+    }
+    // Between stops the head actually moves.
+    EXPECT_GT(traj.velocity(0.5 * s.stop_period_s).norm(), 0.1);
+}
+
+TEST(ScenarioPath, CircularOrbitHasConstantRadiusAndSpeed)
+{
+    const Scenario s = Scenario::fromFamily(PathFamily::Circular);
+    const Trajectory traj = s.makeTrajectory(1);
+    const Vec3 c = traj.center();
+    const double w = 2.0 * M_PI / s.period_s;
+    for (double t = 0.0; t < s.period_s; t += 0.31) {
+        const Vec3 p = traj.pose(t).position;
+        const double r = std::hypot(p.x - c.x, p.z - c.z);
+        EXPECT_NEAR(r, s.radius_m, 1e-9);
+        const Vec3 v = traj.velocity(t);
+        EXPECT_NEAR(std::hypot(v.x, v.z), s.radius_m * w, 1e-9);
+    }
+}
+
+TEST(ScenarioPath, RapidRotationSpinsFastWhileNearlyStationary)
+{
+    const Scenario s = Scenario::fromFamily(PathFamily::RapidRotation);
+    const Trajectory traj = s.makeTrajectory(1);
+    double peak_w = 0.0, peak_v = 0.0;
+    for (double t = 0.0; t < 4.0; t += 0.01) {
+        peak_w = std::max(peak_w, traj.angularVelocity(t).norm());
+        peak_v = std::max(peak_v, traj.velocity(t).norm());
+    }
+    EXPECT_GT(peak_w, 3.0); // rad/s: violent head shake.
+    EXPECT_LT(peak_v, 0.6); // m/s: feet planted.
+}
+
+// ---------------------------------------------------------------------
+// Ground-truth properties
+// ---------------------------------------------------------------------
+
+/** RK4-integrate the ideal IMU stream and return the final state. */
+ImuState
+reintegrate(const Trajectory &traj, const ImuSensor &imu, double T,
+            double dt)
+{
+    ImuState state;
+    state.time = 0;
+    state.orientation = traj.pose(0.0).orientation;
+    state.position = traj.pose(0.0).position;
+    state.velocity = traj.velocity(0.0);
+    ImuSample prev = imu.idealSampleAt(0.0);
+    for (double t = dt; t <= T + 0.5 * dt; t += dt) {
+        const ImuSample cur = imu.idealSampleAt(t);
+        state = integrateRk4(state, prev.angular_velocity,
+                             prev.linear_acceleration,
+                             cur.angular_velocity,
+                             cur.linear_acceleration, dt);
+        prev = cur;
+    }
+    return state;
+}
+
+TEST(ScenarioProperty, IdealImuReintegratesToAnalyticPose)
+{
+    // The defining property of "exact analytic ground truth": the
+    // noise-free IMU stream of every path family, integrated forward
+    // with the pipeline's own RK4, lands back on the analytic pose.
+    const double T = 4.0;
+    const double dt = 1.0 / 1000.0;
+    for (PathFamily family : allPathFamilies()) {
+        const Scenario s = Scenario::fromFamily(family);
+        const Trajectory traj = s.makeTrajectory(1);
+        const ImuSensor imu(traj, imuNoiseForGrade(ImuGrade::Ideal),
+                            1000.0, 1);
+        const ImuState end = reintegrate(traj, imu, T, dt);
+        const Pose expected = traj.pose(T);
+        EXPECT_LT((end.position - expected.position).norm(), 5e-3)
+            << pathFamilyName(family);
+        EXPECT_LT((end.velocity - traj.velocity(T)).norm(), 5e-3)
+            << pathFamilyName(family);
+        EXPECT_LT(end.orientation.angleTo(expected.orientation), 5e-3)
+            << pathFamilyName(family);
+    }
+}
+
+TEST(ScenarioProperty, PerfectEstimatorScoresExactlyZeroAte)
+{
+    for (PathFamily family : allPathFamilies()) {
+        const Trajectory traj =
+            Scenario::fromFamily(family).makeTrajectory(1);
+        std::vector<StampedPose> gt;
+        for (double t = 0.0; t < 5.0; t += 0.1) {
+            StampedPose sp;
+            sp.time = fromSeconds(t);
+            sp.pose = traj.pose(t);
+            gt.push_back(sp);
+        }
+        const TrajectoryError err = computeTrajectoryError(gt, gt);
+        EXPECT_EQ(err.matched, gt.size());
+        EXPECT_EQ(err.ate_rmse_m, 0.0) << pathFamilyName(family);
+        EXPECT_EQ(err.ate_mean_m, 0.0) << pathFamilyName(family);
+        EXPECT_EQ(err.ate_max_m, 0.0) << pathFamilyName(family);
+        EXPECT_EQ(err.rot_mean_rad, 0.0) << pathFamilyName(family);
+        EXPECT_GT(err.rte_pairs, 0u);
+        EXPECT_EQ(err.rte_rmse_m, 0.0) << pathFamilyName(family);
+    }
+}
+
+TEST(ScenarioProperty, RteSeparatesDriftFromOffset)
+{
+    const Trajectory traj =
+        Scenario::fromFamily(PathFamily::Circular).makeTrajectory(1);
+    std::vector<StampedPose> gt, offset, drift;
+    for (double t = 0.0; t < 6.0; t += 0.1) {
+        StampedPose sp;
+        sp.time = fromSeconds(t);
+        sp.pose = traj.pose(t);
+        gt.push_back(sp);
+        StampedPose off = sp;
+        off.pose.position += Vec3(0.5, 0.0, 0.0); // Constant offset.
+        offset.push_back(off);
+        StampedPose dr = sp;
+        dr.pose.position += Vec3(0.02 * t, 0.0, 0.0); // 2 cm/s drift.
+        drift.push_back(dr);
+    }
+    // Constant offset: drift-free, so RTE ~ 0 (alignment cancels).
+    const TrajectoryError off_err = computeTrajectoryError(offset, gt);
+    EXPECT_LT(off_err.rte_rmse_m, 1e-12);
+    // Linear drift: ~2 cm of relative error per 1 s RTE window.
+    const TrajectoryError dr_err = computeTrajectoryError(drift, gt);
+    EXPECT_NEAR(dr_err.rte_mean_m, 0.02, 2e-3);
+    EXPECT_GT(dr_err.rte_pairs, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Dataset integration
+// ---------------------------------------------------------------------
+
+TEST(ScenarioDataset, ScenarioOverridesPresetSeedAndRate)
+{
+    DatasetConfig cfg;
+    cfg.duration_s = 1.0;
+    cfg.seed = 1;
+    Scenario s = Scenario::fromFamily(PathFamily::Circular);
+    s.seed = 9;
+    s.imu_rate_hz = 250.0;
+    cfg.scenario = s;
+    const SyntheticDataset ds(cfg);
+    // 250 Hz for 1 s inclusive.
+    EXPECT_EQ(ds.imuSamples().size(), 251u);
+    // Circular geometry, not the lab walk.
+    const Vec3 p0 = ds.trajectory().pose(0.0).position;
+    EXPECT_NEAR(p0.x, s.radius_m, 1e-12);
+    // Degraded/ideal grades flow through; default grade matches the
+    // plain config's noise model.
+    EXPECT_EQ(ds.trajectory().params().yaw_rate,
+              2.0 * M_PI / s.period_s);
+}
+
+TEST(ScenarioDataset, DefaultScenarioMatchesLegacyDataset)
+{
+    DatasetConfig legacy_cfg;
+    legacy_cfg.duration_s = 1.0;
+    legacy_cfg.seed = 4;
+    DatasetConfig scn_cfg = legacy_cfg;
+    scn_cfg.scenario = Scenario{}; // Default scenario = lab walk.
+    const SyntheticDataset legacy(legacy_cfg);
+    const SyntheticDataset scn(scn_cfg);
+    ASSERT_EQ(legacy.imuSamples().size(), scn.imuSamples().size());
+    for (std::size_t i = 0; i < legacy.imuSamples().size(); i += 37) {
+        const ImuSample &a = legacy.imuSamples()[i];
+        const ImuSample &b = scn.imuSamples()[i];
+        EXPECT_EQ(a.time, b.time);
+        EXPECT_EQ(a.angular_velocity.x, b.angular_velocity.x);
+        EXPECT_EQ(a.linear_acceleration.y, b.linear_acceleration.y);
+    }
+    const CameraFrame fa = legacy.cameraFrame(3);
+    const CameraFrame fb = scn.cameraFrame(3);
+    for (int y = 0; y < fa.image.height(); y += 7)
+        for (int x = 0; x < fa.image.width(); x += 7)
+            EXPECT_EQ(fa.image.at(x, y), fb.image.at(x, y));
+}
+
+} // namespace
+} // namespace illixr
