@@ -25,6 +25,7 @@
  */
 
 #include "bench_common.hpp"
+#include "edge/edge_session.hpp"
 #include "xr/session.hpp"
 
 #include <algorithm>
@@ -50,6 +51,14 @@ struct FleetRow
 FleetRow
 runRound(const SessionConfig &base, std::size_t count)
 {
+    // With --edge the whole rung shares one in-process edge server —
+    // the fleet IS the client swarm (DESIGN.md §9b). Client ids are
+    // the 1-based session indices, so per-client link RNG streams
+    // stay pure functions of (seed, id).
+    std::shared_ptr<EdgeServer> edge_server;
+    if (base.edge.enabled)
+        edge_server = makeEdgeServer(base.edge);
+
     SessionManager manager(count);
     std::vector<std::shared_ptr<Session>> fleet;
     const auto t0 = std::chrono::steady_clock::now();
@@ -57,6 +66,13 @@ runRound(const SessionConfig &base, std::size_t count)
         SessionConfig cfg = base;
         cfg.name = "s" + std::to_string(i);
         cfg.seed = base.seed + static_cast<unsigned>(i);
+        if (edge_server) {
+            std::string error;
+            if (!attachEdgeClient(cfg, i + 1, edge_server, &error)) {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                std::exit(2);
+            }
+        }
         fleet.push_back(manager.submit(std::move(cfg)));
     }
     manager.drain();
@@ -95,6 +111,23 @@ runRound(const SessionConfig &base, std::size_t count)
                     r.mtp.latency_ms.percentile(50),
                     r.mtp.latency_ms.percentile(90),
                     r.mtp.latency_ms.percentile(99), session_frames);
+    }
+    if (edge_server) {
+        double served = 0.0, shed = 0.0, rejected = 0.0, failover = 0.0;
+        for (const auto &session : fleet) {
+            const auto &extra = session->result().extra;
+            const auto get = [&](const char *k) {
+                const auto it = extra.find(k);
+                return it == extra.end() ? 0.0 : it->second;
+            };
+            served += get("edge_served");
+            shed += get("edge_shed");
+            rejected += get("edge_rejected");
+            failover += get("failover_poses");
+        }
+        std::printf("  edge: %.0f served, %.0f shed, %.0f rejected, "
+                    "%.0f local-fallback poses\n",
+                    served, shed, rejected, failover);
     }
     row.aggregate_fps = wall_s > 0.0 ? frames / wall_s : 0.0;
     const double cores_used =
@@ -168,7 +201,8 @@ main(int argc, char **argv)
                 stderr,
                 "unknown flag: %s\nusage: fleet_bench [--sessions=N] "
                 "[--duration-ms=M] [--json PATH] [--executor=sim|pool] "
-                "[--workers=N] [--deterministic] [--seed=N]\n",
+                "[--workers=N] [--deterministic] [--seed=N] [--edge] "
+                "[--edge-link=NAME] [--edge-slo-ms=MS] [--edge-batch=N]\n",
                 arg.c_str());
             return 2;
         }

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Session glue for edge-served VIO: turns a SessionConfig's
+ * EdgeOptions (`--edge`, `ILLIXR_EDGE_*`) into an OffloadedVioPlugin
+ * factory speaking to a shared EdgeServer.
+ *
+ * This is the layering keystone: xr parses EdgeOptions but never
+ * links the server; src/edge (this layer) depends on offload + xr and
+ * plugs the factory in from above. A SessionManager fleet becomes a
+ * client swarm by attachEdgeClient()-ing every session onto ONE
+ * server with distinct client ids.
+ */
+
+#pragma once
+
+#include "edge/edge_server.hpp"
+#include "xr/session.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace illixr {
+
+/** Build a server from the session-level edge knobs. */
+std::shared_ptr<EdgeServer> makeEdgeServer(const EdgeOptions &options);
+
+/**
+ * Install an edge-served VIO factory on @p config: the session's head
+ * tracker becomes a client stub of @p server (created from
+ * config.edge when null) under the stable key @p client_id, with its
+ * link preset resolved from config.edge.link and its jitter/loss
+ * stream seeded NetworkModel::linkSeed(config.seed, client_id) — the
+ * admission-order-free per-client stream of the determinism contract.
+ *
+ * @return false (with the diagnostic in @p error, if given) on an
+ * unknown link name; @p config is then left untouched.
+ */
+bool attachEdgeClient(SessionConfig &config, std::uint64_t client_id,
+                      std::shared_ptr<EdgeServer> server = nullptr,
+                      std::string *error = nullptr);
+
+} // namespace illixr

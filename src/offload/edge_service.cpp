@@ -1,0 +1,19 @@
+#include "offload/edge_service.hpp"
+
+namespace illixr {
+
+const char *
+edgeVerdictName(EdgeVerdict verdict)
+{
+    switch (verdict) {
+    case EdgeVerdict::Served:
+        return "served";
+    case EdgeVerdict::Shed:
+        return "shed";
+    case EdgeVerdict::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+} // namespace illixr

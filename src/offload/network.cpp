@@ -1,5 +1,7 @@
 #include "offload/network.hpp"
 
+#include "trace/metrics_registry.hpp"
+
 #include <algorithm>
 
 namespace illixr {
@@ -55,9 +57,64 @@ NetworkLink::lteCloud()
     return l;
 }
 
+bool
+NetworkLink::byName(const std::string &name, NetworkLink &out)
+{
+    if (name == "ethernet" || name == "edge-ethernet") {
+        out = edgeEthernet();
+        return true;
+    }
+    if (name == "wifi6") {
+        out = wifi6();
+        return true;
+    }
+    if (name == "5g" || name == "5g-cloudlet") {
+        out = fiveG();
+        return true;
+    }
+    if (name == "lte" || name == "lte-cloud") {
+        out = lteCloud();
+        return true;
+    }
+    return false;
+}
+
 NetworkModel::NetworkModel(const NetworkLink &link, unsigned seed)
     : link_(link), rng_(seed)
 {
+}
+
+unsigned
+NetworkModel::linkSeed(unsigned session_seed, std::uint64_t client_id)
+{
+    // splitmix64-style finalizer over the (seed, client) pair: every
+    // client gets an independent stream, and the mapping is a pure
+    // function — no process-global counter, no admission-order
+    // dependence.
+    std::uint64_t z = (static_cast<std::uint64_t>(session_seed) << 32) ^
+                      (client_id + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    // Avoid seed 0 degenerating with xoshiro's splitmix expansion of
+    // an all-zero state being fine but keep the stream distinct.
+    const unsigned seed = static_cast<unsigned>(z ^ (z >> 32));
+    return seed == 0 ? 0x9e3779b9u : seed;
+}
+
+void
+NetworkModel::setMetrics(MetricsRegistry *metrics)
+{
+    if (!metrics) {
+        sentCounter_ = nullptr;
+        lostCounter_ = nullptr;
+        delayedMs_ = nullptr;
+        return;
+    }
+    const std::string prefix = "net." + link_.name + ".";
+    sentCounter_ = &metrics->counter(prefix + "sent");
+    lostCounter_ = &metrics->counter(prefix + "lost");
+    delayedMs_ = &metrics->histogram(prefix + "delayed_ms");
 }
 
 void
@@ -67,15 +124,19 @@ NetworkModel::setDisturbance(double extra_loss, double extra_latency_ms)
     extraLatencyMs_ = std::max(0.0, extra_latency_ms);
 }
 
-Duration
+std::optional<Duration>
 NetworkModel::transferDelay(std::size_t bytes, bool uplink)
 {
     ++sent_;
+    if (sentCounter_)
+        sentCounter_->add();
     const double loss =
         std::min(1.0, link_.loss_rate + extraLoss_);
     if (loss > 0.0 && rng_.uniform() < loss) {
         ++lost_;
-        return -1;
+        if (lostCounter_)
+            lostCounter_->add();
+        return std::nullopt;
     }
     const double mbps =
         uplink ? link_.uplink_mbps : link_.downlink_mbps;
@@ -85,6 +146,8 @@ NetworkModel::transferDelay(std::size_t bytes, bool uplink)
         std::max(0.0, rng_.gaussian(0.0, link_.jitter_ms));
     const double total_ms = link_.base_latency_ms + serialization_ms +
                             jitter_ms + extraLatencyMs_;
+    if (delayedMs_)
+        delayedMs_->observe(total_ms);
     return fromSeconds(total_ms / 1000.0);
 }
 

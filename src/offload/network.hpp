@@ -16,9 +16,15 @@
 #include "foundation/time.hpp"
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <string>
 
 namespace illixr {
+
+class MetricsRegistry;
+class Counter;
+class Histogram;
 
 /** Link configuration. */
 struct NetworkLink
@@ -38,6 +44,13 @@ struct NetworkLink
     static NetworkLink fiveG();
     /** LTE to a regional cloud. */
     static NetworkLink lteCloud();
+
+    /**
+     * Look up a preset by name: "ethernet"/"edge-ethernet", "wifi6",
+     * "5g"/"5g-cloudlet", "lte"/"lte-cloud". @return success; @p out
+     * is only written on a match.
+     */
+    static bool byName(const std::string &name, NetworkLink &out);
 };
 
 /**
@@ -50,11 +63,29 @@ class NetworkModel
     explicit NetworkModel(const NetworkLink &link, unsigned seed = 71);
 
     /**
+     * The per-client link seed of the determinism contract: a pure
+     * mix of (session seed, client id), so every client of a
+     * multi-client run draws an independent jitter/loss stream that
+     * does not depend on admission order (DESIGN.md edge model).
+     */
+    static unsigned linkSeed(unsigned session_seed,
+                             std::uint64_t client_id);
+
+    /**
      * One-way delay for a message of @p bytes.
      * @param uplink true for device->server, false for the return.
-     * @return delay, or a negative value when the message is lost.
+     * @return delay, or std::nullopt when the message is lost.
      */
-    Duration transferDelay(std::size_t bytes, bool uplink);
+    std::optional<Duration> transferDelay(std::size_t bytes, bool uplink);
+
+    /**
+     * Record per-link traffic into @p metrics (nullptr to disable):
+     * `net.<link>.sent` / `net.<link>.lost` counters and a
+     * `net.<link>.delayed_ms` histogram of delivered one-way delays.
+     * Handles are interned once, so the per-message cost is one
+     * relaxed atomic (plus one histogram observe when delivered).
+     */
+    void setMetrics(MetricsRegistry *metrics);
 
     /**
      * Overlay a transient degradation (a brownout window) on the
@@ -81,6 +112,9 @@ class NetworkModel
     std::size_t lost_ = 0;
     double extraLoss_ = 0.0;      ///< Brownout loss overlay.
     double extraLatencyMs_ = 0.0; ///< Brownout latency overlay.
+    Counter *sentCounter_ = nullptr;    ///< net.<link>.sent
+    Counter *lostCounter_ = nullptr;    ///< net.<link>.lost
+    Histogram *delayedMs_ = nullptr;    ///< net.<link>.delayed_ms
 };
 
 } // namespace illixr

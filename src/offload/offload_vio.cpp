@@ -1,10 +1,8 @@
 #include "offload/offload_vio.hpp"
 
 #include "foundation/profile.hpp"
-#include "metrics/mtp.hpp"
 #include "resilience/fault_injector.hpp"
-#include "runtime/pool_executor.hpp"
-#include "xr/illixr_system.hpp"
+#include "xr/session.hpp"
 
 namespace illixr {
 
@@ -20,7 +18,7 @@ OffloadedVioPlugin::OffloadedVioPlugin(const Phonebook &pb,
           pb.lookup<Switchboard>()->writer<PoseEvent>(topics::kSlowPose)),
       healthWriter_(
           pb.lookup<Switchboard>()->writer<HealthEvent>(topics::kHealth)),
-      net_(config.link), breaker_(config.breaker)
+      net_(config.link, config.link_seed), breaker_(config.breaker)
 {
     MsckfParams params;
     params.imu_noise = data_->dataset.config().imu_noise;
@@ -28,6 +26,16 @@ OffloadedVioPlugin::OffloadedVioPlugin(const Phonebook &pb,
     tracker.max_features = 80;
     vio_ = std::make_unique<VioSystem>(params, tracker,
                                        data_->dataset.rig());
+
+    // Self-wire from the phonebook (both are registered by Session
+    // before the vio_factory runs; standalone assemblies may lack
+    // them, hence the has<> guards).
+    if (pb.has<MetricsRegistry>())
+        net_.setMetrics(pb.lookup<MetricsRegistry>().get());
+    if (pb.has<FaultInjector>())
+        injector_ = pb.lookup<FaultInjector>().get();
+    if (config_.edge)
+        config_.edge->connect(config_.client_id);
 }
 
 void
@@ -73,6 +81,96 @@ OffloadedVioPlugin::publishLocalPose(
 }
 
 void
+OffloadedVioPlugin::collectEdgeCompletions(TimePoint now)
+{
+    config_.edge->pump(now);
+    for (const EdgeCompletion &c : config_.edge->poll(config_.client_id)) {
+        auto it = inflight_.find(c.seq);
+        if (it == inflight_.end())
+            continue;
+        InflightFrame frame = std::move(it->second);
+        inflight_.erase(it);
+
+        if (c.verdict != EdgeVerdict::Served) {
+            if (c.verdict == EdgeVerdict::Shed)
+                ++edgeShed_;
+            else
+                ++edgeRejected_;
+            breaker_.recordFailure(now);
+            publishBreakerTransition(now);
+            publishLocalPose(now, frame.cam);
+            continue;
+        }
+
+        ++edgeServed_;
+        const std::optional<Duration> down = net_.transferDelay(256, false);
+        if (!down) {
+            ++framesLost_; // Response lost on the downlink.
+            breaker_.recordFailure(now);
+            publishBreakerTransition(now);
+            publishLocalPose(now, frame.cam);
+            continue;
+        }
+
+        // Judge staleness on the modeled release time, not on when
+        // this (camera-period-grained) poll happened to run.
+        const TimePoint release = c.done + *down;
+        if (release > frame.deadline)
+            breaker_.recordFailure(now);
+        else
+            breaker_.recordSuccess(now);
+        publishBreakerTransition(now);
+
+        trajectory_.push_back(
+            {frame.cam->time, frame.event->state.pose()});
+        roundTrip_.add(toMilliseconds(release - frame.cam->time));
+        pending_.push_back({std::max(release, now),
+                            std::move(frame.event)});
+    }
+}
+
+void
+OffloadedVioPlugin::submitToEdge(
+    TimePoint now, const std::shared_ptr<const CameraFrameEvent> &cam,
+    const ImuState &state, std::size_t frame_bytes)
+{
+    const std::optional<Duration> up =
+        net_.transferDelay(frame_bytes, true);
+    if (!up) {
+        ++framesLost_; // Frame lost on the uplink.
+        breaker_.recordFailure(now);
+        publishBreakerTransition(now);
+        publishLocalPose(now, cam);
+        return;
+    }
+
+    EdgeRequest req;
+    req.client = config_.client_id;
+    req.seq = nextSeq_++;
+    req.frame_time = cam->time;
+    req.arrival = now + *up;
+    req.deadline =
+        cam->time + fromSeconds(config_.deadline_slo_ms / 1000.0);
+    req.bytes = frame_bytes;
+
+    auto out = slowPoseWriter_.make();
+    out->time = cam->time;
+    out->state = state;
+    out->parents = {cam->trace};
+
+    if (!config_.edge->submit(req)) {
+        // Rejected outright (queue full): no completion will come.
+        ++edgeRejected_;
+        breaker_.recordFailure(now);
+        publishBreakerTransition(now);
+        publishLocalPose(now, cam);
+        return;
+    }
+    inflight_.emplace(req.seq,
+                      InflightFrame{cam, std::move(out), req.deadline});
+}
+
+void
 OffloadedVioPlugin::iterate(TimePoint now)
 {
     if (!initialized_) {
@@ -94,6 +192,12 @@ OffloadedVioPlugin::iterate(TimePoint now)
         else if (net_.disturbed())
             net_.clearDisturbance();
     }
+
+    // Edge mode: advance the shared server to this client's time and
+    // resolve verdicts before releasing poses, so a completion that
+    // matured during the last camera period is published this tick.
+    if (config_.edge)
+        collectEdgeCompletions(now);
 
     // Release matured remote results onto the switchboard, re-basing
     // the local fallback integrator on each accepted remote pose so a
@@ -133,9 +237,15 @@ OffloadedVioPlugin::iterate(TimePoint now)
         const std::size_t frame_bytes = static_cast<std::size_t>(
             static_cast<double>(cam->image.pixelCount()) *
             config_.compression_ratio);
-        const Duration up = net_.transferDelay(frame_bytes, true);
-        const Duration down = net_.transferDelay(256, false);
-        if (up < 0 || down < 0) {
+        if (config_.edge) {
+            submitToEdge(now, cam, state, frame_bytes);
+            continue;
+        }
+        const std::optional<Duration> up =
+            net_.transferDelay(frame_bytes, true);
+        const std::optional<Duration> down =
+            net_.transferDelay(256, false);
+        if (!up || !down) {
             ++framesLost_; // Message lost; no pose update this frame.
             breaker_.recordFailure(now);
             publishBreakerTransition(now);
@@ -145,7 +255,7 @@ OffloadedVioPlugin::iterate(TimePoint now)
         }
         const Duration remote_compute =
             fromSeconds(remote_host_s * config_.server_scale);
-        const Duration rtt = up + remote_compute + down;
+        const Duration rtt = *up + remote_compute + *down;
         if (toMilliseconds(rtt) > config_.rtt_failure_ms) {
             // Delivered but too stale to steer reprojection with.
             breaker_.recordFailure(now);
@@ -167,147 +277,33 @@ OffloadedVioPlugin::iterate(TimePoint now)
     }
 }
 
+void
+OffloadedVioPlugin::exportExtras(std::map<std::string, double> &extra) const
+{
+    extra["pose_round_trip_ms"] = roundTrip_.mean();
+    extra["frames_lost"] = static_cast<double>(framesLost_);
+    extra["circuit_opens"] = static_cast<double>(breaker_.opens());
+    extra["failover_poses"] = static_cast<double>(failoverPoses_);
+    if (config_.edge) {
+        extra["edge_served"] = static_cast<double>(edgeServed_);
+        extra["edge_shed"] = static_cast<double>(edgeShed_);
+        extra["edge_rejected"] = static_cast<double>(edgeRejected_);
+    }
+}
+
 IntegratedResult
 runIntegratedOffloaded(const IntegratedConfig &config,
                        const OffloadConfig &offload)
 {
-    const SystemTuning tuning;
-
-    Phonebook phonebook;
-    auto switchboard = std::make_shared<Switchboard>();
-    phonebook.registerService(switchboard);
-
-    auto metrics = std::make_shared<MetricsRegistry>();
-    std::shared_ptr<TraceSink> sink;
-    if (config.trace) {
-        sink = std::make_shared<TraceSink>();
-        switchboard->setTraceSink(sink);
-    }
-
-    DatasetConfig ds_cfg;
-    ds_cfg.duration_s = toSeconds(config.duration) + 0.5;
-    ds_cfg.image_width = config.camera_width;
-    ds_cfg.image_height = config.camera_height;
-    ds_cfg.camera_rate_hz = tuning.camera_hz;
-    ds_cfg.imu_rate_hz = tuning.imu_hz;
-    ds_cfg.preset = DatasetConfig::Preset::LabWalk;
-    ds_cfg.seed = config.seed;
-    auto data =
-        std::make_shared<PreloadedDataset>(ds_cfg, config.duration);
-    phonebook.registerService(data);
-
-    AppConfig app_cfg;
-    app_cfg.eye_width = config.eye_size;
-    app_cfg.eye_height = config.eye_size;
-    TimewarpParams tw_params;
-    tw_params.fov_y_rad = app_cfg.fov_y_rad;
-
-    std::unique_ptr<ResilienceContext> resilience =
-        makeResilienceContext(config, *switchboard, metrics.get());
-
-    CameraPlugin camera(phonebook, tuning);
-    ImuPlugin imu(phonebook, tuning);
-    OffloadedVioPlugin vio(phonebook, tuning, offload);
-    IntegratorPlugin integrator(phonebook, tuning);
-    ApplicationPlugin application(phonebook, tuning, config.app, app_cfg);
-    TimewarpPlugin timewarp(phonebook, tuning, tw_params);
-    AudioEncoderPlugin audio_enc(phonebook, tuning);
-    AudioPlaybackPlugin audio_play(phonebook, tuning);
-    if (resilience && resilience->injector())
-        vio.setFaultInjector(resilience->injector());
-
-    const PlatformModel platform = PlatformModel::get(config.platform);
-    std::unique_ptr<SimScheduler> sim;
-    std::unique_ptr<PoolExecutor> pool;
-    ExecutorBase *executor = nullptr;
-    if (config.executor == ExecutorKind::Pool) {
-        PoolExecutorConfig pool_cfg;
-        pool_cfg.workers = config.pool_workers;
-        pool_cfg.deterministic = config.deterministic;
-        pool_cfg.seed = config.seed;
-        pool_cfg.platform = config.platform;
-        pool = std::make_unique<PoolExecutor>(pool_cfg);
-        executor = pool.get();
-    } else {
-        sim = std::make_unique<SimScheduler>(platform);
-        executor = sim.get();
-    }
-    executor->setMetrics(metrics.get());
-    executor->setPhonebook(&phonebook);
-    if (sink)
-        executor->setTraceSink(sink);
-    executor->addPlugin(&camera);
-    executor->addPlugin(&imu);
-    executor->addPlugin(&vio);
-    executor->addPlugin(&integrator);
-    executor->addPlugin(&application);
-    const Duration vsync = periodFromHz(tuning.display_hz);
-    executor->addVsyncAlignedPlugin(&timewarp, vsync);
-    executor->addPlugin(&audio_enc);
-    executor->addPlugin(&audio_play);
-    if (resilience) {
-        resilience->attach(*executor);
-        if (resilience->degradationPlugin())
-            executor->addPlugin(resilience->degradationPlugin());
-    }
-
-    executor->run(config.duration);
-
-    IntegratedResult result;
-    result.config = config;
-    result.vsync = vsync;
-    double total_host = 0.0;
-    for (const std::string &name : executor->taskNames()) {
-        const TaskStats &stats = executor->stats(name);
-        result.tasks.emplace(name, stats);
-        double host = 0.0;
-        for (const InvocationRecord &rec : stats.records)
-            host += rec.host_seconds;
-        result.cpu_share[name] = host;
-        total_host += host;
-    }
-    if (total_host > 0.0) {
-        for (auto &[name, host] : result.cpu_share)
-            host /= total_host;
-    }
-    result.target_hz["camera"] = tuning.camera_hz;
-    result.target_hz["vio"] = tuning.camera_hz;
-    result.target_hz["imu"] = tuning.imu_hz;
-    result.target_hz["integrator"] = tuning.imu_hz;
-    result.target_hz["application"] = tuning.display_hz;
-    result.target_hz["timewarp"] = tuning.display_hz;
-    result.target_hz["audio_encoding"] = tuning.audio_hz;
-    result.target_hz["audio_playback"] = tuning.audio_hz;
-
-    result.mtp = computeMtp(executor->stats("timewarp"),
-                            timewarp.imuAgesMs(), vsync);
-    result.lineage_stages = {topics::kCamera, topics::kImu,
-                             topics::kSlowPose, topics::kFastPose,
-                             topics::kSubmittedFrame};
-    if (sink) {
-        result.trace = sink;
-        result.lineage_mtp = computeLineageMtp(
-            *sink, vsync, topics::kDisplayFrame, result.lineage_stages);
-    }
-    result.metrics = metrics;
-    result.utilization.cpu =
-        pool ? pool->cpuUtilization() : sim->cpuUtilization();
-    result.utilization.gpu =
-        pool ? pool->gpuUtilization() : sim->gpuUtilization();
-    result.utilization.memory = std::min(
-        1.0, 0.55 * result.utilization.gpu +
-                 0.35 * result.utilization.cpu + 0.10);
-    result.power = computePower(platform, result.utilization);
-    result.vio_trajectory = vio.trajectory();
-    result.extra["pose_round_trip_ms"] = vio.roundTripMs().mean();
-    result.extra["frames_lost"] =
-        static_cast<double>(vio.framesLost());
-    result.extra["circuit_opens"] =
-        static_cast<double>(vio.circuitOpens());
-    result.extra["failover_poses"] =
-        static_cast<double>(vio.failoverPoses());
-    exportResilienceExtras(resilience.get(), result.extra);
-    return result;
+    SessionConfig sc{config};
+    sc.name = "offload";
+    sc.vio_factory = [offload](const Phonebook &pb,
+                               const SystemTuning &tuning) {
+        return std::make_unique<OffloadedVioPlugin>(pb, tuning, offload);
+    };
+    Session session{std::move(sc)};
+    session.start();
+    return session.result();
 }
 
 } // namespace illixr

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "foundation/stats.hpp"
+#include "offload/edge_service.hpp"
 #include "offload/network.hpp"
 #include "resilience/circuit_breaker.hpp"
 #include "resilience/health_events.hpp"
@@ -25,6 +26,7 @@
 #include "xr/plugins.hpp"
 
 #include <deque>
+#include <map>
 #include <memory>
 
 namespace illixr {
@@ -35,6 +37,10 @@ class FaultInjector;
 struct OffloadConfig
 {
     NetworkLink link = NetworkLink::wifi6();
+    /** Link RNG seed. For fleet clients derive it with
+     *  NetworkModel::linkSeed(session seed, client id) so every
+     *  client draws an independent, admission-order-free stream. */
+    unsigned link_seed = 71;
     /** Remote-server speed relative to the reference desktop
      *  (virtual remote compute time = host seconds * this). */
     double server_scale = 0.8;
@@ -46,6 +52,19 @@ struct OffloadConfig
     /** A delivered frame whose round trip exceeds this counts as a
      *  breaker failure (stale poses are as bad as lost ones). */
     double rtt_failure_ms = 150.0;
+
+    /**
+     * When set, frames are served by this edge server (shared by the
+     * whole client fleet) instead of the standalone rtt model: the
+     * plugin becomes a client stub — uplink, submit with a deadline
+     * derived from the frame's capture time, poll, downlink — and
+     * shed/rejected verdicts feed the breaker like losses do.
+     */
+    std::shared_ptr<EdgeService> edge;
+    /** Stable client key on the edge server. */
+    std::uint64_t client_id = 1;
+    /** Pose-deadline budget from frame capture (edge mode). */
+    double deadline_slo_ms = 80.0;
 };
 
 /**
@@ -73,6 +92,11 @@ class OffloadedVioPlugin : public Plugin
     {
         return trajectory_;
     }
+    const std::vector<StampedPose> *vioTrajectory() const override
+    {
+        return &trajectory_;
+    }
+    void exportExtras(std::map<std::string, double> &extra) const override;
 
     /** Round-trip (capture to pose-available) latency series, ms. */
     const SampleSeries &roundTripMs() const { return roundTrip_; }
@@ -92,6 +116,11 @@ class OffloadedVioPlugin : public Plugin
     /** Poses produced by the local integrator while failed over. */
     std::size_t failoverPoses() const { return failoverPoses_; }
 
+    /** Edge-mode verdict tallies (all zero in rtt mode). */
+    std::size_t edgeServed() const { return edgeServed_; }
+    std::size_t edgeShed() const { return edgeShed_; }
+    std::size_t edgeRejected() const { return edgeRejected_; }
+
   private:
     struct PendingPose
     {
@@ -99,9 +128,21 @@ class OffloadedVioPlugin : public Plugin
         std::shared_ptr<PoseEvent> event;
     };
 
+    /** A frame submitted to the edge server, awaiting its verdict. */
+    struct InflightFrame
+    {
+        std::shared_ptr<const CameraFrameEvent> cam;
+        std::shared_ptr<PoseEvent> event;
+        TimePoint deadline = 0;
+    };
+
     void publishBreakerTransition(TimePoint now);
     void publishLocalPose(TimePoint now,
                           const std::shared_ptr<const CameraFrameEvent> &cam);
+    void collectEdgeCompletions(TimePoint now);
+    void submitToEdge(TimePoint now,
+                      const std::shared_ptr<const CameraFrameEvent> &cam,
+                      const ImuState &state, std::size_t frame_bytes);
 
     SystemTuning tuning_;
     OffloadConfig config_;
@@ -123,6 +164,13 @@ class OffloadedVioPlugin : public Plugin
     ImuIntegrator fallback_; ///< Local failover integrator.
     std::size_t failoverPoses_ = 0;
     const FaultInjector *injector_ = nullptr;
+
+    // Edge mode only.
+    std::map<std::uint64_t, InflightFrame> inflight_;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t edgeServed_ = 0;
+    std::size_t edgeShed_ = 0;
+    std::size_t edgeRejected_ = 0;
 };
 
 /**

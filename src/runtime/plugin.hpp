@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include "foundation/pose.hpp"
 #include "foundation/time.hpp"
 #include "perfmodel/platform.hpp"
 #include "runtime/phonebook.hpp"
@@ -59,6 +60,29 @@ class Plugin
      * invocations queue up.
      */
     virtual bool skipOnOverrun() const { return true; }
+
+    /**
+     * The pose-trajectory estimate this plugin produced, when it is a
+     * head-tracking source (VIO, offloaded VIO); nullptr otherwise.
+     * Lets the session collect IntegratedResult::vio_trajectory from
+     * a factory-installed tracker without knowing its concrete type.
+     */
+    virtual const std::vector<StampedPose> *
+    vioTrajectory() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * Export plugin-specific run metrics into
+     * IntegratedResult::extra (e.g., offload round-trip, edge
+     * served/shed counts). Called once after the run.
+     */
+    virtual void
+    exportExtras(std::map<std::string, double> &extra) const
+    {
+        (void)extra;
+    }
 
     /**
      * Host seconds spent inside the last iterate() on work that does

@@ -37,6 +37,23 @@ bool parseExecutorKind(const std::string &name, ExecutorKind &out);
 
 const char *executorKindName(ExecutorKind kind);
 
+/**
+ * Edge-offload options: plain data parsed by SessionConfig (`--edge`,
+ * `ILLIXR_EDGE_*`) and consumed by src/edge's attachEdgeClient(),
+ * which turns them into an OffloadedVioPlugin factory speaking to an
+ * EdgeServer — xr itself never links the server.
+ */
+struct EdgeOptions
+{
+    bool enabled = false;
+    /** Link preset name (NetworkLink::byName). */
+    std::string link = "wifi6";
+    /** Pose-latency SLO: deadline = frame capture + this budget. */
+    double slo_ms = 80.0;
+    /** Server batch cap; 1 = unbatched serving. */
+    std::size_t max_batch = 8;
+};
+
 /** Configuration of one integrated run. */
 struct IntegratedConfig
 {
@@ -79,6 +96,8 @@ struct IntegratedConfig
      * into the run config.
      */
     std::optional<Scenario> scenario;
+    /** Edge-offloaded VIO serving (see EdgeOptions). */
+    EdgeOptions edge;
 };
 
 /**

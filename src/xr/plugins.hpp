@@ -120,6 +120,11 @@ class VioPlugin : public Plugin
     {
         return trajectory_;
     }
+    const std::vector<StampedPose> *
+    vioTrajectory() const override
+    {
+        return &trajectory_;
+    }
     const VioSystem &vio() const { return *vio_; }
 
   private:

@@ -1,5 +1,6 @@
 #include "xr/session.hpp"
 
+#include "resilience/fault_injector.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/phonebook.hpp"
 #include "runtime/pool_executor.hpp"
@@ -28,6 +29,16 @@ parseUnsigned(const std::string &text, unsigned long &out)
     char *end = nullptr;
     out = std::strtoul(text.c_str(), &end, 10);
     return end && *end == '\0';
+}
+
+bool
+parsePositiveDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end && *end == '\0' && out > 0.0;
 }
 
 } // namespace
@@ -86,6 +97,23 @@ SessionConfig::applyEnv()
         if (!parseUnsigned(v, n) || n == 0)
             return false;
         sb_pool_chunk = n;
+    }
+    if (const char *v = std::getenv("ILLIXR_EDGE"))
+        edge.enabled = std::string(v) != "0";
+    if (const char *v = std::getenv("ILLIXR_EDGE_LINK")) {
+        if (*v == '\0')
+            return false;
+        edge.link = v;
+    }
+    if (const char *v = std::getenv("ILLIXR_EDGE_SLO_MS")) {
+        if (!parsePositiveDouble(v, edge.slo_ms))
+            return false;
+    }
+    if (const char *v = std::getenv("ILLIXR_EDGE_BATCH")) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        edge.max_batch = n;
     }
     return true;
 }
@@ -157,6 +185,31 @@ SessionConfig::parseFlag(const std::string &arg)
         sb_pool_chunk = n;
         return true;
     }
+    if (arg == "--edge") {
+        edge.enabled = true;
+        return true;
+    }
+    if (value("--edge-link=", v)) {
+        if (v.empty())
+            return false;
+        edge.enabled = true;
+        edge.link = v;
+        return true;
+    }
+    if (value("--edge-slo-ms=", v)) {
+        if (!parsePositiveDouble(v, edge.slo_ms))
+            return false;
+        edge.enabled = true;
+        return true;
+    }
+    if (value("--edge-batch=", v)) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n) || n == 0)
+            return false;
+        edge.enabled = true;
+        edge.max_batch = n;
+        return true;
+    }
     return false;
 }
 
@@ -211,9 +264,10 @@ SessionConfig::fromEnvAndArgs(int argc, const char *const *argv)
         // an "unparsed" passthrough: --seed=banana must not leak into
         // the tool's own flag handling looking legitimate.
         static const char *const kOwned[] = {
-            "--executor=",    "--workers=",     "--kernel-threads=",
-            "--seed=",        "--fault-plan=",  "--scenario=",
-            "--sb-ring-cap=", "--sb-pool-chunk="};
+            "--executor=",    "--workers=",      "--kernel-threads=",
+            "--seed=",        "--fault-plan=",   "--scenario=",
+            "--sb-ring-cap=", "--sb-pool-chunk=", "--edge-link=",
+            "--edge-slo-ms=", "--edge-batch="};
         bool owned = false;
         for (const char *prefix : kOwned)
             owned = owned || arg.rfind(prefix, 0) == 0;
@@ -377,6 +431,7 @@ Session::runBody()
         phonebook.registerService(switchboard);
 
         auto metrics = std::make_shared<MetricsRegistry>();
+        phonebook.registerService(metrics);
         switchboard->setMetrics(metrics.get());
         std::shared_ptr<TraceSink> sink;
         if (config.trace) {
@@ -410,10 +465,22 @@ Session::runBody()
         // fault plan sees every event from the first one.
         std::unique_ptr<ResilienceContext> resilience =
             makeResilienceContext(config, *switchboard, metrics.get());
+        if (resilience && resilience->injector()) {
+            // Aliased, non-owning: the context owns the injector; the
+            // phonebook entry just lets factory-made plugins (the
+            // offloaded VIO's brownout feed) find it at construction.
+            phonebook.registerService(std::shared_ptr<FaultInjector>(
+                std::shared_ptr<FaultInjector>(),
+                resilience->injector()));
+        }
 
         CameraPlugin camera(phonebook, tuning);
         ImuPlugin imu(phonebook, tuning);
-        VioPlugin vio(phonebook, tuning);
+        std::unique_ptr<Plugin> vio_owned =
+            config_.vio_factory
+                ? config_.vio_factory(phonebook, tuning)
+                : std::make_unique<VioPlugin>(phonebook, tuning);
+        Plugin &vio = *vio_owned;
         IntegratorPlugin integrator(phonebook, tuning);
         ApplicationPlugin application(phonebook, tuning, config.app,
                                       app_cfg,
@@ -535,7 +602,9 @@ Session::runBody()
                               0.35 * result.utilization.cpu + 0.10);
         result.power = computePower(platform, result.utilization);
 
-        result.vio_trajectory = vio.trajectory();
+        if (const std::vector<StampedPose> *traj = vio.vioTrajectory())
+            result.vio_trajectory = *traj;
+        vio.exportExtras(result.extra);
         result.extra["final_eye_resolution"] =
             static_cast<double>(application.currentEyeResolution());
         result.extra["min_eye_resolution"] =

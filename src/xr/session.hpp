@@ -44,6 +44,8 @@
 namespace illixr {
 
 class ExecutorBase;
+class Plugin;
+struct SystemTuning;
 
 /**
  * Configuration of one session: the integrated-run knobs plus
@@ -57,6 +59,20 @@ struct SessionConfig : IntegratedConfig
     /** Session label: names the session in fleet reports and logs. */
     std::string name = "session";
 
+    /**
+     * Head-tracker factory: when set, the session builds its VIO
+     * plugin through this hook instead of the built-in VioPlugin —
+     * how offloaded/edge-served trackers slot into the standard
+     * assembly without xr linking them. The produced plugin can
+     * publish its trajectory and run metrics into the result via
+     * Plugin::vioTrajectory()/exportExtras(); MetricsRegistry and
+     * (when resilience is on) FaultInjector are in the Phonebook by
+     * the time the factory runs.
+     */
+    std::function<std::unique_ptr<Plugin>(
+        const Phonebook &, const SystemTuning &)>
+        vio_factory;
+
     SessionConfig() = default;
     SessionConfig(const IntegratedConfig &base) : IntegratedConfig(base) {}
 
@@ -66,9 +82,11 @@ struct SessionConfig : IntegratedConfig
      * `ILLIXR_KERNEL_THREADS`, `ILLIXR_DETERMINISTIC` (0|1),
      * `ILLIXR_SEED`, `ILLIXR_FAULT_PLAN`, `ILLIXR_RESILIENCE` (0|1),
      * `ILLIXR_SCENARIO` (family name or scenario file),
-     * `ILLIXR_SB_RING_CAP`, `ILLIXR_SB_POOL_CHUNK`. Unset variables
-     * leave the field untouched. @return false on a malformed value
-     * (the config is left partially updated).
+     * `ILLIXR_SB_RING_CAP`, `ILLIXR_SB_POOL_CHUNK`, `ILLIXR_EDGE`
+     * (0|1), `ILLIXR_EDGE_LINK`, `ILLIXR_EDGE_SLO_MS`,
+     * `ILLIXR_EDGE_BATCH`. Unset variables leave the field untouched.
+     * @return false on a malformed value (the config is left
+     * partially updated).
      */
     bool applyEnv();
 
@@ -77,7 +95,8 @@ struct SessionConfig : IntegratedConfig
      * `--workers=N`, `--kernel-threads=N`, `--deterministic`,
      * `--seed=N`, `--fault-plan=SPEC`, `--resilience`,
      * `--scenario=NAME_OR_FILE`, `--sb-ring-cap=N`,
-     * `--sb-pool-chunk=N`. @return true when
+     * `--sb-pool-chunk=N`, `--edge`, `--edge-link=NAME`,
+     * `--edge-slo-ms=MS`, `--edge-batch=N`. @return true when
      * @p arg was one of these flags and parsed cleanly; false
      * otherwise (unrecognised flags are the caller's business).
      */

@@ -6,6 +6,8 @@
 
 #include "offload/network.hpp"
 #include "offload/offload_vio.hpp"
+#include "resilience/fault_plan.hpp"
+#include "trace/metrics_registry.hpp"
 
 #include <gtest/gtest.h>
 
@@ -29,7 +31,7 @@ TEST(NetworkModelTest, DelayIncludesSerialization)
     link.base_latency_ms = 5.0;
     link.jitter_ms = 0.0;
     NetworkModel net(link);
-    const Duration d = net.transferDelay(10'000, true);
+    const Duration d = net.transferDelay(10'000, true).value();
     // 5 ms base + 10 ms serialization.
     EXPECT_NEAR(toMilliseconds(d), 15.0, 0.1);
 }
@@ -42,8 +44,8 @@ TEST(NetworkModelTest, DownlinkUsesItsOwnBandwidth)
     link.base_latency_ms = 0.0;
     link.jitter_ms = 0.0;
     NetworkModel net(link);
-    const Duration up = net.transferDelay(10'000, true);
-    const Duration down = net.transferDelay(10'000, false);
+    const Duration up = net.transferDelay(10'000, true).value();
+    const Duration down = net.transferDelay(10'000, false).value();
     EXPECT_NEAR(toMilliseconds(up) / toMilliseconds(down), 10.0, 0.5);
 }
 
@@ -54,7 +56,7 @@ TEST(NetworkModelTest, LossRateIsApproximatelyHonored)
     NetworkModel net(link, 5);
     int lost = 0;
     for (int i = 0; i < 2000; ++i) {
-        if (net.transferDelay(100, true) < 0)
+        if (!net.transferDelay(100, true))
             ++lost;
     }
     EXPECT_NEAR(static_cast<double>(lost) / 2000.0, 0.1, 0.03);
@@ -69,7 +71,7 @@ TEST(NetworkModelTest, JitterNeverNegative)
     link.jitter_ms = 5.0;
     NetworkModel net(link, 9);
     for (int i = 0; i < 200; ++i) {
-        const Duration d = net.transferDelay(0, true);
+        const Duration d = net.transferDelay(0, true).value();
         EXPECT_GE(toMilliseconds(d), 1.0 - 1e-9);
     }
 }
@@ -93,23 +95,23 @@ TEST(NetworkModelTest, DisturbanceRaisesLossAndLatencyThenClears)
     NetworkModel net(link, 7);
     EXPECT_FALSE(net.disturbed());
 
-    const Duration clean = net.transferDelay(1000, true);
+    const Duration clean = net.transferDelay(1000, true).value();
 
     // Full brownout: every message lost, none delivered.
     net.setDisturbance(1.0, 50.0);
     EXPECT_TRUE(net.disturbed());
     for (int i = 0; i < 100; ++i)
-        EXPECT_LT(net.transferDelay(1000, true), 0);
+        EXPECT_FALSE(net.transferDelay(1000, true).has_value());
 
     // Latency-only disturbance: delivered, but slower by the overlay.
     net.setDisturbance(0.0, 50.0);
-    const Duration slow = net.transferDelay(1000, true);
+    const Duration slow = net.transferDelay(1000, true).value();
     EXPECT_NEAR(toMilliseconds(slow - clean), 50.0, 0.1);
 
     // Clearing restores the undisturbed behavior exactly.
     net.clearDisturbance();
     EXPECT_FALSE(net.disturbed());
-    EXPECT_EQ(net.transferDelay(1000, true), clean);
+    EXPECT_EQ(net.transferDelay(1000, true).value(), clean);
 }
 
 TEST(NetworkModelTest, DisturbanceDoesNotPerturbZeroLossRngStream)
@@ -123,11 +125,54 @@ TEST(NetworkModelTest, DisturbanceDoesNotPerturbZeroLossRngStream)
     NetworkModel b(link, 13);
     b.setDisturbance(0.0, 25.0);
     for (int i = 0; i < 200; ++i) {
-        const Duration da = a.transferDelay(500, true);
-        const Duration db = b.transferDelay(500, true);
+        const Duration da = a.transferDelay(500, true).value();
+        const Duration db = b.transferDelay(500, true).value();
         // Integer-nanosecond Duration quantizes each delay separately.
         EXPECT_NEAR(toMilliseconds(db - da), 25.0, 1e-5);
     }
+}
+
+TEST(NetworkModelTest, LinkSeedIsPureAndSpreadsClients)
+{
+    // The per-client seed function of the determinism contract: a
+    // pure mix of (session seed, client id) — repeatable, never zero,
+    // and distinct across neighboring clients and sessions.
+    EXPECT_EQ(NetworkModel::linkSeed(1, 1), NetworkModel::linkSeed(1, 1));
+    EXPECT_NE(NetworkModel::linkSeed(1, 1), NetworkModel::linkSeed(1, 2));
+    EXPECT_NE(NetworkModel::linkSeed(1, 1), NetworkModel::linkSeed(2, 1));
+    EXPECT_NE(NetworkModel::linkSeed(0, 0), 0u);
+
+    // Distinct seeds mean distinct jitter streams on the same link.
+    NetworkLink link;
+    link.jitter_ms = 3.0;
+    NetworkModel a(link, NetworkModel::linkSeed(5, 1));
+    NetworkModel b(link, NetworkModel::linkSeed(5, 2));
+    bool diverged = false;
+    for (int i = 0; i < 50 && !diverged; ++i)
+        diverged = a.transferDelay(1000, true) !=
+                   b.transferDelay(1000, true);
+    EXPECT_TRUE(diverged);
+}
+
+TEST(NetworkModelTest, MetricsCountSentLostAndDelays)
+{
+    MetricsRegistry metrics;
+    NetworkLink link;
+    link.loss_rate = 0.5;
+    NetworkModel net(link, 3);
+    net.setMetrics(&metrics);
+    for (int i = 0; i < 100; ++i)
+        net.transferDelay(1000, true);
+    const std::uint64_t sent =
+        metrics.counter("net." + link.name + ".sent").value();
+    const std::uint64_t lost =
+        metrics.counter("net." + link.name + ".lost").value();
+    EXPECT_EQ(sent, 100u);
+    EXPECT_EQ(lost, net.messagesLost());
+    EXPECT_GT(lost, 0u);
+    EXPECT_EQ(metrics.histogram("net." + link.name + ".delayed_ms")
+                  .count(),
+              sent - lost);
 }
 
 TEST(OffloadIntegrationTest, OffloadRestoresVioRateOnJetsonLp)
@@ -178,6 +223,67 @@ TEST(OffloadIntegrationTest, LossyLinkTripsBreakerAndLocalFailoverServes)
     EXPECT_GT(result.vio_trajectory.size(), 10u);
     EXPECT_GT(result.vio_trajectory.back().time,
               cfg.duration - 500 * kMillisecond);
+}
+
+TEST(OffloadIntegrationTest, CleanLinkNeverTripsTheBreaker)
+{
+    // The failover machinery must be invisible on a healthy wired
+    // link: no opens, no local poses, no losses — and the link
+    // metrics land in the per-session registry.
+    IntegratedConfig cfg;
+    cfg.duration = 2 * kSecond;
+
+    OffloadConfig offload;
+    offload.link = NetworkLink::edgeEthernet();
+    offload.link.loss_rate = 0.0;
+
+    const IntegratedResult result = runIntegratedOffloaded(cfg, offload);
+
+    EXPECT_EQ(result.extra.at("circuit_opens"), 0.0);
+    EXPECT_EQ(result.extra.at("failover_poses"), 0.0);
+    EXPECT_EQ(result.extra.at("frames_lost"), 0.0);
+    EXPECT_GT(result.extra.at("pose_round_trip_ms"), 0.0);
+    ASSERT_NE(result.metrics, nullptr);
+    EXPECT_GT(result.metrics->counter("net.edge-ethernet.sent").value(),
+              0u);
+    EXPECT_EQ(result.metrics->counter("net.edge-ethernet.lost").value(),
+              0u);
+}
+
+TEST(OffloadIntegrationTest, BrownoutFailsOverThenFailsBack)
+{
+    // A mid-run total brownout (1.5s..2.5s of a 4s run): the breaker
+    // opens, the local integrator bridges the window, and after the
+    // window the remote path closes again — poses near the end of the
+    // run must once more come from the server (frames lost stop
+    // growing and the breaker is Closed at exit; remote poses resume).
+    IntegratedConfig cfg;
+    cfg.duration = 4 * kSecond;
+    ASSERT_TRUE(parseFaultPlan("brownout=1500:1000:1.0:0",
+                               cfg.resilience.fault_plan));
+    cfg.resilience.supervise = true;
+
+    OffloadConfig offload;
+    offload.link = NetworkLink::edgeEthernet();
+    offload.breaker.failure_threshold = 2;
+    offload.breaker.open_hold = 200 * kMillisecond;
+
+    const IntegratedResult result = runIntegratedOffloaded(cfg, offload);
+
+    // Failed over during the window...
+    EXPECT_GE(result.extra.at("circuit_opens"), 1.0);
+    EXPECT_GT(result.extra.at("failover_poses"), 0.0);
+    EXPECT_GT(result.extra.at("frames_lost"), 0.0);
+    // ...and back: the last second of a 4s run is clean, so losses
+    // are bounded by the brownout window plus the half-open probes
+    // (15 Hz camera: the 1s window itself is ~15 frames).
+    EXPECT_LT(result.extra.at("frames_lost"), 25.0);
+    // Pose stream covered the whole run, including after fail-back.
+    ASSERT_FALSE(result.vio_trajectory.empty());
+    EXPECT_GT(result.vio_trajectory.back().time,
+              cfg.duration - 500 * kMillisecond);
+    // Round trips were recorded both before and after the window.
+    EXPECT_GT(result.extra.at("pose_round_trip_ms"), 0.0);
 }
 
 } // namespace
