@@ -6,11 +6,20 @@
  * the rest of argv to benchmark::Initialize. Used by micro_kernels and
  * micro_transport so both emit the flat {"name": ns, ...} format that
  * bench/compare_bench.py consumes.
+ *
+ * `--simd=BACKEND` asserts which SIMD backend the binary was compiled
+ * with (scalar | sse2 | avx2) and prefixes every JSON key with
+ * "BACKEND." so per-backend results land under distinct names in the
+ * committed baselines. A mismatch between the flag and the compiled
+ * backend is a hard error: it means the CI matrix leg ran the wrong
+ * binary.
  */
 
 #pragma once
 
 #include <benchmark/benchmark.h>
+
+#include "foundation/simd.hpp"
 
 #include <cstdio>
 #include <functional>
@@ -49,6 +58,13 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
         results_.emplace_back(name, value);
     }
 
+    /** Prefix (e.g. "avx2.") applied to every key in writeJson. */
+    void
+    setKeyPrefix(std::string prefix)
+    {
+        key_prefix_ = std::move(prefix);
+    }
+
     bool
     writeJson(const std::string &path) const
     {
@@ -57,7 +73,7 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
             return false;
         std::fprintf(f, "{\n");
         for (std::size_t i = 0; i < results_.size(); ++i) {
-            std::fprintf(f, "  \"%s\": %.1f%s\n",
+            std::fprintf(f, "  \"%s%s\": %.1f%s\n", key_prefix_.c_str(),
                          results_[i].first.c_str(), results_[i].second,
                          i + 1 < results_.size() ? "," : "");
         }
@@ -68,6 +84,7 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter
 
   private:
     std::vector<std::pair<std::string, double>> results_;
+    std::string key_prefix_;
 };
 
 /**
@@ -81,6 +98,7 @@ benchJsonMain(
     const std::function<void(JsonCollectingReporter &)> &extra = nullptr)
 {
     std::string json_path;
+    std::string simd_flag;
     std::vector<char *> args;
     args.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -89,9 +107,20 @@ benchJsonMain(
             json_path = argv[++i];
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = arg.substr(7);
+        } else if (arg == "--simd" && i + 1 < argc) {
+            simd_flag = argv[++i];
+        } else if (arg.rfind("--simd=", 0) == 0) {
+            simd_flag = arg.substr(7);
         } else {
             args.push_back(argv[i]);
         }
+    }
+    if (!simd_flag.empty() && simd_flag != illixr::simd::backendName()) {
+        std::fprintf(stderr,
+                     "--simd=%s but this binary was compiled with the "
+                     "'%s' backend (ILLIXR_SIMD mismatch)\n",
+                     simd_flag.c_str(), illixr::simd::backendName());
+        return 1;
     }
     int filtered_argc = static_cast<int>(args.size());
     benchmark::Initialize(&filtered_argc, args.data());
@@ -99,6 +128,8 @@ benchJsonMain(
                                                args.data()))
         return 1;
     JsonCollectingReporter reporter;
+    if (!simd_flag.empty())
+        reporter.setKeyPrefix(simd_flag + ".");
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     if (extra)

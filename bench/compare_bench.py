@@ -4,6 +4,7 @@
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--threshold PCT]
     compare_bench.py --pair BASE.json:CUR.json[:PCT] [--pair ...]
+    compare_bench.py OLD.json NEW.json --require-speedup KERNEL:FACTOR
 
 Each file maps benchmark name -> ns/iter (the format written by
 `micro_kernels --json out.json` and `micro_transport --json out.json`).
@@ -15,6 +16,14 @@ percent slower in CURRENT than in BASELINE (per-pair PCT, else
 but never fail the run, so adding or retiring benchmarks does not break
 CI. Baseline entries with ns <= 0 are skipped. Exit status is 1 when
 any pair regressed, 2 when a pair shares no benchmark names.
+
+--require-speedup KERNEL:FACTOR (repeatable) additionally demands that
+CURRENT is at least FACTOR times faster than BASELINE for KERNEL.
+KERNEL is resolved by exact name or unique suffix in each pair (so
+"CnnForward" finds both "BM_CnnForward" and "avx2.BM_CnnForward"); the
+requirement must hold in every pair where it resolves and must resolve
+in at least one pair. Used by the CI simd leg to enforce the vector
+paths' speedup targets against the pre-SIMD baseline.
 """
 
 import argparse
@@ -56,6 +65,76 @@ def compare_pair(baseline_path, current_path, threshold):
     return regressions, shared
 
 
+def resolve_kernel(kernel, names):
+    """Names matching KERNEL exactly or by dotted/word suffix.
+
+    A suffix only counts when it starts at a name boundary ('.', '_',
+    or the start), so "GsIteration64" does not accidentally match a
+    hypothetical "NotGsIteration64".
+    """
+    if kernel in names:
+        return [kernel]
+    return sorted(
+        n for n in names
+        if n.endswith(kernel) and n[: -len(kernel)][-1:] in ("", ".", "_")
+    )
+
+
+def check_speedups(pairs_data, require_specs):
+    """Evaluate --require-speedup specs; return a list of failures."""
+    failures = []
+    for kernel, factor in require_specs:
+        resolved_anywhere = False
+        for base_path, cur_path, baseline, current in pairs_data:
+            # Resolve independently per file: the baseline may carry
+            # unprefixed pre-SIMD names while the current run is
+            # backend-prefixed (suffix matching bridges them).
+            base_names = resolve_kernel(kernel, baseline)
+            cur_names = resolve_kernel(kernel, current)
+            if not base_names or not cur_names:
+                continue
+            if len(base_names) > 1 or len(cur_names) > 1:
+                failures.append(
+                    f"[{base_path}] {kernel!r} is ambiguous: "
+                    f"{', '.join(sorted(set(base_names + cur_names)))}"
+                )
+                continue
+            resolved_anywhere = True
+            base_ns = float(baseline[base_names[0]])
+            cur_ns = float(current[cur_names[0]])
+            if cur_ns <= 0.0:
+                failures.append(
+                    f"[{cur_path}] {cur_names[0]}: non-positive ns"
+                )
+                continue
+            speedup = base_ns / cur_ns
+            ok = speedup >= factor
+            print(
+                f"require-speedup {cur_names[0]:32s} {base_ns:14.1f} -> "
+                f"{cur_ns:14.1f}  {speedup:5.2f}x "
+                f"(need {factor:.2f}x){'' if ok else '  << TOO SLOW'}"
+            )
+            if not ok:
+                failures.append(
+                    f"[{base_path}] {cur_names[0]}: {speedup:.2f}x < "
+                    f"required {factor:.2f}x"
+                )
+        if not resolved_anywhere:
+            failures.append(
+                f"{kernel!r} not found in any compared pair"
+            )
+    return failures
+
+
+def parse_require(spec):
+    kernel, sep, factor = spec.rpartition(":")
+    if not sep or not kernel:
+        raise argparse.ArgumentTypeError(
+            f"--require-speedup wants KERNEL:FACTOR, got {spec!r}"
+        )
+    return kernel, float(factor)
+
+
 def parse_pair(spec, default_threshold):
     parts = spec.split(":")
     if len(parts) == 2:
@@ -87,6 +166,15 @@ def main() -> int:
         default=25.0,
         help="allowed slowdown in percent (default: 25)",
     )
+    parser.add_argument(
+        "--require-speedup",
+        action="append",
+        default=[],
+        type=parse_require,
+        metavar="KERNEL:FACTOR",
+        help="require CURRENT >= FACTOR times faster than BASELINE for "
+        "KERNEL (exact name or unique suffix); repeatable",
+    )
     args = parser.parse_args()
 
     pairs = []
@@ -101,17 +189,47 @@ def main() -> int:
 
     all_regressions = []
     status = 0
+    empty_pairs = []
     for i, (base, cur, threshold) in enumerate(pairs):
         if i:
             print()
         regressions, shared = compare_pair(base, cur, threshold)
         if not shared:
-            print(f"error: no shared benchmark names in {base} vs {cur}",
-                  file=sys.stderr)
-            status = max(status, 2)
+            empty_pairs.append((base, cur))
         all_regressions.extend(
             (base, name, pct, threshold) for name, pct in regressions
         )
+
+    resolved_pairs = set()
+    if args.require_speedup:
+        print()
+        pairs_data = []
+        for base, cur, _threshold in pairs:
+            with open(base) as f:
+                baseline = json.load(f)
+            with open(cur) as f:
+                current = json.load(f)
+            pairs_data.append((base, cur, baseline, current))
+            for kernel, _factor in args.require_speedup:
+                if resolve_kernel(kernel, baseline) and \
+                        resolve_kernel(kernel, current):
+                    resolved_pairs.add((base, cur))
+        failures = check_speedups(pairs_data, args.require_speedup)
+        if failures:
+            print(f"\n{len(failures)} speedup requirement(s) failed:",
+                  file=sys.stderr)
+            for msg in failures:
+                print(f"  {msg}", file=sys.stderr)
+            return 1
+
+    # A pair with no shared names is an error unless a speedup spec
+    # resolved in it (e.g. unprefixed pre-SIMD baseline vs a
+    # backend-prefixed current run, bridged by suffix matching).
+    for base, cur in empty_pairs:
+        if (base, cur) not in resolved_pairs:
+            print(f"error: no shared benchmark names in {base} vs {cur}",
+                  file=sys.stderr)
+            status = max(status, 2)
 
     if all_regressions:
         print(f"\n{len(all_regressions)} regression(s):", file=sys.stderr)

@@ -1,5 +1,6 @@
 #include "audio/binaural.hpp"
 
+#include "foundation/simd.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
@@ -147,16 +148,47 @@ Binauralizer::process(const Soundfield &field)
                 fft(buf, false);
                 prod_left[c].resize(fftSize_);
                 prod_right[c].resize(fftSize_);
-                for (std::size_t i = 0; i < fftSize_; ++i) {
-                    prod_left[c][i] = buf[i] * filterLeft_[c][i];
-                    prod_right[c][i] = buf[i] * filterRight_[c][i];
+                // Spectral FIR products, two complex bins per
+                // Vec<double, 4>; complexMul matches std::complex
+                // bit-for-bit (fftSize_ is a power of two >= 2, so
+                // there is no odd tail).
+                using simd::VecD4;
+                const double *b =
+                    reinterpret_cast<const double *>(buf.data());
+                const double *fl = reinterpret_cast<const double *>(
+                    filterLeft_[c].data());
+                const double *fr = reinterpret_cast<const double *>(
+                    filterRight_[c].data());
+                double *pl =
+                    reinterpret_cast<double *>(prod_left[c].data());
+                double *pr =
+                    reinterpret_cast<double *>(prod_right[c].data());
+                for (std::size_t i = 0; i + 2 <= fftSize_; i += 2) {
+                    const VecD4 s = VecD4::load(b + 2 * i);
+                    simd::complexMul(s, VecD4::load(fl + 2 * i))
+                        .store(pl + 2 * i);
+                    simd::complexMul(s, VecD4::load(fr + 2 * i))
+                        .store(pr + 2 * i);
                 }
             }
         });
-    for (int c = 0; c < kAmbisonicChannels; ++c) {
-        for (std::size_t i = 0; i < fftSize_; ++i) {
-            acc_left[i] += prod_left[c][i];
-            acc_right[i] += prod_right[c][i];
+    // Fixed channel order per bin — the pre-SIMD serial accumulation
+    // order, vectorized elementwise over bins.
+    {
+        using simd::VecD4;
+        double *al = reinterpret_cast<double *>(acc_left.data());
+        double *ar = reinterpret_cast<double *>(acc_right.data());
+        for (int c = 0; c < kAmbisonicChannels; ++c) {
+            const double *pl =
+                reinterpret_cast<const double *>(prod_left[c].data());
+            const double *pr =
+                reinterpret_cast<const double *>(prod_right[c].data());
+            for (std::size_t i = 0; i + 2 <= fftSize_; i += 2) {
+                (VecD4::load(al + 2 * i) + VecD4::load(pl + 2 * i))
+                    .store(al + 2 * i);
+                (VecD4::load(ar + 2 * i) + VecD4::load(pr + 2 * i))
+                    .store(ar + 2 * i);
+            }
         }
     }
     fft(acc_left, true);

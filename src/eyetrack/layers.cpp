@@ -1,9 +1,11 @@
 #include "eyetrack/layers.hpp"
 
+#include "foundation/simd.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace illixr {
 
@@ -56,27 +58,122 @@ Conv2d::forward(const Tensor &input) const
     assert(input.channels() == inChannels_);
     const int h = input.height();
     const int w = input.width();
-    const int pad = kernelSize_ / 2;
+    const int k = kernelSize_;
+    const int pad = k / 2;
     Tensor out(outChannels_, h, w);
 
-    // Output channels are fully independent (each writes its own
-    // plane of `out`), so they tile across the kernel pool.
-    parallelFor("conv2d", 0, static_cast<std::size_t>(outChannels_), 1,
+    // NCHWc blocked-channel layout (DESIGN.md "SIMD & data layout"):
+    // 8 output channels ride one Vec<float, 8> lane set, weights are
+    // packed [ic][ky][kx][8] per block, and the input is repacked
+    // once into zero-padded planes so the inner loop is a pure
+    // broadcast * packed-load madd chain. Per lane the accumulation
+    // is bias then ic->ky->kx serial — the exact op sequence of the
+    // scalar original, so results are bit-identical to it (and
+    // across backends). Leftover channels (< 8) take the original
+    // scalar path.
+    constexpr int kBlock = 8;
+    const int blocks = outChannels_ / kBlock;
+    const int ph = h + 2 * pad;
+    const int pw = w + 2 * pad;
+
+    ArenaFrame scratch;
+    const float *src = input.data();
+    const float *padded = src;
+    if (pad > 0) {
+        const std::size_t plane =
+            static_cast<std::size_t>(ph) * static_cast<std::size_t>(pw);
+        float *pbuf =
+            scratch.alloc<float>(static_cast<std::size_t>(inChannels_) *
+                                 plane);
+        std::memset(pbuf, 0,
+                    static_cast<std::size_t>(inChannels_) * plane *
+                        sizeof(float));
+        for (int ic = 0; ic < inChannels_; ++ic)
+            for (int y = 0; y < h; ++y)
+                std::memcpy(pbuf + ic * plane +
+                                (static_cast<std::size_t>(y) + pad) * pw +
+                                pad,
+                            src + (static_cast<std::size_t>(ic) * h + y) *
+                                      w,
+                            static_cast<std::size_t>(w) * sizeof(float));
+        padded = pbuf;
+    }
+    const int src_ph = pad > 0 ? ph : h;
+    const int src_pw = pad > 0 ? pw : w;
+
+    const std::size_t range =
+        static_cast<std::size_t>(blocks) +
+        (outChannels_ % kBlock != 0 ? 1u : 0u);
+    parallelFor("conv2d", 0, range, 1,
                 [&](std::size_t ob, std::size_t oe) {
-    for (int oc = static_cast<int>(ob); oc < static_cast<int>(oe); ++oc) {
+    using simd::VecF8;
+    for (std::size_t blk = ob; blk < oe; ++blk) {
+        if (blk >= static_cast<std::size_t>(blocks)) {
+            // Channel tail: original scalar path, untouched.
+            for (int oc = blocks * kBlock; oc < outChannels_; ++oc) {
+                for (int y = 0; y < h; ++y) {
+                    for (int x = 0; x < w; ++x) {
+                        float acc = bias_[oc];
+                        for (int ic = 0; ic < inChannels_; ++ic)
+                            for (int ky = 0; ky < k; ++ky)
+                                for (int kx = 0; kx < k; ++kx)
+                                    acc += weight(oc, ic, ky, kx) *
+                                           input.atPadded(ic, y + ky - pad,
+                                                          x + kx - pad);
+                        out.at(oc, y, x) = acc;
+                    }
+                }
+            }
+            continue;
+        }
+
+        const int oc0 = static_cast<int>(blk) * kBlock;
+        ArenaFrame tile_scratch;
+        float *wp = tile_scratch.alloc<float>(
+            static_cast<std::size_t>(inChannels_) * k * k * kBlock);
+        for (int ic = 0; ic < inChannels_; ++ic)
+            for (int ky = 0; ky < k; ++ky)
+                for (int kx = 0; kx < k; ++kx)
+                    for (int l = 0; l < kBlock; ++l)
+                        wp[(((static_cast<std::size_t>(ic) * k + ky) * k +
+                             kx) *
+                            kBlock) +
+                           l] = weight(oc0 + l, ic, ky, kx);
+        alignas(32) float bias8[kBlock];
+        for (int l = 0; l < kBlock; ++l)
+            bias8[l] = bias_[oc0 + l];
+        const VecF8 bias_v = VecF8::load(bias8);
+        float *orow = tile_scratch.alloc<float>(
+            static_cast<std::size_t>(w) * kBlock);
+
         for (int y = 0; y < h; ++y) {
             for (int x = 0; x < w; ++x) {
-                float acc = bias_[oc];
+                VecF8 acc = bias_v;
+                const float *wq = wp;
                 for (int ic = 0; ic < inChannels_; ++ic) {
-                    for (int ky = 0; ky < kernelSize_; ++ky) {
-                        for (int kx = 0; kx < kernelSize_; ++kx) {
-                            acc += weight(oc, ic, ky, kx) *
-                                   input.atPadded(ic, y + ky - pad,
-                                                  x + kx - pad);
+                    const float *plane =
+                        padded + static_cast<std::size_t>(ic) * src_ph *
+                                     src_pw;
+                    for (int ky = 0; ky < k; ++ky) {
+                        const float *row =
+                            plane +
+                            static_cast<std::size_t>(y + ky) * src_pw + x;
+                        for (int kx = 0; kx < k; ++kx) {
+                            acc = simd::madd(acc,
+                                             VecF8::broadcast(row[kx]),
+                                             VecF8::load(wq));
+                            wq += kBlock;
                         }
                     }
                 }
-                out.at(oc, y, x) = acc;
+                acc.store(orow + static_cast<std::size_t>(x) * kBlock);
+            }
+            for (int l = 0; l < kBlock; ++l) {
+                float *dst = out.data() +
+                             (static_cast<std::size_t>(oc0 + l) * h + y) *
+                                 w;
+                for (int x = 0; x < w; ++x)
+                    dst[x] = orow[static_cast<std::size_t>(x) * kBlock + l];
             }
         }
     }
@@ -110,11 +207,19 @@ BatchNorm::forward(const Tensor &input) const
 {
     assert(static_cast<std::size_t>(input.channels()) == scale_.size());
     Tensor out(input.channels(), input.height(), input.width());
+    using simd::VecF8;
+    const std::size_t plane = static_cast<std::size_t>(input.height()) *
+                              input.width();
     for (int c = 0; c < input.channels(); ++c) {
-        for (int y = 0; y < input.height(); ++y)
-            for (int x = 0; x < input.width(); ++x)
-                out.at(c, y, x) =
-                    scale_[c] * input.at(c, y, x) + shift_[c];
+        const float *src = input.data() + c * plane;
+        float *dst = out.data() + c * plane;
+        const VecF8 s = VecF8::broadcast(scale_[c]);
+        const VecF8 b = VecF8::broadcast(shift_[c]);
+        std::size_t i = 0;
+        for (; i + 8 <= plane; i += 8)
+            simd::madd(b, s, VecF8::load(src + i)).store(dst + i);
+        for (; i < plane; ++i)
+            dst[i] = scale_[c] * src[i] + shift_[c];
     }
     return out;
 }
@@ -122,8 +227,15 @@ BatchNorm::forward(const Tensor &input) const
 void
 relu(Tensor &t)
 {
+    using simd::VecF8;
     float *d = t.data();
-    for (std::size_t i = 0; i < t.size(); ++i)
+    const std::size_t n = t.size();
+    const VecF8 zero = VecF8::zero();
+    std::size_t i = 0;
+    // vmax(v, 0) is exactly (v > 0) ? v : 0 per lane.
+    for (; i + 8 <= n; i += 8)
+        simd::vmax(VecF8::load(d + i), zero).store(d + i);
+    for (; i < n; ++i)
         d[i] = d[i] > 0.0f ? d[i] : 0.0f;
 }
 

@@ -1,5 +1,6 @@
 #include "image/filter.hpp"
 
+#include "foundation/simd.hpp"
 #include "runtime/parallel.hpp"
 
 #include <algorithm>
@@ -12,6 +13,21 @@ namespace {
 
 /** Rows per tile for the row-parallel filter kernels. */
 constexpr std::size_t kRowGrain = 16;
+
+/**
+ * Row grain for an image of @p w x @p h: camera-sized frames
+ * (< 64k px) run as a single tile because the per-row work is far
+ * below the kernel-pool launch handoff cost (the fig3 width-4
+ * inversion). A pure function of the image shape, so tiling stays
+ * width-independent.
+ */
+inline std::size_t
+rowGrainFor(int w, int h)
+{
+    return static_cast<std::size_t>(w) * h < 64 * 1024
+               ? static_cast<std::size_t>(std::max(h, 1))
+               : kRowGrain;
+}
 
 inline int
 clampi(int v, int lo, int hi)
@@ -45,6 +61,13 @@ gaussianBlurRaw(const float *src, int w, int h, double sigma, float *dst)
 {
     if (w <= 0 || h <= 0)
         return;
+    // The vectorized passes assume distinct src/dst ranges (in-place
+    // blur was never a supported call pattern).
+    simd::requireNoOverlap(src, static_cast<std::size_t>(w) * h *
+                                    sizeof(float),
+                           dst, static_cast<std::size_t>(w) * h *
+                                    sizeof(float),
+                           "gaussianBlurRaw");
     if (sigma <= 0.0) {
         std::copy(src, src + static_cast<std::size_t>(w) * h, dst);
         return;
@@ -55,28 +78,69 @@ gaussianBlurRaw(const float *src, int w, int h, double sigma, float *dst)
     ArenaFrame scratch;
     float *tmp = scratch.alloc<float>(static_cast<std::size_t>(w) * h);
 
-    // Horizontal pass (rows are independent).
-    parallelFor("gaussian_h", 0, static_cast<std::size_t>(h), kRowGrain,
+    // Horizontal pass (rows are independent). Interior pixels — where
+    // the clamp is the identity — run four at a time in Vec<double, 4>
+    // with the double accumulator and serial tap order preserved
+    // (float -> double widening is exact and the final narrowing store
+    // is the same IEEE round, so results are bit-identical to the
+    // scalar loop; DESIGN.md "SIMD & data layout"). Border pixels keep
+    // the scalar clamped path.
+    const std::size_t row_grain = rowGrainFor(w, h);
+    parallelFor("gaussian_h", 0, static_cast<std::size_t>(h), row_grain,
                 [&](std::size_t yb, std::size_t ye) {
+                    using simd::VecD4;
                     for (std::size_t y = yb; y < ye; ++y) {
                         const float *row = src + y * w;
                         float *out_row = tmp + y * w;
-                        for (int x = 0; x < w; ++x) {
+                        auto scalar_px = [&](int x) {
                             double acc = 0.0;
                             for (int k = -radius; k <= radius; ++k)
                                 acc += kernel[k + radius] *
                                        row[clampi(x + k, 0, w - 1)];
                             out_row[x] = static_cast<float>(acc);
+                        };
+                        const int interior_end = w - radius;
+                        int x = 0;
+                        for (; x < std::min(radius, w); ++x)
+                            scalar_px(x);
+                        for (; x + 4 <= interior_end; x += 4) {
+                            VecD4 acc = VecD4::zero();
+                            for (int k = -radius; k <= radius; ++k)
+                                acc = simd::madd(
+                                    acc,
+                                    VecD4::broadcast(kernel[k + radius]),
+                                    simd::widenLoad(row + x + k));
+                            simd::narrowStore4(acc, out_row + x);
                         }
+                        for (; x < w; ++x)
+                            scalar_px(x);
                     }
                 });
     // Vertical pass (the horizontal pass is fully materialized, so
-    // output rows only read tmp; rows stay independent).
-    parallelFor("gaussian_v", 0, static_cast<std::size_t>(h), kRowGrain,
+    // output rows only read tmp; rows stay independent). The clamp is
+    // on y — uniform across a row — so every x vectorizes.
+    parallelFor("gaussian_v", 0, static_cast<std::size_t>(h), row_grain,
                 [&](std::size_t yb, std::size_t ye) {
+                    using simd::VecD4;
                     for (std::size_t y = yb; y < ye; ++y) {
                         float *out_row = dst + y * w;
-                        for (int x = 0; x < w; ++x) {
+                        int x = 0;
+                        for (; x + 4 <= w; x += 4) {
+                            VecD4 acc = VecD4::zero();
+                            for (int k = -radius; k <= radius; ++k) {
+                                const int yy = clampi(
+                                    static_cast<int>(y) + k, 0, h - 1);
+                                acc = simd::madd(
+                                    acc,
+                                    VecD4::broadcast(kernel[k + radius]),
+                                    simd::widenLoad(
+                                        tmp +
+                                        static_cast<std::size_t>(yy) * w +
+                                        x));
+                            }
+                            simd::narrowStore4(acc, out_row + x);
+                        }
+                        for (; x < w; ++x) {
                             double acc = 0.0;
                             for (int k = -radius; k <= radius; ++k) {
                                 const int yy = clampi(
@@ -97,8 +161,14 @@ downsampleHalfRaw(const float *src, int w, int h, float *dst)
 {
     const int ow = std::max(1, w / 2);
     const int oh = std::max(1, h / 2);
+    // dst rows read src rows at different offsets; overlap corrupts.
+    simd::requireNoOverlap(src, static_cast<std::size_t>(w) * h *
+                                    sizeof(float),
+                           dst, static_cast<std::size_t>(ow) * oh *
+                                    sizeof(float),
+                           "downsampleHalfRaw");
     parallelFor(
-        "downsample", 0, static_cast<std::size_t>(oh), kRowGrain,
+        "downsample", 0, static_cast<std::size_t>(oh), rowGrainFor(ow, oh),
         [&](std::size_t yb, std::size_t ye) {
             for (std::size_t y = yb; y < ye; ++y) {
                 float *out_row = dst + y * ow;

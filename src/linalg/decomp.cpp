@@ -1,5 +1,6 @@
 #include "linalg/decomp.hpp"
 
+#include "foundation/simd.hpp"
 #include "runtime/parallel.hpp"
 
 #include <algorithm>
@@ -92,6 +93,10 @@ HouseholderQR::HouseholderQR(const MatX &a)
 {
     const std::size_t steps = std::min(m_ > 0 ? m_ - 1 : 0, n_);
     tau_.assign(steps, 0.0);
+    // Panel of per-column dot accumulators for the trailing update
+    // (arena scratch, reused across reflectors).
+    ArenaFrame scratch;
+    double *dot = n_ > 0 ? scratch.alloc<double>(n_) : nullptr;
     for (std::size_t k = 0; k < steps; ++k) {
         // Compute the Householder reflector for column k.
         double norm_sq = 0.0;
@@ -114,15 +119,66 @@ HouseholderQR::HouseholderQR(const MatX &a)
         for (std::size_t i = k + 1; i < m_; ++i)
             qr_(i, k) /= v0;
         qr_(k, k) = alpha;
-        // Apply reflector to the trailing columns.
-        for (std::size_t j = k + 1; j < n_; ++j) {
-            double dot = qr_(k, j);
-            for (std::size_t i = k + 1; i < m_; ++i)
-                dot += qr_(i, k) * qr_(i, j);
-            dot *= tau_[k];
-            qr_(k, j) -= dot;
-            for (std::size_t i = k + 1; i < m_; ++i)
-                qr_(i, j) -= qr_(i, k) * dot;
+        // Apply the reflector to the trailing columns via row-major
+        // panel passes: dot[j] accumulates over i ASCENDING exactly
+        // like the former j-outer column sweeps, so results are
+        // bit-identical to them (VIO-path contract, DESIGN.md "SIMD &
+        // data layout") while every inner loop is contiguous and
+        // vector-wide.
+        const std::size_t jb = k + 1;
+        if (jb >= n_)
+            continue;
+        const std::size_t nj = n_ - jb;
+        double *panel = dot;
+        const double *qdata = qr_.data();
+        double *qmut = qr_.data();
+        using simd::VecD4;
+        for (std::size_t jj = 0; jj < nj; ++jj)
+            panel[jj] = qdata[k * n_ + jb + jj];
+        for (std::size_t i = k + 1; i < m_; ++i) {
+            // No zero-skip here: the original accumulated every term
+            // unconditionally, and +-0 products are sign-significant.
+            const double cs = qdata[i * n_ + k];
+            const double *row = qdata + i * n_ + jb;
+            if constexpr (simd::backendId() == 0) {
+                // Scalar backend: the plain loop optimizes better
+                // than the lane-array emulation; identical sums.
+                for (std::size_t jj = 0; jj < nj; ++jj)
+                    panel[jj] += row[jj] * cs;
+                continue;
+            }
+            const VecD4 c = VecD4::broadcast(cs);
+            std::size_t jj = 0;
+            for (; jj + 4 <= nj; jj += 4)
+                simd::madd(VecD4::load(panel + jj),
+                           VecD4::load(row + jj), c)
+                    .store(panel + jj);
+            for (; jj < nj; ++jj)
+                panel[jj] += row[jj] * cs;
+        }
+        {
+            const double t = tau_[k];
+            for (std::size_t jj = 0; jj < nj; ++jj)
+                panel[jj] *= t;
+        }
+        for (std::size_t jj = 0; jj < nj; ++jj)
+            qmut[k * n_ + jb + jj] -= panel[jj];
+        for (std::size_t i = k + 1; i < m_; ++i) {
+            const double cs = qdata[i * n_ + k];
+            double *row = qmut + i * n_ + jb;
+            if constexpr (simd::backendId() == 0) {
+                for (std::size_t jj = 0; jj < nj; ++jj)
+                    row[jj] -= cs * panel[jj];
+                continue;
+            }
+            const VecD4 c = VecD4::broadcast(cs);
+            std::size_t jj = 0;
+            for (; jj + 4 <= nj; jj += 4)
+                (VecD4::load(row + jj) -
+                 c * VecD4::load(panel + jj))
+                    .store(row + jj);
+            for (; jj < nj; ++jj)
+                row[jj] -= cs * panel[jj];
         }
     }
 }

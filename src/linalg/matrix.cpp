@@ -1,5 +1,6 @@
 #include "linalg/matrix.hpp"
 
+#include "foundation/simd.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
@@ -12,12 +13,87 @@ namespace {
 /**
  * Flop threshold below which dense products stay on the caller's
  * thread. Thresholding cannot change results: every output row is
- * computed by the same serial inner loops either way.
+ * computed by the same serial inner loops either way. 512k flops
+ * keeps the per-frame MSCKF covariance products (~360k flops at 75
+ * states) inline — on small hosts the launch handoff costs more than
+ * the product (the fig3 width-4 inversion).
  */
-constexpr std::size_t kGemmParallelFlops = 64 * 1024;
+constexpr std::size_t kGemmParallelFlops = 512 * 1024;
 
 /** Output rows per tile. */
 constexpr std::size_t kGemmRowGrain = 8;
+
+/**
+ * rrow[j] += a * orow[j], vectorized over j. Each output element
+ * keeps its own accumulator, so the k-ascending accumulation order of
+ * the callers is untouched and results stay bit-identical to the
+ * scalar loop (VIO-path contract, DESIGN.md "SIMD & data layout").
+ * The rows never alias (outputs are freshly allocated result
+ * matrices), which __restrict asserts so the compiler can skip the
+ * runtime overlap checks.
+ */
+inline void
+axpyRow(double *__restrict rrow, const double *__restrict orow, double a,
+        std::size_t n)
+{
+    if constexpr (simd::backendId() == 0) {
+        // Scalar backend: the plain loop optimizes better than the
+        // lane-array emulation and computes the identical per-element
+        // sums.
+        for (std::size_t j = 0; j < n; ++j)
+            rrow[j] += a * orow[j];
+        return;
+    }
+    using simd::VecD4;
+    const VecD4 av = VecD4::broadcast(a);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4)
+        simd::madd(VecD4::load(rrow + j), VecD4::load(orow + j), av)
+            .store(rrow + j);
+    for (; j < n; ++j)
+        rrow[j] += a * orow[j];
+}
+
+/**
+ * Serial row-range GEMM kernel shared by the inline and pooled paths
+ * of operator*. Kept out-of-line on purpose: when this body is
+ * inlined into operator* the surrounding member-field accesses defeat
+ * the vectorizer's alias versioning and the scalar backend loses
+ * ~35% (measured on BM_MsckfGemm). Compiling it once as a standalone
+ * function gives both call paths the same (good) code.
+ */
+__attribute__((noinline)) void
+gemmRowRange(double *rdata, const double *adata, const double *odata,
+             std::size_t ib, std::size_t ie, std::size_t cols,
+             std::size_t ocols)
+{
+    for (std::size_t i = ib; i < ie; ++i) {
+        for (std::size_t k = 0; k < cols; ++k) {
+            const double a = adata[i * cols + k];
+            if (a == 0.0)
+                continue;
+            axpyRow(rdata + i * ocols, odata + k * ocols, a, ocols);
+        }
+    }
+}
+
+/** Out-of-line row-range kernel for timesTranspose (see gemmRowRange). */
+__attribute__((noinline)) void
+gemmNtRowRange(double *rdata, const double *adata, const double *odata,
+               std::size_t ib, std::size_t ie, std::size_t cols,
+               std::size_t orows)
+{
+    for (std::size_t i = ib; i < ie; ++i) {
+        const double *arow = adata + i * cols;
+        for (std::size_t j = 0; j < orows; ++j) {
+            const double *brow = odata + j * cols;
+            double acc = 0.0;
+            for (std::size_t k = 0; k < cols; ++k)
+                acc += arow[k] * brow[k];
+            rdata[i * orows + j] = acc;
+        }
+    }
+}
 
 } // namespace
 
@@ -87,17 +163,8 @@ MatX::operator*(const MatX &o) const
     // output rows are independent, so the MSCKF covariance GEMMs tile
     // by row (bit-identical at any width).
     auto rows_kernel = [&](std::size_t ib, std::size_t ie) {
-        for (std::size_t i = ib; i < ie; ++i) {
-            for (std::size_t k = 0; k < cols_; ++k) {
-                const double a = data_[i * cols_ + k];
-                if (a == 0.0)
-                    continue;
-                const double *orow = &o.data_[k * o.cols_];
-                double *rrow = &r.data_[i * o.cols_];
-                for (std::size_t j = 0; j < o.cols_; ++j)
-                    rrow[j] += a * orow[j];
-            }
-        }
+        gemmRowRange(r.data_.data(), data_.data(), o.data_.data(), ib, ie,
+                     cols_, o.cols_);
     };
     if (rows_ * cols_ * o.cols_ >= kGemmParallelFlops)
         parallelFor("gemm", 0, rows_, kGemmRowGrain, rows_kernel);
@@ -175,11 +242,8 @@ MatX::transposeTimes(const MatX &o) const
                                 const double a = data_[k * cols_ + i];
                                 if (a == 0.0)
                                     continue;
-                                const double *brow =
-                                    &o.data_[k * o.cols_];
-                                for (std::size_t j = 0; j < o.cols_;
-                                     ++j)
-                                    rrow[j] += a * brow[j];
+                                axpyRow(rrow, &o.data_[k * o.cols_], a,
+                                        o.cols_);
                             }
                         }
                     });
@@ -192,9 +256,7 @@ MatX::transposeTimes(const MatX &o) const
             const double a = arow[i];
             if (a == 0.0)
                 continue;
-            double *rrow = &r.data_[i * o.cols_];
-            for (std::size_t j = 0; j < o.cols_; ++j)
-                rrow[j] += a * brow[j];
+            axpyRow(&r.data_[i * o.cols_], brow, a, o.cols_);
         }
     }
     return r;
@@ -206,16 +268,8 @@ MatX::timesTranspose(const MatX &o) const
     assert(cols_ == o.cols_);
     MatX r(rows_, o.rows_);
     auto rows_kernel = [&](std::size_t ib, std::size_t ie) {
-        for (std::size_t i = ib; i < ie; ++i) {
-            const double *arow = &data_[i * cols_];
-            for (std::size_t j = 0; j < o.rows_; ++j) {
-                const double *brow = &o.data_[j * o.cols_];
-                double acc = 0.0;
-                for (std::size_t k = 0; k < cols_; ++k)
-                    acc += arow[k] * brow[k];
-                r(i, j) = acc;
-            }
-        }
+        gemmNtRowRange(r.data_.data(), data_.data(), o.data_.data(), ib, ie,
+                       cols_, o.rows_);
     };
     if (rows_ * cols_ * o.rows_ >= kGemmParallelFlops)
         parallelFor("gemm_nt", 0, rows_, kGemmRowGrain, rows_kernel);

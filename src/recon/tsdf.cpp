@@ -1,5 +1,6 @@
 #include "recon/tsdf.hpp"
 
+#include "foundation/simd.hpp"
 #include "runtime/parallel.hpp"
 
 #include <algorithm>
@@ -25,33 +26,138 @@ TsdfVolume::integrate(const DepthImage &depth, const CameraIntrinsics &intr,
     const int res = params_.resolution;
     const float trunc = static_cast<float>(params_.truncation);
 
-    // Voxel slabs along z: every voxel is read-modify-written by
-    // exactly one tile, so the fusion math is untouched.
+    // Vectorized projection (DESIGN.md "SIMD & data layout"): the
+    // camera-space point of voxel (x, y, z) is base(y, z) + colx * wx,
+    // with the rotation columns converted to float once and base
+    // recomputed per (y, z) from indices only — a pure function of the
+    // voxel coordinate, so results are identical at every kernel
+    // width (pinned contract: float instead of the old double math,
+    // identical across backends but not vs the pre-SIMD kernel;
+    // recon_test bounds are tolerance-based). Projection, the
+    // front-of-camera test, and the image-bounds test run 8 voxels at
+    // a time; surviving lanes take the scalar depth-lookup + fusion
+    // path, which is untouched.
+    const Vec3 colx_d = world_to_camera.orientation.rotate(Vec3(1, 0, 0));
+    const Vec3 coly_d = world_to_camera.orientation.rotate(Vec3(0, 1, 0));
+    const Vec3 colz_d = world_to_camera.orientation.rotate(Vec3(0, 0, 1));
+    const float cxx = static_cast<float>(colx_d.x);
+    const float cxy = static_cast<float>(colx_d.y);
+    const float cxz = static_cast<float>(colx_d.z);
+    const float vs = static_cast<float>(voxelSize_);
+    const float fx = static_cast<float>(intr.fx);
+    const float fy = static_cast<float>(intr.fy);
+    const float cx = static_cast<float>(intr.cx);
+    const float cy = static_cast<float>(intr.cy);
+    const float img_w = static_cast<float>(intr.width);
+    const float img_h = static_cast<float>(intr.height);
+
+    // Per-x world coordinate, pure function of x (shared, read-only).
+    ArenaFrame scratch;
+    float *wxs = scratch.alloc<float>(static_cast<std::size_t>(res));
+    for (int x = 0; x < res; ++x)
+        wxs[x] = static_cast<float>(params_.origin.x) +
+                 (static_cast<float>(x) + 0.5f) * vs;
+
     parallelFor("tsdf_integrate", 0, static_cast<std::size_t>(res), 2,
                 [&](std::size_t zb, std::size_t ze) {
+    using simd::VecF8;
+    const VecF8 v_cxx = VecF8::broadcast(cxx);
+    const VecF8 v_cxy = VecF8::broadcast(cxy);
+    const VecF8 v_cxz = VecF8::broadcast(cxz);
+    const VecF8 v_fx = VecF8::broadcast(fx);
+    const VecF8 v_fy = VecF8::broadcast(fy);
+    const VecF8 v_cx = VecF8::broadcast(cx);
+    const VecF8 v_cy = VecF8::broadcast(cy);
+    const VecF8 v_near = VecF8::broadcast(0.05f);
+    const VecF8 v_one = VecF8::broadcast(1.0f);
+    const VecF8 v_wlim = VecF8::broadcast(img_w - 1.0f);
+    const VecF8 v_hlim = VecF8::broadcast(img_h - 1.0f);
+    alignas(32) float l_px[8], l_py[8], l_camz[8];
     for (int z = static_cast<int>(zb); z < static_cast<int>(ze); ++z) {
+        const float wz = static_cast<float>(params_.origin.z) +
+                         (static_cast<float>(z) + 0.5f) * vs;
         for (int y = 0; y < res; ++y) {
-            for (int x = 0; x < res; ++x) {
-                const Vec3 world =
-                    params_.origin +
-                    Vec3((x + 0.5) * voxelSize_, (y + 0.5) * voxelSize_,
-                         (z + 0.5) * voxelSize_);
-                const Vec3 cam = world_to_camera.transform(world);
-                if (cam.z <= 0.05)
-                    continue; // Behind the camera.
-                const Vec2 px = intr.project(cam);
-                if (!intr.inImage(px, 1.0))
+            const float wy = static_cast<float>(params_.origin.y) +
+                             (static_cast<float>(y) + 0.5f) * vs;
+            // base(y, z) = coly*wy + colz*wz + t, in float.
+            const float bx = static_cast<float>(coly_d.x) * wy +
+                             static_cast<float>(colz_d.x) * wz +
+                             static_cast<float>(world_to_camera.position.x);
+            const float by = static_cast<float>(coly_d.y) * wy +
+                             static_cast<float>(colz_d.y) * wz +
+                             static_cast<float>(world_to_camera.position.y);
+            const float bz = static_cast<float>(coly_d.z) * wy +
+                             static_cast<float>(colz_d.z) * wz +
+                             static_cast<float>(world_to_camera.position.z);
+            const VecF8 v_bx = VecF8::broadcast(bx);
+            const VecF8 v_by = VecF8::broadcast(by);
+            const VecF8 v_bz = VecF8::broadcast(bz);
+            int x = 0;
+            for (; x + 8 <= res; x += 8) {
+                const VecF8 wx = VecF8::load(wxs + x);
+                const VecF8 camx = simd::madd(v_bx, v_cxx, wx);
+                const VecF8 camy = simd::madd(v_by, v_cxy, wx);
+                const VecF8 camz = simd::madd(v_bz, v_cxz, wx);
+                VecF8 mask = simd::cmpGT(camz, v_near);
+                if (!simd::maskBits(mask))
+                    continue;
+                const VecF8 px =
+                    simd::madd(v_cx, v_fx, camx / camz);
+                const VecF8 py =
+                    simd::madd(v_cy, v_fy, camy / camz);
+                mask = simd::bitAnd(mask, simd::cmpGE(px, v_one));
+                mask = simd::bitAnd(mask, simd::cmpGE(py, v_one));
+                mask = simd::bitAnd(mask, simd::cmpLT(px, v_wlim));
+                mask = simd::bitAnd(mask, simd::cmpLT(py, v_hlim));
+                int bits = simd::maskBits(mask);
+                if (!bits)
+                    continue;
+                px.store(l_px);
+                py.store(l_py);
+                camz.store(l_camz);
+                for (int l = 0; l < 8; ++l) {
+                    if (!(bits & (1 << l)))
+                        continue;
+                    const float measured =
+                        depth.at(static_cast<int>(l_px[l]),
+                                 static_cast<int>(l_py[l]));
+                    if (measured <= 0.0f)
+                        continue; // Invalid depth.
+                    const float sdf_val = measured - l_camz[l];
+                    if (sdf_val < -trunc)
+                        continue; // Occluded beyond the band.
+                    const float tsdf =
+                        std::min(1.0f, sdf_val / trunc);
+                    const std::size_t i = index(x + l, y, z);
+                    const float w_old = weight_[i];
+                    const float w_new = 1.0f;
+                    sdf_[i] = (sdf_[i] * w_old + tsdf * w_new) /
+                              (w_old + w_new);
+                    weight_[i] =
+                        std::min(params_.max_weight, w_old + w_new);
+                }
+            }
+            // x tail (res not a multiple of 8): identical math, one
+            // voxel at a time.
+            for (; x < res; ++x) {
+                const float camz_s = bz + cxz * wxs[x];
+                if (!(camz_s > 0.05f))
+                    continue;
+                const float camx_s = bx + cxx * wxs[x];
+                const float camy_s = by + cxy * wxs[x];
+                const float px_s = cx + fx * (camx_s / camz_s);
+                const float py_s = cy + fy * (camy_s / camz_s);
+                if (!(px_s >= 1.0f && py_s >= 1.0f &&
+                      px_s < img_w - 1.0f && py_s < img_h - 1.0f))
                     continue;
                 const float measured = depth.at(
-                    static_cast<int>(px.x), static_cast<int>(px.y));
+                    static_cast<int>(px_s), static_cast<int>(py_s));
                 if (measured <= 0.0f)
-                    continue; // Invalid depth.
-                const float sdf_val =
-                    measured - static_cast<float>(cam.z);
+                    continue;
+                const float sdf_val = measured - camz_s;
                 if (sdf_val < -trunc)
-                    continue; // Occluded beyond the band.
-                const float tsdf =
-                    std::min(1.0f, sdf_val / trunc);
+                    continue;
+                const float tsdf = std::min(1.0f, sdf_val / trunc);
                 const std::size_t i = index(x, y, z);
                 const float w_old = weight_[i];
                 const float w_new = 1.0f;

@@ -1,6 +1,7 @@
 #include "runtime/parallel.hpp"
 
 #include "foundation/profile.hpp"
+#include "foundation/simd.hpp"
 #include "trace/metrics_registry.hpp"
 #include "trace/trace.hpp"
 
@@ -284,7 +285,11 @@ struct KernelPool::Impl
     metricsFor(const char *name, MetricsRegistry *reg)
     {
         std::lock_guard<std::mutex> lk(cache_mutex);
+        const bool fresh_registry = !metric_cache.count(reg);
         auto &per_registry = metric_cache[reg];
+        if (fresh_registry)
+            reg->gauge("kernel.simd_backend")
+                .set(static_cast<double>(simd::backendId()));
         auto it = per_registry.find(name);
         if (it != per_registry.end())
             return it->second;
@@ -482,8 +487,16 @@ KernelPool::run(const char *name, std::size_t begin, std::size_t end,
         }
         {
             std::lock_guard<std::mutex> lk(impl_->m);
-            // Lazily (re)start helpers at the configured width.
-            while (impl_->helpers.size() + 1 < width)
+            // Lazily (re)start helpers at the configured width, but
+            // never keep more workers than the host has cores: on an
+            // oversubscribed host the extra helpers only add
+            // wake/quiesce handoff per launch (the fig3 width-4
+            // inversion). The tiling (l.parts) is unchanged and idle
+            // chunks are drained by stealing, so outputs are
+            // bit-identical either way.
+            const std::size_t host_cores = std::max<std::size_t>(
+                1, std::thread::hardware_concurrency());
+            while (impl_->helpers.size() + 1 < std::min(width, host_cores))
                 impl_->helpers.emplace_back(
                     [this] { impl_->helperMain(); });
             impl_->current = &l;

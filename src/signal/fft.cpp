@@ -1,8 +1,10 @@
 #include "signal/fft.hpp"
 
+#include "foundation/simd.hpp"
 #include "runtime/parallel.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <map>
 #include <cmath>
 
@@ -39,42 +41,81 @@ fft(std::vector<Complex> &data, bool inverse)
             std::swap(data[i], data[j]);
     }
 
-    // Danielson–Lanczos butterflies with a cached twiddle table
-    // (table lookup avoids the serial w *= wlen dependency chain).
-    // Cached per size so alternating sizes (e.g. fft2d on non-square
-    // grids) do not rebuild tables.
-    static thread_local std::map<std::size_t, std::vector<Complex>>
-        twiddle_cache;
-    std::vector<Complex> &twiddles = twiddle_cache[n];
-    if (twiddles.size() != n / 2) {
-        twiddles.resize(n / 2);
+    // Danielson–Lanczos butterflies over stage-contiguous twiddle
+    // tables: the per-size master table (twiddles[k] = cis(-2*pi*k/n))
+    // is expanded once into one contiguous run per stage — values
+    // copied, so they are exactly the old `twiddles[k * stride]`
+    // lookups — with forward and inverse (conjugated) variants built
+    // separately to hoist the per-butterfly conj branch. Stages with
+    // len >= 4 run two complex butterflies per Vec<double, 4>
+    // (interleaved re, im); complexMul performs the exact std::complex
+    // operation sequence, so the transform is bit-identical to the
+    // scalar original on every backend.
+    struct StageTables
+    {
+        std::vector<Complex> fwd, inv; // n - 1 entries, stage-major.
+    };
+    static thread_local std::map<std::size_t, StageTables> twiddle_cache;
+    StageTables &tables = twiddle_cache[n];
+    if (tables.fwd.size() != n - 1) {
+        std::vector<Complex> master(n / 2);
         for (std::size_t k = 0; k < n / 2; ++k) {
-            const double angle =
-                -2.0 * M_PI * static_cast<double>(k) /
-                static_cast<double>(n);
-            twiddles[k] = Complex(std::cos(angle), std::sin(angle));
+            const double angle = -2.0 * M_PI * static_cast<double>(k) /
+                                 static_cast<double>(n);
+            master[k] = Complex(std::cos(angle), std::sin(angle));
+        }
+        tables.fwd.resize(n - 1);
+        tables.inv.resize(n - 1);
+        for (std::size_t len = 2; len <= n; len <<= 1) {
+            const std::size_t stride = n / len;
+            const std::size_t off = len / 2 - 1;
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                tables.fwd[off + k] = master[k * stride];
+                tables.inv[off + k] = std::conj(master[k * stride]);
+            }
         }
     }
+    const std::vector<Complex> &stage_tw =
+        inverse ? tables.inv : tables.fwd;
 
+    double *raw = reinterpret_cast<double *>(data.data());
+    using simd::VecD4;
     for (std::size_t len = 2; len <= n; len <<= 1) {
-        const std::size_t stride = n / len;
+        const std::size_t half = len / 2;
+        const Complex *tw = stage_tw.data() + (half - 1);
+        if (half < 2) {
+            // len == 2: w = (1, 0); keep the scalar generic multiply.
+            for (std::size_t i = 0; i < n; i += len) {
+                const Complex even = data[i];
+                const Complex odd = data[i + 1] * tw[0];
+                data[i] = even + odd;
+                data[i + 1] = even - odd;
+            }
+            continue;
+        }
+        const double *tw_raw = reinterpret_cast<const double *>(tw);
         for (std::size_t i = 0; i < n; i += len) {
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                Complex w = twiddles[k * stride];
-                if (inverse)
-                    w = std::conj(w);
-                const Complex even = data[i + k];
-                const Complex odd = data[i + k + len / 2] * w;
-                data[i + k] = even + odd;
-                data[i + k + len / 2] = even - odd;
+            double *even_p = raw + 2 * i;
+            double *odd_p = raw + 2 * (i + half);
+            for (std::size_t k = 0; k < half; k += 2) {
+                const VecD4 even = VecD4::load(even_p + 2 * k);
+                const VecD4 odd = simd::complexMul(
+                    VecD4::load(odd_p + 2 * k),
+                    VecD4::load(tw_raw + 2 * k));
+                (even + odd).store(even_p + 2 * k);
+                (even - odd).store(odd_p + 2 * k);
             }
         }
     }
 
     if (inverse) {
-        const double scale = 1.0 / static_cast<double>(n);
-        for (Complex &c : data)
-            c *= scale;
+        const VecD4 scale =
+            VecD4::broadcast(1.0 / static_cast<double>(n));
+        std::size_t i = 0;
+        for (; i + 2 <= n; i += 2)
+            (VecD4::load(raw + 2 * i) * scale).store(raw + 2 * i);
+        for (; i < n; ++i)
+            data[i] *= 1.0 / static_cast<double>(n);
     }
 }
 
@@ -111,11 +152,11 @@ fft2d(std::vector<Complex> &grid, std::size_t width, std::size_t height,
                 [&](std::size_t yb, std::size_t ye) {
                     std::vector<Complex> row(width);
                     for (std::size_t y = yb; y < ye; ++y) {
-                        for (std::size_t x = 0; x < width; ++x)
-                            row[x] = grid[y * width + x];
+                        std::memcpy(row.data(), grid.data() + y * width,
+                                    width * sizeof(Complex));
                         fft(row, inverse);
-                        for (std::size_t x = 0; x < width; ++x)
-                            grid[y * width + x] = row[x];
+                        std::memcpy(grid.data() + y * width, row.data(),
+                                    width * sizeof(Complex));
                     }
                 });
 

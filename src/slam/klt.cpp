@@ -136,7 +136,15 @@ trackPoints(const ImagePyramid &prev, const ImagePyramid &next,
     std::vector<KltResult> results(points.size());
     // Features are fully independent; each tile writes its own result
     // slots, so output order (and bits) match the serial loop.
-    parallelFor("klt_track", 0, points.size(), 2,
+    // Per-frame feature batches are tiny (tens of points, ~10 us
+    // each): below 256 the launch handoff costs more than the work,
+    // so the whole batch becomes one tile and parallelFor runs it
+    // inline (the fig3 width-4 inversion). The grain is a pure
+    // function of the range, so tiling stays width-independent.
+    const std::size_t grain = points.size() < 256
+                                  ? std::max<std::size_t>(points.size(), 1)
+                                  : 2;
+    parallelFor("klt_track", 0, points.size(), grain,
                 [&](std::size_t b, std::size_t e) {
                     for (std::size_t i = b; i < e; ++i)
                         results[i] = trackPointPyramidal(

@@ -1,6 +1,7 @@
 #include "visual/hologram.hpp"
 
 #include "foundation/rng.hpp"
+#include "foundation/simd.hpp"
 #include "image/filter.hpp"
 #include "runtime/parallel.hpp"
 
@@ -28,31 +29,78 @@ HologramGenerator::lensPhaseAt(int x, int y, int d) const
     return M_PI * focus * (nx * nx + ny * ny) * n / 8.0;
 }
 
+void
+HologramGenerator::ensurePhaseTables() const
+{
+    const int n = params_.resolution;
+    const int planes = params_.depth_planes;
+    const std::size_t count = static_cast<std::size_t>(n) * n;
+    if (phase_fwd_.size() == static_cast<std::size_t>(planes) &&
+        (planes == 0 || phase_fwd_[0].size() == 2 * count))
+        return;
+    phase_fwd_.assign(planes, {});
+    phase_bwd_.assign(planes, {});
+    const double scale = n; // Undo the forward 1/n normalization.
+    for (int d = 0; d < planes; ++d) {
+        phase_fwd_[d].resize(2 * count);
+        phase_bwd_[d].resize(2 * count);
+        for (int y = 0; y < n; ++y) {
+            for (int x = 0; x < n; ++x) {
+                const std::size_t i = static_cast<std::size_t>(y) * n + x;
+                const double phi = lensPhaseAt(x, y, d);
+                phase_fwd_[d][2 * i] = std::cos(phi);
+                phase_fwd_[d][2 * i + 1] = std::sin(phi);
+                // Exactly the pre-SIMD Complex(cos(-phi), sin(-phi))
+                // * scale operand.
+                phase_bwd_[d][2 * i] = std::cos(-phi) * scale;
+                phase_bwd_[d][2 * i + 1] = std::sin(-phi) * scale;
+            }
+        }
+    }
+}
+
 std::vector<Complex>
 HologramGenerator::propagateToPlane(const std::vector<Complex> &hologram,
                                     int d) const
 {
     const int n = params_.resolution;
     std::vector<Complex> field(hologram.size());
-    // Rows write disjoint slices of the field.
+    ensurePhaseTables();
+    const double *tab = phase_fwd_[d].data();
+    const double *src = reinterpret_cast<const double *>(hologram.data());
+    double *dst = reinterpret_cast<double *>(field.data());
+    // Rows write disjoint slices of the field; the cached lens-phase
+    // factor is applied two pixels per Vec<double, 4> via complexMul
+    // (bit-identical to the former per-pixel std::complex multiply).
     parallelFor("hologram_phase", 0, static_cast<std::size_t>(n), 8,
                 [&](std::size_t yb, std::size_t ye) {
-                    for (int y = static_cast<int>(yb);
-                         y < static_cast<int>(ye); ++y) {
-                        for (int x = 0; x < n; ++x) {
-                            const double phi = lensPhaseAt(x, y, d);
-                            field[static_cast<std::size_t>(y) * n + x] =
-                                hologram[static_cast<std::size_t>(y) * n +
-                                         x] *
-                                Complex(std::cos(phi), std::sin(phi));
-                        }
+                    using simd::VecD4;
+                    const std::size_t end = ye * n * 2;
+                    std::size_t j = yb * n * 2;
+                    for (; j + 4 <= end; j += 4)
+                        simd::complexMul(VecD4::load(src + j),
+                                         VecD4::load(tab + j))
+                            .store(dst + j);
+                    for (; j < end; j += 2) {
+                        const Complex f(src[j], src[j + 1]);
+                        const Complex w(tab[j], tab[j + 1]);
+                        const Complex r = f * w;
+                        dst[j] = r.real();
+                        dst[j + 1] = r.imag();
                     }
                 });
     fft2d(field, n, n, false);
     // Normalize so amplitudes are resolution-independent.
-    const double scale = 1.0 / n;
-    for (Complex &c : field)
-        c *= scale;
+    {
+        using simd::VecD4;
+        const VecD4 scale = VecD4::broadcast(1.0 / n);
+        const std::size_t end = 2 * field.size();
+        std::size_t j = 0;
+        for (; j + 4 <= end; j += 4)
+            (VecD4::load(dst + j) * scale).store(dst + j);
+        for (; j < end; ++j)
+            dst[j] *= 1.0 / n;
+    }
     return field;
 }
 
@@ -63,17 +111,24 @@ HologramGenerator::propagateFromPlane(
     const int n = params_.resolution;
     std::vector<Complex> field = plane_field;
     fft2d(field, n, n, true);
-    const double scale = n; // Undo the forward normalization.
+    ensurePhaseTables();
+    const double *tab = phase_bwd_[d].data();
+    double *dst = reinterpret_cast<double *>(field.data());
     parallelFor("hologram_phase", 0, static_cast<std::size_t>(n), 8,
                 [&](std::size_t yb, std::size_t ye) {
-                    for (int y = static_cast<int>(yb);
-                         y < static_cast<int>(ye); ++y) {
-                        for (int x = 0; x < n; ++x) {
-                            const double phi = -lensPhaseAt(x, y, d);
-                            field[static_cast<std::size_t>(y) * n + x] *=
-                                Complex(std::cos(phi), std::sin(phi)) *
-                                scale;
-                        }
+                    using simd::VecD4;
+                    const std::size_t end = ye * n * 2;
+                    std::size_t j = yb * n * 2;
+                    for (; j + 4 <= end; j += 4)
+                        simd::complexMul(VecD4::load(dst + j),
+                                         VecD4::load(tab + j))
+                            .store(dst + j);
+                    for (; j < end; j += 2) {
+                        const Complex f(dst[j], dst[j + 1]);
+                        const Complex w(tab[j], tab[j + 1]);
+                        const Complex r = f * w;
+                        dst[j] = r.real();
+                        dst[j + 1] = r.imag();
                     }
                 });
     return field;
@@ -129,16 +184,21 @@ HologramGenerator::compute(const RgbImage &frame, const ImageF *depth)
     }
 
     // Initialize with a deterministic pseudo-random phase (random
-    // initial phase is standard for GS).
-    std::vector<Complex> hologram(count);
+    // initial phase is standard for GS). The Rng(2718) field is a pure
+    // function of `count`, so it is built once and reused across
+    // compute() calls.
     {
         ScopedTask timer(profile_, "sum");
-        Rng rng(2718);
-        for (Complex &c : hologram) {
-            const double phi = rng.uniform(0.0, 2.0 * M_PI);
-            c = Complex(std::cos(phi), std::sin(phi));
+        if (init_phase_.size() != count) {
+            init_phase_.resize(count);
+            Rng rng(2718);
+            for (Complex &c : init_phase_) {
+                const double phi = rng.uniform(0.0, 2.0 * M_PI);
+                c = Complex(std::cos(phi), std::sin(phi));
+            }
         }
     }
+    std::vector<Complex> hologram = init_phase_;
 
     HologramResult result;
     result.plane_weights.assign(planes, 1.0);
@@ -160,8 +220,16 @@ HologramGenerator::compute(const RgbImage &frame, const ImageF *depth)
             ScopedTask timer(profile_, "sum");
             for (int d = 0; d < planes; ++d) {
                 double err = 0.0, norm = 0.0;
+                // Amplitude via sqrt(re^2 + im^2) rather than the
+                // former std::abs/hypot (pinned: identical across
+                // backends and widths, not vs the pre-SIMD code; the
+                // GS error is tolerance-tested only).
+                const double *f = reinterpret_cast<const double *>(
+                    plane_fields[d].data());
                 for (std::size_t i = 0; i < count; ++i) {
-                    const double a = std::abs(plane_fields[d][i]);
+                    const double a = std::sqrt(f[2 * i] * f[2 * i] +
+                                               f[2 * i + 1] *
+                                                   f[2 * i + 1]);
                     const double t = targets[d][i];
                     err += (a - t) * (a - t);
                     norm += t * t;
@@ -185,28 +253,52 @@ HologramGenerator::compute(const RgbImage &frame, const ImageF *depth)
                 parallelFor(
                     "hologram_constraint", 0, count, 4096,
                     [&](std::size_t ib, std::size_t ie) {
+                        const double *f = reinterpret_cast<const double *>(
+                            plane_fields[d].data());
                         for (std::size_t i = ib; i < ie; ++i) {
-                            const Complex &f = plane_fields[d][i];
-                            const double mag = std::abs(f);
+                            const double re = f[2 * i];
+                            const double im = f[2 * i + 1];
+                            const double mag =
+                                std::sqrt(re * re + im * im);
                             // Keep the phase, impose the target
-                            // amplitude.
+                            // amplitude (mag pinned as above).
+                            const double t = targets[d][i];
                             constrained[i] =
                                 (mag > 1e-12)
-                                    ? f * (targets[d][i] / mag)
-                                    : Complex(targets[d][i], 0.0);
+                                    ? Complex(re * (t / mag),
+                                              im * (t / mag))
+                                    : Complex(t, 0.0);
                         }
                     });
                 const auto back = propagateFromPlane(constrained, d);
                 const double w = result.plane_weights[d];
-                for (std::size_t i = 0; i < count; ++i)
-                    combined[i] += back[i] * w;
+                {
+                    using simd::VecD4;
+                    const VecD4 wv = VecD4::broadcast(w);
+                    double *cb =
+                        reinterpret_cast<double *>(combined.data());
+                    const double *bk =
+                        reinterpret_cast<const double *>(back.data());
+                    std::size_t j = 0;
+                    for (; j + 4 <= 2 * count; j += 4)
+                        simd::madd(VecD4::load(cb + j),
+                                   VecD4::load(bk + j), wv)
+                            .store(cb + j);
+                    for (; j < 2 * count; ++j)
+                        cb[j] += bk[j] * w;
+                }
                 weight_sum += w;
             }
-            // Phase-only constraint at the SLM.
+            // Phase-only constraint at the SLM (mag pinned as above).
+            const double *cb =
+                reinterpret_cast<const double *>(combined.data());
             for (std::size_t i = 0; i < count; ++i) {
-                const double mag = std::abs(combined[i]);
+                const double re = cb[2 * i];
+                const double im = cb[2 * i + 1];
+                const double mag = std::sqrt(re * re + im * im);
                 hologram[i] = (mag > 1e-12)
-                                  ? combined[i] * (1.0 / mag)
+                                  ? Complex(re * (1.0 / mag),
+                                            im * (1.0 / mag))
                                   : Complex(1.0, 0.0);
             }
             (void)weight_sum;

@@ -78,8 +78,20 @@ class HologramGenerator
     /** Depth-dependent quadratic lens phase for plane @p d. */
     double lensPhaseAt(int x, int y, int d) const;
 
+    /** Build the cached per-plane phase tables on first use. */
+    void ensurePhaseTables() const;
+
     HologramParams params_;
     TaskProfile profile_;
+
+    // Lazily built caches, pure functions of params_: per-plane lens
+    // phase factors as interleaved (re, im) — forward cis(phi), and
+    // backward cis(-phi) with the inverse-FFT renormalization baked
+    // in — plus the deterministic Rng(2718) initial phase field that
+    // compute() previously rebuilt identically on every call.
+    mutable std::vector<std::vector<double>> phase_fwd_;
+    mutable std::vector<std::vector<double>> phase_bwd_;
+    mutable std::vector<Complex> init_phase_;
 };
 
 } // namespace illixr
