@@ -24,6 +24,17 @@ KERNEL is resolved by exact name or unique suffix in each pair (so
 requirement must hold in every pair where it resolves and must resolve
 in at least one pair. Used by the CI simd leg to enforce the vector
 paths' speedup targets against the pre-SIMD baseline.
+
+--require-max KEY:VALUE (repeatable) is an *absolute* budget, not a
+ratio: CURRENT[KEY] must be <= VALUE in every pair where KEY resolves
+(exact name or unique suffix, CURRENT side), and KEY must resolve in
+at least one pair. Ratio gates silently absorb a slowly creeping tail
+as long as each step stays under the threshold; the CI tail leg uses
+--require-max to pin p99.9 latencies to fixed budgets instead.
+
+--self-test runs the built-in unit checks (resolution rules, ratio
+gate, absolute gate) and exits 0/1; no files are read. Registered as a
+ctest so the gate logic itself is under regression.
 """
 
 import argparse
@@ -126,6 +137,42 @@ def check_speedups(pairs_data, require_specs):
     return failures
 
 
+def check_maxima(pairs_data, require_max_specs):
+    """Evaluate --require-max specs; return a list of failures."""
+    failures = []
+    for key, limit in require_max_specs:
+        resolved_anywhere = False
+        for _base_path, cur_path, _baseline, current in pairs_data:
+            names = resolve_kernel(key, current)
+            if not names:
+                continue
+            if len(names) > 1:
+                resolved_anywhere = True
+                failures.append(
+                    f"[{cur_path}] {key!r} is ambiguous: "
+                    f"{', '.join(names)}"
+                )
+                continue
+            resolved_anywhere = True
+            cur = float(current[names[0]])
+            ok = cur <= limit
+            print(
+                f"require-max {names[0]:40s} {cur:14.3f} "
+                f"(budget {limit:.3f})"
+                f"{'' if ok else '  << OVER BUDGET'}"
+            )
+            if not ok:
+                failures.append(
+                    f"[{cur_path}] {names[0]}: {cur:.3f} > "
+                    f"budget {limit:.3f}"
+                )
+        if not resolved_anywhere:
+            failures.append(
+                f"{key!r} not found in any compared CURRENT file"
+            )
+    return failures
+
+
 def parse_require(spec):
     kernel, sep, factor = spec.rpartition(":")
     if not sep or not kernel:
@@ -133,6 +180,15 @@ def parse_require(spec):
             f"--require-speedup wants KERNEL:FACTOR, got {spec!r}"
         )
     return kernel, float(factor)
+
+
+def parse_require_max(spec):
+    key, sep, value = spec.rpartition(":")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--require-max wants KEY:VALUE, got {spec!r}"
+        )
+    return key, float(value)
 
 
 def parse_pair(spec, default_threshold):
@@ -144,6 +200,73 @@ def parse_pair(spec, default_threshold):
     raise argparse.ArgumentTypeError(
         f"--pair wants BASE.json:CUR.json[:PCT], got {spec!r}"
     )
+
+
+def self_test() -> int:
+    """Unit checks for the gate logic; returns a process exit code."""
+    failed = []
+
+    def check(name, cond):
+        print(f"self-test {name}: {'ok' if cond else 'FAIL'}")
+        if not cond:
+            failed.append(name)
+
+    names = {"BM_CnnForward", "avx2.BM_CnnForward",
+             "NotGsIteration64", "sse2.BM_GsIteration64"}
+    check("resolve exact",
+          resolve_kernel("BM_CnnForward", names) == ["BM_CnnForward"])
+    check("resolve suffix",
+          resolve_kernel("GsIteration64", names) ==
+          ["sse2.BM_GsIteration64"])
+    check("resolve boundary rejects mid-word",
+          "NotGsIteration64" not in
+          resolve_kernel("GsIteration64", names))
+    check("resolve ambiguous returns all",
+          len(resolve_kernel("CnnForward", names)) == 2)
+
+    pairs = [("b.json", "c.json",
+              {"tail.fleet.e2e_p999_ms": 20.0},
+              {"tail.fleet.e2e_p999_ms": 18.5,
+               "tail.fleet.sched_p999_ms": 9.1})]
+    check("require-max pass",
+          check_maxima(pairs, [("e2e_p999_ms", 20.0)]) == [])
+    check("require-max over budget",
+          len(check_maxima(pairs, [("sched_p999_ms", 9.0)])) == 1)
+    check("require-max missing key",
+          len(check_maxima(pairs, [("nope_ms", 1.0)])) == 1)
+    ambiguous = [("b.json", "c.json", {},
+                  {"a.p999_ms": 1.0, "b.p999_ms": 2.0})]
+    check("require-max ambiguous key",
+          len(check_maxima(ambiguous, [("p999_ms", 5.0)])) == 1)
+
+    check("require-speedup pass",
+          check_speedups(
+              [("b.json", "c.json", {"BM_K": 100.0}, {"BM_K": 25.0})],
+              [("BM_K", 4.0)]) == [])
+    check("require-speedup too slow",
+          len(check_speedups(
+              [("b.json", "c.json", {"BM_K": 100.0}, {"BM_K": 60.0})],
+              [("BM_K", 2.0)])) == 1)
+
+    import tempfile
+    import os
+    with tempfile.TemporaryDirectory() as d:
+        base = os.path.join(d, "base.json")
+        cur = os.path.join(d, "cur.json")
+        with open(base, "w") as f:
+            json.dump({"k1": 100.0, "k2": 100.0}, f)
+        with open(cur, "w") as f:
+            json.dump({"k1": 110.0, "k2": 200.0}, f)
+        regressions, shared = compare_pair(base, cur, 25.0)
+        check("compare_pair shares names", len(shared) == 2)
+        check("compare_pair flags only the regression",
+              [name for name, _pct in regressions] == ["k2"])
+
+    if failed:
+        print(f"self-test: {len(failed)} check(s) failed", file=sys.stderr)
+        return 1
+    print("self-test: all checks passed")
+    return 0
 
 
 def main() -> int:
@@ -175,7 +298,24 @@ def main() -> int:
         help="require CURRENT >= FACTOR times faster than BASELINE for "
         "KERNEL (exact name or unique suffix); repeatable",
     )
+    parser.add_argument(
+        "--require-max",
+        action="append",
+        default=[],
+        type=parse_require_max,
+        metavar="KEY:VALUE",
+        help="require CURRENT[KEY] <= VALUE (absolute budget; exact "
+        "name or unique suffix); repeatable",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in unit checks and exit",
+    )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     pairs = []
     if args.baseline is not None:
@@ -201,7 +341,7 @@ def main() -> int:
         )
 
     resolved_pairs = set()
-    if args.require_speedup:
+    if args.require_speedup or args.require_max:
         print()
         pairs_data = []
         for base, cur, _threshold in pairs:
@@ -214,9 +354,13 @@ def main() -> int:
                 if resolve_kernel(kernel, baseline) and \
                         resolve_kernel(kernel, current):
                     resolved_pairs.add((base, cur))
+            for key, _value in args.require_max:
+                if resolve_kernel(key, current):
+                    resolved_pairs.add((base, cur))
         failures = check_speedups(pairs_data, args.require_speedup)
+        failures += check_maxima(pairs_data, args.require_max)
         if failures:
-            print(f"\n{len(failures)} speedup requirement(s) failed:",
+            print(f"\n{len(failures)} requirement(s) failed:",
                   file=sys.stderr)
             for msg in failures:
                 print(f"  {msg}", file=sys.stderr)

@@ -26,6 +26,7 @@
 
 #include "bench_common.hpp"
 #include "edge/edge_session.hpp"
+#include "foundation/stats.hpp"
 #include "xr/session.hpp"
 
 #include <algorithm>
@@ -46,6 +47,8 @@ struct FleetRow
     double sessions_per_core = 0.0;
     double rate_p50 = 0.0, rate_min = 0.0;
     double mtp_p50 = 0.0, mtp_p90 = 0.0, mtp_p99 = 0.0;
+    double mtp_p999 = 0.0;
+    std::size_t mtp_samples = 0;
 };
 
 FleetRow
@@ -138,6 +141,8 @@ runRound(const SessionConfig &base, std::size_t count)
     row.mtp_p50 = mtp_all.percentile(50);
     row.mtp_p90 = mtp_all.percentile(90);
     row.mtp_p99 = mtp_all.percentile(99);
+    row.mtp_p999 = mtp_all.percentile(99.9);
+    row.mtp_samples = mtp_all.count();
     return row;
 }
 
@@ -160,8 +165,10 @@ writeJson(const std::string &path, const std::vector<FleetRow> &rows)
                      r.rate_p50);
         std::fprintf(f, "  \"%smtp_p50_ms\": %.3f,\n", key.c_str(),
                      r.mtp_p50);
-        std::fprintf(f, "  \"%smtp_p99_ms\": %.3f%s\n", key.c_str(),
-                     r.mtp_p99, i + 1 < rows.size() ? "," : "");
+        std::fprintf(f, "  \"%smtp_p99_ms\": %.3f,\n", key.c_str(),
+                     r.mtp_p99);
+        std::fprintf(f, "  \"%smtp_p999_ms\": %.3f%s\n", key.c_str(),
+                     r.mtp_p999, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -235,9 +242,15 @@ main(int argc, char **argv)
                     "sessions/core, wall %.2f s\n",
                     r.aggregate_fps, r.sessions_per_core, r.wall_s);
         std::printf("  fleet MTP: p50 %.2f ms, p90 %.2f ms, p99 %.2f "
-                    "ms; session rate p50 %.1f Hz (min %.1f)\n\n",
-                    r.mtp_p50, r.mtp_p90, r.mtp_p99, r.rate_p50,
-                    r.rate_min);
+                    "ms, p99.9 %.2f ms; session rate p50 %.1f Hz "
+                    "(min %.1f)\n",
+                    r.mtp_p50, r.mtp_p90, r.mtp_p99, r.mtp_p999,
+                    r.rate_p50, r.rate_min);
+        if (!quantileSupported(r.mtp_samples, 0.999))
+            std::printf("  WARNING: %zu MTP samples < %zu needed for "
+                        "a supported p99.9 — tail is extrapolation\n",
+                        r.mtp_samples, quantileSupportFloor(0.999));
+        std::printf("\n");
     }
 
     if (!json_path.empty() && !writeJson(json_path, rows)) {

@@ -54,8 +54,11 @@ runEdgeFleet(const EdgeFleetConfig &config)
     // digests — never of the order connect() was called in.
     std::map<std::uint64_t, SimClient> clients;
     for (std::uint64_t id = 1; id <= n; ++id) {
-        auto [it, inserted] =
-            clients.emplace(id, SimClient(config.breaker));
+        CircuitBreakerPolicy policy = config.breaker;
+        // Distinct jitter streams keep a brownout from re-probing the
+        // whole fleet in lockstep once the breakers trip.
+        policy.jitter_seed = config.seed * 0x9e3779b97f4a7c15ULL + id;
+        auto [it, inserted] = clients.emplace(id, SimClient(policy));
         SimClient &c = it->second;
         c.stats.id = id;
         c.net = std::make_unique<NetworkModel>(
@@ -195,6 +198,8 @@ runEdgeFleet(const EdgeFleetConfig &config)
     }
     report.p50_ms = all_latency.percentile(50.0);
     report.p99_ms = all_latency.percentile(99.0);
+    report.p999_ms = all_latency.percentile(99.9);
+    report.latency_samples = all_latency.count();
     return report;
 }
 

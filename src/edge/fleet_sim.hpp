@@ -89,6 +89,8 @@ struct EdgeFleetReport
     std::uint64_t fallback = 0;
     double p50_ms = 0.0; ///< Aggregate served pose latency.
     double p99_ms = 0.0;
+    double p999_ms = 0.0;
+    std::size_t latency_samples = 0; ///< Served frames pooled above.
     std::uint64_t digest = 0; ///< FNV over per-client digests.
 
     double servedRatio() const

@@ -5,6 +5,22 @@
 
 namespace illixr {
 
+std::size_t
+quantileSupportFloor(double q)
+{
+    if (q < 0.0)
+        q = 0.0;
+    if (q >= 1.0)
+        return static_cast<std::size_t>(-1);
+    return static_cast<std::size_t>(std::ceil(10.0 / (1.0 - q)));
+}
+
+bool
+quantileSupported(std::size_t n, double q)
+{
+    return n >= quantileSupportFloor(q);
+}
+
 void
 RunningStat::add(double x)
 {

@@ -11,6 +11,17 @@
 namespace illixr {
 
 /**
+ * Minimum sample count for quantile @p q (in [0, 1)) to be supported
+ * by at least 10 samples above it: ceil(10 / (1 - q)). A p99.9 from
+ * fewer than 10'000 samples is an extrapolation, not a measurement —
+ * benches warn below this floor.
+ */
+std::size_t quantileSupportFloor(double q);
+
+/** True when @p n samples meet quantileSupportFloor(@p q). */
+bool quantileSupported(std::size_t n, double q);
+
+/**
  * Single-pass running mean / variance / extrema (Welford).
  */
 class RunningStat

@@ -6,9 +6,19 @@
  * robustness PR transfers.
  *
  *   Closed    -> requests flow; consecutive failures trip it Open.
- *   Open      -> requests are refused until `open_hold` elapses.
+ *   Open      -> requests are refused until the current hold elapses.
  *   HalfOpen  -> a limited probe: successes close it, one failure
  *                re-opens it.
+ *
+ * The first open holds for exactly `open_hold`. Each *consecutive*
+ * re-open (a failed half-open probe) doubles the hold — capped at
+ * `max_hold` — and stretches it by a deterministic jitter drawn from
+ * (jitter_seed, opens): under a sustained brownout a fleet of
+ * breakers would otherwise re-probe in lockstep every open_hold,
+ * and the synchronized probe bursts themselves become the
+ * drop-retry tail (tail_bench's attributed retry-storm source).
+ * Exponential backoff spaces the probes out; per-breaker jitter
+ * desynchronizes them.
  *
  * Time comes in through the caller (virtual or wall), so the breaker
  * behaves identically under the deterministic executor.
@@ -19,14 +29,23 @@
 #include "foundation/time.hpp"
 
 #include <cstddef>
+#include <cstdint>
 
 namespace illixr {
 
 struct CircuitBreakerPolicy
 {
     std::size_t failure_threshold = 3; ///< Consecutive failures to trip.
-    Duration open_hold = 500 * kMillisecond; ///< Open -> HalfOpen delay.
+    Duration open_hold = 500 * kMillisecond; ///< First Open hold.
     std::size_t probe_successes = 2; ///< HalfOpen successes to close.
+    /** Hold growth per consecutive re-open (failed probe). */
+    double backoff_factor = 2.0;
+    /** Backoff ceiling. */
+    Duration max_hold = 4 * kSecond;
+    /** Max extra hold fraction from deterministic jitter, [0, 1). */
+    double jitter = 0.1;
+    /** Per-breaker jitter stream id (desynchronizes fleets). */
+    std::uint64_t jitter_seed = 0;
 };
 
 class CircuitBreaker
@@ -53,13 +72,16 @@ class CircuitBreaker
     allow(TimePoint now)
     {
         if (state_ == State::Open) {
-            if (now - opened_at_ < policy_.open_hold)
+            if (now - opened_at_ < hold_)
                 return false;
             state_ = State::HalfOpen;
             probe_successes_ = 0;
         }
         return true;
     }
+
+    /** The hold of the current/last Open period. */
+    Duration currentHold() const { return hold_; }
 
     void
     recordSuccess(TimePoint now)
@@ -69,6 +91,7 @@ class CircuitBreaker
             if (++probe_successes_ >= policy_.probe_successes) {
                 state_ = State::Closed;
                 failures_ = 0;
+                reopens_ = 0;
             }
             return;
         }
@@ -79,12 +102,15 @@ class CircuitBreaker
     recordFailure(TimePoint now)
     {
         if (state_ == State::HalfOpen) {
+            ++reopens_;
             trip(now);
             return;
         }
         if (state_ == State::Closed &&
-            ++failures_ >= policy_.failure_threshold)
+            ++failures_ >= policy_.failure_threshold) {
+            reopens_ = 0;
             trip(now);
+        }
     }
 
     State state() const { return state_; }
@@ -105,6 +131,17 @@ class CircuitBreaker
     }
 
   private:
+    /** splitmix64 finalizer: a deterministic [0, 1) jitter draw. */
+    static double
+    jitterUnit(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<double>(x >> 11) / 9007199254740992.0;
+    }
+
     void
     trip(TimePoint now)
     {
@@ -112,14 +149,29 @@ class CircuitBreaker
         opened_at_ = now;
         failures_ = 0;
         ++opens_;
+        double hold = static_cast<double>(policy_.open_hold);
+        for (std::size_t k = 0; k < reopens_; ++k) {
+            hold *= policy_.backoff_factor;
+            if (hold >= static_cast<double>(policy_.max_hold))
+                break;
+        }
+        if (hold > static_cast<double>(policy_.max_hold))
+            hold = static_cast<double>(policy_.max_hold);
+        if (reopens_ > 0 && policy_.jitter > 0.0)
+            hold *= 1.0 + policy_.jitter *
+                              jitterUnit(policy_.jitter_seed * 31 +
+                                         opens_);
+        hold_ = static_cast<Duration>(hold);
     }
 
     CircuitBreakerPolicy policy_;
     State state_ = State::Closed;
     TimePoint opened_at_ = 0;
+    Duration hold_ = 0;               ///< Hold of the current Open.
     std::size_t failures_ = 0;        ///< Consecutive, Closed state.
     std::size_t probe_successes_ = 0; ///< HalfOpen progress.
     std::size_t opens_ = 0;           ///< Lifetime trip count.
+    std::size_t reopens_ = 0;         ///< Consecutive re-opens.
 };
 
 } // namespace illixr

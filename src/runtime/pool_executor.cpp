@@ -345,6 +345,15 @@ PoolExecutor::workerMain(std::size_t worker_index)
             entry->pending_events = 0;
         updateQueueGauges(now);
 
+        // Wakeup chaining: one publish raises one notify_one, but by
+        // the time this worker claimed its entry another may have
+        // become due (a second publish, a periodic release). Without
+        // a chained notify the remaining work waits for this worker's
+        // completion — a measured scheduler-wait tail source on
+        // topic-driven plugins.
+        if (pickDue(now))
+            cv_.notify_one();
+
         lock.unlock();
         executeLive(*entry, worker_index, release, now);
         lock.lock();
@@ -452,6 +461,10 @@ PoolExecutor::runVirtual(Duration duration)
     runDuration_ = duration;
     busyCpu_ = 0;
     busyGpu_ = 0;
+    for (auto &entry : entries_) {
+        entry->sim_running = false;
+        entry->sim_queued = 0;
+    }
 
     if (metrics_) {
         for (int lane = 0; lane < 3; ++lane)
@@ -480,11 +493,183 @@ PoolExecutor::runVirtual(Duration duration)
                         std::greater<SimEvent>>
         queue;
     std::uint64_t seq = 0;
-    std::vector<TimePoint> workerFreeAt(config_.workers, 0);
+
+    // Dispatch model: arrivals land in a ready queue and are handed
+    // to a worker only when one is genuinely free, highest lane (then
+    // FIFO) first. The old scheme bound every arrival to the
+    // earliest-free worker *at arrival time* — FCFS per worker, so a
+    // due perception task could sit behind an already-queued audio
+    // task (head-of-line blocking, tail_bench's top scheduler-wait
+    // attribution) and a non-skip plugin could overlap itself.
+    struct ReadyItem
+    {
+        int lane = 0;
+        std::uint64_t seq = 0;
+        std::size_t task = 0;
+        TimePoint arrival = 0;
+    };
+    std::vector<ReadyItem> ready;
+    std::vector<bool> workerBusy(config_.workers, false);
 
     auto pushArrival = [&queue, &seq, this](std::size_t task, TimePoint t) {
         queue.push(SimEvent{t, static_cast<int>(entries_[task]->lane),
                             seq++, 0, task});
+    };
+
+    auto recordOverrun = [this](Entry &entry, TimePoint t) {
+        ++entry.stats.skips;
+        if (entry.metrics.skips)
+            entry.metrics.skips->add();
+        if (sink_)
+            sink_->recordSkip(entry.stats.name, t, SkipCause::Overrun);
+    };
+
+    // Admit one arrival to the ready queue, or drop it when the entry
+    // is saturated: skip-on-overrun and event-driven entries coalesce
+    // to one outstanding invocation; non-skip periodic entries may
+    // queue a catch-up burst but never past kMaxCatchupPeriods (the
+    // same bound live mode enforces — unbounded virtual catch-up was
+    // tail_bench's post-stall drop-retry storm).
+    auto onArrival = [&ready, &seq, &recordOverrun,
+                      this](std::size_t task, TimePoint t) {
+        Entry &entry = *entries_[task];
+        const int backlog =
+            entry.sim_queued + (entry.sim_running ? 1 : 0);
+        const bool coalesce =
+            entry.period <= 0 || entry.plugin->skipOnOverrun();
+        const int limit = coalesce ? 1 : kMaxCatchupPeriods;
+        if (backlog >= limit) {
+            recordOverrun(entry, t);
+            return;
+        }
+        ready.push_back(ReadyItem{static_cast<int>(entry.lane), seq++,
+                                  task, t});
+        ++entry.sim_queued;
+    };
+
+    // Run every ready item a free worker can take at virtual time
+    // @p now, best (lane, seq) first, lowest free worker index first;
+    // topic wakeups raised by each invocation join the ready queue
+    // before the next pick, so a chain of event-driven stages drains
+    // at one virtual instant when workers allow.
+    auto dispatchReady = [&](TimePoint now) {
+        for (;;) {
+            std::size_t w = config_.workers;
+            for (std::size_t i = 0; i < config_.workers; ++i) {
+                if (!workerBusy[i]) {
+                    w = i;
+                    break;
+                }
+            }
+            if (w == config_.workers)
+                return;
+            std::size_t best = ready.size();
+            for (std::size_t j = 0; j < ready.size(); ++j) {
+                if (entries_[ready[j].task]->sim_running)
+                    continue;
+                if (best == ready.size() ||
+                    ready[j].lane < ready[best].lane ||
+                    (ready[j].lane == ready[best].lane &&
+                     ready[j].seq < ready[best].seq))
+                    best = j;
+            }
+            if (best == ready.size())
+                return;
+            const ReadyItem item = ready[best];
+            ready.erase(ready.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+            Entry &entry = *entries_[item.task];
+            --entry.sim_queued;
+
+            const std::uint64_t span_id =
+                sink_ ? sink_->nextSpanId() : 0;
+            const std::uint64_t attempt = ++entry.stats.attempts;
+            const InvocationOutcome out =
+                handoff(entry, w, now, attempt, span_id);
+
+            if (out.suppressed) {
+                // Held by the interceptor: no cost draw (the decision
+                // is deterministic, so the draw stream stays aligned
+                // across runs), no completion event, worker stays
+                // free.
+                ++entry.stats.suppressed;
+                if (sink_)
+                    sink_->recordSkip(entry.stats.name, now,
+                                      SkipCause::Suppressed);
+            } else {
+                if (out.exception) {
+                    ++entry.stats.exceptions;
+                    if (entry.metrics.exceptions)
+                        entry.metrics.exceptions->add();
+                }
+
+                // Injected spikes/stalls stretch the *modeled* cost,
+                // so they land on the virtual timeline
+                // deterministically.
+                Duration vdur = modeledCost(entry, w);
+                vdur = static_cast<Duration>(
+                           static_cast<double>(vdur) *
+                           out.duration_scale) +
+                       out.extra;
+                const TimePoint completion = now + vdur;
+                workerBusy[w] = true;
+                entry.sim_running = true;
+                queue.push(SimEvent{completion,
+                                    static_cast<int>(entry.lane), seq++,
+                                    1, item.task, w});
+
+                InvocationRecord rec;
+                rec.arrival = item.arrival;
+                rec.start = now;
+                rec.virtual_duration = vdur;
+                rec.completion = completion;
+                rec.host_seconds = out.host_seconds;
+                if (entry.vsync_aligned && entry.vsync > 0)
+                    rec.target_vsync =
+                        ((item.arrival + entry.vsync - 1) /
+                         entry.vsync) *
+                        entry.vsync;
+                entry.stats.records.push_back(rec);
+                entry.stats.exec_ms.add(toMilliseconds(vdur));
+                entry.stats.busy += vdur;
+                ++entry.stats.invocations;
+                entry.iterations.fetch_add(1);
+                if (entry.plugin->execUnit() == ExecUnit::Cpu)
+                    busyCpu_ += vdur;
+                else
+                    busyGpu_ += vdur;
+
+                if (entry.metrics.invocations)
+                    entry.metrics.invocations->add();
+                if (entry.metrics.exec_ms)
+                    entry.metrics.exec_ms->observe(
+                        toMilliseconds(vdur));
+                if (workerInvocations_.size() > w &&
+                    workerInvocations_[w])
+                    workerInvocations_[w]->add();
+                if (sink_) {
+                    Span span;
+                    span.task = entry.stats.name;
+                    span.unit = entry.plugin->execUnit();
+                    span.arrival = item.arrival;
+                    span.start = now;
+                    span.completion = completion;
+                    span.host_seconds = out.host_seconds;
+                    span.id = span_id;
+                    span.worker = static_cast<std::uint32_t>(w + 1);
+                    sink_->recordSpan(std::move(span));
+                }
+            }
+
+            // Topic wakeups raised by the invocation become ready
+            // arrivals at the current virtual time, in publish order.
+            {
+                std::lock_guard<std::mutex> wlock(simWakeupMutex_);
+                for (std::size_t task : simWakeups_)
+                    onArrival(task, now);
+                simWakeups_.clear();
+            }
+        }
     };
 
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -503,127 +688,31 @@ PoolExecutor::runVirtual(Duration duration)
             break;
         Entry &entry = *entries_[ev.task];
 
-        if (ev.type == 1) { // Completion frees the plugin's slot.
+        if (ev.type == 1) { // Completion frees worker and slot.
             entry.sim_running = false;
-            continue;
-        }
-
-        // Arrival.
-        if (entry.sim_running && entry.plugin->skipOnOverrun()) {
-            ++entry.stats.skips;
-            if (entry.metrics.skips)
-                entry.metrics.skips->add();
-            if (sink_)
-                sink_->recordSkip(entry.stats.name, ev.time,
-                                  SkipCause::Overrun);
+            workerBusy[ev.worker] = false;
         } else {
-            // Dispatch to the earliest-free worker (ties to the
-            // lowest index): deterministic assignment.
-            std::size_t w = 0;
-            for (std::size_t i = 1; i < workerFreeAt.size(); ++i) {
-                if (workerFreeAt[i] < workerFreeAt[w])
-                    w = i;
-            }
-
-            const std::uint64_t span_id = sink_ ? sink_->nextSpanId() : 0;
-            const std::uint64_t attempt = ++entry.stats.attempts;
-            const InvocationOutcome out =
-                handoff(entry, w, ev.time, attempt, span_id);
-
-            if (out.suppressed) {
-                // Held by the interceptor: no cost draw (the decision
-                // is deterministic, so the draw stream stays aligned
-                // across runs), no completion event.
-                ++entry.stats.suppressed;
-                if (sink_)
-                    sink_->recordSkip(entry.stats.name, ev.time,
-                                      SkipCause::Suppressed);
-            } else {
-            if (out.exception) {
-                ++entry.stats.exceptions;
-                if (entry.metrics.exceptions)
-                    entry.metrics.exceptions->add();
-            }
-
-            // Injected spikes/stalls stretch the *modeled* cost, so
-            // they land on the virtual timeline deterministically.
-            Duration vdur = modeledCost(entry, w);
-            vdur = static_cast<Duration>(static_cast<double>(vdur) *
-                                         out.duration_scale) +
-                   out.extra;
-            const TimePoint start = std::max(ev.time, workerFreeAt[w]);
-            const TimePoint completion = start + vdur;
-            workerFreeAt[w] = completion;
-            entry.sim_running = true;
-            queue.push(SimEvent{completion, static_cast<int>(entry.lane),
-                                seq++, 1, ev.task});
-
-            InvocationRecord rec;
-            rec.arrival = ev.time;
-            rec.start = start;
-            rec.virtual_duration = vdur;
-            rec.completion = completion;
-            rec.host_seconds = out.host_seconds;
-            if (entry.vsync_aligned && entry.vsync > 0)
-                rec.target_vsync =
-                    ((ev.time + entry.vsync - 1) / entry.vsync) *
-                    entry.vsync;
-            entry.stats.records.push_back(rec);
-            entry.stats.exec_ms.add(toMilliseconds(vdur));
-            entry.stats.busy += vdur;
-            ++entry.stats.invocations;
-            entry.iterations.fetch_add(1);
-            if (entry.plugin->execUnit() == ExecUnit::Cpu)
-                busyCpu_ += vdur;
-            else
-                busyGpu_ += vdur;
-
-            if (entry.metrics.invocations)
-                entry.metrics.invocations->add();
-            if (entry.metrics.exec_ms)
-                entry.metrics.exec_ms->observe(toMilliseconds(vdur));
-            if (workerInvocations_.size() > w && workerInvocations_[w])
-                workerInvocations_[w]->add();
-            if (sink_) {
-                Span span;
-                span.task = entry.stats.name;
-                span.unit = entry.plugin->execUnit();
-                span.arrival = ev.time;
-                span.start = start;
-                span.completion = completion;
-                span.host_seconds = out.host_seconds;
-                span.id = span_id;
-                span.worker = static_cast<std::uint32_t>(w + 1);
-                sink_->recordSpan(std::move(span));
-            }
-            }
+            onArrival(ev.task, ev.time);
+            if (entry.period > 0)
+                pushArrival(ev.task, ev.time + entry.period);
         }
 
-        // Topic wakeups raised by the invocation become arrivals at
-        // the current virtual time, in publish order.
-        {
-            std::lock_guard<std::mutex> wlock(simWakeupMutex_);
-            for (std::size_t task : simWakeups_)
-                pushArrival(task, ev.time);
-            simWakeups_.clear();
-        }
-
-        if (entry.period > 0)
-            pushArrival(ev.task, ev.time + entry.period);
+        dispatchReady(ev.time);
 
         if (laneDepth_[0]) {
-            // Ready-queue depth per lane at this virtual instant.
+            // True ready-queue depth per lane at this virtual instant
+            // (runnable-but-waiting, the scheduler-wait backlog).
             std::size_t depth[3] = {0, 0, 0};
-            // (The priority queue is opaque; approximate with the
-            // number of plugins whose slot is occupied — the quantity
-            // the figure-level gauges track is backlog, not arrivals.)
-            for (const auto &e : entries_)
-                if (e->sim_running)
-                    ++depth[static_cast<int>(e->lane)];
+            for (const ReadyItem &item : ready)
+                ++depth[item.lane];
             for (int lane = 0; lane < 3; ++lane)
                 laneDepth_[lane]->set(static_cast<double>(depth[lane]));
         }
     }
+
+    // Post-horizon state: entries left in the ready queue never ran.
+    for (const ReadyItem &item : ready)
+        --entries_[item.task]->sim_queued;
 
     {
         std::lock_guard<std::mutex> lock(handoffMutex_);

@@ -163,6 +163,7 @@ class PoolExecutor : public ExecutorBase
 
         // Deterministic-mode state (single-threaded event loop).
         bool sim_running = false;
+        int sim_queued = 0; ///< Ready-queue backlog of this entry.
 
         std::atomic<std::size_t> iterations{0};
         TaskStats stats;
@@ -178,6 +179,7 @@ class PoolExecutor : public ExecutorBase
         std::uint64_t seq = 0; ///< FIFO tie-break within a lane.
         int type = 0;          ///< 0 = arrival, 1 = completion.
         std::size_t task = 0;
+        std::size_t worker = 0; ///< Completion: worker being freed.
 
         bool operator>(const SimEvent &o) const
         {

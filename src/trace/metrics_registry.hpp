@@ -7,13 +7,12 @@
  * Hot-path cost model: handles are resolved *once* by name (interned
  * pointer, like the switchboard's typed topic handles); after that a
  * Counter/Gauge update is a single relaxed atomic and a Histogram
- * observation takes one uncontended striped lock (threads hash to
- * separate shards, so concurrent producers do not serialize).
+ * observation is two relaxed atomic increments plus a handful of CAS
+ * loops on the exact-moment accumulators — no locks, no allocation
+ * after the first sample in an octave.
  */
 
 #pragma once
-
-#include "foundation/stats.hpp"
 
 #include <array>
 #include <atomic>
@@ -22,7 +21,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 namespace illixr {
@@ -81,38 +79,86 @@ struct HistogramSnapshot
     double max = 0.0;
     double p50 = 0.0;
     double p99 = 0.0;
-    /** All samples, shard-merged (per-thread order preserved). */
-    SampleSeries series;
+    double p999 = 0.0;
 };
 
 /**
- * Sample distribution. Writers land on one of kShards lock-striped
- * shards chosen by thread id, so concurrent observe() calls from
- * different threads almost never contend.
+ * Log-bucketed (HDR-style) sample distribution.
+ *
+ * Storage is a grid of power-of-two octaves x kSubBuckets linear
+ * sub-buckets per octave; each octave's counter block is allocated
+ * lazily on first use (one CAS publish, losers free their copy).
+ * Count, sum, sum-of-squares, min and max are tracked *exactly* with
+ * atomics, so count/mean/stddev/min/max in a snapshot carry no
+ * bucketing error; only the quantiles are approximate.
+ *
+ * Quantile error contract: a bucket at octave o spans width 2^o /
+ * kSubBuckets and quantile() answers with the bucket midpoint, so the
+ * relative error of any reported quantile is at most
+ * 1 / (2 * kSubBuckets) = 2^-8 ~= 0.39% — documented ceiling 1%
+ * (regression-tested against exact sorted samples in trace_test).
+ * Results are additionally clamped to the exact [min, max].
+ *
+ * Thread safety: observe() is lock-free and safe from any thread;
+ * snapshot() is safe concurrently with writers (it reads a consistent
+ * *approximate* view — counts may trail sums by in-flight samples).
  */
 class Histogram
 {
   public:
+    Histogram() = default;
+    ~Histogram();
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
     void observe(double x);
 
-    /** Merge all shards into one view. */
+    /** Fold @p other's samples into this histogram (bucket counts and
+     *  exact accumulators). Safe concurrently with writers on either
+     *  side in the usual approximate-snapshot sense; @p other must
+     *  not be this. */
+    void merge(const Histogram &other);
+
     HistogramSnapshot snapshot() const;
+
+    /** Approximate quantile, q in [0, 1]; 0 when empty. */
+    double quantile(double q) const;
 
     std::size_t count() const;
     void reset();
 
-  private:
-    static constexpr std::size_t kShards = 16;
+    /** Documented worst-case relative quantile error (see above). */
+    static constexpr double kMaxRelativeQuantileError = 0.01;
 
-    struct Shard
+  private:
+    static constexpr int kSubBits = 7;
+    static constexpr int kSubBuckets = 1 << kSubBits; // 128 / octave
+    /** Lowest octave: values in [2^kMinOct, 2^(kMinOct+1)). */
+    static constexpr int kMinOct = -40; // ~9.1e-13
+    /** Octave count; top octave absorbs everything above. */
+    static constexpr int kOctaves = 90; // up to ~5.6e14
+
+    struct Block
     {
-        mutable std::mutex mutex;
-        SampleSeries series;
+        std::array<std::atomic<std::uint64_t>, kSubBuckets> c{};
     };
 
-    Shard &shardForThisThread();
+    /** Map x > 0 to (octave index, sub-bucket); clamped to range. */
+    static void bucketOf(double x, int &oct, int &sub);
+    /** Midpoint of bucket (oct, sub). */
+    static double bucketMid(int oct, int sub);
 
-    std::array<Shard, kShards> shards_;
+    Block *blockFor(int oct);
+
+    std::array<std::atomic<Block *>, kOctaves> blocks_{};
+    /** Samples <= 0 or below the lowest octave. */
+    std::atomic<std::uint64_t> low_{0};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> sum_sq_{0.0};
+    std::atomic<double> min_{0.0};
+    std::atomic<double> max_{0.0};
 };
 
 /** One row of MetricsRegistry::snapshotRows(). */
@@ -126,6 +172,7 @@ struct MetricRow
     double min = 0.0;
     double max = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
 };
 
 /**
@@ -148,7 +195,7 @@ class MetricsRegistry
     /** All metrics as export rows, name-sorted within each type. */
     std::vector<MetricRow> snapshotRows() const;
 
-    /** CSV export: name,type,count,value,stddev,min,max,p99. */
+    /** CSV export: name,type,count,value,stddev,min,max,p99,p999. */
     bool writeCsv(const std::string &path) const;
 
     /** Zero every metric (handles stay valid). */

@@ -1,0 +1,236 @@
+#include "trace/tail_monitor.hpp"
+
+#include <cstdio>
+
+namespace illixr {
+
+const char *
+tailStageName(TailStage stage)
+{
+    switch (stage) {
+    case TailStage::Scheduler:
+        return "scheduler";
+    case TailStage::Kernel:
+        return "kernel";
+    case TailStage::Transport:
+        return "transport";
+    case TailStage::Retry:
+        return "retry";
+    case TailStage::Unattributed:
+        return "unattributed";
+    }
+    return "unknown";
+}
+
+TailStage
+dominantStage(const TailBreakdown &b)
+{
+    if (!b.attributed)
+        return TailStage::Unattributed;
+    TailStage best = TailStage::Scheduler;
+    double top = b.sched_ms;
+    if (b.kernel_ms > top) {
+        best = TailStage::Kernel;
+        top = b.kernel_ms;
+    }
+    if (b.transport_ms > top) {
+        best = TailStage::Transport;
+        top = b.transport_ms;
+    }
+    if (b.retry_ms > top) {
+        best = TailStage::Retry;
+        top = b.retry_ms;
+    }
+    return best;
+}
+
+TailMonitor::TailMonitor(TailConfig cfg, MetricsRegistry *metrics)
+    : cfg_(cfg), metrics_(metrics)
+{
+}
+
+void
+TailMonitor::onSpan(const Span &span)
+{
+    const double wait_ms =
+        toMilliseconds(span.start - span.arrival);
+    span_wait_.observe(wait_ms);
+    if (!metrics_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Histogram *&slot = task_wait_[span.task];
+    if (!slot)
+        slot = &metrics_->histogram("tail.sched_wait_ms." + span.task);
+    slot->observe(wait_ms);
+}
+
+void
+TailMonitor::onSkip(const SkipRecord &skip)
+{
+    (void)skip;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++skips_;
+    if (metrics_)
+        metrics_->counter("tail.skips").add();
+}
+
+void
+TailMonitor::onFrame(const TailBreakdown &b)
+{
+    e2e_.observe(b.e2e_ms);
+    sched_.observe(b.sched_ms);
+    kernel_.observe(b.kernel_ms);
+    transport_.observe(b.transport_ms);
+    retry_.observe(b.retry_ms);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++frames_;
+    if (b.e2e_ms > cfg_.threshold_ms) {
+        const TailStage stage = dominantStage(b);
+        ++stage_counts_[static_cast<std::size_t>(stage)];
+        if (outliers_.size() < cfg_.max_outliers)
+            outliers_.push_back(b);
+        else
+            ++dropped_;
+        if (metrics_) {
+            metrics_->counter("tail.outliers").add();
+            metrics_
+                ->counter(std::string("tail.outliers.") +
+                          tailStageName(stage))
+                .add();
+        }
+    }
+    if (metrics_)
+        metrics_->counter("tail.frames").add();
+}
+
+void
+TailMonitor::absorb(const TailMonitor &other)
+{
+    e2e_.merge(other.e2e_);
+    sched_.merge(other.sched_);
+    kernel_.merge(other.kernel_);
+    transport_.merge(other.transport_);
+    retry_.merge(other.retry_);
+    span_wait_.merge(other.span_wait_);
+
+    std::scoped_lock lock(mutex_, other.mutex_);
+    frames_ += other.frames_;
+    skips_ += other.skips_;
+    dropped_ += other.dropped_;
+    for (std::size_t i = 0; i < stage_counts_.size(); ++i)
+        stage_counts_[i] += other.stage_counts_[i];
+    for (const TailBreakdown &b : other.outliers_) {
+        if (outliers_.size() < cfg_.max_outliers)
+            outliers_.push_back(b);
+        else
+            ++dropped_;
+    }
+}
+
+std::size_t
+TailMonitor::frames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::size_t>(frames_);
+}
+
+std::size_t
+TailMonitor::outliers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = 0;
+    for (std::uint64_t c : stage_counts_)
+        n += c;
+    return static_cast<std::size_t>(n);
+}
+
+std::size_t
+TailMonitor::outliersDropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::size_t>(dropped_);
+}
+
+std::array<std::uint64_t, 5>
+TailMonitor::outlierStageCounts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stage_counts_;
+}
+
+double
+TailMonitor::attributedFraction() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (std::uint64_t c : stage_counts_)
+        total += c;
+    if (total == 0)
+        return 1.0;
+    const std::uint64_t unattributed = stage_counts_[static_cast<
+        std::size_t>(TailStage::Unattributed)];
+    return static_cast<double>(total - unattributed) /
+           static_cast<double>(total);
+}
+
+double
+TailMonitor::e2eQuantile(double q) const
+{
+    return e2e_.quantile(q);
+}
+
+double
+TailMonitor::stageQuantile(TailStage stage, double q) const
+{
+    switch (stage) {
+    case TailStage::Scheduler:
+        return sched_.quantile(q);
+    case TailStage::Kernel:
+        return kernel_.quantile(q);
+    case TailStage::Transport:
+        return transport_.quantile(q);
+    case TailStage::Retry:
+        return retry_.quantile(q);
+    case TailStage::Unattributed:
+        break;
+    }
+    return 0.0;
+}
+
+double
+TailMonitor::spanWaitQuantile(double q) const
+{
+    return span_wait_.quantile(q);
+}
+
+std::vector<TailBreakdown>
+TailMonitor::outlierTable() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outliers_;
+}
+
+std::string
+TailMonitor::attributionCsv() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out =
+        "frame_seq,capture_ns,completion_ns,e2e_ms,sched_ms,"
+        "kernel_ms,transport_ms,retry_ms,path_spans,dominant\n";
+    char buf[256];
+    for (const TailBreakdown &b : outliers_) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "%llu,%lld,%lld,%.6f,%.6f,%.6f,%.6f,%.6f,%u,%s\n",
+            static_cast<unsigned long long>(b.frame.sequence),
+            static_cast<long long>(b.capture),
+            static_cast<long long>(b.completion), b.e2e_ms, b.sched_ms,
+            b.kernel_ms, b.transport_ms, b.retry_ms, b.path_spans,
+            tailStageName(dominantStage(b)));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace illixr

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tail-latency attribution: the always-on outlier-capture layer the
+ * tail harness (bench/tail_bench) is built on.
+ *
+ * A TailMonitor attaches to a TraceSink. The sink forwards every span
+ * and skip, and — for each event published on the configured frame
+ * topic — a TailBreakdown computed by walking the frame's critical
+ * path backward through the lineage graph (latest parent at each
+ * hop). The breakdown decomposes capture-to-completion latency into
+ * four stages:
+ *
+ *   scheduler — sum of (start - arrival) over critical-path spans
+ *               (time runnable but waiting for an execution unit)
+ *   kernel    — sum of (completion - start) over critical-path spans
+ *               (time actually executing)
+ *   transport — publish-to-consumer-arrival gaps with no recorded
+ *               skip in the window, plus capture-to-ingest residual
+ *   retry     — publish-to-arrival gaps that coincide with a recorded
+ *               skip of the consuming task (drop/overrun recovery)
+ *
+ * Per-frame breakdowns feed log-bucketed histograms (cheap at 10^5+
+ * frames); frames whose end-to-end latency exceeds the configured
+ * threshold are additionally *materialized* into a bounded outlier
+ * table with their dominant stage — that table is the byte-stable
+ * attribution surface the determinism test locks down.
+ */
+
+#pragma once
+
+#include "trace/metrics_registry.hpp"
+#include "trace/trace.hpp"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace illixr {
+
+/** Stage a frame's tail latency is attributed to. */
+enum class TailStage
+{
+    Scheduler = 0,
+    Kernel,
+    Transport,
+    Retry,
+    Unattributed, ///< Lineage unresolvable (evicted or span-less).
+};
+
+const char *tailStageName(TailStage stage);
+
+/** Critical-path latency decomposition of one displayed frame. */
+struct TailBreakdown
+{
+    TraceId frame;
+    TimePoint capture = 0;    ///< Deepest ancestor's event time.
+    TimePoint completion = 0; ///< Producing span completion.
+    double e2e_ms = 0.0;
+    double sched_ms = 0.0;
+    double kernel_ms = 0.0;
+    double transport_ms = 0.0;
+    double retry_ms = 0.0;
+    std::uint32_t path_spans = 0; ///< Spans on the critical path.
+    bool attributed = false;      ///< At least one span resolved.
+};
+
+/** Largest stage component (Unattributed when none resolved). */
+TailStage dominantStage(const TailBreakdown &b);
+
+struct TailConfig
+{
+    /** Frames with e2e above this land in the outlier table. */
+    double threshold_ms = 50.0;
+    /** Outlier table cap; past it outliers are counted, not stored. */
+    std::size_t max_outliers = 65536;
+};
+
+/**
+ * Aggregates TailBreakdowns and per-span scheduler waits. All entry
+ * points are thread-safe (the sink may call them under its own lock;
+ * the monitor never calls back into the sink, so lock order is
+ * acyclic).
+ */
+class TailMonitor
+{
+  public:
+    explicit TailMonitor(TailConfig cfg,
+                         MetricsRegistry *metrics = nullptr);
+
+    // ---- feed (called by TraceSink) ----
+    void onSpan(const Span &span);
+    void onSkip(const SkipRecord &skip);
+    void onFrame(const TailBreakdown &b);
+
+    /**
+     * Fold a finished session's monitor into this aggregate: merges
+     * the stage histograms, counters, and outlier table (FIFO against
+     * this monitor's own max_outliers cap). Post-run aggregation only
+     * — @p other must be quiescent and not this monitor.
+     */
+    void absorb(const TailMonitor &other);
+
+    // ---- post-run queries ----
+    std::size_t frames() const;
+    std::size_t outliers() const;
+    /** Outliers dropped because the table hit max_outliers. */
+    std::size_t outliersDropped() const;
+
+    /** Outlier count per dominant stage, TailStage-indexed. */
+    std::array<std::uint64_t, 5> outlierStageCounts() const;
+
+    /** Fraction of *outlier* frames attributed to a stage, in [0,1]. */
+    double attributedFraction() const;
+
+    /** Quantile of per-frame end-to-end latency (ms). */
+    double e2eQuantile(double q) const;
+    /** Quantile of one per-frame stage component (ms). */
+    double stageQuantile(TailStage stage, double q) const;
+    /** Quantile of per-span scheduler wait across all spans (ms). */
+    double spanWaitQuantile(double q) const;
+
+    /** Copy of the materialized outlier table, frame order. */
+    std::vector<TailBreakdown> outlierTable() const;
+
+    /**
+     * The outlier table as CSV (header + one row per outlier, fixed
+     * formatting). Byte-identical across same-seed deterministic
+     * runs at any kernel width — the determinism-test surface.
+     */
+    std::string attributionCsv() const;
+
+    const TailConfig &config() const { return cfg_; }
+
+  private:
+    TailConfig cfg_;
+    MetricsRegistry *metrics_ = nullptr;
+
+    mutable std::mutex mutex_;
+    Histogram e2e_;
+    Histogram sched_;
+    Histogram kernel_;
+    Histogram transport_;
+    Histogram retry_;
+    Histogram span_wait_;
+    std::uint64_t frames_ = 0;
+    std::uint64_t skips_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::array<std::uint64_t, 5> stage_counts_{};
+    std::vector<TailBreakdown> outliers_;
+    /** Interned per-task registry handles (guarded by mutex_). */
+    std::map<std::string, Histogram *> task_wait_;
+};
+
+} // namespace illixr

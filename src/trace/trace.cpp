@@ -1,5 +1,7 @@
 #include "trace/trace.hpp"
 
+#include "trace/tail_monitor.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <deque>
@@ -112,8 +114,17 @@ void
 TraceSink::recordSpan(Span span)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    span_index_[span.id] = spans_.size();
-    spans_.push_back(std::move(span));
+    span_index_[span.id] = span_base_ + spans_.size();
+    spans_.push_back(span);
+    if (max_spans_) {
+        while (spans_.size() > max_spans_) {
+            span_index_.erase(spans_.front().id);
+            spans_.pop_front();
+            ++span_base_;
+        }
+    }
+    if (monitor_)
+        monitor_->onSpan(span);
 }
 
 void
@@ -122,14 +133,53 @@ TraceSink::recordSkip(const std::string &task, TimePoint time,
 {
     std::lock_guard<std::mutex> lock(mutex_);
     skips_.push_back(SkipRecord{task, time, cause});
+    if (max_skips_) {
+        while (skips_.size() > max_skips_)
+            skips_.pop_front();
+    }
+    // Keep the per-task classification window bounded regardless of
+    // the skip-record retention setting.
+    std::deque<TimePoint> &times = skip_times_[task];
+    times.push_back(time);
+    while (times.size() > 4096)
+        times.pop_front();
+    if (monitor_)
+        monitor_->onSkip(skips_.back());
 }
 
 void
 TraceSink::recordEvent(EventRecord record)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    event_index_[record.id] = events_.size();
+    event_index_[record.id] = event_base_ + events_.size();
     events_.push_back(std::move(record));
+    if (max_events_) {
+        while (events_.size() > max_events_) {
+            event_index_.erase(events_.front().id);
+            events_.pop_front();
+            ++event_base_;
+        }
+    }
+    if (monitor_ && events_.back().topic == tail_frame_topic_)
+        monitor_->onFrame(attributeFrameLocked(events_.back()));
+}
+
+void
+TraceSink::setRetention(std::size_t max_spans, std::size_t max_events,
+                        std::size_t max_skips)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_spans_ = max_spans;
+    max_events_ = max_events;
+    max_skips_ = max_skips;
+}
+
+void
+TraceSink::setTailMonitor(TailMonitor *monitor, std::string frame_topic)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    monitor_ = monitor;
+    tail_frame_topic_ = std::move(frame_topic);
 }
 
 std::size_t
@@ -152,7 +202,30 @@ TraceSink::findLocked(const TraceId &id) const
     auto it = event_index_.find(id);
     if (it == event_index_.end())
         return nullptr;
-    return &events_[it->second];
+    return &events_[it->second - event_base_];
+}
+
+const Span *
+TraceSink::spanForLocked(std::uint64_t span_id) const
+{
+    if (span_id == 0)
+        return nullptr;
+    auto it = span_index_.find(span_id);
+    if (it == span_index_.end())
+        return nullptr;
+    return &spans_[it->second - span_base_];
+}
+
+bool
+TraceSink::skipInWindowLocked(const std::string &task, TimePoint t0,
+                              TimePoint t1) const
+{
+    auto it = skip_times_.find(task);
+    if (it == skip_times_.end())
+        return false;
+    const std::deque<TimePoint> &times = it->second;
+    auto lo = std::lower_bound(times.begin(), times.end(), t0 + 1);
+    return lo != times.end() && *lo <= t1;
 }
 
 const EventRecord *
@@ -169,10 +242,87 @@ TraceSink::producingSpan(const TraceId &id) const
     const EventRecord *rec = findLocked(id);
     if (!rec || rec->span == 0)
         return nullptr;
-    auto it = span_index_.find(rec->span);
-    if (it == span_index_.end())
-        return nullptr;
-    return &spans_[it->second];
+    return spanForLocked(rec->span);
+}
+
+// ----------------------------------------------------------- attribution
+
+/**
+ * Walk the critical path backward from @p frame: at each hop pick the
+ * latest-published parent (the input the consumer actually waited
+ * for), accumulating span wait/exec and inter-span gaps. Gaps that
+ * coincide with a recorded skip of the consuming task are classed as
+ * drop-retry, others as transport; any capture-to-ingest residual not
+ * covered by the walk is transport (data staleness before the first
+ * enqueue). Component sums can overlap e2e when pipeline stages ran
+ * concurrently — they decompose the *path*, and the dominant stage is
+ * their argmax.
+ */
+TailBreakdown
+TraceSink::attributeFrameLocked(const EventRecord &frame) const
+{
+    constexpr std::size_t kMaxHops = 64;
+    TailBreakdown b;
+    b.frame = frame.id;
+    b.capture = frame.event_time;
+    b.completion = frame.publish_time;
+    if (const Span *fspan = spanForLocked(frame.span))
+        b.completion = fspan->completion;
+
+    const EventRecord *cur = &frame;
+    for (std::size_t hop = 0; cur && hop < kMaxHops; ++hop) {
+        const Span *s = spanForLocked(cur->span);
+        if (s) {
+            b.sched_ms += toMilliseconds(s->start - s->arrival);
+            b.kernel_ms += toMilliseconds(s->completion - s->start);
+            ++b.path_spans;
+        }
+        const EventRecord *best = nullptr;
+        for (const TraceId &pid : cur->parents) {
+            const EventRecord *p = findLocked(pid);
+            if (!p)
+                continue;
+            if (!best || p->publish_time > best->publish_time ||
+                (p->publish_time == best->publish_time &&
+                 p->id.sequence > best->id.sequence))
+                best = p;
+        }
+        if (!best) {
+            b.capture = cur->event_time;
+            break;
+        }
+        if (s && s->arrival > best->publish_time) {
+            const double gap =
+                toMilliseconds(s->arrival - best->publish_time);
+            if (skipInWindowLocked(s->task, best->publish_time,
+                                   s->arrival))
+                b.retry_ms += gap;
+            else
+                b.transport_ms += gap;
+        }
+        b.capture = best->event_time;
+        cur = best;
+    }
+
+    b.attributed = b.path_spans > 0;
+    if (b.capture > b.completion)
+        b.capture = b.completion;
+    b.e2e_ms = toMilliseconds(b.completion - b.capture);
+    const double covered =
+        b.sched_ms + b.kernel_ms + b.transport_ms + b.retry_ms;
+    if (b.e2e_ms > covered)
+        b.transport_ms += b.e2e_ms - covered;
+    return b;
+}
+
+TailBreakdown
+TraceSink::attributeFrame(const TraceId &frame) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const EventRecord *rec = findLocked(frame);
+    if (!rec)
+        return TailBreakdown{};
+    return attributeFrameLocked(*rec);
 }
 
 std::vector<const EventRecord *>

@@ -30,6 +30,7 @@
 #include "trace/trace_id.hpp"
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -128,9 +129,15 @@ struct FrameLineageRow
     std::vector<StageRef> stages; ///< Parallel to the query's topics.
 };
 
+class TailMonitor;
+struct TailBreakdown;
+
 /**
- * Append-only trace store. Thread-safe for recording; query and
- * export after the run.
+ * Trace store. Thread-safe for recording; query and export after the
+ * run. Append-only by default; setRetention() turns it into a ring
+ * (bounded memory for 10^5+-frame runs) where old spans/events are
+ * evicted FIFO — pair it with a TailMonitor, which *materializes*
+ * outlier lineage at frame-publish time, before eviction can drop it.
  */
 class TraceSink
 {
@@ -143,12 +150,32 @@ class TraceSink
                     SkipCause cause);
     void recordEvent(EventRecord record);
 
+    /**
+     * Bound the store: keep at most the newest @p max_spans spans,
+     * @p max_events events and @p max_skips skips (0 = unbounded).
+     * Post-run whole-trace queries then only see the final window.
+     */
+    void setRetention(std::size_t max_spans, std::size_t max_events,
+                      std::size_t max_skips);
+
+    /**
+     * Attach a tail monitor: spans/skips are forwarded as recorded,
+     * and every event published on @p frame_topic is attributed
+     * (critical-path walk) and delivered as a TailBreakdown. Attach
+     * before the run; the monitor must outlive the sink's last
+     * record call.
+     */
+    void setTailMonitor(TailMonitor *monitor, std::string frame_topic);
+
     // ---- queries (call after the run has quiesced) ----
 
     std::size_t spanCount() const;
     std::size_t eventCount() const;
-    const std::vector<Span> &spans() const { return spans_; }
-    const std::vector<SkipRecord> &skips() const { return skips_; }
+    const std::deque<Span> &spans() const { return spans_; }
+    const std::deque<SkipRecord> &skips() const { return skips_; }
+
+    /** Critical-path latency decomposition of one frame event. */
+    TailBreakdown attributeFrame(const TraceId &frame) const;
 
     /** The record of @p id, or nullptr if unknown. */
     const EventRecord *find(const TraceId &id) const;
@@ -202,13 +229,29 @@ class TraceSink
 
   private:
     const EventRecord *findLocked(const TraceId &id) const;
+    const Span *spanForLocked(std::uint64_t span_id) const;
+    /** Any recorded skip of @p task with time in (t0, t1]? */
+    bool skipInWindowLocked(const std::string &task, TimePoint t0,
+                            TimePoint t1) const;
+    TailBreakdown attributeFrameLocked(const EventRecord &frame) const;
 
     mutable std::mutex mutex_;
-    std::vector<Span> spans_;
-    std::vector<SkipRecord> skips_;
-    std::vector<EventRecord> events_;
+    std::deque<Span> spans_;
+    std::deque<SkipRecord> skips_;
+    std::deque<EventRecord> events_;
+    // Index values are *absolute* record positions; subtract the base
+    // (incremented on each FIFO eviction) to address the deque.
     std::unordered_map<TraceId, std::size_t> event_index_;
     std::unordered_map<std::uint64_t, std::size_t> span_index_;
+    std::size_t span_base_ = 0;
+    std::size_t event_base_ = 0;
+    std::size_t max_spans_ = 0;  ///< 0 = unbounded.
+    std::size_t max_events_ = 0; ///< 0 = unbounded.
+    std::size_t max_skips_ = 0;  ///< 0 = unbounded.
+    /** Per-task skip times, recording order (for gap classification). */
+    std::unordered_map<std::string, std::deque<TimePoint>> skip_times_;
+    TailMonitor *monitor_ = nullptr;
+    std::string tail_frame_topic_;
     std::uint64_t next_span_ = 1;
 };
 

@@ -15,6 +15,7 @@
 #include "runtime/sim_scheduler.hpp"
 #include "sensors/dataset.hpp"
 #include "trace/metrics_registry.hpp"
+#include "trace/tail_monitor.hpp"
 #include "trace/trace.hpp"
 
 #include <map>
@@ -52,6 +53,27 @@ struct EdgeOptions
     double slo_ms = 80.0;
     /** Server batch cap; 1 = unbatched serving. */
     std::size_t max_batch = 8;
+};
+
+/**
+ * Tail-latency attribution options (`--tail-*`, `ILLIXR_TAIL_*`):
+ * attach a TailMonitor to the run's TraceSink so every display frame
+ * is decomposed into scheduler-wait / kernel / transport / retry time,
+ * outliers past the threshold keep their full lineage, and tail.*
+ * metrics land in the session registry (see DESIGN.md §Tail-latency
+ * model).
+ */
+struct TailOptions
+{
+    bool enabled = false;
+    /** Frames slower end-to-end than this are captured as outliers. */
+    double threshold_ms = 50.0;
+    /** TraceSink ring size (spans/events/skips each); 0 = unbounded.
+     *  Outlier lineage is materialized before eviction, so a small
+     *  ring loses no attribution. */
+    std::size_t ring = 0;
+    /** Cap on retained outlier breakdowns (FIFO beyond it). */
+    std::size_t max_outliers = 65536;
 };
 
 /** Configuration of one integrated run. */
@@ -98,6 +120,8 @@ struct IntegratedConfig
     std::optional<Scenario> scenario;
     /** Edge-offloaded VIO serving (see EdgeOptions). */
     EdgeOptions edge;
+    /** Tail-latency attribution (see TailOptions). */
+    TailOptions tail;
 };
 
 /**
@@ -134,6 +158,9 @@ struct IntegratedResult
 
     /** Full causal trace of the run (null when !config.trace). */
     std::shared_ptr<TraceSink> trace;
+
+    /** Tail-latency monitor (null unless config.tail.enabled). */
+    std::shared_ptr<TailMonitor> tail;
 
     /** Per-run metric registry (task counters/histograms). */
     std::shared_ptr<MetricsRegistry> metrics;

@@ -115,6 +115,20 @@ SessionConfig::applyEnv()
             return false;
         edge.max_batch = n;
     }
+    if (const char *v = std::getenv("ILLIXR_TAIL"))
+        tail.enabled = std::string(v) != "0";
+    if (const char *v = std::getenv("ILLIXR_TAIL_THRESHOLD_MS")) {
+        if (!parsePositiveDouble(v, tail.threshold_ms))
+            return false;
+        tail.enabled = true;
+    }
+    if (const char *v = std::getenv("ILLIXR_TAIL_RING")) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n))
+            return false;
+        tail.ring = n;
+        tail.enabled = true;
+    }
     return true;
 }
 
@@ -210,6 +224,24 @@ SessionConfig::parseFlag(const std::string &arg)
         edge.max_batch = n;
         return true;
     }
+    if (arg == "--tail") {
+        tail.enabled = true;
+        return true;
+    }
+    if (value("--tail-threshold-ms=", v)) {
+        if (!parsePositiveDouble(v, tail.threshold_ms))
+            return false;
+        tail.enabled = true;
+        return true;
+    }
+    if (value("--tail-ring=", v)) {
+        unsigned long n = 0;
+        if (!parseUnsigned(v, n))
+            return false;
+        tail.ring = n;
+        tail.enabled = true;
+        return true;
+    }
     return false;
 }
 
@@ -267,7 +299,8 @@ SessionConfig::fromEnvAndArgs(int argc, const char *const *argv)
             "--executor=",    "--workers=",      "--kernel-threads=",
             "--seed=",        "--fault-plan=",   "--scenario=",
             "--sb-ring-cap=", "--sb-pool-chunk=", "--edge-link=",
-            "--edge-slo-ms=", "--edge-batch="};
+            "--edge-slo-ms=", "--edge-batch=",   "--tail-threshold-ms=",
+            "--tail-ring="};
         bool owned = false;
         for (const char *prefix : kOwned)
             owned = owned || arg.rfind(prefix, 0) == 0;
@@ -434,9 +467,23 @@ Session::runBody()
         phonebook.registerService(metrics);
         switchboard->setMetrics(metrics.get());
         std::shared_ptr<TraceSink> sink;
+        std::shared_ptr<TailMonitor> tail;
         if (config.trace) {
             sink = std::make_shared<TraceSink>();
             switchboard->setTraceSink(sink);
+            if (config.tail.enabled) {
+                TailConfig tail_cfg;
+                tail_cfg.threshold_ms = config.tail.threshold_ms;
+                tail_cfg.max_outliers = config.tail.max_outliers;
+                tail = std::make_shared<TailMonitor>(tail_cfg,
+                                                     metrics.get());
+                if (config.tail.ring > 0)
+                    sink->setRetention(config.tail.ring,
+                                       config.tail.ring,
+                                       config.tail.ring);
+                sink->setTailMonitor(tail.get(),
+                                     topics::kDisplayFrame);
+            }
         }
         KernelPool::MetricsScope kernel_scope(metrics.get(), sink.get());
 
@@ -581,6 +628,13 @@ Session::runBody()
             result.lineage_mtp =
                 computeLineageMtp(*sink, vsync, topics::kDisplayFrame,
                                   result.lineage_stages);
+        }
+        if (tail) {
+            // Detach before hand-off: the result owns both, but the
+            // sink must never call into a monitor the caller may
+            // release first.
+            sink->setTailMonitor(nullptr, "");
+            result.tail = tail;
         }
         // Sample the transport gauges (seqlock contention, pool
         // occupancy) into this session's registry before hand-off.

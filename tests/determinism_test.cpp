@@ -130,6 +130,35 @@ TEST(DeterminismTest, KernelWidthsAreByteIdentical)
     EXPECT_EQ(w1.lineage, w4.lineage);
 }
 
+TEST(DeterminismTest, TailAttributionMatchesAcrossKernelWidths)
+{
+    // The tail harness contract (tail_bench): the outlier attribution
+    // table is part of the deterministic surface. Same seed, same
+    // fault plan, kernel widths 1/2/4 — the TailMonitor's CSV (frame
+    // ids, per-stage millisecond decompositions, dominant stages)
+    // must be byte-identical, with a ring-buffered sink small enough
+    // that eviction actually happens mid-run.
+    auto tailCsv = [](std::size_t kernel_threads) {
+        IntegratedConfig cfg = detConfig(
+            11, "crash=0.02,stall=0.03,drop=0.05,seed=7",
+            kernel_threads);
+        cfg.tail.enabled = true;
+        cfg.tail.threshold_ms = 5.0;
+        cfg.tail.ring = 1024;
+        const IntegratedResult result = runIntegrated(cfg);
+        EXPECT_NE(result.tail, nullptr);
+        EXPECT_GT(result.tail->frames(), 0u);
+        return result.tail->attributionCsv();
+    };
+    const std::string w1 = tailCsv(1);
+    const std::string w2 = tailCsv(2);
+    const std::string w4 = tailCsv(4);
+    // More than a header: the chaos plan must yield real outliers.
+    EXPECT_NE(w1.find('\n'), w1.rfind('\n'));
+    EXPECT_EQ(w1, w2);
+    EXPECT_EQ(w1, w4);
+}
+
 TEST(DeterminismTest, FaultedSameSeedIsByteIdentical)
 {
     // The full resilience stack under a nonzero fault plan — injected

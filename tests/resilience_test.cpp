@@ -161,6 +161,79 @@ TEST(CircuitBreakerTest, HalfOpenFailureReopens)
     EXPECT_FALSE(breaker.allow(25 * kMillisecond));
 }
 
+TEST(CircuitBreakerTest, ConsecutiveReopensBackOffExponentially)
+{
+    CircuitBreakerPolicy policy;
+    policy.failure_threshold = 1;
+    policy.open_hold = 100 * kMillisecond;
+    policy.max_hold = 500 * kMillisecond;
+    policy.jitter = 0.0; // Exact doubling for this test.
+    CircuitBreaker breaker(policy);
+
+    TimePoint now = 0;
+    breaker.recordFailure(now);
+    EXPECT_EQ(breaker.currentHold(), 100 * kMillisecond);
+
+    // Each failed probe doubles the hold until the cap.
+    const Duration expected[] = {200 * kMillisecond, 400 * kMillisecond,
+                                 500 * kMillisecond,
+                                 500 * kMillisecond};
+    for (const Duration want : expected) {
+        now += breaker.currentHold();
+        ASSERT_TRUE(breaker.allow(now));
+        breaker.recordFailure(now); // Probe fails, re-open.
+        EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+        EXPECT_EQ(breaker.currentHold(), want);
+    }
+
+    // Recovery resets the streak: the next trip holds open_hold.
+    now += breaker.currentHold();
+    ASSERT_TRUE(breaker.allow(now));
+    breaker.recordSuccess(now);
+    breaker.recordSuccess(now);
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    breaker.recordFailure(now);
+    EXPECT_EQ(breaker.currentHold(), 100 * kMillisecond);
+}
+
+TEST(CircuitBreakerTest, ReopenJitterIsDeterministicAndBounded)
+{
+    CircuitBreakerPolicy policy;
+    policy.failure_threshold = 1;
+    policy.open_hold = 100 * kMillisecond;
+    policy.jitter = 0.1;
+    policy.jitter_seed = 42;
+
+    auto holds = [&policy] {
+        CircuitBreaker b(policy);
+        std::vector<Duration> out;
+        TimePoint now = 0;
+        b.recordFailure(now);
+        out.push_back(b.currentHold());
+        for (int k = 0; k < 3; ++k) {
+            now += b.currentHold();
+            b.allow(now);
+            b.recordFailure(now);
+            out.push_back(b.currentHold());
+        }
+        return out;
+    };
+    const auto a = holds();
+    EXPECT_EQ(a, holds()); // Same seed, same holds.
+    EXPECT_EQ(a[0], 100 * kMillisecond); // First open: no jitter.
+    for (std::size_t k = 1; k < a.size(); ++k) {
+        const auto base =
+            static_cast<double>(100 * kMillisecond) *
+            std::pow(2.0, static_cast<double>(k));
+        EXPECT_GE(static_cast<double>(a[k]), base);
+        EXPECT_LE(static_cast<double>(a[k]), base * 1.1 + 1.0);
+    }
+    // A different jitter stream gives different holds past the first.
+    policy.jitter_seed = 43;
+    const auto b = holds();
+    EXPECT_NE(a, b);
+}
+
 // ------------------------------------------------------- FaultInjector
 
 /** No-op plugin for boundary tests. */

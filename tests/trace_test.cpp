@@ -8,6 +8,8 @@
  */
 
 #include "foundation/profile.hpp"
+#include "foundation/rng.hpp"
+#include "foundation/stats.hpp"
 #include "metrics/mtp.hpp"
 #include "runtime/sim_scheduler.hpp"
 #include "runtime/switchboard.hpp"
@@ -16,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -408,6 +411,54 @@ TEST(MetricsRegistryTest, HistogramMergesConcurrentObservers)
     EXPECT_NEAR(snap.mean, 49.5, 1e-9);
     EXPECT_EQ(snap.min, 0.0);
     EXPECT_EQ(snap.max, 99.0);
+}
+
+// Log-bucketed quantiles must stay within the documented relative
+// error of exact sorted-sample percentiles across several decades of
+// dynamic range (the p99/p99.9 resolution the tail harness gates on).
+TEST(MetricsRegistryTest, HistogramQuantileAccuracy)
+{
+    Histogram h;
+    SampleSeries exact;
+    Rng rng(1234);
+    for (int i = 0; i < 20000; ++i) {
+        // Heavy-tailed latency-like mix: ~[0.05, 5000) "ms".
+        const double u = rng.uniform(0.0, 1.0);
+        const double x = 0.05 * std::pow(10.0, 5.0 * u);
+        h.observe(x);
+        exact.add(x);
+    }
+    for (const double q : {0.50, 0.90, 0.99, 0.999, 0.9999}) {
+        const double want = exact.percentile(q * 100.0);
+        const double got = h.quantile(q);
+        ASSERT_GT(want, 0.0);
+        EXPECT_NEAR(got / want, 1.0,
+                    Histogram::kMaxRelativeQuantileError)
+            << "q=" << q << " want=" << want << " got=" << got;
+    }
+    // Extremes are exact, not bucketed.
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_DOUBLE_EQ(snap.min, exact.min());
+    EXPECT_DOUBLE_EQ(snap.max, exact.max());
+    EXPECT_NEAR(snap.mean, exact.mean(), 1e-9 * exact.mean());
+}
+
+TEST(MetricsRegistryTest, HistogramNonPositiveAndReset)
+{
+    Histogram h;
+    h.observe(-3.0);
+    h.observe(0.0);
+    h.observe(8.0);
+    EXPECT_EQ(h.count(), 3u);
+    HistogramSnapshot snap = h.snapshot();
+    EXPECT_DOUBLE_EQ(snap.min, -3.0);
+    EXPECT_DOUBLE_EQ(snap.max, 8.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), -3.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.p999, 0.0);
 }
 
 TEST(MetricsRegistryTest, SnapshotRowsAndCsv)
